@@ -1,0 +1,55 @@
+// Ablation A7 (paper §III/§VI): what the exact finite-domain Diophantine
+// analysis buys over Halide-style interval analysis.  Both schedules are
+// correct; the interval one serializes every colored in-place sweep (no
+// point-parallelism proof), so its generated code runs colored updates on
+// a single thread.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "analysis/dag.hpp"
+#include "analysis/interval.hpp"
+#include "bench_common.hpp"
+#include "multigrid/operators.hpp"
+
+using namespace snowflake;
+using namespace snowflake::bench;
+
+namespace {
+
+void BM_AnalysisChoice(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  const bool interval = state.range(1) != 0;
+  BenchLevel bl(n);
+  CompileOptions opt;
+  opt.analysis = interval ? CompileOptions::Analysis::Interval
+                          : CompileOptions::Analysis::Diophantine;
+  auto kernel = compile(mg::gsrb_smooth_group(3), bl.grids(), "openmp", opt);
+  const ParamMap params{{"h2inv", bl.h2inv()}};
+  for (auto _ : state) {
+    kernel->run(bl.grids(), params);
+  }
+  const ShapeMap shapes = shapes_of(bl.grids());
+  const Schedule sched = interval
+                             ? greedy_schedule_interval(mg::gsrb_smooth_group(3), shapes)
+                             : greedy_schedule(mg::gsrb_smooth_group(3), shapes);
+  int parallel = 0;
+  for (bool p : sched.point_parallel) parallel += p ? 1 : 0;
+  state.SetLabel(std::string(interval ? "interval" : "diophantine") + ": " +
+                 std::to_string(sched.waves.size()) + " waves, " +
+                 std::to_string(parallel) + "/" +
+                 std::to_string(sched.point_parallel.size()) +
+                 " point-parallel, n=" + std::to_string(n));
+  state.SetItemsProcessed(state.iterations() * bl.points());
+}
+BENCHMARK(BM_AnalysisChoice)
+    ->Args({32, 0})
+    ->Args({32, 1})
+    ->Args({64, 0})
+    ->Args({64, 1})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,46 @@
+// Ablation A5 (paper §IV-A): greedy dependence-driven barrier placement vs
+// the naive barrier-after-every-stencil schedule.  The GSRB smoother group
+// has 10 stencils; greedy grouping needs only 4 waves (boundary faces
+// batch together).
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/dag.hpp"
+#include "bench_common.hpp"
+#include "multigrid/operators.hpp"
+
+using namespace snowflake;
+using namespace snowflake::bench;
+
+namespace {
+
+void BM_BarrierPlacement(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  const bool naive = state.range(1) != 0;
+  BenchLevel bl(n);
+  CompileOptions opt;
+  opt.barrier_per_stencil = naive;
+  auto kernel = compile(mg::gsrb_smooth_group(3), bl.grids(), "openmp", opt);
+  const ParamMap params{{"h2inv", bl.h2inv()}};
+  for (auto _ : state) {
+    kernel->run(bl.grids(), params);
+  }
+  const Schedule sched =
+      naive ? barrier_per_stencil_schedule(mg::gsrb_smooth_group(3),
+                                           shapes_of(bl.grids()))
+            : greedy_schedule(mg::gsrb_smooth_group(3), shapes_of(bl.grids()));
+  state.SetLabel((naive ? "barrier-per-stencil" : "greedy") + std::string(": ") +
+                 std::to_string(sched.waves.size()) + " waves, n=" +
+                 std::to_string(n));
+  state.SetItemsProcessed(state.iterations() * bl.points());
+}
+BENCHMARK(BM_BarrierPlacement)
+    ->Args({16, 0})
+    ->Args({16, 1})
+    ->Args({64, 0})
+    ->Args({64, 1})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

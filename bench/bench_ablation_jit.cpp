@@ -1,0 +1,98 @@
+// Ablation A4 (paper §IV): JIT pipeline costs — cold compile, disk-cache
+// hit, memory-cache hit, and per-call dispatch overhead of a compiled
+// callable.  Demonstrates why "these call-ables are cached".
+
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+
+#include "backend/jit/jit_backend.hpp"
+#include "bench_common.hpp"
+#include "codegen/cemit.hpp"
+#include "jit/cache.hpp"
+#include "multigrid/operators.hpp"
+
+using namespace snowflake;
+using namespace snowflake::bench;
+
+namespace {
+
+// A fresh cache dir per process so "cold" is really cold.
+std::string scratch_dir() {
+  static const std::string dir = [] {
+    auto d = std::filesystem::temp_directory_path() / "sf_bench_jit_cache";
+    std::filesystem::remove_all(d);
+    return d.string();
+  }();
+  return dir;
+}
+
+std::string smoother_source(std::int64_t variant) {
+  BenchLevel bl(8);
+  CompileOptions opt;
+  // Vary the tile size to force distinct sources per iteration.
+  opt.tile = {variant % 7 + 2, 4, 4};
+  return render_source(mg::gsrb_smooth_group(3), shapes_of(bl.grids()), opt,
+                       true);
+}
+
+void BM_ColdCompile(benchmark::State& state) {
+  KernelCache cache(scratch_dir());
+  ToolchainConfig tc;
+  tc.openmp = true;
+  const Toolchain toolchain(tc);
+  std::int64_t variant = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    ++variant;
+    const std::string src = smoother_source(variant) + "/* variant " +
+                            std::to_string(variant) + " */\n";
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(cache.get_or_compile(src, toolchain));
+  }
+  state.SetLabel("cold compile (gcc -O3 -fopenmp)");
+}
+BENCHMARK(BM_ColdCompile)->Unit(benchmark::kMillisecond)->Iterations(3);
+
+void BM_MemoryCacheHit(benchmark::State& state) {
+  KernelCache cache(scratch_dir());
+  const Toolchain toolchain;
+  const std::string src = smoother_source(1);
+  cache.get_or_compile(src, toolchain);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.get_or_compile(src, toolchain));
+  }
+  state.SetLabel("in-memory cache hit");
+}
+BENCHMARK(BM_MemoryCacheHit)->Unit(benchmark::kMicrosecond);
+
+void BM_DiskCacheHit(benchmark::State& state) {
+  const Toolchain toolchain;
+  const std::string src = smoother_source(2);
+  {
+    KernelCache warm(scratch_dir());
+    warm.get_or_compile(src, toolchain);
+  }
+  for (auto _ : state) {
+    KernelCache fresh(scratch_dir());  // no in-memory entries
+    benchmark::DoNotOptimize(fresh.get_or_compile(src, toolchain));
+  }
+  state.SetLabel("disk cache hit (dlopen)");
+}
+BENCHMARK(BM_DiskCacheHit)->Unit(benchmark::kMicrosecond);
+
+void BM_KernelCallOverhead(benchmark::State& state) {
+  // Smallest possible kernel: dispatch cost of the compiled callable.
+  BenchLevel bl(4);
+  auto kernel = compile(mg::gsrb_smooth_group(3), bl.grids(), "c");
+  const ParamMap params{{"h2inv", bl.h2inv()}};
+  for (auto _ : state) {
+    kernel->run(bl.grids(), params);
+  }
+  state.SetLabel("4^3 smoother via compiled callable");
+}
+BENCHMARK(BM_KernelCallOverhead)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

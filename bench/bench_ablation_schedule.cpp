@@ -1,0 +1,41 @@
+// Ablation A3 (paper §IV-A): the task-farming scheduler vs naive
+// parallel-for worksharing.  The paper argues tasks promote better system
+// usage under NUMA; on a single-socket box the two should be close, with
+// tasks paying a small spawning overhead on tiny grids.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "multigrid/operators.hpp"
+
+using namespace snowflake;
+using namespace snowflake::bench;
+
+namespace {
+
+void BM_Schedule(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  const bool tasks = state.range(1) != 0;
+  BenchLevel bl(n);
+  CompileOptions opt;
+  opt.schedule = tasks ? CompileOptions::Schedule::Tasks
+                       : CompileOptions::Schedule::ParallelFor;
+  auto kernel = compile(mg::gsrb_smooth_group(3), bl.grids(), "openmp", opt);
+  const ParamMap params{{"h2inv", bl.h2inv()}};
+  for (auto _ : state) {
+    kernel->run(bl.grids(), params);
+  }
+  state.SetItemsProcessed(state.iterations() * bl.points());
+  state.SetLabel(std::string(tasks ? "tasks" : "parallel-for") + " n=" +
+                 std::to_string(n));
+}
+BENCHMARK(BM_Schedule)
+    ->Args({8, 0})
+    ->Args({8, 1})
+    ->Args({64, 0})
+    ->Args({64, 1})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

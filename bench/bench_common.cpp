@@ -1,0 +1,140 @@
+#include "bench_common.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "ir/stencil_library.hpp"
+#include "roofline/stream.hpp"
+
+namespace snowflake::bench {
+
+Args Args::parse(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strncmp(a, "--n=", 4) == 0) {
+      args.n = std::atoll(a + 4);
+      args.n_explicit = true;
+    } else if (std::strncmp(a, "--sweeps=", 9) == 0) {
+      args.sweeps = std::atoi(a + 9);
+    } else if (std::strcmp(a, "--paper") == 0) {
+      args.paper = true;
+      args.n = 256;
+    } else if (std::strcmp(a, "--help") == 0) {
+      std::printf("options: --n=<size> --sweeps=<reps> --paper\n");
+      std::exit(0);
+    }
+  }
+  return args;
+}
+
+double time_best(const std::function<void()>& fn, int warmup, int reps) {
+  for (int i = 0; i < warmup; ++i) fn();
+  double best = 1e300;
+  for (int i = 0; i < reps; ++i) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    const double dt =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    if (dt < best) best = dt;
+  }
+  return best;
+}
+
+double host_bandwidth() {
+  static const double bw = [] {
+    return measure_stream_dot(1u << 24, 4).best_bytes_per_s;
+  }();
+  return bw;
+}
+
+BenchLevel::BenchLevel(std::int64_t n, bool variable_beta) {
+  spec.rank = 3;
+  spec.n = n;
+  spec.variable_beta = variable_beta;
+  level = std::make_unique<mg::Level>(spec, n);
+  GridSet& gs = level->grids();
+  const Index shape = level->box_shape();
+  gs.add_zeros("out", shape);
+  gs.add_zeros("dinv", shape);
+  gs.at("x").fill_random(1, -1.0, 1.0);
+  gs.at("rhs").fill_random(2, -1.0, 1.0);
+  // lambda_inv and dinv via the setup stencils (sequential C backend).
+  auto lam = compile(
+      StencilGroup(lib::vc_lambda_setup(3, mg::kLambda, mg::kBetaPrefix)), gs,
+      "c");
+  lam->run(gs, {{"h2inv", level->h2inv()}});
+  auto dinv = compile(StencilGroup(lib::cc_dinv_setup(3, "dinv")), gs, "c");
+  dinv->run(gs, {{"h2inv", level->h2inv()}});
+}
+
+Table::Table(std::vector<std::string> headers) {
+  for (const auto& h : headers) widths_.push_back(std::max<size_t>(h.size() + 2, 14));
+  row(headers);
+  std::string rule;
+  for (size_t w : widths_) rule += std::string(w, '-') + " ";
+  std::printf("%s\n", rule.c_str());
+}
+
+void Table::row(const std::vector<std::string>& cells) {
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const size_t w = i < widths_.size() ? widths_[i] : 14;
+    std::printf("%-*s ", static_cast<int>(w), cells[i].c_str());
+  }
+  std::printf("\n");
+}
+
+std::string Table::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::sci(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*e", precision, v);
+  return buf;
+}
+
+double modeled_cuda_vcycle_seconds(const snowflake::DeviceSpec& device,
+                                   std::int64_t n, int pre_smooth,
+                                   int post_smooth, int bottom_smooth,
+                                   std::int64_t coarsest_n) {
+  const double eff_bw = device.bandwidth_bytes_per_s * 0.85;
+  double total = 0.0;
+  for (std::int64_t m = n; m >= coarsest_n; m /= 2) {
+    const double cells = static_cast<double>((m + 2) * (m + 2) * (m + 2));
+    const double array_bytes = cells * 8.0;
+    // One GSRB smooth: two color passes, each streaming x (r+w+WA) + rhs +
+    // lambda + three betas = 8 array-equivalents; boundaries fused in.
+    const double smooth_t =
+        2.0 * 8.0 * array_bytes / eff_bw + 2.0 * device.launch_overhead_s;
+    const bool coarsest = m / 2 < coarsest_n || m % 2 != 0;
+    if (coarsest) {
+      total += bottom_smooth * smooth_t;
+      break;
+    }
+    const double residual_t =
+        8.0 * array_bytes / eff_bw + device.launch_overhead_s;
+    const double restrict_t =
+        1.5 * array_bytes / eff_bw + device.launch_overhead_s;
+    const double interp_t =
+        2.5 * array_bytes / eff_bw + device.launch_overhead_s;
+    total += (pre_smooth + post_smooth) * smooth_t + residual_t + restrict_t +
+             interp_t;
+  }
+  return total;
+}
+
+void banner(const std::string& title, const std::string& notes) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  if (!notes.empty()) std::printf("%s\n", notes.c_str());
+  std::printf("==============================================================\n");
+}
+
+}  // namespace snowflake::bench

@@ -1,0 +1,74 @@
+#pragma once
+// Shared harness for the paper-figure benchmarks: CLI parsing, timing
+// protocol (untimed warm-up then best-of-N, §V-A), measured STREAM
+// bandwidth (memoized), level construction, and table printing.
+//
+// Every bench accepts:
+//   --n=<N>        finest problem size (power of two; default small so the
+//                  suite runs quickly on CI — use --n=256 to reproduce the
+//                  paper's configuration)
+//   --sweeps=<K>   timed repetitions (default 5)
+//   --paper        shorthand for the paper's sizes
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "backend/backend.hpp"
+#include "device/sim_device.hpp"
+#include "multigrid/level.hpp"
+
+namespace snowflake::bench {
+
+struct Args {
+  std::int64_t n = 64;
+  bool n_explicit = false;  // true when --n= was passed
+  int sweeps = 5;
+  bool paper = false;
+  static Args parse(int argc, char** argv);
+};
+
+/// Wall-clock seconds of fn(), best of `reps` after `warmup` calls.
+double time_best(const std::function<void()>& fn, int warmup, int reps);
+
+/// Measured Figure 6 STREAM-dot bandwidth (bytes/s), memoized per process.
+double host_bandwidth();
+
+/// A multigrid level plus the extra grids the standalone stencil benches
+/// need (out, dinv), with lambda/dinv initialized.
+struct BenchLevel {
+  explicit BenchLevel(std::int64_t n, bool variable_beta = true);
+  mg::ProblemSpec spec;
+  std::unique_ptr<mg::Level> level;
+  GridSet& grids() { return level->grids(); }
+  double h2inv() const { return level->h2inv(); }
+  std::int64_t points() const { return level->dof(); }
+};
+
+/// Fixed-width table printer.
+class Table {
+public:
+  explicit Table(std::vector<std::string> headers);
+  void row(const std::vector<std::string>& cells);
+  static std::string num(double v, int precision = 3);
+  static std::string sci(double v, int precision = 3);
+
+private:
+  std::vector<size_t> widths_;
+};
+
+/// Print the standard bench banner (what figure, what substitution).
+void banner(const std::string& title, const std::string& notes);
+
+/// Modeled wall-clock of a hand-written CUDA geometric multigrid solve on
+/// `device` (the HPGMG-CUDA comparator of Figs. 8/9): per V-cycle, every
+/// level pays its smooth/residual/restrict/interpolate DRAM traffic at the
+/// hand-code efficiency the paper measured (~0.85 of the device roofline)
+/// plus one kernel-launch overhead per fused hand kernel.
+double modeled_cuda_vcycle_seconds(const snowflake::DeviceSpec& device,
+                                   std::int64_t n, int pre_smooth,
+                                   int post_smooth, int bottom_smooth,
+                                   std::int64_t coarsest_n);
+
+}  // namespace snowflake::bench

@@ -1,0 +1,154 @@
+// Paper Figure 7: stencils/s for three operators at a fixed problem size —
+// the constant-coefficient 7-point Laplacian, the CC Jacobi smoother, and
+// the variable-coefficient GSRB smoother — comparing Snowflake-generated
+// code against hand-optimized kernels and the Roofline (DRAM) bound, on
+// the CPU and on the (simulated) GPU.
+//
+// Each operator includes the interspersed Dirichlet boundary stencils the
+// paper applies (§V-A).  GPU columns are *modeled* (see DESIGN.md): the
+// OpenCL-style backend executes functionally on the host and the K20c
+// device model supplies the time; the hand-CUDA comparator is the device
+// roofline scaled by the efficiency the paper measured for HPGMG-CUDA.
+//
+// Expected shape (paper): Snowflake/OpenMP ~= hand ~= roofline for CC
+// operators; VC GSRB lands below its 64 B/stencil roofline (two color
+// passes stream everything twice); GPU Snowflake within ~2x of hand-CUDA.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "device/sim_device.hpp"
+#include "ir/stencil_library.hpp"
+#include "multigrid/baseline/hand_kernels.hpp"
+#include "multigrid/operators.hpp"
+#include "roofline/roofline.hpp"
+
+using namespace snowflake;
+using namespace snowflake::bench;
+
+namespace {
+
+struct OperatorCase {
+  std::string name;
+  StencilGroup group;
+  double bytes_per_stencil;     // paper §V-B model
+  double stencils_per_sweep;    // applications counted per kernel run
+  std::function<void(BenchLevel&)> hand;  // hand-optimized comparator
+  double cuda_efficiency;       // hand-CUDA vs device roofline (paper Fig 7)
+};
+
+StencilGroup with_boundary(int rank, const std::string& x, Stencil op) {
+  StencilGroup g;
+  g.append(lib::dirichlet_boundary(rank, x));
+  g.append(std::move(op));
+  return g;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = Args::parse(argc, argv);
+  banner("Figure 7: stencils/s for CC 7-pt / CC Jacobi / VC GSRB (" +
+             std::to_string(args.n) + "^3)",
+         "GPU columns are modeled on the simulated K20c (no GPU in this "
+         "environment);\npass --n=256 for the paper's size.");
+
+  BenchLevel bl(args.n);
+  const double n3 = static_cast<double>(bl.points());
+  const double h2inv = bl.h2inv();
+
+  std::vector<OperatorCase> cases;
+  cases.push_back(OperatorCase{
+      "CC 7pt Stencil",
+      with_boundary(3, "x", lib::cc_apply(3, "x", "out")),
+      StencilBytes::cc_7pt, n3,
+      [&](BenchLevel& b) {
+        GridSet& g = b.grids();
+        mg::hand::apply_bc_3d(g.at("x").data(), b.spec.n);
+        mg::hand::cc_apply_3d(g.at("out").data(), g.at("x").data(), b.spec.n,
+                              b.h2inv());
+      },
+      // HPGMG-CUDA has no bare 7-pt stencil (paper note); model it absent.
+      0.0});
+  cases.push_back(OperatorCase{
+      "CC Jacobi",
+      with_boundary(3, "x", lib::cc_jacobi(3, "x", "rhs", "dinv", "out")),
+      StencilBytes::cc_jacobi, n3,
+      [&](BenchLevel& b) {
+        GridSet& g = b.grids();
+        mg::hand::apply_bc_3d(g.at("x").data(), b.spec.n);
+        mg::hand::cc_jacobi_3d(g.at("out").data(), g.at("x").data(),
+                               g.at("rhs").data(), g.at("dinv").data(),
+                               b.spec.n, b.h2inv(), 2.0 / 3.0);
+      },
+      // Paper: HPGMG-CUDA slightly exceeds the (write-allocate) roofline
+      // underestimate for Jacobi (dense out-of-place sweep).
+      1.05});
+  cases.push_back(OperatorCase{
+      "VC GSRB", mg::gsrb_smooth_group(3), StencilBytes::vc_gsrb, n3,
+      [&](BenchLevel& b) {
+        GridSet& g = b.grids();
+        mg::hand::gsrb_smooth_3d(
+            g.at("x").data(), g.at("rhs").data(), g.at(mg::kLambda).data(),
+            g.at("beta_x").data(), g.at("beta_y").data(),
+            g.at("beta_z").data(), b.spec.n, b.h2inv());
+      },
+      // Hand-CUDA GSRB: two color passes stream all seven arrays (128 B
+      // per updated point) at 0.85 of the device roofline -> 0.425 of the
+      // 64 B-per-stencil bound.  (The paper's Fig. 7 bar sits higher;
+      // EXPERIMENTS.md discusses the accounting difference.)
+      0.425});
+
+  const double cpu_bw = host_bandwidth();
+  const SimDevice gpu{DeviceSpec::k20c()};
+  std::printf("host STREAM-dot bandwidth: %.2f GB/s; modeled device: %s "
+              "(%.0f GB/s)\n\n",
+              cpu_bw / 1e9, gpu.spec().name.c_str(),
+              gpu.spec().bandwidth_bytes_per_s / 1e9);
+
+  Table table({"operator", "platform", "snowflake Gst/s", "hand Gst/s",
+               "roofline Gst/s", "sf/roofline"});
+
+  const ParamMap params{{"h2inv", h2inv}, {"weight", 2.0 / 3.0}};
+  for (auto& oc : cases) {
+    // --- CPU: Snowflake OpenMP vs hand vs roofline ---
+    // The OpenMP micro-compiler's multicolor reordering (§IV-A) is what
+    // makes colored sweeps stream memory once; use it as the paper does.
+    CompileOptions opt;
+    opt.fuse_colors = true;
+    auto kernel = compile(oc.group, bl.grids(), "openmp", opt);
+    const double t_sf = time_best([&] { kernel->run(bl.grids(), params); }, 2,
+                                  args.sweeps);
+    const double t_hand =
+        time_best([&] { oc.hand(bl); }, 2, args.sweeps);
+    const double roof_cpu =
+        roofline_stencils_per_s(cpu_bw, oc.bytes_per_stencil);
+    const double sf_cpu = oc.stencils_per_sweep / t_sf;
+    const double hand_cpu = oc.stencils_per_sweep / t_hand;
+    table.row({oc.name, "CPU", Table::num(sf_cpu / 1e9),
+               Table::num(hand_cpu / 1e9), Table::num(roof_cpu / 1e9),
+               Table::num(sf_cpu / roof_cpu, 2)});
+
+    // --- GPU (modeled): Snowflake oclsim vs hand-CUDA proxy vs roofline ---
+    auto ocl = compile(oc.group, bl.grids(), "oclsim");
+    ocl->run(bl.grids(), params);  // warm
+    ocl->run(bl.grids(), params);
+    const double t_gpu = ocl->modeled_seconds();
+    const double roof_gpu = roofline_stencils_per_s(
+        gpu.spec().bandwidth_bytes_per_s, oc.bytes_per_stencil);
+    const double sf_gpu = oc.stencils_per_sweep / t_gpu;
+    const std::string cuda =
+        oc.cuda_efficiency > 0.0
+            ? Table::num(oc.cuda_efficiency * roof_gpu / 1e9)
+            : "n/a";
+    table.row({oc.name, "GPU (modeled)", Table::num(sf_gpu / 1e9), cuda,
+               Table::num(roof_gpu / 1e9), Table::num(sf_gpu / roof_gpu, 2)});
+  }
+
+  std::printf(
+      "\npaper expectations: CC operators near roofline on CPU; VC GSRB\n"
+      "below its bound (color passes stream arrays twice); GPU Snowflake\n"
+      "within 2x of hand-CUDA.  Paper CPU rooflines at 22.2 GB/s were\n"
+      "0.93/0.56/0.35 Gstencil/s for 24/40/64 B.\n");
+  return 0;
+}

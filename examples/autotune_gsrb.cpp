@@ -1,0 +1,47 @@
+// Autotuning the GSRB smoother's compile options (paper §IV-A: tiling
+// "provides a method of tuning tiling sizes").  Sweeps tile sizes and
+// multicolor reordering, then reports the winner.
+//
+// Usage: autotune_gsrb [n]   (default 48)
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "ir/stencil_library.hpp"
+#include "multigrid/operators.hpp"
+#include "multigrid/solver.hpp"
+#include "tune/tuner.hpp"
+
+using namespace snowflake;
+
+int main(int argc, char** argv) {
+  const std::int64_t n = argc > 1 ? std::atoll(argv[1]) : 48;
+
+  mg::ProblemSpec spec;
+  spec.rank = 3;
+  spec.n = n;
+  mg::Level level(spec, n);
+  GridSet& grids = level.grids();
+  grids.at("x").fill_random(1, -1.0, 1.0);
+  grids.at("rhs").fill_random(2, -1.0, 1.0);
+  auto lam = compile(
+      StencilGroup(lib::vc_lambda_setup(3, mg::kLambda, mg::kBetaPrefix)),
+      grids, "c");
+  lam->run(grids, {{"h2inv", level.h2inv()}});
+
+  std::printf("tuning VC GSRB smoother at %lld^3 over the OpenMP backend\n\n",
+              static_cast<long long>(n));
+  Tuner tuner;
+  const TuneResult result =
+      tuner.tune(mg::gsrb_smooth_group(3), grids, {{"h2inv", level.h2inv()}},
+                 "openmp", default_tile_candidates(3), /*warmup=*/2,
+                 /*reps=*/3);
+
+  std::printf("%-16s %-12s\n", "candidate", "seconds");
+  for (const auto& t : result.timings) {
+    std::printf("%-16s %-12.3e%s\n", t.label.c_str(), t.seconds,
+                t.label == result.best.label ? "  <-- best" : "");
+  }
+  std::printf("\nbest configuration: %s\n", result.best.label.c_str());
+  return 0;
+}

@@ -1,0 +1,58 @@
+// The distributed-memory direction of the paper's §VII ("backends to
+// target distributed-memory systems via MPI or UPC++ ... one process per
+// NUMA node"), on the simulated distributed backend: the grid is split
+// into per-rank slabs with explicit halo exchange, and the SAME Python-
+// style stencil program runs unchanged — single source, another backend.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "backend/distsim/distsim_backend.hpp"
+#include "ir/stencil_library.hpp"
+#include "multigrid/operators.hpp"
+#include "multigrid/solver.hpp"
+
+using namespace snowflake;
+
+int main(int argc, char** argv) {
+  const std::int64_t n = argc > 1 ? std::atoll(argv[1]) : 32;
+  const int ranks = argc > 2 ? std::atoi(argv[2]) : 4;
+
+  mg::ProblemSpec spec;
+  spec.rank = 3;
+  spec.n = n;
+  mg::Level level(spec, n);
+  GridSet& grids = level.grids();
+  grids.at("rhs").fill(1.0);
+  auto lam = compile(
+      StencilGroup(lib::vc_lambda_setup(3, mg::kLambda, mg::kBetaPrefix)),
+      grids, "c");
+  lam->run(grids, {{"h2inv", level.h2inv()}});
+
+  CompileOptions opt;
+  opt.dist_ranks = ranks;
+  auto smoother = compile(mg::gsrb_smooth_group(3), grids, "distsim", opt);
+  auto residual = compile(mg::residual_group(3), grids, "distsim", opt);
+
+  const auto* info = dynamic_cast<const DistSimKernelInfo*>(smoother.get());
+  std::printf("decomposed %lld^3 over %d ranks (halo depth %lld):\n",
+              static_cast<long long>(n), info->ranks(),
+              static_cast<long long>(info->halo_depth()));
+  for (const auto& [lo, hi] : info->slabs()) {
+    std::printf("  rank owns rows [%lld, %lld)\n", static_cast<long long>(lo),
+                static_cast<long long>(hi));
+  }
+
+  const ParamMap params{{"h2inv", level.h2inv()}};
+  std::printf("\n%-7s %-14s %-16s\n", "sweep", "max residual",
+              "halo bytes/sweep");
+  for (int it = 0; it <= 100; ++it) {
+    if (it % 20 == 0) {
+      residual->run(grids, params);
+      std::printf("%-7d %-14.6e %-16.0f\n", it,
+                  grids.at(mg::kRes).norm_max(), info->last_halo_bytes());
+    }
+    smoother->run(grids, params);
+  }
+  return 0;
+}

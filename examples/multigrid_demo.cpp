@@ -1,0 +1,55 @@
+// Full HPGMG-style geometric multigrid solve (the paper's §V driver):
+// variable-coefficient Poisson on a 3D box, V-cycles with GSRB smoothing,
+// every operator a Snowflake stencil, compiled by the backend named on the
+// command line.
+//
+// Usage: multigrid_demo [backend] [n]
+//   backend: reference | c | openmp | oclsim   (default openmp)
+//   n:       interior cells per dim, power of two (default 32)
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "multigrid/solver.hpp"
+
+using namespace snowflake;
+
+int main(int argc, char** argv) {
+  mg::Solver::Config cfg;
+  cfg.backend = argc > 1 ? argv[1] : "openmp";
+  cfg.problem.rank = 3;
+  cfg.problem.n = argc > 2 ? std::atoll(argv[2]) : 32;
+  cfg.problem.variable_beta = true;
+
+  std::printf("building %lld^3 variable-coefficient problem, backend '%s'\n",
+              static_cast<long long>(cfg.problem.n), cfg.backend.c_str());
+  mg::Solver solver(cfg);
+  std::printf("levels:");
+  for (size_t l = 0; l < solver.num_levels(); ++l) {
+    std::printf(" %lld^3", static_cast<long long>(solver.level(l).n()));
+  }
+  std::printf("\n\n%-7s %-14s %-10s\n", "cycle", "max residual", "reduction");
+
+  solver.level(0).grids().at(mg::kX).fill(0.0);
+  double prev = solver.residual_norm();
+  std::printf("%-7d %-14.6e %-10s\n", 0, prev, "-");
+  for (int c = 1; c <= 10; ++c) {
+    solver.vcycle();
+    const double r = solver.residual_norm();
+    std::printf("%-7d %-14.6e %-10.2f\n", c, r, prev / r);
+    prev = r;
+  }
+  std::printf("\nerror vs manufactured exact solution: %.3e\n",
+              solver.error_vs_exact());
+
+  const mg::SolveStats stats = solver.solve(/*cycles=*/5, /*warmup=*/1);
+  std::printf("timed: %d V-cycles of %lld DOF in %.3f s -> %.3e DOF/s\n",
+              stats.cycles, static_cast<long long>(stats.dof), stats.seconds,
+              stats.dof_per_second);
+  if (stats.modeled_seconds > 0.0) {
+    std::printf("modeled device time: %.4f s (simulated accelerator)\n",
+                stats.modeled_seconds);
+  }
+  return 0;
+}

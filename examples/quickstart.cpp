@@ -1,0 +1,62 @@
+// Quickstart: define a 2D 5-point Jacobi stencil with a Dirichlet
+// boundary, JIT-compile it with the OpenMP micro-compiler, and smooth a
+// Poisson problem.  This walks through every Table I data structure:
+// WeightArray -> Component -> Stencil -> DomainUnion -> StencilGroup ->
+// compile -> callable.
+
+#include <cstdio>
+
+#include "backend/backend.hpp"
+#include "ir/stencil_library.hpp"
+#include "ir/weights.hpp"
+
+using namespace snowflake;
+
+int main() {
+  constexpr std::int64_t n = 32;        // interior cells per side
+  const Index shape{n + 2, n + 2};      // one ghost layer
+  const double h2inv = static_cast<double>(n * n);
+
+  // --- 1. Grids: the binding environment --------------------------------
+  GridSet grids;
+  grids.add_zeros("u", shape);
+  grids.add_zeros("u_next", shape);
+  grids.add_zeros("f", shape).fill(1.0);  // right-hand side: -∇²u = 1
+
+  // --- 2. A stencil from a WeightArray ----------------------------------
+  // The 5-point Laplacian as a 3x3 weight array (centre element = centre
+  // point, exactly the paper's convention).
+  const WeightArray laplacian = WeightArray::from_values(
+      {3, 3}, {0, 1, 0,
+               1, -4, 1,
+               0, 1, 0});
+  // Component associates the weights with a grid; expressions compose.
+  const ExprPtr lap_u = component("u", laplacian);
+  const ExprPtr jacobi =
+      read("u", {0, 0}) +
+      constant(1.0 / (4.0 * h2inv)) * (read("f", {0, 0}) + h2inv * lap_u);
+
+  // --- 3. Domains: grid-size-relative interior + boundary faces ---------
+  const Stencil smooth("jacobi", jacobi, "u_next", lib::interior(2));
+
+  // --- 4. A StencilGroup with boundary stencils interleaved -------------
+  StencilGroup group;
+  group.append(lib::dirichlet_boundary(2, "u"));  // ghost = -inside
+  group.append(smooth);
+
+  // --- 5. Compile with a micro-compiler and run -------------------------
+  auto kernel = compile(group, grids, "openmp");
+  std::printf("compiled with backend '%s'\n", kernel->backend_name().c_str());
+
+  const int sweeps = 4000;  // plain Jacobi converges in O(n^2 log) sweeps
+  for (int it = 0; it < sweeps; ++it) {
+    kernel->run(grids);
+    std::swap(grids.at("u"), grids.at("u_next"));
+  }
+
+  const double centre = grids.at("u").at({n / 2 + 1, n / 2 + 1});
+  std::printf("after %d sweeps: u(centre) = %.6f (expect ~0.0737 for the\n"
+              "unit-square Poisson problem -∇²u = 1 with u=0 boundaries)\n",
+              sweeps, centre);
+  return 0;
+}

@@ -1,0 +1,74 @@
+// 2D wave equation with leapfrog time stepping — exercises the "multiple
+// input and output meshes" feature the paper lists: each step reads two
+// time levels (u_now, u_prev) and writes a third (u_next), all distinct
+// grids in one stencil.
+//
+//   u_next = 2 u_now - u_prev + (c·dt/h)² ∇² u_now
+//
+// A Gaussian pulse reflects off zero-Dirichlet walls.
+
+#include <cmath>
+#include <cstdio>
+
+#include "backend/backend.hpp"
+#include "ir/stencil_library.hpp"
+
+using namespace snowflake;
+
+int main() {
+  constexpr std::int64_t n = 64;
+  const Index shape{n + 2, n + 2};
+  const double h = 1.0 / n;
+  const double courant = 0.5;  // c·dt/h
+  const double c2 = courant * courant;
+
+  GridSet grids;
+  grids.add_zeros("u_prev", shape);
+  grids.add_zeros("u_now", shape);
+  grids.add_zeros("u_next", shape);
+
+  // Initial pulse, same for both time levels (zero initial velocity).
+  auto pulse = [&](const Index& i) {
+    const double x = (i[0] - 0.5) * h - 0.35, y = (i[1] - 0.5) * h - 0.35;
+    return std::exp(-(x * x + y * y) / 0.005);
+  };
+  grids.at("u_prev").fill_with(pulse);
+  grids.at("u_now").fill_with(pulse);
+
+  // One leapfrog step: reads TWO meshes, writes a third.
+  const ExprPtr step = 2.0 * read("u_now", {0, 0}) - read("u_prev", {0, 0}) +
+                       constant(c2) * lib::cc_laplacian_expr(2, "u_now");
+  StencilGroup group;
+  group.append(lib::dirichlet_boundary(2, "u_now"));
+  group.append(Stencil("leapfrog", step, "u_next", lib::interior(2)));
+
+  auto kernel = compile(group, grids, "openmp");
+
+  const int steps = 256;
+  double initial_energy = grids.at("u_now").norm_l2();
+  for (int it = 0; it < steps; ++it) {
+    kernel->run(grids);
+    // Rotate time levels: prev <- now <- next.
+    std::swap(grids.at("u_prev"), grids.at("u_now"));
+    std::swap(grids.at("u_now"), grids.at("u_next"));
+  }
+
+  // Coarse ASCII rendering of the wave field.
+  std::printf("wave field after %d steps (Courant %.2f):\n", steps, courant);
+  const char* shade = " .:-=+*#%@";
+  for (std::int64_t i = 1; i <= n; i += 4) {
+    for (std::int64_t j = 1; j <= n; j += 2) {
+      const double v = grids.at("u_now").at({i, j});
+      int level = static_cast<int>((v + 0.5) * 9.99);
+      if (level < 0) level = 0;
+      if (level > 9) level = 9;
+      std::putchar(shade[level]);
+    }
+    std::putchar('\n');
+  }
+  std::printf("L2 displacement: initial %.4f, now %.4f (displacement sloshes "
+              "between kinetic\nand potential energy; it must stay the same "
+              "order of magnitude, not decay to 0)\n",
+              initial_energy, grids.at("u_now").norm_l2());
+  return 0;
+}

@@ -1,0 +1,53 @@
+#include "analysis/access.hpp"
+
+#include "domain/domain_algebra.hpp"
+#include "support/error.hpp"
+
+namespace snowflake {
+
+std::vector<Access> accesses_of(const Stencil& stencil) {
+  std::vector<Access> out;
+  out.push_back(Access{stencil.output(), IndexMap::identity(stencil.rank()),
+                       /*is_write=*/true});
+  for (const auto* r : collect_reads(stencil.expr())) {
+    // Deduplicate structurally identical reads (common: the centre point
+    // appears many times in an expression).
+    bool seen = false;
+    for (const auto& a : out) {
+      if (!a.is_write && a.grid == r->grid() && a.map == r->map()) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) out.push_back(Access{r->grid(), r->map(), /*is_write=*/false});
+  }
+  return out;
+}
+
+ResolvedUnion access_region(const Access& access, const ResolvedUnion& domain) {
+  const int rank = domain.rank();
+  SF_REQUIRE(access.map.rank() == rank, "access_region rank mismatch");
+  Index num(static_cast<size_t>(rank)), off(static_cast<size_t>(rank)),
+      den(static_cast<size_t>(rank));
+  for (int d = 0; d < rank; ++d) {
+    num[static_cast<size_t>(d)] = access.map.dim(d).num;
+    off[static_cast<size_t>(d)] = access.map.dim(d).off;
+    den[static_cast<size_t>(d)] = access.map.dim(d).den;
+  }
+  std::vector<ResolvedRect> rects;
+  rects.reserve(domain.rects().size());
+  for (const auto& rect : domain.rects()) {
+    rects.push_back(affine_image(rect, num, off, den));
+  }
+  return ResolvedUnion(std::move(rects));
+}
+
+ResolvedUnion resolved_domain(const Stencil& stencil, const ShapeMap& shapes) {
+  auto it = shapes.find(stencil.output());
+  if (it == shapes.end()) {
+    throw LookupError("no shape binding for output grid '" + stencil.output() + "'");
+  }
+  return stencil.domain().resolve(it->second);
+}
+
+}  // namespace snowflake

@@ -1,0 +1,35 @@
+#pragma once
+// Memory-access extraction: which regions of which grids a stencil touches.
+//
+// Every access is (grid, index map, read/write).  A stencil writes its
+// output through the identity map over its domain and reads each GridRead's
+// map-image of the domain.  Regions are computed exactly with the domain
+// algebra (affine images of strided rects are strided rects).
+
+#include <string>
+#include <vector>
+
+#include "ir/stencil.hpp"
+#include "ir/validate.hpp"
+
+namespace snowflake {
+
+struct Access {
+  std::string grid;
+  IndexMap map;
+  bool is_write = false;
+};
+
+/// All accesses of a stencil: one write (output, identity map) plus one
+/// read per distinct GridRead.
+std::vector<Access> accesses_of(const Stencil& stencil);
+
+/// The set of points of `access.grid` touched when the stencil's resolved
+/// domain is `domain`: the affine image of every rect under the map.
+ResolvedUnion access_region(const Access& access, const ResolvedUnion& domain);
+
+/// Resolve a stencil's domain against the shapes (helper: resolves against
+/// the output grid's shape).
+ResolvedUnion resolved_domain(const Stencil& stencil, const ShapeMap& shapes);
+
+}  // namespace snowflake

@@ -1,0 +1,108 @@
+#include "analysis/dag.hpp"
+
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace snowflake {
+
+DependenceDag::DependenceDag(const StencilGroup& group, const ShapeMap& shapes)
+    : n_(group.size()) {
+  dep_.assign(n_, std::vector<bool>(n_, false));
+  preds_.assign(n_, {});
+  succs_.assign(n_, {});
+  for (size_t later = 0; later < n_; ++later) {
+    for (size_t earlier = 0; earlier < later; ++earlier) {
+      if (stencils_dependent(group[earlier], group[later], shapes)) {
+        dep_[later][earlier] = true;
+        preds_[later].push_back(earlier);
+        succs_[earlier].push_back(later);
+      }
+    }
+  }
+}
+
+bool DependenceDag::depends(size_t later, size_t earlier) const {
+  SF_REQUIRE(later < n_ && earlier < n_, "DependenceDag index out of range");
+  return dep_[later][earlier];
+}
+
+const std::vector<size_t>& DependenceDag::preds(size_t i) const {
+  SF_REQUIRE(i < n_, "DependenceDag index out of range");
+  return preds_[i];
+}
+
+const std::vector<size_t>& DependenceDag::succs(size_t i) const {
+  SF_REQUIRE(i < n_, "DependenceDag index out of range");
+  return succs_[i];
+}
+
+bool DependenceDag::independent(size_t i, size_t j) const {
+  if (i == j) return false;
+  if (i > j) std::swap(i, j);
+  return !depends(j, i);
+}
+
+std::string DependenceDag::to_dot(const StencilGroup& group) const {
+  std::ostringstream os;
+  os << "digraph stencil_deps {\n";
+  for (size_t i = 0; i < n_; ++i) {
+    os << "  s" << i << " [label=\"" << i << ": " << group[i].name() << "\"];\n";
+  }
+  for (size_t later = 0; later < n_; ++later) {
+    for (size_t earlier : preds_[later]) {
+      os << "  s" << earlier << " -> s" << later << ";\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+namespace {
+
+Schedule make_schedule(const StencilGroup& group, const ShapeMap& shapes,
+                       std::vector<Wave> waves) {
+  Schedule out;
+  out.waves = std::move(waves);
+  out.point_parallel.reserve(group.size());
+  out.rects_independent.reserve(group.size());
+  for (const auto& s : group.stencils()) {
+    out.point_parallel.push_back(point_parallel_safe(s, shapes));
+    out.rects_independent.push_back(union_rects_independent(s, shapes));
+  }
+  return out;
+}
+
+}  // namespace
+
+Schedule greedy_schedule(const StencilGroup& group, const ShapeMap& shapes) {
+  const DependenceDag dag(group, shapes);
+  std::vector<Wave> waves;
+  Wave current;
+  for (size_t i = 0; i < group.size(); ++i) {
+    bool blocked = false;
+    for (size_t member : current.stencils) {
+      if (dag.depends(i, member)) {
+        blocked = true;
+        break;
+      }
+    }
+    if (blocked) {
+      waves.push_back(std::move(current));
+      current = Wave{};
+    }
+    current.stencils.push_back(i);
+  }
+  if (!current.stencils.empty()) waves.push_back(std::move(current));
+  return make_schedule(group, shapes, std::move(waves));
+}
+
+Schedule barrier_per_stencil_schedule(const StencilGroup& group,
+                                      const ShapeMap& shapes) {
+  std::vector<Wave> waves;
+  waves.reserve(group.size());
+  for (size_t i = 0; i < group.size(); ++i) waves.push_back(Wave{{i}});
+  return make_schedule(group, shapes, std::move(waves));
+}
+
+}  // namespace snowflake

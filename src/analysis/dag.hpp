@@ -1,0 +1,70 @@
+#pragma once
+// Dependence DAG and barrier scheduling for StencilGroups (paper §IV-A).
+//
+// The OpenMP micro-compiler runs stencils of a group as tasks and inserts a
+// barrier only when the next stencil depends on one already in the current
+// wave — the paper's greedy grouping.  The DAG itself also supports the
+// reordering and dead-stencil analyses.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "analysis/dependence.hpp"
+#include "ir/stencil.hpp"
+#include "ir/validate.hpp"
+
+namespace snowflake {
+
+/// Exact pairwise dependence structure of a group under concrete shapes.
+class DependenceDag {
+public:
+  DependenceDag(const StencilGroup& group, const ShapeMap& shapes);
+
+  size_t size() const { return n_; }
+
+  /// Does stencil `later` (index) depend on stencil `earlier` (index)?
+  bool depends(size_t later, size_t earlier) const;
+
+  /// Direct predecessors (earlier stencils it depends on), ascending.
+  const std::vector<size_t>& preds(size_t i) const;
+
+  /// Direct successors, ascending.
+  const std::vector<size_t>& succs(size_t i) const;
+
+  /// Can stencils i and j be swapped / run concurrently (no dependence in
+  /// either direction)?  i, j in original program order.
+  bool independent(size_t i, size_t j) const;
+
+  /// Graphviz dot rendering (for docs / debugging).
+  std::string to_dot(const StencilGroup& group) const;
+
+private:
+  size_t n_;
+  std::vector<std::vector<bool>> dep_;  // dep_[later][earlier]
+  std::vector<std::vector<size_t>> preds_;
+  std::vector<std::vector<size_t>> succs_;
+};
+
+/// One barrier-free batch of concurrently runnable stencils.
+struct Wave {
+  std::vector<size_t> stencils;  // indices into the group, program order
+};
+
+/// A full schedule: waves separated by barriers, plus per-stencil
+/// point-parallelism flags (can the backend parallelize within it?).
+struct Schedule {
+  std::vector<Wave> waves;
+  std::vector<bool> point_parallel;      // indexed by stencil
+  std::vector<bool> rects_independent;   // union members may interleave
+};
+
+/// The paper's greedy wave grouping: scan in program order, close the
+/// current wave when the next stencil depends on a member of it.
+Schedule greedy_schedule(const StencilGroup& group, const ShapeMap& shapes);
+
+/// Barrier after every stencil (the naive baseline used by ablation A5).
+Schedule barrier_per_stencil_schedule(const StencilGroup& group,
+                                      const ShapeMap& shapes);
+
+}  // namespace snowflake

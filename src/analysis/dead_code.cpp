@@ -1,0 +1,73 @@
+#include "analysis/dead_code.hpp"
+
+#include "analysis/dag.hpp"
+#include "support/error.hpp"
+
+namespace snowflake {
+
+std::vector<bool> live_stencils(const StencilGroup& group,
+                                const std::set<std::string>& live_outputs) {
+  std::vector<bool> live(group.size(), false);
+  std::set<std::string> needed = live_outputs;
+  // Backward: the last writer of a needed grid is live; its inputs become
+  // needed.  An overwritten-then-rewritten grid keeps earlier writers live
+  // only while some later live stencil still reads them — grid-granular, so
+  // any earlier write to a still-needed grid stays live (a full-overwrite
+  // kill analysis would need region subtraction; see DESIGN.md).
+  for (size_t idx = group.size(); idx-- > 0;) {
+    const Stencil& s = group[idx];
+    if (needed.count(s.output()) == 0) continue;
+    live[idx] = true;
+    for (const auto& g : s.inputs()) needed.insert(g);
+  }
+  return live;
+}
+
+StencilGroup eliminate_dead_stencils(const StencilGroup& group,
+                                     const std::set<std::string>& live_outputs) {
+  const auto live = live_stencils(group, live_outputs);
+  StencilGroup out;
+  for (size_t i = 0; i < group.size(); ++i) {
+    if (live[i]) out.append(group[i]);
+  }
+  return out;
+}
+
+bool can_swap_adjacent(const StencilGroup& group, size_t i, const ShapeMap& shapes) {
+  SF_REQUIRE(i + 1 < group.size(), "can_swap_adjacent index out of range");
+  return !stencils_dependent(group[i], group[i + 1], shapes);
+}
+
+StencilGroup reorder_for_waves(const StencilGroup& group, const ShapeMap& shapes) {
+  const DependenceDag dag(group, shapes);
+  // Level-order list scheduling: each round emits every stencil whose
+  // predecessors were emitted in *earlier* rounds (ties keep program
+  // order), so independent chain heads batch into one wave.
+  std::vector<bool> emitted(group.size(), false);
+  StencilGroup out;
+  size_t remaining = group.size();
+  while (remaining > 0) {
+    std::vector<size_t> round;
+    for (size_t i = 0; i < group.size(); ++i) {
+      if (emitted[i]) continue;
+      bool ready = true;
+      for (size_t p : dag.preds(i)) {
+        if (!emitted[p]) {
+          ready = false;
+          break;
+        }
+      }
+      if (ready) round.push_back(i);
+    }
+    SF_ASSERT(!round.empty(),
+              "reorder_for_waves: dependence cycle (impossible for a DAG)");
+    for (size_t i : round) {
+      out.append(group[i]);
+      emitted[i] = true;
+      --remaining;
+    }
+  }
+  return out;
+}
+
+}  // namespace snowflake

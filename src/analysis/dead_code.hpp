@@ -1,0 +1,34 @@
+#pragma once
+// Dead-stencil elimination and legal reordering (paper §III: "can also be
+// used for eliminating dead stencils and reordering computations"; §VII
+// plans both — we implement them).
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ir/stencil.hpp"
+#include "ir/validate.hpp"
+
+namespace snowflake {
+
+/// Liveness of each stencil given the grids whose final contents matter.
+/// A stencil is live if any part of what it writes can reach a live output:
+/// a backward sweep marks a stencil live when its output grid is in the
+/// live set, then adds its inputs.  Conservative at grid granularity (no
+/// partial-region killing).
+std::vector<bool> live_stencils(const StencilGroup& group,
+                                const std::set<std::string>& live_outputs);
+
+/// Group with dead stencils removed.
+StencilGroup eliminate_dead_stencils(const StencilGroup& group,
+                                     const std::set<std::string>& live_outputs);
+
+/// Is swapping adjacent stencils i and i+1 observationally legal?
+bool can_swap_adjacent(const StencilGroup& group, size_t i, const ShapeMap& shapes);
+
+/// Stable reorder that sinks each stencil as early as dependences permit
+/// (a canonical order that maximizes wave sizes for the greedy scheduler).
+StencilGroup reorder_for_waves(const StencilGroup& group, const ShapeMap& shapes);
+
+}  // namespace snowflake

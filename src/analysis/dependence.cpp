@@ -1,0 +1,84 @@
+#include "analysis/dependence.hpp"
+
+#include "domain/domain_algebra.hpp"
+
+namespace snowflake {
+
+Dependence stencil_dependence(const Stencil& earlier, const Stencil& later,
+                              const ShapeMap& shapes) {
+  const ResolvedUnion dom_e = resolved_domain(earlier, shapes);
+  const ResolvedUnion dom_l = resolved_domain(later, shapes);
+  const auto acc_e = accesses_of(earlier);
+  const auto acc_l = accesses_of(later);
+
+  Dependence dep;
+  for (const auto& a : acc_e) {
+    for (const auto& b : acc_l) {
+      if (a.grid != b.grid) continue;
+      if (!a.is_write && !b.is_write) continue;  // read-read never conflicts
+      if (dep.raw && dep.war && dep.waw) return dep;
+      const ResolvedUnion ra = access_region(a, dom_e);
+      const ResolvedUnion rb = access_region(b, dom_l);
+      if (unions_disjoint(ra, rb)) continue;
+      if (a.is_write && b.is_write) {
+        dep.waw = true;
+      } else if (a.is_write) {
+        dep.raw = true;
+      } else {
+        dep.war = true;
+      }
+    }
+  }
+  return dep;
+}
+
+bool stencils_dependent(const Stencil& earlier, const Stencil& later,
+                        const ShapeMap& shapes) {
+  return stencil_dependence(earlier, later, shapes).any();
+}
+
+bool point_parallel_safe(const Stencil& stencil, const ShapeMap& shapes) {
+  if (!stencil.is_in_place()) return true;
+  const ResolvedUnion domain = resolved_domain(stencil, shapes);
+  for (const auto& access : accesses_of(stencil)) {
+    if (access.is_write || access.grid != stencil.output()) continue;
+    // Reading the iteration point itself is not loop-carried.
+    if (access.map.is_identity()) continue;
+    const ResolvedUnion region = access_region(access, domain);
+    // A pure offset o != 0 reading inside the write region means some other
+    // iteration's output is consumed; non-identity general maps are treated
+    // conservatively the same way.
+    if (!unions_disjoint(region, domain)) return false;
+  }
+  return true;
+}
+
+bool union_rects_independent(const Stencil& stencil, const ShapeMap& shapes) {
+  const ResolvedUnion domain = resolved_domain(stencil, shapes);
+  const auto& rects = domain.rects();
+  if (rects.size() <= 1) return true;
+
+  // Self-reads of the output grid through non-identity maps.
+  std::vector<Access> self_reads;
+  for (const auto& access : accesses_of(stencil)) {
+    if (!access.is_write && access.grid == stencil.output() &&
+        !access.map.is_identity()) {
+      self_reads.push_back(access);
+    }
+  }
+
+  for (size_t i = 0; i < rects.size(); ++i) {
+    const ResolvedUnion wi(std::vector<ResolvedRect>{rects[i]});
+    for (size_t j = 0; j < rects.size(); ++j) {
+      if (i == j) continue;
+      const ResolvedUnion wj(std::vector<ResolvedRect>{rects[j]});
+      if (!unions_disjoint(wi, wj)) return false;  // WAW between rects
+      for (const auto& access : self_reads) {
+        if (!unions_disjoint(wi, access_region(access, wj))) return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace snowflake

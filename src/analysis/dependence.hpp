@@ -1,0 +1,47 @@
+#pragma once
+// Pairwise and self dependence tests over finite domains (paper Section III).
+//
+// Two stencils are dependent when one's write region intersects the other's
+// read or write region on the same grid (RAW, WAR, WAW).  Regions are exact
+// unions of strided rects, and intersection is the CRT/Diophantine test in
+// domain_algebra — so boundary-vs-interior and red-vs-black independence is
+// *proved*, not approximated.  This finite-domain exactness is the paper's
+// differentiator from Halide's infinite-domain interval analysis.
+
+#include "analysis/access.hpp"
+#include "ir/stencil.hpp"
+#include "ir/validate.hpp"
+
+namespace snowflake {
+
+/// Kinds of dependence found between an earlier and a later stencil.
+struct Dependence {
+  bool raw = false;  // later reads what earlier writes
+  bool war = false;  // later writes what earlier reads
+  bool waw = false;  // both write a common point
+  bool any() const { return raw || war || waw; }
+};
+
+/// Exact dependence between `earlier` and `later` under concrete shapes.
+Dependence stencil_dependence(const Stencil& earlier, const Stencil& later,
+                              const ShapeMap& shapes);
+
+/// True if some point of the earlier's write region is read or written by
+/// the later stencil.
+bool stencils_dependent(const Stencil& earlier, const Stencil& later,
+                        const ShapeMap& shapes);
+
+/// Can every point of the stencil's domain be updated concurrently?
+/// True for out-of-place stencils whose output is not read, and for
+/// in-place stencils that only read their output at the iteration point
+/// itself (identity map) or at points provably outside the write region
+/// (e.g. a red sweep reading black neighbours).  Reads through non-identity
+/// maps that land inside the write region are conservatively unsafe.
+bool point_parallel_safe(const Stencil& stencil, const ShapeMap& shapes);
+
+/// For an in-place stencil over a DomainUnion executed rect-by-rect: does
+/// rect r2's read region include points rect r1 writes (r1 before r2)?
+/// When false for all pairs, the member rects may also run concurrently.
+bool union_rects_independent(const Stencil& stencil, const ShapeMap& shapes);
+
+}  // namespace snowflake

@@ -1,0 +1,197 @@
+#include "analysis/diophantine.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+
+#include "domain/domain_algebra.hpp"
+#include "support/error.hpp"
+#include "support/int_math.hpp"
+
+namespace snowflake {
+
+std::optional<DiophantineSolution> solve_linear_diophantine(std::int64_t a,
+                                                            std::int64_t b,
+                                                            std::int64_t c) {
+  if (a == 0 && b == 0) {
+    if (c != 0) return std::nullopt;
+    return DiophantineSolution{0, 0, 0, 0};
+  }
+  const ExtGcd eg = ext_gcd(a, b);
+  if (c % eg.g != 0) return std::nullopt;
+  const std::int64_t scale = c / eg.g;
+  return DiophantineSolution{eg.x * scale, eg.y * scale, b / eg.g, -a / eg.g};
+}
+
+std::optional<std::int64_t> solve_congruence(std::int64_t a, std::int64_t c,
+                                             std::int64_t m) {
+  SF_REQUIRE(m >= 1, "solve_congruence modulus must be >= 1");
+  // a*x ≡ c (mod m)  <=>  a*x - m*y = c for some y.
+  auto sol = solve_linear_diophantine(a, -m, c);
+  if (!sol) return std::nullopt;
+  if (sol->step_x == 0) {
+    // a == 0 (mod handled): x unconstrained; smallest non-negative is 0 when
+    // the equation holds at all.
+    return std::int64_t{0};
+  }
+  return mod_floor(sol->x0, sol->step_x);
+}
+
+namespace {
+
+/// The value set {coef*x + offset : x in range} as a ResolvedRange.
+/// Returns an empty range when `range` is empty.
+ResolvedRange affine_progression(std::int64_t coef, std::int64_t offset,
+                                 const ResolvedRange& range) {
+  if (range.empty()) return ResolvedRange{0, 0, 1};
+  if (coef == 0) return ResolvedRange{offset, offset + 1, 1};
+  const std::int64_t n = range.count();
+  const std::int64_t a_val = coef * range.lo + offset;
+  const std::int64_t b_val = coef * range.last() + offset;
+  const std::int64_t lo = std::min(a_val, b_val);
+  const std::int64_t hi = std::max(a_val, b_val);
+  std::int64_t stride = std::abs(coef) * range.stride;
+  if (n == 1) stride = 1;
+  return ResolvedRange{lo, hi + 1, stride};
+}
+
+}  // namespace
+
+std::int64_t poly_eval(const Polynomial& p, std::int64_t x) {
+  // Horner with __int128 accumulation, saturated back to int64 (analysis
+  // only compares signs and equality with 0, so saturation is safe).
+  __int128 acc = 0;
+  for (size_t i = p.size(); i-- > 0;) {
+    acc = acc * x + p[i];
+    if (acc > std::numeric_limits<std::int64_t>::max()) {
+      acc = std::numeric_limits<std::int64_t>::max();
+    }
+    if (acc < std::numeric_limits<std::int64_t>::min()) {
+      acc = std::numeric_limits<std::int64_t>::min();
+    }
+  }
+  return static_cast<std::int64_t>(acc);
+}
+
+namespace {
+
+Polynomial derivative(const Polynomial& p) {
+  Polynomial d;
+  for (size_t i = 1; i < p.size(); ++i) {
+    d.push_back(static_cast<std::int64_t>(i) * p[i]);
+  }
+  if (d.empty()) d.push_back(0);
+  return d;
+}
+
+int degree_of(const Polynomial& p) {
+  for (size_t i = p.size(); i-- > 0;) {
+    if (p[i] != 0) return static_cast<int>(i);
+  }
+  return 0;
+}
+
+int sign_of(std::int64_t v) { return v > 0 ? 1 : (v < 0 ? -1 : 0); }
+
+/// Integer points a in [lo, hi) where f's sign at a differs from its sign
+/// at a+1 (counting 0 as its own sign) — i.e. where f crosses or touches
+/// zero.  Recursion: the flips of f' partition [lo, hi] into segments on
+/// which f is strictly monotone over the reals, so each segment holds at
+/// most one flip of f, found by binary search.
+std::vector<std::int64_t> sign_flips(const Polynomial& f, std::int64_t lo,
+                                     std::int64_t hi) {
+  std::vector<std::int64_t> out;
+  if (lo >= hi) return out;
+  if (degree_of(f) == 0) return out;  // constant sign
+  std::vector<std::int64_t> cuts{lo, hi};
+  for (std::int64_t c : sign_flips(derivative(f), lo, hi)) {
+    cuts.push_back(c);
+    cuts.push_back(c + 1);
+  }
+  std::sort(cuts.begin(), cuts.end());
+  cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+  for (size_t i = 0; i + 1 < cuts.size(); ++i) {
+    std::int64_t a = cuts[i], b = cuts[i + 1];
+    const int sa = sign_of(poly_eval(f, a));
+    const int sb = sign_of(poly_eval(f, b));
+    if (sa == sb && sa != 0) continue;
+    // Binary search for the flip point (f monotone on [a, b]).
+    while (a + 1 < b) {
+      const std::int64_t mid = a + (b - a) / 2;
+      if (sign_of(poly_eval(f, mid)) == sa) {
+        a = mid;
+      } else {
+        b = mid;
+      }
+    }
+    out.push_back(a);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+/// All integer roots of p in [lo, hi].
+std::vector<std::int64_t> integer_roots(const Polynomial& p, std::int64_t lo,
+                                        std::int64_t hi) {
+  std::vector<std::int64_t> roots;
+  if (lo > hi) return roots;
+  if (degree_of(p) == 0) {
+    // Constant: everywhere-zero (lo as witness) or rootless.
+    if (poly_eval(p, lo) == 0) roots.push_back(lo);
+    return roots;
+  }
+  // A root is an endpoint of a sign flip (or sits exactly at one).
+  for (std::int64_t a : sign_flips(p, lo, hi)) {
+    if (poly_eval(p, a) == 0) roots.push_back(a);
+    if (a + 1 <= hi && poly_eval(p, a + 1) == 0) roots.push_back(a + 1);
+  }
+  if (poly_eval(p, lo) == 0) roots.push_back(lo);
+  if (poly_eval(p, hi) == 0) roots.push_back(hi);
+  std::sort(roots.begin(), roots.end());
+  roots.erase(std::unique(roots.begin(), roots.end()), roots.end());
+  return roots;
+}
+
+}  // namespace
+
+bool poly_has_root_in(const Polynomial& p, const ResolvedRange& xs) {
+  SF_REQUIRE(!p.empty(), "poly_has_root_in: empty polynomial");
+  SF_REQUIRE(degree_of(p) <= 8, "poly_has_root_in supports degree <= 8");
+  if (xs.empty()) return false;
+  for (std::int64_t r : integer_roots(p, xs.lo, xs.last())) {
+    if (xs.contains(r)) return true;
+  }
+  // Degenerate everywhere-zero constant handled by integer_roots witness.
+  return false;
+}
+
+bool polys_intersect_in(const Polynomial& p, const ResolvedRange& xs,
+                        const Polynomial& q, const ResolvedRange& ys) {
+  if (xs.empty() || ys.empty()) return false;
+  constexpr std::int64_t kSubstitutionBudget = 4096;
+  // Substitute over the smaller range: p(x) = q(y0) is a root problem.
+  const ResolvedRange& outer = xs.count() <= ys.count() ? xs : ys;
+  const Polynomial& outer_poly = xs.count() <= ys.count() ? p : q;
+  const ResolvedRange& inner = xs.count() <= ys.count() ? ys : xs;
+  const Polynomial& inner_poly = xs.count() <= ys.count() ? q : p;
+  if (outer.count() > kSubstitutionBudget) return true;  // may-conflict
+  for (std::int64_t v = outer.lo; v < outer.hi; v += outer.stride) {
+    Polynomial shifted = inner_poly;
+    shifted[0] -= poly_eval(outer_poly, v);
+    if (poly_has_root_in(shifted, inner)) return true;
+  }
+  return false;
+}
+
+bool has_solution_in(std::int64_t a, std::int64_t b, std::int64_t c,
+                     const ResolvedRange& xs, const ResolvedRange& ys) {
+  // a*x + b*y = c has an in-range solution iff the value sets {a*x} and
+  // {c - b*y} intersect.  Both are arithmetic progressions, so the finite-
+  // domain Diophantine question becomes a CRT range intersection.
+  const ResolvedRange lhs = affine_progression(a, 0, xs);
+  const ResolvedRange rhs = affine_progression(-b, c, ys);
+  return intersect_ranges(lhs, rhs).has_value();
+}
+
+}  // namespace snowflake

@@ -1,0 +1,76 @@
+#pragma once
+// Linear Diophantine equation machinery (paper Section III).
+//
+// Stencil dependence questions reduce, dimension by dimension, to: do two
+// integer affine progressions share a point?  Writing the accessed index of
+// iteration x as (a1*x + b1) and of iteration y as (a2*y + b2) with x, y
+// ranging over strided finite intervals, a conflict exists iff the linear
+// Diophantine equation a1*x - a2*y = b2 - b1 has a solution with both
+// variables in range.  The general solution comes from the extended
+// Euclidean algorithm; finiteness of the domain turns "has a solution" into
+// interval arithmetic on the solution's one-parameter family.  The paper
+// restricts the language to the affine/polynomial fragment where this is
+// decidable (avoiding the MRDP undecidability of general Diophantine
+// systems); we implement the affine fragment, which covers every stencil in
+// the evaluation.
+
+#include <cstdint>
+#include <optional>
+
+#include "domain/resolved.hpp"
+
+namespace snowflake {
+
+/// General solution of a*x + b*y = c: (x0 + k*step_x, y0 + k*step_y).
+struct DiophantineSolution {
+  std::int64_t x0 = 0;
+  std::int64_t y0 = 0;
+  std::int64_t step_x = 0;  // = b / gcd(a,b)
+  std::int64_t step_y = 0;  // = -a / gcd(a,b)
+};
+
+/// Solve a*x + b*y = c over the integers; nullopt when unsolvable.
+/// Degenerate cases: a == b == 0 is solvable iff c == 0 (any x, y).
+std::optional<DiophantineSolution> solve_linear_diophantine(std::int64_t a,
+                                                            std::int64_t b,
+                                                            std::int64_t c);
+
+/// Smallest non-negative x with a*x ≡ c (mod m), m >= 1; nullopt when
+/// unsolvable.
+std::optional<std::int64_t> solve_congruence(std::int64_t a, std::int64_t c,
+                                             std::int64_t m);
+
+/// Does a*x + b*y = c admit a solution with x in xs and y in ys?
+/// xs/ys are strided finite ranges (the resolved iteration ranges).
+bool has_solution_in(std::int64_t a, std::int64_t b, std::int64_t c,
+                     const ResolvedRange& xs, const ResolvedRange& ys);
+
+// --- Polynomial fragment ----------------------------------------------------
+//
+// The paper §III: "We allow the usage of polynomial indexing ... affine and
+// polynomial Diophantine equations can be solved or shown to be
+// unsatisfiable".  Over *finite* domains the quadratic case reduces to
+// integer root extraction — decidable without touching the MRDP wall.
+
+/// A univariate integer polynomial c0 + c1*x + c2*x^2 + ... (degree =
+/// coefficients.size() - 1).
+using Polynomial = std::vector<std::int64_t>;
+
+/// Evaluate p at x.
+std::int64_t poly_eval(const Polynomial& p, std::int64_t x);
+
+/// Does p(x) == 0 admit a solution with x in xs?  Exact: monotone-segment
+/// isolation (segments bounded by the recursively-computed critical points
+/// of p) followed by binary search per segment — O(degree * log(range))
+/// integer evaluations, no enumeration.  Degree is capped at 8 (far above
+/// any stencil indexing polynomial).
+bool poly_has_root_in(const Polynomial& p, const ResolvedRange& xs);
+
+/// Do p(x) == q(y) meet with x in xs, y in ys?  Sound for dependence
+/// testing: exact when either range is small enough to substitute
+/// (finite-domain reduction to poly_has_root_in); otherwise returns true
+/// (may-conflict) — over-approximation never hides a real dependence.
+bool polys_intersect_in(const Polynomial& p, const ResolvedRange& xs,
+                        const Polynomial& q, const ResolvedRange& ys);
+
+}  // namespace snowflake

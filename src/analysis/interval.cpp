@@ -1,0 +1,143 @@
+#include "analysis/interval.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace snowflake {
+
+namespace {
+
+struct Box {
+  Index lo;
+  Index hi;  // inclusive
+  bool empty = true;
+};
+
+/// Per-dimension hull of a union (the interval abstraction).
+Box hull_of(const ResolvedUnion& u) {
+  Box box;
+  for (const auto& rect : u.rects()) {
+    if (rect.empty()) continue;
+    if (box.empty) {
+      box.lo.assign(static_cast<size_t>(rect.rank()), 0);
+      box.hi.assign(static_cast<size_t>(rect.rank()), 0);
+      for (int d = 0; d < rect.rank(); ++d) {
+        box.lo[static_cast<size_t>(d)] = rect.range(d).lo;
+        box.hi[static_cast<size_t>(d)] = rect.range(d).last();
+      }
+      box.empty = false;
+      continue;
+    }
+    for (int d = 0; d < rect.rank(); ++d) {
+      box.lo[static_cast<size_t>(d)] =
+          std::min(box.lo[static_cast<size_t>(d)], rect.range(d).lo);
+      box.hi[static_cast<size_t>(d)] =
+          std::max(box.hi[static_cast<size_t>(d)], rect.range(d).last());
+    }
+  }
+  return box;
+}
+
+bool boxes_overlap(const Box& a, const Box& b) {
+  if (a.empty || b.empty) return false;
+  SF_ASSERT(a.lo.size() == b.lo.size(), "interval rank mismatch");
+  for (size_t d = 0; d < a.lo.size(); ++d) {
+    if (a.hi[d] < b.lo[d] || b.hi[d] < a.lo[d]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool intervals_may_conflict(const ResolvedUnion& a, const ResolvedUnion& b) {
+  return boxes_overlap(hull_of(a), hull_of(b));
+}
+
+bool stencils_dependent_interval(const Stencil& earlier, const Stencil& later,
+                                 const ShapeMap& shapes) {
+  const ResolvedUnion dom_e = resolved_domain(earlier, shapes);
+  const ResolvedUnion dom_l = resolved_domain(later, shapes);
+  for (const auto& a : accesses_of(earlier)) {
+    for (const auto& b : accesses_of(later)) {
+      if (a.grid != b.grid) continue;
+      if (!a.is_write && !b.is_write) continue;
+      if (intervals_may_conflict(access_region(a, dom_e),
+                                 access_region(b, dom_l))) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+bool point_parallel_safe_interval(const Stencil& stencil, const ShapeMap& shapes) {
+  if (!stencil.is_in_place()) return true;
+  const ResolvedUnion domain = resolved_domain(stencil, shapes);
+  for (const auto& access : accesses_of(stencil)) {
+    if (access.is_write || access.grid != stencil.output()) continue;
+    if (access.map.is_identity()) continue;
+    if (intervals_may_conflict(access_region(access, domain), domain)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Schedule greedy_schedule_interval(const StencilGroup& group,
+                                  const ShapeMap& shapes) {
+  // Same greedy rule as greedy_schedule, with the coarse dependence test.
+  std::vector<Wave> waves;
+  Wave current;
+  for (size_t i = 0; i < group.size(); ++i) {
+    bool blocked = false;
+    for (size_t member : current.stencils) {
+      if (stencils_dependent_interval(group[member], group[i], shapes)) {
+        blocked = true;
+        break;
+      }
+    }
+    if (blocked) {
+      waves.push_back(std::move(current));
+      current = Wave{};
+    }
+    current.stencils.push_back(i);
+  }
+  if (!current.stencils.empty()) waves.push_back(std::move(current));
+
+  Schedule out;
+  out.waves = std::move(waves);
+  for (const auto& s : group.stencils()) {
+    out.point_parallel.push_back(point_parallel_safe_interval(s, shapes));
+    out.rects_independent.push_back(union_rects_independent_interval(s, shapes));
+  }
+  return out;
+}
+
+bool union_rects_independent_interval(const Stencil& stencil,
+                                      const ShapeMap& shapes) {
+  const ResolvedUnion domain = resolved_domain(stencil, shapes);
+  const auto& rects = domain.rects();
+  if (rects.size() <= 1) return true;
+  std::vector<Access> self_reads;
+  for (const auto& access : accesses_of(stencil)) {
+    if (!access.is_write && access.grid == stencil.output() &&
+        !access.map.is_identity()) {
+      self_reads.push_back(access);
+    }
+  }
+  for (size_t i = 0; i < rects.size(); ++i) {
+    const ResolvedUnion wi(std::vector<ResolvedRect>{rects[i]});
+    for (size_t j = 0; j < rects.size(); ++j) {
+      if (i == j) continue;
+      const ResolvedUnion wj(std::vector<ResolvedRect>{rects[j]});
+      if (intervals_may_conflict(wi, wj)) return false;
+      for (const auto& access : self_reads) {
+        if (intervals_may_conflict(wi, access_region(access, wj))) return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace snowflake

@@ -1,0 +1,49 @@
+#pragma once
+// Interval (bounding-box) dependence analysis — the strawman the paper
+// argues against.
+//
+// Halide-style analyses approximate every access region by its bounding
+// interval per dimension and treat grids as effectively infinite; two
+// stencils conflict whenever their boxes overlap on a common grid.  That
+// loses exactly the structure scientific stencils live on: a Dirichlet
+// edge writing ghost row 0 *overlaps the bounding box* of an interior
+// stencil's reads (rows 0..N-1) even though the paper's finite-domain
+// Diophantine analysis proves the strided/offset point sets disjoint
+// (§III: "boundary conditions ... do not create false dependencies which
+// infinite-domain analyses such as Halide's interval analysis would
+// flag").
+//
+// This module implements that coarser analysis honestly so the claim is
+// *measurable*: tests and the A7 ablation count the parallelism each
+// analysis recovers on the same programs.
+
+#include "analysis/dag.hpp"
+#include "analysis/dependence.hpp"
+
+namespace snowflake {
+
+/// Bounding-interval conflict test: do the per-dimension [lo, hi] hulls of
+/// the two access regions intersect?  (Strides and congruences ignored —
+/// the information interval analysis discards.)
+bool intervals_may_conflict(const ResolvedUnion& a, const ResolvedUnion& b);
+
+/// Interval-analysis version of stencil dependence: conflicts whenever
+/// bounding boxes of a write and another access overlap on the same grid.
+bool stencils_dependent_interval(const Stencil& earlier, const Stencil& later,
+                                 const ShapeMap& shapes);
+
+/// Interval-analysis version of in-place point-parallel safety: any
+/// non-identity self-read whose hull overlaps the write hull is unsafe
+/// (which flags every colored in-place sweep).
+bool point_parallel_safe_interval(const Stencil& stencil, const ShapeMap& shapes);
+
+/// Interval version of union_rects_independent (hull checks only).
+bool union_rects_independent_interval(const Stencil& stencil,
+                                      const ShapeMap& shapes);
+
+/// Greedy wave schedule computed with interval dependence — directly
+/// comparable to greedy_schedule().
+Schedule greedy_schedule_interval(const StencilGroup& group,
+                                  const ShapeMap& shapes);
+
+}  // namespace snowflake

@@ -1,0 +1,132 @@
+#include "backend/backend.hpp"
+
+#include <algorithm>
+#include <mutex>
+
+#include "support/error.hpp"
+
+namespace snowflake {
+
+namespace {
+
+std::map<std::string, std::shared_ptr<Backend>>& registry() {
+  static std::map<std::string, std::shared_ptr<Backend>> backends;
+  return backends;
+}
+
+std::mutex& registry_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+// Built-in backends register themselves on first use.
+void ensure_builtins_registered();
+
+}  // namespace
+
+void Backend::register_backend(std::shared_ptr<Backend> backend) {
+  SF_REQUIRE(backend != nullptr, "cannot register a null backend");
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  registry()[backend->name()] = std::move(backend);
+}
+
+Backend& Backend::get(const std::string& name) {
+  ensure_builtins_registered();
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  auto it = registry().find(name);
+  if (it == registry().end()) {
+    throw LookupError("no backend named '" + name + "' is registered");
+  }
+  return *it->second;
+}
+
+std::vector<std::string> Backend::registered() {
+  ensure_builtins_registered();
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  std::vector<std::string> names;
+  names.reserve(registry().size());
+  for (const auto& [name, backend] : registry()) names.push_back(name);
+  return names;
+}
+
+std::vector<double*> Backend::bind_grids(GridSet& grids, const ShapeMap& shapes,
+                                         const std::vector<std::string>& order) {
+  std::vector<double*> pointers;
+  pointers.reserve(order.size());
+  for (const auto& name : order) {
+    Grid& grid = grids.at(name);
+    const Index& expected = shapes.at(name);
+    SF_REQUIRE(grid.shape() == expected,
+               "grid '" + name + "' shape does not match the compiled shape (" +
+                   grid.layout().to_string() + " vs compiled " +
+                   Layout(expected).to_string() + ")");
+    pointers.push_back(grid.data());
+  }
+  // Distinct grids must not alias (generated code declares them restrict).
+  for (size_t i = 0; i < pointers.size(); ++i) {
+    for (size_t j = i + 1; j < pointers.size(); ++j) {
+      SF_REQUIRE(pointers[i] != pointers[j],
+                 "grids '" + order[i] + "' and '" + order[j] +
+                     "' alias the same storage");
+    }
+  }
+  return pointers;
+}
+
+std::vector<double> Backend::bind_params(const ParamMap& params,
+                                         const std::vector<std::string>& order) {
+  std::vector<double> values;
+  values.reserve(order.size());
+  for (const auto& name : order) {
+    auto it = params.find(name);
+    if (it == params.end()) {
+      throw LookupError("kernel requires parameter '" + name +
+                        "' which was not supplied");
+    }
+    values.push_back(it->second);
+  }
+  return values;
+}
+
+std::unique_ptr<CompiledKernel> compile(const StencilGroup& group,
+                                        const ShapeMap& shapes,
+                                        const std::string& backend,
+                                        const CompileOptions& options) {
+  return Backend::get(backend).compile(group, shapes, options);
+}
+
+std::unique_ptr<CompiledKernel> compile(const StencilGroup& group,
+                                        const GridSet& grids,
+                                        const std::string& backend,
+                                        const CompileOptions& options) {
+  return compile(group, shapes_of(grids), backend, options);
+}
+
+// Built-in registration lives here to keep a single translation unit
+// responsible for the default registry contents.
+namespace detail {
+std::shared_ptr<Backend> make_reference_backend();
+std::shared_ptr<Backend> make_cseq_backend();
+std::shared_ptr<Backend> make_openmp_backend();
+std::shared_ptr<Backend> make_omptarget_backend();
+std::shared_ptr<Backend> make_oclsim_backend();
+std::shared_ptr<Backend> make_distsim_backend();
+}  // namespace detail
+
+namespace {
+
+void ensure_builtins_registered() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    Backend::register_backend(detail::make_reference_backend());
+    Backend::register_backend(detail::make_cseq_backend());
+    Backend::register_backend(detail::make_openmp_backend());
+    Backend::register_backend(detail::make_omptarget_backend());
+    Backend::register_backend(detail::make_oclsim_backend());
+    Backend::register_backend(detail::make_distsim_backend());
+  });
+}
+
+}  // namespace
+
+}  // namespace snowflake

@@ -1,0 +1,120 @@
+#pragma once
+// Backend interface and registry (paper Figure 5: micro-compilers plug in
+// behind a narrow boundary — the platform expert adds a Backend; the
+// scientist only ever calls compile()).
+//
+// Built-in backends:
+//   "reference" — sequential interpreter, no toolchain needed (oracle).
+//   "c"         — sequential C micro-compiler (JIT via the host compiler).
+//   "openmp"    — C+OpenMP micro-compiler (tasks or parallel-for, tiling,
+//                 multicolor reordering).
+//   "oclsim"    — OpenCL-style micro-compiler executing NDRange work-groups
+//                 on the simulated device (see src/device/).
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "grid/grid_set.hpp"
+#include "ir/stencil.hpp"
+#include "ir/validate.hpp"
+
+namespace snowflake {
+
+/// Scalar arguments supplied at call time (ParamExpr bindings).
+using ParamMap = std::map<std::string, double>;
+
+struct CompileOptions {
+  /// Tile sizes per dimension (empty = untiled).  Applied to parallel nests.
+  Index tile;
+  /// Multicolor reordering: fuse independent strided rects of a wave under
+  /// one memory sweep (§IV-A).
+  bool fuse_colors = false;
+  /// Statement fusion: merge independent same-shape stencils of a wave into
+  /// one loop nest (§VII "mark stencils for fusion").
+  bool fuse_stencils = false;
+  /// Annotate innermost point-parallel loops with `#pragma omp simd`
+  /// (OpenMP backends).
+  bool simd = false;
+  /// OpenMP scheduling style (§IV-A: the paper uses tasks by default).
+  enum class Schedule { Tasks, ParallelFor } schedule = Schedule::Tasks;
+  /// Outer-dim iterations per task when splitting large nests (0 = auto:
+  /// whole-nest tasks).
+  std::int64_t task_grain = 0;
+  /// Replace the greedy wave grouping with a barrier after every stencil
+  /// (ablation A5).
+  bool barrier_per_stencil = false;
+  /// Which dependence analysis drives scheduling: the paper's exact
+  /// finite-domain Diophantine analysis, or the Halide-style interval
+  /// over-approximation (ablation A7 — always correct, less parallel).
+  enum class Analysis { Diophantine, Interval } analysis = Analysis::Diophantine;
+  /// Work-group tile (oclsim backend): the tall-skinny 2D block edge sizes
+  /// in the innermost two dims.  Empty = {16, 64}.
+  Index workgroup;
+  /// Number of simulated distributed ranks (distsim backend); <= 0 picks
+  /// a default of 2.
+  int dist_ranks = 0;
+};
+
+/// A compiled, executable stencil group (the "Python callable" of §IV).
+class CompiledKernel {
+public:
+  virtual ~CompiledKernel() = default;
+
+  /// Execute over the grids (shapes must match the compiled shapes).
+  virtual void run(GridSet& grids, const ParamMap& params = {}) = 0;
+
+  /// Generated source text, when the backend generates any ("" otherwise).
+  virtual std::string source() const { return ""; }
+
+  /// Backend that produced this kernel.
+  virtual std::string backend_name() const = 0;
+
+  /// Modeled device seconds of the last run() (simulated-device backends
+  /// only; 0.0 for backends whose wall-clock time is the real time).
+  virtual double modeled_seconds() const { return 0.0; }
+};
+
+class Backend {
+public:
+  virtual ~Backend() = default;
+
+  virtual std::string name() const = 0;
+
+  virtual std::unique_ptr<CompiledKernel> compile(
+      const StencilGroup& group, const ShapeMap& shapes,
+      const CompileOptions& options) = 0;
+
+  /// Registry -------------------------------------------------------------
+
+  /// Register a backend under its name() (replaces any existing).
+  static void register_backend(std::shared_ptr<Backend> backend);
+
+  /// Look up a backend; throws LookupError for unknown names.
+  static Backend& get(const std::string& name);
+
+  /// Names of all registered backends, sorted.
+  static std::vector<std::string> registered();
+
+  /// Validate grids against compiled shapes and collect pointers/params in
+  /// plan order (shared by every backend's kernel implementation).
+  static std::vector<double*> bind_grids(GridSet& grids, const ShapeMap& shapes,
+                                         const std::vector<std::string>& order);
+  static std::vector<double> bind_params(const ParamMap& params,
+                                         const std::vector<std::string>& order);
+};
+
+/// Convenience: compile with a named backend.
+std::unique_ptr<CompiledKernel> compile(const StencilGroup& group,
+                                        const ShapeMap& shapes,
+                                        const std::string& backend = "openmp",
+                                        const CompileOptions& options = {});
+
+/// Convenience: compile against a GridSet's shapes.
+std::unique_ptr<CompiledKernel> compile(const StencilGroup& group,
+                                        const GridSet& grids,
+                                        const std::string& backend = "openmp",
+                                        const CompileOptions& options = {});
+
+}  // namespace snowflake

@@ -1,0 +1,246 @@
+#include "backend/distsim/distsim_backend.hpp"
+
+#include <cstring>
+
+#include "analysis/dag.hpp"
+#include "domain/domain_algebra.hpp"
+#include "support/error.hpp"
+
+namespace snowflake {
+
+namespace {
+
+struct Slab {
+  std::int64_t lo = 0;  // first owned global row of dim 0
+  std::int64_t hi = 0;  // exclusive
+  std::int64_t len() const { return hi - lo; }
+};
+
+/// Per-rank program: one compiled kernel per wave (null when the wave has
+/// no work on this rank).
+struct RankProgram {
+  GridSet grids;  // private local storage: (len + 2H) x S[1..]
+  std::vector<std::unique_ptr<CompiledKernel>> wave_kernels;
+};
+
+class DistSimKernel final : public CompiledKernel, public DistSimKernelInfo {
+public:
+  DistSimKernel(const StencilGroup& group, const ShapeMap& shapes,
+                const CompileOptions& options) {
+    validate_group(group, shapes);
+    const Schedule schedule = greedy_schedule(group, shapes);
+
+    // --- scope checks (see header) -------------------------------------
+    grid_names_ = std::vector<std::string>();
+    const auto grids = group.grids();
+    grid_names_.assign(grids.begin(), grids.end());
+    global_shape_ = shapes.at(grid_names_.front());
+    for (const auto& g : grid_names_) {
+      SF_REQUIRE(shapes.at(g) == global_shape_,
+                 "distsim requires all grids to share one shape; '" + g +
+                     "' differs");
+    }
+    halo_ = 0;
+    for (const auto& s : group.stencils()) {
+      for (const auto* r : collect_reads(s.expr())) {
+        SF_REQUIRE(r->map().is_pure_offset(),
+                   "distsim supports pure-offset reads only (stencil '" +
+                       s.name() + "' uses " + r->map().to_string() + ")");
+        halo_ = std::max(halo_, std::abs(r->map().dim(0).off));
+      }
+    }
+    for (size_t i = 0; i < group.size(); ++i) {
+      SF_REQUIRE(schedule.point_parallel[i],
+                 "distsim requires point-parallel stencils; '" +
+                     group[i].name() + "' is order-dependent");
+    }
+
+    // --- decomposition ---------------------------------------------------
+    ranks_ = options.dist_ranks > 0 ? options.dist_ranks : 2;
+    const std::int64_t extent = global_shape_[0];
+    SF_REQUIRE(extent >= ranks_, "distsim: dim-0 extent " +
+                                     std::to_string(extent) + " < " +
+                                     std::to_string(ranks_) + " ranks");
+    for (int r = 0; r < ranks_; ++r) {
+      slabs_.push_back(Slab{extent * r / ranks_, extent * (r + 1) / ranks_});
+    }
+    row_doubles_ = 1;
+    for (size_t d = 1; d < global_shape_.size(); ++d) {
+      row_doubles_ *= global_shape_[d];
+    }
+
+    // --- per-rank clipped programs ---------------------------------------
+    Backend& cseq = Backend::get("c");
+    programs_.resize(static_cast<size_t>(ranks_));
+    for (int r = 0; r < ranks_; ++r) {
+      RankProgram& prog = programs_[static_cast<size_t>(r)];
+      Index local_shape = global_shape_;
+      local_shape[0] = slabs_[static_cast<size_t>(r)].len() + 2 * halo_;
+      ShapeMap local_shapes;
+      for (const auto& g : grid_names_) {
+        prog.grids.add_zeros(g, local_shape);
+        local_shapes[g] = local_shape;
+      }
+      for (const auto& wave : schedule.waves) {
+        StencilGroup local_group;
+        for (size_t s : wave.stencils) {
+          auto clipped = clip_stencil(group[s], r);
+          if (clipped) local_group.append(std::move(*clipped));
+        }
+        if (local_group.empty()) {
+          prog.wave_kernels.push_back(nullptr);
+        } else {
+          prog.wave_kernels.push_back(
+              cseq.compile(local_group, local_shapes, CompileOptions{}));
+        }
+      }
+    }
+  }
+
+  void run(GridSet& grids, const ParamMap& params) override {
+    // Validate the *global* environment against the compiled shapes.
+    ShapeMap shapes;
+    for (const auto& g : grid_names_) shapes[g] = global_shape_;
+    const std::vector<double*> global =
+        Backend::bind_grids(grids, shapes, grid_names_);
+    last_halo_bytes_ = 0.0;
+
+    scatter(global);
+    const size_t waves = programs_[0].wave_kernels.size();
+    for (size_t w = 0; w < waves; ++w) {
+      if (w > 0 && halo_ > 0) exchange_halos();
+#pragma omp parallel for schedule(static)
+      for (int r = 0; r < ranks_; ++r) {
+        auto& kernel = programs_[static_cast<size_t>(r)].wave_kernels[w];
+        if (kernel) kernel->run(programs_[static_cast<size_t>(r)].grids, params);
+      }
+    }
+    gather(global);
+  }
+
+  std::string backend_name() const override { return "distsim"; }
+
+  int ranks() const override { return ranks_; }
+  std::int64_t halo_depth() const override { return halo_; }
+  std::vector<std::pair<std::int64_t, std::int64_t>> slabs() const override {
+    std::vector<std::pair<std::int64_t, std::int64_t>> out;
+    for (const auto& s : slabs_) out.emplace_back(s.lo, s.hi);
+    return out;
+  }
+  double last_halo_bytes() const override { return last_halo_bytes_; }
+
+private:
+  /// Clip a stencil's global domain to rank r's owned slab and translate
+  /// into local coordinates; nullopt when no point lands on the rank.
+  std::optional<Stencil> clip_stencil(const Stencil& stencil, int r) const {
+    const Slab& slab = slabs_[static_cast<size_t>(r)];
+    const ResolvedUnion domain = stencil.domain().resolve(global_shape_);
+    const ResolvedRange owned{slab.lo, slab.hi, 1};
+    const std::int64_t shift = halo_ - slab.lo;
+    std::vector<RectDomain> local_rects;
+    for (const auto& rect : domain.rects()) {
+      if (rect.empty()) continue;
+      const auto clipped = intersect_ranges(rect.range(0), owned);
+      if (!clipped) continue;
+      Index start(rect.ranges().size()), stop(rect.ranges().size()),
+          stride(rect.ranges().size());
+      start[0] = clipped->lo + shift;
+      stop[0] = clipped->hi + shift;
+      stride[0] = clipped->stride;
+      for (size_t d = 1; d < rect.ranges().size(); ++d) {
+        start[d] = rect.range(static_cast<int>(d)).lo;
+        stop[d] = rect.range(static_cast<int>(d)).hi;
+        stride[d] = rect.range(static_cast<int>(d)).stride;
+      }
+      local_rects.emplace_back(std::move(start), std::move(stop),
+                               std::move(stride));
+    }
+    if (local_rects.empty()) return std::nullopt;
+    return Stencil(stencil.name() + "@r" + std::to_string(r), stencil.expr(),
+                   stencil.output(), DomainUnion(std::move(local_rects)));
+  }
+
+  double* local_row(int rank, const std::string& grid, std::int64_t local_row_idx) {
+    Grid& g = programs_[static_cast<size_t>(rank)].grids.at(grid);
+    return g.data() + local_row_idx * row_doubles_;
+  }
+
+  void scatter(const std::vector<double*>& global) {
+    for (int r = 0; r < ranks_; ++r) {
+      const Slab& slab = slabs_[static_cast<size_t>(r)];
+      // Copy owned rows plus any in-bounds halo rows in one shot.
+      const std::int64_t g_lo = std::max<std::int64_t>(0, slab.lo - halo_);
+      const std::int64_t g_hi =
+          std::min<std::int64_t>(global_shape_[0], slab.hi + halo_);
+      for (size_t gi = 0; gi < grid_names_.size(); ++gi) {
+        double* dst = local_row(r, grid_names_[gi], g_lo - slab.lo + halo_);
+        const double* src = global[gi] + g_lo * row_doubles_;
+        std::memcpy(dst, src,
+                    static_cast<size_t>((g_hi - g_lo) * row_doubles_) *
+                        sizeof(double));
+      }
+    }
+  }
+
+  void gather(const std::vector<double*>& global) {
+    for (int r = 0; r < ranks_; ++r) {
+      const Slab& slab = slabs_[static_cast<size_t>(r)];
+      for (size_t gi = 0; gi < grid_names_.size(); ++gi) {
+        const double* src = local_row(r, grid_names_[gi], halo_);
+        double* dst = global[gi] + slab.lo * row_doubles_;
+        std::memcpy(dst, src,
+                    static_cast<size_t>(slab.len() * row_doubles_) *
+                        sizeof(double));
+      }
+    }
+  }
+
+  void exchange_halos() {
+    const size_t bytes =
+        static_cast<size_t>(halo_ * row_doubles_) * sizeof(double);
+    for (int r = 0; r + 1 < ranks_; ++r) {
+      const std::int64_t len_r = slabs_[static_cast<size_t>(r)].len();
+      const std::int64_t len_r1 = slabs_[static_cast<size_t>(r + 1)].len();
+      (void)len_r1;
+      for (const auto& g : grid_names_) {
+        // r's last owned rows -> (r+1)'s bottom halo.
+        std::memcpy(local_row(r + 1, g, 0), local_row(r, g, len_r),
+                    bytes);
+        // (r+1)'s first owned rows -> r's top halo.
+        std::memcpy(local_row(r, g, halo_ + len_r),
+                    local_row(r + 1, g, halo_), bytes);
+        last_halo_bytes_ += 2.0 * static_cast<double>(bytes);
+      }
+    }
+  }
+
+  std::vector<std::string> grid_names_;
+  Index global_shape_;
+  std::int64_t halo_ = 0;
+  int ranks_ = 0;
+  std::vector<Slab> slabs_;
+  std::int64_t row_doubles_ = 1;
+  std::vector<RankProgram> programs_;
+  double last_halo_bytes_ = 0.0;
+};
+
+class DistSimBackend final : public Backend {
+public:
+  std::string name() const override { return "distsim"; }
+
+  std::unique_ptr<CompiledKernel> compile(const StencilGroup& group,
+                                          const ShapeMap& shapes,
+                                          const CompileOptions& options) override {
+    return std::make_unique<DistSimKernel>(group, shapes, options);
+  }
+};
+
+}  // namespace
+
+namespace detail {
+std::shared_ptr<Backend> make_distsim_backend() {
+  return std::make_shared<DistSimBackend>();
+}
+}  // namespace detail
+
+}  // namespace snowflake

@@ -1,0 +1,39 @@
+#pragma once
+// Simulated distributed-memory backend ("distsim").
+//
+// SUBSTITUTION (see DESIGN.md): the paper's §VII plans MPI / UPC++
+// backends ("one process per NUMA node").  No multi-node system exists in
+// this environment, so this backend reproduces the *structure* of that
+// port in one process: the outermost dimension is partitioned into R
+// contiguous slabs, each rank owns private copies of every grid (slab plus
+// halo layers — separate allocations, i.e. separate address spaces), wave
+// barriers become rank joins, and halo exchange is an explicit copy
+// between neighbouring ranks' storage before every wave.  Each rank's
+// clipped stencil program is compiled by the sequential C micro-compiler;
+// ranks execute concurrently under OpenMP.
+//
+// Scope: groups whose grids share one shape, whose reads are pure offsets,
+// and whose stencils are all point-parallel (the decomposable common case;
+// restriction/interpolation and sequential scans are rejected with a clear
+// error).  The domain algebra does the heavy lifting: per-rank programs
+// are the *exact* clip-and-translate images of the global domains, so
+// boundary stencils land only on edge ranks automatically.
+
+#include "backend/backend.hpp"
+
+namespace snowflake {
+
+/// Introspection for tests/benches: decomposition geometry of a compiled
+/// distsim kernel (dynamic_cast from CompiledKernel).
+class DistSimKernelInfo {
+public:
+  virtual ~DistSimKernelInfo() = default;
+  virtual int ranks() const = 0;
+  virtual std::int64_t halo_depth() const = 0;
+  /// [start, end) global rows of dim 0 owned by each rank.
+  virtual std::vector<std::pair<std::int64_t, std::int64_t>> slabs() const = 0;
+  /// Bytes moved by halo exchange in the last run().
+  virtual double last_halo_bytes() const = 0;
+};
+
+}  // namespace snowflake

@@ -1,0 +1,161 @@
+#include "backend/jit/jit_backend.hpp"
+
+#include <omp.h>
+
+#include <algorithm>
+
+#include "analysis/dag.hpp"
+#include "analysis/interval.hpp"
+#include "codegen/cemit.hpp"
+#include "codegen/lower.hpp"
+#include "codegen/transform/fusion.hpp"
+#include "codegen/transform/multicolor.hpp"
+#include "codegen/transform/tiling.hpp"
+#include "codegen/verify_plan.hpp"
+#include "jit/cache.hpp"
+#include "support/error.hpp"
+
+namespace snowflake {
+
+namespace {
+
+/// Pick an automatic task grain: enough blocks for ~8 tasks per thread on
+/// the largest nest (the paper splits "larger stencils" into subtasks).
+std::int64_t auto_task_grain(const KernelPlan& plan) {
+  std::int64_t max_outer = 0;
+  for (const auto& nest : plan.nests) {
+    if (nest.dims.empty() || !nest.point_parallel) continue;
+    const LoopDim& d0 = nest.dims[0];
+    const std::int64_t count =
+        d0.hi <= d0.lo ? 0 : (d0.hi - 1 - d0.lo) / d0.stride + 1;
+    max_outer = std::max(max_outer, count);
+  }
+  const std::int64_t target_tasks = 8LL * omp_get_max_threads();
+  if (max_outer <= target_tasks) return 0;  // whole-chain tasks are enough
+  return std::max<std::int64_t>(1, max_outer / target_tasks);
+}
+
+enum class JitMode { Sequential, OpenMP, OpenMPTarget };
+
+EmitOptions emit_options_for(const CompileOptions& options,
+                             const KernelPlan& plan, JitMode mode) {
+  EmitOptions eo;
+  switch (mode) {
+    case JitMode::Sequential:
+      eo.mode = EmitOptions::Mode::Sequential;
+      break;
+    case JitMode::OpenMPTarget:
+      eo.mode = EmitOptions::Mode::OpenMPTarget;
+      break;
+    case JitMode::OpenMP:
+      if (options.schedule == CompileOptions::Schedule::Tasks) {
+        eo.mode = EmitOptions::Mode::OpenMPTasks;
+        eo.task_grain = options.task_grain > 0 ? options.task_grain
+                                               : auto_task_grain(plan);
+      } else {
+        eo.mode = EmitOptions::Mode::OpenMPFor;
+      }
+      break;
+  }
+  eo.simd = options.simd;
+  return eo;
+}
+
+class JitKernel final : public CompiledKernel {
+public:
+  JitKernel(KernelPlan plan, std::string source, std::shared_ptr<Module> module,
+            std::string backend)
+      : plan_(std::move(plan)),
+        source_(std::move(source)),
+        module_(std::move(module)),
+        fn_(module_->kernel(kernel_symbol())),
+        backend_(std::move(backend)) {}
+
+  void run(GridSet& grids, const ParamMap& params) override {
+    std::vector<double*> pointers =
+        Backend::bind_grids(grids, plan_.shapes, plan_.grid_order);
+    const std::vector<double> values =
+        Backend::bind_params(params, plan_.param_order);
+    fn_(pointers.data(), values.data());
+  }
+
+  std::string source() const override { return source_; }
+  std::string backend_name() const override { return backend_; }
+
+private:
+  KernelPlan plan_;
+  std::string source_;
+  std::shared_ptr<Module> module_;
+  KernelFn fn_;
+  std::string backend_;
+};
+
+class JitBackend : public Backend {
+public:
+  explicit JitBackend(JitMode mode) : mode_(mode) {}
+
+  std::string name() const override {
+    switch (mode_) {
+      case JitMode::Sequential: return "c";
+      case JitMode::OpenMP: return "openmp";
+      case JitMode::OpenMPTarget: return "omptarget";
+    }
+    return "c";
+  }
+
+  std::unique_ptr<CompiledKernel> compile(const StencilGroup& group,
+                                          const ShapeMap& shapes,
+                                          const CompileOptions& options) override {
+    KernelPlan plan = build_plan(group, shapes, options);
+    const EmitOptions eo = emit_options_for(options, plan, mode_);
+    const std::string source = emit_c_source(plan, eo);
+    ToolchainConfig tc;
+    tc.openmp = mode_ != JitMode::Sequential;
+    const Toolchain toolchain(tc);
+    auto module = KernelCache::instance().get_or_compile(source, toolchain);
+    return std::make_unique<JitKernel>(std::move(plan), source,
+                                       std::move(module), name());
+  }
+
+private:
+  JitMode mode_;
+};
+
+}  // namespace
+
+KernelPlan build_plan(const StencilGroup& group, const ShapeMap& shapes,
+                      const CompileOptions& options) {
+  const Schedule schedule =
+      options.barrier_per_stencil ? barrier_per_stencil_schedule(group, shapes)
+      : options.analysis == CompileOptions::Analysis::Interval
+          ? greedy_schedule_interval(group, shapes)
+          : greedy_schedule(group, shapes);
+  KernelPlan plan = lower(group, shapes, schedule);
+  if (options.fuse_stencils) fuse_statements(plan);
+  if (options.fuse_colors) fuse_multicolor(plan);
+  if (!options.tile.empty()) tile_plan(plan, options.tile);
+  verify_plan(plan);  // catch broken transform rewrites at the IR boundary
+  return plan;
+}
+
+std::string render_source(const StencilGroup& group, const ShapeMap& shapes,
+                          const CompileOptions& options, bool openmp) {
+  KernelPlan plan = build_plan(group, shapes, options);
+  const EmitOptions eo = emit_options_for(
+      options, plan, openmp ? JitMode::OpenMP : JitMode::Sequential);
+  return emit_c_source(plan, eo);
+}
+
+namespace detail {
+std::shared_ptr<Backend> make_cseq_backend() {
+  return std::make_shared<JitBackend>(JitMode::Sequential);
+}
+std::shared_ptr<Backend> make_openmp_backend() {
+  return std::make_shared<JitBackend>(JitMode::OpenMP);
+}
+std::shared_ptr<Backend> make_omptarget_backend() {
+  return std::make_shared<JitBackend>(JitMode::OpenMPTarget);
+}
+}  // namespace detail
+
+}  // namespace snowflake

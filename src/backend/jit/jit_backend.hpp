@@ -1,0 +1,22 @@
+#pragma once
+// The JIT micro-compilers: sequential C ("c") and C+OpenMP ("openmp").
+//
+// Pipeline (paper §IV): dependence schedule -> lower to KernelPlan ->
+// optional multicolor fusion -> optional tiling -> render C -> host
+// compiler -> dlopen -> callable, with source-hash caching.
+
+#include "backend/backend.hpp"
+#include "codegen/plan.hpp"
+
+namespace snowflake {
+
+/// Build the transformed plan for a group (shared by the JIT backends and
+/// exposed for tests/benches that want to inspect generated structure).
+KernelPlan build_plan(const StencilGroup& group, const ShapeMap& shapes,
+                      const CompileOptions& options);
+
+/// Render the C source a JIT backend would compile (without compiling).
+std::string render_source(const StencilGroup& group, const ShapeMap& shapes,
+                          const CompileOptions& options, bool openmp);
+
+}  // namespace snowflake

@@ -1,0 +1,37 @@
+#pragma once
+// The OpenCL-style micro-compiler ("oclsim").
+//
+// Generates one NDRange work-group function per nest with the paper's
+// tall-skinny 2D blocking (§IV-B), JIT-compiles them with the host
+// toolchain, and executes the work-group grid on the host like an in-order
+// OpenCL command queue.  Functional results are bit-identical to the other
+// backends (tested); *timing* on GPU hardware is supplied by the simulated
+// device model (src/device/) — see the substitution note in DESIGN.md.
+
+#include "backend/backend.hpp"
+#include "device/sim_device.hpp"
+
+namespace snowflake {
+
+/// Per-dispatch modeled timing breakdown of the last run.
+struct OclDispatchReport {
+  std::string label;
+  std::int64_t workgroups = 0;
+  double bytes = 0.0;
+  double modeled_seconds = 0.0;
+};
+
+/// Extended interface: oclsim kernels expose their device and the modeled
+/// per-dispatch breakdown (benches downcast via dynamic_cast).
+class OclSimKernelInfo {
+public:
+  virtual ~OclSimKernelInfo() = default;
+  virtual const DeviceSpec& device_spec() const = 0;
+  virtual const std::vector<OclDispatchReport>& last_report() const = 0;
+};
+
+/// Device used by kernels the oclsim backend compiles from now on
+/// (defaults to DeviceSpec::k20c()).  Not retroactive.
+void set_oclsim_device(DeviceSpec spec);
+
+}  // namespace snowflake

@@ -1,0 +1,178 @@
+#include "backend/reference/reference_backend.hpp"
+
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace snowflake {
+
+namespace {
+
+enum class OpCode { PushConst, PushParam, PushRead, Add, Sub, Mul, Div, Neg };
+
+struct Op {
+  OpCode code;
+  double value = 0.0;   // PushConst
+  int param = -1;       // PushParam: index into the bound param vector
+  int grid = -1;        // PushRead: index into the bound grid vector
+  IndexMap map;         // PushRead
+};
+
+/// Postorder flattening of an expression into stack-machine ops.
+void flatten(const ExprPtr& e, const std::vector<std::string>& grid_order,
+             const std::vector<std::string>& param_order, std::vector<Op>& out) {
+  switch (e->kind()) {
+    case ExprKind::Constant:
+      out.push_back(Op{OpCode::PushConst,
+                       static_cast<const ConstantExpr&>(*e).value(), -1, -1, {}});
+      return;
+    case ExprKind::Param: {
+      const auto& name = static_cast<const ParamExpr&>(*e).name();
+      for (size_t i = 0; i < param_order.size(); ++i) {
+        if (param_order[i] == name) {
+          out.push_back(Op{OpCode::PushParam, 0.0, static_cast<int>(i), -1, {}});
+          return;
+        }
+      }
+      throw InternalError("parameter '" + name + "' missing from order");
+    }
+    case ExprKind::GridRead: {
+      const auto& r = static_cast<const GridReadExpr&>(*e);
+      for (size_t i = 0; i < grid_order.size(); ++i) {
+        if (grid_order[i] == r.grid()) {
+          out.push_back(
+              Op{OpCode::PushRead, 0.0, -1, static_cast<int>(i), r.map()});
+          return;
+        }
+      }
+      throw InternalError("grid '" + r.grid() + "' missing from order");
+    }
+    case ExprKind::Binary: {
+      const auto& b = static_cast<const BinaryExpr&>(*e);
+      flatten(b.lhs(), grid_order, param_order, out);
+      flatten(b.rhs(), grid_order, param_order, out);
+      switch (b.op()) {
+        case BinaryOp::Add: out.push_back(Op{OpCode::Add, 0.0, -1, -1, {}}); break;
+        case BinaryOp::Sub: out.push_back(Op{OpCode::Sub, 0.0, -1, -1, {}}); break;
+        case BinaryOp::Mul: out.push_back(Op{OpCode::Mul, 0.0, -1, -1, {}}); break;
+        case BinaryOp::Div: out.push_back(Op{OpCode::Div, 0.0, -1, -1, {}}); break;
+      }
+      return;
+    }
+    case ExprKind::Unary:
+      flatten(static_cast<const UnaryExpr&>(*e).operand(), grid_order,
+              param_order, out);
+      out.push_back(Op{OpCode::Neg, 0.0, -1, -1, {}});
+      return;
+  }
+  throw InternalError("unhandled expression kind in flatten");
+}
+
+struct CompiledStencil {
+  std::vector<Op> ops;
+  int out_grid = -1;
+  DomainUnion domain;
+};
+
+class ReferenceKernel final : public CompiledKernel {
+public:
+  ReferenceKernel(const StencilGroup& group, ShapeMap shapes)
+      : shapes_(std::move(shapes)) {
+    validate_group(group, shapes_);
+    for (const auto& g : group.grids()) grid_order_.push_back(g);
+    for (const auto& p : group.params()) param_order_.push_back(p);
+    for (const auto& s : group.stencils()) {
+      CompiledStencil cs;
+      flatten(s.expr(), grid_order_, param_order_, cs.ops);
+      cs.domain = s.domain();
+      for (size_t i = 0; i < grid_order_.size(); ++i) {
+        if (grid_order_[i] == s.output()) cs.out_grid = static_cast<int>(i);
+      }
+      SF_ASSERT(cs.out_grid >= 0, "output grid missing from order");
+      stencils_.push_back(std::move(cs));
+    }
+  }
+
+  void run(GridSet& grids, const ParamMap& params) override {
+    const std::vector<double*> data =
+        Backend::bind_grids(grids, shapes_, grid_order_);
+    const std::vector<double> pvals =
+        Backend::bind_params(params, param_order_);
+    // Per-grid layouts for index linearization.
+    std::vector<Layout> layouts;
+    layouts.reserve(grid_order_.size());
+    for (const auto& g : grid_order_) layouts.emplace_back(shapes_.at(g));
+
+    std::vector<double> stack;
+    for (const auto& cs : stencils_) {
+      const Layout& out_layout = layouts[static_cast<size_t>(cs.out_grid)];
+      const ResolvedUnion domain = cs.domain.resolve(out_layout.shape());
+      stack.resize(cs.ops.size());
+      Index mapped(out_layout.shape().size());
+      domain.for_each([&](const Index& point) {
+        size_t top = 0;
+        for (const auto& op : cs.ops) {
+          switch (op.code) {
+            case OpCode::PushConst:
+              stack[top++] = op.value;
+              break;
+            case OpCode::PushParam:
+              stack[top++] = pvals[static_cast<size_t>(op.param)];
+              break;
+            case OpCode::PushRead: {
+              for (size_t d = 0; d < point.size(); ++d) {
+                mapped[d] = op.map.dim(static_cast<int>(d)).apply(point[d]);
+              }
+              const Layout& layout = layouts[static_cast<size_t>(op.grid)];
+              stack[top++] =
+                  data[static_cast<size_t>(op.grid)][layout.offset(mapped)];
+              break;
+            }
+            case OpCode::Add: --top; stack[top - 1] += stack[top]; break;
+            case OpCode::Sub: --top; stack[top - 1] -= stack[top]; break;
+            case OpCode::Mul: --top; stack[top - 1] *= stack[top]; break;
+            case OpCode::Div: --top; stack[top - 1] /= stack[top]; break;
+            case OpCode::Neg: stack[top - 1] = -stack[top - 1]; break;
+          }
+        }
+        SF_ASSERT(top == 1, "stack machine imbalance");
+        data[static_cast<size_t>(cs.out_grid)][out_layout.offset(point)] = stack[0];
+      });
+    }
+  }
+
+  std::string backend_name() const override { return "reference"; }
+
+private:
+  ShapeMap shapes_;
+  std::vector<std::string> grid_order_;
+  std::vector<std::string> param_order_;
+  std::vector<CompiledStencil> stencils_;
+};
+
+class ReferenceBackend final : public Backend {
+public:
+  std::string name() const override { return "reference"; }
+
+  std::unique_ptr<CompiledKernel> compile(const StencilGroup& group,
+                                          const ShapeMap& shapes,
+                                          const CompileOptions&) override {
+    return std::make_unique<ReferenceKernel>(group, shapes);
+  }
+};
+
+}  // namespace
+
+namespace detail {
+std::shared_ptr<Backend> make_reference_backend() {
+  return std::make_shared<ReferenceBackend>();
+}
+}  // namespace detail
+
+void run_reference(const StencilGroup& group, GridSet& grids,
+                   const ParamMap& params) {
+  ReferenceKernel kernel(group, shapes_of(grids));
+  kernel.run(grids, params);
+}
+
+}  // namespace snowflake

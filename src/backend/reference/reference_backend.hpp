@@ -1,0 +1,20 @@
+#pragma once
+// Reference interpreter backend: executes a StencilGroup directly with
+// strict program-order, lexicographic-iteration semantics.  Needs no host
+// compiler, so it doubles as the fallback backend and as the correctness
+// oracle every JIT backend is tested against.
+//
+// Expressions are flattened once, at compile time, into a small stack
+// machine (no virtual dispatch per point) — an interpreter, but not a
+// gratuitously slow one.
+
+#include "backend/backend.hpp"
+
+namespace snowflake {
+
+/// One-shot convenience: interpret `group` over `grids` (the oracle call
+/// used throughout the test suite).
+void run_reference(const StencilGroup& group, GridSet& grids,
+                   const ParamMap& params = {});
+
+}  // namespace snowflake

@@ -1,0 +1,76 @@
+#pragma once
+// C source emission from a KernelPlan.
+//
+// One emitter serves the sequential-C and OpenMP micro-compilers; the mode
+// selects how waves/chains are rendered:
+//   * Sequential  — plain loop nests in plan order.
+//   * OpenMPTasks — the paper's task-farming scheme: one OpenMP task per
+//     chain (large point-parallel nests split into grain-sized subtasks),
+//     `taskwait` barriers between waves (§IV-A).
+//   * OpenMPFor   — naive worksharing: `omp for` per nest, barrier per
+//     wave (the comparator for ablation A3).
+//   * OpenMPTarget — the paper's §VII "OpenMP 4 micro-compiler": a
+//     `target data` region maps every grid once; each point-parallel nest
+//     becomes a `target teams distribute parallel for` dispatch (target
+//     regions are synchronous, so wave barriers come for free).  Executes
+//     on the host fallback device when no accelerator is configured.
+//
+// The generated translation unit defines a single entry point:
+//   void sf_kernel(double** grids, const double* params);
+// with grids[] in plan.grid_order and params[] in plan.param_order.
+
+#include <string>
+
+#include "codegen/plan.hpp"
+
+namespace snowflake {
+
+struct EmitOptions {
+  enum class Mode { Sequential, OpenMPTasks, OpenMPFor, OpenMPTarget };
+  Mode mode = Mode::Sequential;
+  /// Outer-dimension iterations per task (OpenMPTasks); 0 = one task per
+  /// chain, no splitting.
+  std::int64_t task_grain = 0;
+  /// Annotate the innermost loop of point-parallel nests with
+  /// `#pragma omp simd` (OpenMP modes only).
+  bool simd = false;
+  /// Emit structural comments (wave/chain/nest labels).
+  bool comments = true;
+};
+
+/// Exported entry-point symbol of every generated translation unit.
+const char* kernel_symbol();
+
+/// Render the plan as a complete C11 translation unit.
+std::string emit_c_source(const KernelPlan& plan, const EmitOptions& options);
+
+// --- OpenCL-style emission (the "oclsim" micro-compiler) -------------------
+//
+// One work-group function per nest, using the paper's tall-skinny blocking:
+// a 2D tile in the two innermost dimensions, rolled upward through the
+// remaining dimensions inside the work-group (§IV-B).  Signature:
+//   void sf_wg_<k>(double** grids, const double* params,
+//                  int64_t wg0, int64_t wg1);
+// The host runtime (src/backend/oclsim) enqueues the (wg0, wg1) grid of
+// work-groups per dispatch, in order, like an in-order OpenCL queue.
+
+struct OclEmitOptions {
+  std::int64_t wg0 = 16;  // tile extent in dim rank-2 (the "tall" edge)
+  std::int64_t wg1 = 64;  // tile extent in the contiguous dim rank-1
+  bool comments = true;
+};
+
+struct OclDispatch {
+  size_t nest = 0;          // index into plan.nests
+  std::string symbol;       // generated function name
+  std::int64_t groups0 = 1; // work-group grid extents
+  std::int64_t groups1 = 1;
+  bool parallel = true;     // work-groups may run concurrently
+};
+
+/// Render the oclsim translation unit and fill the ordered dispatch table.
+std::string emit_oclsim_source(const KernelPlan& plan,
+                               const OclEmitOptions& options,
+                               std::vector<OclDispatch>& dispatches);
+
+}  // namespace snowflake

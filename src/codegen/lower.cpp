@@ -1,0 +1,85 @@
+#include "codegen/lower.hpp"
+
+#include <algorithm>
+
+#include "codegen/simplify.hpp"
+#include "support/error.hpp"
+#include "support/hash.hpp"
+
+namespace snowflake {
+
+KernelPlan lower(const StencilGroup& group, const ShapeMap& shapes,
+                 const Schedule& schedule) {
+  validate_group(group, shapes);
+  SF_REQUIRE(schedule.point_parallel.size() == group.size(),
+             "schedule does not match group size");
+
+  KernelPlan plan;
+  for (const auto& name : group.grids()) plan.grid_order.push_back(name);
+  for (const auto& name : group.params()) plan.param_order.push_back(name);
+  for (const auto& name : plan.grid_order) {
+    auto it = shapes.find(name);
+    SF_ASSERT(it != shapes.end(), "validated group missing shape for " + name);
+    plan.shapes[name] = it->second;
+  }
+
+  // One nest per non-empty rect; remember each stencil's nest ids in order.
+  std::vector<std::vector<size_t>> nests_of(group.size());
+  for (size_t s = 0; s < group.size(); ++s) {
+    const Stencil& stencil = group[s];
+    const ResolvedUnion domain =
+        stencil.domain().resolve(plan.shapes.at(stencil.output()));
+    for (size_t r = 0; r < domain.rects().size(); ++r) {
+      const ResolvedRect& rect = domain.rects()[r];
+      if (rect.empty()) continue;
+      LoopNest nest;
+      nest.label = stencil.name() + "/" + std::to_string(r);
+      nest.stencil_index = s;
+      nest.rect_index = r;
+      nest.dims.reserve(static_cast<size_t>(rect.rank()));
+      for (int d = 0; d < rect.rank(); ++d) {
+        const ResolvedRange& range = rect.range(d);
+        LoopDim dim;
+        dim.lo = range.lo;
+        dim.hi = range.hi;
+        dim.stride = range.stride;
+        dim.grid_dim = d;
+        nest.dims.push_back(dim);
+      }
+      nest.out_grid = stencil.output();
+      nest.rhs = simplify(stencil.expr());
+      nest.point_parallel = schedule.point_parallel[s];
+      nest.point_count = rect.count();
+      nests_of[s].push_back(plan.nests.size());
+      plan.nests.push_back(std::move(nest));
+    }
+  }
+
+  for (const auto& wave : schedule.waves) {
+    PlanWave plan_wave;
+    for (size_t s : wave.stencils) {
+      if (nests_of[s].empty()) continue;  // fully empty domain on this shape
+      if (schedule.rects_independent[s]) {
+        for (size_t n : nests_of[s]) plan_wave.chains.push_back(Chain{{n}, ChainFusion::None});
+      } else {
+        plan_wave.chains.push_back(Chain{nests_of[s], ChainFusion::None});
+      }
+    }
+    if (!plan_wave.chains.empty()) plan.waves.push_back(std::move(plan_wave));
+  }
+
+  HashStream hs;
+  hs.add(static_cast<std::int64_t>(group.structural_hash()));
+  for (const auto& [name, shape] : plan.shapes) {
+    hs.add(name);
+    for (auto e : shape) hs.add(e);
+  }
+  plan.source_hash = hs.digest();
+  return plan;
+}
+
+KernelPlan lower(const StencilGroup& group, const ShapeMap& shapes) {
+  return lower(group, shapes, greedy_schedule(group, shapes));
+}
+
+}  // namespace snowflake

@@ -1,0 +1,21 @@
+#pragma once
+// Lowering: StencilGroup + shapes + dependence schedule -> KernelPlan.
+
+#include "analysis/dag.hpp"
+#include "codegen/plan.hpp"
+#include "ir/stencil.hpp"
+#include "ir/validate.hpp"
+
+namespace snowflake {
+
+/// Lower a validated group into a concrete plan.  One LoopNest per
+/// non-empty rect of each stencil's resolved domain.  Stencils whose union
+/// members are provably independent contribute one chain per rect (maximum
+/// concurrency); otherwise all their rects form a single ordered chain.
+KernelPlan lower(const StencilGroup& group, const ShapeMap& shapes,
+                 const Schedule& schedule);
+
+/// Convenience: greedy schedule + lower.
+KernelPlan lower(const StencilGroup& group, const ShapeMap& shapes);
+
+}  // namespace snowflake

@@ -1,0 +1,49 @@
+#include "codegen/plan.hpp"
+
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace snowflake {
+
+int LoopNest::logical_rank() const {
+  int r = 0;
+  for (const auto& d : dims) {
+    if (d.tile_of < 0) ++r;
+  }
+  return r;
+}
+
+int KernelPlan::grid_arg_index(const std::string& grid) const {
+  for (size_t i = 0; i < grid_order.size(); ++i) {
+    if (grid_order[i] == grid) return static_cast<int>(i);
+  }
+  throw LookupError("KernelPlan has no grid '" + grid + "'");
+}
+
+int KernelPlan::param_arg_index(const std::string& name) const {
+  for (size_t i = 0; i < param_order.size(); ++i) {
+    if (param_order[i] == name) return static_cast<int>(i);
+  }
+  throw LookupError("KernelPlan has no parameter '" + name + "'");
+}
+
+std::string KernelPlan::describe() const {
+  std::ostringstream os;
+  os << "KernelPlan: " << nests.size() << " nests, " << waves.size()
+     << " waves\n";
+  for (size_t w = 0; w < waves.size(); ++w) {
+    os << "  wave " << w << ":\n";
+    for (const auto& chain : waves[w].chains) {
+      const char* kind = chain.fusion == ChainFusion::Outer   ? " (outer-fused)"
+                         : chain.fusion == ChainFusion::Full ? " (stmt-fused)"
+                                                             : "";
+      os << "    chain" << kind << ":";
+      for (size_t n : chain.nests) os << " " << nests[n].label;
+      os << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace snowflake

@@ -1,0 +1,97 @@
+#pragma once
+// KernelPlan: the platform-agnostic loop IR that the front end lowers a
+// StencilGroup into, and that every micro-compiler consumes (paper Figure 5:
+// the narrow interface between the shared analysis front end and the
+// per-platform backends).
+//
+// A plan is fully concrete: domains are resolved, shapes are baked, the
+// dependence analysis has already been folded into the wave/chain structure.
+//
+//   plan
+//    └─ waves  (barrier between consecutive waves)
+//        └─ chains (chains of one wave may run concurrently)
+//            └─ nests (nests of one chain run in order)
+//
+// A LoopNest is one resolved rect of one stencil: a perfect loop nest with
+// per-dimension lo/hi/stride and a single assignment body
+// out[i] = rhs(i).  Transforms (tiling, multicolor fusion) rewrite the
+// dims/chain structure but never the rhs expression.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ir/expr.hpp"
+#include "ir/stencil.hpp"
+#include "ir/validate.hpp"
+
+namespace snowflake {
+
+struct LoopDim {
+  std::int64_t lo = 0;
+  std::int64_t hi = 0;  // exclusive
+  std::int64_t stride = 1;
+  /// When >= 0, this is the intra-tile loop of the dim whose *loop variable
+  /// index* is tile_of: lo = var(tile_of), hi = min(var(tile_of)+span, hi).
+  int tile_of = -1;
+  /// Iteration span of an intra-tile loop (tile size * original stride).
+  std::int64_t span = 0;
+  /// Which logical grid dimension this loop iterates (index-map dimension).
+  int grid_dim = -1;
+};
+
+struct LoopNest {
+  std::string label;        // "<stencil>/<rect>" for diagnostics & comments
+  size_t stencil_index = 0; // position in the source group
+  size_t rect_index = 0;    // which rect of the stencil's union
+  std::vector<LoopDim> dims;
+  std::string out_grid;
+  ExprPtr rhs;
+  bool point_parallel = true;  // may iterations run concurrently?
+  /// Iteration-point count, set at lowering and preserved by transforms.
+  std::int64_t point_count = 0;
+
+  /// Rank of the *iteration space as seen by index maps* (number of
+  /// non-intra-tile dims).
+  int logical_rank() const;
+};
+
+/// How a chain's member nests are woven together at emission time.
+enum class ChainFusion {
+  None,   // nests emitted one after another
+  Outer,  // multicolor fusion: members share one outer sweep, each guarded
+          // by its own stride congruence (members have equal rank)
+  Full,   // statement fusion: members have *identical* loop structure and
+          // execute as one nest with all bodies in the innermost loop
+};
+
+struct Chain {
+  std::vector<size_t> nests;  // executed in order
+  ChainFusion fusion = ChainFusion::None;
+};
+
+struct PlanWave {
+  std::vector<Chain> chains;  // may execute concurrently
+};
+
+struct KernelPlan {
+  std::vector<LoopNest> nests;
+  std::vector<PlanWave> waves;
+  /// Grid name -> extents for every referenced grid (bake-in contract).
+  ShapeMap shapes;
+  /// Sorted grid names: the kernel's grids[] argument order.
+  std::vector<std::string> grid_order;
+  /// Sorted scalar parameter names: the params[] argument order.
+  std::vector<std::string> param_order;
+  /// Stable hash of (group, shapes) for cache keys and kernel names.
+  std::uint64_t source_hash = 0;
+
+  int grid_arg_index(const std::string& grid) const;
+  int param_arg_index(const std::string& name) const;
+
+  /// Human-readable structure dump (tests / debugging).
+  std::string describe() const;
+};
+
+}  // namespace snowflake

@@ -1,0 +1,90 @@
+#include "codegen/simplify.hpp"
+
+#include "support/error.hpp"
+
+namespace snowflake {
+
+namespace {
+
+bool is_const(const ExprPtr& e, double* value = nullptr) {
+  if (e->kind() != ExprKind::Constant) return false;
+  if (value != nullptr) *value = static_cast<const ConstantExpr&>(*e).value();
+  return true;
+}
+
+ExprPtr simplify_binary(BinaryOp op, const ExprPtr& lhs, const ExprPtr& rhs) {
+  double a = 0.0, b = 0.0;
+  const bool ca = is_const(lhs, &a);
+  const bool cb = is_const(rhs, &b);
+
+  if (ca && cb) {
+    switch (op) {
+      case BinaryOp::Add: return constant(a + b);
+      case BinaryOp::Sub: return constant(a - b);
+      case BinaryOp::Mul: return constant(a * b);
+      case BinaryOp::Div: return constant(a / b);
+    }
+  }
+
+  switch (op) {
+    case BinaryOp::Add:
+      if (ca && a == 0.0) return rhs;
+      if (cb && b == 0.0) return lhs;
+      break;
+    case BinaryOp::Sub:
+      if (cb && b == 0.0) return lhs;
+      if (ca && a == 0.0) return simplify(-rhs);
+      break;
+    case BinaryOp::Mul:
+      // 0 * x -> 0 is exact for the finite grid values stencils compute
+      // (the DSL has no inf/nan semantics to preserve).
+      if ((ca && a == 0.0) || (cb && b == 0.0)) return constant(0.0);
+      if (ca && a == 1.0) return rhs;
+      if (cb && b == 1.0) return lhs;
+      if (ca && a == -1.0) return simplify(-rhs);
+      if (cb && b == -1.0) return simplify(-lhs);
+      break;
+    case BinaryOp::Div:
+      if (cb && b == 1.0) return lhs;
+      if (ca && a == 0.0) return constant(0.0);
+      break;
+  }
+  return std::make_shared<BinaryExpr>(op, lhs, rhs);
+}
+
+}  // namespace
+
+ExprPtr simplify(const ExprPtr& expr) {
+  SF_REQUIRE(expr != nullptr, "simplify on null expression");
+  switch (expr->kind()) {
+    case ExprKind::Constant:
+    case ExprKind::Param:
+    case ExprKind::GridRead:
+      return expr;
+    case ExprKind::Binary: {
+      const auto& b = static_cast<const BinaryExpr&>(*expr);
+      const ExprPtr lhs = simplify(b.lhs());
+      const ExprPtr rhs = simplify(b.rhs());
+      return simplify_binary(b.op(), lhs, rhs);
+    }
+    case ExprKind::Unary: {
+      const auto& u = static_cast<const UnaryExpr&>(*expr);
+      const ExprPtr inner = simplify(u.operand());
+      double v = 0.0;
+      if (is_const(inner, &v)) return constant(-v);
+      if (inner->kind() == ExprKind::Unary) {
+        return static_cast<const UnaryExpr&>(*inner).operand();  // --x -> x
+      }
+      return std::make_shared<UnaryExpr>(UnaryOp::Neg, inner);
+    }
+  }
+  throw InternalError("unhandled expression kind in simplify");
+}
+
+std::int64_t expr_node_count(const ExprPtr& expr) {
+  std::int64_t count = 0;
+  visit(expr, [&](const Expr&) { ++count; });
+  return count;
+}
+
+}  // namespace snowflake

@@ -1,0 +1,23 @@
+#pragma once
+// Algebraic simplification of stencil expressions before emission.
+//
+// WeightArray/Component sugar and generic operator builders produce trees
+// with literal-zero terms, multiplications by one, and foldable constant
+// subtrees (e.g. the paper's Figure 4 composes `b - Ax` from parts).  The
+// simplifier normalizes these bottom-up so every backend emits the minimal
+// arithmetic.  Semantics-preserving by construction: each rewrite is an
+// identity on reals, and 0.0 * read(...) elimination only ever *removes*
+// reads, which can only relax the dependence analysis's conclusions.
+
+#include "ir/expr.hpp"
+
+namespace snowflake {
+
+/// Bottom-up rewrite: constant folding, +0/-0/*1 / /1 elision, *0
+/// annihilation, double negation, negative-constant absorption.
+ExprPtr simplify(const ExprPtr& expr);
+
+/// Number of nodes in the tree (for tests and diagnostics).
+std::int64_t expr_node_count(const ExprPtr& expr);
+
+}  // namespace snowflake

@@ -1,0 +1,70 @@
+#include "codegen/transform/fusion.hpp"
+
+namespace snowflake {
+
+namespace {
+
+bool dims_identical(const LoopNest& a, const LoopNest& b) {
+  if (a.dims.size() != b.dims.size()) return false;
+  for (size_t i = 0; i < a.dims.size(); ++i) {
+    const LoopDim& da = a.dims[i];
+    const LoopDim& db = b.dims[i];
+    if (da.lo != db.lo || da.hi != db.hi || da.stride != db.stride ||
+        da.tile_of != db.tile_of || da.grid_dim != db.grid_dim) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool is_candidate(const KernelPlan& plan, const Chain& chain) {
+  if (chain.nests.size() != 1 || chain.fusion != ChainFusion::None) return false;
+  const LoopNest& nest = plan.nests[chain.nests[0]];
+  if (!nest.point_parallel || nest.dims.empty()) return false;
+  for (const auto& d : nest.dims) {
+    if (d.tile_of >= 0) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int fuse_statements(KernelPlan& plan) {
+  int fused_count = 0;
+  for (auto& wave : plan.waves) {
+    std::vector<Chain> kept;
+    std::vector<size_t> candidates;
+    for (const auto& chain : wave.chains) {
+      if (is_candidate(plan, chain)) {
+        candidates.push_back(chain.nests[0]);
+      } else {
+        kept.push_back(chain);
+      }
+    }
+
+    std::vector<bool> used(candidates.size(), false);
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      if (used[i]) continue;
+      Chain group;
+      group.nests.push_back(candidates[i]);
+      used[i] = true;
+      for (size_t j = i + 1; j < candidates.size(); ++j) {
+        if (used[j]) continue;
+        if (dims_identical(plan.nests[candidates[i]],
+                           plan.nests[candidates[j]])) {
+          group.nests.push_back(candidates[j]);
+          used[j] = true;
+        }
+      }
+      if (group.nests.size() >= 2) {
+        group.fusion = ChainFusion::Full;
+        ++fused_count;
+      }
+      kept.push_back(std::move(group));
+    }
+    wave.chains = std::move(kept);
+  }
+  return fused_count;
+}
+
+}  // namespace snowflake

@@ -1,0 +1,22 @@
+#pragma once
+// Stencil (statement) fusion — the paper's §VII extension: "extend the
+// analysis to mark stencils for fusion ... by analyzing dependencies and
+// memory access patterns".
+//
+// Chains within a wave are mutually independent by construction of the
+// dependence schedule, so any group of single-nest point-parallel chains
+// whose loop structures are *identical* may execute as one nest with all
+// assignment bodies in the innermost loop — one pass through memory serves
+// every stencil (e.g. computing a residual and a new iterate together).
+
+#include "codegen/plan.hpp"
+
+namespace snowflake {
+
+/// Fuse, within each wave, groups of untiled single-nest point-parallel
+/// chains with identical dims into ChainFusion::Full chains.  Returns the
+/// number of fused chains created.  Run before multicolor fusion and
+/// tiling.
+int fuse_statements(KernelPlan& plan);
+
+}  // namespace snowflake

@@ -1,0 +1,60 @@
+#include "codegen/transform/multicolor.hpp"
+
+namespace snowflake {
+
+int fuse_multicolor(KernelPlan& plan) {
+  int fused_count = 0;
+  for (auto& wave : plan.waves) {
+    // Partition chains into fusion candidates (single untiled point-parallel
+    // nest) grouped by rank, and everything else.
+    std::vector<Chain> kept;
+    std::vector<size_t> candidates;  // nest ids
+    for (const auto& chain : wave.chains) {
+      bool candidate = chain.nests.size() == 1 && chain.fusion == ChainFusion::None;
+      if (candidate) {
+        const LoopNest& nest = plan.nests[chain.nests[0]];
+        candidate = nest.point_parallel && !nest.dims.empty();
+        for (const auto& d : nest.dims) {
+          if (d.tile_of >= 0) candidate = false;
+        }
+      }
+      if (candidate) {
+        candidates.push_back(chain.nests[0]);
+      } else {
+        kept.push_back(chain);
+      }
+    }
+
+    // Group candidates by rank; fuse groups with >= 2 members where at
+    // least one nest is strided (otherwise fusion buys nothing).
+    std::vector<bool> used(candidates.size(), false);
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      if (used[i]) continue;
+      const int rank = static_cast<int>(plan.nests[candidates[i]].dims.size());
+      Chain group;
+      bool any_strided = false;
+      for (size_t j = i; j < candidates.size(); ++j) {
+        if (used[j]) continue;
+        const LoopNest& nest = plan.nests[candidates[j]];
+        if (static_cast<int>(nest.dims.size()) != rank) continue;
+        group.nests.push_back(candidates[j]);
+        used[j] = true;
+        for (const auto& d : nest.dims) {
+          if (d.stride > 1) any_strided = true;
+        }
+      }
+      if (group.nests.size() >= 2 && any_strided) {
+        group.fusion = ChainFusion::Outer;
+        kept.push_back(group);
+        ++fused_count;
+      } else {
+        // Not worth fusing: restore as individual chains.
+        for (size_t n : group.nests) kept.push_back(Chain{{n}, ChainFusion::None});
+      }
+    }
+    wave.chains = std::move(kept);
+  }
+  return fused_count;
+}
+
+}  // namespace snowflake

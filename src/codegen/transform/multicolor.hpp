@@ -1,0 +1,19 @@
+#pragma once
+// Multicolor reordering (paper §IV-A): a loop-interchange transform that
+// fuses the independent strided rects of a wave — e.g. the 2^(rank-1) rects
+// of one red-black color — under a single unit-stride outer sweep.  One
+// pass through slow memory then serves every rect, instead of one pass per
+// rect.  Legality comes for free: chains within a wave are mutually
+// independent by construction of the dependence schedule.
+
+#include "codegen/plan.hpp"
+
+namespace snowflake {
+
+/// Fuse, within each wave, the single-nest point-parallel untiled chains of
+/// equal rank into one fused chain (when there are at least two of them and
+/// at least one member is strided).  Returns the number of fused chains
+/// created.  Run before tiling.
+int fuse_multicolor(KernelPlan& plan);
+
+}  // namespace snowflake

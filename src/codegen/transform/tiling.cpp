@@ -1,0 +1,113 @@
+#include "codegen/transform/tiling.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace snowflake {
+
+LoopNest tile_nest(const LoopNest& nest, const Index& tile) {
+  for (const auto& d : nest.dims) {
+    SF_REQUIRE(d.tile_of < 0, "tile_nest: nest is already tiled");
+  }
+  // Decide per dim whether to tile.
+  std::vector<bool> do_tile(nest.dims.size(), false);
+  for (size_t d = 0; d < nest.dims.size() && d < tile.size(); ++d) {
+    const LoopDim& dim = nest.dims[d];
+    const std::int64_t size = tile[d];
+    if (size <= 0) continue;
+    const std::int64_t count = dim.hi <= dim.lo ? 0 : (dim.hi - 1 - dim.lo) / dim.stride + 1;
+    if (count <= size) continue;  // tile covers the whole dim: no-op
+    do_tile[d] = true;
+  }
+
+  LoopNest out = nest;
+  out.dims.clear();
+  // Outer tile loops first (in dim order), then the point loops.
+  std::vector<int> outer_var_of(nest.dims.size(), -1);
+  for (size_t d = 0; d < nest.dims.size(); ++d) {
+    if (!do_tile[d]) continue;
+    const LoopDim& dim = nest.dims[d];
+    LoopDim outer;
+    outer.lo = dim.lo;
+    outer.hi = dim.hi;
+    outer.stride = tile[d] * dim.stride;  // walks tile origins
+    outer.grid_dim = -1;                  // not a coordinate by itself
+    outer_var_of[d] = static_cast<int>(out.dims.size());
+    out.dims.push_back(outer);
+  }
+  for (size_t d = 0; d < nest.dims.size(); ++d) {
+    const LoopDim& dim = nest.dims[d];
+    if (!do_tile[d]) {
+      out.dims.push_back(dim);
+      continue;
+    }
+    LoopDim inner;
+    inner.lo = dim.lo;  // unused at emission (origin comes from tile_of)
+    inner.hi = dim.hi;
+    inner.stride = dim.stride;
+    inner.tile_of = outer_var_of[d];
+    inner.span = tile[d] * dim.stride;
+    inner.grid_dim = dim.grid_dim;
+    out.dims.push_back(inner);
+  }
+  return out;
+}
+
+void tile_plan(KernelPlan& plan, const Index& tile) {
+  if (tile.empty()) return;
+  // Members of multicolor-fused chains share one outer sweep; the fused
+  // emitter drives their first loop, so they must stay untiled.
+  std::vector<bool> in_fused(plan.nests.size(), false);
+  for (const auto& wave : plan.waves) {
+    for (const auto& chain : wave.chains) {
+      if (chain.fusion == ChainFusion::None) continue;
+      for (size_t n : chain.nests) in_fused[n] = true;
+    }
+  }
+  for (size_t i = 0; i < plan.nests.size(); ++i) {
+    // Tiling reorders iterations; nests whose iterations are not provably
+    // independent keep their sequential order untouched.
+    if (!plan.nests[i].point_parallel || in_fused[i]) continue;
+    plan.nests[i] = tile_nest(plan.nests[i], tile);
+  }
+}
+
+namespace {
+
+void enumerate_rec(const LoopNest& nest, size_t level, Index& vars, Index& coord,
+                   const std::function<void(const Index&)>& fn) {
+  if (level == nest.dims.size()) {
+    fn(coord);
+    return;
+  }
+  const LoopDim& dim = nest.dims[level];
+  std::int64_t lo, hi;
+  if (dim.tile_of >= 0) {
+    lo = vars[static_cast<size_t>(dim.tile_of)];
+    hi = std::min(lo + dim.span, dim.hi);
+  } else {
+    lo = dim.lo;
+    hi = dim.hi;
+  }
+  for (std::int64_t v = lo; v < hi; v += dim.stride) {
+    vars[level] = v;
+    if (dim.grid_dim >= 0) coord[static_cast<size_t>(dim.grid_dim)] = v;
+    enumerate_rec(nest, level + 1, vars, coord, fn);
+  }
+}
+
+}  // namespace
+
+void enumerate_points(const LoopNest& nest,
+                      const std::function<void(const Index&)>& fn) {
+  int rank = 0;
+  for (const auto& d : nest.dims) {
+    rank = std::max(rank, d.grid_dim + 1);
+  }
+  Index vars(nest.dims.size(), 0);
+  Index coord(static_cast<size_t>(rank), 0);
+  enumerate_rec(nest, 0, vars, coord, fn);
+}
+
+}  // namespace snowflake

@@ -1,0 +1,30 @@
+#pragma once
+// Arbitrary-dimension tiling (paper §IV-A): an AST-level transform on the
+// loop IR.  Tiling dim d with size T splits its loop into an outer loop
+// over tile origins (step T*stride) and an intra-tile loop clipped with
+// min(origin + T*stride, hi).  The user supplies tile sizes at compile
+// time, which is the paper's tuning hook.
+
+#include <functional>
+
+#include "codegen/plan.hpp"
+
+namespace snowflake {
+
+/// Tile one nest.  `tile[d]` is the tile size (in iteration points) for the
+/// nest's d-th untiled dim; entries <= 0 (or beyond the nest's rank) leave
+/// that dim untiled.  Tiling an already-tiled nest is rejected.
+LoopNest tile_nest(const LoopNest& nest, const Index& tile);
+
+/// Tile every nest of the plan (nests of lower rank use the leading
+/// entries of `tile`).  Degenerate one-point dims are never tiled.
+void tile_plan(KernelPlan& plan, const Index& tile);
+
+/// Enumerate the iteration points of a (possibly tiled) nest in emission
+/// order, invoking `fn` with the grid coordinate vector.  This mirrors
+/// exactly the loop structure the C emitter generates, so transform tests
+/// can verify point sets without invoking a compiler.
+void enumerate_points(const LoopNest& nest,
+                      const std::function<void(const Index&)>& fn);
+
+}  // namespace snowflake

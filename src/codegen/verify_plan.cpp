@@ -1,0 +1,119 @@
+#include "codegen/verify_plan.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "support/error.hpp"
+
+namespace snowflake {
+
+namespace {
+
+void check(bool cond, const std::string& what) {
+  if (!cond) throw InternalError("plan verification failed: " + what);
+}
+
+void verify_nest(const KernelPlan& plan, const LoopNest& nest) {
+  check(nest.rhs != nullptr, nest.label + ": null rhs");
+  check(plan.shapes.count(nest.out_grid) == 1,
+        nest.label + ": output grid has no shape");
+  const int out_rank =
+      static_cast<int>(plan.shapes.at(nest.out_grid).size());
+
+  std::set<int> coord_dims;
+  for (size_t level = 0; level < nest.dims.size(); ++level) {
+    const LoopDim& d = nest.dims[level];
+    check(d.stride >= 1, nest.label + ": loop stride < 1");
+    if (d.tile_of >= 0) {
+      check(static_cast<size_t>(d.tile_of) < level,
+            nest.label + ": intra-tile loop references a later dim");
+      check(nest.dims[static_cast<size_t>(d.tile_of)].tile_of < 0,
+            nest.label + ": tile origin is itself tiled");
+      check(d.span >= 1, nest.label + ": intra-tile span < 1");
+    }
+    if (d.grid_dim >= 0) {
+      check(d.grid_dim < out_rank, nest.label + ": grid_dim out of range");
+      check(coord_dims.insert(d.grid_dim).second,
+            nest.label + ": duplicate coordinate loop for a grid dim");
+    }
+  }
+  for (int gd = 0; gd < out_rank; ++gd) {
+    check(coord_dims.count(gd) == 1,
+          nest.label + ": no coordinate loop for grid dim " + std::to_string(gd));
+  }
+
+  // Every read's grid and every param must be declared in the plan orders.
+  for (const auto* r : collect_reads(nest.rhs)) {
+    check(std::find(plan.grid_order.begin(), plan.grid_order.end(),
+                    r->grid()) != plan.grid_order.end(),
+          nest.label + ": read grid '" + r->grid() + "' not in grid order");
+  }
+  for (const auto& p : params_used(nest.rhs)) {
+    check(std::find(plan.param_order.begin(), plan.param_order.end(), p) !=
+              plan.param_order.end(),
+          nest.label + ": param '" + p + "' not in param order");
+  }
+}
+
+bool dims_identical(const LoopNest& a, const LoopNest& b) {
+  if (a.dims.size() != b.dims.size()) return false;
+  for (size_t i = 0; i < a.dims.size(); ++i) {
+    const LoopDim& da = a.dims[i];
+    const LoopDim& db = b.dims[i];
+    if (da.lo != db.lo || da.hi != db.hi || da.stride != db.stride ||
+        da.tile_of != db.tile_of || da.grid_dim != db.grid_dim) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+void verify_plan(const KernelPlan& plan) {
+  check(!plan.nests.empty(), "plan has no nests");
+  check(std::is_sorted(plan.grid_order.begin(), plan.grid_order.end()),
+        "grid order not sorted");
+  check(std::is_sorted(plan.param_order.begin(), plan.param_order.end()),
+        "param order not sorted");
+
+  std::vector<int> seen(plan.nests.size(), 0);
+  for (const auto& wave : plan.waves) {
+    for (const auto& chain : wave.chains) {
+      check(!chain.nests.empty(), "empty chain");
+      for (size_t n : chain.nests) {
+        check(n < plan.nests.size(), "chain references missing nest");
+        ++seen[n];
+      }
+      const LoopNest& lead = plan.nests[chain.nests[0]];
+      if (chain.fusion == ChainFusion::Outer) {
+        check(chain.nests.size() >= 2, "outer-fused chain with one member");
+        for (size_t n : chain.nests) {
+          const LoopNest& nest = plan.nests[n];
+          check(nest.point_parallel, "outer-fused member not point-parallel");
+          check(nest.dims.size() == lead.dims.size(),
+                "outer-fused members of mixed rank");
+          for (const auto& d : nest.dims) {
+            check(d.tile_of < 0, "outer-fused member is tiled");
+          }
+        }
+      }
+      if (chain.fusion == ChainFusion::Full) {
+        check(chain.nests.size() >= 2, "stmt-fused chain with one member");
+        for (size_t n : chain.nests) {
+          check(plan.nests[n].point_parallel,
+                "stmt-fused member not point-parallel");
+          check(dims_identical(plan.nests[n], lead),
+                "stmt-fused members with differing dims");
+        }
+      }
+    }
+  }
+  for (size_t n = 0; n < plan.nests.size(); ++n) {
+    check(seen[n] == 1, plan.nests[n].label + ": appears in " +
+                            std::to_string(seen[n]) + " chains (expected 1)");
+    verify_nest(plan, plan.nests[n]);
+  }
+}
+
+}  // namespace snowflake

@@ -1,0 +1,22 @@
+#pragma once
+// Structural invariants every KernelPlan must satisfy before emission.
+// Transforms rewrite plans in place; this pass catches a broken rewrite at
+// the IR boundary instead of as miscompiled C.  Backends run it after
+// build_plan; it throws InternalError with the violated invariant.
+
+#include "codegen/plan.hpp"
+
+namespace snowflake {
+
+/// Checks:
+///  * every nest appears in exactly one chain;
+///  * chain members share a wave and, for fused chains, the required
+///    structure (Outer: equal rank, untiled, point-parallel; Full:
+///    identical dims);
+///  * loop dims are well-formed (strides >= 1, tile_of references an
+///    earlier dim with matching grid_dim ownership, every grid dim of the
+///    output has exactly one coordinate loop);
+///  * grid/param orders are sorted and cover every name the nests use.
+void verify_plan(const KernelPlan& plan);
+
+}  // namespace snowflake

@@ -1,0 +1,50 @@
+#include "device/sim_device.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace snowflake {
+
+DeviceSpec DeviceSpec::k20c() {
+  DeviceSpec spec;
+  spec.name = "K20c (modeled)";
+  spec.bandwidth_bytes_per_s = 127e9;  // paper: ERT bandwidth ~127 GB/s
+  spec.peak_flops = 1.17e12;           // DP peak
+  spec.compute_units = 13;             // SMX count
+  spec.launch_overhead_s = 8e-6;       // typical CUDA/OpenCL launch latency
+  spec.workgroup_cost_s = 0.4e-6;      // per-workgroup scheduling cost
+  return spec;
+}
+
+DeviceSpec DeviceSpec::host(double measured_bandwidth_bytes_per_s, int threads) {
+  DeviceSpec spec;
+  spec.name = "host (modeled)";
+  spec.bandwidth_bytes_per_s = measured_bandwidth_bytes_per_s;
+  spec.peak_flops = 8e9 * threads;  // nominal; CPU stencils are BW-bound
+  spec.compute_units = std::max(1, threads);
+  spec.launch_overhead_s = 1e-6;
+  spec.workgroup_cost_s = 0.2e-6;
+  return spec;
+}
+
+SimDevice::SimDevice(DeviceSpec spec) : spec_(std::move(spec)) {
+  SF_REQUIRE(spec_.bandwidth_bytes_per_s > 0, "device bandwidth must be > 0");
+  SF_REQUIRE(spec_.peak_flops > 0, "device peak flops must be > 0");
+  SF_REQUIRE(spec_.compute_units >= 1, "device needs >= 1 compute unit");
+}
+
+double SimDevice::dispatch_seconds(const DispatchStats& stats) const {
+  const double eff = std::clamp(stats.efficiency, 0.01, 1.0);
+  const double mem_time =
+      stats.bytes / (spec_.bandwidth_bytes_per_s * eff);
+  const double flop_time = stats.flops / spec_.peak_flops;
+  const double sched_time =
+      static_cast<double>((stats.workgroups + spec_.compute_units - 1) /
+                          spec_.compute_units) *
+      spec_.workgroup_cost_s;
+  return spec_.launch_overhead_s +
+         std::max({mem_time, flop_time, sched_time});
+}
+
+}  // namespace snowflake

@@ -1,0 +1,151 @@
+#include "domain/domain_algebra.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+#include "support/int_math.hpp"
+
+namespace snowflake {
+
+std::optional<ResolvedRange> intersect_ranges(const ResolvedRange& a,
+                                              const ResolvedRange& b) {
+  if (a.empty() || b.empty()) return std::nullopt;
+  // Solve x ≡ a.lo (mod a.stride), x ≡ b.lo (mod b.stride) by CRT.
+  const ExtGcd eg = ext_gcd(a.stride, b.stride);
+  const std::int64_t diff = b.lo - a.lo;
+  if (diff % eg.g != 0) return std::nullopt;
+  const std::int64_t combined = lcm(a.stride, b.stride);
+  // One solution: a.lo + a.stride * p * (diff/g); reduce the multiplier mod
+  // (b.stride/g) first so the product stays within __int128.
+  const std::int64_t m = b.stride / eg.g;
+  const std::int64_t mult =
+      mod_floor(static_cast<std::int64_t>(
+                    (static_cast<__int128>(eg.x) * (diff / eg.g)) %
+                    static_cast<__int128>(m)),
+                m);
+  const std::int64_t x0 = a.lo + a.stride * mult;
+  // Clip the combined progression {x0 + k*combined} to the bound overlap.
+  const std::int64_t lo_clip = std::max(a.lo, b.lo);
+  const std::int64_t hi_clip = std::min(a.hi, b.hi);
+  if (lo_clip >= hi_clip) return std::nullopt;
+  const std::int64_t first = x0 + ceil_div(lo_clip - x0, combined) * combined;
+  if (first >= hi_clip) return std::nullopt;
+  ResolvedRange out{first, hi_clip, combined};
+  SF_ASSERT(a.contains(first) && b.contains(first),
+            "intersect_ranges produced a point outside an input range");
+  return out;
+}
+
+std::optional<ResolvedRect> intersect_rects(const ResolvedRect& a,
+                                            const ResolvedRect& b) {
+  SF_REQUIRE(a.rank() == b.rank(), "intersect_rects rank mismatch");
+  std::vector<ResolvedRange> ranges;
+  ranges.reserve(static_cast<size_t>(a.rank()));
+  for (int d = 0; d < a.rank(); ++d) {
+    auto r = intersect_ranges(a.range(d), b.range(d));
+    if (!r) return std::nullopt;
+    ranges.push_back(*r);
+  }
+  return ResolvedRect(std::move(ranges));
+}
+
+bool rects_disjoint(const ResolvedRect& a, const ResolvedRect& b) {
+  return !intersect_rects(a, b).has_value();
+}
+
+bool pairwise_disjoint(const ResolvedUnion& u) {
+  const auto& rects = u.rects();
+  for (size_t i = 0; i < rects.size(); ++i) {
+    for (size_t j = i + 1; j < rects.size(); ++j) {
+      if (!rects_disjoint(rects[i], rects[j])) return false;
+    }
+  }
+  return true;
+}
+
+bool unions_disjoint(const ResolvedUnion& a, const ResolvedUnion& b) {
+  for (const auto& ra : a.rects()) {
+    for (const auto& rb : b.rects()) {
+      if (!rects_disjoint(ra, rb)) return false;
+    }
+  }
+  return true;
+}
+
+std::int64_t count_distinct(const ResolvedUnion& u) {
+  // Inclusion–exclusion; intersections of strided rects are strided rects,
+  // so every term is exact.
+  const auto& rects = u.rects();
+  const size_t n = rects.size();
+  SF_REQUIRE(n <= 20, "count_distinct limited to 20 rects (2^n terms)");
+  std::int64_t total = 0;
+  for (size_t mask = 1; mask < (size_t{1} << n); ++mask) {
+    std::optional<ResolvedRect> acc;
+    bool dead = false;
+    int bits = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (!(mask & (size_t{1} << i))) continue;
+      ++bits;
+      if (!acc) {
+        acc = rects[i];
+      } else {
+        acc = intersect_rects(*acc, rects[i]);
+        if (!acc) {
+          dead = true;
+          break;
+        }
+      }
+    }
+    if (dead) continue;
+    total += (bits % 2 == 1 ? 1 : -1) * acc->count();
+  }
+  return total;
+}
+
+ResolvedRect translate(const ResolvedRect& rect, const Index& offset) {
+  SF_REQUIRE(static_cast<int>(offset.size()) == rect.rank(),
+             "translate rank mismatch");
+  std::vector<ResolvedRange> ranges = rect.ranges();
+  for (size_t d = 0; d < ranges.size(); ++d) {
+    ranges[d].lo += offset[d];
+    ranges[d].hi += offset[d];
+  }
+  return ResolvedRect(std::move(ranges));
+}
+
+ResolvedRect affine_image(const ResolvedRect& rect, const Index& num,
+                          const Index& off, const Index& den) {
+  SF_REQUIRE(static_cast<int>(num.size()) == rect.rank() &&
+                 num.size() == off.size() && num.size() == den.size(),
+             "affine_image rank mismatch");
+  std::vector<ResolvedRange> ranges;
+  ranges.reserve(num.size());
+  for (int d = 0; d < rect.rank(); ++d) {
+    const ResolvedRange& r = rect.range(d);
+    const std::int64_t n = num[static_cast<size_t>(d)];
+    const std::int64_t o = off[static_cast<size_t>(d)];
+    const std::int64_t q = den[static_cast<size_t>(d)];
+    SF_REQUIRE(n >= 1 && q >= 1, "affine_image requires num >= 1 and den >= 1");
+    if (r.empty()) {
+      ranges.push_back(ResolvedRange{0, 0, 1});
+      continue;
+    }
+    SF_REQUIRE((n * r.lo + o) % q == 0 && (n * r.stride) % q == 0,
+               "index map (" + std::to_string(n) + "*i + " + std::to_string(o) +
+                   ")/" + std::to_string(q) +
+                   " does not divide exactly over domain " + r.to_string());
+    const std::int64_t lo = (n * r.lo + o) / q;
+    std::int64_t stride = (n * r.stride) / q;
+    const std::int64_t cnt = r.count();
+    if (stride == 0) {
+      // Degenerate map (possible only when num*stride < den would fail the
+      // divisibility check, so stride 0 means a single-point range).
+      SF_ASSERT(cnt == 1, "affine_image produced stride 0 on a multi-point range");
+      stride = 1;
+    }
+    ranges.push_back(ResolvedRange{lo, lo + (cnt - 1) * stride + 1, stride});
+  }
+  return ResolvedRect(std::move(ranges));
+}
+
+}  // namespace snowflake

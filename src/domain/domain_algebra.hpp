@@ -1,0 +1,54 @@
+#pragma once
+// Exact algebra on resolved strided domains.
+//
+// The key primitive is the intersection of two arithmetic progressions,
+// solved with the extended Euclidean algorithm / CRT: x ≡ lo1 (mod s1) and
+// x ≡ lo2 (mod s2) has solutions iff gcd(s1,s2) | (lo2-lo1), in which case
+// the common points form a progression of stride lcm(s1,s2) clipped to the
+// overlap interval.  Rect and union intersection are per-dimension products
+// of this.  This finite-domain exactness is what lets Snowflake prove that
+// (for example) Dirichlet edge stencils do not interfere with interior
+// stencils — the claim the paper contrasts against Halide's infinite-domain
+// interval analysis (Section III / VI).
+
+#include <optional>
+
+#include "domain/resolved.hpp"
+
+namespace snowflake {
+
+/// Common points of two strided ranges, or nullopt if disjoint.
+std::optional<ResolvedRange> intersect_ranges(const ResolvedRange& a,
+                                              const ResolvedRange& b);
+
+/// Common points of two strided boxes of equal rank, or nullopt if disjoint.
+std::optional<ResolvedRect> intersect_rects(const ResolvedRect& a,
+                                            const ResolvedRect& b);
+
+/// True if the rects share no point.
+bool rects_disjoint(const ResolvedRect& a, const ResolvedRect& b);
+
+/// True if no two member rects of the union share a point.
+bool pairwise_disjoint(const ResolvedUnion& u);
+
+/// True if the unions share no point.
+bool unions_disjoint(const ResolvedUnion& a, const ResolvedUnion& b);
+
+/// Number of distinct points in the union (inclusion–exclusion over rect
+/// intersections; intersections of strided rects are strided rects, so this
+/// is exact).  Exponential in rect_count — unions in practice have <= 2^d
+/// rects, which is fine.
+std::int64_t count_distinct(const ResolvedUnion& u);
+
+/// Translate a rect by `offset` (adds offset to lo/hi in each dim).
+ResolvedRect translate(const ResolvedRect& rect, const Index& offset);
+
+/// Image of `rect` under the per-dimension affine map
+/// x -> (num*x + off) / den, where den must divide (num*stride) and
+/// (num*lo + off); used to map iteration domains through GridRead index
+/// maps.  Throws InvalidArgument when divisibility fails (the validator
+/// reports this as a malformed stencil).
+ResolvedRect affine_image(const ResolvedRect& rect, const Index& num,
+                          const Index& off, const Index& den);
+
+}  // namespace snowflake

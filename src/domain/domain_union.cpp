@@ -1,0 +1,53 @@
+#include "domain/domain_union.hpp"
+
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace snowflake {
+
+DomainUnion::DomainUnion(std::vector<RectDomain> rects) : rects_(std::move(rects)) {
+  for (size_t i = 1; i < rects_.size(); ++i) {
+    SF_REQUIRE(rects_[i].rank() == rects_[0].rank(),
+               "DomainUnion members must share a rank");
+  }
+}
+
+DomainUnion::DomainUnion(const RectDomain& rect) : rects_({rect}) {}
+
+int DomainUnion::rank() const { return rects_.empty() ? 0 : rects_[0].rank(); }
+
+DomainUnion DomainUnion::operator+(const RectDomain& rect) const {
+  DomainUnion out = *this;
+  if (!out.rects_.empty()) {
+    SF_REQUIRE(rect.rank() == out.rank(), "DomainUnion members must share a rank");
+  }
+  out.rects_.push_back(rect);
+  return out;
+}
+
+DomainUnion DomainUnion::operator+(const DomainUnion& other) const {
+  DomainUnion out = *this;
+  for (const auto& r : other.rects_) out = out + r;
+  return out;
+}
+
+ResolvedUnion DomainUnion::resolve(const Index& shape) const {
+  SF_REQUIRE(!rects_.empty(), "cannot resolve an empty DomainUnion");
+  std::vector<ResolvedRect> resolved;
+  resolved.reserve(rects_.size());
+  for (const auto& r : rects_) resolved.push_back(r.resolve(shape));
+  return ResolvedUnion(std::move(resolved));
+}
+
+std::string DomainUnion::to_string() const {
+  std::ostringstream os;
+  for (size_t i = 0; i < rects_.size(); ++i) {
+    if (i != 0) os << " + ";
+    os << rects_[i].to_string();
+  }
+  if (rects_.empty()) os << "Union{}";
+  return os.str();
+}
+
+}  // namespace snowflake

@@ -1,0 +1,41 @@
+#pragma once
+// DomainUnion: a union of RectDomains (paper Table I).
+//
+// Multi-color iteration patterns — red-black checkerboards, 4-colorings —
+// are unions of strided rects offset from one another.  A DomainUnion keeps
+// its members in insertion order; execution applies the stencil rect by
+// rect, and the analysis proves when that order is immaterial (all members
+// pairwise independent) so backends may parallelize across the whole union.
+
+#include <string>
+#include <vector>
+
+#include "domain/rect_domain.hpp"
+#include "domain/resolved.hpp"
+
+namespace snowflake {
+
+class DomainUnion {
+public:
+  DomainUnion() = default;
+  explicit DomainUnion(std::vector<RectDomain> rects);
+  /// A union of one rect (implicit, so Stencil can take either form).
+  DomainUnion(const RectDomain& rect);  // NOLINT(google-explicit-constructor)
+
+  const std::vector<RectDomain>& rects() const { return rects_; }
+  size_t rect_count() const { return rects_.size(); }
+  int rank() const;
+  bool empty() const { return rects_.empty(); }
+
+  DomainUnion operator+(const RectDomain& rect) const;
+  DomainUnion operator+(const DomainUnion& other) const;
+
+  ResolvedUnion resolve(const Index& shape) const;
+
+  std::string to_string() const;
+
+private:
+  std::vector<RectDomain> rects_;
+};
+
+}  // namespace snowflake

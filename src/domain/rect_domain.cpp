@@ -1,0 +1,93 @@
+#include "domain/rect_domain.hpp"
+
+#include <sstream>
+
+#include "domain/domain_union.hpp"
+#include "support/error.hpp"
+
+namespace snowflake {
+
+RectDomain::RectDomain(Index start, Index stop, Index stride) {
+  SF_REQUIRE(!start.empty(), "RectDomain requires rank >= 1");
+  SF_REQUIRE(start.size() == stop.size() && start.size() == stride.size(),
+             "RectDomain start/stop/stride rank mismatch");
+  dims_.reserve(start.size());
+  for (size_t d = 0; d < start.size(); ++d) {
+    SF_REQUIRE(stride[d] >= 0, "RectDomain stride must be >= 0");
+    dims_.push_back(DimRange{start[d], stop[d], stride[d]});
+  }
+}
+
+RectDomain::RectDomain(Index start, Index stop) {
+  Index stride(start.size(), 1);
+  *this = RectDomain(std::move(start), std::move(stop), std::move(stride));
+}
+
+const DimRange& RectDomain::dim(int d) const {
+  SF_REQUIRE(d >= 0 && d < rank(), "RectDomain::dim out of range");
+  return dims_[static_cast<size_t>(d)];
+}
+
+ResolvedRect RectDomain::resolve(const Index& shape) const {
+  SF_REQUIRE(static_cast<int>(shape.size()) == rank(),
+             "RectDomain::resolve shape rank mismatch (domain rank " +
+                 std::to_string(rank()) + ", shape rank " +
+                 std::to_string(shape.size()) + ")");
+  std::vector<ResolvedRange> ranges;
+  ranges.reserve(dims_.size());
+  for (size_t d = 0; d < dims_.size(); ++d) {
+    const std::int64_t extent = shape[d];
+    const DimRange& dim = dims_[d];
+    std::int64_t lo = dim.start >= 0 ? dim.start : extent + dim.start;
+    if (dim.stride == 0) {
+      // Degenerate dimension: the single point `start`.
+      ranges.push_back(ResolvedRange{lo, lo + 1, 1});
+      continue;
+    }
+    // stop <= 0 is extent-relative, so stop == 0 denotes the full extent;
+    // start == 0 stays absolute (the first cell).
+    std::int64_t hi = dim.stop > 0 ? dim.stop : extent + dim.stop;
+    SF_REQUIRE(lo >= 0, "RectDomain resolves to negative start " +
+                            std::to_string(lo) + " over extent " +
+                            std::to_string(extent));
+    SF_REQUIRE(hi <= extent,
+               "RectDomain resolves past extent: stop " + std::to_string(hi) +
+                   " > " + std::to_string(extent));
+    ranges.push_back(ResolvedRange{lo, hi, dim.stride});
+  }
+  return ResolvedRect(std::move(ranges));
+}
+
+RectDomain RectDomain::translated(const Index& offset) const {
+  SF_REQUIRE(static_cast<int>(offset.size()) == rank(),
+             "RectDomain::translated rank mismatch");
+  RectDomain out = *this;
+  for (size_t d = 0; d < out.dims_.size(); ++d) {
+    out.dims_[d].start += offset[d];
+    if (out.dims_[d].stride != 0) out.dims_[d].stop += offset[d];
+  }
+  return out;
+}
+
+DomainUnion RectDomain::operator+(const RectDomain& other) const {
+  return DomainUnion({*this, other});
+}
+
+std::string RectDomain::to_string() const {
+  std::ostringstream os;
+  os << "Rect{";
+  for (int d = 0; d < rank(); ++d) {
+    if (d != 0) os << ", ";
+    const DimRange& r = dims_[static_cast<size_t>(d)];
+    if (r.stride == 0) {
+      os << "[" << r.start << "]";
+    } else {
+      os << r.start << ":" << r.stop;
+      if (r.stride != 1) os << ":" << r.stride;
+    }
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace snowflake

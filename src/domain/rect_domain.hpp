@@ -1,0 +1,77 @@
+#pragma once
+// RectDomain: a strided hyper-rectangular iteration space with
+// grid-size-relative bounds (paper Table I / Section II).
+//
+// Each dimension is described by (start, stop, stride):
+//   * start < 0 and stop <= 0 are resolved relative to the grid extent at
+//     compile time (value + extent).  This lets interior and boundary
+//     domains be written once and reused on every grid size ("(1, -1)"
+//     means 1 .. N-1, and stop == 0 denotes the full extent).
+//   * stop is exclusive, so RectDomain({1},{-1},{2}) over extent 8 iterates
+//     {1, 3, 5}.
+//   * stride == 0 denotes a degenerate single-point dimension fixed at
+//     `start` (used by boundary stencils to pin one coordinate to a face,
+//     as in the paper's Figure 4 line 17).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "domain/resolved.hpp"
+#include "grid/layout.hpp"
+
+namespace snowflake {
+
+/// One dimension of a RectDomain before resolution against a grid shape.
+struct DimRange {
+  std::int64_t start = 0;
+  std::int64_t stop = 0;    // exclusive; ignored when stride == 0
+  std::int64_t stride = 1;  // >= 0; 0 = single point at `start`
+};
+
+class DomainUnion;
+
+class RectDomain {
+public:
+  RectDomain() = default;
+
+  /// Per-dimension (start, stop, stride) tuples; ranks must agree.
+  RectDomain(Index start, Index stop, Index stride);
+
+  /// Unit-stride box.
+  RectDomain(Index start, Index stop);
+
+  int rank() const { return static_cast<int>(dims_.size()); }
+  const std::vector<DimRange>& dims() const { return dims_; }
+  const DimRange& dim(int d) const;
+
+  /// Resolve relative bounds against a concrete grid shape.
+  ResolvedRect resolve(const Index& shape) const;
+
+  /// Translate by an offset (all bounds shifted; relative bounds stay
+  /// relative).  Used to derive rotationally-equivalent boundary domains.
+  RectDomain translated(const Index& offset) const;
+
+  /// Union with another domain (the paper's `+` on domains).
+  DomainUnion operator+(const RectDomain& other) const;
+
+  std::string to_string() const;
+
+  friend bool operator==(const RectDomain& a, const RectDomain& b) {
+    return a.dims_.size() == b.dims_.size() &&
+           [&] {
+             for (size_t i = 0; i < a.dims_.size(); ++i) {
+               if (a.dims_[i].start != b.dims_[i].start ||
+                   a.dims_[i].stop != b.dims_[i].stop ||
+                   a.dims_[i].stride != b.dims_[i].stride)
+                 return false;
+             }
+             return true;
+           }();
+  }
+
+private:
+  std::vector<DimRange> dims_;
+};
+
+}  // namespace snowflake

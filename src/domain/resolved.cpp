@@ -1,0 +1,150 @@
+#include "domain/resolved.hpp"
+
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/int_math.hpp"
+
+namespace snowflake {
+
+std::int64_t ResolvedRange::count() const {
+  if (empty()) return 0;
+  return (hi - 1 - lo) / stride + 1;
+}
+
+std::int64_t ResolvedRange::last() const {
+  SF_ASSERT(!empty(), "ResolvedRange::last on empty range");
+  return lo + (count() - 1) * stride;
+}
+
+bool ResolvedRange::contains(std::int64_t x) const {
+  return x >= lo && x < hi && (x - lo) % stride == 0;
+}
+
+std::string ResolvedRange::to_string() const {
+  std::ostringstream os;
+  os << lo << ":" << hi;
+  if (stride != 1) os << ":" << stride;
+  return os.str();
+}
+
+ResolvedRect::ResolvedRect(std::vector<ResolvedRange> ranges)
+    : ranges_(std::move(ranges)) {
+  SF_REQUIRE(!ranges_.empty(), "ResolvedRect requires rank >= 1");
+  for (const auto& r : ranges_) {
+    SF_REQUIRE(r.stride >= 1, "ResolvedRange stride must be >= 1");
+  }
+}
+
+const ResolvedRange& ResolvedRect::range(int d) const {
+  SF_REQUIRE(d >= 0 && d < rank(), "ResolvedRect::range dimension out of range");
+  return ranges_[static_cast<size_t>(d)];
+}
+
+bool ResolvedRect::empty() const {
+  if (ranges_.empty()) return true;
+  for (const auto& r : ranges_) {
+    if (r.empty()) return true;
+  }
+  return false;
+}
+
+std::int64_t ResolvedRect::count() const {
+  if (ranges_.empty()) return 0;
+  std::int64_t n = 1;
+  for (const auto& r : ranges_) n *= r.count();
+  return n;
+}
+
+bool ResolvedRect::contains(const Index& point) const {
+  if (static_cast<int>(point.size()) != rank()) return false;
+  for (size_t d = 0; d < ranges_.size(); ++d) {
+    if (!ranges_[d].contains(point[d])) return false;
+  }
+  return true;
+}
+
+void ResolvedRect::for_each(const std::function<void(const Index&)>& fn) const {
+  if (empty()) return;
+  Index point(ranges_.size());
+  for (size_t d = 0; d < ranges_.size(); ++d) point[d] = ranges_[d].lo;
+  const int r = rank();
+  while (true) {
+    fn(point);
+    // Odometer increment respecting per-dim strides.
+    int d = r - 1;
+    for (; d >= 0; --d) {
+      const auto& range = ranges_[static_cast<size_t>(d)];
+      point[static_cast<size_t>(d)] += range.stride;
+      if (point[static_cast<size_t>(d)] < range.hi) break;
+      point[static_cast<size_t>(d)] = range.lo;
+    }
+    if (d < 0) return;
+  }
+}
+
+std::vector<Index> ResolvedRect::points() const {
+  std::vector<Index> out;
+  out.reserve(static_cast<size_t>(count()));
+  for_each([&](const Index& p) { out.push_back(p); });
+  return out;
+}
+
+std::string ResolvedRect::to_string() const {
+  std::ostringstream os;
+  os << "{";
+  for (int d = 0; d < rank(); ++d) {
+    if (d != 0) os << ", ";
+    os << ranges_[static_cast<size_t>(d)].to_string();
+  }
+  os << "}";
+  return os.str();
+}
+
+ResolvedUnion::ResolvedUnion(std::vector<ResolvedRect> rects)
+    : rects_(std::move(rects)) {
+  for (size_t i = 1; i < rects_.size(); ++i) {
+    SF_REQUIRE(rects_[i].rank() == rects_[0].rank(),
+               "ResolvedUnion members must share a rank");
+  }
+}
+
+int ResolvedUnion::rank() const {
+  return rects_.empty() ? 0 : rects_[0].rank();
+}
+
+bool ResolvedUnion::empty() const {
+  for (const auto& r : rects_) {
+    if (!r.empty()) return false;
+  }
+  return true;
+}
+
+std::int64_t ResolvedUnion::count_with_multiplicity() const {
+  std::int64_t n = 0;
+  for (const auto& r : rects_) n += r.count();
+  return n;
+}
+
+bool ResolvedUnion::contains(const Index& point) const {
+  for (const auto& r : rects_) {
+    if (r.contains(point)) return true;
+  }
+  return false;
+}
+
+void ResolvedUnion::for_each(const std::function<void(const Index&)>& fn) const {
+  for (const auto& r : rects_) r.for_each(fn);
+}
+
+std::string ResolvedUnion::to_string() const {
+  std::ostringstream os;
+  for (size_t i = 0; i < rects_.size(); ++i) {
+    if (i != 0) os << " + ";
+    os << rects_[i].to_string();
+  }
+  if (rects_.empty()) os << "{}";
+  return os.str();
+}
+
+}  // namespace snowflake

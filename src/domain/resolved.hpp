@@ -1,0 +1,84 @@
+#pragma once
+// Resolved (concrete) iteration spaces: all bounds are absolute indices for
+// one specific grid shape.  These are what the analysis and the code
+// generators consume.
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "grid/layout.hpp"
+
+namespace snowflake {
+
+/// The arithmetic progression {lo, lo+stride, ...} ∩ [lo, hi).
+/// stride >= 1 always holds after resolution (single points get stride 1
+/// and hi = lo+1).  An empty range has hi <= lo.
+struct ResolvedRange {
+  std::int64_t lo = 0;
+  std::int64_t hi = 0;  // exclusive
+  std::int64_t stride = 1;
+
+  bool empty() const { return hi <= lo; }
+  std::int64_t count() const;
+  /// Largest point of the progression, requires !empty().
+  std::int64_t last() const;
+  bool contains(std::int64_t x) const;
+  std::string to_string() const;
+
+  friend bool operator==(const ResolvedRange& a, const ResolvedRange& b) {
+    return a.lo == b.lo && a.hi == b.hi && a.stride == b.stride;
+  }
+};
+
+/// A concrete strided box: the Cartesian product of per-dim ranges.
+class ResolvedRect {
+public:
+  ResolvedRect() = default;
+  explicit ResolvedRect(std::vector<ResolvedRange> ranges);
+
+  int rank() const { return static_cast<int>(ranges_.size()); }
+  const std::vector<ResolvedRange>& ranges() const { return ranges_; }
+  const ResolvedRange& range(int d) const;
+
+  bool empty() const;
+  std::int64_t count() const;
+  bool contains(const Index& point) const;
+
+  /// Visit every point in lexicographic order.
+  void for_each(const std::function<void(const Index&)>& fn) const;
+
+  /// All points, materialized (tests / small domains only).
+  std::vector<Index> points() const;
+
+  std::string to_string() const;
+
+private:
+  std::vector<ResolvedRange> ranges_;
+};
+
+/// An ordered list of concrete strided boxes (a resolved DomainUnion).
+class ResolvedUnion {
+public:
+  ResolvedUnion() = default;
+  explicit ResolvedUnion(std::vector<ResolvedRect> rects);
+
+  const std::vector<ResolvedRect>& rects() const { return rects_; }
+  size_t rect_count() const { return rects_.size(); }
+  int rank() const;
+  bool empty() const;
+
+  /// Sum of per-rect counts (counts shared points once per rect).
+  std::int64_t count_with_multiplicity() const;
+
+  bool contains(const Index& point) const;
+  void for_each(const std::function<void(const Index&)>& fn) const;
+  std::string to_string() const;
+
+private:
+  std::vector<ResolvedRect> rects_;
+};
+
+}  // namespace snowflake

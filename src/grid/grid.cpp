@@ -1,0 +1,153 @@
+#include "grid/grid.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+#include "support/error.hpp"
+
+namespace snowflake {
+
+namespace {
+constexpr size_t kAlignment = 64;
+
+double* aligned_alloc_doubles(std::int64_t count) {
+  // Round the byte size up to the alignment as std::aligned_alloc requires.
+  size_t bytes = static_cast<size_t>(count) * sizeof(double);
+  bytes = (bytes + kAlignment - 1) / kAlignment * kAlignment;
+  void* p = std::aligned_alloc(kAlignment, bytes);
+  if (p == nullptr) throw Error("Grid allocation failed (" + std::to_string(bytes) + " bytes)");
+  return static_cast<double*>(p);
+}
+
+/// SplitMix64: tiny, high-quality deterministic generator for test fills.
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+Grid::Grid(Index shape) : layout_(std::move(shape)) {
+  allocate();
+  fill(0.0);
+}
+
+Grid::Grid(Index shape, double fill_value) : layout_(std::move(shape)) {
+  allocate();
+  fill(fill_value);
+}
+
+Grid::Grid(const Grid& other) : layout_(other.layout_) {
+  if (!other.empty()) {
+    allocate();
+    std::memcpy(data_, other.data_, static_cast<size_t>(size()) * sizeof(double));
+  }
+}
+
+Grid& Grid::operator=(const Grid& other) {
+  if (this == &other) return *this;
+  release();
+  layout_ = other.layout_;
+  if (!other.empty()) {
+    allocate();
+    std::memcpy(data_, other.data_, static_cast<size_t>(size()) * sizeof(double));
+  }
+  return *this;
+}
+
+Grid::Grid(Grid&& other) noexcept : layout_(std::move(other.layout_)), data_(other.data_) {
+  other.data_ = nullptr;
+  other.layout_ = Layout();
+}
+
+Grid& Grid::operator=(Grid&& other) noexcept {
+  if (this == &other) return *this;
+  release();
+  layout_ = std::move(other.layout_);
+  data_ = other.data_;
+  other.data_ = nullptr;
+  other.layout_ = Layout();
+  return *this;
+}
+
+Grid::~Grid() { release(); }
+
+void Grid::allocate() { data_ = aligned_alloc_doubles(layout_.size()); }
+
+void Grid::release() {
+  std::free(data_);
+  data_ = nullptr;
+}
+
+double& Grid::at(const Index& index) {
+  SF_REQUIRE(layout_.contains(index), "Grid::at index out of range");
+  return data_[layout_.offset(index)];
+}
+
+double Grid::at(const Index& index) const {
+  SF_REQUIRE(layout_.contains(index), "Grid::at index out of range");
+  return data_[layout_.offset(index)];
+}
+
+void Grid::fill(double value) {
+  std::fill(data_, data_ + size(), value);
+}
+
+void Grid::fill_with(const std::function<double(const Index&)>& fn) {
+  Index index(static_cast<size_t>(rank()), 0);
+  const Index& extents = shape();
+  for (std::int64_t flat = 0; flat < size(); ++flat) {
+    data_[flat] = fn(index);
+    // Odometer increment of the N-d index.
+    for (int d = rank() - 1; d >= 0; --d) {
+      if (++index[static_cast<size_t>(d)] < extents[static_cast<size_t>(d)]) break;
+      index[static_cast<size_t>(d)] = 0;
+    }
+  }
+}
+
+void Grid::fill_random(std::uint64_t seed, double lo, double hi) {
+  SF_REQUIRE(lo < hi, "Grid::fill_random requires lo < hi");
+  std::uint64_t state = seed;
+  const double scale = (hi - lo) / 9007199254740992.0;  // 2^53
+  for (std::int64_t i = 0; i < size(); ++i) {
+    data_[i] = lo + scale * static_cast<double>(splitmix64(state) >> 11);
+  }
+}
+
+double Grid::sum() const {
+  double acc = 0.0;
+  for (std::int64_t i = 0; i < size(); ++i) acc += data_[i];
+  return acc;
+}
+
+double Grid::norm_l2() const {
+  double acc = 0.0;
+  for (std::int64_t i = 0; i < size(); ++i) acc += data_[i] * data_[i];
+  return std::sqrt(acc);
+}
+
+double Grid::norm_max() const {
+  double acc = 0.0;
+  for (std::int64_t i = 0; i < size(); ++i) acc = std::max(acc, std::fabs(data_[i]));
+  return acc;
+}
+
+double Grid::max_abs_diff(const Grid& a, const Grid& b) {
+  SF_REQUIRE(a.shape() == b.shape(), "Grid::max_abs_diff shape mismatch");
+  double acc = 0.0;
+  for (std::int64_t i = 0; i < a.size(); ++i) {
+    acc = std::max(acc, std::fabs(a.data_[i] - b.data_[i]));
+  }
+  return acc;
+}
+
+bool Grid::all_close(const Grid& a, const Grid& b, double tol) {
+  return a.shape() == b.shape() && max_abs_diff(a, b) <= tol;
+}
+
+}  // namespace snowflake

@@ -1,0 +1,78 @@
+#pragma once
+// Grid: an owning N-dimensional array of doubles.
+//
+// This is the mesh substrate every stencil reads and writes.  Storage is
+// 64-byte aligned (cache-line / AVX-512 friendly) and row-major.  Boundary
+// cells are not special at this level: HPGMG-style problems allocate
+// (N+2)^d boxes and address the ghost layer with ordinary indices, exactly
+// as Snowflake's domains do (negative bounds resolve against the extent).
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "grid/layout.hpp"
+
+namespace snowflake {
+
+class Grid {
+public:
+  Grid() = default;
+
+  /// Allocate a zero-initialized grid with the given extents.
+  explicit Grid(Index shape);
+
+  /// Allocate and fill with a constant.
+  Grid(Index shape, double fill_value);
+
+  Grid(const Grid& other);
+  Grid& operator=(const Grid& other);
+  Grid(Grid&& other) noexcept;
+  Grid& operator=(Grid&& other) noexcept;
+  ~Grid();
+
+  const Layout& layout() const { return layout_; }
+  int rank() const { return layout_.rank(); }
+  const Index& shape() const { return layout_.shape(); }
+  std::int64_t size() const { return layout_.size(); }
+  bool empty() const { return data_ == nullptr; }
+
+  double* data() { return data_; }
+  const double* data() const { return data_; }
+
+  double& at(const Index& index);
+  double at(const Index& index) const;
+
+  /// Unchecked flat access (hot paths; kernels use raw data()).
+  double& operator[](std::int64_t flat) { return data_[flat]; }
+  double operator[](std::int64_t flat) const { return data_[flat]; }
+
+  /// Set every element to `value`.
+  void fill(double value);
+
+  /// Set element (i0,...,ik) = fn(i0,...,ik).
+  void fill_with(const std::function<double(const Index&)>& fn);
+
+  /// Deterministic pseudo-random fill in [lo, hi) (seeded; reproducible).
+  void fill_random(std::uint64_t seed, double lo = -1.0, double hi = 1.0);
+
+  /// Sum, L2 norm, max |.| over all elements.
+  double sum() const;
+  double norm_l2() const;
+  double norm_max() const;
+
+  /// Max |a - b| over all elements; shapes must match.
+  static double max_abs_diff(const Grid& a, const Grid& b);
+
+  /// True if every |a - b| <= tol.
+  static bool all_close(const Grid& a, const Grid& b, double tol = 1e-12);
+
+private:
+  void allocate();
+  void release();
+
+  Layout layout_;
+  double* data_ = nullptr;
+};
+
+}  // namespace snowflake

@@ -1,0 +1,106 @@
+#include "grid/grid_io.hpp"
+
+#include <cstring>
+#include <fstream>
+
+#include "support/error.hpp"
+#include "support/string_util.hpp"
+
+namespace snowflake::io {
+
+namespace {
+constexpr char kMagic[8] = {'S', 'F', 'G', 'R', 'I', 'D', '0', '1'};
+
+std::ofstream open_out(const std::string& path, std::ios::openmode mode) {
+  std::ofstream out(path, mode);
+  if (!out) throw Error("cannot open '" + path + "' for writing");
+  return out;
+}
+}  // namespace
+
+void write_raw(const Grid& grid, const std::string& path) {
+  SF_REQUIRE(!grid.empty(), "write_raw: empty grid");
+  auto out = open_out(path, std::ios::binary);
+  out.write(kMagic, sizeof(kMagic));
+  const std::int64_t rank = grid.rank();
+  out.write(reinterpret_cast<const char*>(&rank), sizeof(rank));
+  for (auto e : grid.shape()) {
+    out.write(reinterpret_cast<const char*>(&e), sizeof(e));
+  }
+  out.write(reinterpret_cast<const char*>(grid.data()),
+            static_cast<std::streamsize>(grid.size() * sizeof(double)));
+  if (!out) throw Error("short write to '" + path + "'");
+}
+
+Grid read_raw(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("cannot open '" + path + "' for reading");
+  char magic[sizeof(kMagic)];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw Error("'" + path + "' is not a snowflake grid file");
+  }
+  std::int64_t rank = 0;
+  in.read(reinterpret_cast<char*>(&rank), sizeof(rank));
+  SF_REQUIRE(rank >= 1 && rank <= 8, "grid file has implausible rank");
+  Index shape(static_cast<size_t>(rank));
+  for (auto& e : shape) {
+    in.read(reinterpret_cast<char*>(&e), sizeof(e));
+  }
+  if (!in) throw Error("truncated header in '" + path + "'");
+  Grid grid(shape);
+  in.read(reinterpret_cast<char*>(grid.data()),
+          static_cast<std::streamsize>(grid.size() * sizeof(double)));
+  if (!in) throw Error("truncated data in '" + path + "'");
+  return grid;
+}
+
+void write_csv(const Grid& grid, const std::string& path) {
+  SF_REQUIRE(grid.rank() <= 2, "write_csv supports rank 1 or 2");
+  auto out = open_out(path, std::ios::out);
+  out.precision(17);
+  if (grid.rank() == 1) {
+    for (std::int64_t i = 0; i < grid.size(); ++i) {
+      out << grid[i] << "\n";
+    }
+  } else {
+    const std::int64_t rows = grid.shape()[0];
+    const std::int64_t cols = grid.shape()[1];
+    for (std::int64_t i = 0; i < rows; ++i) {
+      for (std::int64_t j = 0; j < cols; ++j) {
+        if (j) out << ",";
+        out << grid.at({i, j});
+      }
+      out << "\n";
+    }
+  }
+  if (!out) throw Error("short write to '" + path + "'");
+}
+
+void write_vtk(const Grid& grid, const std::string& path,
+               const std::string& field_name) {
+  SF_REQUIRE(grid.rank() >= 1 && grid.rank() <= 3,
+             "write_vtk supports ranks 1..3");
+  SF_REQUIRE(is_identifier(field_name), "VTK field name must be an identifier");
+  auto out = open_out(path, std::ios::out);
+  Index dims(3, 1);
+  // VTK dimensions are (x, y, z) fastest-first; our last dim is contiguous.
+  for (int d = 0; d < grid.rank(); ++d) {
+    dims[static_cast<size_t>(grid.rank() - 1 - d)] =
+        grid.shape()[static_cast<size_t>(d)];
+  }
+  out << "# vtk DataFile Version 3.0\nsnowflake grid\nASCII\n"
+      << "DATASET STRUCTURED_POINTS\n"
+      << "DIMENSIONS " << dims[0] << " " << dims[1] << " " << dims[2] << "\n"
+      << "ORIGIN 0 0 0\nSPACING 1 1 1\n"
+      << "POINT_DATA " << grid.size() << "\n"
+      << "SCALARS " << field_name << " double 1\nLOOKUP_TABLE default\n";
+  out.precision(17);
+  // VTK iterates x fastest == our contiguous last dim: flat order matches.
+  for (std::int64_t i = 0; i < grid.size(); ++i) {
+    out << grid[i] << "\n";
+  }
+  if (!out) throw Error("short write to '" + path + "'");
+}
+
+}  // namespace snowflake::io

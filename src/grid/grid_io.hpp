@@ -1,0 +1,23 @@
+#pragma once
+// Grid serialization: raw binary round-trip (checkpointing), CSV (2D
+// inspection), and legacy-VTK structured points (ParaView/VisIt
+// visualization of example outputs).
+
+#include <string>
+
+#include "grid/grid.hpp"
+
+namespace snowflake::io {
+
+/// Binary dump with a small self-describing header; round-trips exactly.
+void write_raw(const Grid& grid, const std::string& path);
+Grid read_raw(const std::string& path);
+
+/// Comma-separated values, one row per leading index (rank 1 or 2).
+void write_csv(const Grid& grid, const std::string& path);
+
+/// Legacy VTK STRUCTURED_POINTS with one double scalar field (rank 1-3).
+void write_vtk(const Grid& grid, const std::string& path,
+               const std::string& field_name = "field");
+
+}  // namespace snowflake::io

@@ -1,0 +1,62 @@
+#include "grid/grid_set.hpp"
+
+#include "support/error.hpp"
+
+namespace snowflake {
+
+Grid& GridSet::add(const std::string& name, Grid grid) {
+  SF_REQUIRE(!name.empty(), "GridSet::add requires a non-empty name");
+  auto [it, inserted] =
+      grids_.insert_or_assign(name, std::make_shared<Grid>(std::move(grid)));
+  (void)inserted;
+  return *it->second;
+}
+
+Grid& GridSet::add_zeros(const std::string& name, Index shape) {
+  return add(name, Grid(std::move(shape)));
+}
+
+Grid& GridSet::add_shared(const std::string& name, std::shared_ptr<Grid> grid) {
+  SF_REQUIRE(!name.empty(), "GridSet::add_shared requires a non-empty name");
+  SF_REQUIRE(grid != nullptr, "GridSet::add_shared requires a non-null grid");
+  auto [it, inserted] = grids_.insert_or_assign(name, std::move(grid));
+  (void)inserted;
+  return *it->second;
+}
+
+std::shared_ptr<Grid> GridSet::share(const std::string& name) const {
+  auto it = grids_.find(name);
+  if (it == grids_.end()) throw LookupError("GridSet has no grid named '" + name + "'");
+  return it->second;
+}
+
+bool GridSet::contains(const std::string& name) const {
+  return grids_.find(name) != grids_.end();
+}
+
+Grid& GridSet::at(const std::string& name) {
+  auto it = grids_.find(name);
+  if (it == grids_.end()) throw LookupError("GridSet has no grid named '" + name + "'");
+  return *it->second;
+}
+
+const Grid& GridSet::at(const std::string& name) const {
+  auto it = grids_.find(name);
+  if (it == grids_.end()) throw LookupError("GridSet has no grid named '" + name + "'");
+  return *it->second;
+}
+
+void GridSet::remove(const std::string& name) {
+  auto it = grids_.find(name);
+  if (it == grids_.end()) throw LookupError("GridSet has no grid named '" + name + "'");
+  grids_.erase(it);
+}
+
+std::vector<std::string> GridSet::names() const {
+  std::vector<std::string> out;
+  out.reserve(grids_.size());
+  for (const auto& [name, grid] : grids_) out.push_back(name);
+  return out;
+}
+
+}  // namespace snowflake

@@ -1,0 +1,56 @@
+#pragma once
+// GridSet: the binding environment mapping stencil grid names to Grids.
+//
+// A Stencil refers to meshes by name ("mesh", "rhs", "beta_x", ...).  At
+// execution time a GridSet supplies the actual arrays.  Compiled kernels are
+// specialized to grid *shapes*; the GridSet is re-bindable per call as long
+// as shapes match.
+//
+// Grids are held by shared_ptr so that several GridSets can reference the
+// same storage under different names — the multigrid solver binds a fine
+// level's residual and a coarse level's right-hand side into one set for
+// the restriction kernel.
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "grid/grid.hpp"
+
+namespace snowflake {
+
+class GridSet {
+public:
+  GridSet() = default;
+
+  /// Insert or replace a grid under `name`; returns a reference to it.
+  Grid& add(const std::string& name, Grid grid);
+
+  /// Allocate a zero grid of `shape` under `name`.
+  Grid& add_zeros(const std::string& name, Index shape);
+
+  /// Bind existing storage under `name` (shared with other GridSets).
+  Grid& add_shared(const std::string& name, std::shared_ptr<Grid> grid);
+
+  /// Shared handle to a grid (for add_shared into another set).
+  std::shared_ptr<Grid> share(const std::string& name) const;
+
+  bool contains(const std::string& name) const;
+
+  /// Look up a grid; throws LookupError if absent.
+  Grid& at(const std::string& name);
+  const Grid& at(const std::string& name) const;
+
+  void remove(const std::string& name);
+
+  /// Names in sorted order (this is the kernel argument order contract).
+  std::vector<std::string> names() const;
+
+  size_t size() const { return grids_.size(); }
+
+private:
+  std::map<std::string, std::shared_ptr<Grid>> grids_;
+};
+
+}  // namespace snowflake

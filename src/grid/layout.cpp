@@ -1,0 +1,66 @@
+#include "grid/layout.hpp"
+
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace snowflake {
+
+Layout::Layout(Index shape) : shape_(std::move(shape)) {
+  SF_REQUIRE(!shape_.empty(), "Layout requires rank >= 1");
+  strides_.assign(shape_.size(), 1);
+  size_ = 1;
+  for (int d = rank() - 1; d >= 0; --d) {
+    SF_REQUIRE(shape_[static_cast<size_t>(d)] > 0,
+               "Layout extents must be positive, got " +
+                   std::to_string(shape_[static_cast<size_t>(d)]));
+    strides_[static_cast<size_t>(d)] = size_;
+    size_ *= shape_[static_cast<size_t>(d)];
+  }
+}
+
+std::int64_t Layout::extent(int dim) const {
+  SF_REQUIRE(dim >= 0 && dim < rank(), "Layout::extent dimension out of range");
+  return shape_[static_cast<size_t>(dim)];
+}
+
+std::int64_t Layout::offset(const Index& index) const {
+  SF_REQUIRE(static_cast<int>(index.size()) == rank(),
+             "Layout::offset rank mismatch");
+  std::int64_t flat = 0;
+  for (size_t d = 0; d < index.size(); ++d) {
+    flat += index[d] * strides_[d];
+  }
+  return flat;
+}
+
+bool Layout::contains(const Index& index) const {
+  if (static_cast<int>(index.size()) != rank()) return false;
+  for (size_t d = 0; d < index.size(); ++d) {
+    if (index[d] < 0 || index[d] >= shape_[d]) return false;
+  }
+  return true;
+}
+
+Index Layout::unflatten(std::int64_t flat) const {
+  SF_REQUIRE(flat >= 0 && flat < size_, "Layout::unflatten offset out of range");
+  Index index(shape_.size(), 0);
+  for (size_t d = 0; d < shape_.size(); ++d) {
+    index[d] = flat / strides_[d];
+    flat %= strides_[d];
+  }
+  return index;
+}
+
+std::string Layout::to_string() const {
+  std::ostringstream os;
+  os << "[";
+  for (int d = 0; d < rank(); ++d) {
+    if (d != 0) os << " x ";
+    os << shape_[static_cast<size_t>(d)];
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace snowflake

@@ -1,0 +1,49 @@
+#pragma once
+// N-dimensional row-major layout: shape, strides, linearization.
+//
+// A Layout maps an N-d index to a flat offset.  The last dimension is
+// contiguous (row-major / C order), matching what the micro-compilers emit.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace snowflake {
+
+using Index = std::vector<std::int64_t>;
+
+/// Row-major layout over an N-d box of extents `shape`.
+class Layout {
+public:
+  Layout() = default;
+  explicit Layout(Index shape);
+
+  int rank() const { return static_cast<int>(shape_.size()); }
+  const Index& shape() const { return shape_; }
+  const Index& strides() const { return strides_; }
+  std::int64_t extent(int dim) const;
+  std::int64_t size() const { return size_; }
+
+  /// Flat offset of an N-d index (validated in debug paths via contains()).
+  std::int64_t offset(const Index& index) const;
+
+  /// True if `index` lies inside the box.
+  bool contains(const Index& index) const;
+
+  /// Inverse of offset(): N-d index of a flat offset.
+  Index unflatten(std::int64_t flat) const;
+
+  /// "[a x b x c]" for diagnostics.
+  std::string to_string() const;
+
+  friend bool operator==(const Layout& a, const Layout& b) {
+    return a.shape_ == b.shape_;
+  }
+
+private:
+  Index shape_;
+  Index strides_;
+  std::int64_t size_ = 0;
+};
+
+}  // namespace snowflake

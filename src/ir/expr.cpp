@@ -1,0 +1,234 @@
+#include "ir/expr.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+#include "support/hash.hpp"
+#include "support/string_util.hpp"
+
+namespace snowflake {
+
+// --- ConstantExpr -----------------------------------------------------------
+
+bool ConstantExpr::equals(const Expr& other) const {
+  if (other.kind() != ExprKind::Constant) return false;
+  const auto& o = static_cast<const ConstantExpr&>(other);
+  // Bitwise-ish equality: 0.0 == -0.0 is fine here, NaN never equals.
+  return value_ == o.value_;
+}
+
+void ConstantExpr::hash_into(HashStream& hs) const {
+  hs.add(std::int64_t{0}).add(value_);
+}
+
+std::string ConstantExpr::to_string() const { return format_double(value_); }
+
+// --- ParamExpr --------------------------------------------------------------
+
+ParamExpr::ParamExpr(std::string name) : Expr(ExprKind::Param), name_(std::move(name)) {
+  SF_REQUIRE(is_identifier(name_), "parameter name '" + name_ + "' is not a valid identifier");
+}
+
+bool ParamExpr::equals(const Expr& other) const {
+  if (other.kind() != ExprKind::Param) return false;
+  return name_ == static_cast<const ParamExpr&>(other).name_;
+}
+
+void ParamExpr::hash_into(HashStream& hs) const {
+  hs.add(std::int64_t{1}).add(name_);
+}
+
+std::string ParamExpr::to_string() const { return "$" + name_; }
+
+// --- GridReadExpr -----------------------------------------------------------
+
+GridReadExpr::GridReadExpr(std::string grid, IndexMap map)
+    : Expr(ExprKind::GridRead), grid_(std::move(grid)), map_(std::move(map)) {
+  SF_REQUIRE(is_identifier(grid_), "grid name '" + grid_ + "' is not a valid identifier");
+}
+
+bool GridReadExpr::equals(const Expr& other) const {
+  if (other.kind() != ExprKind::GridRead) return false;
+  const auto& o = static_cast<const GridReadExpr&>(other);
+  return grid_ == o.grid_ && map_ == o.map_;
+}
+
+void GridReadExpr::hash_into(HashStream& hs) const {
+  hs.add(std::int64_t{2}).add(grid_);
+  for (const auto& d : map_.dims()) {
+    hs.add(d.num).add(d.off).add(d.den);
+  }
+}
+
+std::string GridReadExpr::to_string() const { return grid_ + map_.to_string(); }
+
+// --- BinaryExpr -------------------------------------------------------------
+
+BinaryExpr::BinaryExpr(BinaryOp op, ExprPtr lhs, ExprPtr rhs)
+    : Expr(ExprKind::Binary), op_(op), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {
+  SF_REQUIRE(lhs_ != nullptr && rhs_ != nullptr, "BinaryExpr operands must be non-null");
+}
+
+bool BinaryExpr::equals(const Expr& other) const {
+  if (other.kind() != ExprKind::Binary) return false;
+  const auto& o = static_cast<const BinaryExpr&>(other);
+  return op_ == o.op_ && lhs_->equals(*o.lhs_) && rhs_->equals(*o.rhs_);
+}
+
+void BinaryExpr::hash_into(HashStream& hs) const {
+  hs.add(std::int64_t{3}).add(static_cast<std::int64_t>(op_));
+  lhs_->hash_into(hs);
+  rhs_->hash_into(hs);
+}
+
+namespace {
+const char* binary_op_symbol(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::Add: return "+";
+    case BinaryOp::Sub: return "-";
+    case BinaryOp::Mul: return "*";
+    case BinaryOp::Div: return "/";
+  }
+  return "?";
+}
+}  // namespace
+
+std::string BinaryExpr::to_string() const {
+  return "(" + lhs_->to_string() + " " + binary_op_symbol(op_) + " " +
+         rhs_->to_string() + ")";
+}
+
+// --- UnaryExpr --------------------------------------------------------------
+
+UnaryExpr::UnaryExpr(UnaryOp op, ExprPtr operand)
+    : Expr(ExprKind::Unary), op_(op), operand_(std::move(operand)) {
+  SF_REQUIRE(operand_ != nullptr, "UnaryExpr operand must be non-null");
+}
+
+bool UnaryExpr::equals(const Expr& other) const {
+  if (other.kind() != ExprKind::Unary) return false;
+  const auto& o = static_cast<const UnaryExpr&>(other);
+  return op_ == o.op_ && operand_->equals(*o.operand_);
+}
+
+void UnaryExpr::hash_into(HashStream& hs) const {
+  hs.add(std::int64_t{4}).add(static_cast<std::int64_t>(op_));
+  operand_->hash_into(hs);
+}
+
+std::string UnaryExpr::to_string() const {
+  return "(-" + operand_->to_string() + ")";
+}
+
+// --- Builders ---------------------------------------------------------------
+
+ExprPtr constant(double value) { return std::make_shared<ConstantExpr>(value); }
+
+ExprPtr param(const std::string& name) { return std::make_shared<ParamExpr>(name); }
+
+ExprPtr read(const std::string& grid, const Index& offsets) {
+  return std::make_shared<GridReadExpr>(grid, IndexMap::offset(offsets));
+}
+
+ExprPtr read_mapped(const std::string& grid, IndexMap map) {
+  return std::make_shared<GridReadExpr>(grid, std::move(map));
+}
+
+namespace {
+ExprPtr binary(BinaryOp op, ExprPtr a, ExprPtr b) {
+  return std::make_shared<BinaryExpr>(op, std::move(a), std::move(b));
+}
+}  // namespace
+
+ExprPtr operator+(const ExprPtr& a, const ExprPtr& b) { return binary(BinaryOp::Add, a, b); }
+ExprPtr operator-(const ExprPtr& a, const ExprPtr& b) { return binary(BinaryOp::Sub, a, b); }
+ExprPtr operator*(const ExprPtr& a, const ExprPtr& b) { return binary(BinaryOp::Mul, a, b); }
+ExprPtr operator/(const ExprPtr& a, const ExprPtr& b) { return binary(BinaryOp::Div, a, b); }
+ExprPtr operator-(const ExprPtr& a) { return std::make_shared<UnaryExpr>(UnaryOp::Neg, a); }
+ExprPtr operator+(const ExprPtr& a, double b) { return a + constant(b); }
+ExprPtr operator+(double a, const ExprPtr& b) { return constant(a) + b; }
+ExprPtr operator-(const ExprPtr& a, double b) { return a - constant(b); }
+ExprPtr operator-(double a, const ExprPtr& b) { return constant(a) - b; }
+ExprPtr operator*(const ExprPtr& a, double b) { return a * constant(b); }
+ExprPtr operator*(double a, const ExprPtr& b) { return constant(a) * b; }
+ExprPtr operator/(const ExprPtr& a, double b) { return a / constant(b); }
+
+// --- Traversal --------------------------------------------------------------
+
+void visit(const ExprPtr& expr, const std::function<void(const Expr&)>& fn) {
+  SF_REQUIRE(expr != nullptr, "visit on null expression");
+  fn(*expr);
+  switch (expr->kind()) {
+    case ExprKind::Binary: {
+      const auto& b = static_cast<const BinaryExpr&>(*expr);
+      visit(b.lhs(), fn);
+      visit(b.rhs(), fn);
+      break;
+    }
+    case ExprKind::Unary:
+      visit(static_cast<const UnaryExpr&>(*expr).operand(), fn);
+      break;
+    default:
+      break;
+  }
+}
+
+std::vector<const GridReadExpr*> collect_reads(const ExprPtr& expr) {
+  std::vector<const GridReadExpr*> out;
+  visit(expr, [&](const Expr& node) {
+    if (node.kind() == ExprKind::GridRead) {
+      out.push_back(static_cast<const GridReadExpr*>(&node));
+    }
+  });
+  return out;
+}
+
+std::set<std::string> grids_read(const ExprPtr& expr) {
+  std::set<std::string> out;
+  for (const auto* r : collect_reads(expr)) out.insert(r->grid());
+  return out;
+}
+
+std::set<std::string> params_used(const ExprPtr& expr) {
+  std::set<std::string> out;
+  visit(expr, [&](const Expr& node) {
+    if (node.kind() == ExprKind::Param) {
+      out.insert(static_cast<const ParamExpr&>(node).name());
+    }
+  });
+  return out;
+}
+
+int expr_rank(const ExprPtr& expr) {
+  int rank = 0;
+  for (const auto* r : collect_reads(expr)) {
+    if (rank == 0) {
+      rank = r->map().rank();
+    } else {
+      SF_REQUIRE(r->map().rank() == rank,
+                 "expression mixes reads of rank " + std::to_string(rank) +
+                     " and rank " + std::to_string(r->map().rank()));
+    }
+  }
+  return rank;
+}
+
+bool expr_equal(const ExprPtr& a, const ExprPtr& b) {
+  if (a == b) return true;
+  if (a == nullptr || b == nullptr) return false;
+  return a->equals(*b);
+}
+
+std::uint64_t expr_hash(const ExprPtr& expr) {
+  SF_REQUIRE(expr != nullptr, "expr_hash on null expression");
+  HashStream hs;
+  expr->hash_into(hs);
+  return hs.digest();
+}
+
+bool is_constant(const ExprPtr& expr, double value) {
+  return expr != nullptr && expr->kind() == ExprKind::Constant &&
+         static_cast<const ConstantExpr&>(*expr).value() == value;
+}
+
+}  // namespace snowflake

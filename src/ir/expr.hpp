@@ -1,0 +1,180 @@
+#pragma once
+// Expression IR for stencil bodies.
+//
+// A stencil assigns out[i] = E(i) at every domain point i.  E is an
+// immutable tree whose leaves are constants, named scalar parameters, and
+// GridRead nodes (a grid name plus an IndexMap).  Components and
+// WeightArrays (weights.hpp) are front-end sugar that expand into sums of
+// weight * GridRead products, mirroring the paper's Table I.
+//
+// Nodes are shared immutable values (ExprPtr = shared_ptr<const Expr>), so
+// sub-expressions like the paper's Figure 4 `top`/`bot`/`left`/`right`
+// coefficients can be freely reused across stencils at no cost.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ir/index_map.hpp"
+
+namespace snowflake {
+
+enum class ExprKind { Constant, Param, GridRead, Binary, Unary };
+
+enum class BinaryOp { Add, Sub, Mul, Div };
+enum class UnaryOp { Neg };
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+class Expr {
+public:
+  virtual ~Expr() = default;
+
+  ExprKind kind() const { return kind_; }
+
+  /// Structural equality.
+  virtual bool equals(const Expr& other) const = 0;
+
+  /// Structural hash (stable across processes; feeds JIT cache keys).
+  virtual void hash_into(class HashStream& hs) const = 0;
+
+  /// Human-readable rendering.
+  virtual std::string to_string() const = 0;
+
+protected:
+  explicit Expr(ExprKind kind) : kind_(kind) {}
+
+private:
+  ExprKind kind_;
+};
+
+class ConstantExpr final : public Expr {
+public:
+  explicit ConstantExpr(double value) : Expr(ExprKind::Constant), value_(value) {}
+  double value() const { return value_; }
+
+  bool equals(const Expr& other) const override;
+  void hash_into(HashStream& hs) const override;
+  std::string to_string() const override;
+
+private:
+  double value_;
+};
+
+/// A named scalar supplied at kernel-call time (e.g. a smoothing weight or
+/// h^-2 that varies per multigrid level).  Parameters avoid re-JITting when
+/// only scalars change.
+class ParamExpr final : public Expr {
+public:
+  explicit ParamExpr(std::string name);
+  const std::string& name() const { return name_; }
+
+  bool equals(const Expr& other) const override;
+  void hash_into(HashStream& hs) const override;
+  std::string to_string() const override;
+
+private:
+  std::string name_;
+};
+
+class GridReadExpr final : public Expr {
+public:
+  GridReadExpr(std::string grid, IndexMap map);
+  const std::string& grid() const { return grid_; }
+  const IndexMap& map() const { return map_; }
+
+  bool equals(const Expr& other) const override;
+  void hash_into(HashStream& hs) const override;
+  std::string to_string() const override;
+
+private:
+  std::string grid_;
+  IndexMap map_;
+};
+
+class BinaryExpr final : public Expr {
+public:
+  BinaryExpr(BinaryOp op, ExprPtr lhs, ExprPtr rhs);
+  BinaryOp op() const { return op_; }
+  const ExprPtr& lhs() const { return lhs_; }
+  const ExprPtr& rhs() const { return rhs_; }
+
+  bool equals(const Expr& other) const override;
+  void hash_into(HashStream& hs) const override;
+  std::string to_string() const override;
+
+private:
+  BinaryOp op_;
+  ExprPtr lhs_;
+  ExprPtr rhs_;
+};
+
+class UnaryExpr final : public Expr {
+public:
+  UnaryExpr(UnaryOp op, ExprPtr operand);
+  UnaryOp op() const { return op_; }
+  const ExprPtr& operand() const { return operand_; }
+
+  bool equals(const Expr& other) const override;
+  void hash_into(HashStream& hs) const override;
+  std::string to_string() const override;
+
+private:
+  UnaryOp op_;
+  ExprPtr operand_;
+};
+
+// --- Builders -------------------------------------------------------------
+
+ExprPtr constant(double value);
+ExprPtr param(const std::string& name);
+/// Read `grid` at the pure offset `offsets` from the iteration point.
+ExprPtr read(const std::string& grid, const Index& offsets);
+/// Read `grid` through an arbitrary rational-affine index map.
+ExprPtr read_mapped(const std::string& grid, IndexMap map);
+
+ExprPtr operator+(const ExprPtr& a, const ExprPtr& b);
+ExprPtr operator-(const ExprPtr& a, const ExprPtr& b);
+ExprPtr operator*(const ExprPtr& a, const ExprPtr& b);
+ExprPtr operator/(const ExprPtr& a, const ExprPtr& b);
+ExprPtr operator-(const ExprPtr& a);
+ExprPtr operator+(const ExprPtr& a, double b);
+ExprPtr operator+(double a, const ExprPtr& b);
+ExprPtr operator-(const ExprPtr& a, double b);
+ExprPtr operator-(double a, const ExprPtr& b);
+ExprPtr operator*(const ExprPtr& a, double b);
+ExprPtr operator*(double a, const ExprPtr& b);
+ExprPtr operator/(const ExprPtr& a, double b);
+
+// --- Traversal helpers ------------------------------------------------------
+
+/// Visit every node in the tree (pre-order).
+void visit(const ExprPtr& expr, const std::function<void(const Expr&)>& fn);
+
+/// All GridRead nodes in the tree, in visit order.
+std::vector<const GridReadExpr*> collect_reads(const ExprPtr& expr);
+
+/// Sorted distinct grid names read by the expression.
+std::set<std::string> grids_read(const ExprPtr& expr);
+
+/// Sorted distinct parameter names used by the expression.
+std::set<std::string> params_used(const ExprPtr& expr);
+
+/// Common rank of every IndexMap in the tree; 0 if the tree has no reads.
+/// Throws InvalidArgument on mixed ranks.
+int expr_rank(const ExprPtr& expr);
+
+/// True if a == b structurally (handles null as equal-to-null).
+bool expr_equal(const ExprPtr& a, const ExprPtr& b);
+
+/// Stable structural hash of an expression.
+std::uint64_t expr_hash(const ExprPtr& expr);
+
+/// True for a ConstantExpr with exactly this value.
+bool is_constant(const ExprPtr& expr, double value);
+
+}  // namespace snowflake

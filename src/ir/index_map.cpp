@@ -1,0 +1,117 @@
+#include "ir/index_map.hpp"
+
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace snowflake {
+
+std::int64_t DimMap::apply(std::int64_t i) const {
+  const std::int64_t v = num * i + off;
+  SF_ASSERT(v % den == 0, "IndexMap division is not exact at i=" + std::to_string(i));
+  return v / den;
+}
+
+IndexMap::IndexMap(std::vector<DimMap> dims) : dims_(std::move(dims)) {
+  SF_REQUIRE(!dims_.empty(), "IndexMap requires rank >= 1");
+  for (const auto& d : dims_) {
+    SF_REQUIRE(d.num >= 1, "IndexMap num must be >= 1");
+    SF_REQUIRE(d.den >= 1, "IndexMap den must be >= 1");
+  }
+}
+
+IndexMap IndexMap::offset(const Index& offsets) {
+  std::vector<DimMap> dims;
+  dims.reserve(offsets.size());
+  for (auto o : offsets) dims.push_back(DimMap{1, o, 1});
+  return IndexMap(std::move(dims));
+}
+
+IndexMap IndexMap::identity(int rank) {
+  SF_REQUIRE(rank >= 1, "IndexMap::identity requires rank >= 1");
+  return IndexMap(std::vector<DimMap>(static_cast<size_t>(rank), DimMap{}));
+}
+
+IndexMap IndexMap::scale(const Index& factor, const Index& offsets) {
+  SF_REQUIRE(factor.size() == offsets.size(), "IndexMap::scale rank mismatch");
+  std::vector<DimMap> dims;
+  dims.reserve(factor.size());
+  for (size_t d = 0; d < factor.size(); ++d) {
+    dims.push_back(DimMap{factor[d], offsets[d], 1});
+  }
+  return IndexMap(std::move(dims));
+}
+
+IndexMap IndexMap::divide(const Index& divisor, const Index& offsets) {
+  SF_REQUIRE(divisor.size() == offsets.size(), "IndexMap::divide rank mismatch");
+  std::vector<DimMap> dims;
+  dims.reserve(divisor.size());
+  for (size_t d = 0; d < divisor.size(); ++d) {
+    dims.push_back(DimMap{1, offsets[d], divisor[d]});
+  }
+  return IndexMap(std::move(dims));
+}
+
+const DimMap& IndexMap::dim(int d) const {
+  SF_REQUIRE(d >= 0 && d < rank(), "IndexMap::dim out of range");
+  return dims_[static_cast<size_t>(d)];
+}
+
+bool IndexMap::is_identity() const {
+  for (const auto& d : dims_) {
+    if (!d.is_identity()) return false;
+  }
+  return true;
+}
+
+bool IndexMap::is_pure_offset() const {
+  for (const auto& d : dims_) {
+    if (!d.is_pure_offset()) return false;
+  }
+  return true;
+}
+
+Index IndexMap::pure_offsets() const {
+  SF_REQUIRE(is_pure_offset(), "IndexMap is not a pure offset map");
+  Index out;
+  out.reserve(dims_.size());
+  for (const auto& d : dims_) out.push_back(d.off);
+  return out;
+}
+
+Index IndexMap::apply(const Index& point) const {
+  SF_REQUIRE(static_cast<int>(point.size()) == rank(), "IndexMap::apply rank mismatch");
+  Index out(point.size());
+  for (size_t d = 0; d < point.size(); ++d) out[d] = dims_[d].apply(point[d]);
+  return out;
+}
+
+std::string IndexMap::to_string() const {
+  std::ostringstream os;
+  os << "(";
+  for (int d = 0; d < rank(); ++d) {
+    if (d != 0) os << ", ";
+    const DimMap& m = dims_[static_cast<size_t>(d)];
+    if (m.is_pure_offset()) {
+      if (m.off == 0) {
+        os << "i" << d;
+      } else if (m.off > 0) {
+        os << "i" << d << "+" << m.off;
+      } else {
+        os << "i" << d << m.off;
+      }
+      continue;
+    }
+    os << "(";
+    if (m.num != 1) os << m.num << "*";
+    os << "i" << d;
+    if (m.off > 0) os << "+" << m.off;
+    if (m.off < 0) os << m.off;
+    os << ")";
+    if (m.den != 1) os << "/" << m.den;
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace snowflake

@@ -1,0 +1,77 @@
+#pragma once
+// IndexMap: the per-dimension rational-affine index transform applied by a
+// GridRead.  Reading grid g through map M at iteration point i accesses
+//   g[ (num_d * i_d + off_d) / den_d  for each dimension d ].
+//
+// Ordinary stencil neighbours are pure offsets (num=den=1).  Restriction
+// reads fine data at 2i+c (num=2); interpolation reads coarse data at
+// (i+c)/2 from parity-strided domains (den=2).  These multiplicative /
+// divisive maps are the generality the paper claims over additive-offset
+// DSLs (Section VI, SDSL discussion).  Division must be exact over the
+// stencil's domain; the validator enforces this with the domain algebra.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "grid/layout.hpp"
+
+namespace snowflake {
+
+struct DimMap {
+  std::int64_t num = 1;  // >= 1
+  std::int64_t off = 0;
+  std::int64_t den = 1;  // >= 1
+
+  bool is_identity() const { return num == 1 && off == 0 && den == 1; }
+  bool is_pure_offset() const { return num == 1 && den == 1; }
+
+  /// Apply to a single coordinate (exact division asserted).
+  std::int64_t apply(std::int64_t i) const;
+
+  friend bool operator==(const DimMap& a, const DimMap& b) {
+    return a.num == b.num && a.off == b.off && a.den == b.den;
+  }
+};
+
+class IndexMap {
+public:
+  IndexMap() = default;
+  explicit IndexMap(std::vector<DimMap> dims);
+
+  /// Pure-offset map (the common case): i -> i + offset.
+  static IndexMap offset(const Index& offsets);
+
+  /// Identity map of the given rank.
+  static IndexMap identity(int rank);
+
+  /// i -> factor*i + offset (e.g. restriction reading fine at 2i+c).
+  static IndexMap scale(const Index& factor, const Index& offsets);
+
+  /// i -> (i + offset) / divisor (e.g. interpolation reading coarse).
+  static IndexMap divide(const Index& divisor, const Index& offsets);
+
+  int rank() const { return static_cast<int>(dims_.size()); }
+  const std::vector<DimMap>& dims() const { return dims_; }
+  const DimMap& dim(int d) const;
+
+  bool is_identity() const;
+  bool is_pure_offset() const;
+
+  /// Offsets of a pure-offset map (requires is_pure_offset()).
+  Index pure_offsets() const;
+
+  /// Apply to an iteration point.
+  Index apply(const Index& point) const;
+
+  std::string to_string() const;
+
+  friend bool operator==(const IndexMap& a, const IndexMap& b) {
+    return a.dims_ == b.dims_;
+  }
+
+private:
+  std::vector<DimMap> dims_;
+};
+
+}  // namespace snowflake

@@ -1,0 +1,113 @@
+#include "ir/stencil.hpp"
+
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/hash.hpp"
+#include "support/string_util.hpp"
+
+namespace snowflake {
+
+Stencil::Stencil(std::string name, ExprPtr expr, std::string output, DomainUnion domain)
+    : name_(std::move(name)),
+      expr_(std::move(expr)),
+      output_(std::move(output)),
+      domain_(std::move(domain)) {
+  SF_REQUIRE(expr_ != nullptr, "Stencil expression must be non-null");
+  SF_REQUIRE(is_identifier(output_), "output grid name '" + output_ + "' is not a valid identifier");
+  SF_REQUIRE(!domain_.empty(), "Stencil requires a non-empty domain");
+  if (name_.empty()) name_ = "stencil";
+}
+
+Stencil::Stencil(ExprPtr expr, std::string output, DomainUnion domain)
+    : Stencil("stencil", std::move(expr), std::move(output), std::move(domain)) {}
+
+bool Stencil::is_in_place() const {
+  return grids_read(expr_).count(output_) != 0;
+}
+
+std::set<std::string> Stencil::grids() const {
+  std::set<std::string> out = inputs();
+  out.insert(output_);
+  return out;
+}
+
+std::string Stencil::to_string() const {
+  std::ostringstream os;
+  os << name_ << ": " << output_ << "[i] = " << expr_->to_string() << "  over  "
+     << domain_.to_string();
+  return os.str();
+}
+
+std::uint64_t Stencil::structural_hash() const {
+  HashStream hs;
+  hs.add(output_);
+  expr_->hash_into(hs);
+  for (const auto& rect : domain_.rects()) {
+    for (const auto& dim : rect.dims()) {
+      hs.add(dim.start).add(dim.stop).add(dim.stride);
+    }
+    hs.add(std::int64_t{-1});  // rect separator
+  }
+  return hs.digest();
+}
+
+StencilGroup::StencilGroup(std::vector<Stencil> stencils)
+    : stencils_(std::move(stencils)) {}
+
+StencilGroup::StencilGroup(const Stencil& stencil) : stencils_({stencil}) {}
+
+StencilGroup& StencilGroup::append(Stencil stencil) {
+  stencils_.push_back(std::move(stencil));
+  return *this;
+}
+
+StencilGroup& StencilGroup::append(const StencilGroup& other) {
+  for (const auto& s : other.stencils_) stencils_.push_back(s);
+  return *this;
+}
+
+std::set<std::string> StencilGroup::grids() const {
+  std::set<std::string> out;
+  for (const auto& s : stencils_) {
+    auto g = s.grids();
+    out.insert(g.begin(), g.end());
+  }
+  return out;
+}
+
+std::set<std::string> StencilGroup::params() const {
+  std::set<std::string> out;
+  for (const auto& s : stencils_) {
+    auto p = s.params();
+    out.insert(p.begin(), p.end());
+  }
+  return out;
+}
+
+int StencilGroup::rank() const {
+  SF_REQUIRE(!stencils_.empty(), "rank() of an empty StencilGroup");
+  int r = stencils_[0].rank();
+  for (const auto& s : stencils_) {
+    SF_REQUIRE(s.rank() == r, "StencilGroup mixes ranks " + std::to_string(r) +
+                                  " and " + std::to_string(s.rank()));
+  }
+  return r;
+}
+
+std::string StencilGroup::to_string() const {
+  std::ostringstream os;
+  os << "StencilGroup[" << stencils_.size() << "]:\n";
+  for (const auto& s : stencils_) os << "  " << s.to_string() << "\n";
+  return os.str();
+}
+
+std::uint64_t StencilGroup::structural_hash() const {
+  HashStream hs;
+  for (const auto& s : stencils_) {
+    hs.add(static_cast<std::int64_t>(s.structural_hash()));
+  }
+  return hs.digest();
+}
+
+}  // namespace snowflake

@@ -1,0 +1,89 @@
+#pragma once
+// Stencil and StencilGroup (paper Table I).
+//
+// A Stencil associates an expression, an output grid, and a domain: for
+// every point i of the resolved domain, out[i] = expr(i).  The output grid
+// may appear in the expression (in-place stencils such as GSRB).
+//
+// A StencilGroup is an ordered list of stencils with *sequential* semantics;
+// the dependence analysis (src/analysis) recovers the parallelism that the
+// sequential order over-specifies, and backends compile a group as one
+// kernel with barriers only where the analysis requires them.
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "domain/domain_union.hpp"
+#include "ir/expr.hpp"
+
+namespace snowflake {
+
+class Stencil {
+public:
+  /// `name` labels the stencil in diagnostics and generated code comments.
+  Stencil(std::string name, ExprPtr expr, std::string output, DomainUnion domain);
+  Stencil(ExprPtr expr, std::string output, DomainUnion domain);
+
+  const std::string& name() const { return name_; }
+  const ExprPtr& expr() const { return expr_; }
+  const std::string& output() const { return output_; }
+  const DomainUnion& domain() const { return domain_; }
+
+  /// Domain rank (== rank of every IndexMap in expr; checked by validate).
+  int rank() const { return domain_.rank(); }
+
+  /// True if the output grid is also read (e.g. GSRB).
+  bool is_in_place() const;
+
+  /// Sorted distinct grid names read by the expression.
+  std::set<std::string> inputs() const { return grids_read(expr_); }
+
+  /// inputs() ∪ {output}.
+  std::set<std::string> grids() const;
+
+  /// Sorted distinct scalar parameter names.
+  std::set<std::string> params() const { return params_used(expr_); }
+
+  std::string to_string() const;
+
+  /// Stable structural hash (expression + output + domain).
+  std::uint64_t structural_hash() const;
+
+private:
+  std::string name_;
+  ExprPtr expr_;
+  std::string output_;
+  DomainUnion domain_;
+};
+
+class StencilGroup {
+public:
+  StencilGroup() = default;
+  explicit StencilGroup(std::vector<Stencil> stencils);
+  /// A group of one (so backends accept either form).
+  StencilGroup(const Stencil& stencil);  // NOLINT(google-explicit-constructor)
+
+  const std::vector<Stencil>& stencils() const { return stencils_; }
+  size_t size() const { return stencils_.size(); }
+  bool empty() const { return stencils_.empty(); }
+  const Stencil& operator[](size_t i) const { return stencils_[i]; }
+
+  StencilGroup& append(Stencil stencil);
+  StencilGroup& append(const StencilGroup& other);
+
+  /// Sorted distinct grid names across all member stencils.
+  std::set<std::string> grids() const;
+  std::set<std::string> params() const;
+
+  /// Common rank of all members (throws on mixed ranks or empty group).
+  int rank() const;
+
+  std::string to_string() const;
+  std::uint64_t structural_hash() const;
+
+private:
+  std::vector<Stencil> stencils_;
+};
+
+}  // namespace snowflake

@@ -1,0 +1,410 @@
+#include "ir/stencil_library.hpp"
+
+#include <cmath>
+
+#include "ir/weights.hpp"
+#include "support/error.hpp"
+
+namespace snowflake::lib {
+
+namespace {
+
+/// Unit vector offset ±e_dim of the given rank.
+Index unit(int rank, int dim, std::int64_t value) {
+  Index v(static_cast<size_t>(rank), 0);
+  v[static_cast<size_t>(dim)] = value;
+  return v;
+}
+
+/// Enumerate all members of {0,1}^rank.
+std::vector<Index> corners(int rank) {
+  std::vector<Index> out;
+  const size_t n = size_t{1} << rank;
+  out.reserve(n);
+  for (size_t mask = 0; mask < n; ++mask) {
+    Index c(static_cast<size_t>(rank));
+    for (int d = 0; d < rank; ++d) c[static_cast<size_t>(d)] = (mask >> d) & 1;
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string axis_name(int dim) {
+  static const char* names[] = {"x", "y", "z", "u", "v", "w"};
+  SF_REQUIRE(dim >= 0 && dim < 6, "axis_name supports dims 0..5");
+  return names[dim];
+}
+
+std::string beta_name(const std::string& prefix, int dim) {
+  return prefix + "_" + axis_name(dim);
+}
+
+// --- Domains ----------------------------------------------------------------
+
+DomainUnion interior(int rank) {
+  SF_REQUIRE(rank >= 1, "interior requires rank >= 1");
+  return DomainUnion(RectDomain(Index(static_cast<size_t>(rank), 1),
+                                Index(static_cast<size_t>(rank), -1)));
+}
+
+DomainUnion interior_margin(int rank, std::int64_t margin) {
+  SF_REQUIRE(rank >= 1 && margin >= 0, "interior_margin requires rank >= 1, margin >= 0");
+  return DomainUnion(RectDomain(Index(static_cast<size_t>(rank), margin),
+                                Index(static_cast<size_t>(rank), -margin)));
+}
+
+DomainUnion colored_interior(int rank, int color) {
+  SF_REQUIRE(rank >= 1, "colored_interior requires rank >= 1");
+  SF_REQUIRE(color == 0 || color == 1, "colored_interior color must be 0 or 1");
+  std::vector<RectDomain> rects;
+  for (const Index& c : corners(rank)) {
+    std::int64_t sum = 0;
+    Index start(static_cast<size_t>(rank));
+    for (int d = 0; d < rank; ++d) {
+      start[static_cast<size_t>(d)] = 1 + c[static_cast<size_t>(d)];
+      sum += start[static_cast<size_t>(d)];
+    }
+    if (sum % 2 != color) continue;
+    rects.emplace_back(start, Index(static_cast<size_t>(rank), -1),
+                       Index(static_cast<size_t>(rank), 2));
+  }
+  return DomainUnion(std::move(rects));
+}
+
+DomainUnion colored_2d(int colors, int color) {
+  SF_REQUIRE(colors >= 1, "colored_2d requires colors >= 1");
+  SF_REQUIRE(color >= 0 && color < colors * colors, "colored_2d color out of range");
+  const std::int64_t a = color / colors;
+  const std::int64_t b = color % colors;
+  // Each product-congruence class is a single strided rect (unlike parity
+  // coloring, which needs a union) — paper Figure 3b.
+  return DomainUnion(RectDomain({1 + a, 1 + b}, {-1, -1}, {colors, colors}));
+}
+
+DomainUnion face(int rank, int dim, bool high) {
+  SF_REQUIRE(rank >= 1 && dim >= 0 && dim < rank, "face dimension out of range");
+  Index start(static_cast<size_t>(rank), 1);
+  Index stop(static_cast<size_t>(rank), -1);
+  Index stride(static_cast<size_t>(rank), 1);
+  start[static_cast<size_t>(dim)] = high ? -1 : 0;
+  stride[static_cast<size_t>(dim)] = 0;  // degenerate: single plane
+  return DomainUnion(RectDomain(std::move(start), std::move(stop), std::move(stride)));
+}
+
+// --- Expressions ------------------------------------------------------------
+
+ExprPtr cc_laplacian_expr(int rank, const std::string& x) {
+  ExprPtr acc = constant(-2.0 * rank) * read(x, Index(static_cast<size_t>(rank), 0));
+  for (int d = 0; d < rank; ++d) {
+    acc = acc + read(x, unit(rank, d, +1)) + read(x, unit(rank, d, -1));
+  }
+  return acc;
+}
+
+ExprPtr cc_ax_expr(int rank, const std::string& x) {
+  // A = -h2inv * laplacian; expand as h2inv * (2*rank*x0 - Σ neighbours) to
+  // keep the tree shallow.
+  ExprPtr acc = constant(2.0 * rank) * read(x, Index(static_cast<size_t>(rank), 0));
+  for (int d = 0; d < rank; ++d) {
+    acc = acc - read(x, unit(rank, d, +1)) - read(x, unit(rank, d, -1));
+  }
+  return param("h2inv") * acc;
+}
+
+ExprPtr cc_laplacian_ho4_expr(int rank, const std::string& x) {
+  // Per-dim weights (-1/12, 4/3, -5/2, 4/3, -1/12); the centre accumulates
+  // -5/2 per dimension.
+  ExprPtr acc = constant(-2.5 * rank) * read(x, Index(static_cast<size_t>(rank), 0));
+  for (int d = 0; d < rank; ++d) {
+    acc = acc +
+          constant(4.0 / 3.0) * (read(x, unit(rank, d, +1)) + read(x, unit(rank, d, -1))) -
+          constant(1.0 / 12.0) * (read(x, unit(rank, d, +2)) + read(x, unit(rank, d, -2)));
+  }
+  return acc;
+}
+
+ExprPtr cc_laplacian_9pt_expr(const std::string& x) {
+  return component(x, WeightArray::from_values(
+                          {3, 3}, {1.0 / 6, 4.0 / 6, 1.0 / 6,
+                                   4.0 / 6, -20.0 / 6, 4.0 / 6,
+                                   1.0 / 6, 4.0 / 6, 1.0 / 6}));
+}
+
+ExprPtr vc_ax_expr(int rank, const std::string& x, const std::string& beta_prefix) {
+  const Index zero(static_cast<size_t>(rank), 0);
+  ExprPtr x0 = read(x, zero);
+  ExprPtr acc;
+  for (int d = 0; d < rank; ++d) {
+    const std::string beta = beta_name(beta_prefix, d);
+    ExprPtr bhi = read(beta, unit(rank, d, +1));
+    ExprPtr blo = read(beta, zero);
+    ExprPtr term = bhi * (x0 - read(x, unit(rank, d, +1))) +
+                   blo * (x0 - read(x, unit(rank, d, -1)));
+    acc = acc == nullptr ? term : acc + term;
+  }
+  return param("h2inv") * acc;
+}
+
+ExprPtr vc_diag_expr(int rank, const std::string& beta_prefix) {
+  const Index zero(static_cast<size_t>(rank), 0);
+  ExprPtr acc;
+  for (int d = 0; d < rank; ++d) {
+    const std::string beta = beta_name(beta_prefix, d);
+    ExprPtr term = read(beta, unit(rank, d, +1)) + read(beta, zero);
+    acc = acc == nullptr ? term : acc + term;
+  }
+  return param("h2inv") * acc;
+}
+
+// --- Stencils ---------------------------------------------------------------
+
+Stencil cc_apply(int rank, const std::string& x, const std::string& out) {
+  return Stencil("cc_apply", cc_ax_expr(rank, x), out, interior(rank));
+}
+
+Stencil cc_jacobi(int rank, const std::string& x, const std::string& rhs,
+                  const std::string& dinv, const std::string& out) {
+  const Index zero(static_cast<size_t>(rank), 0);
+  ExprPtr update = read(x, zero) + param("weight") * read(dinv, zero) *
+                                       (read(rhs, zero) - cc_ax_expr(rank, x));
+  return Stencil("cc_jacobi", update, out, interior(rank));
+}
+
+Stencil cc_dinv_setup(int rank, const std::string& dinv) {
+  return Stencil("cc_dinv_setup",
+                 constant(1.0 / (2.0 * rank)) / param("h2inv"), dinv,
+                 interior(rank));
+}
+
+Stencil cc_residual(int rank, const std::string& x, const std::string& rhs,
+                    const std::string& out) {
+  const Index zero(static_cast<size_t>(rank), 0);
+  return Stencil("cc_residual", read(rhs, zero) - cc_ax_expr(rank, x), out,
+                 interior(rank));
+}
+
+Stencil cc_apply_ho4(int rank, const std::string& x, const std::string& out) {
+  return Stencil("cc_apply_ho4",
+                 constant(-1.0) * param("h2inv") * cc_laplacian_ho4_expr(rank, x),
+                 out, interior_margin(rank, 2));
+}
+
+Stencil gs4_sweep_9pt(const std::string& x, const std::string& rhs, int color) {
+  const Index zero{0, 0};
+  // A = -h2inv * lap9; diag(A) = (20/6) h2inv.
+  ExprPtr ax = constant(-1.0) * param("h2inv") * cc_laplacian_9pt_expr(x);
+  ExprPtr dinv = constant(6.0 / 20.0) / param("h2inv");
+  ExprPtr update =
+      read(x, zero) + param("weight") * dinv * (read(rhs, zero) - ax);
+  return Stencil("gs4_c" + std::to_string(color), update, x,
+                 colored_2d(2, color));
+}
+
+Stencil vc_apply(int rank, const std::string& x, const std::string& out,
+                 const std::string& beta_prefix) {
+  return Stencil("vc_apply", vc_ax_expr(rank, x, beta_prefix), out,
+                 interior(rank));
+}
+
+Stencil vc_gsrb_sweep(int rank, const std::string& x, const std::string& rhs,
+                      const std::string& lambda, const std::string& beta_prefix,
+                      int color) {
+  const Index zero(static_cast<size_t>(rank), 0);
+  ExprPtr update = read(x, zero) +
+                   read(lambda, zero) *
+                       (read(rhs, zero) - vc_ax_expr(rank, x, beta_prefix));
+  return Stencil(color == 0 ? "gsrb_red" : "gsrb_black", update, x,
+                 colored_interior(rank, color));
+}
+
+Stencil vc_residual(int rank, const std::string& x, const std::string& rhs,
+                    const std::string& out, const std::string& beta_prefix) {
+  const Index zero(static_cast<size_t>(rank), 0);
+  return Stencil("vc_residual",
+                 read(rhs, zero) - vc_ax_expr(rank, x, beta_prefix), out,
+                 interior(rank));
+}
+
+Stencil vc_chebyshev_step(int rank, const std::string& x,
+                          const std::string& x_prev, const std::string& rhs,
+                          const std::string& lambda,
+                          const std::string& x_next,
+                          const std::string& beta_prefix) {
+  const Index zero(static_cast<size_t>(rank), 0);
+  ExprPtr x0 = read(x, zero);
+  ExprPtr update =
+      x0 + param("cheby_beta") * (x0 - read(x_prev, zero)) +
+      param("cheby_alpha") * read(lambda, zero) *
+          (read(rhs, zero) - vc_ax_expr(rank, x, beta_prefix));
+  return Stencil("chebyshev", update, x_next, interior(rank));
+}
+
+Stencil vc_lambda_setup(int rank, const std::string& lambda,
+                        const std::string& beta_prefix) {
+  return Stencil("vc_lambda_setup",
+                 constant(1.0) / vc_diag_expr(rank, beta_prefix), lambda,
+                 interior(rank));
+}
+
+Stencil dirichlet_face(int rank, const std::string& x, int dim, bool high) {
+  // ghost = -x[first interior cell inward]: forces the face value (the
+  // average of ghost and inside) to zero under a linear operator.
+  ExprPtr ghost = -read(x, unit(rank, dim, high ? -1 : +1));
+  return Stencil("dirichlet_" + axis_name(dim) + (high ? "_hi" : "_lo"),
+                 ghost, x, face(rank, dim, high));
+}
+
+StencilGroup dirichlet_boundary(int rank, const std::string& x) {
+  StencilGroup group;
+  for (int d = 0; d < rank; ++d) {
+    group.append(dirichlet_face(rank, x, d, /*high=*/false));
+    group.append(dirichlet_face(rank, x, d, /*high=*/true));
+  }
+  return group;
+}
+
+Stencil neumann_face(int rank, const std::string& x, int dim, bool high) {
+  ExprPtr ghost = read(x, unit(rank, dim, high ? -1 : +1));
+  return Stencil("neumann_" + axis_name(dim) + (high ? "_hi" : "_lo"), ghost,
+                 x, face(rank, dim, high));
+}
+
+StencilGroup neumann_boundary(int rank, const std::string& x) {
+  StencilGroup group;
+  for (int d = 0; d < rank; ++d) {
+    group.append(neumann_face(rank, x, d, /*high=*/false));
+    group.append(neumann_face(rank, x, d, /*high=*/true));
+  }
+  return group;
+}
+
+Stencil dirichlet_quadratic_face(int rank, const std::string& x, int dim,
+                                 bool high) {
+  const int s = high ? -1 : +1;
+  ExprPtr ghost = constant(-2.0) * read(x, unit(rank, dim, s)) +
+                  constant(1.0 / 3.0) * read(x, unit(rank, dim, 2 * s));
+  return Stencil("dirichlet2_" + axis_name(dim) + (high ? "_hi" : "_lo"),
+                 ghost, x, face(rank, dim, high));
+}
+
+StencilGroup dirichlet_quadratic_boundary(int rank, const std::string& x) {
+  StencilGroup group;
+  for (int d = 0; d < rank; ++d) {
+    group.append(dirichlet_quadratic_face(rank, x, d, /*high=*/false));
+    group.append(dirichlet_quadratic_face(rank, x, d, /*high=*/true));
+  }
+  return group;
+}
+
+Stencil restriction_fw(int rank, const std::string& fine, const std::string& coarse) {
+  // coarse cell i covers fine cells 2i-1 and 2i per dim (interiors 1-based).
+  ExprPtr acc;
+  for (const Index& c : corners(rank)) {
+    Index off(static_cast<size_t>(rank));
+    for (int d = 0; d < rank; ++d) off[static_cast<size_t>(d)] = c[static_cast<size_t>(d)] - 1;
+    ExprPtr term = read_mapped(fine, IndexMap::scale(Index(static_cast<size_t>(rank), 2), off));
+    acc = acc == nullptr ? term : acc + term;
+  }
+  acc = constant(std::pow(0.5, rank)) * acc;
+  return Stencil("restriction_fw", acc, coarse, interior(rank));
+}
+
+namespace {
+
+/// Strided domain of the fine-parity class `p` (p_d == 1 means odd coords).
+RectDomain parity_rect(int rank, const Index& p) {
+  Index start(static_cast<size_t>(rank));
+  for (int d = 0; d < rank; ++d) {
+    start[static_cast<size_t>(d)] = p[static_cast<size_t>(d)] == 1 ? 1 : 2;
+  }
+  return RectDomain(std::move(start), Index(static_cast<size_t>(rank), -1),
+                    Index(static_cast<size_t>(rank), 2));
+}
+
+std::string parity_suffix(const Index& p) {
+  std::string s;
+  for (auto v : p) s += (v == 1 ? 'o' : 'e');
+  return s;
+}
+
+}  // namespace
+
+StencilGroup interpolation_pc(int rank, const std::string& coarse,
+                              const std::string& fine, bool add) {
+  StencilGroup group;
+  const Index zero(static_cast<size_t>(rank), 0);
+  for (const Index& p : corners(rank)) {
+    // Fine cell i (odd: coarse (i+1)/2, even: coarse i/2).
+    std::vector<DimMap> dims;
+    dims.reserve(static_cast<size_t>(rank));
+    for (int d = 0; d < rank; ++d) {
+      dims.push_back(DimMap{1, p[static_cast<size_t>(d)] == 1 ? 1 : 0, 2});
+    }
+    ExprPtr value = read_mapped(coarse, IndexMap(std::move(dims)));
+    if (add) value = read(fine, zero) + value;
+    group.append(Stencil("interp_pc_" + parity_suffix(p), value, fine,
+                         parity_rect(rank, p)));
+  }
+  return group;
+}
+
+StencilGroup interpolation_pl(int rank, const std::string& coarse,
+                              const std::string& fine, bool add) {
+  StencilGroup group;
+  const Index zero(static_cast<size_t>(rank), 0);
+  for (const Index& p : corners(rank)) {
+    // Per-dim linear weights: 3/4 on the containing coarse cell, 1/4 on the
+    // neighbour toward the fine cell's position within it.
+    ExprPtr acc;
+    for (const Index& s : corners(rank)) {  // s_d == 1 selects the far cell
+      double weight = 1.0;
+      std::vector<DimMap> dims;
+      dims.reserve(static_cast<size_t>(rank));
+      for (int d = 0; d < rank; ++d) {
+        const bool odd = p[static_cast<size_t>(d)] == 1;
+        const bool far = s[static_cast<size_t>(d)] == 1;
+        weight *= far ? 0.25 : 0.75;
+        // odd fine i: near (i+1)/2, far (i-1)/2; even: near i/2, far (i+2)/2.
+        std::int64_t off = odd ? (far ? -1 : 1) : (far ? 2 : 0);
+        dims.push_back(DimMap{1, off, 2});
+      }
+      ExprPtr term = constant(weight) * read_mapped(coarse, IndexMap(std::move(dims)));
+      acc = acc == nullptr ? term : acc + term;
+    }
+    if (add) acc = read(fine, zero) + acc;
+    group.append(Stencil("interp_pl_" + parity_suffix(p), acc, fine,
+                         parity_rect(rank, p)));
+  }
+  return group;
+}
+
+Stencil zero_fill(int rank, const std::string& x) {
+  return Stencil("zero_fill", constant(0.0), x,
+                 DomainUnion(RectDomain(Index(static_cast<size_t>(rank), 0),
+                                        Index(static_cast<size_t>(rank), 0))));
+}
+
+Stencil axpby(int rank, double a, const std::string& x, double b,
+              const std::string& y, const std::string& out) {
+  const Index zero(static_cast<size_t>(rank), 0);
+  return Stencil("axpby", constant(a) * read(x, zero) + constant(b) * read(y, zero),
+                 out, interior(rank));
+}
+
+StencilGroup figure4_complex_smoother() {
+  // The paper's Figure 4 (2D variable-coefficient red-black smoother with
+  // Dirichlet boundaries), assembled from the same pieces the listing uses:
+  // difference = rhs - Ax; final = mesh + lambda * difference; red/black
+  // strided unions; rotationally-equivalent Dirichlet edge stencils.
+  const int rank = 2;
+  StencilGroup group;
+  group.append(dirichlet_boundary(rank, "mesh"));
+  group.append(vc_gsrb_sweep(rank, "mesh", "rhs", "lambda", "beta", 0));
+  group.append(dirichlet_boundary(rank, "mesh"));
+  group.append(vc_gsrb_sweep(rank, "mesh", "rhs", "lambda", "beta", 1));
+  return group;
+}
+
+}  // namespace snowflake::lib

@@ -1,0 +1,184 @@
+#pragma once
+// Canonical stencils and domains used throughout the paper's evaluation:
+// constant-coefficient 7-point Laplacian, weighted Jacobi, variable-
+// coefficient Gauss-Seidel Red-Black, Dirichlet ghost-cell boundaries,
+// residual, restriction and interpolation (the HPGMG operator set), plus
+// the paper's Figure 4 complex-smoothing example.
+//
+// Grid-size conventions: problems allocate (N+2)^d boxes with one ghost
+// layer; the interior is 1..N in every dimension and boundary stencils
+// write the ghost faces.  All domains below use grid-relative bounds so the
+// same stencil objects apply unchanged across every multigrid level.
+//
+// All operators are rank-generic (2D, 3D, ... up to rank 6) — the paper's
+// "arbitrary dimension" claim.
+
+#include <string>
+
+#include "domain/domain_union.hpp"
+#include "ir/stencil.hpp"
+
+namespace snowflake::lib {
+
+/// Axis-name suffix for face-centered coefficient grids ("x","y","z",...).
+std::string axis_name(int dim);
+/// "<prefix>_<axis>", e.g. beta_name("beta", 0) == "beta_x".
+std::string beta_name(const std::string& prefix, int dim);
+
+// --- Domains ---------------------------------------------------------------
+
+/// Unit-stride interior (1..-1)^rank.
+DomainUnion interior(int rank);
+
+/// Unit-stride interior with margin m: (m..-m)^rank.  Radius-2 operators
+/// iterate (2..-2) so every read stays inside the box when only one ghost
+/// layer is allocated.
+DomainUnion interior_margin(int rank, std::int64_t margin);
+
+/// Red-black parity class of the interior: points with coordinate-sum
+/// parity == color (0 = "red" = even).  A union of 2^(rank-1) strided rects
+/// (paper Figure 3a).
+DomainUnion colored_interior(int rank, int color);
+
+/// 2D multi-color tiling with `colors` x `colors` classes (paper Figure 3b
+/// shows the 4-color case, colors == 2).  `color` in [0, colors^2).
+DomainUnion colored_2d(int colors, int color);
+
+/// Ghost face of dimension `dim` (low: index 0; high: index extent-1),
+/// spanning the interior in all other dimensions.
+DomainUnion face(int rank, int dim, bool high);
+
+// --- Expressions ------------------------------------------------------------
+
+/// Σ_dir x[i±e_dir] - 2*rank*x[i]  (the unscaled CC Laplacian).
+ExprPtr cc_laplacian_expr(int rank, const std::string& x);
+
+/// A_cc x = -$h2inv * laplacian(x): the constant-coefficient operator.
+ExprPtr cc_ax_expr(int rank, const std::string& x);
+
+/// Fourth-order constant-coefficient Laplacian (radius-2 star: per-dim
+/// weights (-1/12, 4/3, -5/2, 4/3, -1/12)/h²) — the "higher-order
+/// operators (larger stencils)" of the paper's abstract.
+ExprPtr cc_laplacian_ho4_expr(int rank, const std::string& x);
+
+/// 2D compact 9-point Laplacian (weights (1,4,1; 4,-20,4; 1,4,1)/6h²):
+/// the operator whose diagonal reads make red-black coloring UNSAFE and
+/// demand the 4-color tiling of the paper's Figure 3b.
+ExprPtr cc_laplacian_9pt_expr(const std::string& x);
+
+/// A_vc x = $h2inv * Σ_d [β_d[i+e_d](x[i]-x[i+e_d]) + β_d[i](x[i]-x[i-e_d])]
+/// with face-centered β grids named beta_name(beta_prefix, d); this is
+/// -div(β grad x) discretized at second order (the HPGMG operator).
+ExprPtr vc_ax_expr(int rank, const std::string& x, const std::string& beta_prefix);
+
+/// diag(A_vc) at a point: $h2inv * Σ_d (β_d[i+e_d] + β_d[i]).
+ExprPtr vc_diag_expr(int rank, const std::string& beta_prefix);
+
+// --- Stencils ---------------------------------------------------------------
+
+/// out = A_cc x over the interior (params: h2inv).
+Stencil cc_apply(int rank, const std::string& x, const std::string& out);
+
+/// Weighted Jacobi step (out-of-place):
+/// out = x + $weight * dinv[i] * (rhs - A_cc x).
+/// `dinv` holds the precomputed inverse diagonal (HPGMG stores D^-1 as a
+/// mesh, which is also what gives the paper's 40 B/stencil traffic).
+Stencil cc_jacobi(int rank, const std::string& x, const std::string& rhs,
+                  const std::string& dinv, const std::string& out);
+
+/// dinv = 1/(2*rank*$h2inv) over the interior (constant-coefficient D^-1).
+Stencil cc_dinv_setup(int rank, const std::string& dinv);
+
+/// res = rhs - A_cc x over the interior.
+Stencil cc_residual(int rank, const std::string& x, const std::string& rhs,
+                    const std::string& out);
+
+/// out = -$h2inv * laplacian_ho4(x) over the margin-2 interior.
+Stencil cc_apply_ho4(int rank, const std::string& x, const std::string& out);
+
+/// One 4-color Gauss-Seidel half-sweep for the 2D 9-point operator
+/// (in-place): x += $weight * (6/(20*$h2inv)) * (rhs + $h2inv*lap9(x)/...)
+/// over color class `color` of the 2x2 product coloring.  All points of
+/// one class update concurrently (Figure 3b); parity coloring would not be
+/// safe for this operator.
+Stencil gs4_sweep_9pt(const std::string& x, const std::string& rhs, int color);
+
+/// out = A_vc x over the interior (params: h2inv).
+Stencil vc_apply(int rank, const std::string& x, const std::string& out,
+                 const std::string& beta_prefix);
+
+/// One GSRB half-sweep (in-place): x += lambda * (rhs - A_vc x) over the
+/// given color class.  `lambda` holds precomputed 1/diag(A_vc).
+Stencil vc_gsrb_sweep(int rank, const std::string& x, const std::string& rhs,
+                      const std::string& lambda, const std::string& beta_prefix,
+                      int color);
+
+/// res = rhs - A_vc x over the interior.
+Stencil vc_residual(int rank, const std::string& x, const std::string& rhs,
+                    const std::string& out, const std::string& beta_prefix);
+
+/// One Chebyshev smoother step (the paper's §II example of an update that
+/// is "common in techniques such as ... Chebyshev smoothing"; reads THREE
+/// meshes and writes a fourth):
+///   x_next = x + $cheby_beta*(x - x_prev)
+///              + $cheby_alpha * lambda * (rhs - A_vc x)
+/// The caller drives the alpha/beta recurrence and rotates grids.
+Stencil vc_chebyshev_step(int rank, const std::string& x,
+                          const std::string& x_prev, const std::string& rhs,
+                          const std::string& lambda,
+                          const std::string& x_next,
+                          const std::string& beta_prefix);
+
+/// lambda = 1 / diag(A_vc) over the interior (run once per level).
+Stencil vc_lambda_setup(int rank, const std::string& lambda,
+                        const std::string& beta_prefix);
+
+/// Linear (reflecting) Dirichlet ghost update for one face:
+/// ghost = -x[inward neighbour] (paper Figure 4 lines 16-17).
+Stencil dirichlet_face(int rank, const std::string& x, int dim, bool high);
+
+/// All 2*rank Dirichlet face stencils.
+StencilGroup dirichlet_boundary(int rank, const std::string& x);
+
+/// Homogeneous Neumann (zero normal flux) ghost update: ghost = x[inward]
+/// (reflection), for one face / all faces.
+Stencil neumann_face(int rank, const std::string& x, int dim, bool high);
+StencilGroup neumann_boundary(int rank, const std::string& x);
+
+/// Second-order Dirichlet ghost update (HPGMG's quadratic BC): fit the
+/// parabola through the face value 0 and the first two interior cell
+/// centres, evaluate at the ghost centre: ghost = -2*u1 + u2/3.
+Stencil dirichlet_quadratic_face(int rank, const std::string& x, int dim,
+                                 bool high);
+StencilGroup dirichlet_quadratic_boundary(int rank, const std::string& x);
+
+/// Full-weighting (2^rank cell average) restriction:
+/// coarse[i] = 2^-rank * Σ_{c∈{0,1}^rank} fine[2i-1+c] over the coarse
+/// interior.  Uses multiplicative (num=2) index maps.
+Stencil restriction_fw(int rank, const std::string& fine, const std::string& coarse);
+
+/// Piecewise-constant interpolation, one stencil per fine-parity class
+/// (2^rank stencils over strided domains, divisive den=2 index maps):
+/// fine[i] (+)= coarse[cell containing i].
+StencilGroup interpolation_pc(int rank, const std::string& coarse,
+                              const std::string& fine, bool add);
+
+/// Piecewise-linear interpolation (weights 3/4, 1/4 per dimension), one
+/// stencil per fine-parity class.  Requires valid coarse ghost values.
+StencilGroup interpolation_pl(int rank, const std::string& coarse,
+                              const std::string& fine, bool add);
+
+/// x = 0 over the whole box (used to zero initial guesses).
+Stencil zero_fill(int rank, const std::string& x);
+
+/// out = a*x + b*y over the interior.
+Stencil axpby(int rank, double a, const std::string& x, double b,
+              const std::string& y, const std::string& out);
+
+/// The paper's Figure 4 example, corrected: a 2D variable-coefficient
+/// red-black Jacobi-style smoother with Dirichlet boundaries, as a group
+/// [boundary, red, boundary, black].  Grids: mesh, rhs, lambda_w (scalar
+/// weight grid "lambda" in the paper), beta_x, beta_y; params: h2inv.
+StencilGroup figure4_complex_smoother();
+
+}  // namespace snowflake::lib

@@ -1,0 +1,92 @@
+#include "ir/validate.hpp"
+
+#include "domain/domain_algebra.hpp"
+#include "grid/grid_set.hpp"
+#include "support/error.hpp"
+
+namespace snowflake {
+
+ShapeMap shapes_of(const GridSet& grids) {
+  ShapeMap shapes;
+  for (const auto& name : grids.names()) {
+    shapes[name] = grids.at(name).shape();
+  }
+  return shapes;
+}
+
+void validate_stencil(const Stencil& stencil) {
+  const int domain_rank = stencil.domain().rank();
+  const int read_rank = expr_rank(stencil.expr());
+  if (read_rank != 0) {
+    SF_REQUIRE(read_rank == domain_rank,
+               "stencil '" + stencil.name() + "': expression rank " +
+                   std::to_string(read_rank) + " != domain rank " +
+                   std::to_string(domain_rank));
+  }
+}
+
+namespace {
+
+const Index& shape_for(const ShapeMap& shapes, const std::string& grid,
+                       const std::string& stencil_name) {
+  auto it = shapes.find(grid);
+  if (it == shapes.end()) {
+    throw LookupError("stencil '" + stencil_name + "' references grid '" + grid +
+                      "' which has no shape binding");
+  }
+  return it->second;
+}
+
+}  // namespace
+
+void validate_resolved(const Stencil& stencil, const ShapeMap& shapes) {
+  validate_stencil(stencil);
+  const Index& out_shape = shape_for(shapes, stencil.output(), stencil.name());
+  SF_REQUIRE(static_cast<int>(out_shape.size()) == stencil.rank(),
+             "stencil '" + stencil.name() + "': output grid rank " +
+                 std::to_string(out_shape.size()) + " != domain rank " +
+                 std::to_string(stencil.rank()));
+  const ResolvedUnion domain = stencil.domain().resolve(out_shape);
+
+  for (const auto* r : collect_reads(stencil.expr())) {
+    const Index& in_shape = shape_for(shapes, r->grid(), stencil.name());
+    SF_REQUIRE(static_cast<int>(in_shape.size()) == stencil.rank(),
+               "stencil '" + stencil.name() + "': grid '" + r->grid() +
+                   "' rank mismatch");
+    Index num(in_shape.size()), off(in_shape.size()), den(in_shape.size());
+    for (int d = 0; d < r->map().rank(); ++d) {
+      num[static_cast<size_t>(d)] = r->map().dim(d).num;
+      off[static_cast<size_t>(d)] = r->map().dim(d).off;
+      den[static_cast<size_t>(d)] = r->map().dim(d).den;
+    }
+    for (const auto& rect : domain.rects()) {
+      if (rect.empty()) continue;
+      ResolvedRect image;
+      try {
+        image = affine_image(rect, num, off, den);
+      } catch (const InvalidArgument& e) {
+        throw InvalidArgument("stencil '" + stencil.name() + "': read " +
+                              r->to_string() + " over " + rect.to_string() +
+                              ": " + e.what());
+      }
+      for (int d = 0; d < image.rank(); ++d) {
+        const ResolvedRange& range = image.range(d);
+        if (range.empty()) continue;
+        SF_REQUIRE(
+            range.lo >= 0 && range.last() < in_shape[static_cast<size_t>(d)],
+            "stencil '" + stencil.name() + "': read " + r->to_string() +
+                " accesses grid '" + r->grid() + "' out of bounds in dim " +
+                std::to_string(d) + " (touches " + std::to_string(range.lo) +
+                ".." + std::to_string(range.last()) + ", extent " +
+                std::to_string(in_shape[static_cast<size_t>(d)]) + ")");
+      }
+    }
+  }
+}
+
+void validate_group(const StencilGroup& group, const ShapeMap& shapes) {
+  SF_REQUIRE(!group.empty(), "cannot validate an empty StencilGroup");
+  for (const auto& s : group.stencils()) validate_resolved(s, shapes);
+}
+
+}  // namespace snowflake

@@ -1,0 +1,37 @@
+#pragma once
+// Stencil validation.
+//
+// Two phases, mirroring the paper's front end:
+//  * validate_stencil — shape-independent checks (rank consistency between
+//    the expression's index maps and the domain).
+//  * validate_resolved — checks against concrete grid shapes: the domain
+//    resolves inside the output grid, every read's affine image of the
+//    domain divides exactly and lands inside the read grid's box.  This is
+//    what makes out-of-bounds ghost reads a compile-time error instead of a
+//    runtime crash.
+
+#include <map>
+#include <string>
+
+#include "ir/stencil.hpp"
+
+namespace snowflake {
+
+/// Grid name -> extents.  The contract between stencils and execution.
+using ShapeMap = std::map<std::string, Index>;
+
+class GridSet;
+
+/// Extract the ShapeMap of a GridSet.
+ShapeMap shapes_of(const GridSet& grids);
+
+/// Shape-independent validation; throws InvalidArgument on failure.
+void validate_stencil(const Stencil& stencil);
+
+/// Shape-dependent validation; throws InvalidArgument / LookupError.
+void validate_resolved(const Stencil& stencil, const ShapeMap& shapes);
+
+/// Validate every member of a group (both phases).
+void validate_group(const StencilGroup& group, const ShapeMap& shapes);
+
+}  // namespace snowflake

@@ -1,0 +1,232 @@
+#include "ir/weights.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace snowflake {
+
+namespace {
+std::int64_t product(const Index& v) {
+  std::int64_t p = 1;
+  for (auto x : v) p *= x;
+  return p;
+}
+}  // namespace
+
+// --- WeightArray ------------------------------------------------------------
+
+WeightArray::WeightArray(Index shape, std::vector<ExprPtr> flat)
+    : shape_(std::move(shape)), flat_(std::move(flat)) {
+  SF_REQUIRE(!shape_.empty(), "WeightArray requires rank >= 1");
+  for (auto e : shape_) {
+    SF_REQUIRE(e >= 1 && e % 2 == 1,
+               "WeightArray extents must be odd and positive, got " + std::to_string(e));
+  }
+  SF_REQUIRE(static_cast<std::int64_t>(flat_.size()) == product(shape_),
+             "WeightArray element count does not match shape");
+  strides_.assign(shape_.size(), 1);
+  std::int64_t acc = 1;
+  for (int d = rank() - 1; d >= 0; --d) {
+    strides_[static_cast<size_t>(d)] = acc;
+    acc *= shape_[static_cast<size_t>(d)];
+  }
+}
+
+WeightArray WeightArray::from_values(Index shape, const std::vector<double>& flat) {
+  std::vector<ExprPtr> exprs;
+  exprs.reserve(flat.size());
+  for (double v : flat) exprs.push_back(v == 0.0 ? nullptr : constant(v));
+  return WeightArray(std::move(shape), std::move(exprs));
+}
+
+WeightArray WeightArray::point(int rank, ExprPtr weight) {
+  SF_REQUIRE(rank >= 1, "WeightArray::point requires rank >= 1");
+  return WeightArray(Index(static_cast<size_t>(rank), 1), {std::move(weight)});
+}
+
+WeightArray WeightArray::point(int rank, double weight) {
+  return point(rank, constant(weight));
+}
+
+Index WeightArray::center() const {
+  Index c(shape_.size());
+  for (size_t d = 0; d < shape_.size(); ++d) c[d] = shape_[d] / 2;
+  return c;
+}
+
+const ExprPtr& WeightArray::at(const Index& element) const {
+  SF_REQUIRE(static_cast<int>(element.size()) == rank(), "WeightArray::at rank mismatch");
+  std::int64_t flat = 0;
+  for (size_t d = 0; d < element.size(); ++d) {
+    SF_REQUIRE(element[d] >= 0 && element[d] < shape_[d],
+               "WeightArray::at element out of range");
+    flat += element[d] * strides_[d];
+  }
+  return flat_[static_cast<size_t>(flat)];
+}
+
+ExprPtr WeightArray::at_offset(const Index& offset) const {
+  SF_REQUIRE(static_cast<int>(offset.size()) == rank(),
+             "WeightArray::at_offset rank mismatch");
+  Index element(offset.size());
+  for (size_t d = 0; d < offset.size(); ++d) {
+    element[d] = offset[d] + shape_[d] / 2;
+    if (element[d] < 0 || element[d] >= shape_[d]) return nullptr;
+  }
+  return at(element);
+}
+
+std::vector<std::pair<Index, ExprPtr>> WeightArray::entries() const {
+  std::vector<std::pair<Index, ExprPtr>> out;
+  const Index c = center();
+  Index element(shape_.size(), 0);
+  for (size_t flat = 0; flat < flat_.size(); ++flat) {
+    const ExprPtr& w = flat_[flat];
+    if (w != nullptr && !is_constant(w, 0.0)) {
+      Index offset(element.size());
+      for (size_t d = 0; d < element.size(); ++d) offset[d] = element[d] - c[d];
+      out.emplace_back(std::move(offset), w);
+    }
+    for (int d = rank() - 1; d >= 0; --d) {
+      if (++element[static_cast<size_t>(d)] < shape_[static_cast<size_t>(d)]) break;
+      element[static_cast<size_t>(d)] = 0;
+    }
+  }
+  return out;
+}
+
+SparseArray WeightArray::to_sparse() const {
+  SparseArray out(rank());
+  for (auto& [offset, weight] : entries()) out.set(offset, weight);
+  return out;
+}
+
+std::string WeightArray::to_string() const {
+  return to_sparse().to_string();
+}
+
+// --- SparseArray ------------------------------------------------------------
+
+SparseArray::SparseArray(int rank) : rank_(rank) {
+  SF_REQUIRE(rank_ >= 1, "SparseArray requires rank >= 1");
+}
+
+SparseArray::SparseArray(int rank, std::map<Index, ExprPtr> entries)
+    : rank_(rank), entries_(std::move(entries)) {
+  SF_REQUIRE(rank_ >= 1, "SparseArray requires rank >= 1");
+  for (const auto& [offset, weight] : entries_) {
+    SF_REQUIRE(static_cast<int>(offset.size()) == rank_, "SparseArray offset rank mismatch");
+    SF_REQUIRE(weight != nullptr, "SparseArray weights must be non-null");
+  }
+}
+
+SparseArray& SparseArray::set(const Index& offset, ExprPtr weight) {
+  SF_REQUIRE(static_cast<int>(offset.size()) == rank_, "SparseArray::set rank mismatch");
+  SF_REQUIRE(weight != nullptr, "SparseArray::set weight must be non-null");
+  entries_[offset] = std::move(weight);
+  return *this;
+}
+
+SparseArray& SparseArray::set(const Index& offset, double weight) {
+  return set(offset, constant(weight));
+}
+
+ExprPtr SparseArray::at(const Index& offset) const {
+  auto it = entries_.find(offset);
+  return it == entries_.end() ? nullptr : it->second;
+}
+
+SparseArray SparseArray::operator+(const SparseArray& other) const {
+  SF_REQUIRE(rank_ == other.rank_, "SparseArray::operator+ rank mismatch");
+  SparseArray out = *this;
+  for (const auto& [offset, weight] : other.entries_) {
+    auto it = out.entries_.find(offset);
+    if (it == out.entries_.end()) {
+      out.entries_[offset] = weight;
+    } else {
+      it->second = it->second + weight;
+    }
+  }
+  return out;
+}
+
+SparseArray SparseArray::scaled(const ExprPtr& factor) const {
+  SF_REQUIRE(factor != nullptr, "SparseArray::scaled factor must be non-null");
+  SparseArray out(rank_);
+  for (const auto& [offset, weight] : entries_) {
+    out.entries_[offset] = factor * weight;
+  }
+  return out;
+}
+
+SparseArray SparseArray::scaled(double factor) const { return scaled(constant(factor)); }
+
+WeightArray SparseArray::to_weight_array() const {
+  SF_REQUIRE(!entries_.empty(), "cannot densify an empty SparseArray");
+  // Minimal odd-extent bounding box: extent_d = 2*max|offset_d| + 1.
+  Index radius(static_cast<size_t>(rank_), 0);
+  for (const auto& [offset, weight] : entries_) {
+    for (size_t d = 0; d < offset.size(); ++d) {
+      radius[d] = std::max(radius[d], std::abs(offset[d]));
+    }
+  }
+  Index shape(static_cast<size_t>(rank_));
+  for (size_t d = 0; d < shape.size(); ++d) shape[d] = 2 * radius[d] + 1;
+  std::int64_t total = product(shape);
+  std::vector<ExprPtr> flat(static_cast<size_t>(total));
+  Index strides(static_cast<size_t>(rank_), 1);
+  std::int64_t acc = 1;
+  for (int d = rank_ - 1; d >= 0; --d) {
+    strides[static_cast<size_t>(d)] = acc;
+    acc *= shape[static_cast<size_t>(d)];
+  }
+  for (const auto& [offset, weight] : entries_) {
+    std::int64_t pos = 0;
+    for (size_t d = 0; d < offset.size(); ++d) {
+      pos += (offset[d] + radius[d]) * strides[d];
+    }
+    flat[static_cast<size_t>(pos)] = weight;
+  }
+  return WeightArray(std::move(shape), std::move(flat));
+}
+
+std::string SparseArray::to_string() const {
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  for (const auto& [offset, weight] : entries_) {
+    if (!first) os << ", ";
+    first = false;
+    os << "(";
+    for (size_t d = 0; d < offset.size(); ++d) {
+      if (d != 0) os << ",";
+      os << offset[d];
+    }
+    os << "): " << weight->to_string();
+  }
+  os << "}";
+  return os.str();
+}
+
+// --- Component --------------------------------------------------------------
+
+ExprPtr component(const std::string& grid, const WeightArray& weights) {
+  return component(grid, weights.to_sparse());
+}
+
+ExprPtr component(const std::string& grid, const SparseArray& weights) {
+  SF_REQUIRE(!weights.empty(),
+             "Component of '" + grid + "' has no non-zero weights");
+  ExprPtr acc;
+  for (const auto& [offset, weight] : weights.entries()) {
+    ExprPtr term = is_constant(weight, 1.0) ? read(grid, offset)
+                                            : weight * read(grid, offset);
+    acc = acc == nullptr ? term : acc + term;
+  }
+  return acc;
+}
+
+}  // namespace snowflake

@@ -1,0 +1,99 @@
+#pragma once
+// WeightArray / SparseArray / Component — the paper's Table I front end.
+//
+// A WeightArray is an N-d array of weights with odd extents; the middle
+// element corresponds to the stencil centre, so element index e denotes
+// offset e - center.  Weights are full expressions (ExprPtr), not just
+// numbers: the paper's Figure 4 builds a variable-coefficient operator by
+// using Components of the beta arrays as the weights of a mesh Component.
+//
+// A SparseArray is the hashmap form: offset vector -> weight expression.
+//
+// component(grid, W) expands to Σ_off W[off] * grid[i + off], skipping
+// literal-zero weights and eliding multiplications by literal one.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ir/expr.hpp"
+
+namespace snowflake {
+
+class SparseArray;
+
+class WeightArray {
+public:
+  /// `shape` extents must all be odd; `flat` is row-major and must have
+  /// exactly prod(shape) entries.  Null entries are treated as zero.
+  WeightArray(Index shape, std::vector<ExprPtr> flat);
+
+  /// Numeric convenience: weights from doubles.
+  static WeightArray from_values(Index shape, const std::vector<double>& flat);
+
+  /// 1x..x1 array holding a single weight (a "point" component).
+  static WeightArray point(int rank, ExprPtr weight);
+  static WeightArray point(int rank, double weight);
+
+  int rank() const { return static_cast<int>(shape_.size()); }
+  const Index& shape() const { return shape_; }
+  /// Center element index (shape/2 in each dim).
+  Index center() const;
+
+  /// Weight at an element index (0-based within the array).
+  const ExprPtr& at(const Index& element) const;
+
+  /// Weight at a center-relative offset; null if outside the array.
+  ExprPtr at_offset(const Index& offset) const;
+
+  /// All (offset, weight) pairs with non-null, non-literal-zero weight.
+  std::vector<std::pair<Index, ExprPtr>> entries() const;
+
+  SparseArray to_sparse() const;
+
+  std::string to_string() const;
+
+private:
+  Index shape_;
+  Index strides_;
+  std::vector<ExprPtr> flat_;
+};
+
+class SparseArray {
+public:
+  explicit SparseArray(int rank);
+  SparseArray(int rank, std::map<Index, ExprPtr> entries);
+
+  int rank() const { return rank_; }
+  const std::map<Index, ExprPtr>& entries() const { return entries_; }
+  bool empty() const { return entries_.empty(); }
+
+  /// Set the weight at a center-relative offset (replaces any existing).
+  SparseArray& set(const Index& offset, ExprPtr weight);
+  SparseArray& set(const Index& offset, double weight);
+
+  /// Weight at an offset; null if absent.
+  ExprPtr at(const Index& offset) const;
+
+  /// Elementwise sum (offsets united; shared offsets' weights added).
+  SparseArray operator+(const SparseArray& other) const;
+
+  /// Every weight multiplied by `factor`.
+  SparseArray scaled(const ExprPtr& factor) const;
+  SparseArray scaled(double factor) const;
+
+  /// Densify to the minimal odd-extent WeightArray containing all offsets.
+  WeightArray to_weight_array() const;
+
+  std::string to_string() const;
+
+private:
+  int rank_;
+  std::map<Index, ExprPtr> entries_;
+};
+
+/// Expand a Component to its expression: Σ_off W[off] * grid[i+off].
+ExprPtr component(const std::string& grid, const WeightArray& weights);
+ExprPtr component(const std::string& grid, const SparseArray& weights);
+
+}  // namespace snowflake

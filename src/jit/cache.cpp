@@ -1,0 +1,88 @@
+#include "jit/cache.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/hash.hpp"
+#include "support/logging.hpp"
+
+namespace fs = std::filesystem;
+
+namespace snowflake {
+
+namespace {
+
+std::string default_directory() {
+  if (const char* env = std::getenv("SNOWFLAKE_CACHE_DIR"); env != nullptr && *env) {
+    return env;
+  }
+  if (const char* xdg = std::getenv("XDG_CACHE_HOME"); xdg != nullptr && *xdg) {
+    return std::string(xdg) + "/snowflake";
+  }
+  if (const char* home = std::getenv("HOME"); home != nullptr && *home) {
+    return std::string(home) + "/.cache/snowflake";
+  }
+  return "/tmp/snowflake-cache";
+}
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+}  // namespace
+
+KernelCache::KernelCache(std::string directory)
+    : directory_(directory.empty() ? default_directory() : std::move(directory)) {
+  std::error_code ec;
+  fs::create_directories(directory_, ec);
+  if (ec) {
+    throw ToolchainError("cannot create kernel cache directory '" + directory_ +
+                         "': " + ec.message());
+  }
+}
+
+std::shared_ptr<Module> KernelCache::get_or_compile(const std::string& source,
+                                                    const Toolchain& toolchain) {
+  const std::string key =
+      hash_hex(fnv1a64(source + "\x1e" + toolchain.flags_fingerprint()));
+
+  if (auto it = loaded_.find(key); it != loaded_.end()) {
+    ++stats_.memory_hits;
+    return it->second;
+  }
+
+  const fs::path so_path = fs::path(directory_) / (key + ".so");
+  const fs::path src_path = fs::path(directory_) / (key + ".src");
+  std::error_code ec;
+  if (fs::exists(so_path, ec) && fs::exists(src_path, ec) &&
+      read_file(src_path) == source) {
+    SF_LOG_DEBUG("kernel cache disk hit: " << key);
+    auto module = std::make_shared<Module>(so_path.string());
+    loaded_[key] = module;
+    ++stats_.disk_hits;
+    return module;
+  }
+
+  toolchain.compile_shared_object(source, so_path.string());
+  {
+    std::ofstream out(src_path, std::ios::binary);
+    out << source;
+  }
+  ++stats_.compiles;
+  auto module = std::make_shared<Module>(so_path.string());
+  loaded_[key] = module;
+  return module;
+}
+
+KernelCache& KernelCache::instance() {
+  static KernelCache cache;
+  return cache;
+}
+
+}  // namespace snowflake

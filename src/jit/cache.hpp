@@ -1,0 +1,51 @@
+#pragma once
+// Compiled-kernel cache (paper §IV: "These call-ables are cached, for
+// subsequent use").
+//
+// Two layers: an in-memory map from cache key to the loaded Module, and an
+// on-disk directory of shared objects so repeated runs skip compilation
+// entirely.  The key hashes source text + compiler flags; because FNV can
+// collide, the source is stored next to the .so and compared on every disk
+// hit — a mismatch degrades to a recompile, never to loading wrong code.
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "jit/module.hpp"
+#include "jit/toolchain.hpp"
+
+namespace snowflake {
+
+class KernelCache {
+public:
+  /// `directory` empty selects $SNOWFLAKE_CACHE_DIR, else
+  /// $XDG_CACHE_HOME/snowflake, else $HOME/.cache/snowflake, else
+  /// /tmp/snowflake-cache.
+  explicit KernelCache(std::string directory = "");
+
+  /// Compile (or fetch) `source` with the given toolchain; returns the
+  /// loaded module.  Thread-compatible (callers serialize).
+  std::shared_ptr<Module> get_or_compile(const std::string& source,
+                                         const Toolchain& toolchain);
+
+  const std::string& directory() const { return directory_; }
+
+  /// Cache statistics for the JIT-overhead ablation bench.
+  struct Stats {
+    std::uint64_t memory_hits = 0;
+    std::uint64_t disk_hits = 0;
+    std::uint64_t compiles = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+  /// Process-wide shared cache.
+  static KernelCache& instance();
+
+private:
+  std::string directory_;
+  std::map<std::string, std::shared_ptr<Module>> loaded_;
+  Stats stats_;
+};
+
+}  // namespace snowflake

@@ -1,0 +1,52 @@
+#include "jit/module.hpp"
+
+#include <dlfcn.h>
+
+#include "support/error.hpp"
+
+namespace snowflake {
+
+Module::Module(const std::string& so_path) : path_(so_path) {
+  handle_ = dlopen(so_path.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (handle_ == nullptr) {
+    const char* err = dlerror();
+    throw ToolchainError("dlopen(" + so_path + ") failed: " +
+                         (err != nullptr ? err : "unknown error"));
+  }
+}
+
+Module::~Module() {
+  if (handle_ != nullptr) dlclose(handle_);
+}
+
+Module::Module(Module&& other) noexcept
+    : handle_(other.handle_), path_(std::move(other.path_)) {
+  other.handle_ = nullptr;
+}
+
+Module& Module::operator=(Module&& other) noexcept {
+  if (this != &other) {
+    if (handle_ != nullptr) dlclose(handle_);
+    handle_ = other.handle_;
+    path_ = std::move(other.path_);
+    other.handle_ = nullptr;
+  }
+  return *this;
+}
+
+void* Module::raw_symbol(const std::string& symbol) const {
+  dlerror();  // clear
+  void* sym = dlsym(handle_, symbol.c_str());
+  const char* err = dlerror();
+  if (err != nullptr || sym == nullptr) {
+    throw ToolchainError("dlsym(" + symbol + ") in " + path_ + " failed: " +
+                         (err != nullptr ? err : "null symbol"));
+  }
+  return sym;
+}
+
+KernelFn Module::kernel(const std::string& symbol) const {
+  return reinterpret_cast<KernelFn>(raw_symbol(symbol));
+}
+
+}  // namespace snowflake

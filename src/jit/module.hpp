@@ -1,0 +1,35 @@
+#pragma once
+// RAII wrapper over a dlopen'ed shared object and its kernel entry point.
+
+#include <string>
+
+namespace snowflake {
+
+/// The ABI of every generated kernel (see codegen/cemit.hpp).
+using KernelFn = void (*)(double** grids, const double* params);
+
+class Module {
+public:
+  /// dlopen the shared object; throws ToolchainError on failure.
+  explicit Module(const std::string& so_path);
+  ~Module();
+
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+  Module(Module&& other) noexcept;
+  Module& operator=(Module&& other) noexcept;
+
+  /// Resolve a symbol as a kernel entry point; throws on failure.
+  KernelFn kernel(const std::string& symbol) const;
+
+  /// Resolve a symbol as a raw pointer (caller casts); throws on failure.
+  void* raw_symbol(const std::string& symbol) const;
+
+  const std::string& path() const { return path_; }
+
+private:
+  void* handle_ = nullptr;
+  std::string path_;
+};
+
+}  // namespace snowflake

@@ -1,0 +1,123 @@
+#include "jit/toolchain.hpp"
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "support/error.hpp"
+#include "support/logging.hpp"
+#include "support/string_util.hpp"
+
+namespace fs = std::filesystem;
+
+namespace snowflake {
+
+namespace {
+
+bool on_path(const std::string& exe) {
+  const char* path = std::getenv("PATH");
+  if (path == nullptr) return false;
+  std::string p(path);
+  size_t start = 0;
+  while (start <= p.size()) {
+    size_t end = p.find(':', start);
+    if (end == std::string::npos) end = p.size();
+    const std::string dir = p.substr(start, end - start);
+    if (!dir.empty()) {
+      std::error_code ec;
+      if (fs::exists(fs::path(dir) / exe, ec)) return true;
+    }
+    start = end + 1;
+  }
+  return false;
+}
+
+std::string discover_compiler() {
+  if (const char* env = std::getenv("SNOWFLAKE_CC"); env != nullptr && *env) {
+    return env;
+  }
+  if (const char* env = std::getenv("CC"); env != nullptr && *env) {
+    return env;
+  }
+  for (const char* candidate : {"cc", "gcc", "clang"}) {
+    if (on_path(candidate)) return candidate;
+  }
+  return "";
+}
+
+/// Run a command, capturing combined stdout+stderr; returns exit status.
+int run_command(const std::string& command, std::string& output) {
+  output.clear();
+  FILE* pipe = popen((command + " 2>&1").c_str(), "r");
+  if (pipe == nullptr) return -1;
+  std::array<char, 4096> buf;
+  size_t n;
+  while ((n = fread(buf.data(), 1, buf.size(), pipe)) > 0) {
+    output.append(buf.data(), n);
+  }
+  const int status = pclose(pipe);
+  return status;
+}
+
+std::string shell_quote(const std::string& s) {
+  std::string out = "'";
+  for (char c : s) {
+    if (c == '\'') {
+      out += "'\\''";
+    } else {
+      out += c;
+    }
+  }
+  out += "'";
+  return out;
+}
+
+}  // namespace
+
+Toolchain::Toolchain(ToolchainConfig config) : config_(std::move(config)) {
+  compiler_ = config_.compiler.empty() ? discover_compiler() : config_.compiler;
+  if (compiler_.empty()) {
+    SF_LOG_WARN("no host C compiler found; JIT backends unavailable");
+  }
+}
+
+std::string Toolchain::flags_fingerprint() const {
+  // The paper compiles with -std=c99 -O3 -fgcse -fPIC; we use the modern
+  // equivalents (c11, -O3 implies -fgcse at -O2+).
+  std::vector<std::string> flags = {"-std=c11", "-O3", "-fPIC", "-shared"};
+  if (config_.openmp) flags.push_back("-fopenmp");
+  for (const auto& f : config_.extra_flags) flags.push_back(f);
+  return compiler_ + " " + join(flags, " ");
+}
+
+void Toolchain::compile_shared_object(const std::string& source,
+                                      const std::string& so_path) const {
+  if (!available()) {
+    throw ToolchainError("no host C compiler available (set $SNOWFLAKE_CC)");
+  }
+  const fs::path so(so_path);
+  const fs::path c_path = fs::path(so_path + ".c");
+  {
+    std::ofstream out(c_path);
+    if (!out) throw ToolchainError("cannot write " + c_path.string());
+    out << source;
+  }
+  const std::string command = flags_fingerprint() + " " +
+                              shell_quote(c_path.string()) + " -o " +
+                              shell_quote(so.string());
+  SF_LOG_DEBUG("jit compile: " << command);
+  std::string output;
+  const int status = run_command(command, output);
+  if (!config_.debug_keep_source) {
+    std::error_code ec;
+    fs::remove(c_path, ec);
+  }
+  if (status != 0) {
+    throw ToolchainError("JIT compilation failed (status " +
+                         std::to_string(status) + "):\n" + command + "\n" + output);
+  }
+}
+
+}  // namespace snowflake

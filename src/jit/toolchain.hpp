@@ -1,0 +1,44 @@
+#pragma once
+// Host C toolchain driver: compile generated C source into a shared object.
+//
+// This is the paper's JIT mechanism: render the micro-compiler's output to
+// a temporary .c file, invoke the system compiler with optimization and
+// (optionally) OpenMP flags, and dlopen the result.  Compiler discovery
+// honours $SNOWFLAKE_CC, then $CC, then `cc`/`gcc`/`clang` on PATH.
+
+#include <string>
+#include <vector>
+
+namespace snowflake {
+
+struct ToolchainConfig {
+  std::string compiler;                 // empty = auto-discover
+  std::vector<std::string> extra_flags; // appended after the defaults
+  bool openmp = false;                  // add -fopenmp
+  bool debug_keep_source = false;       // leave .c next to the .so
+};
+
+class Toolchain {
+public:
+  explicit Toolchain(ToolchainConfig config = {});
+
+  /// Discovered (or configured) compiler executable.
+  const std::string& compiler() const { return compiler_; }
+
+  /// True if a usable compiler was found.
+  bool available() const { return !compiler_.empty(); }
+
+  /// Compile `source` (C11) into a shared object at `so_path`.
+  /// Throws ToolchainError with the compiler's stderr on failure.
+  void compile_shared_object(const std::string& source,
+                             const std::string& so_path) const;
+
+  /// The flags that `compile_shared_object` will pass (for cache keys).
+  std::string flags_fingerprint() const;
+
+private:
+  ToolchainConfig config_;
+  std::string compiler_;
+};
+
+}  // namespace snowflake

@@ -1,0 +1,205 @@
+#include "multigrid/baseline/hand_kernels.hpp"
+
+namespace snowflake::mg::hand {
+
+namespace {
+inline std::int64_t idx(std::int64_t i, std::int64_t j, std::int64_t k,
+                        std::int64_t s) {
+  return (i * s + j) * s + k;
+}
+}  // namespace
+
+void apply_bc_3d(double* x, std::int64_t n) {
+  const std::int64_t s = n + 2;
+#pragma omp parallel for collapse(2) schedule(static)
+  for (std::int64_t j = 1; j <= n; ++j) {
+    for (std::int64_t k = 1; k <= n; ++k) {
+      x[idx(0, j, k, s)] = -x[idx(1, j, k, s)];
+      x[idx(n + 1, j, k, s)] = -x[idx(n, j, k, s)];
+    }
+  }
+#pragma omp parallel for collapse(2) schedule(static)
+  for (std::int64_t i = 1; i <= n; ++i) {
+    for (std::int64_t k = 1; k <= n; ++k) {
+      x[idx(i, 0, k, s)] = -x[idx(i, 1, k, s)];
+      x[idx(i, n + 1, k, s)] = -x[idx(i, n, k, s)];
+    }
+  }
+#pragma omp parallel for collapse(2) schedule(static)
+  for (std::int64_t i = 1; i <= n; ++i) {
+    for (std::int64_t j = 1; j <= n; ++j) {
+      x[idx(i, j, 0, s)] = -x[idx(i, j, 1, s)];
+      x[idx(i, j, n + 1, s)] = -x[idx(i, j, n, s)];
+    }
+  }
+}
+
+void gsrb_sweep_3d(double* x, const double* rhs, const double* lam,
+                   const double* bx, const double* by, const double* bz,
+                   std::int64_t n, double h2inv, int color) {
+  const std::int64_t s = n + 2;
+  const std::int64_t plane = s * s;
+#pragma omp parallel for collapse(2) schedule(static)
+  for (std::int64_t i = 1; i <= n; ++i) {
+    for (std::int64_t j = 1; j <= n; ++j) {
+      const std::int64_t row = (i * s + j) * s;
+      const std::int64_t k0 = 1 + ((i + j + 1 + color) & 1);
+      double* __restrict__ xr = x;
+      for (std::int64_t k = k0; k <= n; k += 2) {
+        const std::int64_t c = row + k;
+        const double x0 = xr[c];
+        const double ax =
+            h2inv * (bx[c + plane] * (x0 - xr[c + plane]) +
+                     bx[c] * (x0 - xr[c - plane]) +
+                     by[c + s] * (x0 - xr[c + s]) + by[c] * (x0 - xr[c - s]) +
+                     bz[c + 1] * (x0 - xr[c + 1]) + bz[c] * (x0 - xr[c - 1]));
+        xr[c] = x0 + lam[c] * (rhs[c] - ax);
+      }
+    }
+  }
+}
+
+void gsrb_smooth_3d(double* x, const double* rhs, const double* lam,
+                    const double* bx, const double* by, const double* bz,
+                    std::int64_t n, double h2inv) {
+  apply_bc_3d(x, n);
+  gsrb_sweep_3d(x, rhs, lam, bx, by, bz, n, h2inv, 0);
+  apply_bc_3d(x, n);
+  gsrb_sweep_3d(x, rhs, lam, bx, by, bz, n, h2inv, 1);
+}
+
+void vc_apply_3d(double* out, const double* x, const double* bx,
+                 const double* by, const double* bz, std::int64_t n,
+                 double h2inv) {
+  const std::int64_t s = n + 2;
+  const std::int64_t plane = s * s;
+#pragma omp parallel for collapse(2) schedule(static)
+  for (std::int64_t i = 1; i <= n; ++i) {
+    for (std::int64_t j = 1; j <= n; ++j) {
+      const std::int64_t row = (i * s + j) * s;
+      for (std::int64_t k = 1; k <= n; ++k) {
+        const std::int64_t c = row + k;
+        const double x0 = x[c];
+        out[c] =
+            h2inv * (bx[c + plane] * (x0 - x[c + plane]) +
+                     bx[c] * (x0 - x[c - plane]) +
+                     by[c + s] * (x0 - x[c + s]) + by[c] * (x0 - x[c - s]) +
+                     bz[c + 1] * (x0 - x[c + 1]) + bz[c] * (x0 - x[c - 1]));
+      }
+    }
+  }
+}
+
+void residual_3d(double* res, double* x, const double* rhs, const double* bx,
+                 const double* by, const double* bz, std::int64_t n,
+                 double h2inv) {
+  apply_bc_3d(x, n);
+  const std::int64_t s = n + 2;
+  const std::int64_t plane = s * s;
+#pragma omp parallel for collapse(2) schedule(static)
+  for (std::int64_t i = 1; i <= n; ++i) {
+    for (std::int64_t j = 1; j <= n; ++j) {
+      const std::int64_t row = (i * s + j) * s;
+      for (std::int64_t k = 1; k <= n; ++k) {
+        const std::int64_t c = row + k;
+        const double x0 = x[c];
+        const double ax =
+            h2inv * (bx[c + plane] * (x0 - x[c + plane]) +
+                     bx[c] * (x0 - x[c - plane]) +
+                     by[c + s] * (x0 - x[c + s]) + by[c] * (x0 - x[c - s]) +
+                     bz[c + 1] * (x0 - x[c + 1]) + bz[c] * (x0 - x[c - 1]));
+        res[c] = rhs[c] - ax;
+      }
+    }
+  }
+}
+
+void lambda_setup_3d(double* lam, const double* bx, const double* by,
+                     const double* bz, std::int64_t n, double h2inv) {
+  const std::int64_t s = n + 2;
+  const std::int64_t plane = s * s;
+#pragma omp parallel for collapse(2) schedule(static)
+  for (std::int64_t i = 1; i <= n; ++i) {
+    for (std::int64_t j = 1; j <= n; ++j) {
+      const std::int64_t row = (i * s + j) * s;
+      for (std::int64_t k = 1; k <= n; ++k) {
+        const std::int64_t c = row + k;
+        lam[c] = 1.0 / (h2inv * (bx[c + plane] + bx[c] + by[c + s] + by[c] +
+                                 bz[c + 1] + bz[c]));
+      }
+    }
+  }
+}
+
+void restrict_fw_3d(double* coarse, const double* fine, std::int64_t nc) {
+  const std::int64_t sc = nc + 2;
+  const std::int64_t nf = 2 * nc;
+  const std::int64_t sf = nf + 2;
+  const std::int64_t planef = sf * sf;
+#pragma omp parallel for collapse(2) schedule(static)
+  for (std::int64_t i = 1; i <= nc; ++i) {
+    for (std::int64_t j = 1; j <= nc; ++j) {
+      for (std::int64_t k = 1; k <= nc; ++k) {
+        const std::int64_t f = idx(2 * i - 1, 2 * j - 1, 2 * k - 1, sf);
+        coarse[idx(i, j, k, sc)] =
+            0.125 * (fine[f] + fine[f + 1] + fine[f + sf] + fine[f + sf + 1] +
+                     fine[f + planef] + fine[f + planef + 1] +
+                     fine[f + planef + sf] + fine[f + planef + sf + 1]);
+      }
+    }
+  }
+}
+
+void interp_pc_add_3d(double* fine, const double* coarse, std::int64_t nc) {
+  const std::int64_t sc = nc + 2;
+  const std::int64_t nf = 2 * nc;
+  const std::int64_t sf = nf + 2;
+#pragma omp parallel for collapse(2) schedule(static)
+  for (std::int64_t i = 1; i <= nf; ++i) {
+    for (std::int64_t j = 1; j <= nf; ++j) {
+      const std::int64_t ci = (i + (i & 1)) >> 1;
+      const std::int64_t cj = (j + (j & 1)) >> 1;
+      for (std::int64_t k = 1; k <= nf; ++k) {
+        const std::int64_t ck = (k + (k & 1)) >> 1;
+        fine[idx(i, j, k, sf)] += coarse[idx(ci, cj, ck, sc)];
+      }
+    }
+  }
+}
+
+void cc_apply_3d(double* out, const double* x, std::int64_t n, double h2inv) {
+  const std::int64_t s = n + 2;
+  const std::int64_t plane = s * s;
+#pragma omp parallel for collapse(2) schedule(static)
+  for (std::int64_t i = 1; i <= n; ++i) {
+    for (std::int64_t j = 1; j <= n; ++j) {
+      const std::int64_t row = (i * s + j) * s;
+      for (std::int64_t k = 1; k <= n; ++k) {
+        const std::int64_t c = row + k;
+        out[c] = h2inv * (6.0 * x[c] - x[c + plane] - x[c - plane] -
+                          x[c + s] - x[c - s] - x[c + 1] - x[c - 1]);
+      }
+    }
+  }
+}
+
+void cc_jacobi_3d(double* out, const double* x, const double* rhs,
+                  const double* dinv, std::int64_t n, double h2inv,
+                  double weight) {
+  const std::int64_t s = n + 2;
+  const std::int64_t plane = s * s;
+#pragma omp parallel for collapse(2) schedule(static)
+  for (std::int64_t i = 1; i <= n; ++i) {
+    for (std::int64_t j = 1; j <= n; ++j) {
+      const std::int64_t row = (i * s + j) * s;
+      for (std::int64_t k = 1; k <= n; ++k) {
+        const std::int64_t c = row + k;
+        const double ax = h2inv * (6.0 * x[c] - x[c + plane] - x[c - plane] -
+                                   x[c + s] - x[c - s] - x[c + 1] - x[c - 1]);
+        out[c] = x[c] + weight * dinv[c] * (rhs[c] - ax);
+      }
+    }
+  }
+}
+
+}  // namespace snowflake::mg::hand

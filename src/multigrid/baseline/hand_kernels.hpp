@@ -1,0 +1,57 @@
+#pragma once
+// Hand-optimized 3D kernels: the "expert-written HPGMG" comparator for
+// every benchmark figure (the paper compares Snowflake-generated code
+// against the hand-tuned HPGMG reference).  Written the way the HPGMG
+// reference writes them: flat indexing, restrict pointers, OpenMP
+// worksharing with collapse, GSRB via a parity-offset innermost loop.
+//
+// All kernels operate on (n+2)^3 boxes with one ghost layer; the interior
+// is 1..n in every dimension.
+
+#include <cstdint>
+
+namespace snowflake::mg::hand {
+
+/// Linear Dirichlet ghost update on all six faces: ghost = -inward.
+void apply_bc_3d(double* x, std::int64_t n);
+
+/// One GSRB half-sweep over the given color ((i+j+k) % 2 == color),
+/// in place: x += lambda * (rhs - A_vc x).
+void gsrb_sweep_3d(double* x, const double* rhs, const double* lam,
+                   const double* bx, const double* by, const double* bz,
+                   std::int64_t n, double h2inv, int color);
+
+/// Full smooth: boundary, red, boundary, black.
+void gsrb_smooth_3d(double* x, const double* rhs, const double* lam,
+                    const double* bx, const double* by, const double* bz,
+                    std::int64_t n, double h2inv);
+
+/// res = rhs - A_vc x (boundary applied first).
+void residual_3d(double* res, double* x, const double* rhs, const double* bx,
+                 const double* by, const double* bz, std::int64_t n,
+                 double h2inv);
+
+/// out = A_vc x over the interior (no boundary application).
+void vc_apply_3d(double* out, const double* x, const double* bx,
+                 const double* by, const double* bz, std::int64_t n,
+                 double h2inv);
+
+/// lambda = 1 / diag(A_vc).
+void lambda_setup_3d(double* lam, const double* bx, const double* by,
+                     const double* bz, std::int64_t n, double h2inv);
+
+/// Full-weighting restriction: coarse (nc interior) from fine (2*nc).
+void restrict_fw_3d(double* coarse, const double* fine, std::int64_t nc);
+
+/// Piecewise-constant prolongation, additive: fine += P(coarse).
+void interp_pc_add_3d(double* fine, const double* coarse, std::int64_t nc);
+
+/// out = A_cc x (constant-coefficient 7-point operator).
+void cc_apply_3d(double* out, const double* x, std::int64_t n, double h2inv);
+
+/// Weighted Jacobi: out = x + weight * dinv * (rhs - A_cc x).
+void cc_jacobi_3d(double* out, const double* x, const double* rhs,
+                  const double* dinv, std::int64_t n, double h2inv,
+                  double weight);
+
+}  // namespace snowflake::mg::hand

@@ -1,0 +1,141 @@
+#include "multigrid/baseline/hand_solver.hpp"
+
+#include <chrono>
+
+#include "ir/stencil_library.hpp"
+#include "multigrid/baseline/hand_kernels.hpp"
+#include "support/error.hpp"
+
+namespace snowflake::mg {
+
+namespace {
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct LevelPtrs {
+  double* x;
+  double* rhs;
+  double* res;
+  double* lam;
+  const double* bx;
+  const double* by;
+  const double* bz;
+};
+
+LevelPtrs ptrs(Level& level) {
+  GridSet& g = level.grids();
+  return LevelPtrs{g.at(kX).data(),
+                   g.at(kRhs).data(),
+                   g.at(kRes).data(),
+                   g.at(kLambda).data(),
+                   g.at(lib::beta_name(kBetaPrefix, 0)).data(),
+                   g.at(lib::beta_name(kBetaPrefix, 1)).data(),
+                   g.at(lib::beta_name(kBetaPrefix, 2)).data()};
+}
+}  // namespace
+
+HandSolver::HandSolver(Config config) : config_(std::move(config)) {
+  const ProblemSpec& spec = config_.problem;
+  SF_REQUIRE(spec.rank == 3, "HandSolver implements the 3D (HPGMG) case");
+  SF_REQUIRE(spec.n >= config_.coarsest_n && config_.coarsest_n >= 2,
+             "problem size must be >= coarsest_n >= 2");
+  SF_REQUIRE((spec.n & (spec.n - 1)) == 0, "problem n must be a power of two");
+
+  for (std::int64_t n = spec.n; n >= config_.coarsest_n; n /= 2) {
+    levels_.push_back(std::make_unique<Level>(spec, n));
+    if (n % 2 != 0) break;
+  }
+  for (auto& level : levels_) {
+    LevelPtrs p = ptrs(*level);
+    hand::lambda_setup_3d(p.lam, p.bx, p.by, p.bz, level->n(), level->h2inv());
+  }
+
+  Level& finest = *levels_[0];
+  exact_ = Grid(finest.box_shape());
+  fill_cell_centered(exact_, finest.h(), [&](const std::vector<double>& x) {
+    return u_exact(spec, x);
+  });
+  finest.grids().at(kX) = exact_;
+  LevelPtrs p = ptrs(finest);
+  hand::apply_bc_3d(p.x, finest.n());
+  hand::vc_apply_3d(p.rhs, p.x, p.bx, p.by, p.bz, finest.n(), finest.h2inv());
+  finest.grids().at(kX).fill(0.0);
+}
+
+void HandSolver::smooth(size_t l) {
+  Level& level = *levels_.at(l);
+  LevelPtrs p = ptrs(level);
+  hand::gsrb_smooth_3d(p.x, p.rhs, p.lam, p.bx, p.by, p.bz, level.n(),
+                       level.h2inv());
+}
+
+void HandSolver::residual(size_t l) {
+  Level& level = *levels_.at(l);
+  LevelPtrs p = ptrs(level);
+  hand::residual_3d(p.res, p.x, p.rhs, p.bx, p.by, p.bz, level.n(),
+                    level.h2inv());
+}
+
+void HandSolver::restrict_residual(size_t l) {
+  Level& fine = *levels_.at(l);
+  Level& coarse = *levels_.at(l + 1);
+  hand::restrict_fw_3d(coarse.grids().at(kRhs).data(),
+                       fine.grids().at(kRes).data(), coarse.n());
+}
+
+void HandSolver::prolongate_add(size_t l) {
+  Level& fine = *levels_.at(l);
+  Level& coarse = *levels_.at(l + 1);
+  hand::interp_pc_add_3d(fine.grids().at(kX).data(),
+                         coarse.grids().at(kX).data(), coarse.n());
+}
+
+void HandSolver::vcycle(size_t l) {
+  if (l + 1 == levels_.size()) {
+    for (int i = 0; i < config_.bottom_smooth; ++i) smooth(l);
+    return;
+  }
+  for (int i = 0; i < config_.pre_smooth; ++i) smooth(l);
+  residual(l);
+  restrict_residual(l);
+  levels_[l + 1]->grids().at(kX).fill(0.0);
+  vcycle(l + 1);
+  prolongate_add(l);
+  for (int i = 0; i < config_.post_smooth; ++i) smooth(l);
+}
+
+double HandSolver::residual_norm() {
+  residual(0);
+  return levels_[0]->grids().at(kRes).norm_max();
+}
+
+double HandSolver::error_vs_exact() {
+  return Level::interior_max_diff(levels_[0]->grids().at(kX), exact_);
+}
+
+SolveStats HandSolver::solve(int cycles, int warmup) {
+  SF_REQUIRE(cycles >= 1, "solve needs >= 1 cycle");
+  SolveStats stats;
+  stats.dof = levels_[0]->dof();
+  stats.cycles = cycles;
+
+  levels_[0]->grids().at(kX).fill(0.0);
+  for (int c = 0; c < cycles; ++c) {
+    vcycle(0);
+    stats.residual_norms.push_back(residual_norm());
+  }
+  stats.error_max = error_vs_exact();
+
+  for (int c = 0; c < warmup; ++c) vcycle(0);
+  const double start = now_seconds();
+  for (int c = 0; c < cycles; ++c) vcycle(0);
+  stats.seconds = now_seconds() - start;
+  stats.dof_per_second =
+      static_cast<double>(stats.dof) * cycles / stats.seconds;
+  return stats;
+}
+
+}  // namespace snowflake::mg

@@ -1,0 +1,54 @@
+#include "multigrid/level.hpp"
+
+#include <cmath>
+
+#include "ir/stencil_library.hpp"
+#include "support/error.hpp"
+
+namespace snowflake::mg {
+
+Level::Level(const ProblemSpec& spec, std::int64_t n)
+    : rank_(spec.rank), n_(n), h_(1.0 / static_cast<double>(n)) {
+  SF_REQUIRE(rank_ >= 1 && rank_ <= 4, "Level supports ranks 1..4");
+  SF_REQUIRE(n_ >= 2, "Level requires n >= 2");
+  const Index shape = box_shape();
+  grids_.add_zeros(kX, shape);
+  grids_.add_zeros(kRhs, shape);
+  grids_.add_zeros(kRes, shape);
+  grids_.add_zeros(kLambda, shape);
+  for (int d = 0; d < rank_; ++d) {
+    Grid& beta_grid = grids_.add_zeros(lib::beta_name(kBetaPrefix, d), shape);
+    fill_face_centered(beta_grid, h_, d,
+                       [&](const std::vector<double>& x) { return beta(spec, x); });
+  }
+}
+
+Index Level::box_shape() const {
+  return Index(static_cast<size_t>(rank_), n_ + 2);
+}
+
+std::int64_t Level::dof() const {
+  std::int64_t total = 1;
+  for (int d = 0; d < rank_; ++d) total *= n_;
+  return total;
+}
+
+double Level::interior_max_diff(const Grid& a, const Grid& b) {
+  SF_REQUIRE(a.shape() == b.shape(), "interior_max_diff shape mismatch");
+  double acc = 0.0;
+  Index index(a.shape().size(), 1);
+  const Index& shape = a.shape();
+  // Odometer over interior 1..extent-1 per dim.
+  while (true) {
+    acc = std::max(acc, std::fabs(a.at(index) - b.at(index)));
+    int d = static_cast<int>(index.size()) - 1;
+    for (; d >= 0; --d) {
+      if (++index[static_cast<size_t>(d)] < shape[static_cast<size_t>(d)] - 1) break;
+      index[static_cast<size_t>(d)] = 1;
+    }
+    if (d < 0) break;
+  }
+  return acc;
+}
+
+}  // namespace snowflake::mg

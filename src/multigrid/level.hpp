@@ -1,0 +1,49 @@
+#pragma once
+// One level of the multigrid hierarchy: geometry plus the named grids the
+// Snowflake operators read and write.
+
+#include <cstdint>
+
+#include "grid/grid_set.hpp"
+#include "multigrid/problem.hpp"
+
+namespace snowflake::mg {
+
+/// Grid names used by every level (see src/ir/stencil_library.hpp for the
+/// operator definitions that consume them).
+inline constexpr const char* kX = "x";            // solution / correction
+inline constexpr const char* kRhs = "rhs";        // right-hand side
+inline constexpr const char* kRes = "res";        // residual
+inline constexpr const char* kLambda = "lambda_inv";  // 1/diag(A)
+inline constexpr const char* kBetaPrefix = "beta";    // beta_x, beta_y, ...
+
+class Level {
+public:
+  /// Allocate a level with n interior cells per dim; fills the face
+  /// coefficient grids analytically at this level's spacing (equivalent to
+  /// HPGMG's restriction of coefficients for smooth β).
+  Level(const ProblemSpec& spec, std::int64_t n);
+
+  int rank() const { return rank_; }
+  std::int64_t n() const { return n_; }
+  double h() const { return h_; }
+  double h2inv() const { return 1.0 / (h_ * h_); }
+  /// (n+2)^rank including the ghost layer.
+  Index box_shape() const;
+  /// Interior degrees of freedom: n^rank.
+  std::int64_t dof() const;
+
+  GridSet& grids() { return grids_; }
+  const GridSet& grids() const { return grids_; }
+
+  /// Max |a - b| over interior cells only (ghosts hold BC values).
+  static double interior_max_diff(const Grid& a, const Grid& b);
+
+private:
+  int rank_;
+  std::int64_t n_;
+  double h_;
+  GridSet grids_;
+};
+
+}  // namespace snowflake::mg

@@ -1,0 +1,59 @@
+#include "multigrid/operators.hpp"
+
+#include "ir/stencil_library.hpp"
+
+namespace snowflake::mg {
+
+using namespace snowflake::lib;
+
+StencilGroup gsrb_smooth_group(int rank) {
+  StencilGroup group;
+  group.append(dirichlet_boundary(rank, kX));
+  group.append(vc_gsrb_sweep(rank, kX, kRhs, kLambda, kBetaPrefix, 0));
+  group.append(dirichlet_boundary(rank, kX));
+  group.append(vc_gsrb_sweep(rank, kX, kRhs, kLambda, kBetaPrefix, 1));
+  return group;
+}
+
+StencilGroup chebyshev_step_group(int rank) {
+  StencilGroup group;
+  group.append(dirichlet_boundary(rank, kX));
+  group.append(vc_chebyshev_step(rank, kX, kXPrev, kRhs, kLambda, kXNext,
+                                 kBetaPrefix));
+  return group;
+}
+
+StencilGroup residual_group(int rank) {
+  StencilGroup group;
+  group.append(dirichlet_boundary(rank, kX));
+  group.append(vc_residual(rank, kX, kRhs, kRes, kBetaPrefix));
+  return group;
+}
+
+StencilGroup lambda_setup_group(int rank) {
+  return StencilGroup(vc_lambda_setup(rank, kLambda, kBetaPrefix));
+}
+
+StencilGroup rhs_manufacture_group(int rank) {
+  StencilGroup group;
+  group.append(dirichlet_boundary(rank, kX));
+  group.append(vc_apply(rank, kX, kRhs, kBetaPrefix));
+  return group;
+}
+
+StencilGroup restriction_group(int rank) {
+  return StencilGroup(restriction_fw(rank, kFineRes, kCoarseRhs));
+}
+
+StencilGroup interpolation_add_group(int rank) {
+  return interpolation_pc(rank, kCoarseX, kFineX, /*add=*/true);
+}
+
+StencilGroup interpolation_pl_group(int rank, bool add) {
+  StencilGroup group;
+  group.append(dirichlet_boundary(rank, kCoarseX));
+  group.append(interpolation_pl(rank, kCoarseX, kFineX, add));
+  return group;
+}
+
+}  // namespace snowflake::mg

@@ -1,0 +1,54 @@
+#pragma once
+// The HPGMG operator set expressed as Snowflake StencilGroups (paper §V:
+// "we build a complete geometric multigrid solver using Snowflake
+// representations for the smoother, residual, restriction, interpolation,
+// and boundary condition stencils").
+//
+// All groups apply the interspersed Dirichlet boundary stencils the paper
+// describes (boundary / red / boundary / black).  Cross-level operators use
+// the grid names kFineRes/kCoarseRhs and kCoarseX/kFineX, bound by the
+// solver into aliased GridSets.
+
+#include "ir/stencil.hpp"
+#include "multigrid/level.hpp"
+
+namespace snowflake::mg {
+
+inline constexpr const char* kFineRes = "fine_res";
+inline constexpr const char* kCoarseRhs = "coarse_rhs";
+inline constexpr const char* kCoarseX = "coarse_x";
+inline constexpr const char* kFineX = "fine_x";
+
+inline constexpr const char* kXPrev = "x_prev";
+inline constexpr const char* kXNext = "x_next";
+
+/// One full GSRB smooth: [boundary, red half-sweep, boundary, black
+/// half-sweep] (params: h2inv).
+StencilGroup gsrb_smooth_group(int rank);
+
+/// One Chebyshev step: [boundary, x_next = x + β(x−x_prev) + αλ(rhs−Ax)]
+/// (params: h2inv, cheby_alpha, cheby_beta).  The solver drives the
+/// recurrence and grid rotation.
+StencilGroup chebyshev_step_group(int rank);
+
+/// res = rhs - A x with a fresh boundary application first.
+StencilGroup residual_group(int rank);
+
+/// lambda_inv = 1 / diag(A) (run once per level at setup).
+StencilGroup lambda_setup_group(int rank);
+
+/// rhs = A x with boundary applied first (manufactured right-hand side).
+StencilGroup rhs_manufacture_group(int rank);
+
+/// Full-weighting restriction of the fine residual into the coarse rhs.
+StencilGroup restriction_group(int rank);
+
+/// Piecewise-constant prolongation: fine_x += P(coarse_x).
+StencilGroup interpolation_add_group(int rank);
+
+/// Piecewise-linear prolongation (F-cycle initialization); requires coarse
+/// boundary ghosts to be valid, so it starts with a boundary application
+/// on coarse_x.
+StencilGroup interpolation_pl_group(int rank, bool add);
+
+}  // namespace snowflake::mg

@@ -1,0 +1,53 @@
+#include "multigrid/problem.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace snowflake::mg {
+
+double u_exact(const ProblemSpec& spec, const std::vector<double>& x) {
+  double u = 1.0;
+  for (int d = 0; d < spec.rank; ++d) {
+    u *= std::sin(M_PI * x[static_cast<size_t>(d)]);
+  }
+  return u;
+}
+
+double beta(const ProblemSpec& spec, const std::vector<double>& x) {
+  if (!spec.variable_beta) return 1.0;
+  double b = 1.0;
+  for (int d = 0; d < spec.rank; ++d) {
+    b *= std::cos(2.0 * M_PI * x[static_cast<size_t>(d)]);
+  }
+  return 1.0 + spec.beta_min * b;  // in [1 - beta_min, 1 + beta_min], > 0
+}
+
+double cell_center(std::int64_t i, double h) {
+  return (static_cast<double>(i) - 0.5) * h;
+}
+
+void fill_cell_centered(Grid& grid, double h,
+                        const std::function<double(const std::vector<double>&)>& fn) {
+  std::vector<double> x(static_cast<size_t>(grid.rank()));
+  grid.fill_with([&](const Index& index) {
+    for (size_t d = 0; d < index.size(); ++d) x[d] = cell_center(index[d], h);
+    return fn(x);
+  });
+}
+
+void fill_face_centered(Grid& grid, double h, int dim,
+                        const std::function<double(const std::vector<double>&)>& fn) {
+  SF_REQUIRE(dim >= 0 && dim < grid.rank(), "fill_face_centered dim out of range");
+  std::vector<double> x(static_cast<size_t>(grid.rank()));
+  grid.fill_with([&](const Index& index) {
+    for (size_t d = 0; d < index.size(); ++d) {
+      x[d] = static_cast<int>(d) == dim
+                 ? (static_cast<double>(index[d]) - 1.0) * h  // lower face
+                 : cell_center(index[d], h);
+    }
+    return fn(x);
+  });
+}
+
+}  // namespace snowflake::mg

@@ -1,0 +1,241 @@
+#include "multigrid/solver.hpp"
+
+#include <chrono>
+
+#include "support/error.hpp"
+
+namespace snowflake::mg {
+
+namespace {
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+Solver::Solver(Config config) : config_(std::move(config)) {
+  const ProblemSpec& spec = config_.problem;
+  SF_REQUIRE(spec.n >= config_.coarsest_n && config_.coarsest_n >= 2,
+             "problem size must be >= coarsest_n >= 2");
+  SF_REQUIRE((spec.n & (spec.n - 1)) == 0, "problem n must be a power of two");
+
+  // Build the level hierarchy: n, n/2, ..., coarsest_n.
+  for (std::int64_t n = spec.n; n >= config_.coarsest_n; n /= 2) {
+    levels_.push_back(std::make_unique<Level>(spec, n));
+    if (n % 2 != 0) break;
+  }
+
+  Backend& backend = Backend::get(config_.backend);
+  const int rank = spec.rank;
+
+  // Per-level kernels.
+  for (auto& level : levels_) {
+    if (config_.smoother == Smoother::Chebyshev) {
+      level->grids().add_zeros(kXPrev, level->box_shape());
+      level->grids().add_zeros(kXNext, level->box_shape());
+    }
+    const ShapeMap shapes = shapes_of(level->grids());
+    if (config_.smoother == Smoother::Chebyshev) {
+      cheby_k_.push_back(
+          backend.compile(chebyshev_step_group(rank), shapes, config_.options));
+    } else {
+      smooth_k_.push_back(
+          backend.compile(gsrb_smooth_group(rank), shapes, config_.options));
+    }
+    residual_k_.push_back(
+        backend.compile(residual_group(rank), shapes, config_.options));
+    // lambda_inv = 1/diag(A): run once, right now.
+    auto lambda_kernel =
+        backend.compile(lambda_setup_group(rank), shapes, config_.options);
+    lambda_kernel->run(level->grids(), {{"h2inv", level->h2inv()}});
+  }
+
+  // Cross-level kernels and their aliased GridSets.
+  for (size_t l = 0; l + 1 < levels_.size(); ++l) {
+    Level& fine = *levels_[l];
+    Level& coarse = *levels_[l + 1];
+
+    GridSet down;
+    down.add_shared(kFineRes, fine.grids().share(kRes));
+    down.add_shared(kCoarseRhs, coarse.grids().share(kRhs));
+    restrict_k_.push_back(
+        backend.compile(restriction_group(rank), shapes_of(down), config_.options));
+    restrict_sets_.push_back(std::move(down));
+
+    GridSet up;
+    up.add_shared(kCoarseX, coarse.grids().share(kX));
+    up.add_shared(kFineX, fine.grids().share(kX));
+    interp_k_.push_back(backend.compile(interpolation_add_group(rank),
+                                        shapes_of(up), config_.options));
+    // PL prolongation also needs the coarse betas?  No — only coarse_x
+    // ghosts, which its leading boundary stencils maintain.
+    interp_pl_k_.push_back(backend.compile(
+        interpolation_pl_group(rank, /*add=*/false), shapes_of(up), config_.options));
+    interp_sets_.push_back(std::move(up));
+  }
+
+  // Manufactured problem on the finest level: x = u*, rhs = A x, x = 0.
+  Level& finest = *levels_[0];
+  exact_ = Grid(finest.box_shape());
+  fill_cell_centered(exact_, finest.h(), [&](const std::vector<double>& x) {
+    return u_exact(spec, x);
+  });
+  finest.grids().at(kX) = exact_;
+  auto rhs_kernel = backend.compile(rhs_manufacture_group(rank),
+                                    shapes_of(finest.grids()), config_.options);
+  rhs_kernel->run(finest.grids(), {{"h2inv", finest.h2inv()}});
+  finest.grids().at(kX).fill(0.0);
+}
+
+void Solver::run_kernel(CompiledKernel& kernel, GridSet& grids, double h2inv) {
+  kernel.run(grids, {{"h2inv", h2inv}});
+  modeled_seconds_ += kernel.modeled_seconds();
+}
+
+void Solver::smooth(size_t l) {
+  if (config_.smoother == Smoother::Chebyshev) {
+    chebyshev_smooth(l);
+    return;
+  }
+  run_kernel(*smooth_k_.at(l), levels_.at(l)->grids(), levels_[l]->h2inv());
+}
+
+void Solver::chebyshev_smooth(size_t l) {
+  // Smoother mode: target the upper part of the D^-1 A spectrum (the
+  // high-frequency error multigrid relies on the smoother to remove);
+  // [0.5, 2.0] covers it for the diagonally-scaled VC operator.
+  constexpr double a = 0.5, b = 2.0;
+  constexpr double theta = 0.5 * (b + a), delta = 0.5 * (b - a);
+  constexpr double sigma = theta / delta;
+  double rho_prev = 1.0 / sigma;
+  GridSet& grids = levels_.at(l)->grids();
+  CompiledKernel& kernel = *cheby_k_.at(l);
+  for (int k = 0; k < config_.cheby_degree; ++k) {
+    double alpha, beta_coef;
+    if (k == 0) {
+      alpha = 1.0 / theta;
+      beta_coef = 0.0;
+    } else {
+      const double rho = 1.0 / (2.0 * sigma - rho_prev);
+      alpha = 2.0 * rho / delta;
+      beta_coef = rho * rho_prev;
+      rho_prev = rho;
+    }
+    kernel.run(grids, {{"h2inv", levels_[l]->h2inv()},
+                       {"cheby_alpha", alpha},
+                       {"cheby_beta", beta_coef}});
+    modeled_seconds_ += kernel.modeled_seconds();
+    std::swap(grids.at(kXPrev), grids.at(kX));
+    std::swap(grids.at(kX), grids.at(kXNext));
+  }
+}
+
+void Solver::residual(size_t l) {
+  run_kernel(*residual_k_.at(l), levels_.at(l)->grids(), levels_[l]->h2inv());
+}
+
+void Solver::restrict_residual(size_t l) {
+  CompiledKernel& k = *restrict_k_.at(l);
+  k.run(restrict_sets_.at(l), {});
+  modeled_seconds_ += k.modeled_seconds();
+}
+
+void Solver::prolongate_add(size_t l) {
+  CompiledKernel& k = *interp_k_.at(l);
+  k.run(interp_sets_.at(l), {});
+  modeled_seconds_ += k.modeled_seconds();
+}
+
+void Solver::prolongate_linear(size_t l, bool add) {
+  SF_REQUIRE(!add, "additive PL prolongation kernel is compiled without add");
+  CompiledKernel& k = *interp_pl_k_.at(l);
+  k.run(interp_sets_.at(l), {});
+  modeled_seconds_ += k.modeled_seconds();
+}
+
+void Solver::vcycle(size_t l) {
+  if (l + 1 == levels_.size()) {
+    for (int i = 0; i < config_.bottom_smooth; ++i) smooth(l);
+    return;
+  }
+  for (int i = 0; i < config_.pre_smooth; ++i) smooth(l);
+  residual(l);
+  restrict_residual(l);
+  levels_[l + 1]->grids().at(kX).fill(0.0);
+  for (int g = 0; g < config_.cycle_gamma; ++g) {
+    vcycle(l + 1);  // gamma = 2 gives the W-cycle
+  }
+  prolongate_add(l);
+  for (int i = 0; i < config_.post_smooth; ++i) smooth(l);
+}
+
+void Solver::fcycle() {
+  // Restrict the fine rhs all the way down by computing residuals of the
+  // zero solution (res == rhs when x == 0), then FMG upward.
+  for (size_t l = 0; l + 1 < levels_.size(); ++l) {
+    levels_[l]->grids().at(kX).fill(0.0);
+    residual(l);
+    restrict_residual(l);
+  }
+  levels_.back()->grids().at(kX).fill(0.0);
+  for (int i = 0; i < config_.bottom_smooth; ++i) smooth(levels_.size() - 1);
+  for (size_t l = levels_.size() - 1; l-- > 0;) {
+    prolongate_linear(l, /*add=*/false);
+    vcycle(l);
+  }
+}
+
+double Solver::residual_norm() {
+  residual(0);
+  return levels_[0]->grids().at(kRes).norm_max();
+}
+
+double Solver::error_vs_exact() {
+  return Level::interior_max_diff(levels_[0]->grids().at(kX), exact_);
+}
+
+SolveStats Solver::solve(int cycles, int warmup) {
+  SF_REQUIRE(cycles >= 1, "solve needs >= 1 cycle");
+  SolveStats stats;
+  stats.dof = levels_[0]->dof();
+  stats.cycles = cycles;
+
+  // Convergence run from a zero initial guess.
+  levels_[0]->grids().at(kX).fill(0.0);
+  for (int c = 0; c < cycles; ++c) {
+    vcycle(0);
+    stats.residual_norms.push_back(residual_norm());
+  }
+  stats.error_max = error_vs_exact();
+
+  // Timed run (paper: untimed warm-up phase, then the benchmark phase).
+  for (int c = 0; c < warmup; ++c) vcycle(0);
+  take_modeled_seconds();
+  const double start = now_seconds();
+  for (int c = 0; c < cycles; ++c) vcycle(0);
+  stats.seconds = now_seconds() - start;
+  stats.modeled_seconds = take_modeled_seconds();
+  stats.dof_per_second =
+      static_cast<double>(stats.dof) * cycles / stats.seconds;
+  return stats;
+}
+
+int Solver::solve_to_tolerance(double rtol, int max_cycles) {
+  SF_REQUIRE(rtol > 0.0 && rtol < 1.0, "rtol must be in (0, 1)");
+  levels_[0]->grids().at(kX).fill(0.0);
+  const double r0 = residual_norm();
+  for (int c = 1; c <= max_cycles; ++c) {
+    vcycle(0);
+    if (residual_norm() <= rtol * r0) return c;
+  }
+  return max_cycles + 1;
+}
+
+double Solver::take_modeled_seconds() {
+  const double v = modeled_seconds_;
+  modeled_seconds_ = 0.0;
+  return v;
+}
+
+}  // namespace snowflake::mg

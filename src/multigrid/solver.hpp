@@ -1,0 +1,108 @@
+#pragma once
+// Geometric multigrid solver built entirely from Snowflake stencils — the
+// C++ analogue of the paper's Python/Snowflake HPGMG port (§V).
+//
+// V-cycle with GSRB pre/post smoothing, full-weighting restriction,
+// piecewise-constant prolongation, and a smoother-iteration bottom solve;
+// plus an F-cycle (full multigrid) using piecewise-linear prolongation to
+// seed each finer level.  Every stencil kernel is compiled by a pluggable
+// backend, so the same solver runs through the interpreter, the sequential
+// C JIT, OpenMP, or the simulated OpenCL device.
+
+#include <memory>
+#include <vector>
+
+#include "backend/backend.hpp"
+#include "multigrid/level.hpp"
+#include "multigrid/operators.hpp"
+
+namespace snowflake::mg {
+
+struct SolveStats {
+  std::int64_t dof = 0;
+  int cycles = 0;
+  double seconds = 0.0;           // wall-clock of the timed cycles
+  double dof_per_second = 0.0;    // dof * cycles / seconds (paper Fig. 9)
+  double modeled_seconds = 0.0;   // simulated-device time (oclsim only)
+  std::vector<double> residual_norms;  // max-norm after each convergence cycle
+  double error_max = 0.0;         // |x - u*|_inf after the convergence run
+};
+
+class Solver {
+public:
+  enum class Smoother { GSRB, Chebyshev };
+
+  struct Config {
+    ProblemSpec problem;
+    std::string backend = "openmp";
+    CompileOptions options;
+    int pre_smooth = 2;    // smooths before coarsening (paper: 2)
+    int post_smooth = 2;   // after prolongation (paper: 2)
+    int bottom_smooth = 24;
+    std::int64_t coarsest_n = 2;
+    /// 1 = V-cycle (paper's configuration), 2 = W-cycle.
+    int cycle_gamma = 1;
+    Smoother smoother = Smoother::GSRB;
+    /// Chebyshev polynomial degree per smooth() call.
+    int cheby_degree = 4;
+  };
+
+  explicit Solver(Config config);
+
+  size_t num_levels() const { return levels_.size(); }
+  Level& level(size_t i) { return *levels_.at(i); }
+  const Config& config() const { return config_; }
+
+  /// One GSRB smooth (boundary/red/boundary/black) on level l.
+  void smooth(size_t l);
+  /// res = rhs - A x on level l (boundary applied first).
+  void residual(size_t l);
+  /// Restrict level l's residual into level l+1's rhs.
+  void restrict_residual(size_t l);
+  /// fine x_l += P(coarse x_{l+1}) (piecewise constant).
+  void prolongate_add(size_t l);
+  /// fine x_l (+)= P_linear(coarse x_{l+1}).
+  void prolongate_linear(size_t l, bool add);
+
+  /// One V-cycle from level l down.
+  void vcycle(size_t l = 0);
+  /// Full multigrid: coarsest-first with linear prolongation, one V-cycle
+  /// per level on the way up.
+  void fcycle();
+
+  /// Max-norm of the current finest-level residual.
+  double residual_norm();
+  /// Max-norm error |x - u*| over the finest interior.
+  double error_vs_exact();
+
+  /// Convergence run (x reset to 0, per-cycle residuals recorded), then a
+  /// timed run of `cycles` V-cycles after `warmup` untimed ones.
+  SolveStats solve(int cycles = 10, int warmup = 1);
+
+  /// Cycle from a zero guess until ||r|| <= rtol * ||r0|| or max_cycles;
+  /// returns the number of cycles used (max_cycles + 1 when not reached).
+  int solve_to_tolerance(double rtol, int max_cycles = 50);
+
+  /// Modeled device seconds accumulated since the last reset (oclsim).
+  double take_modeled_seconds();
+
+private:
+  void run_kernel(CompiledKernel& kernel, GridSet& grids, double h2inv);
+
+  void chebyshev_smooth(size_t l);
+
+  Config config_;
+  std::vector<std::unique_ptr<Level>> levels_;
+  std::vector<std::unique_ptr<CompiledKernel>> smooth_k_;
+  std::vector<std::unique_ptr<CompiledKernel>> cheby_k_;
+  std::vector<std::unique_ptr<CompiledKernel>> residual_k_;
+  std::vector<std::unique_ptr<CompiledKernel>> restrict_k_;
+  std::vector<std::unique_ptr<CompiledKernel>> interp_k_;
+  std::vector<std::unique_ptr<CompiledKernel>> interp_pl_k_;
+  std::vector<GridSet> restrict_sets_;   // level l res -> level l+1 rhs
+  std::vector<GridSet> interp_sets_;     // level l+1 x -> level l x
+  Grid exact_;                            // u* on the finest level
+  double modeled_seconds_ = 0.0;
+};
+
+}  // namespace snowflake::mg

@@ -1,0 +1,110 @@
+#include "report/report.hpp"
+
+#include <sstream>
+
+#include "analysis/dag.hpp"
+#include "analysis/interval.hpp"
+#include "backend/jit/jit_backend.hpp"
+#include "roofline/traffic.hpp"
+
+namespace snowflake {
+
+std::string dependence_matrix(const StencilGroup& group, const ShapeMap& shapes) {
+  std::ostringstream os;
+  const size_t n = group.size();
+  os << "     ";
+  for (size_t j = 0; j < n; ++j) os << j % 10;
+  os << "\n";
+  for (size_t i = 0; i < n; ++i) {
+    os << (i < 10 ? " " : "") << i << " [ ";
+    for (size_t j = 0; j < n; ++j) {
+      if (j <= i) {
+        os << " ";
+        continue;
+      }
+      const bool exact = stencils_dependent(group[i], group[j], shapes);
+      const bool coarse = stencils_dependent_interval(group[i], group[j], shapes);
+      os << (exact ? 'D' : (coarse ? 'd' : '.'));
+    }
+    os << " ] " << group[i].name() << "\n";
+  }
+  os << "(D = dependent; d = interval-analysis false positive; . = proven "
+        "independent)\n";
+  return os.str();
+}
+
+std::string explain_group(const StencilGroup& group, const ShapeMap& shapes,
+                          const ReportOptions& options) {
+  validate_group(group, shapes);
+  std::ostringstream os;
+
+  if (options.show_ir) {
+    os << "== Stencils ==\n";
+    for (size_t i = 0; i < group.size(); ++i) {
+      os << "  [" << i << "] " << group[i].to_string() << "\n";
+      const ResolvedUnion dom = resolved_domain(group[i], shapes);
+      os << "      resolved: " << dom.to_string() << " ("
+         << dom.count_with_multiplicity() << " points)\n";
+    }
+    os << "\n";
+  }
+
+  if (options.show_analysis) {
+    os << "== Dependence analysis ==\n" << dependence_matrix(group, shapes);
+    const Schedule exact = greedy_schedule(group, shapes);
+    os << "greedy waves: " << exact.waves.size() << " [";
+    for (size_t w = 0; w < exact.waves.size(); ++w) {
+      if (w) os << " |";
+      for (size_t s : exact.waves[w].stencils) os << " " << s;
+    }
+    os << " ]\n";
+    for (size_t i = 0; i < group.size(); ++i) {
+      os << "  [" << i << "] point-parallel=" << (exact.point_parallel[i] ? "yes" : "NO")
+         << " rects-independent=" << (exact.rects_independent[i] ? "yes" : "NO")
+         << "\n";
+    }
+    if (options.compare_interval) {
+      const Schedule coarse = greedy_schedule_interval(group, shapes);
+      size_t lost = 0;
+      for (size_t i = 0; i < group.size(); ++i) {
+        if (exact.point_parallel[i] && !coarse.point_parallel[i]) ++lost;
+      }
+      os << "interval analysis would use " << coarse.waves.size()
+         << " waves and lose the parallelism proof on " << lost << "/"
+         << group.size() << " stencils\n";
+    }
+    os << "\n";
+  }
+
+  const KernelPlan plan = build_plan(group, shapes, options.compile);
+
+  if (options.show_plan) {
+    os << "== Lowered plan ==\n" << plan.describe() << "\n";
+  }
+
+  if (options.show_traffic) {
+    os << "== Traffic / flop estimates (per run) ==\n";
+    double total_bytes = 0.0, total_flops = 0.0;
+    for (const auto& nest : plan.nests) {
+      const double bytes = nest_traffic_bytes(plan, nest);
+      const double flops = nest_flops(plan, nest);
+      total_bytes += bytes;
+      total_flops += flops;
+      os << "  " << nest.label << ": " << nest.point_count << " pts, "
+         << static_cast<long long>(bytes) << " B, "
+         << static_cast<long long>(flops) << " flops ("
+         << (nest.point_count > 0
+                 ? bytes / static_cast<double>(nest.point_count)
+                 : 0.0)
+         << " B/pt)\n";
+    }
+    os << "  total: " << static_cast<long long>(total_bytes) << " B, "
+       << static_cast<long long>(total_flops)
+       << " flops, arithmetic intensity "
+       << (total_bytes > 0 ? total_flops / total_bytes : 0.0) << " flop/B\n";
+  }
+
+  return os.str();
+}
+
+}  // namespace snowflake

@@ -1,0 +1,32 @@
+#pragma once
+// Compilation reports: everything the front end knows about a stencil
+// group, rendered for humans.  This is the tooling face of the paper's
+// Figure 5 workflow — the platform expert inspecting what the analysis
+// proved and what each micro-compiler will emit.
+
+#include <string>
+
+#include "backend/backend.hpp"
+#include "ir/stencil.hpp"
+#include "ir/validate.hpp"
+
+namespace snowflake {
+
+struct ReportOptions {
+  bool show_ir = true;          // stencil listing
+  bool show_analysis = true;    // dependences, waves, parallelism proofs
+  bool show_plan = true;        // lowered nest/chain structure
+  bool show_traffic = true;     // per-nest traffic & flop estimates
+  bool compare_interval = true; // exact vs interval analysis side by side
+  CompileOptions compile;       // transforms applied before planning
+};
+
+/// Render a full multi-section report for the group under these shapes.
+std::string explain_group(const StencilGroup& group, const ShapeMap& shapes,
+                          const ReportOptions& options = {});
+
+/// One-line-per-pair dependence matrix ("." independent, "D" dependent,
+/// "d" dependent only under interval analysis — a false positive).
+std::string dependence_matrix(const StencilGroup& group, const ShapeMap& shapes);
+
+}  // namespace snowflake

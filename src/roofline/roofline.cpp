@@ -1,0 +1,20 @@
+#include "roofline/roofline.hpp"
+
+#include "support/error.hpp"
+
+namespace snowflake {
+
+double roofline_stencils_per_s(double bandwidth_bytes_per_s,
+                               double bytes_per_stencil) {
+  SF_REQUIRE(bandwidth_bytes_per_s > 0 && bytes_per_stencil > 0,
+             "roofline inputs must be positive");
+  return bandwidth_bytes_per_s / bytes_per_stencil;
+}
+
+double roofline_sweep_seconds(double bandwidth_bytes_per_s,
+                              double bytes_per_stencil, double stencil_count) {
+  return stencil_count /
+         roofline_stencils_per_s(bandwidth_bytes_per_s, bytes_per_stencil);
+}
+
+}  // namespace snowflake

@@ -1,0 +1,31 @@
+#pragma once
+// Roofline performance bounds (paper §V-B).
+//
+// For each operator the paper computes the asymptotic compulsory DRAM
+// traffic per stencil application — assuming write-allocate caches, no
+// capacity/conflict misses, and no cache-bypass stores — and divides
+// measured bandwidth by it to get a speed-of-light stencils/s bound.
+
+#include <string>
+
+namespace snowflake {
+
+/// Paper §V-B compulsory traffic per stencil (bytes):
+///   CC 7-pt Laplacian: read x (8) + write out + write-allocate out (16).
+///   CC Jacobi: + read rhs (8) + read stored D^-1 (8).
+///   VC GSRB: x read+write+WA (24) + rhs (8) + 3 face betas (24) + λ (8).
+struct StencilBytes {
+  static constexpr double cc_7pt = 24.0;
+  static constexpr double cc_jacobi = 40.0;
+  static constexpr double vc_gsrb = 64.0;
+};
+
+/// Stencils/s bound = bandwidth / bytes-per-stencil.
+double roofline_stencils_per_s(double bandwidth_bytes_per_s,
+                               double bytes_per_stencil);
+
+/// Seconds to apply one sweep of `stencil_count` stencils at the bound.
+double roofline_sweep_seconds(double bandwidth_bytes_per_s,
+                              double bytes_per_stencil, double stencil_count);
+
+}  // namespace snowflake

@@ -1,0 +1,72 @@
+#include "roofline/stream.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace snowflake {
+
+namespace {
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+}  // namespace
+
+StreamResult measure_stream_dot(std::size_t elements, int trials) {
+  SF_REQUIRE(trials >= 2, "measure_stream_dot needs >= 2 trials (1 warm-up)");
+  std::vector<double> a(elements, 1.0), b(elements, 2.0);
+  volatile double sink = 0.0;
+  StreamResult result;
+  result.elements = elements;
+  result.trials = trials;
+  double total = 0.0;
+  for (int t = 0; t < trials; ++t) {
+    double beta = 0.0;
+    const auto start = std::chrono::steady_clock::now();
+    // Paper Figure 6: tuned_STREAM_Dot.
+#pragma omp parallel for reduction(+ : beta)
+    for (std::int64_t j = 0; j < static_cast<std::int64_t>(elements); j++) {
+      beta += a[static_cast<std::size_t>(j)] * b[static_cast<std::size_t>(j)];
+    }
+    const double dt = seconds_since(start);
+    sink = sink + beta;
+    if (t == 0) continue;  // warm-up
+    const double bw = 2.0 * 8.0 * static_cast<double>(elements) / dt;
+    result.best_bytes_per_s = std::max(result.best_bytes_per_s, bw);
+    total += bw;
+  }
+  result.avg_bytes_per_s = total / (trials - 1);
+  return result;
+}
+
+StreamResult measure_stream_triad(std::size_t elements, int trials) {
+  SF_REQUIRE(trials >= 2, "measure_stream_triad needs >= 2 trials (1 warm-up)");
+  std::vector<double> a(elements, 0.0), b(elements, 1.0), c(elements, 2.0);
+  const double scalar = 3.0;
+  StreamResult result;
+  result.elements = elements;
+  result.trials = trials;
+  double total = 0.0;
+  for (int t = 0; t < trials; ++t) {
+    const auto start = std::chrono::steady_clock::now();
+#pragma omp parallel for
+    for (std::int64_t j = 0; j < static_cast<std::int64_t>(elements); j++) {
+      a[static_cast<std::size_t>(j)] = b[static_cast<std::size_t>(j)] +
+                                       scalar * c[static_cast<std::size_t>(j)];
+    }
+    const double dt = seconds_since(start);
+    if (t == 0) continue;
+    // write-allocate: a is read then written -> 3 streams + read b, c.
+    const double bw = 4.0 * 8.0 * static_cast<double>(elements) / dt;
+    result.best_bytes_per_s = std::max(result.best_bytes_per_s, bw);
+    total += bw;
+  }
+  result.avg_bytes_per_s = total / (trials - 1);
+  return result;
+}
+
+}  // namespace snowflake

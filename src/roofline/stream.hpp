@@ -1,0 +1,25 @@
+#pragma once
+// Modified STREAM benchmark (paper Figure 6): a parallel dot product, whose
+// read-dominated access pattern approximates stencil traffic better than
+// the write-heavy classic STREAM kernels.  The measured bandwidth feeds the
+// Roofline bound in every figure.
+
+#include <cstddef>
+
+namespace snowflake {
+
+struct StreamResult {
+  double best_bytes_per_s = 0.0;
+  double avg_bytes_per_s = 0.0;
+  std::size_t elements = 0;
+  int trials = 0;
+};
+
+/// Run the Figure 6 dot-product kernel over two arrays of `elements`
+/// doubles, `trials` times (first is warm-up); returns bandwidths.
+StreamResult measure_stream_dot(std::size_t elements = 1u << 25, int trials = 5);
+
+/// Classic STREAM triad (a[i] = b[i] + s*c[i]) for comparison.
+StreamResult measure_stream_triad(std::size_t elements = 1u << 25, int trials = 5);
+
+}  // namespace snowflake

@@ -1,0 +1,29 @@
+#pragma once
+// Streaming-traffic and flop estimation for lowered loop nests.
+//
+// Used by the simulated device to time dispatches and by benches to report
+// achieved fractions of bandwidth.  The model is line-granular: along the
+// contiguous (last) dimension a strided access still touches every cache
+// line it skips across, while a skipped row/plane in an outer dimension is
+// genuinely untouched.  Writes count twice (write-allocate + write-back),
+// matching the paper's Roofline assumptions.
+
+#include <cstdint>
+
+#include "codegen/plan.hpp"
+
+namespace snowflake {
+
+/// Estimated DRAM bytes moved by one execution of the nest.
+double nest_traffic_bytes(const KernelPlan& plan, const LoopNest& nest);
+
+/// Estimated bytes for the whole plan (sum over nests).
+double plan_traffic_bytes(const KernelPlan& plan);
+
+/// Floating-point operations per iteration point (binary + unary ops).
+std::int64_t flops_per_point(const LoopNest& nest);
+
+/// Total flops of one nest execution.
+double nest_flops(const KernelPlan& plan, const LoopNest& nest);
+
+}  // namespace snowflake

@@ -1,0 +1,62 @@
+#pragma once
+// Error handling for the Snowflake library.
+//
+// All user-facing failures (bad stencil definitions, unresolvable domains,
+// missing grids, toolchain failures) throw snowflake::Error.  Internal
+// invariant violations use SF_ASSERT and throw InternalError so that tests
+// can distinguish "you misused the API" from "the library has a bug".
+
+#include <stdexcept>
+#include <string>
+
+namespace snowflake {
+
+/// Base class for all errors raised by the Snowflake library.
+class Error : public std::runtime_error {
+public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when user input is invalid (malformed stencil, bad domain, ...).
+class InvalidArgument : public Error {
+public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Raised when a grid name cannot be resolved against a GridSet.
+class LookupError : public Error {
+public:
+  explicit LookupError(const std::string& what) : Error(what) {}
+};
+
+/// Raised when the JIT toolchain (compiler discovery, compilation, dlopen)
+/// fails.
+class ToolchainError : public Error {
+public:
+  explicit ToolchainError(const std::string& what) : Error(what) {}
+};
+
+/// Raised on violated internal invariants; indicates a library bug.
+class InternalError : public Error {
+public:
+  explicit InternalError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_invalid(const char* file, int line, const std::string& msg);
+[[noreturn]] void throw_internal(const char* file, int line, const std::string& msg);
+}  // namespace detail
+
+/// Validate a user-supplied condition; throws InvalidArgument on failure.
+#define SF_REQUIRE(cond, msg)                                             \
+  do {                                                                    \
+    if (!(cond)) ::snowflake::detail::throw_invalid(__FILE__, __LINE__, (msg)); \
+  } while (0)
+
+/// Check an internal invariant; throws InternalError on failure.
+#define SF_ASSERT(cond, msg)                                              \
+  do {                                                                    \
+    if (!(cond)) ::snowflake::detail::throw_internal(__FILE__, __LINE__, (msg)); \
+  } while (0)
+
+}  // namespace snowflake

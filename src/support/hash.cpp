@@ -1,0 +1,54 @@
+#include "support/hash.hpp"
+
+#include <cstring>
+
+namespace snowflake {
+
+namespace {
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+std::uint64_t fnv1a64_accumulate(std::uint64_t state, std::string_view data) {
+  for (unsigned char c : data) {
+    state ^= c;
+    state *= kFnvPrime;
+  }
+  return state;
+}
+}  // namespace
+
+std::uint64_t fnv1a64(std::string_view data) {
+  return fnv1a64_accumulate(14695981039346656037ull, data);
+}
+
+HashStream& HashStream::add(std::string_view data) {
+  state_ = fnv1a64_accumulate(state_, data);
+  // Separator byte so add("ab") + add("c") != add("a") + add("bc").
+  state_ = fnv1a64_accumulate(state_, std::string_view("\x1f", 1));
+  return *this;
+}
+
+HashStream& HashStream::add(std::int64_t value) {
+  char bytes[sizeof(value)];
+  std::memcpy(bytes, &value, sizeof(value));
+  state_ = fnv1a64_accumulate(state_, std::string_view(bytes, sizeof(bytes)));
+  return *this;
+}
+
+HashStream& HashStream::add(double value) {
+  char bytes[sizeof(value)];
+  std::memcpy(bytes, &value, sizeof(value));
+  state_ = fnv1a64_accumulate(state_, std::string_view(bytes, sizeof(bytes)));
+  return *this;
+}
+
+std::string hash_hex(std::uint64_t hash) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<size_t>(i)] = digits[hash & 0xf];
+    hash >>= 4;
+  }
+  return out;
+}
+
+}  // namespace snowflake

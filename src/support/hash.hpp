@@ -1,0 +1,33 @@
+#pragma once
+// Stable hashing used for JIT source caching and IR structural hashing.
+//
+// FNV-1a is sufficient here: hashes key an on-disk cache whose entries also
+// store the full source text, so a collision degrades to a cache miss after
+// the stored source fails to match — never to wrong code being loaded.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace snowflake {
+
+/// 64-bit FNV-1a hash of a byte string.
+std::uint64_t fnv1a64(std::string_view data);
+
+/// Incrementally combinable hash state (order-sensitive).
+class HashStream {
+public:
+  HashStream& add(std::string_view data);
+  HashStream& add(std::int64_t value);
+  HashStream& add(double value);
+
+  std::uint64_t digest() const { return state_; }
+
+private:
+  std::uint64_t state_ = 14695981039346656037ull;  // FNV offset basis
+};
+
+/// Hex string of a 64-bit hash (16 lowercase hex digits).
+std::string hash_hex(std::uint64_t hash);
+
+}  // namespace snowflake

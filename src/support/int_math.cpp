@@ -1,0 +1,63 @@
+#include "support/int_math.hpp"
+
+#include <cstdlib>
+
+#include "support/error.hpp"
+
+namespace snowflake {
+
+ExtGcd ext_gcd(std::int64_t a, std::int64_t b) {
+  // Iterative extended Euclid on (|a|, |b|), with signs fixed up at the end.
+  std::int64_t old_r = a, r = b;
+  std::int64_t old_s = 1, s = 0;
+  std::int64_t old_t = 0, t = 1;
+  while (r != 0) {
+    std::int64_t q = old_r / r;
+    std::int64_t tmp = old_r - q * r;
+    old_r = r;
+    r = tmp;
+    tmp = old_s - q * s;
+    old_s = s;
+    s = tmp;
+    tmp = old_t - q * t;
+    old_t = t;
+    t = tmp;
+  }
+  if (old_r < 0) {
+    old_r = -old_r;
+    old_s = -old_s;
+    old_t = -old_t;
+  }
+  return ExtGcd{old_r, old_s, old_t};
+}
+
+std::int64_t gcd(std::int64_t a, std::int64_t b) { return ext_gcd(a, b).g; }
+
+std::int64_t lcm(std::int64_t a, std::int64_t b) {
+  if (a == 0 || b == 0) return 0;
+  std::int64_t g = gcd(a, b);
+  return std::abs(a / g * b);
+}
+
+std::int64_t floor_div(std::int64_t a, std::int64_t b) {
+  SF_REQUIRE(b != 0, "floor_div by zero");
+  std::int64_t q = a / b;
+  std::int64_t r = a % b;
+  if (r != 0 && ((r < 0) != (b < 0))) --q;
+  return q;
+}
+
+std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  SF_REQUIRE(b != 0, "ceil_div by zero");
+  return -floor_div(-a, b);
+}
+
+std::int64_t mod_floor(std::int64_t a, std::int64_t b) {
+  SF_REQUIRE(b != 0, "mod_floor by zero");
+  std::int64_t bb = std::abs(b);
+  std::int64_t m = a % bb;
+  if (m < 0) m += bb;
+  return m;
+}
+
+}  // namespace snowflake

@@ -1,0 +1,36 @@
+#pragma once
+// Exact integer math primitives: extended gcd, modular normalization,
+// floor/ceil division.  These underpin both the domain algebra
+// (intersection of strided ranges via CRT) and the Diophantine dependence
+// analysis, so they live in support rather than in either module.
+
+#include <cstdint>
+
+namespace snowflake {
+
+/// Result of the extended Euclidean algorithm: g = gcd(|a|, |b|) and
+/// coefficients with a*x + b*y = g.  gcd(0, 0) is defined as 0.
+struct ExtGcd {
+  std::int64_t g;
+  std::int64_t x;
+  std::int64_t y;
+};
+
+ExtGcd ext_gcd(std::int64_t a, std::int64_t b);
+
+/// Non-negative gcd.
+std::int64_t gcd(std::int64_t a, std::int64_t b);
+
+/// Least common multiple (0 if either is 0).  Caller guarantees no overflow.
+std::int64_t lcm(std::int64_t a, std::int64_t b);
+
+/// Floor division (rounds toward negative infinity).
+std::int64_t floor_div(std::int64_t a, std::int64_t b);
+
+/// Ceil division (rounds toward positive infinity).
+std::int64_t ceil_div(std::int64_t a, std::int64_t b);
+
+/// a mod b normalized into [0, |b|).
+std::int64_t mod_floor(std::int64_t a, std::int64_t b);
+
+}  // namespace snowflake

@@ -1,0 +1,59 @@
+#include "support/logging.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <mutex>
+
+namespace snowflake {
+
+namespace {
+
+LogLevel level_from_env() {
+  const char* env = std::getenv("SNOWFLAKE_LOG");
+  if (env == nullptr) return LogLevel::Off;
+  if (std::strcmp(env, "error") == 0) return LogLevel::Error;
+  if (std::strcmp(env, "warn") == 0) return LogLevel::Warn;
+  if (std::strcmp(env, "info") == 0) return LogLevel::Info;
+  if (std::strcmp(env, "debug") == 0) return LogLevel::Debug;
+  return LogLevel::Off;
+}
+
+std::atomic<int>& level_storage() {
+  static std::atomic<int> level{static_cast<int>(level_from_env())};
+  return level;
+}
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Off: break;
+  }
+  return "OFF";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) {
+  level_storage().store(static_cast<int>(level));
+}
+
+LogLevel log_level() {
+  return static_cast<LogLevel>(level_storage().load());
+}
+
+namespace detail {
+
+void log_line(LogLevel level, const std::string& msg) {
+  static std::mutex mu;
+  std::lock_guard<std::mutex> lock(mu);
+  std::cerr << "[snowflake " << level_name(level) << "] " << msg << "\n";
+}
+
+}  // namespace detail
+
+}  // namespace snowflake

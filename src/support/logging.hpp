@@ -1,0 +1,43 @@
+#pragma once
+// Minimal leveled logger.
+//
+// The JIT pipeline logs compiler invocations and cache hits at Debug level;
+// backends log scheduling decisions at Info level when enabled.  Logging is
+// off by default so library users see nothing unless they opt in via
+// set_log_level or the SNOWFLAKE_LOG environment variable
+// (error|warn|info|debug).
+
+#include <sstream>
+#include <string>
+
+namespace snowflake {
+
+enum class LogLevel { Off = 0, Error = 1, Warn = 2, Info = 3, Debug = 4 };
+
+/// Set the global log level programmatically.
+void set_log_level(LogLevel level);
+
+/// Current global log level (initialized from $SNOWFLAKE_LOG on first use).
+LogLevel log_level();
+
+namespace detail {
+void log_line(LogLevel level, const std::string& msg);
+}
+
+#define SF_LOG(level, expr)                                            \
+  do {                                                                 \
+    if (static_cast<int>(::snowflake::log_level()) >=                  \
+        static_cast<int>(::snowflake::LogLevel::level)) {              \
+      std::ostringstream sf_log_os_;                                   \
+      sf_log_os_ << expr;                                              \
+      ::snowflake::detail::log_line(::snowflake::LogLevel::level,      \
+                                    sf_log_os_.str());                 \
+    }                                                                  \
+  } while (0)
+
+#define SF_LOG_ERROR(expr) SF_LOG(Error, expr)
+#define SF_LOG_WARN(expr) SF_LOG(Warn, expr)
+#define SF_LOG_INFO(expr) SF_LOG(Info, expr)
+#define SF_LOG_DEBUG(expr) SF_LOG(Debug, expr)
+
+}  // namespace snowflake

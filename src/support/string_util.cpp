@@ -1,0 +1,54 @@
+#include "support/string_util.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace snowflake {
+
+std::string join(const std::vector<std::string>& parts, const std::string& sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string format_tuple(const std::vector<std::int64_t>& values) {
+  std::ostringstream os;
+  os << "(";
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i != 0) os << ", ";
+    os << values[i];
+  }
+  os << ")";
+  return os.str();
+}
+
+std::string format_double(double value) {
+  if (std::isnan(value)) return "(0.0/0.0)";
+  if (std::isinf(value)) return value > 0 ? "(1.0/0.0)" : "(-1.0/0.0)";
+  char buf[64];
+  // %.17g round-trips IEEE doubles.
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  std::string out(buf);
+  // Ensure the literal parses as a double in C (e.g. "1" -> "1.0").
+  if (out.find_first_of(".eE") == std::string::npos) out += ".0";
+  return out;
+}
+
+bool is_identifier(const std::string& name) {
+  if (name.empty()) return false;
+  if (!(std::isalpha(static_cast<unsigned char>(name[0])) || name[0] == '_')) {
+    return false;
+  }
+  for (char c : name) {
+    if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_')) return false;
+  }
+  return true;
+}
+
+}  // namespace snowflake

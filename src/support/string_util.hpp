@@ -1,0 +1,23 @@
+#pragma once
+// Small string helpers shared by the IR printer and the C emitter.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace snowflake {
+
+/// Join the elements of `parts` with `sep` between them.
+std::string join(const std::vector<std::string>& parts, const std::string& sep);
+
+/// Format an integer vector as "(a, b, c)".
+std::string format_tuple(const std::vector<std::int64_t>& values);
+
+/// Format a double with enough digits to round-trip (used in codegen so the
+/// generated C reproduces the exact IEEE value).
+std::string format_double(double value);
+
+/// True if `name` is a valid C identifier (codegen-safe grid name).
+bool is_identifier(const std::string& name);
+
+}  // namespace snowflake

@@ -1,0 +1,70 @@
+#include "tune/tuner.hpp"
+
+#include <chrono>
+#include <limits>
+
+#include "support/error.hpp"
+#include "support/logging.hpp"
+
+namespace snowflake {
+
+namespace {
+double steady_now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+Tuner::Tuner(std::function<double()> now)
+    : now_(now ? std::move(now) : steady_now) {}
+
+TuneResult Tuner::tune(const StencilGroup& group, GridSet& grids,
+                       const ParamMap& params, const std::string& backend,
+                       const std::vector<TuneCandidate>& candidates,
+                       int warmup, int reps) const {
+  SF_REQUIRE(!candidates.empty(), "tune requires at least one candidate");
+  SF_REQUIRE(reps >= 1, "tune requires reps >= 1");
+
+  TuneResult result;
+  double best_seconds = std::numeric_limits<double>::infinity();
+  for (const auto& candidate : candidates) {
+    auto kernel = compile(group, grids, backend, candidate.options);
+    for (int i = 0; i < warmup; ++i) kernel->run(grids, params);
+    double best = std::numeric_limits<double>::infinity();
+    for (int i = 0; i < reps; ++i) {
+      const double start = now_();
+      kernel->run(grids, params);
+      const double dt = now_() - start;
+      if (dt < best) best = dt;
+    }
+    SF_LOG_INFO("tune: " << candidate.label << " -> " << best << " s");
+    result.timings.push_back(TuneTiming{candidate.label, best});
+    if (best < best_seconds) {
+      best_seconds = best;
+      result.best = candidate;
+    }
+  }
+  return result;
+}
+
+std::vector<TuneCandidate> default_tile_candidates(int rank) {
+  SF_REQUIRE(rank >= 1, "default_tile_candidates requires rank >= 1");
+  std::vector<TuneCandidate> out;
+  for (const bool fuse : {false, true}) {
+    const std::string suffix = fuse ? "+fuse" : "";
+    CompileOptions untiled;
+    untiled.fuse_colors = fuse;
+    out.push_back(TuneCandidate{"untiled" + suffix, untiled});
+    for (std::int64_t t : {4, 8, 16, 32}) {
+      CompileOptions opt;
+      opt.tile = Index(static_cast<size_t>(rank), t);
+      opt.fuse_colors = fuse;
+      out.push_back(
+          TuneCandidate{"tile" + std::to_string(t) + suffix, opt});
+    }
+  }
+  return out;
+}
+
+}  // namespace snowflake

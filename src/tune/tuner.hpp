@@ -1,0 +1,53 @@
+#pragma once
+// Compile-option autotuner (paper §IV-A: tiling "allows the user to specify
+// a tiling size when compiling the stencil, and provides a method of
+// tuning tiling sizes" — this is that method, automated).
+//
+// Compiles the group once per candidate, times each with the standard
+// warm-up/best-of protocol, and returns the fastest options.  The JIT
+// cache makes re-tuning cheap across runs.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "backend/backend.hpp"
+
+namespace snowflake {
+
+struct TuneCandidate {
+  std::string label;
+  CompileOptions options;
+};
+
+struct TuneTiming {
+  std::string label;
+  double seconds = 0.0;  // best-of-reps per kernel run
+};
+
+struct TuneResult {
+  TuneCandidate best;
+  std::vector<TuneTiming> timings;  // in candidate order
+};
+
+class Tuner {
+public:
+  /// `now` returns monotonic seconds; injectable for deterministic tests.
+  explicit Tuner(std::function<double()> now = {});
+
+  /// Time every candidate and return the fastest.  `grids` contents are
+  /// mutated by the trial runs (callers benchmark on scratch data).
+  TuneResult tune(const StencilGroup& group, GridSet& grids,
+                  const ParamMap& params, const std::string& backend,
+                  const std::vector<TuneCandidate>& candidates,
+                  int warmup = 1, int reps = 3) const;
+
+private:
+  std::function<double()> now_;
+};
+
+/// Standard tile-size sweep for a rank-d kernel: untiled plus cubic tiles
+/// {4, 8, 16, 32}^d, each with and without multicolor fusion.
+std::vector<TuneCandidate> default_tile_candidates(int rank);
+
+}  // namespace snowflake

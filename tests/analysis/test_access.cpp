@@ -1,0 +1,64 @@
+#include "analysis/access.hpp"
+
+#include <gtest/gtest.h>
+
+#include "domain/domain_algebra.hpp"
+#include "ir/stencil_library.hpp"
+#include "support/error.hpp"
+
+namespace snowflake {
+namespace {
+
+TEST(Access, WriteFirstThenDedupedReads) {
+  const Stencil s("s", read("x", {1}) + read("x", {1}) + read("x", {-1}),
+                  "out", RectDomain({1}, {-1}));
+  const auto acc = accesses_of(s);
+  ASSERT_EQ(acc.size(), 3u);  // write + two distinct reads (dup removed)
+  EXPECT_TRUE(acc[0].is_write);
+  EXPECT_EQ(acc[0].grid, "out");
+  EXPECT_TRUE(acc[0].map.is_identity());
+  EXPECT_FALSE(acc[1].is_write);
+}
+
+TEST(Access, InPlaceStencilWriteAndReadSameGrid) {
+  const Stencil s("s", read("x", {0}) + read("x", {1}), "x",
+                  RectDomain({1}, {-1}));
+  const auto acc = accesses_of(s);
+  int writes = 0, x_reads = 0;
+  for (const auto& a : acc) {
+    if (a.is_write) ++writes;
+    if (!a.is_write && a.grid == "x") ++x_reads;
+  }
+  EXPECT_EQ(writes, 1);
+  EXPECT_EQ(x_reads, 2);
+}
+
+TEST(Access, RegionOfOffsetRead) {
+  const Access a{"x", IndexMap::offset({1}), false};
+  const ResolvedUnion dom({ResolvedRect({{1, 9, 2}})});
+  const ResolvedUnion region = access_region(a, dom);
+  // Canonical form: hi is last+1.
+  EXPECT_EQ(region.rects()[0].range(0), (ResolvedRange{2, 9, 2}));
+}
+
+TEST(Access, RegionOfRestrictionRead) {
+  const Access a{"fine", IndexMap::scale({2}, {-1}), false};
+  const ResolvedUnion dom({ResolvedRect({{1, 5, 1}})});  // coarse 1..4
+  const ResolvedUnion region = access_region(a, dom);
+  EXPECT_EQ(region.rects()[0].range(0), (ResolvedRange{1, 8, 2}));  // 1,3,5,7
+}
+
+TEST(Access, ResolvedDomainUsesOutputShape) {
+  const Stencil s = lib::cc_apply(2, "x", "out");
+  ShapeMap shapes{{"x", {10, 10}}, {"out", {10, 10}}};
+  const ResolvedUnion dom = resolved_domain(s, shapes);
+  EXPECT_EQ(count_distinct(dom), 64);
+}
+
+TEST(Access, MissingShapeThrows) {
+  const Stencil s = lib::cc_apply(2, "x", "out");
+  EXPECT_THROW(resolved_domain(s, ShapeMap{{"x", {10, 10}}}), LookupError);
+}
+
+}  // namespace
+}  // namespace snowflake

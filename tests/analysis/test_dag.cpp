@@ -1,0 +1,102 @@
+#include "analysis/dag.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ir/stencil_library.hpp"
+#include "multigrid/operators.hpp"
+
+namespace snowflake {
+namespace {
+
+using namespace snowflake::lib;
+
+ShapeMap shapes2(std::int64_t n) {
+  ShapeMap shapes;
+  for (const std::string g :
+       {"x", "y", "z", "w", "rhs", "lambda_inv", "beta_x", "beta_y"}) {
+    shapes[g] = Index{n, n};
+  }
+  return shapes;
+}
+
+TEST(Dag, ChainStructure) {
+  // x -> y -> z: a linear chain.
+  StencilGroup g;
+  g.append(Stencil(read("x", {0, 0}), "y", interior(2)));
+  g.append(Stencil(read("y", {0, 0}), "z", interior(2)));
+  g.append(Stencil(read("z", {0, 0}), "w", interior(2)));
+  const DependenceDag dag(g, shapes2(8));
+  EXPECT_TRUE(dag.depends(1, 0));
+  EXPECT_TRUE(dag.depends(2, 1));
+  EXPECT_FALSE(dag.depends(2, 0));  // z doesn't read x or y's inputs
+  EXPECT_EQ(dag.preds(2), (std::vector<size_t>{1}));
+  EXPECT_EQ(dag.succs(0), (std::vector<size_t>{1}));
+}
+
+TEST(Dag, IndependentPair) {
+  StencilGroup g;
+  g.append(Stencil(read("x", {0, 0}), "y", interior(2)));
+  g.append(Stencil(read("x", {0, 0}), "z", interior(2)));
+  const DependenceDag dag(g, shapes2(8));
+  EXPECT_TRUE(dag.independent(0, 1));
+}
+
+TEST(Dag, DotOutput) {
+  StencilGroup g;
+  g.append(Stencil("first", read("x", {0, 0}), "y", interior(2)));
+  g.append(Stencil("second", read("y", {0, 0}), "z", interior(2)));
+  const DependenceDag dag(g, shapes2(8));
+  const std::string dot = dag.to_dot(g);
+  EXPECT_NE(dot.find("s0 -> s1"), std::string::npos);
+  EXPECT_NE(dot.find("first"), std::string::npos);
+}
+
+TEST(GreedySchedule, IndependentStencilsShareWave) {
+  StencilGroup g;
+  g.append(Stencil(read("x", {0, 0}), "y", interior(2)));
+  g.append(Stencil(read("x", {0, 0}), "z", interior(2)));
+  g.append(Stencil(read("y", {0, 0}) + read("z", {0, 0}), "w", interior(2)));
+  const Schedule s = greedy_schedule(g, shapes2(8));
+  ASSERT_EQ(s.waves.size(), 2u);
+  EXPECT_EQ(s.waves[0].stencils, (std::vector<size_t>{0, 1}));
+  EXPECT_EQ(s.waves[1].stencils, (std::vector<size_t>{2}));
+}
+
+TEST(GreedySchedule, PaperBarrierPlacement) {
+  // The paper's greedy rule: "places a barrier only when the next stencil
+  // depends on the stencils in the existing group."  Four boundary faces
+  // batch into one wave; the red sweep forces a barrier; black another.
+  const StencilGroup g = mg::gsrb_smooth_group(2);  // bc(4), red, bc(4), black
+  ShapeMap shapes;
+  for (const std::string name :
+       {"x", "rhs", "lambda_inv", "beta_x", "beta_y"}) {
+    shapes[name] = Index{10, 10};
+  }
+  const Schedule s = greedy_schedule(g, shapes);
+  ASSERT_EQ(s.waves.size(), 4u);
+  EXPECT_EQ(s.waves[0].stencils.size(), 4u);  // 4 faces together
+  EXPECT_EQ(s.waves[1].stencils.size(), 1u);  // red
+  EXPECT_EQ(s.waves[2].stencils.size(), 4u);  // faces again
+  EXPECT_EQ(s.waves[3].stencils.size(), 1u);  // black
+  // Every stencil in the smoother is point-parallel.
+  for (bool p : s.point_parallel) EXPECT_TRUE(p);
+}
+
+TEST(BarrierPerStencil, OneWaveEach) {
+  const StencilGroup g = lib::dirichlet_boundary(2, "x");
+  const Schedule s = barrier_per_stencil_schedule(g, shapes2(8));
+  EXPECT_EQ(s.waves.size(), g.size());
+}
+
+TEST(GreedySchedule, InPlaceChainAllBarriers) {
+  // Repeated in-place updates of the same grid serialize completely.
+  StencilGroup g;
+  for (int i = 0; i < 3; ++i) {
+    g.append(Stencil(2.0 * read("x", {0, 0}), "x", interior(2)));
+  }
+  const Schedule s = greedy_schedule(g, shapes2(8));
+  EXPECT_EQ(s.waves.size(), 3u);
+}
+
+}  // namespace
+}  // namespace snowflake

@@ -1,0 +1,98 @@
+#include "analysis/dead_code.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "analysis/dag.hpp"
+#include "ir/stencil_library.hpp"
+
+namespace snowflake {
+namespace {
+
+using namespace snowflake::lib;
+
+ShapeMap shapes2(std::int64_t n) {
+  ShapeMap shapes;
+  for (const std::string g : {"a", "b", "c", "d", "x", "y", "z", "w"}) {
+    shapes[g] = Index{n, n};
+  }
+  return shapes;
+}
+
+TEST(DeadCode, UnusedWriterEliminated) {
+  StencilGroup g;
+  g.append(Stencil("live", read("a", {0, 0}), "b", interior(2)));
+  g.append(Stencil("dead", read("a", {0, 0}), "c", interior(2)));
+  const auto live = live_stencils(g, {"b"});
+  EXPECT_TRUE(live[0]);
+  EXPECT_FALSE(live[1]);
+  const StencilGroup pruned = eliminate_dead_stencils(g, {"b"});
+  ASSERT_EQ(pruned.size(), 1u);
+  EXPECT_EQ(pruned[0].name(), "live");
+}
+
+TEST(DeadCode, TransitiveLiveness) {
+  // a -> b -> c with only c live: both stages stay.
+  StencilGroup g;
+  g.append(Stencil(read("a", {0, 0}), "b", interior(2)));
+  g.append(Stencil(read("b", {0, 0}), "c", interior(2)));
+  const auto live = live_stencils(g, {"c"});
+  EXPECT_TRUE(live[0]);
+  EXPECT_TRUE(live[1]);
+}
+
+TEST(DeadCode, DeadChainFullyRemoved) {
+  StencilGroup g;
+  g.append(Stencil(read("a", {0, 0}), "x", interior(2)));
+  g.append(Stencil(read("x", {0, 0}), "y", interior(2)));
+  g.append(Stencil(read("a", {0, 0}), "z", interior(2)));
+  const StencilGroup pruned = eliminate_dead_stencils(g, {"z"});
+  ASSERT_EQ(pruned.size(), 1u);
+  EXPECT_EQ(pruned[0].output(), "z");
+}
+
+TEST(DeadCode, EverythingLiveWhenAllOutputsMatter) {
+  StencilGroup g;
+  g.append(Stencil(read("a", {0, 0}), "b", interior(2)));
+  g.append(Stencil(read("a", {0, 0}), "c", interior(2)));
+  const auto live = live_stencils(g, {"b", "c"});
+  EXPECT_TRUE(live[0]);
+  EXPECT_TRUE(live[1]);
+}
+
+TEST(Reorder, CanSwapIndependentNeighbors) {
+  StencilGroup g;
+  g.append(Stencil(read("a", {0, 0}), "b", interior(2)));
+  g.append(Stencil(read("a", {0, 0}), "c", interior(2)));
+  g.append(Stencil(read("c", {0, 0}), "d", interior(2)));
+  EXPECT_TRUE(can_swap_adjacent(g, 0, shapes2(8)));    // a->b vs a->c
+  EXPECT_FALSE(can_swap_adjacent(g, 1, shapes2(8)));   // a->c feeds c->d
+}
+
+TEST(Reorder, WavesImproveAfterReordering) {
+  // Program order interleaves two independent chains pessimally:
+  // a->x, b reads x, a2->y, b2 reads y.  Reordering lets the two heads
+  // share a wave.
+  StencilGroup g;
+  g.append(Stencil("head1", read("a", {0, 0}), "x", interior(2)));
+  g.append(Stencil("tail1", read("x", {0, 0}), "c", interior(2)));
+  g.append(Stencil("head2", read("a", {0, 0}), "y", interior(2)));
+  g.append(Stencil("tail2", read("y", {0, 0}), "d", interior(2)));
+  const ShapeMap shapes = shapes2(8);
+  // Greedy on the interleaved order: {head1} | {tail1, head2} | {tail2}.
+  EXPECT_EQ(greedy_schedule(g, shapes).waves.size(), 3u);
+  const StencilGroup r = reorder_for_waves(g, shapes);
+  ASSERT_EQ(r.size(), 4u);
+  EXPECT_EQ(greedy_schedule(r, shapes).waves.size(), 2u);
+  // Reordering preserved per-chain order.
+  std::vector<std::string> names;
+  for (const auto& s : r.stencils()) names.push_back(s.name());
+  EXPECT_LT(std::find(names.begin(), names.end(), "head1"),
+            std::find(names.begin(), names.end(), "tail1"));
+  EXPECT_LT(std::find(names.begin(), names.end(), "head2"),
+            std::find(names.begin(), names.end(), "tail2"));
+}
+
+}  // namespace
+}  // namespace snowflake

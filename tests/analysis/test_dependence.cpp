@@ -1,0 +1,148 @@
+#include "analysis/dependence.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ir/stencil_library.hpp"
+
+namespace snowflake {
+namespace {
+
+using namespace snowflake::lib;
+
+ShapeMap shapes2(std::int64_t n) {
+  ShapeMap shapes;
+  for (const std::string g :
+       {"x", "y", "z", "rhs", "out", "lambda_inv", "beta_x", "beta_y"}) {
+    shapes[g] = Index{n, n};
+  }
+  return shapes;
+}
+
+TEST(Dependence, RawThroughSharedGrid) {
+  // y = f(x); z = g(y): RAW.
+  const Stencil a(read("x", {0, 0}), "y", interior(2));
+  const Stencil b(read("y", {0, 0}), "z", interior(2));
+  const Dependence dep = stencil_dependence(a, b, shapes2(8));
+  EXPECT_TRUE(dep.raw);
+  EXPECT_FALSE(dep.war);
+  EXPECT_FALSE(dep.waw);
+}
+
+TEST(Dependence, WarWhenLaterOverwritesInput) {
+  const Stencil a(read("x", {0, 0}), "y", interior(2));
+  const Stencil b(read("z", {0, 0}), "x", interior(2));
+  const Dependence dep = stencil_dependence(a, b, shapes2(8));
+  EXPECT_TRUE(dep.war);
+  EXPECT_FALSE(dep.raw);
+}
+
+TEST(Dependence, WawOnSameOutput) {
+  const Stencil a(constant(1.0), "out", interior(2));
+  const Stencil b(constant(2.0), "out", interior(2));
+  EXPECT_TRUE(stencil_dependence(a, b, shapes2(8)).waw);
+}
+
+TEST(Dependence, IndependentDisjointGrids) {
+  const Stencil a(read("x", {0, 0}), "y", interior(2));
+  const Stencil b(read("rhs", {0, 0}), "z", interior(2));
+  EXPECT_FALSE(stencils_dependent(a, b, shapes2(8)));
+}
+
+TEST(Dependence, DisjointRegionsOfSameGridIndependent) {
+  // Two stencils writing opposite faces of the same grid: the
+  // finite-domain analysis proves independence (Halide's infinite-domain
+  // interval analysis cannot — paper §III).
+  const Stencil lo(constant(0.0), "x", face(2, 0, false));
+  const Stencil hi(constant(0.0), "x", face(2, 0, true));
+  EXPECT_FALSE(stencils_dependent(lo, hi, shapes2(8)));
+}
+
+TEST(Dependence, BoundaryFeedsInteriorStencil) {
+  // The interior 5-point stencil reads the ghosts the face writes.
+  const Stencil bc = dirichlet_face(2, "x", 0, false);
+  const Stencil apply = cc_apply(2, "x", "out");
+  EXPECT_TRUE(stencils_dependent(bc, apply, shapes2(8)));
+}
+
+TEST(Dependence, InteriorOnlyStencilIgnoresBoundary) {
+  // A stencil whose domain stays 2 cells clear of the face never reads the
+  // ghosts: provably independent.
+  const Stencil bc = dirichlet_face(2, "x", 0, false);
+  const Stencil inner(read("x", {-1, 0}) + read("x", {1, 0}), "out",
+                      RectDomain({3, 3}, {-3, -3}));
+  EXPECT_FALSE(stencils_dependent(bc, inner, shapes2(12)));
+}
+
+TEST(Dependence, RedBlackSweepsDependent) {
+  const Stencil red = vc_gsrb_sweep(2, "x", "rhs", "lambda_inv", "beta", 0);
+  const Stencil black = vc_gsrb_sweep(2, "x", "rhs", "lambda_inv", "beta", 1);
+  const Dependence dep = stencil_dependence(red, black, shapes2(8));
+  EXPECT_TRUE(dep.raw);  // black reads red's updates
+}
+
+TEST(PointParallel, OutOfPlaceAlwaysSafe) {
+  EXPECT_TRUE(point_parallel_safe(cc_apply(2, "x", "out"), shapes2(8)));
+  EXPECT_TRUE(point_parallel_safe(cc_jacobi(2, "x", "rhs", "lambda_inv", "out"),
+                                  shapes2(8)));
+}
+
+TEST(PointParallel, GsrbColorSweepSafe) {
+  // The headline analysis result: an in-place red sweep only reads black
+  // neighbours, so all red points update concurrently.
+  const Stencil red = vc_gsrb_sweep(2, "x", "rhs", "lambda_inv", "beta", 0);
+  EXPECT_TRUE(point_parallel_safe(red, shapes2(8)));
+}
+
+TEST(PointParallel, InPlaceJacobiUnsafe) {
+  // In-place smoother over the whole interior reads neighbours it also
+  // writes: loop-carried.
+  const Stencil s("bad", 0.25 * (read("x", {1, 0}) + read("x", {-1, 0}) +
+                                 read("x", {0, 1}) + read("x", {0, -1})),
+                  "x", interior(2));
+  EXPECT_FALSE(point_parallel_safe(s, shapes2(8)));
+}
+
+TEST(PointParallel, CenterOnlyInPlaceSafe) {
+  // x = 2*x reads only the written point: safe.
+  const Stencil s("scale", 2.0 * read("x", {0, 0}), "x", interior(2));
+  EXPECT_TRUE(point_parallel_safe(s, shapes2(8)));
+}
+
+TEST(UnionRects, GsrbSingleColorIndependent) {
+  const Stencil red = vc_gsrb_sweep(3, "x", "rhs", "lambda_inv", "beta", 0);
+  ShapeMap shapes;
+  for (const std::string g :
+       {"x", "rhs", "lambda_inv", "beta_x", "beta_y", "beta_z"}) {
+    shapes[g] = Index{6, 6, 6};
+  }
+  EXPECT_TRUE(union_rects_independent(red, shapes));
+}
+
+TEST(UnionRects, RedPlusBlackAsOneStencilDependent) {
+  // Writing the full red+black union as a single in-place stencil: the
+  // rects interact, so they must run in order.
+  const DomainUnion both = colored_interior(2, 0) + colored_interior(2, 1);
+  const Stencil s("gsrb_all",
+                  read("x", {0, 0}) + 0.25 * (read("x", {1, 0}) +
+                                              read("x", {-1, 0}) +
+                                              read("x", {0, 1}) +
+                                              read("x", {0, -1})),
+                  "x", both);
+  EXPECT_FALSE(union_rects_independent(s, shapes2(8)));
+}
+
+TEST(Dependence, RestrictionCrossShape) {
+  // residual -> restriction RAW through the fine grid.
+  ShapeMap shapes{{"fine_res", {10, 10}},
+                  {"coarse_rhs", {6, 6}},
+                  {"x", {10, 10}},
+                  {"rhs", {10, 10}},
+                  {"beta_x", {10, 10}},
+                  {"beta_y", {10, 10}}};
+  const Stencil res = vc_residual(2, "x", "rhs", "fine_res", "beta");
+  const Stencil restr = restriction_fw(2, "fine_res", "coarse_rhs");
+  EXPECT_TRUE(stencils_dependent(res, restr, shapes));
+}
+
+}  // namespace
+}  // namespace snowflake

@@ -1,0 +1,176 @@
+#include "analysis/diophantine.hpp"
+
+#include <gtest/gtest.h>
+
+namespace snowflake {
+namespace {
+
+TEST(Diophantine, SolvableWhenGcdDivides) {
+  // 6x + 10y = 8: gcd 2 divides 8.
+  const auto s = solve_linear_diophantine(6, 10, 8);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(6 * s->x0 + 10 * s->y0, 8);
+  // The one-parameter family stays on the solution set.
+  for (int k = -3; k <= 3; ++k) {
+    EXPECT_EQ(6 * (s->x0 + k * s->step_x) + 10 * (s->y0 + k * s->step_y), 8);
+  }
+}
+
+TEST(Diophantine, UnsolvableWhenGcdDoesNot) {
+  EXPECT_FALSE(solve_linear_diophantine(6, 10, 7).has_value());
+  EXPECT_FALSE(solve_linear_diophantine(4, 8, 2).has_value());
+}
+
+TEST(Diophantine, DegenerateBothZero) {
+  EXPECT_TRUE(solve_linear_diophantine(0, 0, 0).has_value());
+  EXPECT_FALSE(solve_linear_diophantine(0, 0, 5).has_value());
+}
+
+TEST(Diophantine, OneCoefficientZero) {
+  const auto s = solve_linear_diophantine(0, 5, 15);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(5 * s->y0, 15);
+  EXPECT_FALSE(solve_linear_diophantine(0, 5, 7).has_value());
+}
+
+TEST(Congruence, Basic) {
+  // 3x ≡ 2 (mod 7): x = 3.
+  const auto x = solve_congruence(3, 2, 7);
+  ASSERT_TRUE(x.has_value());
+  EXPECT_EQ((3 * *x) % 7, 2);
+  EXPECT_GE(*x, 0);
+  EXPECT_LT(*x, 7);
+}
+
+TEST(Congruence, Unsolvable) {
+  // 2x ≡ 1 (mod 4): gcd(2,4)=2 does not divide 1.
+  EXPECT_FALSE(solve_congruence(2, 1, 4).has_value());
+}
+
+TEST(Congruence, SolvableNonCoprime) {
+  // 2x ≡ 2 (mod 4): x = 1.
+  const auto x = solve_congruence(2, 2, 4);
+  ASSERT_TRUE(x.has_value());
+  EXPECT_EQ((2 * *x) % 4, 2);
+}
+
+TEST(HasSolutionIn, BruteForceAgreement) {
+  // Exhaustive cross-check of the bounded solver against enumeration.
+  const ResolvedRange xs{0, 9, 2};   // 0,2,4,6,8
+  const ResolvedRange ys{1, 10, 3};  // 1,4,7
+  for (std::int64_t a = -3; a <= 3; ++a) {
+    for (std::int64_t b = -3; b <= 3; ++b) {
+      for (std::int64_t c = -10; c <= 10; ++c) {
+        bool expect = false;
+        for (std::int64_t x = xs.lo; x < xs.hi; x += xs.stride) {
+          for (std::int64_t y = ys.lo; y < ys.hi; y += ys.stride) {
+            if (a * x + b * y == c) expect = true;
+          }
+        }
+        EXPECT_EQ(has_solution_in(a, b, c, xs, ys), expect)
+            << a << "x + " << b << "y = " << c;
+      }
+    }
+  }
+}
+
+TEST(HasSolutionIn, EmptyRangeNeverSolves) {
+  const ResolvedRange empty{3, 3, 1};
+  const ResolvedRange some{0, 10, 1};
+  EXPECT_FALSE(has_solution_in(1, 1, 2, empty, some));
+  EXPECT_FALSE(has_solution_in(0, 0, 0, empty, some));
+}
+
+TEST(Polynomial, EvalHorner) {
+  // 3 - 2x + x^2 at x = 4: 3 - 8 + 16 = 11.
+  EXPECT_EQ(poly_eval({3, -2, 1}, 4), 11);
+  EXPECT_EQ(poly_eval({5}, 100), 5);
+  EXPECT_EQ(poly_eval({0, 1}, -7), -7);
+}
+
+TEST(Polynomial, QuadraticRoots) {
+  // x^2 - 5x + 6 = (x-2)(x-3).
+  const Polynomial p{6, -5, 1};
+  EXPECT_TRUE(poly_has_root_in(p, {0, 10, 1}));
+  EXPECT_TRUE(poly_has_root_in(p, {3, 4, 1}));   // just {3}
+  EXPECT_FALSE(poly_has_root_in(p, {4, 10, 1})); // roots below range
+  EXPECT_FALSE(poly_has_root_in(p, {0, 2, 1}));  // roots above range
+}
+
+TEST(Polynomial, StrideFiltersRoots) {
+  // Roots 2 and 3; the progression {0, 2, 4, ...} contains 2 only, the
+  // progression {1, 3, 5, ...} contains 3 only, {0, 4, 8} contains none.
+  const Polynomial p{6, -5, 1};
+  EXPECT_TRUE(poly_has_root_in(p, {0, 10, 2}));
+  EXPECT_TRUE(poly_has_root_in(p, {1, 10, 2}));
+  EXPECT_FALSE(poly_has_root_in(p, {0, 10, 4}));
+}
+
+TEST(Polynomial, TouchRootAndNoRealRoots) {
+  // (x-2)^2 touches zero at 2; x^2 + 1 has no real roots.
+  EXPECT_TRUE(poly_has_root_in({4, -4, 1}, {0, 5, 1}));
+  EXPECT_FALSE(poly_has_root_in({1, 0, 1}, {-10, 10, 1}));
+}
+
+TEST(Polynomial, IrrationalRootsRejected) {
+  // x^2 - 2 = 0 has no INTEGER solutions — the Diophantine distinction.
+  EXPECT_FALSE(poly_has_root_in({-2, 0, 1}, {-10, 10, 1}));
+}
+
+TEST(Polynomial, CubicAndHigher) {
+  // (x-1)(x-4)(x+5) = x^3 - 21x + 20.
+  const Polynomial cubic{20, -21, 0, 1};
+  EXPECT_TRUE(poly_has_root_in(cubic, {0, 3, 1}));    // 1
+  EXPECT_TRUE(poly_has_root_in(cubic, {2, 5, 1}));    // 4
+  EXPECT_TRUE(poly_has_root_in(cubic, {-6, -4, 1}));  // -5
+  EXPECT_FALSE(poly_has_root_in(cubic, {5, 20, 1}));
+  // Quartic with a wide rootless stretch.
+  const Polynomial quartic{1, 0, 0, 0, 1};  // x^4 + 1 > 0
+  EXPECT_FALSE(poly_has_root_in(quartic, {-1000, 1000, 1}));
+}
+
+TEST(Polynomial, BruteForceAgreement) {
+  // Random small quadratics/cubics vs enumeration.
+  std::uint64_t state = 42;
+  auto next = [&] {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<std::int64_t>((state >> 33) % 9) - 4;
+  };
+  for (int trial = 0; trial < 200; ++trial) {
+    Polynomial p{next(), next(), next(), next()};
+    const ResolvedRange xs{-6, 7, 1 + (trial % 3)};
+    bool expect = false;
+    for (std::int64_t x = xs.lo; x < xs.hi; x += xs.stride) {
+      if (poly_eval(p, x) == 0) expect = true;
+    }
+    EXPECT_EQ(poly_has_root_in(p, xs), expect)
+        << "trial " << trial << " p = {" << p[0] << "," << p[1] << "," << p[2]
+        << "," << p[3] << "}";
+  }
+}
+
+TEST(Polynomial, IntersectionOfIndexPolynomials) {
+  // Does x^2 (x in 1..6) meet 2y (y in 1..20)?  x=2 -> 4 = 2*2: yes.
+  EXPECT_TRUE(polys_intersect_in({0, 0, 1}, {1, 7, 1}, {0, 2}, {1, 21, 1}));
+  // x^2 vs odd values only: squares 1,4,9,16,25 — 1 and 9 and 25 are odd: yes.
+  EXPECT_TRUE(polys_intersect_in({0, 0, 1}, {1, 6, 1}, {1, 2}, {0, 20, 1}));
+  // x^2 + 1 (2,5,10,17) vs multiples of 4 in 0..40: never equal.
+  EXPECT_FALSE(polys_intersect_in({1, 0, 1}, {1, 5, 1}, {0, 4}, {0, 11, 1}));
+}
+
+TEST(Polynomial, IntersectionConservativeOnHugeRanges) {
+  // Over-budget ranges return may-conflict (sound for dependence tests).
+  EXPECT_TRUE(polys_intersect_in({0, 0, 1}, {0, 100000, 1}, {1, 0, 1},
+                                 {0, 100000, 1}));
+}
+
+TEST(HasSolutionIn, DependenceDistanceExample) {
+  // Classic: i and i+1 over the same strided red domain never meet (write
+  // at x, read at y+1 with x == y + 1, both red ⇒ no solution).
+  const ResolvedRange red{1, 20, 2};
+  EXPECT_FALSE(has_solution_in(1, -1, 1, red, red));  // x - y = 1
+  EXPECT_TRUE(has_solution_in(1, -1, 2, red, red));   // x - y = 2
+}
+
+}  // namespace
+}  // namespace snowflake

@@ -1,0 +1,124 @@
+// The measurable version of the paper's §III claim: interval (Halide-
+// style) analysis flags false dependencies exactly where the finite-domain
+// Diophantine analysis proves independence — while never being *less*
+// conservative than the exact analysis (soundness).
+
+#include "analysis/interval.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ir/stencil_library.hpp"
+#include "multigrid/operators.hpp"
+
+namespace snowflake {
+namespace {
+
+using namespace snowflake::lib;
+
+ShapeMap smoother_shapes(std::int64_t n) {
+  ShapeMap shapes;
+  for (const std::string g :
+       {"x", "rhs", "out", "lambda_inv", "beta_x", "beta_y"}) {
+    shapes[g] = Index{n, n};
+  }
+  return shapes;
+}
+
+TEST(Interval, HullsOverlapWherePointsDont) {
+  // Red vs black columns: point-disjoint, hull-overlapping.
+  const ResolvedUnion red({ResolvedRect({{1, 9, 2}})});
+  const ResolvedUnion black({ResolvedRect({{2, 9, 2}})});
+  EXPECT_TRUE(intervals_may_conflict(red, black));  // the false positive
+}
+
+TEST(Interval, DisjointBoxesStillProven) {
+  const ResolvedUnion low({ResolvedRect({{0, 4, 1}})});
+  const ResolvedUnion high({ResolvedRect({{5, 9, 1}})});
+  EXPECT_FALSE(intervals_may_conflict(low, high));
+}
+
+TEST(Interval, RedBlackSweepFlaggedSequential) {
+  // The exact analysis proves the in-place red sweep point-parallel; the
+  // interval analysis cannot (its read hull covers its write hull).
+  const Stencil red = vc_gsrb_sweep(2, "x", "rhs", "lambda_inv", "beta", 0);
+  const ShapeMap shapes = smoother_shapes(10);
+  EXPECT_TRUE(point_parallel_safe(red, shapes));            // exact: safe
+  EXPECT_FALSE(point_parallel_safe_interval(red, shapes));  // interval: lost
+}
+
+TEST(Interval, FourColorSweepAlsoLost) {
+  ShapeMap shapes{{"x", {12, 12}}, {"rhs", {12, 12}}};
+  const Stencil c0 = gs4_sweep_9pt("x", "rhs", 0);
+  EXPECT_TRUE(point_parallel_safe(c0, shapes));
+  EXPECT_FALSE(point_parallel_safe_interval(c0, shapes));
+}
+
+TEST(Interval, OppositeFacesStillIndependent) {
+  // Boxes genuinely disjoint: even interval analysis proves the two edge
+  // stencils independent.
+  const Stencil lo = dirichlet_face(2, "x", 0, false);
+  const Stencil hi = dirichlet_face(2, "x", 0, true);
+  EXPECT_FALSE(stencils_dependent_interval(lo, hi, smoother_shapes(10)));
+}
+
+TEST(Interval, InterleavedWritersFalseDependence) {
+  // Paper §VI: "Finite-domain dependency analysis also lets us run
+  // multiple different stencils on the interior at the same time if they
+  // are non-overlapping."  Two stencils writing the red resp. black
+  // points of the same output are point-disjoint (exact analysis: WAW
+  // never happens) but box-overlapping (interval: serialized).
+  const Stencil red_writer("wr_red", read("x", {0, 0}), "out",
+                           colored_interior(2, 0));
+  const Stencil black_writer("wr_black", 2.0 * read("x", {0, 0}), "out",
+                             colored_interior(2, 1));
+  const ShapeMap shapes = smoother_shapes(10);
+  EXPECT_FALSE(stencils_dependent(red_writer, black_writer, shapes));
+  EXPECT_TRUE(stencils_dependent_interval(red_writer, black_writer, shapes));
+}
+
+TEST(Interval, SoundnessNeverMissesRealDependence) {
+  // Property: wherever the exact analysis finds a dependence, the interval
+  // analysis must too (it may only over-approximate).
+  const StencilGroup g = mg::gsrb_smooth_group(2);
+  const ShapeMap shapes = smoother_shapes(10);
+  for (size_t i = 0; i < g.size(); ++i) {
+    for (size_t j = i + 1; j < g.size(); ++j) {
+      if (stencils_dependent(g[i], g[j], shapes)) {
+        EXPECT_TRUE(stencils_dependent_interval(g[i], g[j], shapes))
+            << i << " -> " << j;
+      }
+    }
+  }
+}
+
+TEST(Interval, ScheduleDegradesOnInterleavedWriters) {
+  // Exact analysis: both writers share wave 0, consumer in wave 1.
+  // Interval analysis: three waves (writers serialized).
+  StencilGroup g;
+  g.append(Stencil("wr_red", read("x", {0, 0}), "out", colored_interior(2, 0)));
+  g.append(Stencil("wr_black", 2.0 * read("x", {0, 0}), "out",
+                   colored_interior(2, 1)));
+  g.append(Stencil("consume", read("out", {0, 0}), "rhs", interior(2)));
+  const ShapeMap shapes = smoother_shapes(10);
+  EXPECT_EQ(greedy_schedule(g, shapes).waves.size(), 2u);
+  EXPECT_EQ(greedy_schedule_interval(g, shapes).waves.size(), 3u);
+}
+
+TEST(Interval, SmootherLosesInPlaceParallelismOnly) {
+  // On the GSRB smoother the wave structure survives (its dependencies
+  // are hull-visible), but every colored in-place sweep loses its
+  // point-parallelism proof — the serialization the paper's analysis
+  // exists to avoid.
+  const StencilGroup g = mg::gsrb_smooth_group(2);
+  const ShapeMap shapes = smoother_shapes(10);
+  const Schedule exact = greedy_schedule(g, shapes);
+  const Schedule coarse = greedy_schedule_interval(g, shapes);
+  EXPECT_EQ(exact.waves.size(), coarse.waves.size());
+  EXPECT_TRUE(exact.point_parallel[4]);    // red sweep: proved parallel
+  EXPECT_FALSE(coarse.point_parallel[4]);  // interval: serialized
+  EXPECT_TRUE(exact.point_parallel[9]);
+  EXPECT_FALSE(coarse.point_parallel[9]);
+}
+
+}  // namespace
+}  // namespace snowflake

@@ -1,0 +1,59 @@
+#pragma once
+// Shared helpers for backend tests: build grid environments for the
+// canonical operator set and compare a backend's results against the
+// reference interpreter on deterministic pseudo-random inputs.
+
+#include <gtest/gtest.h>
+
+#include "backend/backend.hpp"
+#include "backend/reference/reference_backend.hpp"
+#include "ir/stencil_library.hpp"
+
+namespace snowflake::testutil {
+
+/// GridSet with the smoother family's grids at (box)^rank, random x/rhs,
+/// positive random lambda/betas/dinv.
+inline GridSet smoother_grids(int rank, std::int64_t box, std::uint64_t seed) {
+  GridSet gs;
+  const Index shape(static_cast<size_t>(rank), box);
+  gs.add_zeros("x", shape).fill_random(seed, -1.0, 1.0);
+  gs.add_zeros("out", shape);
+  gs.add_zeros("rhs", shape).fill_random(seed + 1, -1.0, 1.0);
+  gs.add_zeros("lambda_inv", shape).fill_random(seed + 2, 0.1, 1.0);
+  gs.add_zeros("dinv", shape).fill_random(seed + 3, 0.1, 1.0);
+  for (int d = 0; d < rank; ++d) {
+    gs.add_zeros(lib::beta_name("beta", d), shape)
+        .fill_random(seed + 10 + static_cast<std::uint64_t>(d), 0.5, 1.5);
+  }
+  return gs;
+}
+
+/// Deep copy of a GridSet (fresh storage).
+inline GridSet clone(const GridSet& gs) {
+  GridSet out;
+  for (const auto& name : gs.names()) out.add(name, gs.at(name));
+  return out;
+}
+
+/// Run `group` under `backend` and under the reference interpreter on
+/// identical inputs; EXPECT all grids match within tol.
+inline void expect_matches_reference(const StencilGroup& group,
+                                     const GridSet& inputs,
+                                     const ParamMap& params,
+                                     const std::string& backend,
+                                     const CompileOptions& options = {},
+                                     double tol = 1e-13) {
+  GridSet expected = clone(inputs);
+  run_reference(group, expected, params);
+
+  GridSet actual = clone(inputs);
+  auto kernel = compile(group, actual, backend, options);
+  kernel->run(actual, params);
+
+  for (const auto& name : inputs.names()) {
+    EXPECT_LE(Grid::max_abs_diff(expected.at(name), actual.at(name)), tol)
+        << "grid '" << name << "' differs (backend " << backend << ")";
+  }
+}
+
+}  // namespace snowflake::testutil

@@ -1,0 +1,149 @@
+#include "backend/distsim/distsim_backend.hpp"
+
+#include <gtest/gtest.h>
+
+#include "backend_test_util.hpp"
+#include "multigrid/operators.hpp"
+#include "support/error.hpp"
+#include "support/hash.hpp"
+
+namespace snowflake {
+namespace {
+
+using testutil::expect_matches_reference;
+using testutil::smoother_grids;
+
+CompileOptions with_ranks(int r) {
+  CompileOptions opt;
+  opt.dist_ranks = r;
+  return opt;
+}
+
+TEST(DistSim, CcApplyMatchesReferenceAcrossRankCounts) {
+  const GridSet gs = smoother_grids(2, 13, 500);
+  for (int ranks : {1, 2, 3, 5}) {
+    expect_matches_reference(StencilGroup(lib::cc_apply(2, "x", "out")), gs,
+                             {{"h2inv", 4.0}}, "distsim", with_ranks(ranks));
+  }
+}
+
+TEST(DistSim, GsrbSmootherMatchesReference) {
+  // The full interspersed smoother: boundary faces land only on edge
+  // ranks, color sweeps need a fresh halo before each wave.
+  const GridSet gs = smoother_grids(3, 10, 501);
+  for (int ranks : {2, 3}) {
+    expect_matches_reference(mg::gsrb_smooth_group(3), gs, {{"h2inv", 9.0}},
+                             "distsim", with_ranks(ranks));
+  }
+}
+
+TEST(DistSim, RepeatedSmoothsStayConsistent) {
+  // Multiple run() calls must round-trip scatter/exchange/gather cleanly.
+  GridSet expected = smoother_grids(2, 12, 502);
+  GridSet actual = testutil::clone(expected);
+  auto ref = compile(mg::gsrb_smooth_group(2), expected, "reference");
+  auto dist = compile(mg::gsrb_smooth_group(2), actual, "distsim", with_ranks(3));
+  for (int i = 0; i < 4; ++i) {
+    ref->run(expected, {{"h2inv", 4.0}});
+    dist->run(actual, {{"h2inv", 4.0}});
+  }
+  EXPECT_LE(Grid::max_abs_diff(expected.at("x"), actual.at("x")), 1e-12);
+}
+
+TEST(DistSim, RadiusTwoHaloForHigherOrderOperator) {
+  const GridSet gs = smoother_grids(2, 14, 503);
+  CompileOptions opt = with_ranks(3);
+  expect_matches_reference(StencilGroup(lib::cc_apply_ho4(2, "x", "out")), gs,
+                           {{"h2inv", 4.0}}, "distsim", opt);
+  auto kernel = compile(StencilGroup(lib::cc_apply_ho4(2, "x", "out")),
+                        testutil::clone(gs), "distsim", opt);
+  const auto* info = dynamic_cast<const DistSimKernelInfo*>(kernel.get());
+  ASSERT_NE(info, nullptr);
+  EXPECT_EQ(info->halo_depth(), 2);
+}
+
+TEST(DistSim, DecompositionGeometry) {
+  GridSet gs = smoother_grids(2, 13, 504);  // 13 rows over 3 ranks: 4/4/5
+  auto kernel = compile(StencilGroup(lib::cc_apply(2, "x", "out")), gs,
+                        "distsim", with_ranks(3));
+  const auto* info = dynamic_cast<const DistSimKernelInfo*>(kernel.get());
+  ASSERT_NE(info, nullptr);
+  EXPECT_EQ(info->ranks(), 3);
+  const auto slabs = info->slabs();
+  ASSERT_EQ(slabs.size(), 3u);
+  EXPECT_EQ(slabs.front().first, 0);
+  EXPECT_EQ(slabs.back().second, 13);
+  for (size_t i = 1; i < slabs.size(); ++i) {
+    EXPECT_EQ(slabs[i].first, slabs[i - 1].second);  // contiguous cover
+  }
+}
+
+TEST(DistSim, HaloTrafficAccounted) {
+  GridSet gs = smoother_grids(2, 16, 505);
+  auto kernel = compile(mg::gsrb_smooth_group(2), gs, "distsim", with_ranks(4));
+  kernel->run(gs, {{"h2inv", 4.0}});
+  const auto* info = dynamic_cast<const DistSimKernelInfo*>(kernel.get());
+  ASSERT_NE(info, nullptr);
+  // 4 waves -> 3 exchanges; 3 rank boundaries x 2 directions x 5 grids x
+  // 16 doubles per halo row.
+  const double expected = 3.0 * 3 * 2 * 5 * 16 * 8;
+  EXPECT_DOUBLE_EQ(info->last_halo_bytes(), expected);
+}
+
+TEST(DistSim, ChebyshevStepDecomposes) {
+  // The Chebyshev step is pure-offset and point-parallel: a distributable
+  // smoother (three input meshes, one output, halo 1).
+  GridSet gs;
+  const Index shape{14, 14};
+  for (const std::string g :
+       {"x", "x_prev", "x_next", "rhs", "lambda_inv", "beta_x", "beta_y"}) {
+    gs.add_zeros(g, shape).fill_random(fnv1a64(g), 0.5, 1.5);
+  }
+  StencilGroup step;
+  step.append(lib::dirichlet_boundary(2, "x"));
+  step.append(lib::vc_chebyshev_step(2, "x", "x_prev", "rhs", "lambda_inv",
+                                     "x_next", "beta"));
+  expect_matches_reference(
+      step, gs,
+      {{"h2inv", 4.0}, {"cheby_alpha", 0.8}, {"cheby_beta", 0.3}}, "distsim",
+      with_ranks(3));
+}
+
+TEST(DistSim, RejectsIndexMappedReads) {
+  GridSet gs;
+  gs.add_zeros("fine_res", {10, 10});
+  gs.add_zeros("coarse_rhs", {10, 10});  // same shape to pass that check
+  EXPECT_THROW(
+      compile(mg::restriction_group(2), gs, "distsim", with_ranks(2)),
+      InvalidArgument);
+}
+
+TEST(DistSim, RejectsSequentialStencils) {
+  GridSet gs;
+  gs.add_zeros("x", {12, 12});
+  const Stencil scan("scan", read("x", {0, 0}) + read("x", {-1, 0}), "x",
+                     lib::interior(2));
+  EXPECT_THROW(compile(StencilGroup(scan), gs, "distsim", with_ranks(2)),
+               InvalidArgument);
+}
+
+TEST(DistSim, RejectsTooManyRanks) {
+  GridSet gs;
+  gs.add_zeros("x", {4, 4});
+  gs.add_zeros("out", {4, 4});
+  EXPECT_THROW(compile(StencilGroup(lib::cc_apply(2, "x", "out")), gs,
+                       "distsim", with_ranks(8)),
+               InvalidArgument);
+}
+
+TEST(DistSim, MixedShapesRejected) {
+  GridSet gs;
+  gs.add_zeros("x", {12, 12});
+  gs.add_zeros("out", {14, 14});
+  EXPECT_THROW(compile(StencilGroup(lib::cc_apply(2, "x", "out")), gs,
+                       "distsim", with_ranks(2)),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace snowflake

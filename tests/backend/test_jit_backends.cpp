@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include "backend/jit/jit_backend.hpp"
+#include "backend_test_util.hpp"
+#include "multigrid/operators.hpp"
+
+namespace snowflake {
+namespace {
+
+using testutil::clone;
+using testutil::expect_matches_reference;
+using testutil::smoother_grids;
+
+TEST(JitBackends, SequentialCcApply) {
+  const GridSet gs = smoother_grids(2, 12, 100);
+  expect_matches_reference(StencilGroup(lib::cc_apply(2, "x", "out")), gs,
+                           {{"h2inv", 4.0}}, "c");
+}
+
+TEST(JitBackends, OpenMPTasksCcApply) {
+  const GridSet gs = smoother_grids(3, 8, 101);
+  expect_matches_reference(StencilGroup(lib::cc_apply(3, "x", "out")), gs,
+                           {{"h2inv", 9.0}}, "openmp");
+}
+
+TEST(JitBackends, OpenMPParallelFor) {
+  const GridSet gs = smoother_grids(3, 8, 102);
+  CompileOptions opt;
+  opt.schedule = CompileOptions::Schedule::ParallelFor;
+  expect_matches_reference(mg::gsrb_smooth_group(3), gs, {{"h2inv", 16.0}},
+                           "openmp", opt);
+}
+
+TEST(JitBackends, InPlaceGsrbSmoothMatchesReference) {
+  const GridSet gs = smoother_grids(2, 14, 103);
+  expect_matches_reference(mg::gsrb_smooth_group(2), gs, {{"h2inv", 25.0}},
+                           "openmp");
+}
+
+TEST(JitBackends, TilingPreservesResults) {
+  const GridSet gs = smoother_grids(3, 10, 104);
+  CompileOptions opt;
+  opt.tile = {4, 4, 4};
+  expect_matches_reference(mg::gsrb_smooth_group(3), gs, {{"h2inv", 4.0}},
+                           "openmp", opt);
+}
+
+TEST(JitBackends, MulticolorFusionPreservesResults) {
+  const GridSet gs = smoother_grids(3, 10, 105);
+  CompileOptions opt;
+  opt.fuse_colors = true;
+  expect_matches_reference(mg::gsrb_smooth_group(3), gs, {{"h2inv", 4.0}},
+                           "openmp", opt);
+}
+
+TEST(JitBackends, FusionPlusTiling) {
+  const GridSet gs = smoother_grids(2, 16, 106);
+  CompileOptions opt;
+  opt.fuse_colors = true;
+  opt.tile = {4, 4};
+  expect_matches_reference(mg::gsrb_smooth_group(2), gs, {{"h2inv", 4.0}},
+                           "openmp", opt);
+}
+
+TEST(JitBackends, StencilFusionPreservesResults) {
+  GridSet gs = smoother_grids(3, 9, 111);
+  gs.add_zeros("res", Index{9, 9, 9});
+  StencilGroup g;
+  g.append(lib::vc_residual(3, "x", "rhs", "res", "beta"));
+  g.append(lib::vc_apply(3, "x", "out", "beta"));
+  CompileOptions opt;
+  opt.fuse_stencils = true;
+  expect_matches_reference(g, gs, {{"h2inv", 4.0}}, "openmp", opt);
+  expect_matches_reference(g, gs, {{"h2inv", 4.0}}, "c", opt);
+}
+
+TEST(JitBackends, BarrierPerStencilAblation) {
+  const GridSet gs = smoother_grids(2, 12, 107);
+  CompileOptions opt;
+  opt.barrier_per_stencil = true;
+  expect_matches_reference(mg::gsrb_smooth_group(2), gs, {{"h2inv", 4.0}},
+                           "openmp", opt);
+}
+
+TEST(JitBackends, SimdOptionPreservesResults) {
+  const GridSet gs = smoother_grids(3, 9, 113);
+  CompileOptions opt;
+  opt.simd = true;
+  expect_matches_reference(mg::gsrb_smooth_group(3), gs, {{"h2inv", 4.0}},
+                           "openmp", opt);
+  opt.fuse_colors = true;
+  expect_matches_reference(mg::gsrb_smooth_group(3), gs, {{"h2inv", 4.0}},
+                           "openmp", opt);
+}
+
+TEST(JitBackends, IntervalAnalysisConservativeButCorrect) {
+  // Scheduling with the coarser interval analysis must still produce
+  // identical results — it may only lose parallelism, never correctness.
+  const GridSet gs = smoother_grids(2, 12, 112);
+  CompileOptions opt;
+  opt.analysis = CompileOptions::Analysis::Interval;
+  expect_matches_reference(mg::gsrb_smooth_group(2), gs, {{"h2inv", 4.0}},
+                           "openmp", opt);
+  expect_matches_reference(mg::gsrb_smooth_group(2), gs, {{"h2inv", 4.0}},
+                           "c", opt);
+}
+
+TEST(JitBackends, SequentialUnsafeStencilKeepsOrder) {
+  // The in-place scan is not point-parallel; every backend must reproduce
+  // the interpreter's lexicographic result exactly.
+  GridSet gs;
+  gs.add_zeros("x", {16}).fill(1.0);
+  const Stencil scan("scan", read("x", {0}) + read("x", {-1}), "x",
+                     RectDomain({1}, {0}));
+  expect_matches_reference(StencilGroup(scan), gs, {}, "c");
+  expect_matches_reference(StencilGroup(scan), gs, {}, "openmp");
+}
+
+TEST(JitBackends, ParamsRebindWithoutRecompile) {
+  GridSet gs = smoother_grids(2, 10, 108);
+  auto kernel = compile(StencilGroup(lib::cc_apply(2, "x", "out")), gs, "c");
+  kernel->run(gs, {{"h2inv", 1.0}});
+  const double v1 = gs.at("out").at({3, 3});
+  kernel->run(gs, {{"h2inv", 2.0}});
+  const double v2 = gs.at("out").at({3, 3});
+  EXPECT_NEAR(v2, 2.0 * v1, 1e-12 + 1e-12 * std::abs(v1));
+}
+
+TEST(JitBackends, SourceAccessible) {
+  GridSet gs = smoother_grids(2, 10, 109);
+  auto kernel = compile(StencilGroup(lib::cc_apply(2, "x", "out")), gs, "openmp");
+  EXPECT_NE(kernel->source().find("#pragma omp"), std::string::npos);
+  EXPECT_EQ(kernel->backend_name(), "openmp");
+}
+
+TEST(JitBackends, RenderSourceWithoutCompiling) {
+  const StencilGroup g = mg::gsrb_smooth_group(2);
+  GridSet gs = smoother_grids(2, 10, 110);
+  CompileOptions opt;
+  const std::string seq = render_source(g, shapes_of(gs), opt, false);
+  const std::string omp = render_source(g, shapes_of(gs), opt, true);
+  EXPECT_EQ(seq.find("#pragma"), std::string::npos);
+  EXPECT_NE(omp.find("#pragma omp task"), std::string::npos);
+}
+
+TEST(JitBackends, CrossShapeRestrictionAndInterp) {
+  GridSet gs;
+  gs.add_zeros("fine_res", {10, 10}).fill_random(200, -1.0, 1.0);
+  gs.add_zeros("coarse_rhs", {6, 6});
+  expect_matches_reference(mg::restriction_group(2), gs, {}, "c");
+  expect_matches_reference(mg::restriction_group(2), gs, {}, "openmp");
+
+  GridSet up;
+  up.add_zeros("coarse_x", {6, 6}).fill_random(201, -1.0, 1.0);
+  up.add_zeros("fine_x", {10, 10}).fill_random(202, -1.0, 1.0);
+  expect_matches_reference(mg::interpolation_add_group(2), up, {}, "openmp");
+  expect_matches_reference(mg::interpolation_pl_group(2, false), up, {},
+                           "openmp");
+}
+
+}  // namespace
+}  // namespace snowflake

@@ -1,0 +1,138 @@
+#include "backend/oclsim/oclsim_backend.hpp"
+
+#include <gtest/gtest.h>
+
+#include "backend_test_util.hpp"
+#include "multigrid/operators.hpp"
+#include "roofline/traffic.hpp"
+
+namespace snowflake {
+namespace {
+
+using testutil::expect_matches_reference;
+using testutil::smoother_grids;
+
+TEST(OclSim, FunctionalEqualityCcApply) {
+  const GridSet gs = smoother_grids(3, 10, 300);
+  expect_matches_reference(StencilGroup(lib::cc_apply(3, "x", "out")), gs,
+                           {{"h2inv", 4.0}}, "oclsim");
+}
+
+TEST(OclSim, FunctionalEqualityGsrbSmoother) {
+  const GridSet gs = smoother_grids(3, 8, 301);
+  expect_matches_reference(mg::gsrb_smooth_group(3), gs, {{"h2inv", 4.0}},
+                           "oclsim");
+}
+
+TEST(OclSim, CustomWorkgroupSizes) {
+  const GridSet gs = smoother_grids(2, 16, 302);
+  CompileOptions opt;
+  opt.workgroup = {2, 8};
+  expect_matches_reference(mg::gsrb_smooth_group(2), gs, {{"h2inv", 4.0}},
+                           "oclsim", opt);
+}
+
+TEST(OclSim, RankOneBlocking) {
+  // Rank-1 nests block only the contiguous dim (groups0 == 1).
+  GridSet gs;
+  gs.add_zeros("x", {40}).fill_random(9, -1.0, 1.0);
+  gs.add_zeros("out", {40});
+  expect_matches_reference(StencilGroup(lib::cc_apply(1, "x", "out")), gs,
+                           {{"h2inv", 1.0}}, "oclsim");
+}
+
+TEST(OclSim, FourDimensionalRolling) {
+  // Rank-4: two blocked dims, two rolled dims inside the work-group.
+  const GridSet gs = smoother_grids(4, 6, 310);
+  expect_matches_reference(StencilGroup(lib::cc_apply(4, "x", "out")), gs,
+                           {{"h2inv", 1.0}}, "oclsim");
+}
+
+TEST(OclSim, ModeledTimeReported) {
+  GridSet gs = smoother_grids(3, 16, 303);
+  auto kernel = compile(StencilGroup(lib::cc_apply(3, "x", "out")), gs, "oclsim");
+  kernel->run(gs, {{"h2inv", 1.0}});
+  const double t = kernel->modeled_seconds();
+  EXPECT_GT(t, 0.0);
+  // Lower bound: launch overhead; upper bound: a millisecond for this toy.
+  EXPECT_GE(t, DeviceSpec::k20c().launch_overhead_s);
+  EXPECT_LT(t, 1e-3);
+}
+
+TEST(OclSim, ModeledTimeScalesWithProblemSize) {
+  auto time_for = [](std::int64_t box) {
+    GridSet gs = smoother_grids(3, box, 304);
+    auto kernel =
+        compile(StencilGroup(lib::cc_apply(3, "x", "out")), gs, "oclsim");
+    kernel->run(gs, {{"h2inv", 1.0}});
+    return kernel->modeled_seconds();
+  };
+  // 66^3 moves ~8x the data of 34^3; at these sizes traffic dominates the
+  // launch-overhead floor, so time must grow substantially.
+  EXPECT_GT(time_for(66), 3.0 * time_for(34));
+}
+
+TEST(OclSim, DispatchReportBreakdown) {
+  GridSet gs = smoother_grids(2, 12, 305);
+  auto kernel = compile(mg::gsrb_smooth_group(2), gs, "oclsim");
+  kernel->run(gs, {{"h2inv", 1.0}});
+  const auto* info = dynamic_cast<const OclSimKernelInfo*>(kernel.get());
+  ASSERT_NE(info, nullptr);
+  EXPECT_EQ(info->device_spec().name, "K20c (modeled)");
+  // 4 faces + 2 red rects + 4 faces + 2 black rects.
+  EXPECT_EQ(info->last_report().size(), 12u);
+  for (const auto& d : info->last_report()) {
+    EXPECT_GT(d.modeled_seconds, 0.0) << d.label;
+    EXPECT_GE(d.workgroups, 1) << d.label;
+  }
+}
+
+TEST(OclSim, DeviceConfigurable) {
+  DeviceSpec fast = DeviceSpec::k20c();
+  fast.bandwidth_bytes_per_s *= 10.0;
+  fast.launch_overhead_s = 0.0;
+  fast.workgroup_cost_s = 0.0;
+  set_oclsim_device(fast);
+  GridSet gs = smoother_grids(3, 20, 306);
+  auto kernel = compile(StencilGroup(lib::cc_apply(3, "x", "out")), gs, "oclsim");
+  kernel->run(gs, {{"h2inv", 1.0}});
+  const double t_fast = kernel->modeled_seconds();
+
+  set_oclsim_device(DeviceSpec::k20c());
+  auto kernel2 =
+      compile(StencilGroup(lib::cc_apply(3, "x", "out")), gs, "oclsim");
+  kernel2->run(gs, {{"h2inv", 1.0}});
+  const double t_slow = kernel2->modeled_seconds();
+  EXPECT_LT(t_fast, t_slow);
+}
+
+TEST(OclSim, StridedDispatchLessEfficient) {
+  // GSRB color sweeps (stride 2 innermost) must be charged a coalescing
+  // penalty relative to a dense sweep of the same data (paper: OpenCL GSRB
+  // underperforms; §IV-B says strided work is in progress).
+  GridSet gs = smoother_grids(3, 16, 307);
+  auto dense = compile(StencilGroup(lib::cc_apply(3, "x", "out")), gs, "oclsim");
+  dense->run(gs, {{"h2inv", 1.0}});
+  auto strided = compile(
+      StencilGroup(lib::vc_gsrb_sweep(3, "x", "rhs", "lambda_inv", "beta", 0)),
+      gs, "oclsim");
+  strided->run(gs, {{"h2inv", 1.0}});
+  // Per byte of traffic, the strided sweep must be slower.
+  const auto* di = dynamic_cast<const OclSimKernelInfo*>(dense.get());
+  const auto* si = dynamic_cast<const OclSimKernelInfo*>(strided.get());
+  ASSERT_NE(di, nullptr);
+  ASSERT_NE(si, nullptr);
+  double dense_bytes = 0, dense_t = 0, strided_bytes = 0, strided_t = 0;
+  for (const auto& d : di->last_report()) {
+    dense_bytes += d.bytes;
+    dense_t += d.modeled_seconds;
+  }
+  for (const auto& d : si->last_report()) {
+    strided_bytes += d.bytes;
+    strided_t += d.modeled_seconds;
+  }
+  EXPECT_GT(strided_t / strided_bytes, dense_t / dense_bytes);
+}
+
+}  // namespace
+}  // namespace snowflake

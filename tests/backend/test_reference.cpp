@@ -1,0 +1,141 @@
+#include "backend/reference/reference_backend.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "ir/stencil_library.hpp"
+#include "support/error.hpp"
+
+namespace snowflake {
+namespace {
+
+TEST(Reference, HandComputed1DAverage) {
+  GridSet gs;
+  gs.add_zeros("x", {5});
+  gs.add_zeros("out", {5});
+  for (std::int64_t i = 0; i < 5; ++i) gs.at("x")[i] = static_cast<double>(i * i);
+  const Stencil avg("avg", 0.5 * (read("x", {1}) + read("x", {-1})), "out",
+                    RectDomain({1}, {-1}));
+  run_reference(StencilGroup(avg), gs);
+  // out[i] = (x[i-1] + x[i+1]) / 2 for i in 1..3.
+  EXPECT_DOUBLE_EQ(gs.at("out")[1], (0.0 + 4.0) / 2);
+  EXPECT_DOUBLE_EQ(gs.at("out")[2], (1.0 + 9.0) / 2);
+  EXPECT_DOUBLE_EQ(gs.at("out")[3], (4.0 + 16.0) / 2);
+  EXPECT_DOUBLE_EQ(gs.at("out")[0], 0.0);  // untouched
+  EXPECT_DOUBLE_EQ(gs.at("out")[4], 0.0);
+}
+
+TEST(Reference, ParamsBindByName) {
+  GridSet gs;
+  gs.add_zeros("x", {4}).fill(2.0);
+  gs.add_zeros("out", {4});
+  const Stencil s("scale", param("alpha") * read("x", {0}), "out",
+                  RectDomain({1}, {-1}));
+  run_reference(StencilGroup(s), gs, {{"alpha", 3.0}, {"unused", 9.0}});
+  EXPECT_DOUBLE_EQ(gs.at("out")[1], 6.0);
+}
+
+TEST(Reference, MissingParamThrows) {
+  GridSet gs;
+  gs.add_zeros("x", {4});
+  gs.add_zeros("out", {4});
+  const Stencil s("scale", param("alpha") * read("x", {0}), "out",
+                  RectDomain({1}, {-1}));
+  EXPECT_THROW(run_reference(StencilGroup(s), gs), LookupError);
+}
+
+TEST(Reference, InPlaceSequentialSemantics) {
+  // In-place prefix-sum-like stencil: x[i] = x[i] + x[i-1], iterated
+  // lexicographically, must see already-updated west values.
+  GridSet gs;
+  gs.add_zeros("x", {5});
+  gs.at("x").fill(1.0);
+  const Stencil s("scan", read("x", {0}) + read("x", {-1}), "x",
+                  RectDomain({1}, {0}));
+  run_reference(StencilGroup(s), gs);
+  EXPECT_DOUBLE_EQ(gs.at("x")[0], 1.0);
+  EXPECT_DOUBLE_EQ(gs.at("x")[1], 2.0);
+  EXPECT_DOUBLE_EQ(gs.at("x")[2], 3.0);
+  EXPECT_DOUBLE_EQ(gs.at("x")[4], 5.0);
+}
+
+TEST(Reference, GroupRunsInProgramOrder) {
+  GridSet gs;
+  gs.add_zeros("x", {4});
+  StencilGroup g;
+  g.append(Stencil("one", constant(1.0), "x", RectDomain({0}, {0})));
+  g.append(Stencil("double", 2.0 * read("x", {0}), "x", RectDomain({0}, {0})));
+  run_reference(g, gs);
+  EXPECT_DOUBLE_EQ(gs.at("x")[2], 2.0);
+}
+
+TEST(Reference, DirichletBoundarySetsGhosts) {
+  GridSet gs;
+  gs.add_zeros("x", {4, 4});
+  gs.at("x").fill(1.0);
+  run_reference(lib::dirichlet_boundary(2, "x"), gs);
+  // Face ghosts = -1, corners untouched (= 1).
+  EXPECT_DOUBLE_EQ(gs.at("x").at({0, 1}), -1.0);
+  EXPECT_DOUBLE_EQ(gs.at("x").at({3, 2}), -1.0);
+  EXPECT_DOUBLE_EQ(gs.at("x").at({1, 0}), -1.0);
+  EXPECT_DOUBLE_EQ(gs.at("x").at({0, 0}), 1.0);
+}
+
+TEST(Reference, RestrictionAveragesCorners) {
+  GridSet gs;
+  gs.add_zeros("fine", {6});   // interior 1..4
+  gs.add_zeros("coarse", {4}); // interior 1..2
+  for (std::int64_t i = 0; i < 6; ++i) gs.at("fine")[i] = static_cast<double>(i);
+  run_reference(StencilGroup(lib::restriction_fw(1, "fine", "coarse")), gs);
+  EXPECT_DOUBLE_EQ(gs.at("coarse")[1], (1.0 + 2.0) / 2);
+  EXPECT_DOUBLE_EQ(gs.at("coarse")[2], (3.0 + 4.0) / 2);
+}
+
+TEST(Reference, InterpolationPcInjectsCoarseValues) {
+  GridSet gs;
+  gs.add_zeros("coarse", {4});
+  gs.add_zeros("fine", {6});
+  gs.at("coarse")[1] = 10.0;
+  gs.at("coarse")[2] = 20.0;
+  run_reference(lib::interpolation_pc(1, "coarse", "fine", /*add=*/false), gs);
+  EXPECT_DOUBLE_EQ(gs.at("fine")[1], 10.0);
+  EXPECT_DOUBLE_EQ(gs.at("fine")[2], 10.0);
+  EXPECT_DOUBLE_EQ(gs.at("fine")[3], 20.0);
+  EXPECT_DOUBLE_EQ(gs.at("fine")[4], 20.0);
+}
+
+TEST(Reference, ShapeMismatchAtRunRejected) {
+  GridSet gs;
+  gs.add_zeros("x", {5});
+  gs.add_zeros("out", {5});
+  const Stencil s("id", read("x", {0}), "out", RectDomain({1}, {-1}));
+  auto kernel = compile(StencilGroup(s), gs, "reference");
+  GridSet other;
+  other.add_zeros("x", {7});
+  other.add_zeros("out", {7});
+  EXPECT_THROW(kernel->run(other), InvalidArgument);
+}
+
+TEST(Reference, AliasedGridsRejected) {
+  GridSet gs;
+  gs.add_zeros("x", {5});
+  gs.add_shared("out", gs.share("x"));  // same storage, two names
+  const Stencil s("id", read("x", {0}), "out", RectDomain({1}, {-1}));
+  auto kernel = compile(StencilGroup(s), gs, "reference");
+  EXPECT_THROW(kernel->run(gs), InvalidArgument);
+}
+
+TEST(Reference, BackendRegistered) {
+  const auto names = Backend::registered();
+  EXPECT_NE(std::find(names.begin(), names.end(), "reference"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "c"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "openmp"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "omptarget"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "oclsim"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "distsim"), names.end());
+  EXPECT_THROW(Backend::get("cuda"), LookupError);
+}
+
+}  // namespace
+}  // namespace snowflake

@@ -1,0 +1,72 @@
+#pragma once
+// Deterministic random stencil-expression generator for property tests:
+// simplify-equivalence, cross-backend agreement, printer round-trips.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/expr.hpp"
+
+namespace snowflake::testutil {
+
+class ExprFuzzer {
+public:
+  ExprFuzzer(std::uint64_t seed, std::vector<std::string> grids, int rank,
+             std::int64_t max_offset = 1)
+      : state_(seed), grids_(std::move(grids)), rank_(rank),
+        max_offset_(max_offset) {}
+
+  /// Random expression tree of roughly 2^depth nodes.
+  ExprPtr generate(int depth) {
+    if (depth <= 0) return leaf();
+    switch (next() % 6) {
+      case 0: return leaf();
+      case 1: return -generate(depth - 1);
+      case 2: return generate(depth - 1) + generate(depth - 1);
+      case 3: return generate(depth - 1) - generate(depth - 1);
+      case 4: return generate(depth - 1) * generate(depth - 1);
+      default:
+        // Division only by safely-bounded constants (no zero crossings).
+        return generate(depth - 1) / constant(1.0 + next() % 4);
+    }
+  }
+
+private:
+  ExprPtr leaf() {
+    switch (next() % 4) {
+      case 0: {
+        // Small constants, including the identities the simplifier targets.
+        static const double values[] = {0.0, 1.0, -1.0, 2.0, 0.5, -3.0};
+        return constant(values[next() % 6]);
+      }
+      case 1:
+        return param("p" + std::to_string(next() % 2));
+      default: {
+        const std::string& grid = grids_[next() % grids_.size()];
+        Index offset(static_cast<size_t>(rank_));
+        for (int d = 0; d < rank_; ++d) {
+          offset[static_cast<size_t>(d)] =
+              static_cast<std::int64_t>(next() % (2 * max_offset_ + 1)) -
+              max_offset_;
+        }
+        return read(grid, offset);
+      }
+    }
+  }
+
+  std::uint64_t next() {
+    state_ += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  std::uint64_t state_;
+  std::vector<std::string> grids_;
+  int rank_;
+  std::int64_t max_offset_;
+};
+
+}  // namespace snowflake::testutil

@@ -1,0 +1,205 @@
+#include "codegen/cemit.hpp"
+
+#include <gtest/gtest.h>
+
+#include "codegen/lower.hpp"
+#include "ir/stencil_library.hpp"
+#include "multigrid/operators.hpp"
+
+namespace snowflake {
+namespace {
+
+using namespace snowflake::lib;
+
+KernelPlan plan_cc_apply() {
+  const StencilGroup g(cc_apply(2, "x", "out"));
+  ShapeMap shapes{{"x", {10, 10}}, {"out", {10, 10}}};
+  return lower(g, shapes);
+}
+
+TEST(Emit, SequentialContainsLoopsAndBody) {
+  EmitOptions eo;
+  const std::string src = emit_c_source(plan_cc_apply(), eo);
+  EXPECT_NE(src.find("void sf_kernel(double** grids, const double* params)"),
+            std::string::npos);
+  EXPECT_NE(src.find("double* restrict g_out = grids[0];"), std::string::npos);
+  EXPECT_NE(src.find("double* restrict g_x = grids[1];"), std::string::npos);
+  EXPECT_NE(src.find("const double p_h2inv = params[0];"), std::string::npos);
+  // Two nested loops and a flat row-major store.
+  EXPECT_NE(src.find("for (int64_t i0_0 = 1; i0_0 < 9; ++i0_0)"),
+            std::string::npos);
+  EXPECT_NE(src.find("g_out[(i0_0)*10 + i0_1] ="), std::string::npos);
+  // No OpenMP in sequential mode.
+  EXPECT_EQ(src.find("#pragma omp"), std::string::npos);
+}
+
+TEST(Emit, StridedLoopsUseStep) {
+  const StencilGroup g(vc_gsrb_sweep(2, "x", "rhs", "lambda_inv", "beta", 0));
+  ShapeMap shapes;
+  for (const std::string n : {"x", "rhs", "lambda_inv", "beta_x", "beta_y"}) {
+    shapes[n] = Index{10, 10};
+  }
+  EmitOptions eo;
+  const std::string src = emit_c_source(lower(g, shapes), eo);
+  EXPECT_NE(src.find("+= 2"), std::string::npos);
+}
+
+TEST(Emit, OpenMPTasksStructure) {
+  EmitOptions eo;
+  eo.mode = EmitOptions::Mode::OpenMPTasks;
+  const std::string src = emit_c_source(plan_cc_apply(), eo);
+  EXPECT_NE(src.find("#pragma omp parallel"), std::string::npos);
+  EXPECT_NE(src.find("#pragma omp single"), std::string::npos);
+  EXPECT_NE(src.find("#pragma omp task"), std::string::npos);
+  EXPECT_NE(src.find("#pragma omp taskwait"), std::string::npos);
+}
+
+TEST(Emit, TaskGrainSplitsOuterLoop) {
+  EmitOptions eo;
+  eo.mode = EmitOptions::Mode::OpenMPTasks;
+  eo.task_grain = 2;
+  const std::string src = emit_c_source(plan_cc_apply(), eo);
+  EXPECT_NE(src.find("#pragma omp task firstprivate(b0)"), std::string::npos);
+  EXPECT_NE(src.find("SF_MIN(b0 + 2, 9)"), std::string::npos);
+}
+
+TEST(Emit, OpenMPForStructure) {
+  EmitOptions eo;
+  eo.mode = EmitOptions::Mode::OpenMPFor;
+  const std::string src = emit_c_source(plan_cc_apply(), eo);
+  EXPECT_NE(src.find("#pragma omp for schedule(static) collapse(2) nowait"),
+            std::string::npos);
+  EXPECT_NE(src.find("#pragma omp barrier"), std::string::npos);
+}
+
+TEST(Emit, WavesSeparatedByTaskwait) {
+  const StencilGroup g = mg::gsrb_smooth_group(2);
+  ShapeMap shapes;
+  for (const std::string n : {"x", "rhs", "lambda_inv", "beta_x", "beta_y"}) {
+    shapes[n] = Index{10, 10};
+  }
+  EmitOptions eo;
+  eo.mode = EmitOptions::Mode::OpenMPTasks;
+  const std::string src = emit_c_source(lower(g, shapes), eo);
+  size_t count = 0;
+  for (size_t pos = src.find("taskwait"); pos != std::string::npos;
+       pos = src.find("taskwait", pos + 1)) {
+    ++count;
+  }
+  EXPECT_EQ(count, 4u);  // one per wave
+}
+
+TEST(Emit, RationalIndexMapsRendered) {
+  // Interpolation: divisive maps must appear as exact integer division.
+  const StencilGroup g = interpolation_pc(1, "c", "f", false);
+  ShapeMap shapes{{"c", {6}}, {"f", {10}}};
+  EmitOptions eo;
+  const std::string src = emit_c_source(lower(g, shapes), eo);
+  EXPECT_NE(src.find("/ 2"), std::string::npos);
+  const StencilGroup r(restriction_fw(1, "f", "c"));
+  const std::string rsrc = emit_c_source(lower(r, shapes), eo);
+  EXPECT_NE(rsrc.find("2*"), std::string::npos);
+}
+
+TEST(Emit, ParamlessKernelSilencesUnused) {
+  const StencilGroup g(Stencil(read("x", {0, 0}), "out",
+                               lib::interior(2)));
+  ShapeMap shapes{{"x", {6, 6}}, {"out", {6, 6}}};
+  EmitOptions eo;
+  const std::string src = emit_c_source(lower(g, shapes), eo);
+  EXPECT_NE(src.find("(void)params;"), std::string::npos);
+}
+
+TEST(Emit, SimdAnnotatesInnermostLoop) {
+  const StencilGroup g(lib::cc_apply(3, "x", "out"));
+  ShapeMap shapes{{"x", {10, 10, 10}}, {"out", {10, 10, 10}}};
+  EmitOptions eo;
+  eo.mode = EmitOptions::Mode::OpenMPTasks;
+  eo.simd = true;
+  const std::string src = emit_c_source(lower(g, shapes), eo);
+  const size_t simd_pos = src.find("#pragma omp simd");
+  ASSERT_NE(simd_pos, std::string::npos);
+  // The very next loop it opens is the innermost one.
+  EXPECT_EQ(src.find("for (int64_t i0_2", simd_pos),
+            src.find("for (", simd_pos));
+}
+
+TEST(Emit, SimdSkipsSequentialNests) {
+  const Stencil scan("scan", read("x", {0}) + read("x", {-1}), "x",
+                     RectDomain({1}, {0}));
+  ShapeMap shapes{{"x", {12}}};
+  EmitOptions eo;
+  eo.mode = EmitOptions::Mode::OpenMPTasks;
+  eo.simd = true;
+  const std::string src = emit_c_source(lower(StencilGroup(scan), shapes), eo);
+  EXPECT_EQ(src.find("omp simd"), std::string::npos);
+}
+
+TEST(Emit, SimdSkipsCollapsedRank2ForMode) {
+  EmitOptions eo;
+  eo.mode = EmitOptions::Mode::OpenMPFor;
+  eo.simd = true;
+  const std::string src = emit_c_source(plan_cc_apply(), eo);
+  // collapse(2) swallows both loops of the 2D nest: no simd inside.
+  EXPECT_NE(src.find("collapse(2)"), std::string::npos);
+  EXPECT_EQ(src.find("omp simd"), std::string::npos);
+}
+
+TEST(Emit, OpenMPTargetStructure) {
+  EmitOptions eo;
+  eo.mode = EmitOptions::Mode::OpenMPTarget;
+  const std::string src = emit_c_source(plan_cc_apply(), eo);
+  // One data region mapping each grid with its full extent.
+  EXPECT_NE(src.find("#pragma omp target data map(tofrom: g_out[0:100]) "
+                     "map(tofrom: g_x[0:100])"),
+            std::string::npos);
+  EXPECT_NE(src.find("#pragma omp target teams distribute parallel for"),
+            std::string::npos);
+}
+
+TEST(Emit, OpenMPTargetSequentialNestGetsPlainTarget) {
+  // An order-dependent stencil must land in a synchronous single-thread
+  // target region, not a teams-distribute.
+  const Stencil scan("scan", read("x", {0}) + read("x", {-1}), "x",
+                     RectDomain({1}, {0}));
+  ShapeMap shapes{{"x", {12}}};
+  EmitOptions eo;
+  eo.mode = EmitOptions::Mode::OpenMPTarget;
+  const std::string src = emit_c_source(lower(StencilGroup(scan), shapes), eo);
+  EXPECT_NE(src.find("#pragma omp target\n"), std::string::npos);
+  EXPECT_EQ(src.find("teams distribute"), std::string::npos);
+}
+
+TEST(Emit, OclsimKernelPerNest) {
+  std::vector<OclDispatch> dispatches;
+  OclEmitOptions ocl;
+  ocl.wg0 = 4;
+  ocl.wg1 = 4;
+  const std::string src = emit_oclsim_source(plan_cc_apply(), ocl, dispatches);
+  ASSERT_EQ(dispatches.size(), 1u);
+  EXPECT_EQ(dispatches[0].symbol, "sf_wg_0");
+  EXPECT_EQ(dispatches[0].groups0, 2);  // 8 rows / 4
+  EXPECT_EQ(dispatches[0].groups1, 2);
+  EXPECT_NE(src.find("void sf_wg_0(double** grids, const double* params, "
+                     "int64_t wg0, int64_t wg1)"),
+            std::string::npos);
+  EXPECT_NE(src.find("b_lo"), std::string::npos);
+  EXPECT_NE(src.find("a_lo"), std::string::npos);
+}
+
+TEST(Emit, OclsimDispatchOrderFollowsWaves) {
+  const StencilGroup g = mg::gsrb_smooth_group(2);
+  ShapeMap shapes;
+  for (const std::string n : {"x", "rhs", "lambda_inv", "beta_x", "beta_y"}) {
+    shapes[n] = Index{10, 10};
+  }
+  std::vector<OclDispatch> dispatches;
+  const std::string src = emit_oclsim_source(lower(g, shapes), OclEmitOptions{},
+                                             dispatches);
+  (void)src;
+  // 4 faces + 2 red rects + 4 faces + 2 black rects.
+  EXPECT_EQ(dispatches.size(), 12u);
+}
+
+}  // namespace
+}  // namespace snowflake

@@ -1,0 +1,102 @@
+#include "codegen/transform/fusion.hpp"
+
+#include <gtest/gtest.h>
+
+#include "codegen/cemit.hpp"
+#include "codegen/lower.hpp"
+#include "codegen/transform/multicolor.hpp"
+#include "codegen/transform/tiling.hpp"
+#include "ir/stencil_library.hpp"
+
+namespace snowflake {
+namespace {
+
+using namespace snowflake::lib;
+
+ShapeMap shapes2(std::int64_t n) {
+  ShapeMap shapes;
+  for (const std::string g :
+       {"x", "rhs", "res", "out", "beta_x", "beta_y"}) {
+    shapes[g] = Index{n, n};
+  }
+  return shapes;
+}
+
+/// residual + apply read the same inputs, write different grids, share the
+/// interior domain: the canonical fusion opportunity.
+StencilGroup residual_and_apply() {
+  StencilGroup g;
+  g.append(vc_residual(2, "x", "rhs", "res", "beta"));
+  g.append(vc_apply(2, "x", "out", "beta"));
+  return g;
+}
+
+TEST(Fusion, MergesIndependentSameShapeStencils) {
+  KernelPlan plan = lower(residual_and_apply(), shapes2(12));
+  ASSERT_EQ(plan.waves.size(), 1u);
+  ASSERT_EQ(plan.waves[0].chains.size(), 2u);
+  EXPECT_EQ(fuse_statements(plan), 1);
+  ASSERT_EQ(plan.waves[0].chains.size(), 1u);
+  EXPECT_EQ(plan.waves[0].chains[0].fusion, ChainFusion::Full);
+  EXPECT_EQ(plan.waves[0].chains[0].nests.size(), 2u);
+}
+
+TEST(Fusion, EmitsOneLoopNestTwoStores) {
+  KernelPlan plan = lower(residual_and_apply(), shapes2(12));
+  fuse_statements(plan);
+  EmitOptions eo;
+  const std::string src = emit_c_source(plan, eo);
+  EXPECT_NE(src.find("stmt-fused"), std::string::npos);
+  // Both stores present...
+  EXPECT_NE(src.find("g_res["), std::string::npos);
+  EXPECT_NE(src.find("g_out["), std::string::npos);
+  // ...but only one loop over the lead nest's first dimension.
+  size_t for_count = 0;
+  for (size_t pos = src.find("for ("); pos != std::string::npos;
+       pos = src.find("for (", pos + 1)) {
+    ++for_count;
+  }
+  EXPECT_EQ(for_count, 2u);  // one 2D nest
+}
+
+TEST(Fusion, SkipsDifferentDomains) {
+  // Boundary faces have different fixed dims: nothing to fuse.
+  KernelPlan plan = lower(dirichlet_boundary(2, "x"), shapes2(12));
+  EXPECT_EQ(fuse_statements(plan), 0);
+}
+
+TEST(Fusion, SkipsDependentStencils) {
+  // y = f(x); z = g(y) are in different waves; no wave has two chains.
+  StencilGroup g;
+  g.append(Stencil(read("x", {0, 0}), "res", interior(2)));
+  g.append(Stencil(read("res", {0, 0}), "out", interior(2)));
+  KernelPlan plan = lower(g, shapes2(12));
+  EXPECT_EQ(fuse_statements(plan), 0);
+}
+
+TEST(Fusion, ComposesWithMulticolorAndTiling) {
+  // Fused chains must be left alone by the later transforms.
+  KernelPlan plan = lower(residual_and_apply(), shapes2(24));
+  fuse_statements(plan);
+  fuse_multicolor(plan);  // no candidates left
+  tile_plan(plan, {4, 4});
+  EXPECT_EQ(plan.waves[0].chains[0].fusion, ChainFusion::Full);
+  for (size_t n : plan.waves[0].chains[0].nests) {
+    for (const auto& d : plan.nests[n].dims) {
+      EXPECT_LT(d.tile_of, 0);  // members stayed untiled
+    }
+  }
+}
+
+TEST(Fusion, GroupsByIdenticalDimsOnly) {
+  // Same rank but different bounds (margin-2 vs margin-1 interiors) must
+  // not fuse.
+  StencilGroup g;
+  g.append(Stencil("inner1", read("x", {0, 0}), "res", interior(2)));
+  g.append(Stencil("inner2", read("x", {0, 0}), "out", interior_margin(2, 2)));
+  KernelPlan plan = lower(g, shapes2(12));
+  EXPECT_EQ(fuse_statements(plan), 0);
+}
+
+}  // namespace
+}  // namespace snowflake

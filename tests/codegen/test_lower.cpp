@@ -1,0 +1,105 @@
+#include "codegen/lower.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ir/stencil_library.hpp"
+#include "multigrid/operators.hpp"
+#include "support/error.hpp"
+
+namespace snowflake {
+namespace {
+
+using namespace snowflake::lib;
+
+ShapeMap smoother_shapes(std::int64_t box) {
+  ShapeMap shapes;
+  for (const std::string g :
+       {"x", "rhs", "lambda_inv", "beta_x", "beta_y"}) {
+    shapes[g] = Index{box, box};
+  }
+  return shapes;
+}
+
+TEST(Lower, SingleStencilSingleNest) {
+  const StencilGroup g(cc_apply(2, "x", "out"));
+  ShapeMap shapes{{"x", {10, 10}}, {"out", {10, 10}}};
+  const KernelPlan plan = lower(g, shapes);
+  ASSERT_EQ(plan.nests.size(), 1u);
+  const LoopNest& nest = plan.nests[0];
+  EXPECT_EQ(nest.out_grid, "out");
+  EXPECT_EQ(nest.point_count, 64);
+  ASSERT_EQ(nest.dims.size(), 2u);
+  EXPECT_EQ(nest.dims[0].lo, 1);
+  EXPECT_EQ(nest.dims[0].hi, 9);
+  EXPECT_EQ(plan.grid_order, (std::vector<std::string>{"out", "x"}));
+  EXPECT_EQ(plan.param_order, (std::vector<std::string>{"h2inv"}));
+}
+
+TEST(Lower, ColoredStencilOneNestPerRect) {
+  const StencilGroup g(vc_gsrb_sweep(2, "x", "rhs", "lambda_inv", "beta", 0));
+  const KernelPlan plan = lower(g, smoother_shapes(10));
+  EXPECT_EQ(plan.nests.size(), 2u);  // 2 rects in 2D red
+  // Independent rects each get their own chain.
+  ASSERT_EQ(plan.waves.size(), 1u);
+  EXPECT_EQ(plan.waves[0].chains.size(), 2u);
+}
+
+TEST(Lower, SmootherWaveStructure) {
+  const StencilGroup g = mg::gsrb_smooth_group(2);
+  const KernelPlan plan = lower(g, smoother_shapes(10));
+  // bc wave, red wave, bc wave, black wave.
+  ASSERT_EQ(plan.waves.size(), 4u);
+  EXPECT_EQ(plan.waves[0].chains.size(), 4u);
+  EXPECT_EQ(plan.waves[1].chains.size(), 2u);
+}
+
+TEST(Lower, EmptyRectsDropped) {
+  // On a 3-wide box the red color's second rect (start 2, stop -1) is
+  // empty in one dim... use a 4 box: still fine; use shape where a rect
+  // vanishes: box=3 -> interior is 1..2 (1 cell), rect starting at 2 is
+  // empty.
+  const StencilGroup g(vc_gsrb_sweep(2, "x", "rhs", "lambda_inv", "beta", 0));
+  const KernelPlan plan = lower(g, smoother_shapes(3));
+  EXPECT_EQ(plan.nests.size(), 1u);  // only the (1,1) rect survives
+}
+
+TEST(Lower, DependentUnionBecomesChain) {
+  const DomainUnion both = colored_interior(2, 0) + colored_interior(2, 1);
+  const Stencil s("gsrb_all",
+                  read("x", {0, 0}) + 0.25 * read("x", {1, 0}), "x", both);
+  ShapeMap shapes{{"x", {10, 10}}};
+  const KernelPlan plan = lower(StencilGroup(s), shapes);
+  ASSERT_EQ(plan.waves.size(), 1u);
+  ASSERT_EQ(plan.waves[0].chains.size(), 1u);
+  EXPECT_EQ(plan.waves[0].chains[0].nests.size(), 4u);  // ordered rects
+}
+
+TEST(Lower, HashChangesWithShape) {
+  const StencilGroup g(cc_apply(2, "x", "out"));
+  ShapeMap s1{{"x", {10, 10}}, {"out", {10, 10}}};
+  ShapeMap s2{{"x", {12, 12}}, {"out", {12, 12}}};
+  EXPECT_NE(lower(g, s1).source_hash, lower(g, s2).source_hash);
+}
+
+TEST(Lower, ParamAndGridIndexLookups) {
+  const StencilGroup g(cc_jacobi(2, "x", "rhs", "dinv", "out"));
+  ShapeMap shapes{{"x", {8, 8}}, {"rhs", {8, 8}}, {"dinv", {8, 8}},
+                  {"out", {8, 8}}};
+  const KernelPlan plan = lower(g, shapes);
+  EXPECT_EQ(plan.grid_arg_index("dinv"), 0);
+  EXPECT_EQ(plan.grid_arg_index("x"), 3);
+  EXPECT_THROW(plan.grid_arg_index("nope"), LookupError);
+  EXPECT_EQ(plan.param_arg_index("h2inv"), 0);
+  EXPECT_EQ(plan.param_arg_index("weight"), 1);
+}
+
+TEST(Lower, DescribeMentionsWavesAndNests) {
+  const StencilGroup g = mg::gsrb_smooth_group(2);
+  const KernelPlan plan = lower(g, smoother_shapes(10));
+  const std::string desc = plan.describe();
+  EXPECT_NE(desc.find("wave 3"), std::string::npos);
+  EXPECT_NE(desc.find("gsrb_red"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace snowflake

@@ -1,0 +1,81 @@
+#include "codegen/transform/multicolor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "codegen/cemit.hpp"
+#include "codegen/lower.hpp"
+#include "codegen/transform/tiling.hpp"
+#include "ir/stencil_library.hpp"
+#include "multigrid/operators.hpp"
+
+namespace snowflake {
+namespace {
+
+using namespace snowflake::lib;
+
+ShapeMap smoother_shapes(std::int64_t box, int rank) {
+  ShapeMap shapes;
+  const Index shape(static_cast<size_t>(rank), box);
+  for (const std::string g : {"x", "rhs", "lambda_inv"}) shapes[g] = shape;
+  for (int d = 0; d < rank; ++d) shapes[beta_name("beta", d)] = shape;
+  return shapes;
+}
+
+TEST(Multicolor, FusesRectsOfOneColor) {
+  // The 3D red sweep has 4 independent strided rects; fusion merges them
+  // into one chain sweeping memory once.
+  const StencilGroup g(vc_gsrb_sweep(3, "x", "rhs", "lambda_inv", "beta", 0));
+  KernelPlan plan = lower(g, smoother_shapes(8, 3));
+  ASSERT_EQ(plan.waves[0].chains.size(), 4u);
+  const int fused = fuse_multicolor(plan);
+  EXPECT_EQ(fused, 1);
+  ASSERT_EQ(plan.waves[0].chains.size(), 1u);
+  EXPECT_EQ(plan.waves[0].chains[0].fusion, ChainFusion::Outer);
+  EXPECT_EQ(plan.waves[0].chains[0].nests.size(), 4u);
+}
+
+TEST(Multicolor, LeavesSingleUnstridedChainsAlone) {
+  const StencilGroup g(cc_apply(2, "x", "out"));
+  ShapeMap shapes{{"x", {10, 10}}, {"out", {10, 10}}};
+  KernelPlan plan = lower(g, shapes);
+  EXPECT_EQ(fuse_multicolor(plan), 0);
+  EXPECT_EQ(plan.waves[0].chains[0].fusion, ChainFusion::None);
+}
+
+TEST(Multicolor, BoundaryFacesNotFused) {
+  // Faces are unit-stride degenerate planes — fusing them buys nothing and
+  // the transform leaves them out (no strided member).
+  const StencilGroup g = dirichlet_boundary(2, "x");
+  ShapeMap shapes{{"x", {10, 10}}};
+  KernelPlan plan = lower(g, shapes);
+  EXPECT_EQ(fuse_multicolor(plan), 0);
+}
+
+TEST(Multicolor, SmootherFusesEachColorWave) {
+  const StencilGroup g = mg::gsrb_smooth_group(3);
+  KernelPlan plan = lower(g, smoother_shapes(8, 3));
+  const int fused = fuse_multicolor(plan);
+  EXPECT_EQ(fused, 2);  // red wave and black wave
+}
+
+TEST(Multicolor, FusedEmissionHasGuardsAndSingleSweep) {
+  const StencilGroup g(vc_gsrb_sweep(2, "x", "rhs", "lambda_inv", "beta", 0));
+  KernelPlan plan = lower(g, smoother_shapes(10, 2));
+  fuse_multicolor(plan);
+  EmitOptions eo;
+  const std::string src = emit_c_source(plan, eo);
+  // One fused outer loop with congruence guards.
+  EXPECT_NE(src.find("% 2 == 0"), std::string::npos);
+  EXPECT_NE(src.find("/* fused: "), std::string::npos);
+}
+
+TEST(Multicolor, FusionBeforeTilingOnly) {
+  const StencilGroup g(vc_gsrb_sweep(2, "x", "rhs", "lambda_inv", "beta", 0));
+  KernelPlan plan = lower(g, smoother_shapes(26, 2));
+  tile_plan(plan, {4, 4});
+  // Tiled nests are not fusion candidates.
+  EXPECT_EQ(fuse_multicolor(plan), 0);
+}
+
+}  // namespace
+}  // namespace snowflake

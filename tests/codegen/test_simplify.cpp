@@ -1,0 +1,106 @@
+#include "codegen/simplify.hpp"
+
+#include <gtest/gtest.h>
+
+#include "backend/reference/reference_backend.hpp"
+#include "expr_fuzz.hpp"
+#include "ir/stencil_library.hpp"
+#include "ir/weights.hpp"
+
+namespace snowflake {
+namespace {
+
+TEST(Simplify, ConstantFolding) {
+  EXPECT_EQ(simplify(constant(2.0) + constant(3.0))->to_string(), "5.0");
+  EXPECT_EQ(simplify(constant(2.0) * constant(3.0) - constant(1.0))->to_string(),
+            "5.0");
+  EXPECT_EQ(simplify(-constant(4.0))->to_string(), "-4.0");
+  EXPECT_EQ(simplify(constant(1.0) / constant(4.0))->to_string(), "0.25");
+}
+
+TEST(Simplify, AdditiveIdentities) {
+  const ExprPtr x = read("x", {0});
+  EXPECT_TRUE(expr_equal(simplify(x + 0.0), x));
+  EXPECT_TRUE(expr_equal(simplify(0.0 + x), x));
+  EXPECT_TRUE(expr_equal(simplify(x - 0.0), x));
+  EXPECT_TRUE(expr_equal(simplify(0.0 - x), -x));
+}
+
+TEST(Simplify, MultiplicativeIdentities) {
+  const ExprPtr x = read("x", {0});
+  EXPECT_TRUE(expr_equal(simplify(x * 1.0), x));
+  EXPECT_TRUE(expr_equal(simplify(1.0 * x), x));
+  EXPECT_TRUE(expr_equal(simplify(x / 1.0), x));
+  EXPECT_TRUE(expr_equal(simplify(x * -1.0), -x));
+  EXPECT_TRUE(is_constant(simplify(x * 0.0), 0.0));
+  EXPECT_TRUE(is_constant(simplify(0.0 * x), 0.0));
+}
+
+TEST(Simplify, ZeroAnnihilationCascades) {
+  // (0 * x) + (y * 1) -> y.
+  const ExprPtr e = (constant(0.0) * read("x", {1})) + (read("y", {0}) * 1.0);
+  EXPECT_TRUE(expr_equal(simplify(e), read("y", {0})));
+}
+
+TEST(Simplify, DoubleNegation) {
+  const ExprPtr x = read("x", {0});
+  EXPECT_TRUE(expr_equal(simplify(-(-x)), x));
+}
+
+TEST(Simplify, LeavesIrreducibleAlone) {
+  const ExprPtr e = read("x", {1}) + read("x", {-1});
+  EXPECT_TRUE(expr_equal(simplify(e), e));
+}
+
+TEST(Simplify, ShrinksComponentExpansion) {
+  // A 3x3 weight array with mostly zeros expands small and stays small;
+  // a Figure-4-style composite shrinks measurably.
+  const ExprPtr fig4ish =
+      (read("rhs", {0, 0}) - (1.0 * read("x", {0, 0}) + 0.0)) * 1.0 +
+      constant(0.0) * read("x", {1, 0});
+  const ExprPtr s = simplify(fig4ish);
+  EXPECT_LT(expr_node_count(s), expr_node_count(fig4ish));
+  EXPECT_TRUE(expr_equal(s, read("rhs", {0, 0}) - read("x", {0, 0})));
+}
+
+TEST(Simplify, NodeCount) {
+  EXPECT_EQ(expr_node_count(constant(1.0)), 1);
+  EXPECT_EQ(expr_node_count(read("x", {0}) + 1.0), 3);
+}
+
+TEST(Simplify, RandomExpressionsNumericallyEquivalent) {
+  // Property: simplify(e) evaluates identically to e on random grids.
+  for (std::uint64_t seed = 0; seed < 40; ++seed) {
+    testutil::ExprFuzzer fuzz(seed, {"x", "y"}, 2);
+    const ExprPtr e = fuzz.generate(4);
+    const ExprPtr s = simplify(e);
+
+    GridSet g1, g2;
+    for (const std::string name : {"x", "y"}) {
+      g1.add_zeros(name, {6, 6}).fill_random(seed + 77, 0.5, 2.0);
+      g2.add(name, g1.at(name));
+    }
+    g1.add_zeros("out", {6, 6});
+    g2.add_zeros("out", {6, 6});
+    const ParamMap params{{"p0", 1.5}, {"p1", -0.25}};
+
+    run_reference(StencilGroup(Stencil(e, "out", lib::interior(2))), g1, params);
+    run_reference(StencilGroup(Stencil(s, "out", lib::interior(2))), g2, params);
+    EXPECT_LE(Grid::max_abs_diff(g1.at("out"), g2.at("out")), 1e-12)
+        << "seed " << seed << ": " << e->to_string() << "\n -> "
+        << s->to_string();
+    EXPECT_LE(expr_node_count(s), expr_node_count(e)) << "seed " << seed;
+  }
+}
+
+TEST(Simplify, Idempotent) {
+  for (std::uint64_t seed = 100; seed < 120; ++seed) {
+    testutil::ExprFuzzer fuzz(seed, {"x"}, 1);
+    const ExprPtr once = simplify(fuzz.generate(5));
+    const ExprPtr twice = simplify(once);
+    EXPECT_TRUE(expr_equal(once, twice)) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace snowflake

@@ -1,0 +1,112 @@
+#include "codegen/transform/tiling.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "codegen/lower.hpp"
+#include "ir/stencil_library.hpp"
+#include "support/error.hpp"
+
+namespace snowflake {
+namespace {
+
+using namespace snowflake::lib;
+
+LoopNest make_nest(std::vector<LoopDim> dims) {
+  LoopNest nest;
+  nest.label = "test";
+  nest.dims = std::move(dims);
+  nest.out_grid = "out";
+  nest.rhs = constant(0.0);
+  return nest;
+}
+
+std::set<Index> points_of(const LoopNest& nest) {
+  std::set<Index> out;
+  enumerate_points(nest, [&](const Index& p) {
+    EXPECT_TRUE(out.insert(p).second) << "point visited twice";
+  });
+  return out;
+}
+
+TEST(Tiling, PreservesPointSet2D) {
+  const LoopNest nest = make_nest({{1, 9, 1, -1, 0, 0}, {1, 9, 1, -1, 0, 1}});
+  const std::set<Index> before = points_of(nest);
+  for (std::int64_t t0 : {2, 3, 8, 100}) {
+    for (std::int64_t t1 : {2, 5}) {
+      const LoopNest tiled = tile_nest(nest, {t0, t1});
+      EXPECT_EQ(points_of(tiled), before) << t0 << "x" << t1;
+    }
+  }
+}
+
+TEST(Tiling, PreservesPointSetStrided) {
+  // Strided (red-black-like) dims tile correctly too.
+  const LoopNest nest = make_nest({{1, 12, 2, -1, 0, 0}, {2, 11, 3, -1, 0, 1}});
+  const std::set<Index> before = points_of(nest);
+  const LoopNest tiled = tile_nest(nest, {2, 2});
+  EXPECT_EQ(points_of(tiled), before);
+}
+
+TEST(Tiling, NonDividingTileHandlesRemainder) {
+  const LoopNest nest = make_nest({{0, 10, 1, -1, 0, 0}});
+  const LoopNest tiled = tile_nest(nest, {3});  // 10 = 3+3+3+1
+  EXPECT_EQ(points_of(tiled).size(), 10u);
+}
+
+TEST(Tiling, WholeDimTileIsNoop) {
+  const LoopNest nest = make_nest({{0, 4, 1, -1, 0, 0}});
+  const LoopNest tiled = tile_nest(nest, {8});
+  EXPECT_EQ(tiled.dims.size(), 1u);  // untouched
+}
+
+TEST(Tiling, TileLoopStructure) {
+  const LoopNest nest = make_nest({{1, 9, 1, -1, 0, 0}, {1, 9, 1, -1, 0, 1}});
+  const LoopNest tiled = tile_nest(nest, {4, 4});
+  ASSERT_EQ(tiled.dims.size(), 4u);  // 2 tile loops + 2 point loops
+  EXPECT_EQ(tiled.dims[0].tile_of, -1);
+  EXPECT_EQ(tiled.dims[0].grid_dim, -1);  // tile origin, not a coordinate
+  EXPECT_EQ(tiled.dims[2].tile_of, 0);
+  EXPECT_EQ(tiled.dims[2].grid_dim, 0);
+  EXPECT_EQ(tiled.dims[2].span, 4);
+  EXPECT_EQ(tiled.logical_rank(), 2);
+}
+
+TEST(Tiling, DoubleTilingRejected) {
+  const LoopNest nest = make_nest({{0, 16, 1, -1, 0, 0}});
+  const LoopNest tiled = tile_nest(nest, {4});
+  EXPECT_THROW(tile_nest(tiled, {2}), InvalidArgument);
+}
+
+TEST(Tiling, PlanSkipsNonParallelNests) {
+  // A sequential (not point-parallel) in-place stencil keeps its order.
+  const Stencil s("seq", read("x", {0, 0}) + read("x", {1, 0}), "x",
+                  interior(2));
+  ShapeMap shapes{{"x", {20, 20}}};
+  KernelPlan plan = lower(StencilGroup(s), shapes);
+  ASSERT_FALSE(plan.nests[0].point_parallel);
+  tile_plan(plan, {4, 4});
+  EXPECT_EQ(plan.nests[0].dims.size(), 2u);  // untiled
+}
+
+TEST(Tiling, PlanTilesParallelNests) {
+  const Stencil s = cc_apply(2, "x", "out");
+  ShapeMap shapes{{"x", {20, 20}}, {"out", {20, 20}}};
+  KernelPlan plan = lower(StencilGroup(s), shapes);
+  tile_plan(plan, {4, 4});
+  EXPECT_EQ(plan.nests[0].dims.size(), 4u);
+}
+
+TEST(Tiling, Rank3PartialTiling) {
+  // Tile only the two leading dims (classic 2.5D blocking).
+  const LoopNest nest = make_nest(
+      {{1, 7, 1, -1, 0, 0}, {1, 7, 1, -1, 0, 1}, {1, 7, 1, -1, 0, 2}});
+  const std::set<Index> before = points_of(nest);
+  const LoopNest tiled = tile_nest(nest, {2, 2, 0});
+  EXPECT_EQ(tiled.dims.size(), 5u);
+  EXPECT_EQ(points_of(tiled), before);
+}
+
+}  // namespace
+}  // namespace snowflake

@@ -1,0 +1,87 @@
+#include "codegen/verify_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include "codegen/lower.hpp"
+#include "codegen/transform/fusion.hpp"
+#include "codegen/transform/multicolor.hpp"
+#include "codegen/transform/tiling.hpp"
+#include "ir/stencil_library.hpp"
+#include "multigrid/operators.hpp"
+#include "support/error.hpp"
+
+namespace snowflake {
+namespace {
+
+using namespace snowflake::lib;
+
+ShapeMap smoother_shapes(std::int64_t n) {
+  ShapeMap shapes;
+  for (const std::string g :
+       {"x", "rhs", "lambda_inv", "beta_x", "beta_y"}) {
+    shapes[g] = Index{n, n};
+  }
+  return shapes;
+}
+
+TEST(VerifyPlan, AcceptsEveryTransformPipeline) {
+  for (const bool fuse_stmts : {false, true}) {
+    for (const bool fuse_colors : {false, true}) {
+      for (const bool tile : {false, true}) {
+        KernelPlan plan = lower(mg::gsrb_smooth_group(2), smoother_shapes(18));
+        if (fuse_stmts) fuse_statements(plan);
+        if (fuse_colors) fuse_multicolor(plan);
+        if (tile) tile_plan(plan, {4, 4});
+        EXPECT_NO_THROW(verify_plan(plan))
+            << fuse_stmts << fuse_colors << tile;
+      }
+    }
+  }
+}
+
+TEST(VerifyPlan, CatchesDuplicatedNest) {
+  KernelPlan plan = lower(StencilGroup(cc_apply(2, "x", "out")),
+                          ShapeMap{{"x", {8, 8}}, {"out", {8, 8}}});
+  plan.waves[0].chains.push_back(plan.waves[0].chains[0]);  // corrupt
+  EXPECT_THROW(verify_plan(plan), InternalError);
+}
+
+TEST(VerifyPlan, CatchesOrphanedNest) {
+  KernelPlan plan = lower(mg::gsrb_smooth_group(2), smoother_shapes(10));
+  plan.waves[0].chains.pop_back();  // a nest no chain runs
+  EXPECT_THROW(verify_plan(plan), InternalError);
+}
+
+TEST(VerifyPlan, CatchesBrokenTilePair) {
+  KernelPlan plan = lower(StencilGroup(cc_apply(2, "x", "out")),
+                          ShapeMap{{"x", {16, 16}}, {"out", {16, 16}}});
+  tile_plan(plan, {4, 4});
+  plan.nests[0].dims[2].tile_of = 3;  // forward reference: invalid
+  EXPECT_THROW(verify_plan(plan), InternalError);
+}
+
+TEST(VerifyPlan, CatchesMissingCoordinateLoop) {
+  KernelPlan plan = lower(StencilGroup(cc_apply(2, "x", "out")),
+                          ShapeMap{{"x", {8, 8}}, {"out", {8, 8}}});
+  plan.nests[0].dims[1].grid_dim = 0;  // dim 1 now shadows dim 0
+  EXPECT_THROW(verify_plan(plan), InternalError);
+}
+
+TEST(VerifyPlan, CatchesBogusFusion) {
+  ShapeMap shapes = smoother_shapes(10);
+  shapes["res"] = Index{10, 10};
+  KernelPlan plan = lower(mg::residual_group(2), shapes);
+  // Hand-mark a multi-domain chain as stmt-fused: dims differ (faces vs
+  // interior), must be rejected.
+  Chain bogus;
+  for (auto& wave : plan.waves) {
+    for (auto& chain : wave.chains) bogus.nests.push_back(chain.nests[0]);
+  }
+  plan.waves.clear();
+  bogus.fusion = ChainFusion::Full;
+  plan.waves.push_back(PlanWave{{bogus}});
+  EXPECT_THROW(verify_plan(plan), InternalError);
+}
+
+}  // namespace
+}  // namespace snowflake

@@ -1,0 +1,83 @@
+#include "device/sim_device.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace snowflake {
+namespace {
+
+TEST(SimDevice, K20cSpecMatchesPaper) {
+  const DeviceSpec spec = DeviceSpec::k20c();
+  EXPECT_DOUBLE_EQ(spec.bandwidth_bytes_per_s, 127e9);  // paper's ERT number
+  EXPECT_EQ(spec.compute_units, 13);
+}
+
+TEST(SimDevice, BandwidthBoundDispatch) {
+  const SimDevice dev(DeviceSpec::k20c());
+  DispatchStats stats;
+  stats.workgroups = 10000;
+  stats.bytes = 127e9;  // exactly one second of traffic at full efficiency
+  stats.flops = 1.0;
+  stats.efficiency = 1.0;
+  EXPECT_NEAR(dev.dispatch_seconds(stats), 1.0, 0.01);
+}
+
+TEST(SimDevice, EfficiencyStretchesMemoryTime) {
+  const SimDevice dev(DeviceSpec::k20c());
+  DispatchStats stats;
+  stats.workgroups = 100;
+  stats.bytes = 1e9;
+  stats.efficiency = 1.0;
+  const double full = dev.dispatch_seconds(stats);
+  stats.efficiency = 0.5;
+  EXPECT_NEAR(dev.dispatch_seconds(stats) / full, 2.0, 0.05);
+}
+
+TEST(SimDevice, LaunchOverheadFloorsSmallDispatches) {
+  const SimDevice dev(DeviceSpec::k20c());
+  DispatchStats stats;
+  stats.workgroups = 1;
+  stats.bytes = 64.0;  // one cache line
+  stats.flops = 10.0;
+  EXPECT_GE(dev.dispatch_seconds(stats), DeviceSpec::k20c().launch_overhead_s);
+  // The overhead floor is why small multigrid levels flatten on the GPU
+  // (paper Fig. 8's small-size behaviour).
+  EXPECT_LT(dev.dispatch_seconds(stats),
+            2.0 * DeviceSpec::k20c().launch_overhead_s);
+}
+
+TEST(SimDevice, FlopBoundWhenComputeHeavy) {
+  const SimDevice dev(DeviceSpec::k20c());
+  DispatchStats stats;
+  stats.workgroups = 1000;
+  stats.bytes = 8.0;
+  stats.flops = 1.17e12;  // one second of peak DP
+  EXPECT_NEAR(dev.dispatch_seconds(stats), 1.0, 0.01);
+}
+
+TEST(SimDevice, WorkgroupSchedulingCost) {
+  DeviceSpec spec = DeviceSpec::k20c();
+  spec.launch_overhead_s = 0.0;
+  const SimDevice dev(spec);
+  DispatchStats stats;
+  stats.bytes = 1.0;
+  stats.flops = 1.0;
+  stats.workgroups = 13 * 1000;  // 1000 rounds across 13 CUs
+  EXPECT_NEAR(dev.dispatch_seconds(stats), 1000 * spec.workgroup_cost_s, 1e-6);
+}
+
+TEST(SimDevice, InvalidSpecsRejected) {
+  DeviceSpec spec = DeviceSpec::k20c();
+  spec.bandwidth_bytes_per_s = 0.0;
+  EXPECT_THROW(SimDevice{spec}, InvalidArgument);
+}
+
+TEST(SimDevice, HostPreset) {
+  const DeviceSpec host = DeviceSpec::host(20e9, 4);
+  EXPECT_EQ(host.compute_units, 4);
+  EXPECT_DOUBLE_EQ(host.bandwidth_bytes_per_s, 20e9);
+}
+
+}  // namespace
+}  // namespace snowflake

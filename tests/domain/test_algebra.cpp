@@ -1,0 +1,163 @@
+#include "domain/domain_algebra.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "support/error.hpp"
+
+namespace snowflake {
+namespace {
+
+// Brute-force oracle for range intersection.
+std::set<std::int64_t> points_of(const ResolvedRange& r) {
+  std::set<std::int64_t> out;
+  for (std::int64_t x = r.lo; x < r.hi; x += r.stride) out.insert(x);
+  return out;
+}
+
+TEST(IntersectRanges, DisjointByParity) {
+  // Red vs black columns: same stride, offset by 1 — provably disjoint.
+  const auto r = intersect_ranges({1, 9, 2}, {2, 9, 2});
+  EXPECT_FALSE(r.has_value());
+}
+
+TEST(IntersectRanges, SameRange) {
+  const ResolvedRange a{1, 9, 2};
+  const auto r = intersect_ranges(a, a);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(points_of(*r), points_of(a));
+}
+
+TEST(IntersectRanges, CrtCombination) {
+  // x ≡ 1 (mod 2) and x ≡ 2 (mod 3) -> x ≡ 5 (mod 6).
+  const auto r = intersect_ranges({1, 30, 2}, {2, 30, 3});
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->stride, 6);
+  EXPECT_EQ(r->lo, 5);
+  EXPECT_EQ(points_of(*r), (std::set<std::int64_t>{5, 11, 17, 23, 29}));
+}
+
+TEST(IntersectRanges, BoundsClipped) {
+  const auto r = intersect_ranges({0, 10, 1}, {8, 20, 1});
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(points_of(*r), (std::set<std::int64_t>{8, 9}));
+}
+
+TEST(IntersectRanges, EmptyInput) {
+  EXPECT_FALSE(intersect_ranges({5, 5, 1}, {0, 10, 1}).has_value());
+}
+
+TEST(IntersectRanges, ExhaustiveAgainstBruteForce) {
+  // Property check over a grid of small progressions.
+  for (std::int64_t lo1 = 0; lo1 < 4; ++lo1) {
+    for (std::int64_t s1 = 1; s1 <= 4; ++s1) {
+      for (std::int64_t lo2 = 0; lo2 < 4; ++lo2) {
+        for (std::int64_t s2 = 1; s2 <= 4; ++s2) {
+          const ResolvedRange a{lo1, 17, s1};
+          const ResolvedRange b{lo2, 19, s2};
+          std::set<std::int64_t> expect;
+          for (auto x : points_of(a)) {
+            if (points_of(b).count(x)) expect.insert(x);
+          }
+          const auto got = intersect_ranges(a, b);
+          if (expect.empty()) {
+            EXPECT_FALSE(got.has_value())
+                << a.to_string() << " ∩ " << b.to_string();
+          } else {
+            ASSERT_TRUE(got.has_value())
+                << a.to_string() << " ∩ " << b.to_string();
+            EXPECT_EQ(points_of(*got), expect)
+                << a.to_string() << " ∩ " << b.to_string();
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(IntersectRects, PerDimension) {
+  const ResolvedRect a({{1, 9, 2}, {0, 8, 1}});
+  const ResolvedRect b({{1, 9, 2}, {4, 12, 1}});
+  const auto r = intersect_rects(a, b);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->range(0), (ResolvedRange{1, 9, 2}));
+  EXPECT_EQ(r->range(1), (ResolvedRange{4, 8, 1}));
+}
+
+TEST(IntersectRects, DisjointInOneDim) {
+  const ResolvedRect a({{1, 9, 2}, {0, 8, 1}});
+  const ResolvedRect b({{2, 9, 2}, {0, 8, 1}});
+  EXPECT_TRUE(rects_disjoint(a, b));
+}
+
+TEST(PairwiseDisjoint, RedBlackColors) {
+  // 2D red/black decomposition: four rects, pairwise disjoint.
+  const ResolvedUnion u({
+      ResolvedRect({{1, 9, 2}, {1, 9, 2}}),
+      ResolvedRect({{2, 9, 2}, {2, 9, 2}}),
+      ResolvedRect({{1, 9, 2}, {2, 9, 2}}),
+      ResolvedRect({{2, 9, 2}, {1, 9, 2}}),
+  });
+  EXPECT_TRUE(pairwise_disjoint(u));
+}
+
+TEST(PairwiseDisjoint, OverlapDetected) {
+  const ResolvedUnion u({ResolvedRect({{0, 5, 1}}), ResolvedRect({{4, 8, 1}})});
+  EXPECT_FALSE(pairwise_disjoint(u));
+}
+
+TEST(CountDistinct, InclusionExclusion) {
+  // {0..4} ∪ {4..8}: 9 points minus the shared 4 counted once = 8.
+  const ResolvedUnion u({ResolvedRect({{0, 5, 1}}), ResolvedRect({{4, 9, 1}})});
+  EXPECT_EQ(count_distinct(u), 9);
+  EXPECT_EQ(u.count_with_multiplicity(), 10);
+}
+
+TEST(CountDistinct, RedBlackCoversInterior) {
+  // 2D red+black over a 8x8 interior = 64 distinct points.
+  const ResolvedUnion u({
+      ResolvedRect({{1, 9, 2}, {1, 9, 2}}),
+      ResolvedRect({{2, 9, 2}, {2, 9, 2}}),
+      ResolvedRect({{1, 9, 2}, {2, 9, 2}}),
+      ResolvedRect({{2, 9, 2}, {1, 9, 2}}),
+  });
+  EXPECT_EQ(count_distinct(u), 64);
+}
+
+TEST(Translate, ShiftsBounds) {
+  const ResolvedRect r({{1, 5, 2}});
+  const ResolvedRect t = translate(r, {3});
+  EXPECT_EQ(t.range(0), (ResolvedRange{4, 8, 2}));
+}
+
+TEST(AffineImage, RestrictionMap) {
+  // Coarse domain 1..4, read fine at 2i-1: image = {1, 3, 5} stride 2.
+  const ResolvedRect coarse({{1, 4, 1}});
+  const ResolvedRect image = affine_image(coarse, {2}, {-1}, {1});
+  EXPECT_EQ(image.range(0), (ResolvedRange{1, 6, 2}));
+}
+
+TEST(AffineImage, InterpolationMap) {
+  // Fine odd points 1,3,5,7 read coarse (i+1)/2: image = 1..4 stride 1.
+  const ResolvedRect fine_odd({{1, 8, 2}});
+  const ResolvedRect image = affine_image(fine_odd, {1}, {1}, {2});
+  EXPECT_EQ(image.range(0), (ResolvedRange{1, 5, 1}));
+}
+
+TEST(AffineImage, NonDivisibleRejected) {
+  // Unit-stride domain divided by 2 is not exact.
+  const ResolvedRect dense({{1, 8, 1}});
+  EXPECT_THROW(affine_image(dense, {1}, {1}, {2}), InvalidArgument);
+}
+
+TEST(UnionsDisjoint, BoundaryVsInterior) {
+  // The Halide-killer case (paper §III): a Dirichlet face at row 0 writes
+  // ghosts; the interior stencil writes rows 1..N-2 — provably disjoint.
+  const ResolvedUnion face({ResolvedRect({{0, 1, 1}, {1, 9, 1}})});
+  const ResolvedUnion interior({ResolvedRect({{1, 9, 1}, {1, 9, 1}})});
+  EXPECT_TRUE(unions_disjoint(face, interior));
+}
+
+}  // namespace
+}  // namespace snowflake

@@ -1,0 +1,97 @@
+// Coloring domains from the stencil library (paper Figure 3a/3b): the
+// red-black parity classes and product multi-colorings partition the
+// interior exactly.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "domain/domain_algebra.hpp"
+#include "ir/stencil_library.hpp"
+
+namespace snowflake {
+namespace {
+
+TEST(Coloring, RedBlack2DPartitionsInterior) {
+  const Index shape{10, 10};
+  const ResolvedUnion red = lib::colored_interior(2, 0).resolve(shape);
+  const ResolvedUnion black = lib::colored_interior(2, 1).resolve(shape);
+  EXPECT_TRUE(pairwise_disjoint(red));
+  EXPECT_TRUE(pairwise_disjoint(black));
+  EXPECT_TRUE(unions_disjoint(red, black));
+  EXPECT_EQ(count_distinct(red) + count_distinct(black), 8 * 8);
+}
+
+TEST(Coloring, RedBlack2DParityCorrect) {
+  const ResolvedUnion red = lib::colored_interior(2, 0).resolve({8, 8});
+  red.for_each([](const Index& p) { EXPECT_EQ((p[0] + p[1]) % 2, 0); });
+  const ResolvedUnion black = lib::colored_interior(2, 1).resolve({8, 8});
+  black.for_each([](const Index& p) { EXPECT_EQ((p[0] + p[1]) % 2, 1); });
+}
+
+TEST(Coloring, RedBlack3DPartitionsInterior) {
+  const Index shape{6, 6, 6};
+  const ResolvedUnion red = lib::colored_interior(3, 0).resolve(shape);
+  const ResolvedUnion black = lib::colored_interior(3, 1).resolve(shape);
+  EXPECT_EQ(red.rects().size(), 4u);  // 2^(rank-1) strided rects per color
+  EXPECT_EQ(black.rects().size(), 4u);
+  EXPECT_TRUE(unions_disjoint(red, black));
+  EXPECT_EQ(count_distinct(red) + count_distinct(black), 4 * 4 * 4);
+  red.for_each([](const Index& p) { EXPECT_EQ((p[0] + p[1] + p[2]) % 2, 0); });
+}
+
+TEST(Coloring, FourColor2DPartition) {
+  // Paper Figure 3b: 2x2 product coloring — each class is ONE strided rect.
+  const Index shape{10, 10};
+  std::set<std::pair<std::int64_t, std::int64_t>> seen;
+  std::int64_t total = 0;
+  for (int c = 0; c < 4; ++c) {
+    const ResolvedUnion u = lib::colored_2d(2, c).resolve(shape);
+    EXPECT_EQ(u.rects().size(), 1u);
+    total += count_distinct(u);
+    u.for_each([&](const Index& p) {
+      EXPECT_TRUE(seen.insert({p[0], p[1]}).second)
+          << "point visited by two colors";
+    });
+  }
+  EXPECT_EQ(total, 8 * 8);
+}
+
+TEST(Coloring, NineColor2DPartition) {
+  const Index shape{11, 11};
+  std::int64_t total = 0;
+  for (int c = 0; c < 9; ++c) {
+    total += count_distinct(lib::colored_2d(3, c).resolve(shape));
+  }
+  EXPECT_EQ(total, 9 * 9);
+}
+
+TEST(Coloring, FaceDomains) {
+  const Index shape{8, 8};
+  const ResolvedUnion lo = lib::face(2, 0, false).resolve(shape);
+  EXPECT_EQ(count_distinct(lo), 6);  // row 0, columns 1..6
+  lo.for_each([](const Index& p) { EXPECT_EQ(p[0], 0); });
+  const ResolvedUnion hi = lib::face(2, 0, true).resolve(shape);
+  hi.for_each([](const Index& p) { EXPECT_EQ(p[0], 7); });
+  // Faces never overlap the interior.
+  EXPECT_TRUE(unions_disjoint(lo, lib::interior(2).resolve(shape)));
+  EXPECT_TRUE(unions_disjoint(hi, lib::interior(2).resolve(shape)));
+  EXPECT_TRUE(unions_disjoint(lo, hi));
+}
+
+TEST(Coloring, ColoredInteriorScalesWithGrid) {
+  // The same DomainUnion object resolves correctly on every grid size —
+  // the reuse property the paper's relative bounds exist for.
+  const DomainUnion red = lib::colored_interior(2, 0);
+  for (std::int64_t n : {4, 8, 16, 34}) {
+    const Index shape{n, n};
+    const std::int64_t interior_points = (n - 2) * (n - 2);
+    const std::int64_t red_count = count_distinct(red.resolve(shape));
+    const std::int64_t black_count =
+        count_distinct(lib::colored_interior(2, 1).resolve(shape));
+    EXPECT_EQ(red_count + black_count, interior_points) << "n=" << n;
+  }
+}
+
+}  // namespace
+}  // namespace snowflake

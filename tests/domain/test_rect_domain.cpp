@@ -1,0 +1,98 @@
+#include "domain/rect_domain.hpp"
+
+#include <gtest/gtest.h>
+
+#include "domain/domain_union.hpp"
+#include "support/error.hpp"
+
+namespace snowflake {
+namespace {
+
+TEST(RectDomain, ResolveAbsoluteBounds) {
+  const RectDomain d({1, 2}, {5, 6}, {1, 2});
+  const ResolvedRect r = d.resolve({8, 8});
+  EXPECT_EQ(r.range(0), (ResolvedRange{1, 5, 1}));
+  EXPECT_EQ(r.range(1), (ResolvedRange{2, 6, 2}));
+}
+
+TEST(RectDomain, ResolveRelativeBounds) {
+  // (1, -1) over extent N means 1..N-1 — the paper's grid-size-relative
+  // interior that works on every level.
+  const RectDomain interior({1, 1}, {-1, -1});
+  const ResolvedRect small = interior.resolve({6, 6});
+  EXPECT_EQ(small.range(0), (ResolvedRange{1, 5, 1}));
+  const ResolvedRect big = interior.resolve({130, 130});
+  EXPECT_EQ(big.range(0), (ResolvedRange{1, 129, 1}));
+}
+
+TEST(RectDomain, StopZeroMeansFullExtent) {
+  const RectDomain full({0}, {0});
+  const ResolvedRect r = full.resolve({7});
+  EXPECT_EQ(r.range(0), (ResolvedRange{0, 7, 1}));
+  EXPECT_EQ(r.count(), 7);
+}
+
+TEST(RectDomain, StrideZeroIsSinglePoint) {
+  // Paper Figure 4 line 17: stride (1, 0) pins the boundary row.
+  const RectDomain top({1, -1}, {-1, -1}, {1, 0});
+  const ResolvedRect r = top.resolve({10, 10});
+  EXPECT_EQ(r.range(0), (ResolvedRange{1, 9, 1}));
+  EXPECT_EQ(r.range(1), (ResolvedRange{9, 10, 1}));  // the single row N-1
+  EXPECT_EQ(r.count(), 8);
+}
+
+TEST(RectDomain, NegativeStartRelative) {
+  const RectDomain ghost({-1}, {0}, {0});
+  const ResolvedRect r = ghost.resolve({12});
+  EXPECT_EQ(r.range(0), (ResolvedRange{11, 12, 1}));
+}
+
+TEST(RectDomain, PaperRedDomainExample) {
+  // Figure 4 line 11: RectDomain((1,1), (-1,-1), (2,2)).
+  const RectDomain red1({1, 1}, {-1, -1}, {2, 2});
+  const ResolvedRect r = red1.resolve({10, 10});
+  EXPECT_EQ(r.count(), 16);  // points {1,3,5,7}^2
+  EXPECT_TRUE(r.contains({1, 1}));
+  EXPECT_TRUE(r.contains({7, 7}));
+  EXPECT_FALSE(r.contains({2, 1}));
+  EXPECT_FALSE(r.contains({9, 1}));  // 9 >= hi
+}
+
+TEST(RectDomain, Translated) {
+  const RectDomain d({1, 1}, {5, 5}, {2, 2});
+  const RectDomain t = d.translated({1, 0});
+  const ResolvedRect r = t.resolve({10, 10});
+  EXPECT_EQ(r.range(0), (ResolvedRange{2, 6, 2}));
+  EXPECT_EQ(r.range(1), (ResolvedRange{1, 5, 2}));
+}
+
+TEST(RectDomain, PlusBuildsUnion) {
+  const RectDomain a({1}, {4});
+  const RectDomain b({5}, {8});
+  const DomainUnion u = a + b;
+  EXPECT_EQ(u.rect_count(), 2u);
+}
+
+TEST(RectDomain, RankMismatchRejected) {
+  EXPECT_THROW(RectDomain({1, 1}, {2}), InvalidArgument);
+  EXPECT_THROW(RectDomain({1}, {2}, {1, 1}), InvalidArgument);
+}
+
+TEST(RectDomain, NegativeStrideRejected) {
+  EXPECT_THROW(RectDomain({1}, {5}, {-1}), InvalidArgument);
+}
+
+TEST(RectDomain, ResolveOutOfBoundsRejected) {
+  const RectDomain d({1}, {20});
+  EXPECT_THROW(d.resolve({10}), InvalidArgument);
+  const RectDomain neg({-20}, {-1});
+  EXPECT_THROW(neg.resolve({10}), InvalidArgument);
+}
+
+TEST(RectDomain, ResolveShapeRankMismatch) {
+  const RectDomain d({1}, {5});
+  EXPECT_THROW(d.resolve({10, 10}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace snowflake

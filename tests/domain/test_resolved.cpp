@@ -1,0 +1,93 @@
+#include "domain/resolved.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "support/error.hpp"
+
+namespace snowflake {
+namespace {
+
+TEST(ResolvedRange, CountAndLast) {
+  const ResolvedRange r{1, 9, 2};
+  EXPECT_EQ(r.count(), 4);  // 1, 3, 5, 7
+  EXPECT_EQ(r.last(), 7);
+  EXPECT_FALSE(r.empty());
+}
+
+TEST(ResolvedRange, SingleElement) {
+  const ResolvedRange r{5, 6, 3};
+  EXPECT_EQ(r.count(), 1);
+  EXPECT_EQ(r.last(), 5);
+}
+
+TEST(ResolvedRange, Empty) {
+  const ResolvedRange r{5, 5, 1};
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(r.count(), 0);
+  const ResolvedRange inverted{7, 3, 1};
+  EXPECT_TRUE(inverted.empty());
+}
+
+TEST(ResolvedRange, Contains) {
+  const ResolvedRange r{2, 11, 3};  // 2, 5, 8
+  EXPECT_TRUE(r.contains(2));
+  EXPECT_TRUE(r.contains(5));
+  EXPECT_TRUE(r.contains(8));
+  EXPECT_FALSE(r.contains(11));
+  EXPECT_FALSE(r.contains(3));
+  EXPECT_FALSE(r.contains(-1));
+}
+
+TEST(ResolvedRect, CountIsProduct) {
+  const ResolvedRect rect({{0, 4, 1}, {0, 6, 2}});
+  EXPECT_EQ(rect.count(), 4 * 3);
+}
+
+TEST(ResolvedRect, ForEachLexicographicAndComplete) {
+  const ResolvedRect rect({{1, 4, 2}, {0, 3, 1}});  // {1,3} x {0,1,2}
+  std::vector<Index> seen;
+  rect.for_each([&](const Index& p) { seen.push_back(p); });
+  ASSERT_EQ(seen.size(), 6u);
+  EXPECT_EQ(seen.front(), (Index{1, 0}));
+  EXPECT_EQ(seen.back(), (Index{3, 2}));
+  // Lexicographic order.
+  for (size_t i = 1; i < seen.size(); ++i) EXPECT_LT(seen[i - 1], seen[i]);
+}
+
+TEST(ResolvedRect, EmptyDimMakesRectEmpty) {
+  const ResolvedRect rect({{0, 4, 1}, {3, 3, 1}});
+  EXPECT_TRUE(rect.empty());
+  EXPECT_EQ(rect.count(), 0);
+  int calls = 0;
+  rect.for_each([&](const Index&) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ResolvedRect, StrideOneRequiredPositive) {
+  EXPECT_THROW(ResolvedRect({{0, 4, 0}}), InvalidArgument);
+}
+
+TEST(ResolvedUnion, ForEachVisitsAllRects) {
+  const ResolvedUnion u({ResolvedRect({{0, 2, 1}}), ResolvedRect({{10, 12, 1}})});
+  std::set<std::int64_t> seen;
+  u.for_each([&](const Index& p) { seen.insert(p[0]); });
+  EXPECT_EQ(seen, (std::set<std::int64_t>{0, 1, 10, 11}));
+  EXPECT_EQ(u.count_with_multiplicity(), 4);
+}
+
+TEST(ResolvedUnion, Contains) {
+  const ResolvedUnion u({ResolvedRect({{0, 4, 2}}), ResolvedRect({{1, 4, 2}})});
+  for (std::int64_t i = 0; i < 4; ++i) EXPECT_TRUE(u.contains({i}));
+  EXPECT_FALSE(u.contains({4}));
+}
+
+TEST(ResolvedUnion, MixedRankRejected) {
+  EXPECT_THROW(ResolvedUnion({ResolvedRect({{0, 2, 1}}),
+                              ResolvedRect({{0, 2, 1}, {0, 2, 1}})}),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace snowflake

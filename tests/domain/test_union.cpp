@@ -1,0 +1,49 @@
+#include "domain/domain_union.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace snowflake {
+namespace {
+
+TEST(DomainUnion, BuildWithPlus) {
+  const RectDomain a({1, 1}, {-1, -1}, {2, 2});
+  const RectDomain b({2, 2}, {-1, -1}, {2, 2});
+  DomainUnion u = a + b;
+  u = u + RectDomain({1, 2}, {-1, -1}, {2, 2});
+  EXPECT_EQ(u.rect_count(), 3u);
+  EXPECT_EQ(u.rank(), 2);
+}
+
+TEST(DomainUnion, ImplicitFromRect) {
+  const DomainUnion u = RectDomain({0}, {4});
+  EXPECT_EQ(u.rect_count(), 1u);
+}
+
+TEST(DomainUnion, ResolvePreservesOrder) {
+  const DomainUnion u = RectDomain({4}, {8}) + RectDomain({0}, {4});
+  const ResolvedUnion r = u.resolve({10});
+  EXPECT_EQ(r.rects()[0].range(0).lo, 4);
+  EXPECT_EQ(r.rects()[1].range(0).lo, 0);
+}
+
+TEST(DomainUnion, UnionOfUnions) {
+  const DomainUnion a = RectDomain({0}, {2}) + RectDomain({2}, {4});
+  const DomainUnion b = RectDomain({4}, {6}) + RectDomain({6}, {8});
+  const DomainUnion c = a + b;
+  EXPECT_EQ(c.rect_count(), 4u);
+}
+
+TEST(DomainUnion, ResolveEmptyThrows) {
+  const DomainUnion u;
+  EXPECT_THROW(u.resolve({4}), InvalidArgument);
+}
+
+TEST(DomainUnion, MixedRankRejected) {
+  const DomainUnion u = RectDomain({0}, {4});
+  EXPECT_THROW(u + RectDomain({0, 0}, {4, 4}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace snowflake

@@ -1,0 +1,97 @@
+#include "grid/grid.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace snowflake {
+namespace {
+
+TEST(Grid, ZeroInitialized) {
+  const Grid g({3, 3, 3});
+  for (std::int64_t i = 0; i < g.size(); ++i) EXPECT_EQ(g[i], 0.0);
+}
+
+TEST(Grid, FillValueConstructor) {
+  const Grid g({4, 4}, 2.5);
+  EXPECT_EQ(g.sum(), 2.5 * 16);
+}
+
+TEST(Grid, AtAccess) {
+  Grid g({2, 3});
+  g.at({1, 2}) = 7.0;
+  EXPECT_EQ(g.at({1, 2}), 7.0);
+  EXPECT_EQ(g[g.layout().offset({1, 2})], 7.0);
+  EXPECT_THROW(g.at({2, 0}), InvalidArgument);
+}
+
+TEST(Grid, FillWithFunction) {
+  Grid g({3, 4});
+  g.fill_with([](const Index& i) { return static_cast<double>(10 * i[0] + i[1]); });
+  EXPECT_EQ(g.at({0, 0}), 0.0);
+  EXPECT_EQ(g.at({2, 3}), 23.0);
+  EXPECT_EQ(g.at({1, 2}), 12.0);
+}
+
+TEST(Grid, FillRandomDeterministic) {
+  Grid a({8, 8}), b({8, 8});
+  a.fill_random(42, -1.0, 1.0);
+  b.fill_random(42, -1.0, 1.0);
+  EXPECT_TRUE(Grid::all_close(a, b, 0.0));
+  b.fill_random(43, -1.0, 1.0);
+  EXPECT_FALSE(Grid::all_close(a, b, 1e-9));
+}
+
+TEST(Grid, FillRandomRange) {
+  Grid g({100});
+  g.fill_random(7, 2.0, 3.0);
+  for (std::int64_t i = 0; i < g.size(); ++i) {
+    EXPECT_GE(g[i], 2.0);
+    EXPECT_LT(g[i], 3.0);
+  }
+}
+
+TEST(Grid, Norms) {
+  Grid g({2, 2});
+  g.at({0, 0}) = 3.0;
+  g.at({1, 1}) = -4.0;
+  EXPECT_DOUBLE_EQ(g.norm_l2(), 5.0);
+  EXPECT_DOUBLE_EQ(g.norm_max(), 4.0);
+  EXPECT_DOUBLE_EQ(g.sum(), -1.0);
+}
+
+TEST(Grid, CopySemantics) {
+  Grid a({4, 4});
+  a.fill_random(1);
+  Grid b = a;
+  EXPECT_NE(a.data(), b.data());
+  EXPECT_TRUE(Grid::all_close(a, b, 0.0));
+  b[0] += 1.0;
+  EXPECT_FALSE(Grid::all_close(a, b, 0.5));
+}
+
+TEST(Grid, MoveSemantics) {
+  Grid a({4, 4}, 1.0);
+  const double* p = a.data();
+  Grid b = std::move(a);
+  EXPECT_EQ(b.data(), p);
+  EXPECT_TRUE(a.empty());  // NOLINT(bugprone-use-after-move)
+}
+
+TEST(Grid, MaxAbsDiff) {
+  Grid a({3}), b({3});
+  a.at({1}) = 1.0;
+  b.at({1}) = 1.5;
+  EXPECT_DOUBLE_EQ(Grid::max_abs_diff(a, b), 0.5);
+  EXPECT_THROW(Grid::max_abs_diff(a, Grid({4})), InvalidArgument);
+}
+
+TEST(Grid, AlignedStorage) {
+  const Grid g({5, 7});
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(g.data()) % 64, 0u);
+}
+
+}  // namespace
+}  // namespace snowflake

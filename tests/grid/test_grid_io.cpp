@@ -1,0 +1,88 @@
+#include "grid/grid_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "support/error.hpp"
+
+namespace snowflake {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string temp_path(const std::string& name) {
+  return (fs::temp_directory_path() / name).string();
+}
+
+TEST(GridIo, RawRoundTripExact) {
+  Grid g({5, 7, 3});
+  g.fill_random(11, -10.0, 10.0);
+  const std::string path = temp_path("sf_grid.bin");
+  io::write_raw(g, path);
+  const Grid back = io::read_raw(path);
+  EXPECT_EQ(back.shape(), g.shape());
+  EXPECT_TRUE(Grid::all_close(g, back, 0.0));  // bit-exact
+  fs::remove(path);
+}
+
+TEST(GridIo, RawRejectsGarbage) {
+  const std::string path = temp_path("sf_not_a_grid.bin");
+  {
+    std::ofstream out(path);
+    out << "hello world, definitely not a grid";
+  }
+  EXPECT_THROW(io::read_raw(path), Error);
+  fs::remove(path);
+  EXPECT_THROW(io::read_raw("/nonexistent/grid.bin"), Error);
+}
+
+TEST(GridIo, RawRejectsTruncated) {
+  Grid g({4, 4});
+  g.fill(1.0);
+  const std::string path = temp_path("sf_grid_trunc.bin");
+  io::write_raw(g, path);
+  fs::resize_file(path, fs::file_size(path) - 16);
+  EXPECT_THROW(io::read_raw(path), Error);
+  fs::remove(path);
+}
+
+TEST(GridIo, CsvLayout) {
+  Grid g({2, 3});
+  g.fill_with([](const Index& i) { return static_cast<double>(10 * i[0] + i[1]); });
+  const std::string path = temp_path("sf_grid.csv");
+  io::write_csv(g, path);
+  std::ifstream in(path);
+  std::string line1, line2;
+  std::getline(in, line1);
+  std::getline(in, line2);
+  EXPECT_EQ(line1, "0,1,2");
+  EXPECT_EQ(line2, "10,11,12");
+  fs::remove(path);
+  EXPECT_THROW(io::write_csv(Grid({2, 2, 2}), path), InvalidArgument);
+}
+
+TEST(GridIo, VtkHeader) {
+  Grid g({4, 6});  // rows=4 (y), cols=6 (x)
+  g.fill(1.5);
+  const std::string path = temp_path("sf_grid.vtk");
+  io::write_vtk(g, path, "temperature");
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_NE(content.find("DIMENSIONS 6 4 1"), std::string::npos);
+  EXPECT_NE(content.find("SCALARS temperature double 1"), std::string::npos);
+  EXPECT_NE(content.find("POINT_DATA 24"), std::string::npos);
+  fs::remove(path);
+}
+
+TEST(GridIo, VtkRejectsBadInputs) {
+  EXPECT_THROW(io::write_vtk(Grid({2, 2, 2, 2}), temp_path("x.vtk")),
+               InvalidArgument);
+  EXPECT_THROW(io::write_vtk(Grid({4}), temp_path("x.vtk"), "bad name"),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace snowflake

@@ -1,0 +1,63 @@
+#include "grid/grid_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace snowflake {
+namespace {
+
+TEST(GridSet, AddAndLookup) {
+  GridSet gs;
+  gs.add_zeros("mesh", {4, 4});
+  gs.add("rhs", Grid({4, 4}, 1.0));
+  EXPECT_TRUE(gs.contains("mesh"));
+  EXPECT_EQ(gs.at("rhs").sum(), 16.0);
+  EXPECT_THROW(gs.at("nope"), LookupError);
+}
+
+TEST(GridSet, NamesSorted) {
+  GridSet gs;
+  gs.add_zeros("zeta", {2});
+  gs.add_zeros("alpha", {2});
+  gs.add_zeros("mu", {2});
+  EXPECT_EQ(gs.names(), (std::vector<std::string>{"alpha", "mu", "zeta"}));
+}
+
+TEST(GridSet, ReplaceOnAdd) {
+  GridSet gs;
+  gs.add("g", Grid({2}, 1.0));
+  gs.add("g", Grid({3}, 2.0));
+  EXPECT_EQ(gs.at("g").size(), 3);
+  EXPECT_EQ(gs.size(), 1u);
+}
+
+TEST(GridSet, Remove) {
+  GridSet gs;
+  gs.add_zeros("g", {2});
+  gs.remove("g");
+  EXPECT_FALSE(gs.contains("g"));
+  EXPECT_THROW(gs.remove("g"), LookupError);
+}
+
+TEST(GridSet, SharedStorageAcrossSets) {
+  GridSet fine, pair;
+  fine.add_zeros("res", {6, 6});
+  pair.add_shared("fine_res", fine.share("res"));
+  pair.at("fine_res").at({2, 2}) = 9.0;
+  EXPECT_EQ(fine.at("res").at({2, 2}), 9.0);
+  EXPECT_EQ(fine.at("res").data(), pair.at("fine_res").data());
+}
+
+TEST(GridSet, ShareUnknownThrows) {
+  const GridSet gs;
+  EXPECT_THROW(gs.share("missing"), LookupError);
+}
+
+TEST(GridSet, EmptyNameRejected) {
+  GridSet gs;
+  EXPECT_THROW(gs.add_zeros("", {2}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace snowflake

@@ -1,0 +1,64 @@
+#include "grid/layout.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace snowflake {
+namespace {
+
+TEST(Layout, RowMajorStrides) {
+  const Layout layout({4, 5, 6});
+  EXPECT_EQ(layout.rank(), 3);
+  EXPECT_EQ(layout.size(), 120);
+  EXPECT_EQ(layout.strides(), (Index{30, 6, 1}));
+}
+
+TEST(Layout, OffsetAndUnflattenInverse) {
+  const Layout layout({3, 4, 5});
+  std::int64_t flat = 0;
+  for (std::int64_t i = 0; i < 3; ++i) {
+    for (std::int64_t j = 0; j < 4; ++j) {
+      for (std::int64_t k = 0; k < 5; ++k) {
+        EXPECT_EQ(layout.offset({i, j, k}), flat);
+        EXPECT_EQ(layout.unflatten(flat), (Index{i, j, k}));
+        ++flat;
+      }
+    }
+  }
+}
+
+TEST(Layout, LastDimContiguous) {
+  const Layout layout({7, 9});
+  EXPECT_EQ(layout.offset({2, 3}) + 1, layout.offset({2, 4}));
+}
+
+TEST(Layout, Contains) {
+  const Layout layout({2, 3});
+  EXPECT_TRUE(layout.contains({0, 0}));
+  EXPECT_TRUE(layout.contains({1, 2}));
+  EXPECT_FALSE(layout.contains({2, 0}));
+  EXPECT_FALSE(layout.contains({0, 3}));
+  EXPECT_FALSE(layout.contains({-1, 0}));
+  EXPECT_FALSE(layout.contains({0}));  // rank mismatch
+}
+
+TEST(Layout, Rank1) {
+  const Layout layout({10});
+  EXPECT_EQ(layout.size(), 10);
+  EXPECT_EQ(layout.offset({7}), 7);
+}
+
+TEST(Layout, RejectsBadShapes) {
+  EXPECT_THROW(Layout({0}), InvalidArgument);
+  EXPECT_THROW(Layout({4, -1}), InvalidArgument);
+  EXPECT_THROW(Layout(Index{}), InvalidArgument);
+}
+
+TEST(Layout, Equality) {
+  EXPECT_EQ(Layout({2, 3}), Layout({2, 3}));
+  EXPECT_FALSE(Layout({2, 3}) == Layout({3, 2}));
+}
+
+}  // namespace
+}  // namespace snowflake

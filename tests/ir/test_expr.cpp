@@ -1,0 +1,93 @@
+#include "ir/expr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace snowflake {
+namespace {
+
+TEST(Expr, BuildersAndKinds) {
+  EXPECT_EQ(constant(1.0)->kind(), ExprKind::Constant);
+  EXPECT_EQ(param("h2inv")->kind(), ExprKind::Param);
+  EXPECT_EQ(read("mesh", {0, 0})->kind(), ExprKind::GridRead);
+  EXPECT_EQ((constant(1.0) + constant(2.0))->kind(), ExprKind::Binary);
+  EXPECT_EQ((-constant(1.0))->kind(), ExprKind::Unary);
+}
+
+TEST(Expr, StructuralEquality) {
+  const ExprPtr a = read("x", {1, 0}) * 2.0 + param("w");
+  const ExprPtr b = read("x", {1, 0}) * 2.0 + param("w");
+  const ExprPtr c = read("x", {0, 1}) * 2.0 + param("w");
+  EXPECT_TRUE(expr_equal(a, b));
+  EXPECT_FALSE(expr_equal(a, c));
+  EXPECT_EQ(expr_hash(a), expr_hash(b));
+  EXPECT_NE(expr_hash(a), expr_hash(c));
+}
+
+TEST(Expr, HashDistinguishesOperators) {
+  EXPECT_NE(expr_hash(constant(1.0) + constant(2.0)),
+            expr_hash(constant(1.0) - constant(2.0)));
+  EXPECT_NE(expr_hash(constant(1.0) * constant(2.0)),
+            expr_hash(constant(1.0) / constant(2.0)));
+}
+
+TEST(Expr, HashDistinguishesShapeOfTree) {
+  // (a+b)+c vs a+(b+c): structurally different.
+  const ExprPtr a = constant(1.0), b = constant(2.0), c = constant(3.0);
+  EXPECT_NE(expr_hash((a + b) + c), expr_hash(a + (b + c)));
+}
+
+TEST(Expr, CollectReads) {
+  const ExprPtr e = read("x", {1}) + read("y", {0}) * read("x", {-1});
+  const auto reads = collect_reads(e);
+  ASSERT_EQ(reads.size(), 3u);
+  EXPECT_EQ(grids_read(e), (std::set<std::string>{"x", "y"}));
+}
+
+TEST(Expr, ParamsUsed) {
+  const ExprPtr e = param("alpha") * read("x", {0}) + param("beta");
+  EXPECT_EQ(params_used(e), (std::set<std::string>{"alpha", "beta"}));
+}
+
+TEST(Expr, RankConsistency) {
+  EXPECT_EQ(expr_rank(read("x", {0, 0}) + read("y", {1, 1})), 2);
+  EXPECT_EQ(expr_rank(constant(5.0)), 0);  // no reads
+  EXPECT_THROW(expr_rank(read("x", {0}) + read("y", {1, 1})), InvalidArgument);
+}
+
+TEST(Expr, ScalarOperatorOverloads) {
+  const ExprPtr e = 2.0 * read("x", {0}) + 1.0;
+  EXPECT_EQ(e->to_string(), "((2.0 * x(i0)) + 1.0)");
+  const ExprPtr f = read("x", {0}) / 4.0 - 1.0;
+  EXPECT_EQ(f->to_string(), "((x(i0) / 4.0) - 1.0)");
+}
+
+TEST(Expr, ToStringForms) {
+  EXPECT_EQ(param("w")->to_string(), "$w");
+  EXPECT_EQ(read("mesh", {1, -1})->to_string(), "mesh(i0+1, i1-1)");
+  EXPECT_EQ((-read("x", {0}))->to_string(), "(-x(i0))");
+}
+
+TEST(Expr, InvalidNamesRejected) {
+  EXPECT_THROW(read("2bad", {0}), InvalidArgument);
+  EXPECT_THROW(param("has space"), InvalidArgument);
+}
+
+TEST(Expr, IsConstant) {
+  EXPECT_TRUE(is_constant(constant(0.0), 0.0));
+  EXPECT_FALSE(is_constant(constant(1.0), 0.0));
+  EXPECT_FALSE(is_constant(read("x", {0}), 0.0));
+  EXPECT_FALSE(is_constant(nullptr, 0.0));
+}
+
+TEST(Expr, SharedSubexpressions) {
+  // The paper's Figure 4 relies on reusing component expressions.
+  const ExprPtr beta = read("beta_x", {0, 0});
+  const ExprPtr e = beta * read("x", {1, 0}) + beta * read("x", {-1, 0});
+  EXPECT_EQ(collect_reads(e).size(), 4u);
+  EXPECT_EQ(grids_read(e), (std::set<std::string>{"beta_x", "x"}));
+}
+
+}  // namespace
+}  // namespace snowflake

@@ -1,0 +1,69 @@
+#include "ir/index_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace snowflake {
+namespace {
+
+TEST(IndexMap, OffsetMap) {
+  const IndexMap m = IndexMap::offset({1, -2, 0});
+  EXPECT_TRUE(m.is_pure_offset());
+  EXPECT_FALSE(m.is_identity());
+  EXPECT_EQ(m.pure_offsets(), (Index{1, -2, 0}));
+  EXPECT_EQ(m.apply({5, 5, 5}), (Index{6, 3, 5}));
+}
+
+TEST(IndexMap, Identity) {
+  const IndexMap m = IndexMap::identity(2);
+  EXPECT_TRUE(m.is_identity());
+  EXPECT_TRUE(m.is_pure_offset());
+  EXPECT_EQ(m.apply({3, 4}), (Index{3, 4}));
+}
+
+TEST(IndexMap, ScaleForRestriction) {
+  // Restriction reads fine at 2i-1.
+  const IndexMap m = IndexMap::scale({2, 2}, {-1, -1});
+  EXPECT_FALSE(m.is_pure_offset());
+  EXPECT_EQ(m.apply({1, 1}), (Index{1, 1}));
+  EXPECT_EQ(m.apply({3, 2}), (Index{5, 3}));
+}
+
+TEST(IndexMap, DivideForInterpolation) {
+  // Odd fine points read coarse (i+1)/2.
+  const IndexMap m = IndexMap::divide({2, 2}, {1, 1});
+  EXPECT_EQ(m.apply({1, 3}), (Index{1, 2}));
+  EXPECT_EQ(m.apply({7, 1}), (Index{4, 1}));
+}
+
+TEST(IndexMap, InexactDivisionAsserts) {
+  const IndexMap m = IndexMap::divide({2}, {0});
+  EXPECT_THROW(m.apply({3}), InternalError);  // 3/2 is not exact
+}
+
+TEST(IndexMap, Equality) {
+  EXPECT_EQ(IndexMap::offset({1, 0}), IndexMap::offset({1, 0}));
+  EXPECT_FALSE(IndexMap::offset({1, 0}) == IndexMap::offset({0, 1}));
+  EXPECT_FALSE(IndexMap::offset({1}) == IndexMap::scale({2}, {1}));
+}
+
+TEST(IndexMap, ToStringReadable) {
+  EXPECT_EQ(IndexMap::offset({0, 1, -1}).to_string(), "(i0, i1+1, i2-1)");
+  EXPECT_EQ(IndexMap::scale({2}, {-1}).to_string(), "((2*i0-1))");
+  EXPECT_EQ(IndexMap::divide({2}, {1}).to_string(), "((i0+1)/2)");
+}
+
+TEST(IndexMap, InvalidParamsRejected) {
+  EXPECT_THROW(IndexMap({DimMap{0, 0, 1}}), InvalidArgument);
+  EXPECT_THROW(IndexMap({DimMap{1, 0, 0}}), InvalidArgument);
+  EXPECT_THROW(IndexMap(std::vector<DimMap>{}), InvalidArgument);
+  EXPECT_THROW(IndexMap::identity(0), InvalidArgument);
+}
+
+TEST(IndexMap, ApplyRankMismatch) {
+  EXPECT_THROW(IndexMap::identity(2).apply({1}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace snowflake

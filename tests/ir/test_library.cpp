@@ -1,0 +1,140 @@
+#include "ir/stencil_library.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ir/validate.hpp"
+#include "support/error.hpp"
+
+namespace snowflake {
+namespace {
+
+using namespace snowflake::lib;
+
+ShapeMap level_shapes(int rank, std::int64_t box) {
+  ShapeMap shapes;
+  const Index shape(static_cast<size_t>(rank), box);
+  for (const std::string g : {"x", "rhs", "out", "lambda_inv", "dinv"}) {
+    shapes[g] = shape;
+  }
+  for (int d = 0; d < rank; ++d) shapes[beta_name("beta", d)] = shape;
+  return shapes;
+}
+
+TEST(Library, AxisNames) {
+  EXPECT_EQ(axis_name(0), "x");
+  EXPECT_EQ(axis_name(2), "z");
+  EXPECT_EQ(beta_name("beta", 1), "beta_y");
+  EXPECT_THROW(axis_name(6), InvalidArgument);
+}
+
+TEST(Library, CcLaplacianStructure) {
+  const ExprPtr e = cc_laplacian_expr(3, "x");
+  EXPECT_EQ(collect_reads(e).size(), 7u);  // centre + 6 neighbours
+  EXPECT_EQ(expr_rank(e), 3);
+}
+
+TEST(Library, CcApplyValidates) {
+  for (int rank : {1, 2, 3, 4}) {
+    const Stencil s = cc_apply(rank, "x", "out");
+    EXPECT_NO_THROW(validate_resolved(s, level_shapes(rank, 6))) << rank;
+    EXPECT_EQ(s.params(), (std::set<std::string>{"h2inv"}));
+  }
+}
+
+TEST(Library, JacobiIsOutOfPlace) {
+  const Stencil s = cc_jacobi(3, "x", "rhs", "dinv", "out");
+  EXPECT_FALSE(s.is_in_place());
+  EXPECT_EQ(s.inputs(), (std::set<std::string>{"dinv", "rhs", "x"}));
+  EXPECT_EQ(s.params(), (std::set<std::string>{"h2inv", "weight"}));
+  EXPECT_NO_THROW(validate_resolved(s, level_shapes(3, 6)));
+}
+
+TEST(Library, GsrbSweepIsInPlaceAndColored) {
+  const Stencil red = vc_gsrb_sweep(3, "x", "rhs", "lambda_inv", "beta", 0);
+  EXPECT_TRUE(red.is_in_place());
+  EXPECT_EQ(red.domain().rect_count(), 4u);
+  EXPECT_EQ(red.inputs().count("beta_z"), 1u);
+  EXPECT_NO_THROW(validate_resolved(red, level_shapes(3, 6)));
+}
+
+TEST(Library, VcResidualReadsAllCoefficients) {
+  const Stencil s = vc_residual(2, "x", "rhs", "out", "beta");
+  EXPECT_EQ(s.inputs(),
+            (std::set<std::string>{"beta_x", "beta_y", "rhs", "x"}));
+  EXPECT_NO_THROW(validate_resolved(s, level_shapes(2, 8)));
+}
+
+TEST(Library, LambdaSetup) {
+  const Stencil s = vc_lambda_setup(2, "lambda_inv", "beta");
+  EXPECT_EQ(s.output(), "lambda_inv");
+  EXPECT_NO_THROW(validate_resolved(s, level_shapes(2, 8)));
+}
+
+TEST(Library, DirichletBoundaryCount) {
+  for (int rank : {1, 2, 3}) {
+    const StencilGroup g = dirichlet_boundary(rank, "x");
+    EXPECT_EQ(g.size(), static_cast<size_t>(2 * rank));
+    for (const auto& s : g.stencils()) {
+      EXPECT_TRUE(s.is_in_place());  // writes ghosts of the same grid
+    }
+  }
+}
+
+TEST(Library, RestrictionUsesMultiplicativeMaps) {
+  const Stencil r = restriction_fw(2, "fine", "coarse");
+  for (const auto* gr : collect_reads(r.expr())) {
+    for (const auto& d : gr->map().dims()) {
+      EXPECT_EQ(d.num, 2);
+      EXPECT_EQ(d.den, 1);
+    }
+  }
+  EXPECT_EQ(collect_reads(r.expr()).size(), 4u);  // 2^rank corners
+}
+
+TEST(Library, InterpolationOneStencilPerParity) {
+  for (int rank : {1, 2, 3}) {
+    EXPECT_EQ(interpolation_pc(rank, "c", "f", true).size(),
+              static_cast<size_t>(1) << rank);
+    EXPECT_EQ(interpolation_pl(rank, "c", "f", false).size(),
+              static_cast<size_t>(1) << rank);
+  }
+}
+
+TEST(Library, InterpolationValidatesCrossShape) {
+  ShapeMap shapes{{"f", {10, 10}}, {"c", {6, 6}}};
+  const StencilGroup pc = interpolation_pc(2, "c", "f", true);
+  for (const auto& s : pc.stencils()) {
+    EXPECT_NO_THROW(validate_resolved(s, shapes)) << s.to_string();
+  }
+  const StencilGroup pl = interpolation_pl(2, "c", "f", false);
+  for (const auto& s : pl.stencils()) {
+    EXPECT_NO_THROW(validate_resolved(s, shapes)) << s.to_string();
+  }
+}
+
+TEST(Library, InterpolationPlWeightsSumToOne) {
+  // Each parity stencil's constant weights must total 1 (partition of
+  // unity) — collect the multipliers.
+  const StencilGroup pl = interpolation_pl(2, "c", "f", false);
+  for (const auto& s : pl.stencils()) {
+    double sum = 0.0;
+    visit(s.expr(), [&](const Expr& e) {
+      if (e.kind() == ExprKind::Constant) {
+        sum += static_cast<const ConstantExpr&>(e).value();
+      }
+    });
+    EXPECT_NEAR(sum, 1.0, 1e-12) << s.to_string();
+  }
+}
+
+TEST(Library, AxpbyAndZeroFill) {
+  EXPECT_NO_THROW(validate_resolved(axpby(2, 2.0, "x", -1.0, "rhs", "out"),
+                                    level_shapes(2, 8)));
+  const Stencil z = zero_fill(2, "x");
+  // zero_fill covers the whole box including ghosts.
+  const ResolvedUnion dom = z.domain().resolve({8, 8});
+  EXPECT_EQ(dom.count_with_multiplicity(), 64);
+}
+
+}  // namespace
+}  // namespace snowflake

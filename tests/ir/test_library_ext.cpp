@@ -1,0 +1,210 @@
+// Extended operator set: higher-order (radius-2) Laplacian, the 9-point
+// operator with 4-color Gauss-Seidel, Neumann and quadratic-Dirichlet
+// boundaries.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/dependence.hpp"
+#include "support/error.hpp"
+#include "backend/reference/reference_backend.hpp"
+#include "domain/domain_algebra.hpp"
+#include "ir/stencil_library.hpp"
+#include "ir/validate.hpp"
+
+namespace snowflake {
+namespace {
+
+using namespace snowflake::lib;
+
+TEST(LibraryExt, InteriorMargin) {
+  const ResolvedUnion dom = interior_margin(2, 2).resolve({10, 10});
+  EXPECT_EQ(count_distinct(dom), 6 * 6);
+  EXPECT_TRUE(dom.contains({2, 2}));
+  EXPECT_FALSE(dom.contains({1, 5}));
+}
+
+TEST(LibraryExt, Ho4ReadsRadiusTwoStar) {
+  const ExprPtr e = cc_laplacian_ho4_expr(3, "x");
+  EXPECT_EQ(collect_reads(e).size(), 13u);  // centre + 4 per dim
+  const Stencil s = cc_apply_ho4(3, "x", "out");
+  ShapeMap shapes{{"x", {8, 8, 8}}, {"out", {8, 8, 8}}};
+  EXPECT_NO_THROW(validate_resolved(s, shapes));
+  // Margin 1 would read out of bounds; the margin-2 domain is required.
+  const Stencil bad("bad", cc_laplacian_ho4_expr(3, "x"), "out", interior(3));
+  EXPECT_THROW(validate_resolved(bad, shapes), InvalidArgument);
+}
+
+TEST(LibraryExt, Ho4ExactOnQuadratics) {
+  // The 4th-order Laplacian reproduces ∇²(x²) = 2 exactly.
+  const std::int64_t n = 12;
+  const double h = 1.0 / n;
+  GridSet gs;
+  gs.add_zeros("x", {n + 2});
+  gs.add_zeros("out", {n + 2});
+  gs.at("x").fill_with([&](const Index& i) {
+    const double xc = (i[0] - 0.5) * h;
+    return xc * xc;
+  });
+  run_reference(StencilGroup(cc_apply_ho4(1, "x", "out")), gs,
+                {{"h2inv", 1.0 / (h * h)}});
+  // A = -lap, so out = -2 on the margin-2 interior.
+  for (std::int64_t i = 2; i < n; ++i) {
+    EXPECT_NEAR(gs.at("out")[i], -2.0, 1e-9) << i;
+  }
+}
+
+TEST(LibraryExt, Ho4ConvergenceOrder) {
+  // Truncation error of lap4 on sin(pi x) shrinks ~16x per mesh halving.
+  auto max_error = [](std::int64_t n) {
+    const double h = 1.0 / n;
+    GridSet gs;
+    gs.add_zeros("x", {n + 2});
+    gs.add_zeros("out", {n + 2});
+    gs.at("x").fill_with([&](const Index& i) {
+      return std::sin(M_PI * (i[0] - 0.5) * h);
+    });
+    run_reference(StencilGroup(cc_apply_ho4(1, "x", "out")), gs,
+                  {{"h2inv", 1.0 / (h * h)}});
+    double err = 0.0;
+    for (std::int64_t i = 2; i < n; ++i) {
+      const double exact = M_PI * M_PI * std::sin(M_PI * (i - 0.5) * h);
+      err = std::max(err, std::abs(gs.at("out")[i] - exact));
+    }
+    return err;
+  };
+  const double e16 = max_error(16);
+  const double e32 = max_error(32);
+  EXPECT_GT(e16 / e32, 12.0);  // ~16 for a 4th-order scheme
+  EXPECT_LT(e16 / e32, 20.0);
+}
+
+TEST(LibraryExt, NinePointWeightsSumToZero) {
+  const ExprPtr e = cc_laplacian_9pt_expr("x");
+  EXPECT_EQ(collect_reads(e).size(), 9u);
+  // Applying to a constant field gives zero.
+  GridSet gs;
+  gs.add_zeros("x", {8, 8}).fill(3.0);
+  gs.add_zeros("out", {8, 8});
+  run_reference(StencilGroup(Stencil(cc_laplacian_9pt_expr("x"), "out",
+                                     interior(2))),
+                gs);
+  EXPECT_NEAR(gs.at("out").at({3, 3}), 0.0, 1e-12);
+}
+
+TEST(LibraryExt, FourColorSweepSafeParityNot) {
+  // THE Figure 3b claim: the 9-point operator's diagonal reads make
+  // parity (red-black) coloring loop-carried, while each 2x2 product
+  // color class is provably parallel.
+  ShapeMap shapes{{"x", {12, 12}}, {"rhs", {12, 12}}};
+  for (int c = 0; c < 4; ++c) {
+    EXPECT_TRUE(point_parallel_safe(gs4_sweep_9pt("x", "rhs", c), shapes)) << c;
+  }
+  const Index zero{0, 0};
+  const ExprPtr ax =
+      constant(-1.0) * param("h2inv") * cc_laplacian_9pt_expr("x");
+  const Stencil parity("gs_rb_9pt",
+                       read("x", zero) +
+                           param("weight") * (read("rhs", zero) - ax),
+                       "x", colored_interior(2, 0));
+  EXPECT_FALSE(point_parallel_safe(parity, shapes));
+}
+
+TEST(LibraryExt, FourColorGaussSeidelConverges) {
+  const std::int64_t n = 12;
+  const double h2inv = static_cast<double>(n * n);
+  GridSet gs;
+  gs.add_zeros("x", {n + 2, n + 2});
+  gs.add_zeros("rhs", {n + 2, n + 2}).fill(1.0);
+  gs.add_zeros("res", {n + 2, n + 2});
+
+  StencilGroup smoother;
+  for (int c = 0; c < 4; ++c) {
+    smoother.append(dirichlet_boundary(2, "x"));
+    smoother.append(gs4_sweep_9pt("x", "rhs", c));
+  }
+  StencilGroup res_group;
+  res_group.append(dirichlet_boundary(2, "x"));
+  res_group.append(Stencil("res9",
+                           read("rhs", {0, 0}) +
+                               param("h2inv") * cc_laplacian_9pt_expr("x"),
+                           "res", interior(2)));
+
+  const ParamMap params{{"h2inv", h2inv}, {"weight", 1.0}};
+  run_reference(res_group, gs, params);
+  const double r0 = gs.at("res").norm_max();
+  for (int it = 0; it < 150; ++it) run_reference(smoother, gs, params);
+  run_reference(res_group, gs, params);
+  EXPECT_LT(gs.at("res").norm_max(), 1e-3 * r0);
+}
+
+TEST(LibraryExt, NeumannReflectsInward) {
+  GridSet gs;
+  gs.add_zeros("x", {5, 5}).fill_random(3, -1.0, 1.0);
+  const Grid before = gs.at("x");
+  run_reference(neumann_boundary(2, "x"), gs);
+  EXPECT_DOUBLE_EQ(gs.at("x").at({0, 2}), before.at({1, 2}));
+  EXPECT_DOUBLE_EQ(gs.at("x").at({4, 3}), before.at({3, 3}));
+  EXPECT_DOUBLE_EQ(gs.at("x").at({2, 0}), before.at({2, 1}));
+}
+
+TEST(LibraryExt, NeumannKeepsConstantsInNullSpace) {
+  // With zero-flux boundaries a constant field has zero Laplacian
+  // everywhere, including boundary-adjacent cells.
+  const std::int64_t n = 6;
+  GridSet gs;
+  gs.add_zeros("x", {n + 2, n + 2}).fill(5.0);
+  gs.add_zeros("out", {n + 2, n + 2});
+  StencilGroup g;
+  g.append(neumann_boundary(2, "x"));
+  g.append(cc_apply(2, "x", "out"));
+  run_reference(g, gs, {{"h2inv", 36.0}});
+  for (std::int64_t i = 1; i <= n; ++i) {
+    for (std::int64_t j = 1; j <= n; ++j) {
+      EXPECT_NEAR(gs.at("out").at({i, j}), 0.0, 1e-12);
+    }
+  }
+}
+
+TEST(LibraryExt, QuadraticDirichletExactForLinear) {
+  // u = x vanishing at the face: ghost centre value is exactly -h/2.
+  const std::int64_t n = 8;
+  const double h = 1.0 / n;
+  GridSet gs;
+  gs.add_zeros("x", {n + 2});
+  gs.at("x").fill_with([&](const Index& i) { return (i[0] - 0.5) * h; });
+  run_reference(StencilGroup(dirichlet_quadratic_face(1, "x", 0, false)), gs);
+  EXPECT_NEAR(gs.at("x")[0], -0.5 * h, 1e-14);
+}
+
+TEST(LibraryExt, QuadraticDirichletExactForParabola) {
+  // u = x² (vanishing at the face with zero slope... no: value 0): ghost
+  // = (-h/2)² = h²/4 exactly, which the linear BC gets wrong.
+  const std::int64_t n = 8;
+  const double h = 1.0 / n;
+  GridSet quad, lin;
+  quad.add_zeros("x", {n + 2});
+  quad.at("x").fill_with([&](const Index& i) {
+    const double xc = (i[0] - 0.5) * h;
+    return xc * xc;
+  });
+  lin.add("x", quad.at("x"));
+  run_reference(StencilGroup(dirichlet_quadratic_face(1, "x", 0, false)), quad);
+  run_reference(StencilGroup(dirichlet_face(1, "x", 0, false)), lin);
+  const double exact = 0.25 * h * h;
+  EXPECT_NEAR(quad.at("x")[0], exact, 1e-14);
+  EXPECT_GT(std::abs(lin.at("x")[0] - exact), 1e-4);  // linear BC is O(h²) off
+}
+
+TEST(LibraryExt, BoundaryVariantsValidate) {
+  for (int rank : {1, 2, 3}) {
+    ShapeMap shapes{{"x", Index(static_cast<size_t>(rank), 8)}};
+    validate_group(neumann_boundary(rank, "x"), shapes);
+    validate_group(dirichlet_quadratic_boundary(rank, "x"), shapes);
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace snowflake

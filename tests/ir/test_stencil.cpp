@@ -1,0 +1,87 @@
+#include "ir/stencil.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ir/stencil_library.hpp"
+#include "support/error.hpp"
+
+namespace snowflake {
+namespace {
+
+Stencil simple_stencil() {
+  return Stencil("avg", 0.5 * (read("x", {1}) + read("x", {-1})), "out",
+                 RectDomain({1}, {-1}));
+}
+
+TEST(Stencil, Accessors) {
+  const Stencil s = simple_stencil();
+  EXPECT_EQ(s.name(), "avg");
+  EXPECT_EQ(s.output(), "out");
+  EXPECT_EQ(s.rank(), 1);
+  EXPECT_FALSE(s.is_in_place());
+  EXPECT_EQ(s.inputs(), (std::set<std::string>{"x"}));
+  EXPECT_EQ(s.grids(), (std::set<std::string>{"out", "x"}));
+}
+
+TEST(Stencil, InPlaceDetection) {
+  const Stencil s("gs", read("x", {0}) + read("x", {1}), "x",
+                  RectDomain({1}, {-1}));
+  EXPECT_TRUE(s.is_in_place());
+}
+
+TEST(Stencil, Params) {
+  const Stencil s("p", param("w") * read("x", {0}), "out",
+                  RectDomain({1}, {-1}));
+  EXPECT_EQ(s.params(), (std::set<std::string>{"w"}));
+}
+
+TEST(Stencil, StructuralHashStable) {
+  EXPECT_EQ(simple_stencil().structural_hash(),
+            simple_stencil().structural_hash());
+  const Stencil other("avg", 0.5 * (read("x", {1}) + read("x", {-1})), "out",
+                      RectDomain({1}, {-1}, {2}));
+  EXPECT_NE(simple_stencil().structural_hash(), other.structural_hash());
+}
+
+TEST(Stencil, NullExprRejected) {
+  EXPECT_THROW(Stencil(nullptr, "out", RectDomain({0}, {1})), InvalidArgument);
+}
+
+TEST(Stencil, EmptyDomainRejected) {
+  EXPECT_THROW(Stencil(constant(0.0), "out", DomainUnion()), InvalidArgument);
+}
+
+TEST(StencilGroup, AppendAndAccess) {
+  StencilGroup g;
+  g.append(simple_stencil());
+  g.append(lib::dirichlet_boundary(1, "out"));
+  EXPECT_EQ(g.size(), 3u);  // avg + 2 faces
+  EXPECT_EQ(g[0].name(), "avg");
+}
+
+TEST(StencilGroup, GridsAndParamsUnion) {
+  StencilGroup g;
+  g.append(Stencil(param("a") * read("x", {0}), "y", RectDomain({1}, {-1})));
+  g.append(Stencil(param("b") * read("y", {0}), "z", RectDomain({1}, {-1})));
+  EXPECT_EQ(g.grids(), (std::set<std::string>{"x", "y", "z"}));
+  EXPECT_EQ(g.params(), (std::set<std::string>{"a", "b"}));
+}
+
+TEST(StencilGroup, RankChecked) {
+  StencilGroup g;
+  g.append(simple_stencil());
+  g.append(Stencil(read("m", {0, 0}), "m2", RectDomain({1, 1}, {-1, -1})));
+  EXPECT_THROW(g.rank(), InvalidArgument);
+}
+
+TEST(StencilGroup, HashOrderSensitive) {
+  const Stencil a = simple_stencil();
+  const Stencil b("b", read("y", {0}), "out", RectDomain({1}, {-1}));
+  StencilGroup ab, ba;
+  ab.append(a).append(b);
+  ba.append(b).append(a);
+  EXPECT_NE(ab.structural_hash(), ba.structural_hash());
+}
+
+}  // namespace
+}  // namespace snowflake

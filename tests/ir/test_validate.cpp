@@ -1,0 +1,100 @@
+#include "ir/validate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "grid/grid_set.hpp"
+#include "ir/stencil_library.hpp"
+#include "support/error.hpp"
+
+namespace snowflake {
+namespace {
+
+ShapeMap shapes_1d(std::int64_t n) { return {{"x", {n}}, {"out", {n}}}; }
+
+TEST(Validate, RankMismatchExprVsDomain) {
+  const Stencil s(read("x", {0, 0}), "out", RectDomain({1}, {-1}));
+  EXPECT_THROW(validate_stencil(s), InvalidArgument);
+}
+
+TEST(Validate, AcceptsInBoundsStencil) {
+  const Stencil s(read("x", {1}) + read("x", {-1}), "out",
+                  RectDomain({1}, {-1}));
+  EXPECT_NO_THROW(validate_resolved(s, shapes_1d(10)));
+}
+
+TEST(Validate, RejectsOutOfBoundsRead) {
+  // Domain touches cell 0 whose west neighbour is -1.
+  const Stencil s(read("x", {-1}), "out", RectDomain({0}, {-1}));
+  EXPECT_THROW(validate_resolved(s, shapes_1d(10)), InvalidArgument);
+}
+
+TEST(Validate, RejectsReadPastEnd) {
+  const Stencil s(read("x", {2}), "out", RectDomain({1}, {-1}));
+  EXPECT_THROW(validate_resolved(s, shapes_1d(10)), InvalidArgument);
+  // But a domain ending two early is fine.
+  const Stencil ok(read("x", {2}), "out", RectDomain({1}, {-2}));
+  EXPECT_NO_THROW(validate_resolved(ok, shapes_1d(10)));
+}
+
+TEST(Validate, MissingGridShape) {
+  const Stencil s(read("q", {0}), "out", RectDomain({1}, {-1}));
+  EXPECT_THROW(validate_resolved(s, shapes_1d(10)), LookupError);
+}
+
+TEST(Validate, OutputRankMismatch) {
+  const Stencil s(read("x", {0}), "out", RectDomain({1}, {-1}));
+  ShapeMap shapes{{"x", {10}}, {"out", {10, 10}}};
+  EXPECT_THROW(validate_resolved(s, shapes), InvalidArgument);
+}
+
+TEST(Validate, DivisibilityOfIndexMaps) {
+  // Interpolation-style read over an odd-strided domain divides exactly...
+  const Stencil ok(read_mapped("c", IndexMap::divide({2}, {1})), "f",
+                   RectDomain({1}, {-1}, {2}));
+  ShapeMap shapes{{"f", {10}}, {"c", {6}}};
+  EXPECT_NO_THROW(validate_resolved(ok, shapes));
+  // ...but over a unit-stride domain it does not.
+  const Stencil bad(read_mapped("c", IndexMap::divide({2}, {1})), "f",
+                    RectDomain({1}, {-1}, {1}));
+  EXPECT_THROW(validate_resolved(bad, shapes), InvalidArgument);
+}
+
+TEST(Validate, CrossShapeRestriction) {
+  // Coarse 6 (4 interior), fine 10 (8 interior): reads 2i-1+c stay inside.
+  const Stencil r = lib::restriction_fw(1, "fine", "coarse");
+  ShapeMap shapes{{"fine", {10}}, {"coarse", {6}}};
+  EXPECT_NO_THROW(validate_resolved(r, shapes));
+  // A too-small fine grid is caught.
+  ShapeMap bad{{"fine", {8}}, {"coarse", {6}}};
+  EXPECT_THROW(validate_resolved(r, bad), InvalidArgument);
+}
+
+TEST(Validate, GroupValidatesEveryMember) {
+  StencilGroup g;
+  g.append(Stencil(read("x", {1}), "out", RectDomain({1}, {-1})));
+  g.append(Stencil(read("x", {-2}), "out", RectDomain({1}, {-1})));  // bad
+  EXPECT_THROW(validate_group(g, shapes_1d(10)), InvalidArgument);
+}
+
+TEST(Validate, ShapesOfGridSet) {
+  GridSet gs;
+  gs.add_zeros("a", {3, 4});
+  gs.add_zeros("b", {5});
+  const ShapeMap shapes = shapes_of(gs);
+  EXPECT_EQ(shapes.at("a"), (Index{3, 4}));
+  EXPECT_EQ(shapes.at("b"), (Index{5}));
+}
+
+TEST(Validate, BoundaryStencilsInBounds) {
+  // Ghost faces read one cell inward — valid on every shape >= 3.
+  const StencilGroup boundary = lib::dirichlet_boundary(2, "x");
+  for (std::int64_t n : {3, 8, 33}) {
+    ShapeMap shapes{{"x", {n, n}}};
+    for (const auto& s : boundary.stencils()) {
+      EXPECT_NO_THROW(validate_resolved(s, shapes)) << s.to_string();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace snowflake

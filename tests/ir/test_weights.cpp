@@ -1,0 +1,104 @@
+#include "ir/weights.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace snowflake {
+namespace {
+
+TEST(WeightArray, CenterAndOffsets) {
+  // 3x3 with center 1.0 and east neighbour 2.0.
+  const WeightArray w = WeightArray::from_values(
+      {3, 3}, {0, 0, 0, 0, 1.0, 2.0, 0, 0, 0});
+  EXPECT_EQ(w.center(), (Index{1, 1}));
+  EXPECT_TRUE(is_constant(w.at_offset({0, 0}), 1.0));
+  EXPECT_TRUE(is_constant(w.at_offset({0, 1}), 2.0));
+  EXPECT_EQ(w.at_offset({5, 5}), nullptr);  // outside
+}
+
+TEST(WeightArray, EntriesSkipZeros) {
+  const WeightArray w = WeightArray::from_values({3}, {0.5, 0, -0.5});
+  const auto entries = w.entries();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].first, (Index{-1}));
+  EXPECT_EQ(entries[1].first, (Index{1}));
+}
+
+TEST(WeightArray, EvenExtentRejected) {
+  EXPECT_THROW(WeightArray::from_values({2}, {1, 2}), InvalidArgument);
+}
+
+TEST(WeightArray, CountMismatchRejected) {
+  EXPECT_THROW(WeightArray::from_values({3}, {1, 2}), InvalidArgument);
+}
+
+TEST(WeightArray, Point) {
+  const WeightArray w = WeightArray::point(3, 2.0);
+  EXPECT_EQ(w.shape(), (Index{1, 1, 1}));
+  EXPECT_TRUE(is_constant(w.at_offset({0, 0, 0}), 2.0));
+}
+
+TEST(SparseArray, SetAndLookup) {
+  SparseArray s(2);
+  s.set({1, 0}, 2.0).set({-1, 0}, constant(3.0));
+  EXPECT_TRUE(is_constant(s.at({1, 0}), 2.0));
+  EXPECT_TRUE(is_constant(s.at({-1, 0}), 3.0));
+  EXPECT_EQ(s.at({0, 0}), nullptr);
+}
+
+TEST(SparseArray, AdditionMergesOffsets) {
+  SparseArray a(1), b(1);
+  a.set({0}, 1.0);
+  b.set({0}, 2.0);
+  b.set({1}, 5.0);
+  const SparseArray c = a + b;
+  EXPECT_EQ(c.entries().size(), 2u);
+  // Shared offset weights are summed symbolically: (1 + 2).
+  EXPECT_EQ(c.at({0})->to_string(), "(1.0 + 2.0)");
+  EXPECT_TRUE(is_constant(c.at({1}), 5.0));
+}
+
+TEST(SparseArray, Scaled) {
+  SparseArray s(1);
+  s.set({0}, 2.0);
+  const SparseArray t = s.scaled(3.0);
+  EXPECT_EQ(t.at({0})->to_string(), "(3.0 * 2.0)");
+}
+
+TEST(SparseArray, RoundTripThroughWeightArray) {
+  SparseArray s(2);
+  s.set({-1, 0}, 1.0).set({0, 0}, -4.0).set({1, 0}, 1.0).set({0, -1}, 1.0).set({0, 1}, 1.0);
+  const WeightArray w = s.to_weight_array();
+  EXPECT_EQ(w.shape(), (Index{3, 3}));
+  const SparseArray back = w.to_sparse();
+  EXPECT_EQ(back.entries().size(), 5u);
+  EXPECT_TRUE(is_constant(back.at({0, 0}), -4.0));
+}
+
+TEST(Component, ExpandsToWeightedSum) {
+  // 1D [1, -2, 1] second-difference component.
+  const ExprPtr e = component("x", WeightArray::from_values({3}, {1, -2, 1}));
+  EXPECT_EQ(grids_read(e), (std::set<std::string>{"x"}));
+  EXPECT_EQ(collect_reads(e).size(), 3u);
+  // Unit weights elide the multiply.
+  EXPECT_EQ(e->to_string(), "((x(i0-1) + (-2.0 * x(i0))) + x(i0+1))");
+}
+
+TEST(Component, ExpressionWeights) {
+  // Variable-coefficient: weights are themselves grid reads (Figure 4).
+  SparseArray s(1);
+  s.set({1}, read("beta", {1}));
+  s.set({-1}, read("beta", {0}));
+  const ExprPtr e = component("x", s);
+  EXPECT_EQ(grids_read(e), (std::set<std::string>{"beta", "x"}));
+}
+
+TEST(Component, EmptyRejected) {
+  EXPECT_THROW(component("x", SparseArray(1)), InvalidArgument);
+  EXPECT_THROW(component("x", WeightArray::from_values({3}, {0, 0, 0})),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace snowflake

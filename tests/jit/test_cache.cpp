@@ -1,0 +1,83 @@
+#include "jit/cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+namespace snowflake {
+namespace {
+
+namespace fs = std::filesystem;
+
+class CacheTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    dir_ = (fs::temp_directory_path() / "sf_cache_test").string();
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+  std::string dir_;
+};
+
+const char* kSource =
+    "void sf_kernel(double** grids, const double* params) {\n"
+    "  (void)params; grids[0][0] += 1.0;\n"
+    "}\n";
+
+TEST_F(CacheTest, CompileThenMemoryHit) {
+  KernelCache cache(dir_);
+  const Toolchain tc;
+  auto m1 = cache.get_or_compile(kSource, tc);
+  EXPECT_EQ(cache.stats().compiles, 1u);
+  auto m2 = cache.get_or_compile(kSource, tc);
+  EXPECT_EQ(m1.get(), m2.get());
+  EXPECT_EQ(cache.stats().memory_hits, 1u);
+  EXPECT_EQ(cache.stats().compiles, 1u);
+}
+
+TEST_F(CacheTest, DiskHitAcrossCacheInstances) {
+  const Toolchain tc;
+  {
+    KernelCache first(dir_);
+    first.get_or_compile(kSource, tc);
+    EXPECT_EQ(first.stats().compiles, 1u);
+  }
+  KernelCache second(dir_);
+  second.get_or_compile(kSource, tc);
+  EXPECT_EQ(second.stats().disk_hits, 1u);
+  EXPECT_EQ(second.stats().compiles, 0u);
+}
+
+TEST_F(CacheTest, DifferentSourceDifferentEntry) {
+  KernelCache cache(dir_);
+  const Toolchain tc;
+  auto a = cache.get_or_compile(kSource, tc);
+  auto b = cache.get_or_compile(
+      "void sf_kernel(double** grids, const double* params) {\n"
+      "  (void)params; grids[0][0] += 2.0;\n"
+      "}\n",
+      tc);
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_EQ(cache.stats().compiles, 2u);
+}
+
+TEST_F(CacheTest, FlagsPartOfKey) {
+  KernelCache cache(dir_);
+  ToolchainConfig omp_cfg;
+  omp_cfg.openmp = true;
+  auto a = cache.get_or_compile(kSource, Toolchain{});
+  auto b = cache.get_or_compile(kSource, Toolchain{omp_cfg});
+  EXPECT_NE(a.get(), b.get());
+}
+
+TEST_F(CacheTest, LoadedModuleIsCallable) {
+  KernelCache cache(dir_);
+  auto module = cache.get_or_compile(kSource, Toolchain{});
+  double cell = 1.0;
+  double* grids[] = {&cell};
+  module->kernel("sf_kernel")(grids, nullptr);
+  EXPECT_EQ(cell, 2.0);
+}
+
+}  // namespace
+}  // namespace snowflake

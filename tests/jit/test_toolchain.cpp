@@ -1,0 +1,87 @@
+#include "jit/toolchain.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+
+#include "jit/module.hpp"
+#include "support/error.hpp"
+
+namespace snowflake {
+namespace {
+
+std::string temp_so_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(Toolchain, DiscoversACompiler) {
+  const Toolchain tc;
+  ASSERT_TRUE(tc.available()) << "tests require a host C compiler";
+  EXPECT_FALSE(tc.compiler().empty());
+}
+
+TEST(Toolchain, FingerprintMentionsFlags) {
+  ToolchainConfig cfg;
+  cfg.openmp = true;
+  const Toolchain tc(cfg);
+  EXPECT_NE(tc.flags_fingerprint().find("-fopenmp"), std::string::npos);
+  EXPECT_NE(tc.flags_fingerprint().find("-O3"), std::string::npos);
+  const Toolchain plain;
+  EXPECT_EQ(plain.flags_fingerprint().find("-fopenmp"), std::string::npos);
+}
+
+TEST(Toolchain, CompileLoadCall) {
+  const Toolchain tc;
+  const std::string so = temp_so_path("sf_test_toolchain.so");
+  tc.compile_shared_object(
+      "void sf_kernel(double** grids, const double* params) {\n"
+      "  (void)params; grids[0][0] = 42.0;\n"
+      "}\n",
+      so);
+  const Module module(so);
+  double cell = 0.0;
+  double* grid = &cell;
+  double* grids[] = {grid};
+  module.kernel("sf_kernel")(grids, nullptr);
+  EXPECT_EQ(cell, 42.0);
+  std::filesystem::remove(so);
+}
+
+TEST(Toolchain, CompileErrorCarriesDiagnostics) {
+  const Toolchain tc;
+  const std::string so = temp_so_path("sf_test_toolchain_bad.so");
+  try {
+    tc.compile_shared_object("this is not C\n", so);
+    FAIL() << "expected ToolchainError";
+  } catch (const ToolchainError& e) {
+    EXPECT_NE(std::string(e.what()).find("JIT compilation failed"),
+              std::string::npos);
+  }
+}
+
+TEST(Toolchain, MissingCompilerThrows) {
+  ToolchainConfig cfg;
+  cfg.compiler = "/nonexistent/definitely_not_cc";
+  const Toolchain tc(cfg);
+  EXPECT_TRUE(tc.available());  // configured explicitly
+  EXPECT_THROW(
+      tc.compile_shared_object("int x;", temp_so_path("sf_nope.so")),
+      ToolchainError);
+}
+
+TEST(Module, MissingSymbolThrows) {
+  const Toolchain tc;
+  const std::string so = temp_so_path("sf_test_symbols.so");
+  tc.compile_shared_object("int sf_something = 1;\n", so);
+  const Module module(so);
+  EXPECT_THROW(module.kernel("sf_kernel"), ToolchainError);
+  std::filesystem::remove(so);
+}
+
+TEST(Module, OpenBogusPathThrows) {
+  EXPECT_THROW(Module("/nonexistent/lib.so"), ToolchainError);
+}
+
+}  // namespace
+}  // namespace snowflake

@@ -1,0 +1,84 @@
+#include "multigrid/operators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "backend/reference/reference_backend.hpp"
+#include "multigrid/solver.hpp"
+
+namespace snowflake::mg {
+namespace {
+
+Solver::Config small_config(int rank, std::int64_t n) {
+  Solver::Config cfg;
+  cfg.problem.rank = rank;
+  cfg.problem.n = n;
+  cfg.backend = "reference";
+  return cfg;
+}
+
+TEST(Operators, ManufacturedRhsHasZeroResidualAtExact) {
+  // By construction rhs = A u*, so the residual at x = u* vanishes.
+  Solver solver(small_config(2, 8));
+  Level& finest = solver.level(0);
+  // Reconstruct u* into x.
+  ProblemSpec spec = solver.config().problem;
+  fill_cell_centered(finest.grids().at(kX), finest.h(),
+                     [&](const std::vector<double>& x) { return u_exact(spec, x); });
+  EXPECT_LT(solver.residual_norm(), 1e-10);
+}
+
+TEST(Operators, ZeroGuessResidualEqualsRhsNorm) {
+  Solver solver(small_config(2, 8));
+  Level& finest = solver.level(0);
+  finest.grids().at(kX).fill(0.0);
+  const double res = solver.residual_norm();
+  const double rhs = finest.grids().at(kRhs).norm_max();
+  EXPECT_NEAR(res, rhs, 1e-12 * rhs);
+}
+
+TEST(Operators, RepeatedSmoothingConverges) {
+  // A single GSRB smooth need not shrink the residual max-norm
+  // monotonically, but repeated smoothing alone must converge on a small
+  // problem (Gauss-Seidel is a convergent splitting).
+  Solver solver(small_config(2, 8));
+  solver.level(0).grids().at(kX).fill(0.0);
+  const double before = solver.residual_norm();
+  for (int i = 0; i < 20; ++i) solver.smooth(0);
+  const double after = solver.residual_norm();
+  EXPECT_LT(after, 0.2 * before);
+}
+
+TEST(Operators, LambdaIsPositive) {
+  Solver solver(small_config(3, 4));
+  const Grid& lam = solver.level(0).grids().at(kLambda);
+  Index idx{2, 2, 2};
+  EXPECT_GT(lam.at(idx), 0.0);
+}
+
+TEST(Operators, RestrictionProlongationRoundTripPreservesConstants) {
+  // P^T-ish test: restrict a constant residual -> constant coarse rhs;
+  // prolongate a constant coarse correction -> constant fine addition.
+  Solver solver(small_config(2, 8));
+  Level& fine = solver.level(0);
+  Level& coarse = solver.level(1);
+  fine.grids().at(kRes).fill(3.0);
+  solver.restrict_residual(0);
+  EXPECT_DOUBLE_EQ(coarse.grids().at(kRhs).at({1, 1}), 3.0);
+  EXPECT_DOUBLE_EQ(coarse.grids().at(kRhs).at({2, 2}), 3.0);
+
+  fine.grids().at(kX).fill(0.0);
+  coarse.grids().at(kX).fill(2.0);
+  solver.prolongate_add(0);
+  EXPECT_DOUBLE_EQ(fine.grids().at(kX).at({1, 1}), 2.0);
+  EXPECT_DOUBLE_EQ(fine.grids().at(kX).at({4, 3}), 2.0);
+}
+
+TEST(Operators, GroupsValidateAcrossRanks) {
+  for (int rank : {2, 3}) {
+    Solver solver(small_config(rank, 4));
+    EXPECT_GE(solver.num_levels(), 2u);
+  }
+}
+
+}  // namespace
+}  // namespace snowflake::mg

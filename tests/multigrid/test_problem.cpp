@@ -1,0 +1,96 @@
+#include "multigrid/problem.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "multigrid/level.hpp"
+
+namespace snowflake::mg {
+namespace {
+
+TEST(Problem, ExactSolutionVanishesOnBoundary) {
+  ProblemSpec spec;
+  spec.rank = 2;
+  EXPECT_NEAR(u_exact(spec, {0.0, 0.5}), 0.0, 1e-15);
+  EXPECT_NEAR(u_exact(spec, {0.5, 1.0}), 0.0, 1e-15);
+  EXPECT_NEAR(u_exact(spec, {0.5, 0.5}), 1.0, 1e-15);
+}
+
+TEST(Problem, BetaPositive) {
+  ProblemSpec spec;
+  spec.rank = 3;
+  spec.variable_beta = true;
+  for (double x : {0.0, 0.1, 0.33, 0.5, 0.9}) {
+    for (double y : {0.05, 0.4, 0.77}) {
+      EXPECT_GT(beta(spec, {x, y, 0.2}), 0.0);
+    }
+  }
+  spec.variable_beta = false;
+  EXPECT_EQ(beta(spec, {0.3, 0.3, 0.3}), 1.0);
+}
+
+TEST(Problem, CellCenters) {
+  const double h = 0.25;  // n = 4
+  EXPECT_DOUBLE_EQ(cell_center(1, h), 0.125);
+  EXPECT_DOUBLE_EQ(cell_center(4, h), 0.875);
+  EXPECT_DOUBLE_EQ(cell_center(0, h), -0.125);  // ghost
+}
+
+TEST(Problem, FillCellCentered) {
+  Grid g({6, 6});
+  fill_cell_centered(g, 0.25, [](const std::vector<double>& x) {
+    return x[0] + 10.0 * x[1];
+  });
+  EXPECT_DOUBLE_EQ(g.at({1, 1}), 0.125 + 1.25);
+  EXPECT_DOUBLE_EQ(g.at({4, 2}), 0.875 + 3.75);
+}
+
+TEST(Problem, FillFaceCentered) {
+  Grid g({6, 6});
+  fill_face_centered(g, 0.25, 0, [](const std::vector<double>& x) {
+    return x[0] * 100.0 + x[1];
+  });
+  // Dim 0 is at the lower face: coordinate (i-1)*h; dim 1 cell-centered.
+  EXPECT_DOUBLE_EQ(g.at({1, 1}), 0.0 * 100.0 + 0.125);
+  EXPECT_DOUBLE_EQ(g.at({3, 2}), 0.5 * 100.0 + 0.375);
+}
+
+TEST(Level, GeometryAndGrids) {
+  ProblemSpec spec;
+  spec.rank = 3;
+  spec.n = 8;
+  const Level level(spec, 8);
+  EXPECT_EQ(level.box_shape(), (Index{10, 10, 10}));
+  EXPECT_EQ(level.dof(), 512);
+  EXPECT_DOUBLE_EQ(level.h(), 0.125);
+  EXPECT_DOUBLE_EQ(level.h2inv(), 64.0);
+  EXPECT_TRUE(level.grids().contains("x"));
+  EXPECT_TRUE(level.grids().contains("beta_z"));
+  EXPECT_EQ(level.grids().at("x").shape(), level.box_shape());
+}
+
+TEST(Level, BetaGridsFilledPositive) {
+  ProblemSpec spec;
+  spec.rank = 2;
+  spec.n = 8;
+  const Level level(spec, 8);
+  const Grid& bx = level.grids().at("beta_x");
+  double lo = 1e9, hi = -1e9;
+  for (std::int64_t i = 0; i < bx.size(); ++i) {
+    lo = std::min(lo, bx[i]);
+    hi = std::max(hi, bx[i]);
+  }
+  EXPECT_GT(lo, 0.0);
+  EXPECT_GT(hi, lo);  // actually variable
+}
+
+TEST(Level, InteriorMaxDiffIgnoresGhosts) {
+  Grid a({4, 4}), b({4, 4});
+  b.at({0, 0}) = 100.0;  // ghost difference ignored
+  b.at({2, 2}) = 0.5;
+  EXPECT_DOUBLE_EQ(Level::interior_max_diff(a, b), 0.5);
+}
+
+}  // namespace
+}  // namespace snowflake::mg

@@ -1,0 +1,105 @@
+// Grid-transfer properties across backends: the algebraic identities that
+// make multigrid work, verified on the compiled operators rather than on
+// paper.
+
+#include <gtest/gtest.h>
+
+#include "backend/backend.hpp"
+#include "backend/reference/reference_backend.hpp"
+#include "ir/stencil_library.hpp"
+#include "multigrid/operators.hpp"
+
+namespace snowflake::mg {
+namespace {
+
+struct Pair {
+  GridSet gs;
+  std::int64_t nc;
+};
+
+Pair make_pair(std::int64_t nc) {
+  Pair p;
+  p.nc = nc;
+  const Index cshape{nc + 2, nc + 2};
+  const Index fshape{2 * nc + 2, 2 * nc + 2};
+  p.gs.add_zeros(kCoarseX, cshape);
+  p.gs.add_zeros(kCoarseRhs, cshape);
+  p.gs.add_zeros(kFineX, fshape);
+  p.gs.add_zeros(kFineRes, fshape);
+  return p;
+}
+
+TEST(Transfer, RestrictionAfterInjectionIsIdentity) {
+  // R(P(c)) == c for piecewise-constant P and full-weighting R: the
+  // coarse-grid correction sees exactly what it sent down.
+  for (const std::string backend : {"reference", "c", "openmp"}) {
+    Pair p = make_pair(6);
+    p.gs.at(kCoarseX).fill_random(77, -1.0, 1.0);
+    const Grid original = p.gs.at(kCoarseX);
+
+    auto prolong = compile(lib::interpolation_pc(2, kCoarseX, kFineX, false),
+                           p.gs, backend);
+    prolong->run(p.gs);
+    // Feed the fine field back down: alias fine_x as the restriction input.
+    GridSet down;
+    down.add_shared(kFineRes, p.gs.share(kFineX));
+    down.add_shared(kCoarseRhs, p.gs.share(kCoarseRhs));
+    auto restrict_k = compile(mg::restriction_group(2), down, backend);
+    restrict_k->run(down);
+
+    // Interior must round-trip exactly (each coarse cell averages its own
+    // four injected copies).
+    double err = 0.0;
+    for (std::int64_t i = 1; i <= p.nc; ++i) {
+      for (std::int64_t j = 1; j <= p.nc; ++j) {
+        err = std::max(err, std::abs(p.gs.at(kCoarseRhs).at({i, j}) -
+                                     original.at({i, j})));
+      }
+    }
+    EXPECT_LE(err, 1e-14) << backend;
+  }
+}
+
+TEST(Transfer, LinearInterpolationReproducesAffineFields) {
+  // PL interpolation is exact on affine functions (given consistent
+  // ghosts): fill coarse with a + b*x + c*y at cell centres and check the
+  // fine samples.
+  Pair p = make_pair(6);
+  const double hc = 1.0 / 6.0, hf = 1.0 / 12.0;
+  auto affine = [](double x, double y) { return 0.3 + 2.0 * x - 1.25 * y; };
+  p.gs.at(kCoarseX).fill_with([&](const Index& i) {
+    return affine((i[0] - 0.5) * hc, (i[1] - 0.5) * hc);
+  });  // includes ghost cells: consistent affine extension
+  run_reference(lib::interpolation_pl(2, kCoarseX, kFineX, false), p.gs);
+  double err = 0.0;
+  for (std::int64_t i = 1; i <= 2 * p.nc; ++i) {
+    for (std::int64_t j = 1; j <= 2 * p.nc; ++j) {
+      err = std::max(err, std::abs(p.gs.at(kFineX).at({i, j}) -
+                                   affine((i - 0.5) * hf, (j - 0.5) * hf)));
+    }
+  }
+  EXPECT_LE(err, 1e-13);
+}
+
+TEST(Transfer, RestrictionPreservesIntegral) {
+  // Full-weighting conserves the mean: sum(coarse)*4 == sum(fine) over
+  // interiors (each fine cell contributes exactly once with weight 1/4).
+  Pair p = make_pair(5);
+  p.gs.at(kFineRes).fill_random(123, -2.0, 2.0);
+  run_reference(mg::restriction_group(2), p.gs);
+  double fine_sum = 0.0, coarse_sum = 0.0;
+  for (std::int64_t i = 1; i <= 2 * p.nc; ++i) {
+    for (std::int64_t j = 1; j <= 2 * p.nc; ++j) {
+      fine_sum += p.gs.at(kFineRes).at({i, j});
+    }
+  }
+  for (std::int64_t i = 1; i <= p.nc; ++i) {
+    for (std::int64_t j = 1; j <= p.nc; ++j) {
+      coarse_sum += p.gs.at(kCoarseRhs).at({i, j});
+    }
+  }
+  EXPECT_NEAR(coarse_sum * 4.0, fine_sum, 1e-10);
+}
+
+}  // namespace
+}  // namespace snowflake::mg

@@ -1,0 +1,78 @@
+#include "report/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ir/stencil_library.hpp"
+#include "multigrid/operators.hpp"
+#include "support/error.hpp"
+
+namespace snowflake {
+namespace {
+
+ShapeMap smoother_shapes(std::int64_t n) {
+  ShapeMap shapes;
+  for (const std::string g :
+       {"x", "rhs", "lambda_inv", "beta_x", "beta_y"}) {
+    shapes[g] = Index{n, n};
+  }
+  return shapes;
+}
+
+TEST(Report, DependenceMatrixMarksKinds) {
+  // Two independent writers of disjoint colors (interval false positive)
+  // plus a consumer (real dependence).
+  StencilGroup g;
+  g.append(Stencil("wr_red", read("x", {0, 0}), "out",
+                   lib::colored_interior(2, 0)));
+  g.append(Stencil("wr_black", read("x", {0, 0}), "out",
+                   lib::colored_interior(2, 1)));
+  g.append(Stencil("consume", read("out", {0, 0}), "rhs", lib::interior(2)));
+  ShapeMap shapes = smoother_shapes(10);
+  shapes["out"] = Index{10, 10};
+  const std::string matrix = dependence_matrix(g, shapes);
+  EXPECT_NE(matrix.find('d'), std::string::npos);  // false positive marked
+  EXPECT_NE(matrix.find('D'), std::string::npos);  // real dependence marked
+  EXPECT_NE(matrix.find("wr_red"), std::string::npos);
+}
+
+TEST(Report, ExplainSmootherSections) {
+  const std::string report =
+      explain_group(mg::gsrb_smooth_group(2), smoother_shapes(10));
+  EXPECT_NE(report.find("== Stencils =="), std::string::npos);
+  EXPECT_NE(report.find("== Dependence analysis =="), std::string::npos);
+  EXPECT_NE(report.find("greedy waves: 4"), std::string::npos);
+  EXPECT_NE(report.find("== Lowered plan =="), std::string::npos);
+  EXPECT_NE(report.find("== Traffic / flop estimates"), std::string::npos);
+  EXPECT_NE(report.find("gsrb_red"), std::string::npos);
+  // The interval comparison reports the lost parallelism proofs.
+  EXPECT_NE(report.find("lose the parallelism proof on 2/10"),
+            std::string::npos);
+}
+
+TEST(Report, SectionsToggle) {
+  ReportOptions opt;
+  opt.show_ir = false;
+  opt.show_analysis = false;
+  opt.show_traffic = false;
+  const std::string report =
+      explain_group(mg::gsrb_smooth_group(2), smoother_shapes(10), opt);
+  EXPECT_EQ(report.find("== Stencils =="), std::string::npos);
+  EXPECT_NE(report.find("== Lowered plan =="), std::string::npos);
+}
+
+TEST(Report, TransformsVisibleInPlan) {
+  ReportOptions opt;
+  opt.compile.fuse_colors = true;
+  const std::string report =
+      explain_group(mg::gsrb_smooth_group(2), smoother_shapes(12), opt);
+  EXPECT_NE(report.find("outer-fused"), std::string::npos);
+}
+
+TEST(Report, ValidatesFirst) {
+  const StencilGroup bad(Stencil(read("x", {-5, 0}), "out", lib::interior(2)));
+  ShapeMap shapes{{"x", {8, 8}}, {"out", {8, 8}}};
+  EXPECT_THROW(explain_group(bad, shapes), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace snowflake

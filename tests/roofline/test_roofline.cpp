@@ -1,0 +1,44 @@
+#include "roofline/roofline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace snowflake {
+namespace {
+
+TEST(Roofline, PaperByteModels) {
+  // The paper's §V-B compulsory traffic numbers.
+  EXPECT_EQ(StencilBytes::cc_7pt, 24.0);
+  EXPECT_EQ(StencilBytes::cc_jacobi, 40.0);
+  EXPECT_EQ(StencilBytes::vc_gsrb, 64.0);
+}
+
+TEST(Roofline, BoundIsBandwidthOverBytes) {
+  // Paper's CPU: 22.2 GB/s over 24 B -> ~0.925 Gstencil/s.
+  const double bound = roofline_stencils_per_s(22.2e9, StencilBytes::cc_7pt);
+  EXPECT_NEAR(bound, 0.925e9, 1e6);
+}
+
+TEST(Roofline, OperatorOrdering) {
+  // More bytes per stencil => lower bound: 7pt > jacobi > gsrb.
+  const double bw = 127e9;
+  EXPECT_GT(roofline_stencils_per_s(bw, StencilBytes::cc_7pt),
+            roofline_stencils_per_s(bw, StencilBytes::cc_jacobi));
+  EXPECT_GT(roofline_stencils_per_s(bw, StencilBytes::cc_jacobi),
+            roofline_stencils_per_s(bw, StencilBytes::vc_gsrb));
+}
+
+TEST(Roofline, SweepSeconds) {
+  const double n = 256.0 * 256.0 * 256.0;
+  const double t = roofline_sweep_seconds(127e9, StencilBytes::vc_gsrb, n);
+  EXPECT_NEAR(t, n * 64.0 / 127e9, 1e-9);
+}
+
+TEST(Roofline, RejectsNonPositive) {
+  EXPECT_THROW(roofline_stencils_per_s(0.0, 24.0), InvalidArgument);
+  EXPECT_THROW(roofline_stencils_per_s(1e9, 0.0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace snowflake

@@ -1,0 +1,31 @@
+#include "roofline/stream.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace snowflake {
+namespace {
+
+TEST(Stream, DotProducesPlausibleBandwidth) {
+  // Small array so the test is fast; bandwidth must be positive and below
+  // an absurd bound (100 TB/s).
+  const StreamResult r = measure_stream_dot(1u << 20, 3);
+  EXPECT_GT(r.best_bytes_per_s, 1e8);
+  EXPECT_LT(r.best_bytes_per_s, 1e14);
+  EXPECT_GE(r.best_bytes_per_s, r.avg_bytes_per_s * 0.999);
+  EXPECT_EQ(r.elements, 1u << 20);
+}
+
+TEST(Stream, TriadProducesPlausibleBandwidth) {
+  const StreamResult r = measure_stream_triad(1u << 20, 3);
+  EXPECT_GT(r.best_bytes_per_s, 1e8);
+  EXPECT_LT(r.best_bytes_per_s, 1e14);
+}
+
+TEST(Stream, NeedsWarmupTrial) {
+  EXPECT_THROW(measure_stream_dot(1024, 1), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace snowflake

@@ -1,0 +1,55 @@
+#include "support/hash.hpp"
+
+#include <gtest/gtest.h>
+
+namespace snowflake {
+namespace {
+
+TEST(Fnv1a, KnownVectors) {
+  // Standard FNV-1a 64-bit test vectors.
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ull);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(fnv1a64("foobar"), 0x85944171f73967e8ull);
+}
+
+TEST(Fnv1a, DiffersOnContent) {
+  EXPECT_NE(fnv1a64("kernel-a"), fnv1a64("kernel-b"));
+}
+
+TEST(HashStream, OrderSensitive) {
+  HashStream a, b;
+  a.add("x").add("y");
+  b.add("y").add("x");
+  EXPECT_NE(a.digest(), b.digest());
+}
+
+TEST(HashStream, BoundarySensitive) {
+  // "ab"+"c" must differ from "a"+"bc" (separator byte).
+  HashStream a, b;
+  a.add("ab").add("c");
+  b.add("a").add("bc");
+  EXPECT_NE(a.digest(), b.digest());
+}
+
+TEST(HashStream, NumericTypes) {
+  HashStream a, b;
+  a.add(std::int64_t{1});
+  b.add(1.0);
+  EXPECT_NE(a.digest(), b.digest());
+}
+
+TEST(HashStream, Deterministic) {
+  HashStream a, b;
+  a.add("stencil").add(std::int64_t{42}).add(3.25);
+  b.add("stencil").add(std::int64_t{42}).add(3.25);
+  EXPECT_EQ(a.digest(), b.digest());
+}
+
+TEST(HashHex, Format) {
+  EXPECT_EQ(hash_hex(0), "0000000000000000");
+  EXPECT_EQ(hash_hex(0xdeadbeefull), "00000000deadbeef");
+  EXPECT_EQ(hash_hex(~0ull), "ffffffffffffffff");
+}
+
+}  // namespace
+}  // namespace snowflake

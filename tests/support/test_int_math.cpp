@@ -1,0 +1,88 @@
+#include "support/int_math.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace snowflake {
+namespace {
+
+TEST(ExtGcd, BasicIdentity) {
+  for (std::int64_t a : {-48, -7, 0, 1, 12, 35, 270}) {
+    for (std::int64_t b : {-30, -1, 0, 2, 18, 192}) {
+      const ExtGcd eg = ext_gcd(a, b);
+      EXPECT_EQ(a * eg.x + b * eg.y, eg.g) << "a=" << a << " b=" << b;
+      EXPECT_GE(eg.g, 0);
+      if (a != 0) {
+        EXPECT_EQ(a % eg.g, 0);
+      }
+      if (b != 0) {
+        EXPECT_EQ(b % eg.g, 0);
+      }
+    }
+  }
+}
+
+TEST(ExtGcd, ZeroZero) {
+  const ExtGcd eg = ext_gcd(0, 0);
+  EXPECT_EQ(eg.g, 0);
+}
+
+TEST(ExtGcd, KnownValues) {
+  EXPECT_EQ(gcd(12, 18), 6);
+  EXPECT_EQ(gcd(-12, 18), 6);
+  EXPECT_EQ(gcd(17, 5), 1);
+  EXPECT_EQ(gcd(0, 7), 7);
+  EXPECT_EQ(gcd(7, 0), 7);
+}
+
+TEST(Lcm, Values) {
+  EXPECT_EQ(lcm(4, 6), 12);
+  EXPECT_EQ(lcm(2, 2), 2);
+  EXPECT_EQ(lcm(0, 5), 0);
+  EXPECT_EQ(lcm(-4, 6), 12);
+  EXPECT_EQ(lcm(7, 13), 91);
+}
+
+TEST(FloorDiv, RoundsTowardNegativeInfinity) {
+  EXPECT_EQ(floor_div(7, 2), 3);
+  EXPECT_EQ(floor_div(-7, 2), -4);
+  EXPECT_EQ(floor_div(7, -2), -4);
+  EXPECT_EQ(floor_div(-7, -2), 3);
+  EXPECT_EQ(floor_div(6, 3), 2);
+  EXPECT_EQ(floor_div(-6, 3), -2);
+  EXPECT_EQ(floor_div(0, 5), 0);
+}
+
+TEST(CeilDiv, RoundsTowardPositiveInfinity) {
+  EXPECT_EQ(ceil_div(7, 2), 4);
+  EXPECT_EQ(ceil_div(-7, 2), -3);
+  EXPECT_EQ(ceil_div(6, 3), 2);
+  EXPECT_EQ(ceil_div(1, 8), 1);
+  EXPECT_EQ(ceil_div(0, 8), 0);
+}
+
+TEST(ModFloor, AlwaysNonNegative) {
+  EXPECT_EQ(mod_floor(7, 3), 1);
+  EXPECT_EQ(mod_floor(-7, 3), 2);
+  EXPECT_EQ(mod_floor(-1, 5), 4);
+  EXPECT_EQ(mod_floor(10, -3), 1);
+  EXPECT_EQ(mod_floor(-10, -3), 2);
+  for (std::int64_t a = -20; a <= 20; ++a) {
+    for (std::int64_t b : {1, 2, 3, 7}) {
+      const std::int64_t m = mod_floor(a, b);
+      EXPECT_GE(m, 0);
+      EXPECT_LT(m, b);
+      EXPECT_EQ((a - m) % b, 0);
+    }
+  }
+}
+
+TEST(FloorDiv, DivByZeroThrows) {
+  EXPECT_THROW(floor_div(1, 0), InvalidArgument);
+  EXPECT_THROW(ceil_div(1, 0), InvalidArgument);
+  EXPECT_THROW(mod_floor(1, 0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace snowflake

@@ -1,0 +1,62 @@
+#include "support/string_util.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/logging.hpp"
+
+#include <cstdlib>
+
+namespace snowflake {
+namespace {
+
+TEST(Join, Basic) {
+  EXPECT_EQ(join({}, ", "), "");
+  EXPECT_EQ(join({"a"}, ", "), "a");
+  EXPECT_EQ(join({"a", "b", "c"}, " + "), "a + b + c");
+}
+
+TEST(FormatTuple, Basic) {
+  EXPECT_EQ(format_tuple({}), "()");
+  EXPECT_EQ(format_tuple({1}), "(1)");
+  EXPECT_EQ(format_tuple({1, -2, 3}), "(1, -2, 3)");
+}
+
+TEST(FormatDouble, RoundTrips) {
+  for (double v : {0.0, 1.0, -1.5, 2.0 / 3.0, 1e-300, 6.02e23, 0.1}) {
+    const std::string s = format_double(v);
+    EXPECT_EQ(std::strtod(s.c_str(), nullptr), v) << s;
+  }
+}
+
+TEST(FormatDouble, AlwaysParsesAsDouble) {
+  // Integral values must carry a decimal point for C codegen.
+  EXPECT_EQ(format_double(1.0), "1.0");
+  EXPECT_EQ(format_double(-2.0), "-2.0");
+  EXPECT_NE(format_double(1e100).find('e'), std::string::npos);
+}
+
+TEST(IsIdentifier, Accepts) {
+  EXPECT_TRUE(is_identifier("mesh"));
+  EXPECT_TRUE(is_identifier("beta_x"));
+  EXPECT_TRUE(is_identifier("_tmp2"));
+}
+
+TEST(Logging, LevelsToggle) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::Debug);
+  EXPECT_EQ(log_level(), LogLevel::Debug);
+  set_log_level(LogLevel::Off);
+  EXPECT_EQ(log_level(), LogLevel::Off);
+  set_log_level(before);
+}
+
+TEST(IsIdentifier, Rejects) {
+  EXPECT_FALSE(is_identifier(""));
+  EXPECT_FALSE(is_identifier("2mesh"));
+  EXPECT_FALSE(is_identifier("a-b"));
+  EXPECT_FALSE(is_identifier("a b"));
+  EXPECT_FALSE(is_identifier("grid[0]"));
+}
+
+}  // namespace
+}  // namespace snowflake

@@ -1,0 +1,78 @@
+#include "tune/tuner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ir/stencil_library.hpp"
+#include "support/error.hpp"
+
+namespace snowflake {
+namespace {
+
+GridSet apply_grids(std::int64_t n) {
+  GridSet gs;
+  gs.add_zeros("x", {n, n}).fill_random(1, -1.0, 1.0);
+  gs.add_zeros("out", {n, n});
+  return gs;
+}
+
+TEST(Tuner, PicksFastestWithInjectedClock) {
+  // A scripted clock makes candidate timings deterministic: candidate 0
+  // takes "3s" per rep, candidate 1 takes "1s", candidate 2 takes "2s".
+  // Sequence per candidate: warmup (no reads)... the tuner reads the clock
+  // twice per rep.  warmup=0, reps=1 -> 2 reads per candidate.
+  std::vector<double> script = {0.0, 3.0,   // candidate 0
+                                10.0, 11.0, // candidate 1
+                                20.0, 22.0};  // candidate 2
+  size_t cursor = 0;
+  Tuner tuner([&] { return script.at(cursor++); });
+
+  GridSet gs = apply_grids(10);
+  std::vector<TuneCandidate> candidates(3);
+  candidates[0].label = "slow";
+  candidates[1].label = "fast";
+  candidates[2].label = "medium";
+  candidates[2].options.tile = {4, 4};
+
+  const TuneResult result =
+      tuner.tune(StencilGroup(lib::cc_apply(2, "x", "out")), gs,
+                 {{"h2inv", 1.0}}, "reference", candidates, /*warmup=*/0,
+                 /*reps=*/1);
+  EXPECT_EQ(result.best.label, "fast");
+  ASSERT_EQ(result.timings.size(), 3u);
+  EXPECT_DOUBLE_EQ(result.timings[0].seconds, 3.0);
+  EXPECT_DOUBLE_EQ(result.timings[1].seconds, 1.0);
+  EXPECT_DOUBLE_EQ(result.timings[2].seconds, 2.0);
+}
+
+TEST(Tuner, RealClockSmoke) {
+  GridSet gs = apply_grids(18);
+  const auto candidates = default_tile_candidates(2);
+  Tuner tuner;
+  const TuneResult result =
+      tuner.tune(StencilGroup(lib::cc_apply(2, "x", "out")), gs,
+                 {{"h2inv", 1.0}}, "c", candidates, 1, 2);
+  EXPECT_FALSE(result.best.label.empty());
+  EXPECT_EQ(result.timings.size(), candidates.size());
+  for (const auto& t : result.timings) EXPECT_GT(t.seconds, 0.0);
+}
+
+TEST(Tuner, DefaultCandidates) {
+  const auto c2 = default_tile_candidates(2);
+  // untiled + 4 tile sizes, each with/without fusion.
+  EXPECT_EQ(c2.size(), 10u);
+  EXPECT_EQ(c2[0].label, "untiled");
+  EXPECT_TRUE(c2[0].options.tile.empty());
+  EXPECT_EQ(c2[2].options.tile, (Index{8, 8}));
+  EXPECT_TRUE(c2[5].options.fuse_colors);
+}
+
+TEST(Tuner, RejectsEmptyCandidates) {
+  GridSet gs = apply_grids(10);
+  Tuner tuner;
+  EXPECT_THROW(tuner.tune(StencilGroup(lib::cc_apply(2, "x", "out")), gs, {},
+                          "reference", {}),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace snowflake
