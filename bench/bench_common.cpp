@@ -8,6 +8,8 @@
 
 #include "ir/stencil_library.hpp"
 #include "roofline/stream.hpp"
+#include "trace/profile.hpp"
+#include "trace/trace.hpp"
 
 namespace snowflake::bench {
 
@@ -23,8 +25,14 @@ Args Args::parse(int argc, char** argv) {
     } else if (std::strcmp(a, "--paper") == 0) {
       args.paper = true;
       args.n = 256;
+    } else if (std::strncmp(a, "--trace=", 8) == 0) {
+      trace::enable_trace_file(a + 8);
+    } else if (std::strcmp(a, "--metrics") == 0) {
+      trace::enable_metrics_dump();
     } else if (std::strcmp(a, "--help") == 0) {
-      std::printf("options: --n=<size> --sweeps=<reps> --paper\n");
+      std::printf(
+          "options: --n=<size> --sweeps=<reps> --paper --trace=<out.json> "
+          "--metrics\n");
       std::exit(0);
     }
   }
@@ -45,9 +53,22 @@ double time_best(const std::function<void()>& fn, int warmup, int reps) {
   return best;
 }
 
+double time_kernel_best(CompiledKernel& kernel, GridSet& grids,
+                        const ParamMap& params, int warmup, int reps) {
+  for (int i = 0; i < warmup; ++i) kernel.run(grids, params);
+  double best = 1e300;
+  for (int i = 0; i < reps; ++i) {
+    kernel.run(grids, params);
+    best = std::min(best, kernel.last_run_seconds());
+  }
+  return best;
+}
+
 double host_bandwidth() {
   static const double bw = [] {
-    return measure_stream_dot(1u << 24, 4).best_bytes_per_s;
+    const double b = measure_stream_dot(1u << 24, 4).best_bytes_per_s;
+    trace::ProfileRegistry::instance().set_reference_bandwidth(b);
+    return b;
   }();
   return bw;
 }

@@ -9,6 +9,8 @@
 //                  paper's configuration)
 //   --sweeps=<K>   timed repetitions (default 5)
 //   --paper        shorthand for the paper's sizes
+//   --trace=<f>    write a Chrome trace-event JSON to <f> at exit
+//   --metrics      dump trace counters + kernel profiles to stderr at exit
 
 #include <cstdint>
 #include <functional>
@@ -31,6 +33,12 @@ struct Args {
 
 /// Wall-clock seconds of fn(), best of `reps` after `warmup` calls.
 double time_best(const std::function<void()>& fn, int warmup, int reps);
+
+/// Best single-run wall-clock seconds of `kernel.run(grids, params)` after
+/// `warmup` untimed calls, using the kernel's own last_run_seconds() so the
+/// number matches the runtime profile exactly.
+double time_kernel_best(CompiledKernel& kernel, GridSet& grids,
+                        const ParamMap& params, int warmup, int reps);
 
 /// Measured Figure 6 STREAM-dot bandwidth (bytes/s), memoized per process.
 double host_bandwidth();

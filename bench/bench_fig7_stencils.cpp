@@ -117,8 +117,8 @@ int main(int argc, char** argv) {
     CompileOptions opt;
     opt.fuse_colors = true;
     auto kernel = compile(oc.group, bl.grids(), "openmp", opt);
-    const double t_sf = time_best([&] { kernel->run(bl.grids(), params); }, 2,
-                                  args.sweeps);
+    const double t_sf = time_kernel_best(*kernel, bl.grids(), params, 2,
+                                         args.sweeps);
     const double t_hand =
         time_best([&] { oc.hand(bl); }, 2, args.sweeps);
     const double roof_cpu =

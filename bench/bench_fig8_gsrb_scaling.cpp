@@ -42,7 +42,7 @@ int main(int argc, char** argv) {
     opt.fuse_colors = true;  // the paper's multicolor reordering (§IV-A)
     auto kernel = compile(mg::gsrb_smooth_group(3), bl.grids(), "openmp", opt);
     const double t_sf =
-        time_best([&] { kernel->run(bl.grids(), params); }, 2, args.sweeps);
+        time_kernel_best(*kernel, bl.grids(), params, 2, args.sweeps);
 
     const double t_hand = time_best(
         [&] {

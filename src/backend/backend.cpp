@@ -1,9 +1,12 @@
 #include "backend/backend.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <mutex>
+#include <sstream>
 
 #include "support/error.hpp"
+#include "trace/trace.hpp"
 
 namespace snowflake {
 
@@ -23,6 +26,67 @@ std::mutex& registry_mutex() {
 void ensure_builtins_registered();
 
 }  // namespace
+
+void CompiledKernel::run(GridSet& grids, const ParamMap& params) {
+  trace::Span span(
+      trace::enabled()
+          ? (run_span_name_.empty() ? "run:" + backend_name() : run_span_name_)
+          : std::string(),
+      "run");
+  const auto start = std::chrono::steady_clock::now();
+  run_impl(grids, params);
+  last_run_seconds_ =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  const double modeled = modeled_seconds();
+  if (profile_ != nullptr) profile_->record_run(last_run_seconds_, modeled);
+  span.counter("wall_s", last_run_seconds_);
+  if (modeled > 0.0) span.counter("modeled_s", modeled);
+  if (static_bytes_ > 0.0) span.counter("bytes", static_bytes_);
+  if (static_flops_ > 0.0) span.counter("flops", static_flops_);
+}
+
+void CompiledKernel::attach_profile(const std::string& label,
+                                    const std::string& backend) {
+  profile_ = &trace::ProfileRegistry::instance().kernel(
+      label, backend, static_bytes_, static_flops_);
+  run_span_name_ = "run:" + label;
+}
+
+std::string kernel_label(const StencilGroup& group, const ShapeMap& shapes) {
+  std::ostringstream os;
+  const size_t shown = std::min<size_t>(group.size(), 4);
+  for (size_t i = 0; i < shown; ++i) {
+    if (i) os << "+";
+    os << group[i].name();
+  }
+  if (group.size() > shown) os << "+" << group.size() - shown << "more";
+  if (!group.empty()) {
+    const auto it = shapes.find(group[group.size() - 1].output());
+    if (it != shapes.end()) {
+      os << " @";
+      for (size_t d = 0; d < it->second.size(); ++d) {
+        if (d) os << "x";
+        os << it->second[d];
+      }
+    }
+  }
+  return os.str();
+}
+
+std::unique_ptr<CompiledKernel> Backend::compile(const StencilGroup& group,
+                                                 const ShapeMap& shapes,
+                                                 const CompileOptions& options) {
+  trace::Span span(trace::enabled() ? "backend:compile:" + name()
+                                    : std::string(),
+                   "compile");
+  span.counter("stencils", static_cast<double>(group.size()));
+  auto kernel = compile_impl(group, shapes, options);
+  if (kernel != nullptr) {
+    kernel->attach_profile(kernel_label(group, shapes), name());
+  }
+  return kernel;
+}
 
 void Backend::register_backend(std::shared_ptr<Backend> backend) {
   SF_REQUIRE(backend != nullptr, "cannot register a null backend");

@@ -19,6 +19,7 @@
 #include "grid/grid_set.hpp"
 #include "ir/stencil.hpp"
 #include "ir/validate.hpp"
+#include "trace/profile.hpp"
 
 namespace snowflake {
 
@@ -58,12 +59,25 @@ struct CompileOptions {
 };
 
 /// A compiled, executable stencil group (the "Python callable" of §IV).
+///
+/// run() is a template method: the base class times every execution (see
+/// last_run_seconds()), emits a trace span when tracing is enabled, and
+/// feeds the process-wide trace::ProfileRegistry; backends implement
+/// run_impl().  Backends that know their static cost model call
+/// set_static_costs() so the profile can report achieved GB/s against the
+/// roofline.
 class CompiledKernel {
 public:
   virtual ~CompiledKernel() = default;
 
   /// Execute over the grids (shapes must match the compiled shapes).
-  virtual void run(GridSet& grids, const ParamMap& params = {}) = 0;
+  /// Times the run and records it into the runtime profile; not
+  /// re-entrant on one kernel object (concurrent callers race on the
+  /// last-run timer, nothing worse).
+  void run(GridSet& grids, const ParamMap& params = {});
+
+  /// Wall-clock seconds of the most recent run() (0.0 before the first).
+  double last_run_seconds() const { return last_run_seconds_; }
 
   /// Generated source text, when the backend generates any ("" otherwise).
   virtual std::string source() const { return ""; }
@@ -74,7 +88,33 @@ public:
   /// Modeled device seconds of the last run() (simulated-device backends
   /// only; 0.0 for backends whose wall-clock time is the real time).
   virtual double modeled_seconds() const { return 0.0; }
+
+protected:
+  /// Backend-specific execution.
+  virtual void run_impl(GridSet& grids, const ParamMap& params) = 0;
+
+  /// Static per-run cost model (estimated DRAM bytes and flops of one
+  /// run) for roofline annotation; call from the backend's compile path.
+  void set_static_costs(double bytes_per_run, double flops_per_run) {
+    static_bytes_ = bytes_per_run;
+    static_flops_ = flops_per_run;
+  }
+
+private:
+  friend class Backend;
+  void attach_profile(const std::string& label, const std::string& backend);
+
+  trace::KernelProfile* profile_ = nullptr;  // registry-owned, never freed
+  std::string run_span_name_;
+  double static_bytes_ = 0.0;
+  double static_flops_ = 0.0;
+  double last_run_seconds_ = 0.0;
 };
+
+/// Human-readable kernel identity used to key runtime profiles: the member
+/// stencil names plus the output shape, so the same operator compiled at
+/// two multigrid levels gets two entries.
+std::string kernel_label(const StencilGroup& group, const ShapeMap& shapes);
 
 class Backend {
 public:
@@ -82,9 +122,13 @@ public:
 
   virtual std::string name() const = 0;
 
-  virtual std::unique_ptr<CompiledKernel> compile(
-      const StencilGroup& group, const ShapeMap& shapes,
-      const CompileOptions& options) = 0;
+  /// Compile the group.  Template method: wraps the backend's
+  /// compile_impl() in a "backend:compile:<name>" trace span and attaches
+  /// the runtime profile to the returned kernel, so every backend —
+  /// including user-registered ones — is observable for free.
+  std::unique_ptr<CompiledKernel> compile(const StencilGroup& group,
+                                          const ShapeMap& shapes,
+                                          const CompileOptions& options);
 
   /// Registry -------------------------------------------------------------
 
@@ -103,6 +147,12 @@ public:
                                          const std::vector<std::string>& order);
   static std::vector<double> bind_params(const ParamMap& params,
                                          const std::vector<std::string>& order);
+
+protected:
+  /// Backend-specific compilation.
+  virtual std::unique_ptr<CompiledKernel> compile_impl(
+      const StencilGroup& group, const ShapeMap& shapes,
+      const CompileOptions& options) = 0;
 };
 
 /// Convenience: compile with a named backend.

@@ -5,6 +5,7 @@
 #include "analysis/dag.hpp"
 #include "domain/domain_algebra.hpp"
 #include "support/error.hpp"
+#include "trace/trace.hpp"
 
 namespace snowflake {
 
@@ -97,7 +98,7 @@ public:
     }
   }
 
-  void run(GridSet& grids, const ParamMap& params) override {
+  void run_impl(GridSet& grids, const ParamMap& params) override {
     // Validate the *global* environment against the compiled shapes.
     ShapeMap shapes;
     for (const auto& g : grid_names_) shapes[g] = global_shape_;
@@ -108,6 +109,10 @@ public:
     scatter(global);
     const size_t waves = programs_[0].wave_kernels.size();
     for (size_t w = 0; w < waves; ++w) {
+      trace::Span span(
+          trace::enabled() ? "distsim:wave:" + std::to_string(w)
+                           : std::string(),
+          "run");
       if (w > 0 && halo_ > 0) exchange_halos();
 #pragma omp parallel for schedule(static)
       for (int r = 0; r < ranks_; ++r) {
@@ -228,9 +233,9 @@ class DistSimBackend final : public Backend {
 public:
   std::string name() const override { return "distsim"; }
 
-  std::unique_ptr<CompiledKernel> compile(const StencilGroup& group,
-                                          const ShapeMap& shapes,
-                                          const CompileOptions& options) override {
+  std::unique_ptr<CompiledKernel> compile_impl(
+      const StencilGroup& group, const ShapeMap& shapes,
+      const CompileOptions& options) override {
     return std::make_unique<DistSimKernel>(group, shapes, options);
   }
 };

@@ -13,7 +13,9 @@
 #include "codegen/transform/tiling.hpp"
 #include "codegen/verify_plan.hpp"
 #include "jit/cache.hpp"
+#include "roofline/traffic.hpp"
 #include "support/error.hpp"
+#include "trace/trace.hpp"
 
 namespace snowflake {
 
@@ -69,9 +71,13 @@ public:
         source_(std::move(source)),
         module_(std::move(module)),
         fn_(module_->kernel(kernel_symbol())),
-        backend_(std::move(backend)) {}
+        backend_(std::move(backend)) {
+    double flops = 0.0;
+    for (const auto& nest : plan_.nests) flops += nest_flops(plan_, nest);
+    set_static_costs(plan_traffic_bytes(plan_), flops);
+  }
 
-  void run(GridSet& grids, const ParamMap& params) override {
+  void run_impl(GridSet& grids, const ParamMap& params) override {
     std::vector<double*> pointers =
         Backend::bind_grids(grids, plan_.shapes, plan_.grid_order);
     const std::vector<double> values =
@@ -103,12 +109,17 @@ public:
     return "c";
   }
 
-  std::unique_ptr<CompiledKernel> compile(const StencilGroup& group,
-                                          const ShapeMap& shapes,
-                                          const CompileOptions& options) override {
+  std::unique_ptr<CompiledKernel> compile_impl(
+      const StencilGroup& group, const ShapeMap& shapes,
+      const CompileOptions& options) override {
     KernelPlan plan = build_plan(group, shapes, options);
-    const EmitOptions eo = emit_options_for(options, plan, mode_);
-    const std::string source = emit_c_source(plan, eo);
+    std::string source;
+    {
+      trace::Span span("codegen:emit", "compile");
+      const EmitOptions eo = emit_options_for(options, plan, mode_);
+      source = emit_c_source(plan, eo);
+      span.counter("source_bytes", static_cast<double>(source.size()));
+    }
     ToolchainConfig tc;
     tc.openmp = mode_ != JitMode::Sequential;
     const Toolchain toolchain(tc);
@@ -125,16 +136,28 @@ private:
 
 KernelPlan build_plan(const StencilGroup& group, const ShapeMap& shapes,
                       const CompileOptions& options) {
-  const Schedule schedule =
-      options.barrier_per_stencil ? barrier_per_stencil_schedule(group, shapes)
-      : options.analysis == CompileOptions::Analysis::Interval
-          ? greedy_schedule_interval(group, shapes)
-          : greedy_schedule(group, shapes);
+  Schedule schedule;
+  {
+    trace::Span span("analysis:schedule", "compile");
+    schedule =
+        options.barrier_per_stencil
+            ? barrier_per_stencil_schedule(group, shapes)
+        : options.analysis == CompileOptions::Analysis::Interval
+            ? greedy_schedule_interval(group, shapes)
+            : greedy_schedule(group, shapes);
+    span.counter("waves", static_cast<double>(schedule.waves.size()));
+  }
   KernelPlan plan = lower(group, shapes, schedule);
-  if (options.fuse_stencils) fuse_statements(plan);
-  if (options.fuse_colors) fuse_multicolor(plan);
-  if (!options.tile.empty()) tile_plan(plan, options.tile);
-  verify_plan(plan);  // catch broken transform rewrites at the IR boundary
+  {
+    trace::Span span("codegen:transforms", "compile");
+    if (options.fuse_stencils) fuse_statements(plan);
+    if (options.fuse_colors) fuse_multicolor(plan);
+    if (!options.tile.empty()) tile_plan(plan, options.tile);
+  }
+  {
+    trace::Span span("codegen:verify_plan", "compile");
+    verify_plan(plan);  // catch broken transform rewrites at the IR boundary
+  }
   return plan;
 }
 

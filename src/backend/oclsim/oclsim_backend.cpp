@@ -8,6 +8,7 @@
 #include "jit/cache.hpp"
 #include "roofline/traffic.hpp"
 #include "support/error.hpp"
+#include "trace/trace.hpp"
 
 namespace snowflake {
 
@@ -73,9 +74,15 @@ public:
       dp.stats.efficiency = dispatch_efficiency(plan_, nest, wg1);
       dispatches_.push_back(dp);
     }
+    double bytes = 0.0, flops = 0.0;
+    for (const auto& dp : dispatches_) {
+      bytes += dp.stats.bytes;
+      flops += dp.stats.flops;
+    }
+    set_static_costs(bytes, flops);
   }
 
-  void run(GridSet& grids, const ParamMap& params) override {
+  void run_impl(GridSet& grids, const ParamMap& params) override {
     std::vector<double*> pointers =
         Backend::bind_grids(grids, plan_.shapes, plan_.grid_order);
     const std::vector<double> values =
@@ -86,6 +93,12 @@ public:
     for (const auto& dp : dispatches_) {
       // In-order queue: dispatches execute one after another; work-groups
       // of one dispatch are independent when the analysis proved it.
+      trace::Span span(trace::enabled()
+                           ? "oclsim:dispatch:" +
+                                 plan_.nests[dp.info.nest].label
+                           : std::string(),
+                       "run");
+      span.counter("workgroups", static_cast<double>(dp.stats.workgroups));
       if (dp.info.parallel) {
 #pragma omp parallel for collapse(2) schedule(static)
         for (std::int64_t g0 = 0; g0 < dp.info.groups0; ++g0) {
@@ -98,6 +111,7 @@ public:
       }
       const double t = device.dispatch_seconds(dp.stats);
       last_modeled_seconds_ += t;
+      span.counter("modeled_s", t);
       report_.push_back(OclDispatchReport{plan_.nests[dp.info.nest].label,
                                           dp.stats.workgroups, dp.stats.bytes,
                                           t});
@@ -127,9 +141,9 @@ class OclSimBackend final : public Backend {
 public:
   std::string name() const override { return "oclsim"; }
 
-  std::unique_ptr<CompiledKernel> compile(const StencilGroup& group,
-                                          const ShapeMap& shapes,
-                                          const CompileOptions& options) override {
+  std::unique_ptr<CompiledKernel> compile_impl(
+      const StencilGroup& group, const ShapeMap& shapes,
+      const CompileOptions& options) override {
     // NDRange blocking replaces host tiling/fusion; build an untransformed
     // plan (the greedy schedule still determines dispatch order).
     CompileOptions plain;

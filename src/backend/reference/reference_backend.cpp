@@ -93,7 +93,7 @@ public:
     }
   }
 
-  void run(GridSet& grids, const ParamMap& params) override {
+  void run_impl(GridSet& grids, const ParamMap& params) override {
     const std::vector<double*> data =
         Backend::bind_grids(grids, shapes_, grid_order_);
     const std::vector<double> pvals =
@@ -154,9 +154,9 @@ class ReferenceBackend final : public Backend {
 public:
   std::string name() const override { return "reference"; }
 
-  std::unique_ptr<CompiledKernel> compile(const StencilGroup& group,
-                                          const ShapeMap& shapes,
-                                          const CompileOptions&) override {
+  std::unique_ptr<CompiledKernel> compile_impl(const StencilGroup& group,
+                                               const ShapeMap& shapes,
+                                               const CompileOptions&) override {
     return std::make_unique<ReferenceKernel>(group, shapes);
   }
 };

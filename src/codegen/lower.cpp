@@ -5,11 +5,13 @@
 #include "codegen/simplify.hpp"
 #include "support/error.hpp"
 #include "support/hash.hpp"
+#include "trace/trace.hpp"
 
 namespace snowflake {
 
 KernelPlan lower(const StencilGroup& group, const ShapeMap& shapes,
                  const Schedule& schedule) {
+  trace::Span span("codegen:lower", "compile");
   validate_group(group, shapes);
   SF_REQUIRE(schedule.point_parallel.size() == group.size(),
              "schedule does not match group size");

@@ -3,6 +3,7 @@
 #include "domain/domain_algebra.hpp"
 #include "grid/grid_set.hpp"
 #include "support/error.hpp"
+#include "trace/trace.hpp"
 
 namespace snowflake {
 
@@ -85,6 +86,8 @@ void validate_resolved(const Stencil& stencil, const ShapeMap& shapes) {
 }
 
 void validate_group(const StencilGroup& group, const ShapeMap& shapes) {
+  trace::Span span("ir:validate", "compile");
+  span.counter("stencils", static_cast<double>(group.size()));
   SF_REQUIRE(!group.empty(), "cannot validate an empty StencilGroup");
   for (const auto& s : group.stencils()) validate_resolved(s, shapes);
 }

@@ -8,6 +8,7 @@
 #include "support/error.hpp"
 #include "support/hash.hpp"
 #include "support/logging.hpp"
+#include "trace/trace.hpp"
 
 namespace fs = std::filesystem;
 
@@ -52,8 +53,14 @@ std::shared_ptr<Module> KernelCache::get_or_compile(const std::string& source,
   const std::string key =
       hash_hex(fnv1a64(source + "\x1e" + toolchain.flags_fingerprint()));
 
+  trace::Span span("jit:cache", "jit");
+  auto& collector = trace::TraceCollector::instance();
+  std::lock_guard<std::mutex> lock(mu_);
+
   if (auto it = loaded_.find(key); it != loaded_.end()) {
     ++stats_.memory_hits;
+    collector.increment("jit.cache.memory_hits");
+    span.counter("memory_hit", 1.0);
     return it->second;
   }
 
@@ -66,18 +73,35 @@ std::shared_ptr<Module> KernelCache::get_or_compile(const std::string& source,
     auto module = std::make_shared<Module>(so_path.string());
     loaded_[key] = module;
     ++stats_.disk_hits;
+    collector.increment("jit.cache.disk_hits");
+    span.counter("disk_hit", 1.0);
     return module;
   }
 
-  toolchain.compile_shared_object(source, so_path.string());
+  {
+    trace::Span compile_span("jit:cc", "jit");
+    const double start = trace::now_us();
+    toolchain.compile_shared_object(source, so_path.string());
+    const double cc_seconds = (trace::now_us() - start) / 1e6;
+    compile_span.counter("cc_s", cc_seconds);
+    compile_span.counter("source_bytes", static_cast<double>(source.size()));
+    collector.increment("jit.cc.seconds", cc_seconds);
+  }
   {
     std::ofstream out(src_path, std::ios::binary);
     out << source;
   }
   ++stats_.compiles;
+  collector.increment("jit.cache.compiles");
+  span.counter("compile", 1.0);
   auto module = std::make_shared<Module>(so_path.string());
   loaded_[key] = module;
   return module;
+}
+
+KernelCache::Stats KernelCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
 }
 
 KernelCache& KernelCache::instance() {

@@ -7,9 +7,15 @@
 // entirely.  The key hashes source text + compiler flags; because FNV can
 // collide, the source is stored next to the .so and compared on every disk
 // hit — a mismatch degrades to a recompile, never to loading wrong code.
+//
+// Thread-safe: concurrent get_or_compile() callers serialize on an
+// internal mutex (a compile in flight blocks other lookups; correctness
+// over concurrency for the rare cold-cache path).  Every lookup also feeds
+// the jit.cache.* trace counters, visible in the $SNOWFLAKE_METRICS dump.
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "jit/module.hpp"
@@ -25,25 +31,28 @@ public:
   explicit KernelCache(std::string directory = "");
 
   /// Compile (or fetch) `source` with the given toolchain; returns the
-  /// loaded module.  Thread-compatible (callers serialize).
+  /// loaded module.  Thread-safe.
   std::shared_ptr<Module> get_or_compile(const std::string& source,
                                          const Toolchain& toolchain);
 
   const std::string& directory() const { return directory_; }
 
-  /// Cache statistics for the JIT-overhead ablation bench.
+  /// Cache statistics for the JIT-overhead ablation bench and the metrics
+  /// dump.
   struct Stats {
     std::uint64_t memory_hits = 0;
     std::uint64_t disk_hits = 0;
     std::uint64_t compiles = 0;
   };
-  const Stats& stats() const { return stats_; }
+  /// Snapshot under the internal lock.
+  Stats stats() const;
 
   /// Process-wide shared cache.
   static KernelCache& instance();
 
 private:
   std::string directory_;
+  mutable std::mutex mu_;
   std::map<std::string, std::shared_ptr<Module>> loaded_;
   Stats stats_;
 };

@@ -3,10 +3,12 @@
 #include <dlfcn.h>
 
 #include "support/error.hpp"
+#include "trace/trace.hpp"
 
 namespace snowflake {
 
 Module::Module(const std::string& so_path) : path_(so_path) {
+  trace::Span span("jit:dlopen", "jit");
   handle_ = dlopen(so_path.c_str(), RTLD_NOW | RTLD_LOCAL);
   if (handle_ == nullptr) {
     const char* err = dlerror();

@@ -9,6 +9,7 @@
 #include "support/error.hpp"
 #include "support/logging.hpp"
 #include "support/string_util.hpp"
+#include "trace/trace.hpp"
 
 namespace fs = std::filesystem;
 
@@ -109,7 +110,12 @@ void Toolchain::compile_shared_object(const std::string& source,
                               shell_quote(so.string());
   SF_LOG_DEBUG("jit compile: " << command);
   std::string output;
-  const int status = run_command(command, output);
+  int status;
+  {
+    trace::Span span("jit:toolchain", "jit");
+    span.counter("source_bytes", static_cast<double>(source.size()));
+    status = run_command(command, output);
+  }
   if (!config_.debug_keep_source) {
     std::error_code ec;
     fs::remove(c_path, ec);

@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "support/error.hpp"
+#include "trace/trace.hpp"
 
 namespace snowflake::mg {
 
@@ -11,6 +12,13 @@ double now_seconds() {
   return std::chrono::duration<double>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
+}
+
+/// Span name "mg:<phase>:L<level>", built only when tracing is on so the
+/// hot V-cycle path pays nothing otherwise.
+std::string mg_span_name(const char* phase, size_t level) {
+  if (!trace::enabled()) return {};
+  return std::string("mg:") + phase + ":L" + std::to_string(level);
 }
 }  // namespace
 
@@ -94,6 +102,7 @@ void Solver::run_kernel(CompiledKernel& kernel, GridSet& grids, double h2inv) {
 }
 
 void Solver::smooth(size_t l) {
+  trace::Span span(mg_span_name("smooth", l), "mg");
   if (config_.smoother == Smoother::Chebyshev) {
     chebyshev_smooth(l);
     return;
@@ -132,22 +141,26 @@ void Solver::chebyshev_smooth(size_t l) {
 }
 
 void Solver::residual(size_t l) {
+  trace::Span span(mg_span_name("residual", l), "mg");
   run_kernel(*residual_k_.at(l), levels_.at(l)->grids(), levels_[l]->h2inv());
 }
 
 void Solver::restrict_residual(size_t l) {
+  trace::Span span(mg_span_name("restrict", l), "mg");
   CompiledKernel& k = *restrict_k_.at(l);
   k.run(restrict_sets_.at(l), {});
   modeled_seconds_ += k.modeled_seconds();
 }
 
 void Solver::prolongate_add(size_t l) {
+  trace::Span span(mg_span_name("interp", l), "mg");
   CompiledKernel& k = *interp_k_.at(l);
   k.run(interp_sets_.at(l), {});
   modeled_seconds_ += k.modeled_seconds();
 }
 
 void Solver::prolongate_linear(size_t l, bool add) {
+  trace::Span span(mg_span_name("interp", l), "mg");
   SF_REQUIRE(!add, "additive PL prolongation kernel is compiled without add");
   CompiledKernel& k = *interp_pl_k_.at(l);
   k.run(interp_sets_.at(l), {});
@@ -155,6 +168,7 @@ void Solver::prolongate_linear(size_t l, bool add) {
 }
 
 void Solver::vcycle(size_t l) {
+  trace::Span span(mg_span_name("vcycle", l), "mg");
   if (l + 1 == levels_.size()) {
     for (int i = 0; i < config_.bottom_smooth; ++i) smooth(l);
     return;
@@ -171,6 +185,7 @@ void Solver::vcycle(size_t l) {
 }
 
 void Solver::fcycle() {
+  trace::Span span("mg:fcycle", "mg");
   // Restrict the fine rhs all the way down by computing residuals of the
   // zero solution (res == rhs when x == 0), then FMG upward.
   for (size_t l = 0; l + 1 < levels_.size(); ++l) {
@@ -196,6 +211,8 @@ double Solver::error_vs_exact() {
 }
 
 SolveStats Solver::solve(int cycles, int warmup) {
+  trace::Span span("mg:solve", "mg");
+  span.counter("cycles", static_cast<double>(cycles));
   SF_REQUIRE(cycles >= 1, "solve needs >= 1 cycle");
   SolveStats stats;
   stats.dof = levels_[0]->dof();

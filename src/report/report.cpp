@@ -6,6 +6,7 @@
 #include "analysis/interval.hpp"
 #include "backend/jit/jit_backend.hpp"
 #include "roofline/traffic.hpp"
+#include "trace/profile.hpp"
 
 namespace snowflake {
 
@@ -102,6 +103,33 @@ std::string explain_group(const StencilGroup& group, const ShapeMap& shapes,
        << static_cast<long long>(total_flops)
        << " flops, arithmetic intensity "
        << (total_bytes > 0 ? total_flops / total_bytes : 0.0) << " flop/B\n";
+  }
+
+  if (options.show_profile) {
+    os << "\n== Profile (observed at runtime) ==\n";
+    const std::string label = kernel_label(group, shapes);
+    const double ref_bw = trace::ProfileRegistry::instance().reference_bandwidth();
+    bool any = false;
+    for (const auto& p : trace::ProfileRegistry::instance().snapshot()) {
+      if (p.label != label || p.invocations == 0) continue;
+      any = true;
+      os << "  " << p.backend << ": " << p.invocations << " runs, "
+         << p.wall_seconds << " s total ("
+         << p.wall_seconds / static_cast<double>(p.invocations) * 1e3
+         << " ms/run), modeled " << p.modeled_seconds << " s";
+      const double gbs = p.achieved_bytes_per_s() / 1e9;
+      if (gbs > 0.0) {
+        os << ", " << gbs << " GB/s";
+        if (ref_bw > 0.0) {
+          os << " (" << 100.0 * p.achieved_bytes_per_s() / ref_bw
+             << "% of STREAM roofline)";
+        }
+      }
+      os << "\n";
+    }
+    if (!any) {
+      os << "  (no recorded runs for this group under these shapes)\n";
+    }
   }
 
   return os.str();

@@ -17,6 +17,7 @@ struct ReportOptions {
   bool show_analysis = true;    // dependences, waves, parallelism proofs
   bool show_plan = true;        // lowered nest/chain structure
   bool show_traffic = true;     // per-nest traffic & flop estimates
+  bool show_profile = true;     // observed runtime profile (if any runs)
   bool compare_interval = true; // exact vs interval analysis side by side
   CompileOptions compile;       // transforms applied before planning
 };

@@ -1,9 +1,10 @@
 #include "support/logging.hpp"
 
 #include <atomic>
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <iostream>
 #include <mutex>
 
 namespace snowflake {
@@ -48,10 +49,43 @@ LogLevel log_level() {
 
 namespace detail {
 
+namespace {
+
+/// Monotonic seconds since the first log line.
+double log_uptime_seconds() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - epoch)
+      .count();
+}
+
+/// Dense per-process thread number for log attribution.
+unsigned log_thread_id() {
+  static std::atomic<unsigned> next{0};
+  thread_local const unsigned tid = next.fetch_add(1);
+  return tid;
+}
+
+}  // namespace
+
 void log_line(LogLevel level, const std::string& msg) {
+  // Compose the full line in one buffer and emit it with a single stream
+  // operation so concurrent threads cannot interleave fragments.
+  std::string line;
+  line.reserve(msg.size() + 48);
+  line += "[snowflake ";
+  line += level_name(level);
+  if (log_level() >= LogLevel::Debug) {
+    char prefix[48];
+    std::snprintf(prefix, sizeof(prefix), " +%.6fs T%u", log_uptime_seconds(),
+                  log_thread_id());
+    line += prefix;
+  }
+  line += "] ";
+  line += msg;
+  line += '\n';
   static std::mutex mu;
   std::lock_guard<std::mutex> lock(mu);
-  std::cerr << "[snowflake " << level_name(level) << "] " << msg << "\n";
+  std::fputs(line.c_str(), stderr);
 }
 
 }  // namespace detail

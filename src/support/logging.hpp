@@ -6,6 +6,17 @@
 // off by default so library users see nothing unless they opt in via
 // set_log_level or the SNOWFLAKE_LOG environment variable
 // (error|warn|info|debug).
+//
+// Each line is composed into one buffer and written with a single stream
+// operation, so lines from concurrent threads (e.g. the OpenMP backend)
+// never shear.  At Debug level every line carries a monotonic timestamp
+// and thread id prefix: [+12.345678s T3].
+//
+// Related observability env vars (see docs/observability.md and
+// src/trace/): SNOWFLAKE_TRACE=out.json records compile/run spans and
+// writes a Chrome trace-event JSON at exit; SNOWFLAKE_METRICS=1 dumps
+// counters and per-kernel roofline-annotated runtime profiles to stderr
+// at exit (any other value is treated as an output file path).
 
 #include <sstream>
 #include <string>

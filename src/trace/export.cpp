@@ -1,0 +1,303 @@
+#include "trace/export.hpp"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "support/logging.hpp"
+#include "trace/profile.hpp"
+#include "trace/trace.hpp"
+
+namespace snowflake::trace {
+
+namespace {
+
+void append_json_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_number(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string chrome_trace_json() {
+  const std::vector<SpanRecord> spans = TraceCollector::instance().spans();
+  const double now = now_us();
+
+  std::string out;
+  out.reserve(spans.size() * 160 + 64);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const auto& span : spans) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":";
+    append_json_string(out, span.name);
+    out += ",\"cat\":";
+    append_json_string(out, span.category.empty() ? "default" : span.category);
+    out += ",\"ph\":\"X\",\"ts\":";
+    append_number(out, span.start_us);
+    out += ",\"dur\":";
+    // A span still open at export time (e.g. the process is exiting inside
+    // it) is clamped to "until now" rather than dropped.
+    append_number(out, span.dur_us >= 0.0 ? span.dur_us : now - span.start_us);
+    out += ",\"pid\":1,\"tid\":";
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%u", span.tid);
+    out += buf;
+    if (!span.counters.empty() || span.parent != 0) {
+      out += ",\"args\":{";
+      bool first_arg = true;
+      if (span.parent != 0) {
+        out += "\"parent_span\":";
+        std::snprintf(buf, sizeof(buf), "%" PRIu64, span.parent);
+        out += buf;
+        first_arg = false;
+      }
+      for (const auto& [name, value] : span.counters) {
+        if (!first_arg) out += ',';
+        first_arg = false;
+        append_json_string(out, name);
+        out += ':';
+        append_number(out, value);
+      }
+      out += '}';
+    }
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+void write_chrome_trace(const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    SF_LOG_WARN("cannot write trace file '" << path << "'");
+    return;
+  }
+  out << chrome_trace_json();
+  SF_LOG_INFO("wrote " << TraceCollector::instance().span_count()
+                       << " trace spans to " << path);
+}
+
+std::string metrics_text() {
+  std::ostringstream os;
+  os << "== snowflake metrics ==\n";
+
+  const auto counters = TraceCollector::instance().counters();
+  os << "counters (" << counters.size() << "):\n";
+  for (const auto& [name, value] : counters) {
+    os << "  " << name << " = " << value << "\n";
+  }
+
+  const auto profiles = ProfileRegistry::instance().snapshot();
+  const double roof = ProfileRegistry::instance().reference_bandwidth();
+  os << "kernels (" << profiles.size() << "):\n";
+  for (const auto& p : profiles) {
+    os << "  [" << p.backend << "] " << p.label << ": " << p.invocations
+       << " runs";
+    if (p.invocations == 0) {
+      os << " (compiled, never run)\n";
+      continue;
+    }
+    os << ", " << p.wall_seconds << " s wall ("
+       << p.wall_seconds / static_cast<double>(p.invocations) * 1e3
+       << " ms/run)";
+    if (p.modeled_seconds > 0.0) os << ", " << p.modeled_seconds << " s modeled";
+    if (const double bw = p.achieved_bytes_per_s(); bw > 0.0) {
+      os << ", " << bw / 1e9 << " GB/s";
+      if (roof > 0.0) os << " (" << 100.0 * bw / roof << "% of roofline)";
+    }
+    if (const double fl = p.achieved_flops_per_s(); fl > 0.0) {
+      os << ", " << fl / 1e9 << " Gflop/s";
+    }
+    os << "\n";
+  }
+  if (roof > 0.0) {
+    os << "roofline reference bandwidth: " << roof / 1e9 << " GB/s\n";
+  }
+  return os.str();
+}
+
+void write_metrics(const std::string& path) {
+  const std::string text = metrics_text();
+  if (path == "-") {
+    std::fputs(text.c_str(), stderr);
+    return;
+  }
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    SF_LOG_WARN("cannot write metrics file '" << path << "'");
+    return;
+  }
+  out << text;
+}
+
+// --- minimal JSON syntax checker ------------------------------------------
+
+namespace {
+
+struct JsonScanner {
+  const std::string& s;
+  size_t pos = 0;
+  std::string error;
+
+  bool fail(const std::string& msg) {
+    if (error.empty()) {
+      error = msg + " at offset " + std::to_string(pos);
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos < s.size() && std::isspace(static_cast<unsigned char>(s[pos]))) {
+      ++pos;
+    }
+  }
+
+  bool value() {
+    skip_ws();
+    if (pos >= s.size()) return fail("unexpected end of input");
+    const char c = s[pos];
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') return string();
+    if (c == 't') return literal("true");
+    if (c == 'f') return literal("false");
+    if (c == 'n') return literal("null");
+    if (c == '-' || std::isdigit(static_cast<unsigned char>(c))) return number();
+    return fail(std::string("unexpected character '") + c + "'");
+  }
+
+  bool literal(const char* word) {
+    const size_t len = std::char_traits<char>::length(word);
+    if (s.compare(pos, len, word) != 0) return fail("bad literal");
+    pos += len;
+    return true;
+  }
+
+  bool number() {
+    const size_t start = pos;
+    if (pos < s.size() && s[pos] == '-') ++pos;
+    while (pos < s.size() &&
+           (std::isdigit(static_cast<unsigned char>(s[pos])) || s[pos] == '.' ||
+            s[pos] == 'e' || s[pos] == 'E' || s[pos] == '+' || s[pos] == '-')) {
+      ++pos;
+    }
+    if (pos == start) return fail("empty number");
+    return true;
+  }
+
+  bool string() {
+    ++pos;  // opening quote
+    while (pos < s.size()) {
+      const char c = s[pos];
+      if (c == '\\') {
+        pos += 2;
+        continue;
+      }
+      if (c == '"') {
+        ++pos;
+        return true;
+      }
+      ++pos;
+    }
+    return fail("unterminated string");
+  }
+
+  bool object() {
+    ++pos;  // '{'
+    skip_ws();
+    if (pos < s.size() && s[pos] == '}') {
+      ++pos;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (pos >= s.size() || s[pos] != '"') return fail("expected object key");
+      if (!string()) return false;
+      skip_ws();
+      if (pos >= s.size() || s[pos] != ':') return fail("expected ':'");
+      ++pos;
+      if (!value()) return false;
+      skip_ws();
+      if (pos < s.size() && s[pos] == ',') {
+        ++pos;
+        continue;
+      }
+      if (pos < s.size() && s[pos] == '}') {
+        ++pos;
+        return true;
+      }
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  bool array() {
+    ++pos;  // '['
+    skip_ws();
+    if (pos < s.size() && s[pos] == ']') {
+      ++pos;
+      return true;
+    }
+    while (true) {
+      if (!value()) return false;
+      skip_ws();
+      if (pos < s.size() && s[pos] == ',') {
+        ++pos;
+        continue;
+      }
+      if (pos < s.size() && s[pos] == ']') {
+        ++pos;
+        return true;
+      }
+      return fail("expected ',' or ']'");
+    }
+  }
+};
+
+}  // namespace
+
+bool validate_trace_json(const std::string& json, std::string* error) {
+  JsonScanner scanner{json, 0, {}};
+  if (!scanner.value()) {
+    if (error != nullptr) *error = scanner.error;
+    return false;
+  }
+  scanner.skip_ws();
+  if (scanner.pos != json.size()) {
+    if (error != nullptr) *error = "trailing garbage after JSON document";
+    return false;
+  }
+  if (json.find("\"traceEvents\"") == std::string::npos) {
+    if (error != nullptr) *error = "missing \"traceEvents\" array";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace snowflake::trace

@@ -1,0 +1,35 @@
+#pragma once
+// Trace and metrics exporters.
+//
+// chrome_trace_json() renders the collector's spans as Chrome trace-event
+// JSON ("X" complete events, microsecond timestamps) loadable in
+// chrome://tracing and https://ui.perfetto.dev.  metrics_text() is the
+// flat human-readable dump: global counters (JIT cache hits/misses,
+// compiler invocations, ...) followed by one roofline-annotated line per
+// kernel profile.  validate_trace_json() is a dependency-free JSON syntax
+// checker used by the tests and tools/check_trace so the export format
+// cannot silently rot.
+
+#include <string>
+
+namespace snowflake::trace {
+
+/// Render all recorded spans as a Chrome trace-event JSON document.
+std::string chrome_trace_json();
+
+/// Write chrome_trace_json() to `path` (logs a warning on I/O failure).
+void write_chrome_trace(const std::string& path);
+
+/// Flat text dump: counters, then per-kernel runtime profiles annotated
+/// with achieved GB/s and % of the registered STREAM roofline.
+std::string metrics_text();
+
+/// Write metrics_text() to `path`, or to stderr when `path` is "-".
+void write_metrics(const std::string& path);
+
+/// Strict-enough JSON syntax check (objects, arrays, strings, numbers,
+/// literals) plus a structural check that a "traceEvents" array is
+/// present.  On failure returns false and fills `*error` when non-null.
+bool validate_trace_json(const std::string& json, std::string* error = nullptr);
+
+}  // namespace snowflake::trace

@@ -1,0 +1,72 @@
+#include "trace/profile.hpp"
+
+namespace snowflake::trace {
+
+double KernelProfileData::achieved_bytes_per_s() const {
+  if (wall_seconds <= 0.0 || bytes_per_run <= 0.0) return 0.0;
+  return bytes_per_run * static_cast<double>(invocations) / wall_seconds;
+}
+
+double KernelProfileData::achieved_flops_per_s() const {
+  if (wall_seconds <= 0.0 || flops_per_run <= 0.0) return 0.0;
+  return flops_per_run * static_cast<double>(invocations) / wall_seconds;
+}
+
+void KernelProfile::record_run(double wall_seconds, double modeled_seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++data_.invocations;
+  data_.wall_seconds += wall_seconds;
+  data_.modeled_seconds += modeled_seconds;
+}
+
+KernelProfileData KernelProfile::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return data_;
+}
+
+ProfileRegistry& ProfileRegistry::instance() {
+  static ProfileRegistry registry;
+  return registry;
+}
+
+KernelProfile& ProfileRegistry::kernel(const std::string& label,
+                                       const std::string& backend,
+                                       double bytes_per_run,
+                                       double flops_per_run) {
+  const std::string key = label + "\x1f" + backend;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = profiles_[key];
+  if (slot == nullptr) {
+    slot.reset(new KernelProfile());
+    slot->data_.label = label;
+    slot->data_.backend = backend;
+    slot->data_.bytes_per_run = bytes_per_run;
+    slot->data_.flops_per_run = flops_per_run;
+  }
+  return *slot;
+}
+
+std::vector<KernelProfileData> ProfileRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<KernelProfileData> out;
+  out.reserve(profiles_.size());
+  for (const auto& [key, profile] : profiles_) out.push_back(profile->snapshot());
+  return out;
+}
+
+void ProfileRegistry::set_reference_bandwidth(double bytes_per_s) {
+  std::lock_guard<std::mutex> lock(mu_);
+  reference_bw_ = bytes_per_s;
+}
+
+double ProfileRegistry::reference_bandwidth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return reference_bw_;
+}
+
+void ProfileRegistry::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  profiles_.clear();
+}
+
+}  // namespace snowflake::trace

@@ -1,0 +1,80 @@
+#pragma once
+// Per-kernel runtime profiles: every CompiledKernel::run() feeds an entry
+// here (invocations, wall seconds, modeled device seconds) keyed by the
+// kernel's human-readable label and backend.  The backend attaches the
+// static cost model (DRAM bytes and flops per run, from roofline/traffic)
+// at compile time, so the profile can report achieved GB/s and — when a
+// measured STREAM bandwidth has been registered — the fraction of the
+// roofline actually reached.
+//
+// Accumulation is always on (one uncontended mutex lock per kernel run,
+// noise next to any grid sweep); only span recording is gated by
+// trace::enabled().  Consumers: trace::metrics_text(), the "Profile"
+// section of report::explain_group, and $SNOWFLAKE_METRICS.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace snowflake::trace {
+
+struct KernelProfileData {
+  std::string label;    // kernel identity, e.g. "bc_x+gsrb_red+... @66x66x66"
+  std::string backend;  // producing backend name
+  double bytes_per_run = 0.0;  // static model; 0 = unknown (e.g. reference)
+  double flops_per_run = 0.0;
+  std::uint64_t invocations = 0;
+  double wall_seconds = 0.0;
+  double modeled_seconds = 0.0;  // simulated-device backends only
+
+  /// Achieved DRAM bandwidth over all runs (0 when unknown/untimed).
+  double achieved_bytes_per_s() const;
+  /// Achieved flop rate over all runs (0 when unknown/untimed).
+  double achieved_flops_per_s() const;
+};
+
+/// Pointer-stable accumulator handed to a compiled kernel.
+class KernelProfile {
+public:
+  void record_run(double wall_seconds, double modeled_seconds);
+  KernelProfileData snapshot() const;
+
+private:
+  friend class ProfileRegistry;
+  KernelProfile() = default;
+  mutable std::mutex mu_;
+  KernelProfileData data_;
+};
+
+/// Process-wide registry of kernel profiles.
+class ProfileRegistry {
+public:
+  static ProfileRegistry& instance();
+
+  /// Fetch (or create) the profile for a kernel.  On creation the static
+  /// cost model is stored; repeat compiles of the same label+backend
+  /// share one entry, so recompilation does not reset observed runs.
+  KernelProfile& kernel(const std::string& label, const std::string& backend,
+                        double bytes_per_run, double flops_per_run);
+
+  std::vector<KernelProfileData> snapshot() const;
+
+  /// Measured STREAM bandwidth (bytes/s) used to annotate profiles with a
+  /// %-of-roofline figure; 0 = not measured.
+  void set_reference_bandwidth(double bytes_per_s);
+  double reference_bandwidth() const;
+
+  /// Drop all profiles (tests).  The reference bandwidth is kept.
+  void clear();
+
+private:
+  ProfileRegistry() = default;
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<KernelProfile>> profiles_;
+  double reference_bw_ = 0.0;
+};
+
+}  // namespace snowflake::trace

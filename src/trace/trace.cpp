@@ -1,0 +1,188 @@
+#include "trace/trace.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+
+#include "trace/export.hpp"
+#include "trace/profile.hpp"
+
+namespace snowflake::trace {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+}
+
+namespace {
+
+/// Per-thread state: dense thread number and the stack of open span ids
+/// (spans are lexically scoped, so LIFO per thread holds by construction).
+std::uint32_t this_thread_id() {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t tid = next.fetch_add(1);
+  return tid;
+}
+
+thread_local std::vector<std::uint64_t> t_open_spans;
+
+/// Exit-time outputs, set by env vars or enable_* calls.
+struct ExitActions {
+  std::mutex mu;
+  std::string trace_path;   // empty = no trace file
+  std::string metrics_path; // empty = no dump; "-" = stderr
+};
+
+ExitActions& exit_actions() {
+  static ExitActions actions;
+  return actions;
+}
+
+/// Reads $SNOWFLAKE_TRACE / $SNOWFLAKE_METRICS at static-initialization
+/// time and flushes the requested outputs at static-destruction time.
+/// The constructor touches the collector and profile registry first so
+/// they outlive this object (destroyed after it, constructed before its
+/// construction completes).
+struct EnvInit {
+  EnvInit() {
+    TraceCollector::instance();
+    ProfileRegistry::instance();
+    if (const char* p = std::getenv("SNOWFLAKE_TRACE"); p != nullptr && *p) {
+      enable_trace_file(p);
+    }
+    if (const char* m = std::getenv("SNOWFLAKE_METRICS"); m != nullptr && *m &&
+        std::strcmp(m, "0") != 0) {
+      std::lock_guard<std::mutex> lock(exit_actions().mu);
+      exit_actions().metrics_path = std::strcmp(m, "1") == 0 ? "-" : m;
+    }
+  }
+  ~EnvInit() {
+    std::string trace_path, metrics_path;
+    {
+      std::lock_guard<std::mutex> lock(exit_actions().mu);
+      trace_path = exit_actions().trace_path;
+      metrics_path = exit_actions().metrics_path;
+    }
+    if (!trace_path.empty()) write_chrome_trace(trace_path);
+    if (!metrics_path.empty()) write_metrics(metrics_path);
+  }
+};
+
+EnvInit g_env_init;
+
+}  // namespace
+
+void set_enabled(bool on) {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+void enable_trace_file(std::string path) {
+  {
+    std::lock_guard<std::mutex> lock(exit_actions().mu);
+    exit_actions().trace_path = std::move(path);
+  }
+  set_enabled(true);
+}
+
+void enable_metrics_dump() {
+  std::lock_guard<std::mutex> lock(exit_actions().mu);
+  exit_actions().metrics_path = "-";
+}
+
+double now_us() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch)
+      .count();
+}
+
+TraceCollector& TraceCollector::instance() {
+  static TraceCollector collector;
+  return collector;
+}
+
+std::uint64_t TraceCollector::begin(std::string name, std::string category) {
+  const double start = now_us();
+  const std::uint32_t tid = this_thread_id();
+  const std::uint64_t parent = t_open_spans.empty() ? 0 : t_open_spans.back();
+  std::uint64_t id;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    id = next_id_++;
+    SpanRecord rec;
+    rec.id = id;
+    rec.parent = parent;
+    rec.name = std::move(name);
+    rec.category = std::move(category);
+    rec.start_us = start;
+    rec.tid = tid;
+    spans_.push_back(std::move(rec));
+  }
+  t_open_spans.push_back(id);
+  return id;
+}
+
+void TraceCollector::end(std::uint64_t id,
+                         std::vector<std::pair<std::string, double>> counters) {
+  const double end_us = now_us();
+  if (!t_open_spans.empty() && t_open_spans.back() == id) t_open_spans.pop_back();
+  std::lock_guard<std::mutex> lock(mu_);
+  // Spans close in near-LIFO order, so scanning backwards is O(1) in the
+  // common case.
+  for (auto it = spans_.rbegin(); it != spans_.rend(); ++it) {
+    if (it->id == id) {
+      it->dur_us = end_us - it->start_us;
+      it->counters = std::move(counters);
+      return;
+    }
+  }
+}
+
+void TraceCollector::increment(const std::string& name, double delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_[name] += delta;
+}
+
+std::vector<SpanRecord> TraceCollector::spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+std::map<std::string, double> TraceCollector::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+std::size_t TraceCollector::span_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_.size();
+}
+
+void TraceCollector::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.clear();
+  counters_.clear();
+}
+
+Span::Span(const char* name, const char* category) {
+  if (enabled()) id_ = TraceCollector::instance().begin(name, category);
+}
+
+Span::Span(const std::string& name, const char* category) {
+  if (enabled()) id_ = TraceCollector::instance().begin(name, category);
+}
+
+Span::Span(std::string&& name, const char* category) {
+  if (enabled()) {
+    id_ = TraceCollector::instance().begin(std::move(name), category);
+  }
+}
+
+Span::~Span() {
+  if (id_ != 0) TraceCollector::instance().end(id_, std::move(counters_));
+}
+
+void Span::counter(const char* name, double value) {
+  if (id_ != 0) counters_.emplace_back(name, value);
+}
+
+}  // namespace snowflake::trace

@@ -1,0 +1,126 @@
+#pragma once
+// Process-wide tracing: RAII spans with nesting and thread attribution,
+// recorded into a lock-protected in-memory collector, plus named global
+// counters.  This is the observability backbone behind the paper's Figure 5
+// workflow — the platform expert can watch what the micro-compilers and the
+// runtime actually did, not just what the static analysis promised.
+//
+// Activation:
+//   SNOWFLAKE_TRACE=out.json   enable tracing; write a Chrome trace-event
+//                              JSON (chrome://tracing / Perfetto) at exit.
+//   SNOWFLAKE_METRICS=1        dump the flat metrics text to stderr at exit
+//                              (any other non-empty value is a file path).
+//   trace::set_enabled(true)   programmatic activation (tests, tools).
+//
+// Cost when off: every Span construction is a single relaxed atomic load;
+// no strings are built, nothing is locked, nothing is recorded.  See
+// docs/observability.md for the span taxonomy.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace snowflake::trace {
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+}
+
+/// True when span recording is active.  Relaxed: callers only use it to
+/// skip work, never for synchronization.
+inline bool enabled() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Turn span recording on/off programmatically.
+void set_enabled(bool on);
+
+/// Enable tracing and write the Chrome trace JSON to `path` at process
+/// exit (the same mechanism $SNOWFLAKE_TRACE uses).
+void enable_trace_file(std::string path);
+
+/// Dump the flat metrics text to stderr at process exit (the same
+/// mechanism $SNOWFLAKE_METRICS uses).
+void enable_metrics_dump();
+
+/// Monotonic microseconds since the process trace epoch.
+double now_us();
+
+/// One finished (or still-open) span as recorded by the collector.
+struct SpanRecord {
+  std::uint64_t id = 0;
+  std::uint64_t parent = 0;  // 0 = top-level
+  std::string name;
+  std::string category;
+  double start_us = 0.0;
+  double dur_us = -1.0;  // < 0 while still open
+  std::uint32_t tid = 0;  // dense per-process thread number (0 = first)
+  std::vector<std::pair<std::string, double>> counters;
+};
+
+/// Lock-protected in-memory span + counter store (process-wide singleton).
+class TraceCollector {
+public:
+  static TraceCollector& instance();
+
+  /// Begin a span; returns its id.  Parent is the innermost open span on
+  /// the calling thread.
+  std::uint64_t begin(std::string name, std::string category);
+
+  /// Close span `id`, attaching `counters` to it.
+  void end(std::uint64_t id,
+           std::vector<std::pair<std::string, double>> counters);
+
+  /// Add `delta` to the named global counter (creates it at 0).  Always
+  /// available, independent of span recording.
+  void increment(const std::string& name, double delta = 1.0);
+
+  /// Snapshots (copies, safe to inspect while tracing continues).
+  std::vector<SpanRecord> spans() const;
+  std::map<std::string, double> counters() const;
+  std::size_t span_count() const;
+
+  /// Drop all recorded spans and counters (tests).
+  void clear();
+
+private:
+  TraceCollector() = default;
+  mutable std::mutex mu_;
+  std::vector<SpanRecord> spans_;
+  std::map<std::string, double> counters_;
+  std::uint64_t next_id_ = 1;
+};
+
+/// RAII span.  Inactive (a single relaxed load, no allocation) when
+/// tracing is off at construction time.  Not copyable or movable: spans
+/// delimit a lexical scope on one thread.
+class Span {
+public:
+  /// `name` is copied only when tracing is on; for dynamic names build the
+  /// string under an `enabled()` check:
+  ///   trace::Span s(trace::enabled() ? "run:" + label : std::string(), "run");
+  Span(const char* name, const char* category = "");
+  Span(const std::string& name, const char* category = "");
+  Span(std::string&& name, const char* category = "");
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Attach a named value to this span (shows up under "args" in the
+  /// Chrome trace).  No-op when the span is inactive.
+  void counter(const char* name, double value);
+
+  bool active() const { return id_ != 0; }
+
+private:
+  std::uint64_t id_ = 0;  // 0 = inactive
+  std::vector<std::pair<std::string, double>> counters_;
+};
+
+}  // namespace snowflake::trace

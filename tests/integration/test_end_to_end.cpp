@@ -11,6 +11,7 @@
 #include "ir/stencil_library.hpp"
 #include "multigrid/operators.hpp"
 #include "multigrid/solver.hpp"
+#include "trace/trace.hpp"
 
 namespace snowflake {
 namespace {
@@ -84,16 +85,19 @@ TEST(EndToEnd, UserDefinedBackendPluggable) {
   // the scientist's code picks it up by name.
   class CountingKernel final : public CompiledKernel {
   public:
-    void run(GridSet&, const ParamMap&) override { ++calls; }
     std::string backend_name() const override { return "counting"; }
     int calls = 0;
+
+  protected:
+    void run_impl(GridSet&, const ParamMap&) override { ++calls; }
   };
   class CountingBackend final : public Backend {
   public:
     std::string name() const override { return "counting"; }
-    std::unique_ptr<CompiledKernel> compile(const StencilGroup&,
-                                            const ShapeMap&,
-                                            const CompileOptions&) override {
+
+  protected:
+    std::unique_ptr<CompiledKernel> compile_impl(
+        const StencilGroup&, const ShapeMap&, const CompileOptions&) override {
       return std::make_unique<CountingKernel>();
     }
   };
@@ -106,6 +110,41 @@ TEST(EndToEnd, UserDefinedBackendPluggable) {
                         gs, "counting");
   kernel->run(gs);
   EXPECT_EQ(static_cast<CountingKernel*>(kernel.get())->calls, 1);
+}
+
+TEST(EndToEnd, TracedSolveEmitsSpansPerLevel) {
+  auto& collector = trace::TraceCollector::instance();
+  trace::set_enabled(true);
+  collector.clear();
+  {
+    mg::Solver::Config cfg;
+    cfg.problem.rank = 2;
+    cfg.problem.n = 8;
+    cfg.backend = "c";
+    mg::Solver solver(cfg);
+    solver.vcycle();
+    trace::set_enabled(false);
+
+    const auto spans = collector.spans();
+    size_t compile_spans = 0, run_spans = 0;
+    for (const auto& s : spans) {
+      if (s.category == "compile") ++compile_spans;
+      if (s.category == "run") ++run_spans;
+    }
+    // Every level compiles smooth + residual (+ setup) kernels and runs
+    // them during the V-cycle.
+    EXPECT_GE(compile_spans, solver.num_levels());
+    EXPECT_GE(run_spans, solver.num_levels());
+    for (size_t l = 0; l < solver.num_levels(); ++l) {
+      const std::string want = "mg:smooth:L" + std::to_string(l);
+      bool found = false;
+      for (const auto& s : spans) {
+        if (s.name == want) { found = true; break; }
+      }
+      EXPECT_TRUE(found) << "missing span " << want;
+    }
+  }
+  collector.clear();
 }
 
 }  // namespace

@@ -1,0 +1,107 @@
+// Exporters: Chrome trace-event JSON structure and round-tripping of span
+// names, the flat metrics text, and the JSON validator itself.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "trace/export.hpp"
+#include "trace/profile.hpp"
+#include "trace/trace.hpp"
+
+namespace snowflake::trace {
+namespace {
+
+class ExportTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    TraceCollector::instance().clear();
+    ProfileRegistry::instance().clear();
+    set_enabled(true);
+  }
+  void TearDown() override {
+    set_enabled(false);
+    TraceCollector::instance().clear();
+    ProfileRegistry::instance().clear();
+  }
+};
+
+TEST_F(ExportTest, ChromeTraceIsValidJson) {
+  {
+    Span outer("pipeline", "compile");
+    Span inner("emit \"quoted\"\\backslash", "compile");
+    inner.counter("bytes", 42.0);
+  }
+  const std::string json = chrome_trace_json();
+  std::string error;
+  EXPECT_TRUE(validate_trace_json(json, &error)) << error;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+}
+
+TEST_F(ExportTest, SpanNamesRoundTrip) {
+  {
+    Span a("backend:compile:openmp", "compile");
+    Span b("mg:smooth:L0", "mg");
+  }
+  const std::string json = chrome_trace_json();
+  EXPECT_NE(json.find("\"name\":\"backend:compile:openmp\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"mg:smooth:L0\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"mg\""), std::string::npos);
+}
+
+TEST_F(ExportTest, OpenSpansAreClampedNotDropped) {
+  Span open("still-open", "test");
+  const std::string json = chrome_trace_json();
+  std::string error;
+  EXPECT_TRUE(validate_trace_json(json, &error)) << error;
+  EXPECT_NE(json.find("\"name\":\"still-open\""), std::string::npos);
+}
+
+TEST_F(ExportTest, MetricsTextListsCountersAndKernels) {
+  TraceCollector::instance().increment("jit.cache.compiles", 3.0);
+  ProfileRegistry::instance().set_reference_bandwidth(10e9);
+  auto& prof = ProfileRegistry::instance().kernel("gsrb @10x10", "openmp",
+                                                  /*bytes_per_run=*/8000.0,
+                                                  /*flops_per_run=*/1000.0);
+  prof.record_run(/*wall=*/1e-6, /*modeled=*/0.5e-6);
+  prof.record_run(1e-6, 0.5e-6);
+
+  const std::string text = metrics_text();
+  EXPECT_NE(text.find("jit.cache.compiles"), std::string::npos);
+  EXPECT_NE(text.find("gsrb @10x10"), std::string::npos);
+  EXPECT_NE(text.find("openmp"), std::string::npos);
+  EXPECT_NE(text.find("runs"), std::string::npos);
+  EXPECT_NE(text.find("GB/s"), std::string::npos);
+  EXPECT_NE(text.find("roofline"), std::string::npos);
+}
+
+TEST_F(ExportTest, ValidatorRejectsMalformedJson) {
+  std::string error;
+  EXPECT_FALSE(validate_trace_json("{]", &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(validate_trace_json("", &error));
+  EXPECT_FALSE(validate_trace_json("{\"foo\": 1}", &error));  // no traceEvents
+  EXPECT_FALSE(validate_trace_json("{\"traceEvents\": [", &error));
+}
+
+TEST_F(ExportTest, WriteChromeTraceProducesLoadableFile) {
+  { Span s("file-span", "test"); }
+  const std::string path = ::testing::TempDir() + "sf_trace_test.json";
+  write_chrome_trace(path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  std::string error;
+  EXPECT_TRUE(validate_trace_json(ss.str(), &error)) << error;
+  EXPECT_NE(ss.str().find("file-span"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace snowflake::trace

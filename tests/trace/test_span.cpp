@@ -1,0 +1,166 @@
+// Span recording: nesting, thread attribution, counters, and the
+// off-by-default contract (no spans recorded, Span stays inactive).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "backend/backend.hpp"
+#include "grid/grid_set.hpp"
+#include "ir/stencil.hpp"
+#include "trace/profile.hpp"
+#include "trace/trace.hpp"
+
+namespace snowflake::trace {
+namespace {
+
+class SpanTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    TraceCollector::instance().clear();
+    set_enabled(true);
+  }
+  void TearDown() override {
+    set_enabled(false);
+    TraceCollector::instance().clear();
+  }
+};
+
+const SpanRecord* find_span(const std::vector<SpanRecord>& spans,
+                            const std::string& name) {
+  for (const auto& s : spans) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+TEST_F(SpanTest, OffByDefaultRecordsNothing) {
+  set_enabled(false);
+  {
+    Span s("should-not-appear", "test");
+    EXPECT_FALSE(s.active());
+    s.counter("ignored", 1.0);
+  }
+  EXPECT_EQ(TraceCollector::instance().span_count(), 0u);
+}
+
+TEST_F(SpanTest, NestingRecordsParentIds) {
+  {
+    Span outer("outer", "test");
+    EXPECT_TRUE(outer.active());
+    {
+      Span inner("inner", "test");
+      Span innermost("innermost", "test");
+    }
+  }
+  const auto spans = TraceCollector::instance().spans();
+  ASSERT_EQ(spans.size(), 3u);
+  const SpanRecord* outer = find_span(spans, "outer");
+  const SpanRecord* inner = find_span(spans, "inner");
+  const SpanRecord* innermost = find_span(spans, "innermost");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  ASSERT_NE(innermost, nullptr);
+  EXPECT_EQ(outer->parent, 0u);
+  EXPECT_EQ(inner->parent, outer->id);
+  EXPECT_EQ(innermost->parent, inner->id);
+  EXPECT_GE(outer->dur_us, inner->dur_us);
+  EXPECT_GE(inner->start_us, outer->start_us);
+}
+
+TEST_F(SpanTest, SiblingSpansShareParent) {
+  {
+    Span outer("outer", "test");
+    { Span a("a", "test"); }
+    { Span b("b", "test"); }
+  }
+  const auto spans = TraceCollector::instance().spans();
+  const SpanRecord* outer = find_span(spans, "outer");
+  const SpanRecord* a = find_span(spans, "a");
+  const SpanRecord* b = find_span(spans, "b");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(a->parent, outer->id);
+  EXPECT_EQ(b->parent, outer->id);
+}
+
+TEST_F(SpanTest, ThreadsGetDistinctIdsAndIndependentNesting) {
+  {
+    Span main_span("main-span", "test");
+    std::thread t1([] { Span s("thread-span-1", "test"); });
+    std::thread t2([] { Span s("thread-span-2", "test"); });
+    t1.join();
+    t2.join();
+  }
+  const auto spans = TraceCollector::instance().spans();
+  const SpanRecord* m = find_span(spans, "main-span");
+  const SpanRecord* s1 = find_span(spans, "thread-span-1");
+  const SpanRecord* s2 = find_span(spans, "thread-span-2");
+  ASSERT_NE(m, nullptr);
+  ASSERT_NE(s1, nullptr);
+  ASSERT_NE(s2, nullptr);
+  // A span opened on another thread is not a child of this thread's open
+  // span, and each thread has its own id.
+  EXPECT_EQ(s1->parent, 0u);
+  EXPECT_EQ(s2->parent, 0u);
+  EXPECT_NE(s1->tid, m->tid);
+  EXPECT_NE(s2->tid, m->tid);
+  EXPECT_NE(s1->tid, s2->tid);
+}
+
+TEST_F(SpanTest, SpanCountersAttach) {
+  {
+    Span s("counted", "test");
+    s.counter("bytes", 128.0);
+    s.counter("flops", 256.0);
+  }
+  const auto spans = TraceCollector::instance().spans();
+  const SpanRecord* s = find_span(spans, "counted");
+  ASSERT_NE(s, nullptr);
+  ASSERT_EQ(s->counters.size(), 2u);
+  EXPECT_EQ(s->counters[0].first, "bytes");
+  EXPECT_DOUBLE_EQ(s->counters[0].second, 128.0);
+  EXPECT_EQ(s->counters[1].first, "flops");
+  EXPECT_DOUBLE_EQ(s->counters[1].second, 256.0);
+}
+
+TEST_F(SpanTest, GlobalCountersAccumulateEvenWhenDisabled) {
+  set_enabled(false);
+  auto& c = TraceCollector::instance();
+  c.increment("test.counter");
+  c.increment("test.counter", 2.5);
+  EXPECT_DOUBLE_EQ(c.counters().at("test.counter"), 3.5);
+}
+
+TEST_F(SpanTest, CompiledKernelRunRecordsWallTimeAndProfile) {
+  GridSet gs;
+  gs.add_zeros("in", {8});
+  gs.add_zeros("out", {8});
+  auto kernel = compile(
+      StencilGroup(Stencil(read("in", {0}), "out", RectDomain({1}, {-1}))), gs,
+      "reference");
+  kernel->run(gs);
+  EXPECT_GT(kernel->last_run_seconds(), 0.0);
+  const auto spans = TraceCollector::instance().spans();
+  bool found_run = false, found_compile = false;
+  for (const auto& rec : spans) {
+    if (rec.category == "run") found_run = true;
+    if (rec.name == "backend:compile:reference") found_compile = true;
+  }
+  EXPECT_TRUE(found_run);
+  EXPECT_TRUE(found_compile);
+
+  bool profiled = false;
+  for (const auto& p : ProfileRegistry::instance().snapshot()) {
+    if (p.backend == "reference" && p.invocations >= 1 && p.wall_seconds > 0.0) {
+      profiled = true;
+    }
+  }
+  EXPECT_TRUE(profiled);
+}
+
+}  // namespace
+}  // namespace snowflake::trace

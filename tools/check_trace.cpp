@@ -1,0 +1,52 @@
+// check_trace: CI validator for emitted Chrome trace-event JSON.
+//
+//   check_trace <trace.json> [required-span-name...]
+//
+// Exits 0 when the file parses as JSON, contains a traceEvents array, and
+// every required span name appears; prints what failed and exits 1
+// otherwise.  Used by the quickstart_trace_validate ctest entry.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "trace/export.hpp"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <trace.json> [required-span-name...]\n",
+                 argv[0]);
+    return 1;
+  }
+  std::ifstream in(argv[1], std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "check_trace: cannot open '%s'\n", argv[1]);
+    return 1;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const std::string json = ss.str();
+
+  std::string error;
+  if (!snowflake::trace::validate_trace_json(json, &error)) {
+    std::fprintf(stderr, "check_trace: %s is not a valid trace: %s\n", argv[1],
+                 error.c_str());
+    return 1;
+  }
+
+  int missing = 0;
+  for (int i = 2; i < argc; ++i) {
+    const std::string needle = "\"name\":\"" + std::string(argv[i]) + "\"";
+    if (json.find(needle) == std::string::npos) {
+      std::fprintf(stderr, "check_trace: missing required span '%s'\n",
+                   argv[i]);
+      ++missing;
+    }
+  }
+  if (missing > 0) return 1;
+
+  std::printf("check_trace: %s ok (%zu bytes, %d required spans present)\n",
+              argv[1], json.size(), argc - 2);
+  return 0;
+}
