@@ -29,14 +29,60 @@ Args Args::parse(int argc, char** argv) {
       trace::enable_trace_file(a + 8);
     } else if (std::strcmp(a, "--metrics") == 0) {
       trace::enable_metrics_dump();
+    } else if (std::strncmp(a, "--json=", 7) == 0) {
+      JsonReport::instance().enable(a + 7);
     } else if (std::strcmp(a, "--help") == 0) {
       std::printf(
           "options: --n=<size> --sweeps=<reps> --paper --trace=<out.json> "
-          "--metrics\n");
+          "--metrics --json=<out.json>\n");
       std::exit(0);
     }
   }
   return args;
+}
+
+JsonReport& JsonReport::instance() {
+  static JsonReport report;
+  return report;
+}
+
+void JsonReport::enable(const std::string& path) {
+  const bool first = path_.empty();
+  path_ = path;
+  if (first) std::atexit([] { JsonReport::instance().flush(); });
+}
+
+void JsonReport::record(const std::string& label, double seconds, double gbps,
+                        double roofline_pct) {
+  if (!enabled()) return;
+  rows_.push_back(Row{label, seconds, gbps, roofline_pct});
+}
+
+void JsonReport::flush() const {
+  if (path_.empty()) return;
+  FILE* f = std::fopen(path_.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "bench: cannot write --json file %s\n", path_.c_str());
+    return;
+  }
+  auto escape = [](const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    return out;
+  };
+  std::fprintf(f, "{\"schema\": \"snowflake-bench-v1\",\n \"results\": [");
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    std::fprintf(f,
+                 "%s\n  {\"label\": \"%s\", \"seconds\": %.17g, "
+                 "\"gbps\": %.17g, \"roofline_pct\": %.17g}",
+                 i ? "," : "", escape(rows_[i].label).c_str(), rows_[i].seconds,
+                 rows_[i].gbps, rows_[i].roofline_pct);
+  }
+  std::fprintf(f, "\n]}\n");
+  std::fclose(f);
 }
 
 double time_best(const std::function<void()>& fn, int warmup, int reps) {

@@ -11,6 +11,8 @@
 //   --paper        shorthand for the paper's sizes
 //   --trace=<f>    write a Chrome trace-event JSON to <f> at exit
 //   --metrics      dump trace counters + kernel profiles to stderr at exit
+//   --json=<f>     write machine-readable results to <f> at exit (rows the
+//                  bench records via JsonReport; schema snowflake-bench-v1)
 
 #include <cstdint>
 #include <functional>
@@ -52,6 +54,33 @@ struct BenchLevel {
   GridSet& grids() { return level->grids(); }
   double h2inv() const { return level->h2inv(); }
   std::int64_t points() const { return level->dof(); }
+};
+
+/// Machine-readable results sink behind --json=<file>.  Benches record one
+/// row per table line; at process exit (or flush()) the rows are written as
+///   {"schema": "snowflake-bench-v1",
+///    "results": [{"label": ..., "seconds": ..., "gbps": ...,
+///                 "roofline_pct": ...}, ...]}
+/// record() is a no-op until enable() is called, so benches can record
+/// unconditionally.  Pass 0 for gbps / roofline_pct when not meaningful.
+class JsonReport {
+public:
+  static JsonReport& instance();
+  /// Activate and set the output path (called by Args::parse for --json=).
+  void enable(const std::string& path);
+  bool enabled() const { return !path_.empty(); }
+  void record(const std::string& label, double seconds, double gbps,
+              double roofline_pct);
+  /// Write the file now (also runs at exit; rewrites the whole file).
+  void flush() const;
+
+private:
+  struct Row {
+    std::string label;
+    double seconds, gbps, roofline_pct;
+  };
+  std::string path_;
+  std::vector<Row> rows_;
 };
 
 /// Fixed-width table printer.

@@ -128,6 +128,10 @@ int main(int argc, char** argv) {
     table.row({oc.name, "CPU", Table::num(sf_cpu / 1e9),
                Table::num(hand_cpu / 1e9), Table::num(roof_cpu / 1e9),
                Table::num(sf_cpu / roof_cpu, 2)});
+    JsonReport::instance().record(
+        oc.name + " CPU", t_sf,
+        oc.bytes_per_stencil * oc.stencils_per_sweep / t_sf / 1e9,
+        100.0 * sf_cpu / roof_cpu);
 
     // --- GPU (modeled): Snowflake oclsim vs hand-CUDA proxy vs roofline ---
     auto ocl = compile(oc.group, bl.grids(), "oclsim");
@@ -143,6 +147,10 @@ int main(int argc, char** argv) {
             : "n/a";
     table.row({oc.name, "GPU (modeled)", Table::num(sf_gpu / 1e9), cuda,
                Table::num(roof_gpu / 1e9), Table::num(sf_gpu / roof_gpu, 2)});
+    JsonReport::instance().record(
+        oc.name + " GPU", t_gpu,
+        oc.bytes_per_stencil * oc.stencils_per_sweep / t_gpu / 1e9,
+        100.0 * sf_gpu / roof_gpu);
   }
 
   std::printf(

@@ -70,6 +70,11 @@ int main(int argc, char** argv) {
 
     table.row({std::to_string(n) + "^3", Table::sci(t_sf), Table::sci(t_hand),
                Table::sci(t_roof), Table::sci(t_gpu), Table::sci(t_cuda)});
+    // Roofline seconds = model bytes / measured bandwidth, so the modeled
+    // sweep bytes are t_roof * cpu_bw.
+    JsonReport::instance().record("gsrb " + std::to_string(n) + "^3", t_sf,
+                                  t_roof * cpu_bw / t_sf / 1e9,
+                                  100.0 * t_roof / t_sf);
   }
 
   std::printf(

@@ -74,6 +74,11 @@ int main(int argc, char** argv) {
   table.row({"hand-CUDA model (GPU, modeled)", Table::sci(cuda_dof_s_est),
              Table::num(cuda_cycle_s * cycles), "-"});
 
+  JsonReport::instance().record("gmg snowflake openmp", sf_stats.seconds, 0, 0);
+  JsonReport::instance().record("gmg hand cpu", hand_stats.seconds, 0, 0);
+  JsonReport::instance().record("gmg snowflake oclsim",
+                                ocl_stats.modeled_seconds, 0, 0);
+
   std::printf("\nsolver verification: Snowflake error vs exact %.2e, hand %.2e\n",
               sf_stats.error_max, hand_stats.error_max);
   std::printf("CPU ratio snowflake/hand: %.2f (paper: ~1.0)\n",

@@ -1,0 +1,122 @@
+#include "analysis/halo.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <set>
+
+#include "support/error.hpp"
+
+namespace snowflake {
+
+std::vector<Index> SweepHalo::stage_margins(int depth) const {
+  SF_REQUIRE(depth >= 1, "stage_margins requires depth >= 1");
+  const size_t waves = wave_radius.size();
+  const size_t stages = static_cast<size_t>(depth) * waves;
+  const size_t rank = box.size();
+  std::vector<Index> margins(stages, Index(rank, 0));
+  // margin[j] = sum of radii of all *later* stages; suffix accumulation.
+  Index suffix(rank, 0);
+  for (size_t j = stages; j-- > 0;) {
+    margins[j] = suffix;
+    const Index& r = wave_radius[j % waves];
+    for (size_t d = 0; d < rank; ++d) suffix[d] += r[d];
+  }
+  return margins;
+}
+
+Index SweepHalo::total_halo(int depth) const {
+  SF_REQUIRE(depth >= 1, "total_halo requires depth >= 1");
+  Index h(box.size(), 0);
+  for (size_t d = 0; d < h.size(); ++d) {
+    h[d] = static_cast<std::int64_t>(depth) * cycle_radius[d];
+  }
+  return h;
+}
+
+SweepHalo analyze_sweep_halo(const StencilGroup& group, const ShapeMap& shapes,
+                             const Schedule& schedule) {
+  SweepHalo out;
+  if (group.empty()) {
+    out.reason = "group is empty";
+    return out;
+  }
+  SF_REQUIRE(schedule.point_parallel.size() == group.size() &&
+                 schedule.rects_independent.size() == group.size(),
+             "schedule does not match group");
+
+  const int rank = group[0].rank();
+  for (const auto& s : group.stencils()) {
+    if (s.rank() != rank) {
+      out.reason = "stencils have mixed ranks";
+      return out;
+    }
+  }
+
+  // The written grids must share one shape: they are copied into per-tile
+  // scratch buffers with a common tiling of that box.
+  std::set<std::string> written;
+  for (const auto& s : group.stencils()) written.insert(s.output());
+  out.written.assign(written.begin(), written.end());
+  out.box = shapes.at(out.written.front());
+  for (const auto& g : out.written) {
+    if (shapes.at(g) != out.box) {
+      out.reason = "written grids '" + out.written.front() + "' and '" + g +
+                   "' have different shapes";
+      return out;
+    }
+  }
+  if (static_cast<int>(out.box.size()) != rank) {
+    out.reason = "written grid rank differs from stencil rank";
+    return out;
+  }
+
+  for (size_t i = 0; i < group.size(); ++i) {
+    if (!schedule.point_parallel[i]) {
+      out.reason = "stencil '" + group[i].name() +
+                   "' is not point-parallel (in-place dependence chain has "
+                   "no bounded per-sweep halo)";
+      return out;
+    }
+    if (!schedule.rects_independent[i]) {
+      out.reason = "stencil '" + group[i].name() +
+                   "' has order-dependent union rects (values flow within "
+                   "one wave, outside the per-wave margin model)";
+      return out;
+    }
+  }
+
+  // Per-wave read radius onto written grids.  Reads of read-only grids are
+  // free (their values never change during the fused run); reads of written
+  // grids must be pure offsets so the dependence distance is constant.
+  out.wave_radius.assign(schedule.waves.size(), Index(rank, 0));
+  out.cycle_radius.assign(static_cast<size_t>(rank), 0);
+  for (size_t w = 0; w < schedule.waves.size(); ++w) {
+    for (size_t si : schedule.waves[w].stencils) {
+      const Stencil& s = group[si];
+      for (const GridReadExpr* read : collect_reads(s.expr())) {
+        if (written.find(read->grid()) == written.end()) continue;
+        for (int d = 0; d < rank; ++d) {
+          const DimMap& m = read->map().dim(d);
+          if (!m.is_pure_offset()) {
+            out.reason = "stencil '" + s.name() + "' reads written grid '" +
+                         read->grid() + "' through a non-offset index map";
+            return out;
+          }
+          out.wave_radius[w][static_cast<size_t>(d)] =
+              std::max(out.wave_radius[w][static_cast<size_t>(d)],
+                       std::abs(m.off));
+        }
+      }
+    }
+  }
+  for (const Index& r : out.wave_radius) {
+    for (int d = 0; d < rank; ++d) {
+      out.cycle_radius[static_cast<size_t>(d)] += r[static_cast<size_t>(d)];
+    }
+  }
+
+  out.legal = true;
+  return out;
+}
+
+}  // namespace snowflake

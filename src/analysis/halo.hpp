@@ -1,0 +1,71 @@
+#pragma once
+// Cross-sweep halo analysis for temporal blocking (time tiling).
+//
+// Fusing k consecutive applications of a StencilGroup into one traversal of
+// overlapped tiles is legal only when the dependence footprint of every
+// sweep is a bounded halo: each tile then redundantly computes a shrinking
+// margin so tiles stay independent across all k sweeps.  This module
+// extends the per-sweep dependence machinery (Diophantine point-parallel
+// flags, wave schedule) across sweep iterations:
+//
+//   * every stencil must be point-parallel — an in-place stencil that reads
+//     inside its own write region (lexicographic Gauss-Seidel) carries an
+//     unbounded same-sweep dependence chain, so no finite halo covers it;
+//   * rects of a multi-rect stencil must be order-independent, otherwise
+//     values flow between rects *within* one wave and the per-wave margin
+//     accounting below does not apply;
+//   * every grid the group writes must share one shape (the tiled box) and
+//     may only be read through pure-offset index maps — a scaled or
+//     rank-changing read of a written grid has no constant per-sweep
+//     distance;
+//   * grids the group only reads are unconstrained (their values are fixed
+//     for the whole fused run).
+//
+// Under those conditions the dependence distance of schedule wave w onto
+// earlier-written values is wave_radius[w] (the max |offset| of its reads
+// of written grids, per dimension), and a tile that is computed with margin
+// sum-of-later-radii at each stage produces exactly the sequential values
+// on its owned points — see codegen/transform/time_tiling.hpp for the
+// induction.
+
+#include <string>
+#include <vector>
+
+#include "analysis/dag.hpp"
+#include "ir/stencil.hpp"
+#include "ir/validate.hpp"
+
+namespace snowflake {
+
+/// Result of the cross-sweep halo analysis of one (group, shapes, schedule).
+struct SweepHalo {
+  bool legal = false;
+  std::string reason;  // set when !legal: why time tiling must fall back
+
+  /// Common shape of every written grid — the box the tiles partition.
+  Index box;
+  /// Sorted names of the grids the group writes (tile-private copies).
+  std::vector<std::string> written;
+  /// Per schedule wave: max |read offset| per dim onto written grids.
+  std::vector<Index> wave_radius;
+  /// Halo growth of one full group application (sum of wave radii).
+  Index cycle_radius;
+
+  /// Margins of the flattened stage sequence for `depth` fused
+  /// applications: stage j of the depth * wave_radius.size() stages
+  /// computes the tile expanded by stage_margins(depth)[j] per dim.
+  /// Margins shrink to zero at the last stage.
+  std::vector<Index> stage_margins(int depth) const;
+
+  /// Copy-in halo per dim: the widest region any fused stage reads,
+  /// i.e. stage 0's margin plus its own radius = depth * cycle_radius.
+  Index total_halo(int depth) const;
+};
+
+/// Analyze the cross-sweep halo structure of `group` under `schedule`
+/// (whose waves/flags must come from the same group + shapes).  Never
+/// throws for unsupported groups — returns legal = false with a reason.
+SweepHalo analyze_sweep_halo(const StencilGroup& group, const ShapeMap& shapes,
+                             const Schedule& schedule);
+
+}  // namespace snowflake

@@ -50,6 +50,14 @@ struct CompileOptions {
   /// finite-domain Diophantine analysis, or the Halide-style interval
   /// over-approximation (ablation A7 — always correct, less parallel).
   enum class Analysis { Diophantine, Interval } analysis = Analysis::Diophantine;
+  /// Temporal blocking depth (JIT backends): fuse this many consecutive
+  /// applications of the group into one traversal of overlapped tiles, so
+  /// one run() performs `time_tile` sweeps (see CompiledKernel::
+  /// fused_sweeps()).  `tile` doubles as the spatial tile edge sizes
+  /// (default 32 per dim).  1 disables; when the halo analysis rejects the
+  /// group the backend logs the reason and falls back to the per-sweep
+  /// schedule, never producing wrong answers.
+  int time_tile = 1;
   /// Work-group tile (oclsim backend): the tall-skinny 2D block edge sizes
   /// in the innermost two dims.  Empty = {16, 64}.
   Index workgroup;
@@ -88,6 +96,11 @@ public:
   /// Modeled device seconds of the last run() (simulated-device backends
   /// only; 0.0 for backends whose wall-clock time is the real time).
   virtual double modeled_seconds() const { return 0.0; }
+
+  /// Group applications performed by one run(): 1 normally, the fused
+  /// depth for time-tiled kernels (CompileOptions::time_tile).  Callers
+  /// comparing per-sweep cost must divide run time by this.
+  virtual int fused_sweeps() const { return 1; }
 
 protected:
   /// Backend-specific execution.

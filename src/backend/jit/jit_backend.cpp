@@ -11,13 +11,28 @@
 #include "codegen/transform/fusion.hpp"
 #include "codegen/transform/multicolor.hpp"
 #include "codegen/transform/tiling.hpp"
+#include "codegen/transform/time_tiling.hpp"
 #include "codegen/verify_plan.hpp"
 #include "jit/cache.hpp"
 #include "roofline/traffic.hpp"
 #include "support/error.hpp"
+#include "support/logging.hpp"
 #include "trace/trace.hpp"
 
 namespace snowflake {
+
+Schedule build_schedule(const StencilGroup& group, const ShapeMap& shapes,
+                        const CompileOptions& options) {
+  trace::Span span("analysis:schedule", "compile");
+  Schedule schedule =
+      options.barrier_per_stencil
+          ? barrier_per_stencil_schedule(group, shapes)
+      : options.analysis == CompileOptions::Analysis::Interval
+          ? greedy_schedule_interval(group, shapes)
+          : greedy_schedule(group, shapes);
+  span.counter("waves", static_cast<double>(schedule.waves.size()));
+  return schedule;
+}
 
 namespace {
 
@@ -66,15 +81,18 @@ EmitOptions emit_options_for(const CompileOptions& options,
 class JitKernel final : public CompiledKernel {
 public:
   JitKernel(KernelPlan plan, std::string source, std::shared_ptr<Module> module,
-            std::string backend)
+            std::string backend, int fused_sweeps = 1, double bytes_per_run = -1.0)
       : plan_(std::move(plan)),
         source_(std::move(source)),
         module_(std::move(module)),
         fn_(module_->kernel(kernel_symbol())),
-        backend_(std::move(backend)) {
+        backend_(std::move(backend)),
+        fused_sweeps_(fused_sweeps) {
     double flops = 0.0;
     for (const auto& nest : plan_.nests) flops += nest_flops(plan_, nest);
-    set_static_costs(plan_traffic_bytes(plan_), flops);
+    flops *= fused_sweeps;  // useful flops only; halo redundancy not counted
+    set_static_costs(
+        bytes_per_run >= 0.0 ? bytes_per_run : plan_traffic_bytes(plan_), flops);
   }
 
   void run_impl(GridSet& grids, const ParamMap& params) override {
@@ -87,6 +105,7 @@ public:
 
   std::string source() const override { return source_; }
   std::string backend_name() const override { return backend_; }
+  int fused_sweeps() const override { return fused_sweeps_; }
 
 private:
   KernelPlan plan_;
@@ -94,6 +113,7 @@ private:
   std::shared_ptr<Module> module_;
   KernelFn fn_;
   std::string backend_;
+  int fused_sweeps_ = 1;
 };
 
 class JitBackend : public Backend {
@@ -112,6 +132,12 @@ public:
   std::unique_ptr<CompiledKernel> compile_impl(
       const StencilGroup& group, const ShapeMap& shapes,
       const CompileOptions& options) override {
+    if (options.time_tile >= 2 && mode_ != JitMode::OpenMPTarget) {
+      if (auto kernel = compile_time_tiled(group, shapes, options)) {
+        return kernel;
+      }
+      // Fall through to the per-sweep schedule: one run() = one sweep.
+    }
     KernelPlan plan = build_plan(group, shapes, options);
     std::string source;
     {
@@ -129,6 +155,47 @@ public:
   }
 
 private:
+  /// Attempt the temporal-blocking path; nullptr (with a logged reason)
+  /// when the halo analysis rejects the group.
+  std::unique_ptr<CompiledKernel> compile_time_tiled(
+      const StencilGroup& group, const ShapeMap& shapes,
+      const CompileOptions& options) {
+    const Schedule schedule = build_schedule(group, shapes, options);
+    std::string reason;
+    auto tt = plan_time_tiling(group, shapes, schedule, options.time_tile,
+                               options.tile, &reason);
+    if (!tt) {
+      SF_LOG_WARN("time tiling fallback (depth " << options.time_tile
+                                                 << "): " << reason);
+      return nullptr;
+    }
+    {
+      trace::Span span("codegen:verify_plan", "compile");
+      verify_plan(tt->base);
+    }
+    EmitOptions eo;
+    eo.mode = mode_ == JitMode::Sequential
+                  ? EmitOptions::Mode::Sequential
+              : options.schedule == CompileOptions::Schedule::Tasks
+                  ? EmitOptions::Mode::OpenMPTasks
+                  : EmitOptions::Mode::OpenMPFor;
+    eo.simd = options.simd;
+    std::string source;
+    {
+      trace::Span span("codegen:emit", "compile");
+      source = emit_time_tiled_source(*tt, eo);
+      span.counter("source_bytes", static_cast<double>(source.size()));
+    }
+    ToolchainConfig tc;
+    tc.openmp = mode_ != JitMode::Sequential;
+    const Toolchain toolchain(tc);
+    auto module = KernelCache::instance().get_or_compile(source, toolchain);
+    const double bytes = time_tile_traffic_bytes(*tt);
+    return std::make_unique<JitKernel>(std::move(tt->base), source,
+                                       std::move(module), name(), tt->depth,
+                                       bytes);
+  }
+
   JitMode mode_;
 };
 
@@ -136,17 +203,7 @@ private:
 
 KernelPlan build_plan(const StencilGroup& group, const ShapeMap& shapes,
                       const CompileOptions& options) {
-  Schedule schedule;
-  {
-    trace::Span span("analysis:schedule", "compile");
-    schedule =
-        options.barrier_per_stencil
-            ? barrier_per_stencil_schedule(group, shapes)
-        : options.analysis == CompileOptions::Analysis::Interval
-            ? greedy_schedule_interval(group, shapes)
-            : greedy_schedule(group, shapes);
-    span.counter("waves", static_cast<double>(schedule.waves.size()));
-  }
+  const Schedule schedule = build_schedule(group, shapes, options);
   KernelPlan plan = lower(group, shapes, schedule);
   {
     trace::Span span("codegen:transforms", "compile");

@@ -5,10 +5,16 @@
 // optional multicolor fusion -> optional tiling -> render C -> host
 // compiler -> dlopen -> callable, with source-hash caching.
 
+#include "analysis/dag.hpp"
 #include "backend/backend.hpp"
 #include "codegen/plan.hpp"
 
 namespace snowflake {
+
+/// Build the dependence schedule the JIT backends compile against
+/// (Diophantine/interval/barrier-per-stencil per the options).
+Schedule build_schedule(const StencilGroup& group, const ShapeMap& shapes,
+                        const CompileOptions& options);
 
 /// Build the transformed plan for a group (shared by the JIT backends and
 /// exposed for tests/benches that want to inspect generated structure).

@@ -44,6 +44,18 @@ const char* kernel_symbol();
 /// Render the plan as a complete C11 translation unit.
 std::string emit_c_source(const KernelPlan& plan, const EmitOptions& options);
 
+struct TimeTilePlan;
+
+/// Render a time-tiled plan (codegen/transform/time_tiling.hpp) as a
+/// complete C11 translation unit: one loop nest over overlapped spatial
+/// tiles, each tile copying its halo region into private scratch buffers,
+/// running `depth` staged sweeps with shrinking margins, and copying its
+/// owned points back.  Modes: Sequential (plain tile loops), OpenMPFor
+/// (`omp for collapse` over tiles, per-thread scratch), OpenMPTasks (one
+/// task + scratch per tile).  OpenMPTarget is rejected.
+std::string emit_time_tiled_source(const TimeTilePlan& tt,
+                                   const EmitOptions& options);
+
 // --- OpenCL-style emission (the "oclsim" micro-compiler) -------------------
 //
 // One work-group function per nest, using the paper's tall-skinny blocking:

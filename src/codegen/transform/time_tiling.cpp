@@ -1,0 +1,157 @@
+#include "codegen/transform/time_tiling.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "codegen/lower.hpp"
+#include "support/error.hpp"
+
+namespace snowflake {
+
+Index TimeTilePlan::scratch_extent() const {
+  Index ext(box.size(), 0);
+  for (size_t d = 0; d < box.size(); ++d) {
+    ext[d] = std::min(tile[d] + 2 * halo[d], box[d]);
+  }
+  return ext;
+}
+
+Index TimeTilePlan::tile_counts() const {
+  Index counts(box.size(), 0);
+  for (size_t d = 0; d < box.size(); ++d) {
+    counts[d] = (box[d] + tile[d] - 1) / tile[d];
+  }
+  return counts;
+}
+
+std::string TimeTilePlan::describe() const {
+  std::ostringstream os;
+  auto idx = [](const Index& v) {
+    std::string s = "(";
+    for (size_t i = 0; i < v.size(); ++i) {
+      if (i) s += ",";
+      s += std::to_string(v[i]);
+    }
+    return s + ")";
+  };
+  os << "time-tile depth=" << depth << " tile=" << idx(tile)
+     << " halo=" << idx(halo) << " box=" << idx(box)
+     << " scratch=" << idx(scratch_extent()) << "\n";
+  os << "scratch grids:";
+  for (const auto& g : scratch_grids) os << " " << g;
+  os << "\n";
+  for (size_t s = 0; s < stages.size(); ++s) {
+    os << "stage " << s << " (sweep " << stages[s].sweep << ", margin "
+       << idx(stages[s].margin) << "):";
+    for (size_t n : stages[s].nests) os << " " << base.nests[n].label;
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::optional<TimeTilePlan> plan_time_tiling(const StencilGroup& group,
+                                             const ShapeMap& shapes,
+                                             const Schedule& schedule,
+                                             int depth, const Index& tile,
+                                             std::string* reason) {
+  auto fail = [&](const std::string& why) -> std::optional<TimeTilePlan> {
+    if (reason) *reason = why;
+    return std::nullopt;
+  };
+  if (depth < 2) return fail("time-tile depth < 2 (nothing to fuse)");
+
+  const SweepHalo halo = analyze_sweep_halo(group, shapes, schedule);
+  if (!halo.legal) return fail(halo.reason);
+
+  TimeTilePlan tt;
+  tt.base = lower(group, shapes, schedule);
+  if (tt.base.nests.empty()) return fail("group resolves to an empty plan");
+  tt.depth = depth;
+  tt.box = halo.box;
+  tt.scratch_grids = halo.written;
+  tt.halo = halo.total_halo(depth);
+
+  const size_t rank = tt.box.size();
+  tt.tile.assign(rank, 0);
+  for (size_t d = 0; d < rank; ++d) {
+    std::int64_t t = d < tile.size() && tile[d] > 0 ? tile[d] : 32;
+    tt.tile[d] = std::max<std::int64_t>(1, std::min(t, tt.box[d]));
+  }
+
+  // Map every base nest to its schedule wave via the stencil index, then
+  // flatten depth repetitions of the wave sequence into stages.
+  std::vector<size_t> wave_of(group.size(), 0);
+  for (size_t w = 0; w < schedule.waves.size(); ++w) {
+    for (size_t si : schedule.waves[w].stencils) wave_of[si] = w;
+  }
+  const std::vector<Index> margins = halo.stage_margins(depth);
+  for (int rep = 0; rep < depth; ++rep) {
+    for (size_t w = 0; w < schedule.waves.size(); ++w) {
+      TimeTileStage stage;
+      stage.sweep = rep;
+      stage.margin = margins[static_cast<size_t>(rep) * schedule.waves.size() + w];
+      for (size_t n = 0; n < tt.base.nests.size(); ++n) {
+        if (wave_of[tt.base.nests[n].stencil_index] == w) stage.nests.push_back(n);
+      }
+      if (!stage.nests.empty()) tt.stages.push_back(std::move(stage));
+    }
+  }
+  SF_ASSERT(!tt.stages.empty(), "time tiling produced no stages");
+  return tt;
+}
+
+double time_tile_traffic_bytes(const TimeTilePlan& tt) {
+  const size_t rank = tt.box.size();
+  const std::set<std::string> scratch(tt.scratch_grids.begin(),
+                                      tt.scratch_grids.end());
+  // Read-only grids the body actually streams from global memory.
+  std::set<std::string> streamed;
+  for (const auto& nest : tt.base.nests) {
+    for (const auto& g : grids_read(nest.rhs)) {
+      if (scratch.find(g) == scratch.end()) streamed.insert(g);
+    }
+  }
+  std::vector<double> streamed_cells;
+  for (const auto& g : streamed) {
+    double cells = 1.0;
+    for (auto e : tt.base.shapes.at(g)) cells *= static_cast<double>(e);
+    streamed_cells.push_back(cells);
+  }
+
+  const Index counts = tt.tile_counts();
+  double bytes = 0.0;
+  // Pre-fusion snapshot of every written grid (read + write-allocate +
+  // write-back), taken once so tiles see pre-fusion halo values.
+  double box_cells = 1.0;
+  for (auto e : tt.box) box_cells *= static_cast<double>(e);
+  bytes += static_cast<double>(scratch.size()) * 3.0 * box_cells * 8.0;
+  Index t(rank, 0);  // tile index per dim
+  for (;;) {
+    double owned = 1.0, region = 1.0;
+    for (size_t d = 0; d < rank; ++d) {
+      const std::int64_t lo = t[d] * tt.tile[d];
+      const std::int64_t hi = std::min(lo + tt.tile[d], tt.box[d]);
+      const std::int64_t rlo = std::max<std::int64_t>(lo - tt.halo[d], 0);
+      const std::int64_t rhi = std::min(hi + tt.halo[d], tt.box[d]);
+      owned *= static_cast<double>(hi - lo);
+      region *= static_cast<double>(rhi - rlo);
+    }
+    // Scratch grids: copy-in read over the halo region, copy-out write
+    // (write-allocate + write-back) over owned points.
+    bytes += static_cast<double>(scratch.size()) * (region + 2.0 * owned) * 8.0;
+    // Read-only grids: one streaming read of (about) the halo region each,
+    // capped at the grid size for differently-shaped operands.
+    for (double cells : streamed_cells) bytes += std::min(region, cells) * 8.0;
+
+    size_t d = 0;
+    for (; d < rank; ++d) {
+      if (++t[d] < counts[d]) break;
+      t[d] = 0;
+    }
+    if (d == rank) break;
+  }
+  return bytes;
+}
+
+}  // namespace snowflake

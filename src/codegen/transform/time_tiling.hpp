@@ -1,0 +1,87 @@
+#pragma once
+// Temporal blocking: fuse `depth` consecutive applications of a group into
+// one traversal of overlapped tiles (the "ghost zone" / trapezoid scheme
+// for iterated memory-bound stencils).
+//
+// The written-grid box is partitioned into spatial tiles.  Each written
+// grid is snapshotted once before any tile runs; each tile copies the
+// region expanded by the total halo H = depth * cycle_radius from the
+// snapshot into private scratch buffers, runs the flattened stage sequence
+// (depth repetitions of the schedule's waves) with per-stage shrinking
+// margins, and copies its owned points back to the live grid.  The
+// snapshot keeps tiles independent of completion order: a tile that
+// finishes early publishes post-fusion values its neighbours must not see
+// in their halos.  DRAM sees each read-only grid once per fused run
+// instead of once per sweep.
+//
+// Correctness (induction over stages): let m_j be stage j's margin and
+// rho_j its read radius onto written grids (analysis/halo.hpp).  Margins
+// satisfy m_{j-1} = m_j + rho_j, so stage j's reads from expand(tile, m_j)
+// reach at most expand(tile, m_{j-1}), where the scratch state equals the
+// sequential state by induction; the base case is the copy-in, which loads
+// the untouched pre-fusion values over expand(tile, m_0 + rho_0) = the
+// full halo region.  The last stage has margin 0, so owned points are
+// exactly sequential when copied out.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/halo.hpp"
+#include "codegen/plan.hpp"
+
+namespace snowflake {
+
+struct TimeTileStage {
+  /// Nests of this stage, indices into TimeTilePlan::base.nests in program
+  /// order (all nests of one schedule wave).
+  std::vector<size_t> nests;
+  /// Tile expansion per grid dimension while computing this stage.
+  Index margin;
+  /// Which of the `depth` fused applications this stage belongs to.
+  int sweep = 0;
+};
+
+struct TimeTilePlan {
+  /// Single-application plan (untiled, unfused) — supplies nest bounds,
+  /// bodies, grid/param order, and shapes.
+  KernelPlan base;
+  int depth = 1;  // fused applications per kernel run
+  Index tile;     // spatial tile edge sizes over the box
+  Index halo;     // copy-in expansion = depth * cycle_radius
+  Index box;      // extents of the written-grid box being tiled
+  /// Written grids, sorted: each gets a per-tile scratch copy.
+  std::vector<std::string> scratch_grids;
+  /// depth * waves stages, in execution order.
+  std::vector<TimeTileStage> stages;
+
+  /// Fixed scratch buffer extents: min(tile + 2*halo, box) per dim, so
+  /// local strides are compile-time constants for every tile.
+  Index scratch_extent() const;
+  /// Number of tiles per dimension (ceil(box / tile)).
+  Index tile_counts() const;
+
+  /// Human-readable structure dump (tests / debugging).
+  std::string describe() const;
+};
+
+/// Attempt to build a time-tiled plan fusing `depth` applications.
+/// `tile` gives spatial tile edges (missing/non-positive entries default to
+/// 32, all entries clamp to the box).  Returns nullopt — with *reason set
+/// when non-null — when fusion is illegal (see analysis/halo.hpp) or depth
+/// < 2; callers fall back to the per-sweep schedule.
+std::optional<TimeTilePlan> plan_time_tiling(const StencilGroup& group,
+                                             const ShapeMap& shapes,
+                                             const Schedule& schedule,
+                                             int depth, const Index& tile,
+                                             std::string* reason = nullptr);
+
+/// Modeled DRAM bytes of one fused run under the streaming model: every
+/// written grid pays one whole-box snapshot (read + allocate + write-back);
+/// per tile, scratch grids pay copy-in reads over the halo region plus
+/// copy-out writes (write-allocate + write-back) over owned points, and
+/// read-only grids referenced by the body stream the halo region once.
+/// Divide by `depth` for per-sweep traffic.
+double time_tile_traffic_bytes(const TimeTilePlan& tt);
+
+}  // namespace snowflake

@@ -37,6 +37,12 @@ Solver::Solver(Config config) : config_(std::move(config)) {
   Backend& backend = Backend::get(config_.backend);
   const int rank = spec.rank;
 
+  // Temporal blocking only pays off for the iterated smoother; every other
+  // kernel runs once per cycle, so its compile options strip the depth
+  // (a fused residual/restrict/interp would also change run() semantics).
+  CompileOptions single = config_.options;
+  single.time_tile = 1;
+
   // Per-level kernels.
   for (auto& level : levels_) {
     if (config_.smoother == Smoother::Chebyshev) {
@@ -46,16 +52,24 @@ Solver::Solver(Config config) : config_(std::move(config)) {
     const ShapeMap shapes = shapes_of(level->grids());
     if (config_.smoother == Smoother::Chebyshev) {
       cheby_k_.push_back(
-          backend.compile(chebyshev_step_group(rank), shapes, config_.options));
+          backend.compile(chebyshev_step_group(rank), shapes, single));
     } else {
       smooth_k_.push_back(
-          backend.compile(gsrb_smooth_group(rank), shapes, config_.options));
+          backend.compile(gsrb_smooth_group(rank), shapes, single));
+      if (config_.options.time_tile >= 2) {
+        // Fused sweep pairs (or deeper) for smooth_many(); a backend that
+        // rejects or ignores the depth hands back a per-sweep kernel,
+        // which we drop in favor of smooth_k_.
+        auto fused = backend.compile(gsrb_smooth_group(rank), shapes,
+                                     config_.options);
+        smooth_fused_k_.push_back(fused->fused_sweeps() > 1 ? std::move(fused)
+                                                            : nullptr);
+      }
     }
-    residual_k_.push_back(
-        backend.compile(residual_group(rank), shapes, config_.options));
+    residual_k_.push_back(backend.compile(residual_group(rank), shapes, single));
     // lambda_inv = 1/diag(A): run once, right now.
     auto lambda_kernel =
-        backend.compile(lambda_setup_group(rank), shapes, config_.options);
+        backend.compile(lambda_setup_group(rank), shapes, single);
     lambda_kernel->run(level->grids(), {{"h2inv", level->h2inv()}});
   }
 
@@ -68,18 +82,18 @@ Solver::Solver(Config config) : config_(std::move(config)) {
     down.add_shared(kFineRes, fine.grids().share(kRes));
     down.add_shared(kCoarseRhs, coarse.grids().share(kRhs));
     restrict_k_.push_back(
-        backend.compile(restriction_group(rank), shapes_of(down), config_.options));
+        backend.compile(restriction_group(rank), shapes_of(down), single));
     restrict_sets_.push_back(std::move(down));
 
     GridSet up;
     up.add_shared(kCoarseX, coarse.grids().share(kX));
     up.add_shared(kFineX, fine.grids().share(kX));
-    interp_k_.push_back(backend.compile(interpolation_add_group(rank),
-                                        shapes_of(up), config_.options));
+    interp_k_.push_back(
+        backend.compile(interpolation_add_group(rank), shapes_of(up), single));
     // PL prolongation also needs the coarse betas?  No — only coarse_x
     // ghosts, which its leading boundary stencils maintain.
     interp_pl_k_.push_back(backend.compile(
-        interpolation_pl_group(rank, /*add=*/false), shapes_of(up), config_.options));
+        interpolation_pl_group(rank, /*add=*/false), shapes_of(up), single));
     interp_sets_.push_back(std::move(up));
   }
 
@@ -91,7 +105,7 @@ Solver::Solver(Config config) : config_(std::move(config)) {
   });
   finest.grids().at(kX) = exact_;
   auto rhs_kernel = backend.compile(rhs_manufacture_group(rank),
-                                    shapes_of(finest.grids()), config_.options);
+                                    shapes_of(finest.grids()), single);
   rhs_kernel->run(finest.grids(), {{"h2inv", finest.h2inv()}});
   finest.grids().at(kX).fill(0.0);
 }
@@ -108,6 +122,20 @@ void Solver::smooth(size_t l) {
     return;
   }
   run_kernel(*smooth_k_.at(l), levels_.at(l)->grids(), levels_[l]->h2inv());
+}
+
+void Solver::smooth_many(size_t l, int count) {
+  if (config_.smoother == Smoother::GSRB && l < smooth_fused_k_.size() &&
+      smooth_fused_k_[l]) {
+    CompiledKernel& fused = *smooth_fused_k_[l];
+    const int depth = fused.fused_sweeps();
+    while (count >= depth) {
+      trace::Span span(mg_span_name("smooth_fused", l), "mg");
+      run_kernel(fused, levels_.at(l)->grids(), levels_[l]->h2inv());
+      count -= depth;
+    }
+  }
+  for (; count > 0; --count) smooth(l);
 }
 
 void Solver::chebyshev_smooth(size_t l) {
@@ -170,10 +198,10 @@ void Solver::prolongate_linear(size_t l, bool add) {
 void Solver::vcycle(size_t l) {
   trace::Span span(mg_span_name("vcycle", l), "mg");
   if (l + 1 == levels_.size()) {
-    for (int i = 0; i < config_.bottom_smooth; ++i) smooth(l);
+    smooth_many(l, config_.bottom_smooth);
     return;
   }
-  for (int i = 0; i < config_.pre_smooth; ++i) smooth(l);
+  smooth_many(l, config_.pre_smooth);
   residual(l);
   restrict_residual(l);
   levels_[l + 1]->grids().at(kX).fill(0.0);
@@ -181,7 +209,7 @@ void Solver::vcycle(size_t l) {
     vcycle(l + 1);  // gamma = 2 gives the W-cycle
   }
   prolongate_add(l);
-  for (int i = 0; i < config_.post_smooth; ++i) smooth(l);
+  smooth_many(l, config_.post_smooth);
 }
 
 void Solver::fcycle() {
@@ -194,7 +222,7 @@ void Solver::fcycle() {
     restrict_residual(l);
   }
   levels_.back()->grids().at(kX).fill(0.0);
-  for (int i = 0; i < config_.bottom_smooth; ++i) smooth(levels_.size() - 1);
+  smooth_many(levels_.size() - 1, config_.bottom_smooth);
   for (size_t l = levels_.size() - 1; l-- > 0;) {
     prolongate_linear(l, /*add=*/false);
     vcycle(l);

@@ -55,6 +55,11 @@ public:
 
   /// One GSRB smooth (boundary/red/boundary/black) on level l.
   void smooth(size_t l);
+  /// `count` consecutive smooths on level l.  When the backend compiled a
+  /// time-tiled smoother (Config::options.time_tile >= 2), runs
+  /// floor(count / depth) fused kernels first and finishes the remainder
+  /// with single smooths — same sequential semantics, fewer DRAM passes.
+  void smooth_many(size_t l, int count);
   /// res = rhs - A x on level l (boundary applied first).
   void residual(size_t l);
   /// Restrict level l's residual into level l+1's rhs.
@@ -94,6 +99,9 @@ private:
   Config config_;
   std::vector<std::unique_ptr<Level>> levels_;
   std::vector<std::unique_ptr<CompiledKernel>> smooth_k_;
+  /// Time-tiled GSRB smoothers (one run = options.time_tile smooths);
+  /// empty when time tiling is off or the backend fell back.
+  std::vector<std::unique_ptr<CompiledKernel>> smooth_fused_k_;
   std::vector<std::unique_ptr<CompiledKernel>> cheby_k_;
   std::vector<std::unique_ptr<CompiledKernel>> residual_k_;
   std::vector<std::unique_ptr<CompiledKernel>> restrict_k_;

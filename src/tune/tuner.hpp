@@ -22,7 +22,9 @@ struct TuneCandidate {
 
 struct TuneTiming {
   std::string label;
-  double seconds = 0.0;  // best-of-reps per kernel run
+  /// Best-of-reps seconds *per group application*: a time-tiled kernel's
+  /// run time is divided by its fused_sweeps() so depths compare fairly.
+  double seconds = 0.0;
 };
 
 struct TuneResult {
@@ -46,8 +48,10 @@ private:
   std::function<double()> now_;
 };
 
-/// Standard tile-size sweep for a rank-d kernel: untiled plus cubic tiles
-/// {4, 8, 16, 32}^d, each with and without multicolor fusion.
+/// Standard sweep for a rank-d kernel: untiled plus cubic tiles
+/// {4, 8, 16, 32}^d, each with and without multicolor fusion (task
+/// scheduling); parallel-for scheduling with and without fusion; and
+/// time-tile depths {2, 4} x spatial tiles {16, 32}^d.
 std::vector<TuneCandidate> default_tile_candidates(int rank);
 
 }  // namespace snowflake

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "backend/jit/jit_backend.hpp"
+#include "backend_test_util.hpp"
+#include "multigrid/operators.hpp"
+
+namespace snowflake {
+namespace {
+
+using testutil::clone;
+using testutil::smoother_grids;
+
+/// Run the fused (time-tiled) kernel once and the plain kernel `depth`
+/// times on identical copies; every grid must match to 1e-12.
+void expect_fused_matches_repeated(int rank, std::int64_t n, int depth,
+                                   const CompileOptions& fused_opt,
+                                   const std::string& backend,
+                                   std::uint64_t seed) {
+  const StencilGroup group = mg::gsrb_smooth_group(rank);
+  const GridSet inputs = smoother_grids(rank, n, seed);
+  const ParamMap params{{"h2inv", 9.0}};
+
+  GridSet plain = clone(inputs);
+  auto plain_kernel = compile(group, plain, backend, CompileOptions{});
+  for (int i = 0; i < depth; ++i) plain_kernel->run(plain, params);
+
+  GridSet fused = clone(inputs);
+  auto fused_kernel = compile(group, fused, backend, fused_opt);
+  ASSERT_EQ(fused_kernel->fused_sweeps(), depth)
+      << "backend fell back instead of fusing";
+  fused_kernel->run(fused, params);
+
+  for (const auto& name : inputs.names()) {
+    EXPECT_LE(Grid::max_abs_diff(plain.at(name), fused.at(name)), 1e-12)
+        << "grid '" << name << "' differs (backend " << backend << ", depth "
+        << depth << ")";
+  }
+}
+
+CompileOptions tt_options(int depth, Index tile) {
+  CompileOptions opt;
+  opt.time_tile = depth;
+  opt.tile = std::move(tile);
+  return opt;
+}
+
+TEST(TimeTileExec, SequentialCDepth2MultiTile) {
+  // Tile 4 on a 12^2 box forces interior tiles whose halos cross several
+  // neighbours (halo 8 > tile), exercising clamping on every side.
+  expect_fused_matches_repeated(2, 12, 2, tt_options(2, {4, 4}), "c", 300);
+}
+
+TEST(TimeTileExec, SequentialCDepth4) {
+  expect_fused_matches_repeated(2, 16, 4, tt_options(4, {8, 8}), "c", 301);
+}
+
+TEST(TimeTileExec, OpenMPTasksDepth2_3D) {
+  expect_fused_matches_repeated(3, 8, 2, tt_options(2, {4, 4, 4}), "openmp",
+                                302);
+}
+
+TEST(TimeTileExec, OpenMPParallelForDepth2_3D) {
+  CompileOptions opt = tt_options(2, {4, 4, 4});
+  opt.schedule = CompileOptions::Schedule::ParallelFor;
+  expect_fused_matches_repeated(3, 8, 2, opt, "openmp", 303);
+}
+
+TEST(TimeTileExec, OpenMPDepth4_2D) {
+  expect_fused_matches_repeated(2, 16, 4, tt_options(4, {4, 4}), "openmp",
+                                304);
+}
+
+TEST(TimeTileExec, TileLargerThanBoxSingleTile) {
+  // One tile covering the whole box: degenerates to depth applications in
+  // scratch, still bit-identical.
+  expect_fused_matches_repeated(2, 8, 2, tt_options(2, {64, 64}), "c", 305);
+}
+
+TEST(TimeTileExec, IllegalGroupFallsBackToCorrectKernel) {
+  // A group the halo analysis rejects (written grids with different
+  // shapes) must compile via the normal path: one sweep per run, right
+  // answers.
+  StencilGroup g;
+  g.append(lib::cc_apply(2, "x", "out"));
+  g.append(lib::restriction_fw(2, "out", "coarse"));
+  GridSet gs;
+  gs.add_zeros("x", {12, 12}).fill_random(306, -1.0, 1.0);
+  gs.add_zeros("out", {12, 12});
+  gs.add_zeros("coarse", {6, 6});
+
+  GridSet expected = clone(gs);
+  run_reference(g, expected, {{"h2inv", 4.0}});
+
+  GridSet actual = clone(gs);
+  auto kernel = compile(g, actual, "openmp", tt_options(2, {4, 4}));
+  EXPECT_EQ(kernel->fused_sweeps(), 1);
+  kernel->run(actual, {{"h2inv", 4.0}});
+  for (const auto& name : gs.names()) {
+    EXPECT_LE(Grid::max_abs_diff(expected.at(name), actual.at(name)), 1e-13)
+        << name;
+  }
+}
+
+TEST(TimeTileExec, FusedKernelUsesScratchCodegen) {
+  const StencilGroup group = mg::gsrb_smooth_group(2);
+  GridSet gs = smoother_grids(2, 16, 307);
+  auto fused = compile(group, gs, "c", tt_options(2, {8, 8}));
+  ASSERT_EQ(fused->fused_sweeps(), 2);
+  // The generated source is the time-tiled traversal, not the per-sweep
+  // schedule: per-tile scratch copies of x and row-wise copy-in/out.
+  EXPECT_NE(fused->source().find("s_x"), std::string::npos);
+  EXPECT_NE(fused->source().find("memcpy"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace snowflake

@@ -1,0 +1,195 @@
+#include "codegen/transform/time_tiling.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/dag.hpp"
+#include "analysis/halo.hpp"
+#include "codegen/cemit.hpp"
+#include "ir/stencil_library.hpp"
+#include "multigrid/operators.hpp"
+#include "support/error.hpp"
+
+namespace snowflake {
+namespace {
+
+using namespace snowflake::lib;
+
+ShapeMap smoother_shapes(int rank, std::int64_t n) {
+  const Index shape(static_cast<size_t>(rank), n);
+  ShapeMap shapes{{"x", shape}, {"rhs", shape}, {"lambda_inv", shape}};
+  for (int d = 0; d < rank; ++d) shapes[beta_name("beta", d)] = shape;
+  return shapes;
+}
+
+TEST(SweepHalo, GsrbLegalWithUnitWaveRadii) {
+  const StencilGroup g = mg::gsrb_smooth_group(3);
+  const ShapeMap shapes = smoother_shapes(3, 16);
+  const SweepHalo halo = analyze_sweep_halo(g, shapes, greedy_schedule(g, shapes));
+  ASSERT_TRUE(halo.legal) << halo.reason;
+  // boundary / red / boundary / black: four waves, each reading x at
+  // distance one, so one application grows the footprint by 4 per dim.
+  EXPECT_EQ(halo.written, (std::vector<std::string>{"x"}));
+  EXPECT_EQ(halo.box, (Index{16, 16, 16}));
+  ASSERT_EQ(halo.wave_radius.size(), 4u);
+  for (const Index& r : halo.wave_radius) EXPECT_EQ(r, (Index{1, 1, 1}));
+  EXPECT_EQ(halo.cycle_radius, (Index{4, 4, 4}));
+  EXPECT_EQ(halo.total_halo(2), (Index{8, 8, 8}));
+}
+
+TEST(SweepHalo, StageMarginsShrinkToZero) {
+  const StencilGroup g = mg::gsrb_smooth_group(2);
+  const ShapeMap shapes = smoother_shapes(2, 12);
+  const SweepHalo halo = analyze_sweep_halo(g, shapes, greedy_schedule(g, shapes));
+  ASSERT_TRUE(halo.legal) << halo.reason;
+  const int depth = 3;
+  const auto margins = halo.stage_margins(depth);
+  ASSERT_EQ(margins.size(), depth * halo.wave_radius.size());
+  // Induction invariant m_{j-1} = m_j + rho_j; final margin is zero and the
+  // first stage's reads reach exactly the copy-in halo.
+  for (size_t j = 1; j < margins.size(); ++j) {
+    const Index& rho = halo.wave_radius[j % halo.wave_radius.size()];
+    for (size_t d = 0; d < margins[j].size(); ++d) {
+      EXPECT_EQ(margins[j - 1][d], margins[j][d] + rho[d]) << "stage " << j;
+    }
+  }
+  EXPECT_EQ(margins.back(), (Index{0, 0}));
+  const Index& first_rho = halo.wave_radius[0];
+  const Index total = halo.total_halo(depth);
+  for (size_t d = 0; d < total.size(); ++d) {
+    EXPECT_EQ(margins[0][d] + first_rho[d], total[d]);
+  }
+}
+
+TEST(SweepHalo, RejectsInPlaceFullInteriorStencil) {
+  // Lexicographic in-place smoothing reads neighbours it also writes: the
+  // dependence chain spans the sweep, so no finite halo bounds it.
+  const Stencil s("gs_lex",
+                  0.25 * (read("x", {1, 0}) + read("x", {-1, 0}) +
+                          read("x", {0, 1}) + read("x", {0, -1})),
+                  "x", interior(2));
+  const StencilGroup g(s);
+  const ShapeMap shapes{{"x", {10, 10}}};
+  const SweepHalo halo = analyze_sweep_halo(g, shapes, greedy_schedule(g, shapes));
+  EXPECT_FALSE(halo.legal);
+  EXPECT_NE(halo.reason.find("point-parallel"), std::string::npos)
+      << halo.reason;
+}
+
+TEST(SweepHalo, RejectsMismatchedWrittenShapes) {
+  StencilGroup g;
+  g.append(cc_apply(2, "x", "out"));
+  g.append(cc_apply(2, "x", "out2"));
+  const ShapeMap shapes{{"x", {12, 12}}, {"out", {12, 12}}, {"out2", {16, 16}}};
+  const SweepHalo halo = analyze_sweep_halo(g, shapes, greedy_schedule(g, shapes));
+  EXPECT_FALSE(halo.legal);
+  EXPECT_NE(halo.reason.find("different shapes"), std::string::npos)
+      << halo.reason;
+}
+
+TEST(SweepHalo, RejectsScaledReadOfWrittenGrid) {
+  // A second stencil writes the restriction's input, turning its strided
+  // (coarse -> fine) read into a read of a written grid with no constant
+  // per-sweep dependence distance.
+  StencilGroup g;
+  g.append(Stencil("touch", constant(0.0), "fine", interior(2)));
+  g.append(restriction_fw(2, "fine", "coarse"));
+  const ShapeMap shapes{{"fine", {12, 12}}, {"coarse", {12, 12}}};
+  const SweepHalo halo = analyze_sweep_halo(g, shapes, greedy_schedule(g, shapes));
+  EXPECT_FALSE(halo.legal);
+  EXPECT_NE(halo.reason.find("non-offset"), std::string::npos) << halo.reason;
+}
+
+TEST(TimeTiling, PlanStructureGsrb3D) {
+  const StencilGroup g = mg::gsrb_smooth_group(3);
+  const ShapeMap shapes = smoother_shapes(3, 16);
+  const Schedule sched = greedy_schedule(g, shapes);
+  std::string reason;
+  const auto tt = plan_time_tiling(g, shapes, sched, 2, {8, 8, 8}, &reason);
+  ASSERT_TRUE(tt.has_value()) << reason;
+  EXPECT_EQ(tt->depth, 2);
+  EXPECT_EQ(tt->tile, (Index{8, 8, 8}));
+  EXPECT_EQ(tt->halo, (Index{8, 8, 8}));
+  EXPECT_EQ(tt->box, (Index{16, 16, 16}));
+  EXPECT_EQ(tt->scratch_grids, (std::vector<std::string>{"x"}));
+  ASSERT_EQ(tt->stages.size(), 8u);  // 2 sweeps x 4 waves
+  EXPECT_EQ(tt->stages.front().sweep, 0);
+  EXPECT_EQ(tt->stages.back().sweep, 1);
+  EXPECT_EQ(tt->stages.back().margin, (Index{0, 0, 0}));
+  for (const auto& stage : tt->stages) EXPECT_FALSE(stage.nests.empty());
+  // Scratch extents clamp to the box: 8 + 2*8 > 16.
+  EXPECT_EQ(tt->scratch_extent(), (Index{16, 16, 16}));
+  EXPECT_EQ(tt->tile_counts(), (Index{2, 2, 2}));
+  EXPECT_GT(time_tile_traffic_bytes(*tt), 0.0);
+  EXPECT_FALSE(tt->describe().empty());
+}
+
+TEST(TimeTiling, TileDefaultsAndClamping) {
+  const StencilGroup g = mg::gsrb_smooth_group(2);
+  const ShapeMap shapes = smoother_shapes(2, 12);
+  const Schedule sched = greedy_schedule(g, shapes);
+  // Partial tile vector: missing dims default to 32 and clamp to the box;
+  // oversized entries clamp too.
+  const auto tt = plan_time_tiling(g, shapes, sched, 2, {4});
+  ASSERT_TRUE(tt.has_value());
+  EXPECT_EQ(tt->tile, (Index{4, 12}));
+  const auto big = plan_time_tiling(g, shapes, sched, 2, {100, 100});
+  ASSERT_TRUE(big.has_value());
+  EXPECT_EQ(big->tile, (Index{12, 12}));
+}
+
+TEST(TimeTiling, DepthBelowTwoFallsBack) {
+  const StencilGroup g = mg::gsrb_smooth_group(2);
+  const ShapeMap shapes = smoother_shapes(2, 12);
+  std::string reason;
+  const auto tt =
+      plan_time_tiling(g, shapes, greedy_schedule(g, shapes), 1, {}, &reason);
+  EXPECT_FALSE(tt.has_value());
+  EXPECT_NE(reason.find("depth"), std::string::npos) << reason;
+}
+
+TEST(TimeTiling, IllegalGroupFallsBackWithReason) {
+  const Stencil s("gs_lex",
+                  0.5 * (read("x", {1, 0}) + read("x", {-1, 0})), "x",
+                  interior(2));
+  const StencilGroup g(s);
+  const ShapeMap shapes{{"x", {10, 10}}};
+  std::string reason;
+  const auto tt =
+      plan_time_tiling(g, shapes, greedy_schedule(g, shapes), 2, {}, &reason);
+  EXPECT_FALSE(tt.has_value());
+  EXPECT_FALSE(reason.empty());
+}
+
+TEST(TimeTiledEmit, ModesRenderExpectedStructure) {
+  const StencilGroup g = mg::gsrb_smooth_group(2);
+  const ShapeMap shapes = smoother_shapes(2, 16);
+  const auto tt = plan_time_tiling(g, shapes, greedy_schedule(g, shapes), 2,
+                                   {8, 8});
+  ASSERT_TRUE(tt.has_value());
+
+  EmitOptions seq;
+  seq.mode = EmitOptions::Mode::Sequential;
+  const std::string s_seq = emit_time_tiled_source(*tt, seq);
+  EXPECT_NE(s_seq.find(kernel_symbol()), std::string::npos);
+  EXPECT_NE(s_seq.find("malloc"), std::string::npos);
+  EXPECT_NE(s_seq.find("memcpy"), std::string::npos);
+  EXPECT_NE(s_seq.find("s_x"), std::string::npos);  // scratch copy of x
+  EXPECT_EQ(s_seq.find("#pragma omp"), std::string::npos);
+
+  EmitOptions wfor;
+  wfor.mode = EmitOptions::Mode::OpenMPFor;
+  const std::string s_for = emit_time_tiled_source(*tt, wfor);
+  EXPECT_NE(s_for.find("#pragma omp for"), std::string::npos);
+
+  EmitOptions tasks;
+  tasks.mode = EmitOptions::Mode::OpenMPTasks;
+  const std::string s_tasks = emit_time_tiled_source(*tt, tasks);
+  EXPECT_NE(s_tasks.find("#pragma omp task"), std::string::npos);
+
+  EmitOptions target;
+  target.mode = EmitOptions::Mode::OpenMPTarget;
+  EXPECT_THROW(emit_time_tiled_source(*tt, target), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace snowflake

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
 
 namespace snowflake {
 namespace {
@@ -46,6 +47,40 @@ TEST_F(CacheTest, DiskHitAcrossCacheInstances) {
   second.get_or_compile(kSource, tc);
   EXPECT_EQ(second.stats().disk_hits, 1u);
   EXPECT_EQ(second.stats().compiles, 0u);
+}
+
+TEST_F(CacheTest, HashCollisionForcesRecompile) {
+  // The disk key is a 64-bit FNV hash; a collision would hand a stale .so
+  // to a different kernel.  The cache guards against it by storing the
+  // exact source next to the .so and comparing on every disk lookup.
+  // Simulate a collision: keep the stored .so but rewrite the saved .src
+  // so it no longer matches what the key claims to cache.
+  const Toolchain tc;
+  {
+    KernelCache first(dir_);
+    first.get_or_compile(kSource, tc);
+    ASSERT_EQ(first.stats().compiles, 1u);
+  }
+  fs::path src_path;
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    if (entry.path().extension() == ".src") src_path = entry.path();
+  }
+  ASSERT_FALSE(src_path.empty()) << "cache did not store the source";
+  {
+    std::ofstream out(src_path, std::ios::binary);
+    out << "/* some other kernel that hashed to the same key */\n";
+  }
+
+  KernelCache second(dir_);
+  second.get_or_compile(kSource, tc);
+  EXPECT_EQ(second.stats().disk_hits, 0u) << "served a colliding .so";
+  EXPECT_EQ(second.stats().compiles, 1u);
+  // The recompile repairs the entry: the stored source matches again and
+  // the next instance gets a clean disk hit.
+  KernelCache third(dir_);
+  third.get_or_compile(kSource, tc);
+  EXPECT_EQ(third.stats().disk_hits, 1u);
+  EXPECT_EQ(third.stats().compiles, 0u);
 }
 
 TEST_F(CacheTest, DifferentSourceDifferentEntry) {

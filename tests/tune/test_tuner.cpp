@@ -58,12 +58,19 @@ TEST(Tuner, RealClockSmoke) {
 
 TEST(Tuner, DefaultCandidates) {
   const auto c2 = default_tile_candidates(2);
-  // untiled + 4 tile sizes, each with/without fusion.
-  EXPECT_EQ(c2.size(), 10u);
+  // (untiled + 4 tile sizes) x fusion, 2 parallel-for comparators, and
+  // time-tile depths {2,4} x tiles {16,32}.
+  EXPECT_EQ(c2.size(), 16u);
   EXPECT_EQ(c2[0].label, "untiled");
   EXPECT_TRUE(c2[0].options.tile.empty());
   EXPECT_EQ(c2[2].options.tile, (Index{8, 8}));
   EXPECT_TRUE(c2[5].options.fuse_colors);
+  EXPECT_EQ(c2[10].label, "for");
+  EXPECT_EQ(c2[10].options.schedule, CompileOptions::Schedule::ParallelFor);
+  EXPECT_EQ(c2[12].label, "tt2_tile16");
+  EXPECT_EQ(c2[12].options.time_tile, 2);
+  EXPECT_EQ(c2[12].options.tile, (Index{16, 16}));
+  EXPECT_EQ(c2[15].options.time_tile, 4);
 }
 
 TEST(Tuner, RejectsEmptyCandidates) {

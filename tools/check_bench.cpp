@@ -1,0 +1,132 @@
+// check_bench: CI regression gate for --json bench output.
+//
+//   check_bench <baseline.json> <candidate.json> [--tol=<pct>]
+//
+// Both files must be snowflake-bench-v1 (written by any bench binary's
+// --json=<file> flag).  Rows are matched by label; a candidate row whose
+// best seconds exceed the baseline's by more than <pct> percent (default
+// 10) is a regression and the tool exits 1, printing every offender.
+// Rows present in only one file are reported but not fatal — benches gain
+// and lose variants over time.  Rows with seconds <= 0 (informational
+// records like the tuner pick) are ignored.
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+namespace {
+
+// Minimal parser for the fixed snowflake-bench-v1 shape: scan for
+// "label": "..." / "seconds": <num> pairs inside the results array.
+// Labels are unescaped (\" and \\ are the only escapes the writer emits).
+bool parse_report(const std::string& json, std::map<std::string, double>* out,
+                  std::string* error) {
+  if (json.find("\"schema\": \"snowflake-bench-v1\"") == std::string::npos) {
+    *error = "missing snowflake-bench-v1 schema marker";
+    return false;
+  }
+  const std::string label_key = "\"label\": \"";
+  const std::string seconds_key = "\"seconds\": ";
+  size_t pos = 0;
+  while ((pos = json.find(label_key, pos)) != std::string::npos) {
+    pos += label_key.size();
+    std::string label;
+    while (pos < json.size() && json[pos] != '"') {
+      if (json[pos] == '\\' && pos + 1 < json.size()) ++pos;
+      label += json[pos++];
+    }
+    const size_t spos = json.find(seconds_key, pos);
+    if (spos == std::string::npos) {
+      *error = "row '" + label + "' has no seconds field";
+      return false;
+    }
+    const double seconds = std::strtod(json.c_str() + spos + seconds_key.size(),
+                                       nullptr);
+    (*out)[label] = seconds;
+  }
+  return true;
+}
+
+bool load(const char* path, std::map<std::string, double>* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "check_bench: cannot open '%s'\n", path);
+    return false;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  std::string error;
+  if (!parse_report(ss.str(), out, &error)) {
+    std::fprintf(stderr, "check_bench: '%s': %s\n", path, error.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double tol_pct = 10.0;
+  const char* files[2] = {nullptr, nullptr};
+  int nfiles = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--tol=", 6) == 0) {
+      tol_pct = std::atof(argv[i] + 6);
+    } else if (nfiles < 2) {
+      files[nfiles++] = argv[i];
+    }
+  }
+  if (nfiles != 2) {
+    std::fprintf(stderr,
+                 "usage: %s <baseline.json> <candidate.json> [--tol=<pct>]\n",
+                 argv[0]);
+    return 1;
+  }
+
+  std::map<std::string, double> base, cand;
+  if (!load(files[0], &base) || !load(files[1], &cand)) return 1;
+
+  int regressions = 0, compared = 0;
+  for (const auto& [label, base_s] : base) {
+    const auto it = cand.find(label);
+    if (it == cand.end()) {
+      std::printf("check_bench: '%s' only in baseline, skipped\n",
+                  label.c_str());
+      continue;
+    }
+    if (base_s <= 0.0 || it->second <= 0.0) continue;
+    ++compared;
+    const double delta_pct = 100.0 * (it->second - base_s) / base_s;
+    if (delta_pct > tol_pct) {
+      std::fprintf(stderr,
+                   "check_bench: REGRESSION '%s': %.3es -> %.3es (%+.1f%%, "
+                   "tol %.1f%%)\n",
+                   label.c_str(), base_s, it->second, delta_pct, tol_pct);
+      ++regressions;
+    }
+  }
+  for (const auto& [label, s] : cand) {
+    (void)s;
+    if (!base.count(label))
+      std::printf("check_bench: '%s' only in candidate, skipped\n",
+                  label.c_str());
+  }
+
+  if (compared == 0) {
+    std::fprintf(stderr, "check_bench: no comparable timed rows\n");
+    return 1;
+  }
+  if (regressions > 0) {
+    std::fprintf(stderr, "check_bench: %d regression(s) over %.1f%%\n",
+                 regressions, tol_pct);
+    return 1;
+  }
+  std::printf("check_bench: %d row(s) within %.1f%% of baseline\n", compared,
+              tol_pct);
+  return 0;
+}
