@@ -27,8 +27,12 @@ void BM_AnalysisChoice(benchmark::State& state) {
                           : CompileOptions::Analysis::Diophantine;
   auto kernel = compile(mg::gsrb_smooth_group(3), bl.grids(), "openmp", opt);
   const ParamMap params{{"h2inv", bl.h2inv()}};
+  const std::string label =
+      std::string(interval ? "interval" : "diophantine") + " n=" +
+      std::to_string(n);
   for (auto _ : state) {
     kernel->run(bl.grids(), params);
+    JsonReport::instance().record_min(label, kernel->last_run_seconds());
   }
   const ShapeMap shapes = shapes_of(bl.grids());
   const Schedule sched = interval
@@ -52,4 +56,4 @@ BENCHMARK(BM_AnalysisChoice)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return gbench_main(argc, argv); }

@@ -22,8 +22,12 @@ void BM_BarrierPlacement(benchmark::State& state) {
   opt.barrier_per_stencil = naive;
   auto kernel = compile(mg::gsrb_smooth_group(3), bl.grids(), "openmp", opt);
   const ParamMap params{{"h2inv", bl.h2inv()}};
+  const std::string label =
+      std::string(naive ? "barrier-per-stencil" : "greedy") + " n=" +
+      std::to_string(n);
   for (auto _ : state) {
     kernel->run(bl.grids(), params);
+    JsonReport::instance().record_min(label, kernel->last_run_seconds());
   }
   const Schedule sched =
       naive ? barrier_per_stencil_schedule(mg::gsrb_smooth_group(3),
@@ -43,4 +47,4 @@ BENCHMARK(BM_BarrierPlacement)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return gbench_main(argc, argv); }

@@ -29,12 +29,14 @@ void BM_ResidualPlusApply(benchmark::State& state) {
   opt.fuse_stencils = fuse;
   auto kernel = compile(residual_and_apply(), bl.grids(), "openmp", opt);
   const ParamMap params{{"h2inv", bl.h2inv()}};
+  const std::string label = std::string(fuse ? "fused" : "separate") + " n=" +
+                            std::to_string(n);
   for (auto _ : state) {
     kernel->run(bl.grids(), params);
+    JsonReport::instance().record_min(label, kernel->last_run_seconds());
   }
   state.SetItemsProcessed(state.iterations() * bl.points() * 2);
-  state.SetLabel(std::string(fuse ? "fused" : "separate") + " n=" +
-                 std::to_string(n));
+  state.SetLabel(label);
 }
 BENCHMARK(BM_ResidualPlusApply)
     ->Args({32, 0})
@@ -45,4 +47,4 @@ BENCHMARK(BM_ResidualPlusApply)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return gbench_main(argc, argv); }

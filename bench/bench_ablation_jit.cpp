@@ -4,6 +4,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <filesystem>
 
 #include "backend/jit/jit_backend.hpp"
@@ -27,6 +28,17 @@ std::string scratch_dir() {
   return dir;
 }
 
+/// Time fn() once and fold the result into the --json row for `label`.
+double timed(const std::string& label, const std::function<void()>& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  const double dt =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  JsonReport::instance().record_min(label, dt);
+  return dt;
+}
+
 std::string smoother_source(std::int64_t variant) {
   BenchLevel bl(8);
   CompileOptions opt;
@@ -48,7 +60,8 @@ void BM_ColdCompile(benchmark::State& state) {
     const std::string src = smoother_source(variant) + "/* variant " +
                             std::to_string(variant) + " */\n";
     state.ResumeTiming();
-    benchmark::DoNotOptimize(cache.get_or_compile(src, toolchain));
+    timed("cold compile",
+          [&] { benchmark::DoNotOptimize(cache.get_or_compile(src, toolchain)); });
   }
   state.SetLabel("cold compile (gcc -O3 -fopenmp)");
 }
@@ -60,7 +73,8 @@ void BM_MemoryCacheHit(benchmark::State& state) {
   const std::string src = smoother_source(1);
   cache.get_or_compile(src, toolchain);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(cache.get_or_compile(src, toolchain));
+    timed("memory cache hit",
+          [&] { benchmark::DoNotOptimize(cache.get_or_compile(src, toolchain)); });
   }
   state.SetLabel("in-memory cache hit");
 }
@@ -75,7 +89,8 @@ void BM_DiskCacheHit(benchmark::State& state) {
   }
   for (auto _ : state) {
     KernelCache fresh(scratch_dir());  // no in-memory entries
-    benchmark::DoNotOptimize(fresh.get_or_compile(src, toolchain));
+    timed("disk cache hit",
+          [&] { benchmark::DoNotOptimize(fresh.get_or_compile(src, toolchain)); });
   }
   state.SetLabel("disk cache hit (dlopen)");
 }
@@ -88,6 +103,8 @@ void BM_KernelCallOverhead(benchmark::State& state) {
   const ParamMap params{{"h2inv", bl.h2inv()}};
   for (auto _ : state) {
     kernel->run(bl.grids(), params);
+    JsonReport::instance().record_min("kernel call overhead",
+                                      kernel->last_run_seconds());
   }
   state.SetLabel("4^3 smoother via compiled callable");
 }
@@ -95,4 +112,4 @@ BENCHMARK(BM_KernelCallOverhead)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return gbench_main(argc, argv); }

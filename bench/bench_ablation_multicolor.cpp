@@ -21,12 +21,14 @@ void BM_GsrbSmoother(benchmark::State& state) {
   opt.fuse_colors = fuse;
   auto kernel = compile(mg::gsrb_smooth_group(3), bl.grids(), "openmp", opt);
   const ParamMap params{{"h2inv", bl.h2inv()}};
+  const std::string label = std::string(fuse ? "fused" : "rect-by-rect") +
+                            " n=" + std::to_string(n);
   for (auto _ : state) {
     kernel->run(bl.grids(), params);
+    JsonReport::instance().record_min(label, kernel->last_run_seconds());
   }
   state.SetItemsProcessed(state.iterations() * bl.points());
-  state.SetLabel(std::string(fuse ? "fused" : "rect-by-rect") + " n=" +
-                 std::to_string(n));
+  state.SetLabel(label);
 }
 BENCHMARK(BM_GsrbSmoother)
     ->Args({32, 0})
@@ -37,4 +39,4 @@ BENCHMARK(BM_GsrbSmoother)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return gbench_main(argc, argv); }

@@ -22,12 +22,14 @@ void BM_Schedule(benchmark::State& state) {
                        : CompileOptions::Schedule::ParallelFor;
   auto kernel = compile(mg::gsrb_smooth_group(3), bl.grids(), "openmp", opt);
   const ParamMap params{{"h2inv", bl.h2inv()}};
+  const std::string label = std::string(tasks ? "tasks" : "parallel-for") +
+                            " n=" + std::to_string(n);
   for (auto _ : state) {
     kernel->run(bl.grids(), params);
+    JsonReport::instance().record_min(label, kernel->last_run_seconds());
   }
   state.SetItemsProcessed(state.iterations() * bl.points());
-  state.SetLabel(std::string(tasks ? "tasks" : "parallel-for") + " n=" +
-                 std::to_string(n));
+  state.SetLabel(label);
 }
 BENCHMARK(BM_Schedule)
     ->Args({8, 0})
@@ -38,4 +40,4 @@ BENCHMARK(BM_Schedule)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return gbench_main(argc, argv); }

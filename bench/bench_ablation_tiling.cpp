@@ -27,11 +27,15 @@ void BM_GsrbTile(benchmark::State& state) {
   if (tile > 0) opt.tile = {tile, tile, tile};
   auto kernel = compile(mg::gsrb_smooth_group(3), bl.grids(), "openmp", opt);
   const ParamMap params{{"h2inv", bl.h2inv()}};
+  const std::string label =
+      tile == 0 ? "untiled" : "tile=" + std::to_string(tile);
   for (auto _ : state) {
     kernel->run(bl.grids(), params);
+    JsonReport::instance().record_min("gsrb " + label,
+                                      kernel->last_run_seconds());
   }
   state.SetItemsProcessed(state.iterations() * bl.points());
-  state.SetLabel(tile == 0 ? "untiled" : "tile=" + std::to_string(tile));
+  state.SetLabel(label);
 }
 BENCHMARK(BM_GsrbTile)->Arg(0)->Arg(4)->Arg(8)->Arg(16)->Arg(32)
     ->Unit(benchmark::kMillisecond);
@@ -44,8 +48,12 @@ void BM_CcApplyTile(benchmark::State& state) {
   auto kernel = compile(StencilGroup(lib::cc_apply(3, "x", "out")), bl.grids(),
                         "openmp", opt);
   const ParamMap params{{"h2inv", bl.h2inv()}};
+  const std::string label =
+      "cc_apply " +
+      (tile == 0 ? std::string("untiled") : "tile=" + std::to_string(tile));
   for (auto _ : state) {
     kernel->run(bl.grids(), params);
+    JsonReport::instance().record_min(label, kernel->last_run_seconds());
   }
   state.SetItemsProcessed(state.iterations() * bl.points());
 }
@@ -54,4 +62,4 @@ BENCHMARK(BM_CcApplyTile)->Arg(0)->Arg(8)->Arg(16)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return gbench_main(argc, argv); }

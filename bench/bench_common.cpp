@@ -1,10 +1,13 @@
 #include "bench_common.hpp"
 
+#include <benchmark/benchmark.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <vector>
 
 #include "ir/stencil_library.hpp"
 #include "roofline/stream.hpp"
@@ -56,6 +59,17 @@ void JsonReport::record(const std::string& label, double seconds, double gbps,
                         double roofline_pct) {
   if (!enabled()) return;
   rows_.push_back(Row{label, seconds, gbps, roofline_pct});
+}
+
+void JsonReport::record_min(const std::string& label, double seconds) {
+  if (!enabled()) return;
+  for (auto& r : rows_) {
+    if (r.label == label) {
+      r.seconds = std::min(r.seconds, seconds);
+      return;
+    }
+  }
+  rows_.push_back(Row{label, seconds, 0.0, 0.0});
 }
 
 void JsonReport::flush() const {
@@ -195,6 +209,29 @@ double modeled_cuda_vcycle_seconds(const snowflake::DeviceSpec& device,
              interp_t;
   }
   return total;
+}
+
+int gbench_main(int argc, char** argv) {
+  std::vector<char*> rest;
+  rest.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strncmp(a, "--json=", 7) == 0) {
+      JsonReport::instance().enable(a + 7);
+    } else if (std::strncmp(a, "--trace=", 8) == 0) {
+      trace::enable_trace_file(a + 8);
+    } else if (std::strcmp(a, "--metrics") == 0) {
+      trace::enable_metrics_dump();
+    } else {
+      rest.push_back(argv[i]);
+    }
+  }
+  int rest_argc = static_cast<int>(rest.size());
+  benchmark::Initialize(&rest_argc, rest.data());
+  if (benchmark::ReportUnrecognizedArguments(rest_argc, rest.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
 }
 
 void banner(const std::string& title, const std::string& notes) {

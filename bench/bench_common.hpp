@@ -71,6 +71,10 @@ public:
   bool enabled() const { return !path_.empty(); }
   void record(const std::string& label, double seconds, double gbps,
               double roofline_pct);
+  /// Duplicate-safe record: keeps the minimum seconds seen for `label`
+  /// (google-benchmark re-invokes a benchmark function while estimating
+  /// iteration counts, so gbench benches record once per timed run).
+  void record_min(const std::string& label, double seconds);
   /// Write the file now (also runs at exit; rewrites the whole file).
   void flush() const;
 
@@ -97,6 +101,13 @@ private:
 
 /// Print the standard bench banner (what figure, what substitution).
 void banner(const std::string& title, const std::string& notes);
+
+/// Drop-in main() body for the google-benchmark micro-benches: strips the
+/// snowflake flags (--json=<f>, --trace=<f>, --metrics) before handing the
+/// remaining argv to benchmark::Initialize / RunSpecifiedBenchmarks, so
+/// the ablation benches export machine-readable rows exactly like the
+/// figure benches do.
+int gbench_main(int argc, char** argv);
 
 /// Modeled wall-clock of a hand-written CUDA geometric multigrid solve on
 /// `device` (the HPGMG-CUDA comparator of Figs. 8/9): per V-cycle, every

@@ -58,6 +58,13 @@ struct CompileOptions {
   /// group the backend logs the reason and falls back to the per-sweep
   /// schedule, never producing wrong answers.
   int time_tile = 1;
+  /// Address-arithmetic optimization (codegen/transform/addr.hpp): hoist
+  /// per-row base pointers above the innermost loop, fold pure-offset
+  /// reads to `base[i + C]`, and strength-reduce multiplicative/divisive
+  /// index maps into division-free induction variables.  Per-nest fallback
+  /// to the legacy re-linearized indexing when illegal; off = exactly
+  /// today's codegen (A/B comparison, `bench_ablation_addr`).
+  bool addr_opt = true;
   /// Work-group tile (oclsim backend): the tall-skinny 2D block edge sizes
   /// in the innermost two dims.  Empty = {16, 64}.
   Index workgroup;

@@ -8,6 +8,7 @@
 #include "analysis/interval.hpp"
 #include "codegen/cemit.hpp"
 #include "codegen/lower.hpp"
+#include "codegen/transform/addr.hpp"
 #include "codegen/transform/fusion.hpp"
 #include "codegen/transform/multicolor.hpp"
 #include "codegen/transform/tiling.hpp"
@@ -53,6 +54,19 @@ std::int64_t auto_task_grain(const KernelPlan& plan) {
 }
 
 enum class JitMode { Sequential, OpenMP, OpenMPTarget };
+
+/// Plan address arithmetic when the option asks for it (the plan stays
+/// empty — and EmitOptions::addr null — when addr_opt is off).
+AddrPlan maybe_plan_addresses(const KernelPlan& plan,
+                              const CompileOptions& options) {
+  AddrPlan addr;
+  if (!options.addr_opt) return addr;
+  trace::Span span("codegen:addr", "compile");
+  addr = plan_addresses(plan);
+  verify_addr_plan(plan, addr);
+  span.counter("active_nests", static_cast<double>(addr.active_count()));
+  return addr;
+}
 
 EmitOptions emit_options_for(const CompileOptions& options,
                              const KernelPlan& plan, JitMode mode) {
@@ -139,10 +153,12 @@ public:
       // Fall through to the per-sweep schedule: one run() = one sweep.
     }
     KernelPlan plan = build_plan(group, shapes, options);
+    const AddrPlan addr = maybe_plan_addresses(plan, options);
     std::string source;
     {
       trace::Span span("codegen:emit", "compile");
-      const EmitOptions eo = emit_options_for(options, plan, mode_);
+      EmitOptions eo = emit_options_for(options, plan, mode_);
+      if (options.addr_opt) eo.addr = &addr;
       source = emit_c_source(plan, eo);
       span.counter("source_bytes", static_cast<double>(source.size()));
     }
@@ -180,6 +196,8 @@ private:
                   ? EmitOptions::Mode::OpenMPTasks
                   : EmitOptions::Mode::OpenMPFor;
     eo.simd = options.simd;
+    const AddrPlan addr = maybe_plan_addresses(tt->base, options);
+    if (options.addr_opt) eo.addr = &addr;
     std::string source;
     {
       trace::Span span("codegen:emit", "compile");
@@ -221,8 +239,10 @@ KernelPlan build_plan(const StencilGroup& group, const ShapeMap& shapes,
 std::string render_source(const StencilGroup& group, const ShapeMap& shapes,
                           const CompileOptions& options, bool openmp) {
   KernelPlan plan = build_plan(group, shapes, options);
-  const EmitOptions eo = emit_options_for(
+  const AddrPlan addr = maybe_plan_addresses(plan, options);
+  EmitOptions eo = emit_options_for(
       options, plan, openmp ? JitMode::OpenMP : JitMode::Sequential);
+  if (options.addr_opt) eo.addr = &addr;
   return emit_c_source(plan, eo);
 }
 

@@ -5,6 +5,7 @@
 #include "backend/jit/jit_backend.hpp"
 #include "codegen/cemit.hpp"
 #include "codegen/lower.hpp"
+#include "codegen/transform/addr.hpp"
 #include "jit/cache.hpp"
 #include "roofline/traffic.hpp"
 #include "support/error.hpp"
@@ -156,6 +157,14 @@ public:
     }
     if (options.workgroup.size() >= 2 && options.workgroup[1] > 0) {
       ocl.wg1 = options.workgroup[1];
+    }
+    AddrPlan addr;
+    if (options.addr_opt) {
+      trace::Span span("codegen:addr", "compile");
+      addr = plan_addresses(plan);
+      verify_addr_plan(plan, addr);
+      span.counter("active_nests", static_cast<double>(addr.active_count()));
+      ocl.addr = &addr;
     }
     std::vector<OclDispatch> dispatches;
     const std::string source = emit_oclsim_source(plan, ocl, dispatches);

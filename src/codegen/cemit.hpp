@@ -25,6 +25,8 @@
 
 namespace snowflake {
 
+struct AddrPlan;
+
 struct EmitOptions {
   enum class Mode { Sequential, OpenMPTasks, OpenMPFor, OpenMPTarget };
   Mode mode = Mode::Sequential;
@@ -36,6 +38,10 @@ struct EmitOptions {
   bool simd = false;
   /// Emit structural comments (wave/chain/nest labels).
   bool comments = true;
+  /// Address-arithmetic plan (codegen/transform/addr.hpp): hoisted row
+  /// bases + strength-reduced innermost indexing.  Null renders the legacy
+  /// re-linearized indices; the plan must outlive the emission call.
+  const AddrPlan* addr = nullptr;
 };
 
 /// Exported entry-point symbol of every generated translation unit.
@@ -70,6 +76,8 @@ struct OclEmitOptions {
   std::int64_t wg0 = 16;  // tile extent in dim rank-2 (the "tall" edge)
   std::int64_t wg1 = 64;  // tile extent in the contiguous dim rank-1
   bool comments = true;
+  /// Address-arithmetic plan (see EmitOptions::addr).
+  const AddrPlan* addr = nullptr;
 };
 
 struct OclDispatch {

@@ -1,0 +1,232 @@
+#include "codegen/transform/addr.hpp"
+
+#include <set>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace snowflake {
+
+namespace {
+
+/// Grids written by any nest of the plan (see AddrBase::written).
+std::set<std::string> written_grids(const KernelPlan& plan) {
+  std::set<std::string> out;
+  for (const auto& nest : plan.nests) out.insert(nest.out_grid);
+  return out;
+}
+
+/// Find-or-add the base for (grid, outer maps of `map`).
+int intern_base(AddrNestPlan& np, const std::string& grid, const IndexMap& map,
+                bool written) {
+  std::vector<DimMap> outer(map.dims().begin(), map.dims().end() - 1);
+  for (size_t k = 0; k < np.bases.size(); ++k) {
+    if (np.bases[k].grid == grid && np.bases[k].outer == outer) {
+      return static_cast<int>(k);
+    }
+  }
+  np.bases.push_back({grid, std::move(outer), written});
+  return static_cast<int>(np.bases.size()) - 1;
+}
+
+/// Plan one access; returns false (with *bail set) when the innermost map
+/// cannot be strength-reduced on this nest's stride lattice.
+bool plan_access(AddrNestPlan& np, const std::string& grid, const IndexMap& map,
+                 std::int64_t inner_stride, bool written, std::string* bail) {
+  const std::string key = addr_access_key(grid, map);
+  if (np.accesses.count(key)) return true;  // shared subtree, already planned
+  AddrAccess a;
+  a.base = intern_base(np, grid, map, written);
+  const DimMap& mi = map.dim(map.rank() - 1);
+  if (mi.is_pure_offset()) {
+    a.induction = -1;
+    a.offset = mi.off;
+  } else {
+    if ((mi.num * inner_stride) % mi.den != 0) {
+      *bail = "innermost map " + std::to_string(mi.num) + "*i" +
+              (mi.off ? (mi.off > 0 ? "+" : "") + std::to_string(mi.off) : "") +
+              "/" + std::to_string(mi.den) + " not strength-reducible: den " +
+              std::to_string(mi.den) + " does not divide num*stride " +
+              std::to_string(mi.num * inner_stride);
+      return false;
+    }
+    int found = -1;
+    for (size_t j = 0; j < np.inductions.size(); ++j) {
+      if (np.inductions[j].num == mi.num && np.inductions[j].den == mi.den) {
+        found = static_cast<int>(j);
+        break;
+      }
+    }
+    if (found < 0) {
+      AddrInduction ind;
+      ind.num = mi.num;
+      ind.den = mi.den;
+      ind.off0 = mi.off;
+      ind.step = mi.num * inner_stride / mi.den;
+      np.inductions.push_back(ind);
+      found = static_cast<int>(np.inductions.size()) - 1;
+      a.offset = 0;
+    } else {
+      // Exactness at any shared domain point forces the offsets of one
+      // (num, den) class to be congruent mod den; verify defensively.
+      const AddrInduction& ind = np.inductions[static_cast<size_t>(found)];
+      if ((mi.off - ind.off0) % mi.den != 0) {
+        *bail = "offsets " + std::to_string(ind.off0) + " and " +
+                std::to_string(mi.off) + " of /" + std::to_string(mi.den) +
+                " maps differ mod den";
+        return false;
+      }
+      a.offset = (mi.off - ind.off0) / mi.den;
+    }
+    a.induction = found;
+  }
+  np.accesses.emplace(key, a);
+  return true;
+}
+
+AddrNestPlan plan_nest(const KernelPlan& plan, const LoopNest& nest,
+                       const std::set<std::string>& written) {
+  AddrNestPlan np;
+  if (nest.dims.empty()) {
+    np.bail_reason = "nest has no loops";
+    return np;
+  }
+  const LoopDim& inner = nest.dims.back();
+  const int rank = static_cast<int>(plan.shapes.at(nest.out_grid).size());
+  if (inner.grid_dim != rank - 1) {
+    np.bail_reason = "innermost loop iterates grid dim " +
+                     std::to_string(inner.grid_dim) +
+                     ", not the contiguous dim " + std::to_string(rank - 1);
+    return np;
+  }
+  np.inner_dim = inner.grid_dim;
+
+  std::string bail;
+  if (!plan_access(np, nest.out_grid, IndexMap::identity(rank), inner.stride,
+                   /*written=*/true, &bail)) {
+    np = AddrNestPlan{};
+    np.bail_reason = bail;
+    return np;
+  }
+  for (const GridReadExpr* r : collect_reads(nest.rhs)) {
+    if (!plan_access(np, r->grid(), r->map(), inner.stride,
+                     written.count(r->grid()) > 0, &bail)) {
+      np = AddrNestPlan{};
+      np.bail_reason = bail;
+      return np;
+    }
+  }
+  np.active = true;
+  return np;
+}
+
+}  // namespace
+
+std::string addr_access_key(const std::string& grid, const IndexMap& map) {
+  return grid + "@" + map.to_string();
+}
+
+size_t AddrPlan::active_count() const {
+  size_t n = 0;
+  for (const auto& np : nests) n += np.active ? 1 : 0;
+  return n;
+}
+
+std::string AddrPlan::describe(const KernelPlan& plan) const {
+  std::ostringstream os;
+  for (size_t i = 0; i < nests.size(); ++i) {
+    const AddrNestPlan& np = nests[i];
+    const std::string label =
+        i < plan.nests.size() ? plan.nests[i].label : "?";
+    os << "nest " << i << " (" << label << "): ";
+    if (!np.active) {
+      os << "legacy indexing — " << np.bail_reason << "\n";
+      continue;
+    }
+    os << np.bases.size() << " row base(s), " << np.inductions.size()
+       << " induction(s)\n";
+    for (size_t k = 0; k < np.bases.size(); ++k) {
+      os << "  base " << k << ": " << np.bases[k].grid << " + [";
+      for (size_t d = 0; d < np.bases[k].outer.size(); ++d) {
+        const DimMap& m = np.bases[k].outer[d];
+        if (d) os << ", ";
+        if (m.num != 1) os << m.num << "*";
+        os << "i" << d;
+        if (m.off > 0) os << "+" << m.off;
+        if (m.off < 0) os << m.off;
+        if (m.den != 1) os << "/" << m.den;
+      }
+      os << "]" << (np.bases[k].written ? "" : " (read-only)") << "\n";
+    }
+    for (size_t j = 0; j < np.inductions.size(); ++j) {
+      const AddrInduction& ind = np.inductions[j];
+      os << "  induction " << j << ": (" << ind.num << "*i";
+      if (ind.off0 > 0) os << "+" << ind.off0;
+      if (ind.off0 < 0) os << ind.off0;
+      os << ")/" << ind.den << ", step " << ind.step << "\n";
+    }
+  }
+  return os.str();
+}
+
+AddrPlan plan_addresses(const KernelPlan& plan) {
+  AddrPlan addr;
+  const std::set<std::string> written = written_grids(plan);
+  addr.nests.reserve(plan.nests.size());
+  for (const auto& nest : plan.nests) {
+    addr.nests.push_back(plan_nest(plan, nest, written));
+  }
+  return addr;
+}
+
+void verify_addr_plan(const KernelPlan& plan, const AddrPlan& addr) {
+  SF_ASSERT(addr.nests.size() == plan.nests.size(),
+                    "addr plan has " + std::to_string(addr.nests.size()) +
+                        " nests, kernel plan has " +
+                        std::to_string(plan.nests.size()));
+  for (size_t i = 0; i < plan.nests.size(); ++i) {
+    const AddrNestPlan& np = addr.nests[i];
+    if (!np.active) continue;
+    const LoopNest& nest = plan.nests[i];
+    SF_ASSERT(!nest.dims.empty(),
+                      "active addr plan on loop-less nest '" + nest.label + "'");
+    const LoopDim& inner = nest.dims.back();
+    const int rank = static_cast<int>(plan.shapes.at(nest.out_grid).size());
+    SF_ASSERT(np.inner_dim == rank - 1 && inner.grid_dim == rank - 1,
+                      "addr plan for '" + nest.label +
+                          "' does not own the contiguous dim");
+    auto check_access = [&](const std::string& grid, const IndexMap& map) {
+      const auto it = np.accesses.find(addr_access_key(grid, map));
+      SF_ASSERT(it != np.accesses.end(),
+                        "addr plan for '" + nest.label +
+                            "' misses access to '" + grid + "'");
+      const AddrAccess& a = it->second;
+      SF_ASSERT(
+          a.base >= 0 && a.base < static_cast<int>(np.bases.size()),
+          "addr access base index out of range in '" + nest.label + "'");
+      SF_ASSERT(a.induction < static_cast<int>(np.inductions.size()),
+                        "addr access induction index out of range in '" +
+                            nest.label + "'");
+      const DimMap& mi = map.dim(rank - 1);
+      if (a.induction >= 0) {
+        const AddrInduction& ind = np.inductions[static_cast<size_t>(a.induction)];
+        SF_ASSERT(ind.num == mi.num && ind.den == mi.den,
+                          "addr induction class mismatch in '" + nest.label +
+                              "'");
+        SF_ASSERT(ind.step * mi.den == mi.num * inner.stride,
+                          "addr induction step is not num*stride/den in '" +
+                              nest.label + "'");
+      } else {
+        SF_ASSERT(mi.is_pure_offset() && a.offset == mi.off,
+                          "pure-offset addr access disagrees with map in '" +
+                              nest.label + "'");
+      }
+    };
+    check_access(nest.out_grid, IndexMap::identity(rank));
+    for (const GridReadExpr* r : collect_reads(nest.rhs)) {
+      check_access(r->grid(), r->map());
+    }
+  }
+}
+
+}  // namespace snowflake

@@ -1,0 +1,100 @@
+#pragma once
+// Address-arithmetic planning: rewrite a nest's grid accesses into hoisted
+// per-row base pointers plus constant offsets / strength-reduced induction
+// variables in the innermost loop (the address CSE pass production stencil
+// compilers apply before codegen; Devito and StencilFlow both normalize
+// accesses to constant offsets from a moving base).
+//
+// For each LoopNest whose innermost loop iterates the contiguous grid
+// dimension (grid_dim == rank-1, which lowering and tiling both guarantee
+// for point loops), the pass plans:
+//   * one base pointer per distinct (grid, outer-coordinate maps) pair —
+//     `grid + <outer coords linearized>` hoisted above the innermost loop;
+//   * pure-offset innermost reads as `base[iK + C]` with the flat constant
+//     folded from the stencil offset;
+//   * multiplicative maps (num>1) as a secondary induction variable stepped
+//     by num*stride, and divisive maps (den>1, interpolation) as a
+//     division-free induction variable stepped by num*stride/den — legal
+//     exactly when den divides num*stride, which parity-strided
+//     interpolation domains satisfy (stride 2, den 2).
+//
+// The pass never fails: a nest that cannot be rewritten records a bail
+// reason and the emitter falls back to the legacy re-linearized indexing
+// for that nest only.  Correctness of the induction start value relies on
+// the validator's exactness guarantee: every executed iteration point lies
+// on the domain lattice, where (num*i + off) / den divides exactly.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "codegen/plan.hpp"
+
+namespace snowflake {
+
+/// One hoisted row base: `grid + sum_d outer[d](coord_d) * stride_d`.
+struct AddrBase {
+  std::string grid;
+  std::vector<DimMap> outer;  // maps for grid dims 0..rank-2
+  /// Grid is written somewhere in the plan (suppresses `restrict` on the
+  /// derived pointer: writing through one restrict base while reading the
+  /// same element through another would be undefined).
+  bool written = false;
+};
+
+/// One strength-reduced induction variable for a (num, den) class of
+/// innermost maps: starts at (num*lo + off0)/den, steps by num*stride/den.
+struct AddrInduction {
+  std::int64_t num = 1;
+  std::int64_t den = 1;
+  std::int64_t off0 = 0;  // representative offset of the class
+  std::int64_t step = 0;  // num * inner_stride / den (exact by legality)
+};
+
+/// How one grid access renders inside the innermost loop:
+/// base[<loop var or induction var> + offset].
+struct AddrAccess {
+  int base = -1;
+  int induction = -1;  // -1: pure offset off the innermost loop variable
+  std::int64_t offset = 0;
+};
+
+struct AddrNestPlan {
+  bool active = false;
+  std::string bail_reason;  // set when !active
+  int inner_dim = -1;       // grid dimension of the innermost loop (rank-1)
+  std::vector<AddrBase> bases;
+  std::vector<AddrInduction> inductions;
+  /// addr_access_key(grid, map) -> rendering plan.  The nest's write is
+  /// keyed with the identity map.
+  std::map<std::string, AddrAccess> accesses;
+};
+
+struct AddrPlan {
+  std::vector<AddrNestPlan> nests;  // parallel to KernelPlan::nests
+
+  size_t active_count() const;
+
+  /// Human-readable summary (explain_group's "address plan" section).
+  std::string describe(const KernelPlan& plan) const;
+};
+
+/// Structural lookup key for an access: stable across emission contexts
+/// (shared subtrees of one rhs referencing the same grid through the same
+/// map render identically, so one plan entry serves them all).
+std::string addr_access_key(const std::string& grid, const IndexMap& map);
+
+/// Plan address arithmetic for every nest of the plan.  Pure analysis: the
+/// KernelPlan itself is never modified.
+AddrPlan plan_addresses(const KernelPlan& plan);
+
+/// Invariants tying an AddrPlan to its KernelPlan; throws InternalError on
+/// violation (run by backends next to verify_plan).  Checks: parallel
+/// nest arrays; for active nests the innermost loop owns the contiguous
+/// grid dim, every access of the nest (write + all reads) has a plan entry
+/// with in-range base/induction indices, and induction steps match
+/// num*stride/den exactly.
+void verify_addr_plan(const KernelPlan& plan, const AddrPlan& addr);
+
+}  // namespace snowflake

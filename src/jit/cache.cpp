@@ -55,47 +55,74 @@ std::shared_ptr<Module> KernelCache::get_or_compile(const std::string& source,
 
   trace::Span span("jit:cache", "jit");
   auto& collector = trace::TraceCollector::instance();
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock(mu_);
 
-  if (auto it = loaded_.find(key); it != loaded_.end()) {
-    ++stats_.memory_hits;
-    collector.increment("jit.cache.memory_hits");
-    span.counter("memory_hit", 1.0);
-    return it->second;
+  // Wait out any in-flight compile of the same key; on wake the memory map
+  // usually has the module (a failed compile leaves it absent and we take
+  // over the slot ourselves).
+  for (;;) {
+    if (auto it = loaded_.find(key); it != loaded_.end()) {
+      ++stats_.memory_hits;
+      collector.increment("jit.cache.memory_hits");
+      span.counter("memory_hit", 1.0);
+      return it->second;
+    }
+    if (in_flight_.count(key) == 0) break;
+    cv_.wait(lock);
   }
+  in_flight_.insert(key);
+  lock.unlock();
 
+  // Disk probe and compilation run unlocked so distinct keys overlap; the
+  // in_flight_ entry guarantees this key has a single owner.
   const fs::path so_path = fs::path(directory_) / (key + ".so");
   const fs::path src_path = fs::path(directory_) / (key + ".src");
-  std::error_code ec;
-  if (fs::exists(so_path, ec) && fs::exists(src_path, ec) &&
-      read_file(src_path) == source) {
-    SF_LOG_DEBUG("kernel cache disk hit: " << key);
-    auto module = std::make_shared<Module>(so_path.string());
-    loaded_[key] = module;
+  std::shared_ptr<Module> module;
+  bool disk_hit = false;
+  try {
+    std::error_code ec;
+    if (fs::exists(so_path, ec) && fs::exists(src_path, ec) &&
+        read_file(src_path) == source) {
+      SF_LOG_DEBUG("kernel cache disk hit: " << key);
+      module = std::make_shared<Module>(so_path.string());
+      disk_hit = true;
+    } else {
+      {
+        trace::Span compile_span("jit:cc", "jit");
+        const double start = trace::now_us();
+        toolchain.compile_shared_object(source, so_path.string());
+        const double cc_seconds = (trace::now_us() - start) / 1e6;
+        compile_span.counter("cc_s", cc_seconds);
+        compile_span.counter("source_bytes",
+                             static_cast<double>(source.size()));
+        collector.increment("jit.cc.seconds", cc_seconds);
+      }
+      {
+        std::ofstream out(src_path, std::ios::binary);
+        out << source;
+      }
+      module = std::make_shared<Module>(so_path.string());
+    }
+  } catch (...) {
+    lock.lock();
+    in_flight_.erase(key);
+    cv_.notify_all();
+    throw;
+  }
+
+  lock.lock();
+  loaded_[key] = module;
+  in_flight_.erase(key);
+  if (disk_hit) {
     ++stats_.disk_hits;
     collector.increment("jit.cache.disk_hits");
     span.counter("disk_hit", 1.0);
-    return module;
+  } else {
+    ++stats_.compiles;
+    collector.increment("jit.cache.compiles");
+    span.counter("compile", 1.0);
   }
-
-  {
-    trace::Span compile_span("jit:cc", "jit");
-    const double start = trace::now_us();
-    toolchain.compile_shared_object(source, so_path.string());
-    const double cc_seconds = (trace::now_us() - start) / 1e6;
-    compile_span.counter("cc_s", cc_seconds);
-    compile_span.counter("source_bytes", static_cast<double>(source.size()));
-    collector.increment("jit.cc.seconds", cc_seconds);
-  }
-  {
-    std::ofstream out(src_path, std::ios::binary);
-    out << source;
-  }
-  ++stats_.compiles;
-  collector.increment("jit.cache.compiles");
-  span.counter("compile", 1.0);
-  auto module = std::make_shared<Module>(so_path.string());
-  loaded_[key] = module;
+  cv_.notify_all();
   return module;
 }
 

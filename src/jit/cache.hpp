@@ -8,14 +8,18 @@
 // collide, the source is stored next to the .so and compared on every disk
 // hit — a mismatch degrades to a recompile, never to loading wrong code.
 //
-// Thread-safe: concurrent get_or_compile() callers serialize on an
-// internal mutex (a compile in flight blocks other lookups; correctness
-// over concurrency for the rare cold-cache path).  Every lookup also feeds
+// Thread-safe: the map is guarded by a mutex, but compilation itself runs
+// OUTSIDE the lock — distinct keys compile concurrently (the tuner
+// compiles its whole candidate set in parallel), while callers asking for
+// a key already in flight wait on a condition variable and share the
+// result, so each key is compiled at most once.  Every lookup also feeds
 // the jit.cache.* trace counters, visible in the $SNOWFLAKE_METRICS dump.
 
+#include <condition_variable>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 
 #include "jit/module.hpp"
@@ -53,6 +57,10 @@ public:
 private:
   std::string directory_;
   mutable std::mutex mu_;
+  std::condition_variable cv_;
+  /// Keys being probed/compiled right now (outside the lock); a second
+  /// caller for the same key waits on cv_ instead of compiling twice.
+  std::set<std::string> in_flight_;
   std::map<std::string, std::shared_ptr<Module>> loaded_;
   Stats stats_;
 };

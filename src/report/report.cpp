@@ -5,6 +5,7 @@
 #include "analysis/dag.hpp"
 #include "analysis/interval.hpp"
 #include "backend/jit/jit_backend.hpp"
+#include "codegen/transform/addr.hpp"
 #include "roofline/traffic.hpp"
 #include "trace/profile.hpp"
 
@@ -81,6 +82,10 @@ std::string explain_group(const StencilGroup& group, const ShapeMap& shapes,
 
   if (options.show_plan) {
     os << "== Lowered plan ==\n" << plan.describe() << "\n";
+    if (options.compile.addr_opt) {
+      const AddrPlan addr = plan_addresses(plan);
+      os << "== Address plan ==\n" << addr.describe(plan) << "\n";
+    }
   }
 
   if (options.show_traffic) {

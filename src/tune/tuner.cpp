@@ -1,7 +1,9 @@
 #include "tune/tuner.hpp"
 
+#include <atomic>
 #include <chrono>
 #include <limits>
+#include <thread>
 
 #include "support/error.hpp"
 #include "support/logging.hpp"
@@ -26,10 +28,46 @@ TuneResult Tuner::tune(const StencilGroup& group, GridSet& grids,
   SF_REQUIRE(!candidates.empty(), "tune requires at least one candidate");
   SF_REQUIRE(reps >= 1, "tune requires reps >= 1");
 
+  // Compile every candidate up front, concurrently: the JIT toolchain
+  // forks one host-compiler process per module, so candidate compilations
+  // overlap almost perfectly (the kernel cache admits one compile per key
+  // and shares the result).  Timing below stays strictly serial so the
+  // measurement protocol is unchanged.
+  std::vector<std::unique_ptr<CompiledKernel>> kernels(candidates.size());
+  std::vector<std::exception_ptr> errors(candidates.size());
+  {
+    std::atomic<size_t> next{0};
+    const size_t workers = std::min(
+        candidates.size(),
+        static_cast<size_t>(std::max(1u, std::thread::hardware_concurrency())));
+    auto worker = [&] {
+      for (size_t i = next.fetch_add(1); i < candidates.size();
+           i = next.fetch_add(1)) {
+        try {
+          kernels[i] = compile(group, grids, backend, candidates[i].options);
+        } catch (...) {
+          errors[i] = std::current_exception();
+        }
+      }
+    };
+    if (workers <= 1) {
+      worker();
+    } else {
+      std::vector<std::thread> pool;
+      pool.reserve(workers);
+      for (size_t t = 0; t < workers; ++t) pool.emplace_back(worker);
+      for (auto& t : pool) t.join();
+    }
+  }
+  for (const auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+
   TuneResult result;
   double best_seconds = std::numeric_limits<double>::infinity();
-  for (const auto& candidate : candidates) {
-    auto kernel = compile(group, grids, backend, candidate.options);
+  for (size_t c = 0; c < candidates.size(); ++c) {
+    const TuneCandidate& candidate = candidates[c];
+    const auto& kernel = kernels[c];
     for (int i = 0; i < warmup; ++i) kernel->run(grids, params);
     double best = std::numeric_limits<double>::infinity();
     for (int i = 0; i < reps; ++i) {
@@ -88,6 +126,14 @@ std::vector<TuneCandidate> default_tile_candidates(int rank) {
                                       std::to_string(t),
                                   opt});
     }
+  }
+  // Address-arithmetic A/B: the legacy re-linearized indexing, in case a
+  // host compiler pessimizes the hoisted-base form on some kernel.
+  for (const bool fuse : {false, true}) {
+    CompileOptions opt;
+    opt.addr_opt = false;
+    opt.fuse_colors = fuse;
+    out.push_back(TuneCandidate{fuse ? "noaddr+fuse" : "noaddr", opt});
   }
   return out;
 }

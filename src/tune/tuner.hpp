@@ -39,6 +39,9 @@ public:
 
   /// Time every candidate and return the fastest.  `grids` contents are
   /// mutated by the trial runs (callers benchmark on scratch data).
+  /// Candidates are compiled concurrently up front (one forked host
+  /// compiler each); the warmup/best-of timing loop runs serially after
+  /// every compilation finished, so measurements are undisturbed.
   TuneResult tune(const StencilGroup& group, GridSet& grids,
                   const ParamMap& params, const std::string& backend,
                   const std::vector<TuneCandidate>& candidates,
@@ -50,8 +53,9 @@ private:
 
 /// Standard sweep for a rank-d kernel: untiled plus cubic tiles
 /// {4, 8, 16, 32}^d, each with and without multicolor fusion (task
-/// scheduling); parallel-for scheduling with and without fusion; and
-/// time-tile depths {2, 4} x spatial tiles {16, 32}^d.
+/// scheduling); parallel-for scheduling with and without fusion;
+/// time-tile depths {2, 4} x spatial tiles {16, 32}^d; and the
+/// address-arithmetic pass disabled (with and without fusion).
 std::vector<TuneCandidate> default_tile_candidates(int rank);
 
 }  // namespace snowflake

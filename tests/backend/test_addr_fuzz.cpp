@@ -1,0 +1,172 @@
+// Address-arithmetic fuzzing: stencils whose reads exercise every induction
+// class the addr pass strength-reduces (num in {1,2,3}, den in {1,2}, mixed
+// offsets within a class, parity-strided domains) must produce identical
+// results through the JIT backends with the pass on and off, across
+// schedules and time tiling.  The reference interpreter is the oracle.
+
+#include <gtest/gtest.h>
+
+#include "backend_test_util.hpp"
+#include "ir/stencil.hpp"
+
+namespace snowflake {
+namespace {
+
+using namespace snowflake::lib;
+using testutil::clone;
+
+struct Case {
+  std::string name;
+  StencilGroup group;
+  GridSet grids;
+  Case(std::string n, StencilGroup g, GridSet gs)
+      : name(std::move(n)), group(std::move(g)), grids(std::move(gs)) {}
+};
+
+GridSet grids_1d(std::int64_t dst_n, std::int64_t src_n) {
+  GridSet gs;
+  gs.add_zeros("dst", {dst_n});
+  gs.add_zeros("src", {src_n}).fill_random(42, -1.0, 1.0);
+  return gs;
+}
+
+ExprPtr scaled_read(const std::string& grid, std::vector<DimMap> dims) {
+  return read_mapped(grid, IndexMap(std::move(dims)));
+}
+
+std::vector<Case> make_cases() {
+  std::vector<Case> cases;
+
+  // num in {2,3}, den 1: restriction-style multiplicative reads with mixed
+  // offsets inside the num=2 class.
+  {
+    ExprPtr e = constant(0.5) * scaled_read("src", {{2, 0, 1}}) -
+                param("p0") * scaled_read("src", {{2, 1, 1}}) +
+                constant(0.25) * scaled_read("src", {{3, 0, 1}});
+    StencilGroup g(Stencil("scale_mix", e, "dst", interior(1)));
+    cases.emplace_back("1d num 2/3", std::move(g), grids_1d(8, 32));
+  }
+
+  // den 2 over an odd-parity stride-2 domain: three offsets of one class
+  // (all odd, so coordinates divide exactly on the lattice).
+  {
+    ExprPtr e = scaled_read("src", {{1, 1, 2}}) -
+                constant(0.75) * scaled_read("src", {{1, 3, 2}}) +
+                param("p0") * scaled_read("src", {{1, -1, 2}});
+    StencilGroup g(Stencil(
+        "div_mix", e, "dst",
+        DomainUnion(RectDomain(Index{1}, Index{-1}, Index{2}))));
+    cases.emplace_back("1d den 2", std::move(g), grids_1d(12, 10));
+  }
+
+  // num 3, den 2 combined: step 3*2/2 = 3, the rational class no library
+  // operator exercises.
+  {
+    ExprPtr e = scaled_read("src", {{3, 1, 2}}) +
+                constant(0.125) * scaled_read("src", {{3, 3, 2}});
+    StencilGroup g(Stencil(
+        "rational", e, "dst",
+        DomainUnion(RectDomain(Index{1}, Index{-1}, Index{2}))));
+    cases.emplace_back("1d num 3 den 2", std::move(g), grids_1d(12, 16));
+  }
+
+  // Both parities of a divisive read (interpolation shape): fuse_colors
+  // renders the two stride-2 nests under one fused sweep.
+  {
+    StencilGroup g;
+    g.append(Stencil("odd", scaled_read("src", {{1, 1, 2}}), "dst",
+                     DomainUnion(RectDomain(Index{1}, Index{-1}, Index{2}))));
+    g.append(Stencil("even", scaled_read("src", {{1, 0, 2}}), "dst",
+                     DomainUnion(RectDomain(Index{2}, Index{-1}, Index{2}))));
+    cases.emplace_back("1d parity pair", std::move(g), grids_1d(12, 10));
+  }
+
+  // 2D: pure-offset outer dim, divisive inner dim (the base hoisting and
+  // the induction interact).
+  {
+    ExprPtr e = scaled_read("src", {{1, -1, 1}, {1, 1, 2}}) +
+                constant(2.0) * scaled_read("src", {{1, 1, 1}, {1, 3, 2}}) -
+                scaled_read("src", {{1, 0, 1}, {1, 1, 2}});
+    StencilGroup g(Stencil(
+        "outer_off_inner_div", e, "dst",
+        DomainUnion(RectDomain(Index{1, 1}, Index{-1, -1}, Index{1, 2}))));
+    GridSet gs;
+    gs.add_zeros("dst", {8, 12});
+    gs.add_zeros("src", {8, 10}).fill_random(7, -1.0, 1.0);
+    cases.emplace_back("2d offset/divide", std::move(g), std::move(gs));
+  }
+
+  // 2D: multiplicative outer dim (scaled base computation), num=3 inner.
+  {
+    ExprPtr e = scaled_read("src", {{2, 0, 1}, {3, 1, 1}}) +
+                param("p0") * scaled_read("src", {{2, 1, 1}, {3, 0, 1}});
+    StencilGroup g(Stencil("outer_scale_inner_3", e, "dst", interior(2)));
+    GridSet gs;
+    gs.add_zeros("dst", {6, 6});
+    gs.add_zeros("src", {14, 14}).fill_random(9, -1.0, 1.0);
+    cases.emplace_back("2d scaled outer", std::move(g), std::move(gs));
+  }
+
+  return cases;
+}
+
+/// Compare a backend/options combo against fused_sweeps() applications of
+/// the reference interpreter.
+void expect_agrees(const Case& c, const std::string& backend,
+                   const CompileOptions& opt, const std::string& what) {
+  const ParamMap params{{"p0", 1.25}};
+  GridSet actual = clone(c.grids);
+  auto kernel = compile(c.group, actual, backend, opt);
+  kernel->run(actual, params);
+  GridSet expected = clone(c.grids);
+  for (int s = 0; s < kernel->fused_sweeps(); ++s) {
+    run_reference(c.group, expected, params);
+  }
+  for (const auto& name : c.grids.names()) {
+    EXPECT_LE(Grid::max_abs_diff(expected.at(name), actual.at(name)), 1e-12)
+        << c.name << " / " << what << ": grid '" << name << "' differs";
+  }
+}
+
+TEST(AddrFuzz, MapClassesAgreeAcrossSchedulesAndAddrModes) {
+  struct Variant {
+    std::string name;
+    std::string backend;
+    CompileOptions opt;
+  };
+  std::vector<Variant> variants;
+  for (const bool addr : {true, false}) {
+    const std::string suffix = addr ? "+addr" : "-addr";
+    CompileOptions seq;
+    seq.addr_opt = addr;
+    variants.push_back({"c" + suffix, "c", seq});
+    CompileOptions tasks = seq;
+    tasks.fuse_colors = true;
+    variants.push_back({"tasks+fuse" + suffix, "openmp", tasks});
+    CompileOptions wsfor = seq;
+    wsfor.schedule = CompileOptions::Schedule::ParallelFor;
+    wsfor.simd = true;
+    variants.push_back({"for+simd" + suffix, "openmp", wsfor});
+    CompileOptions tt = seq;
+    tt.time_tile = 2;
+    variants.push_back({"tt2" + suffix, "openmp", tt});
+  }
+  for (const Case& c : make_cases()) {
+    ASSERT_NO_THROW(validate_group(c.group, shapes_of(c.grids))) << c.name;
+    for (const Variant& v : variants) {
+      expect_agrees(c, v.backend, v.opt, v.name);
+    }
+  }
+}
+
+TEST(AddrFuzz, OclSimAgreesOnMapClasses) {
+  CompileOptions on, off;
+  off.addr_opt = false;
+  for (const Case& c : make_cases()) {
+    expect_agrees(c, "oclsim", on, "oclsim+addr");
+    expect_agrees(c, "oclsim", off, "oclsim-addr");
+  }
+}
+
+}  // namespace
+}  // namespace snowflake

@@ -1,0 +1,207 @@
+#include "codegen/transform/addr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "codegen/cemit.hpp"
+#include "codegen/lower.hpp"
+#include "ir/stencil_library.hpp"
+#include "multigrid/operators.hpp"
+
+namespace snowflake {
+namespace {
+
+using namespace snowflake::lib;
+
+ShapeMap square_shapes(std::initializer_list<std::string> names,
+                       std::int64_t n) {
+  ShapeMap shapes;
+  for (const auto& name : names) shapes[name] = Index{n, n};
+  return shapes;
+}
+
+TEST(AddrPlan, PureOffsetsAndRowBasesOnCcApply) {
+  const StencilGroup g(cc_apply(2, "x", "out"));
+  const KernelPlan plan = lower(g, square_shapes({"x", "out"}, 10));
+  const AddrPlan addr = plan_addresses(plan);
+  verify_addr_plan(plan, addr);
+  ASSERT_EQ(addr.nests.size(), plan.nests.size());
+  const AddrNestPlan& np = addr.nests[0];
+  ASSERT_TRUE(np.active) << np.bail_reason;
+  EXPECT_EQ(np.inner_dim, 1);
+  // Identity/offset maps only: everything is a pure offset, no inductions.
+  EXPECT_TRUE(np.inductions.empty());
+  // One base per distinct outer row: out@i0, x@{i0-1, i0, i0+1}.
+  ASSERT_EQ(np.bases.size(), 4u);
+  size_t x_bases = 0;
+  for (const AddrBase& b : np.bases) {
+    if (b.grid == "out") {
+      EXPECT_TRUE(b.written);
+    } else {
+      EXPECT_EQ(b.grid, "x");
+      EXPECT_FALSE(b.written);
+      ++x_bases;
+    }
+  }
+  EXPECT_EQ(x_bases, 3u);
+  // The write renders through the identity access at offset 0.
+  const AddrAccess& w =
+      np.accesses.at(addr_access_key("out", IndexMap::identity(2)));
+  EXPECT_EQ(w.induction, -1);
+  EXPECT_EQ(w.offset, 0);
+}
+
+TEST(AddrPlan, StrengthReducesRestriction) {
+  const StencilGroup g(restriction_fw(2, "f", "c"));
+  ShapeMap shapes{{"f", {10, 10}}, {"c", {6, 6}}};
+  const KernelPlan plan = lower(g, shapes);
+  const AddrPlan addr = plan_addresses(plan);
+  verify_addr_plan(plan, addr);
+  const AddrNestPlan& np = addr.nests[0];
+  ASSERT_TRUE(np.active) << np.bail_reason;
+  // Fine reads at 2i+c: one induction class (num 2, den 1), stepped by
+  // 2 * the coarse loop's unit stride.
+  ASSERT_EQ(np.inductions.size(), 1u);
+  EXPECT_EQ(np.inductions[0].num, 2);
+  EXPECT_EQ(np.inductions[0].den, 1);
+  EXPECT_EQ(np.inductions[0].step, 2 * plan.nests[0].dims.back().stride);
+}
+
+TEST(AddrPlan, DivisionFreeInterpolationOnParityDomains) {
+  const StencilGroup g = mg::interpolation_add_group(2);
+  ShapeMap shapes{{mg::kCoarseX, {6, 6}}, {mg::kFineX, {10, 10}}};
+  const KernelPlan plan = lower(g, shapes);
+  const AddrPlan addr = plan_addresses(plan);
+  verify_addr_plan(plan, addr);
+  // Every interpolation nest (den=2 reads over stride-2 parity rects) must
+  // strength-reduce: step = num*stride/den is integral.
+  bool saw_divisive = false;
+  for (size_t i = 0; i < addr.nests.size(); ++i) {
+    const AddrNestPlan& np = addr.nests[i];
+    ASSERT_TRUE(np.active) << plan.nests[i].label << ": " << np.bail_reason;
+    for (const AddrInduction& ind : np.inductions) {
+      if (ind.den == 2) {
+        saw_divisive = true;
+        EXPECT_EQ(ind.step * 2, ind.num * plan.nests[i].dims.back().stride);
+      }
+    }
+  }
+  EXPECT_TRUE(saw_divisive);
+}
+
+TEST(AddrPlan, BailsPerNestWithoutFailing) {
+  const StencilGroup g = mg::interpolation_add_group(2);
+  ShapeMap shapes{{mg::kCoarseX, {6, 6}}, {mg::kFineX, {10, 10}}};
+  KernelPlan plan = lower(g, shapes);
+
+  // A nest whose innermost loop does not own the contiguous dim.
+  ASSERT_GE(plan.nests[0].dims.size(), 1u);
+  plan.nests[0].dims.back().grid_dim = 0;
+  // A divisive map over a unit-stride lattice: den 2 cannot divide
+  // num*stride 1, so strength reduction is illegal there.
+  size_t parity = plan.nests.size();
+  for (size_t i = 0; i < plan.nests.size(); ++i) {
+    if (i != 0 && plan.nests[i].dims.back().stride == 2) {
+      parity = i;
+      plan.nests[i].dims.back().stride = 1;
+      break;
+    }
+  }
+  ASSERT_LT(parity, plan.nests.size());
+
+  const AddrPlan addr = plan_addresses(plan);
+  EXPECT_FALSE(addr.nests[0].active);
+  EXPECT_NE(addr.nests[0].bail_reason.find("contiguous"), std::string::npos);
+  EXPECT_FALSE(addr.nests[parity].active);
+  EXPECT_NE(addr.nests[parity].bail_reason.find("not strength-reducible"),
+            std::string::npos);
+  // Other nests still plan; the failure is contained.
+  EXPECT_GT(addr.active_count(), 0u);
+}
+
+// Acceptance golden: with the pass on, no innermost interpolation statement
+// re-linearizes a divided index — every `/ 2` lives in a hoisted base or
+// induction initializer above the loop.
+TEST(AddrEmit, InterpolationInnermostIsDivisionFree) {
+  const StencilGroup g = mg::interpolation_add_group(2);
+  ShapeMap shapes{{mg::kCoarseX, {6, 6}}, {mg::kFineX, {10, 10}}};
+  const KernelPlan plan = lower(g, shapes);
+  const AddrPlan addr = plan_addresses(plan);
+  EmitOptions eo;
+  eo.addr = &addr;
+  const std::string src = emit_c_source(plan, eo);
+
+  EXPECT_NE(src.find("const double* restrict rb"), std::string::npos);
+  EXPECT_NE(src.find("int64_t q"), std::string::npos);
+  std::istringstream lines(src);
+  std::string line;
+  bool saw_division = false;
+  while (std::getline(lines, line)) {
+    // No subscripted coarse read may divide: those went through rb/q.
+    EXPECT_FALSE(line.find("g_coarse_x[") != std::string::npos &&
+                 line.find("/ 2") != std::string::npos)
+        << line;
+    if (line.find("/ 2") == std::string::npos) continue;
+    saw_division = true;
+    EXPECT_TRUE(line.find("int64_t q") != std::string::npos ||
+                line.find("rb") != std::string::npos)
+        << "division outside a hoisted initializer: " << line;
+  }
+  EXPECT_TRUE(saw_division);  // the hoisted initializers still divide once
+}
+
+TEST(AddrEmit, LegacyRenderingWithoutPlanStillDividesInline) {
+  const StencilGroup g = mg::interpolation_add_group(2);
+  ShapeMap shapes{{mg::kCoarseX, {6, 6}}, {mg::kFineX, {10, 10}}};
+  const KernelPlan plan = lower(g, shapes);
+  EmitOptions eo;  // addr == nullptr -> exactly the legacy codegen
+  const std::string src = emit_c_source(plan, eo);
+  EXPECT_EQ(src.find("rb"), std::string::npos);
+  std::istringstream lines(src);
+  std::string line;
+  bool inline_division = false;
+  while (std::getline(lines, line)) {
+    if (line.find("g_coarse_x[") != std::string::npos &&
+        line.find("/ 2") != std::string::npos) {
+      inline_division = true;
+    }
+  }
+  EXPECT_TRUE(inline_division);
+}
+
+TEST(AddrEmit, WrittenGridBasesAreNotRestrict) {
+  // GSRB writes x in place: derived x bases must not be restrict-qualified
+  // (aliased writes through siblings would be UB), read-only operands must.
+  const StencilGroup g = mg::gsrb_smooth_group(2);
+  const ShapeMap shapes =
+      square_shapes({"x", "rhs", "lambda_inv", "beta_x", "beta_y"}, 10);
+  const KernelPlan plan = lower(g, shapes);
+  const AddrPlan addr = plan_addresses(plan);
+  EmitOptions eo;
+  eo.addr = &addr;
+  const std::string src = emit_c_source(plan, eo);
+  EXPECT_NE(src.find("const double* restrict rb"), std::string::npos);
+  std::istringstream lines(src);
+  std::string line;
+  bool saw_x_base = false;
+  while (std::getline(lines, line)) {
+    if (line.find("= g_x +") == std::string::npos) continue;
+    saw_x_base = true;
+    EXPECT_EQ(line.find("restrict"), std::string::npos) << line;
+  }
+  EXPECT_TRUE(saw_x_base);
+}
+
+TEST(AddrEmit, CacheKeySaltDistinguishesAddrSources) {
+  const StencilGroup g(cc_apply(2, "x", "out"));
+  const KernelPlan plan = lower(g, square_shapes({"x", "out"}, 10));
+  const AddrPlan addr = plan_addresses(plan);
+  EmitOptions with;
+  with.addr = &addr;
+  EmitOptions without;
+  EXPECT_NE(emit_c_source(plan, with), emit_c_source(plan, without));
+}
+
+}  // namespace
+}  // namespace snowflake

@@ -58,9 +58,9 @@ TEST(Tuner, RealClockSmoke) {
 
 TEST(Tuner, DefaultCandidates) {
   const auto c2 = default_tile_candidates(2);
-  // (untiled + 4 tile sizes) x fusion, 2 parallel-for comparators, and
-  // time-tile depths {2,4} x tiles {16,32}.
-  EXPECT_EQ(c2.size(), 16u);
+  // (untiled + 4 tile sizes) x fusion, 2 parallel-for comparators,
+  // time-tile depths {2,4} x tiles {16,32}, and 2 addr-off comparators.
+  EXPECT_EQ(c2.size(), 18u);
   EXPECT_EQ(c2[0].label, "untiled");
   EXPECT_TRUE(c2[0].options.tile.empty());
   EXPECT_EQ(c2[2].options.tile, (Index{8, 8}));
@@ -71,6 +71,11 @@ TEST(Tuner, DefaultCandidates) {
   EXPECT_EQ(c2[12].options.time_tile, 2);
   EXPECT_EQ(c2[12].options.tile, (Index{16, 16}));
   EXPECT_EQ(c2[15].options.time_tile, 4);
+  EXPECT_EQ(c2[16].label, "noaddr");
+  EXPECT_FALSE(c2[16].options.addr_opt);
+  EXPECT_EQ(c2[17].label, "noaddr+fuse");
+  EXPECT_FALSE(c2[17].options.addr_opt);
+  EXPECT_TRUE(c2[17].options.fuse_colors);
 }
 
 TEST(Tuner, RejectsEmptyCandidates) {

@@ -1,14 +1,17 @@
 // check_bench: CI regression gate for --json bench output.
 //
 //   check_bench <baseline.json> <candidate.json> [--tol=<pct>]
+//               [--tol-row=<label>=<pct> ...]
 //
 // Both files must be snowflake-bench-v1 (written by any bench binary's
 // --json=<file> flag).  Rows are matched by label; a candidate row whose
 // best seconds exceed the baseline's by more than <pct> percent (default
 // 10) is a regression and the tool exits 1, printing every offender.
-// Rows present in only one file are reported but not fatal — benches gain
-// and lose variants over time.  Rows with seconds <= 0 (informational
-// records like the tuner pick) are ignored.
+// --tol-row overrides the tolerance for one label (repeatable; split at
+// the LAST '=' since labels contain spaces but never '=').  Rows present
+// in only one file are reported but not fatal — benches gain and lose
+// variants over time.  Rows with seconds <= 0 (informational records like
+// the tuner pick) are ignored.
 
 #include <cmath>
 #include <cstdio>
@@ -72,18 +75,30 @@ bool load(const char* path, std::map<std::string, double>* out) {
 
 int main(int argc, char** argv) {
   double tol_pct = 10.0;
+  std::map<std::string, double> row_tol;
   const char* files[2] = {nullptr, nullptr};
   int nfiles = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--tol=", 6) == 0) {
       tol_pct = std::atof(argv[i] + 6);
+    } else if (std::strncmp(argv[i], "--tol-row=", 10) == 0) {
+      const std::string spec(argv[i] + 10);
+      const size_t eq = spec.rfind('=');
+      if (eq == std::string::npos || eq == 0) {
+        std::fprintf(stderr,
+                     "check_bench: bad --tol-row '%s' (want <label>=<pct>)\n",
+                     spec.c_str());
+        return 1;
+      }
+      row_tol[spec.substr(0, eq)] = std::atof(spec.c_str() + eq + 1);
     } else if (nfiles < 2) {
       files[nfiles++] = argv[i];
     }
   }
   if (nfiles != 2) {
     std::fprintf(stderr,
-                 "usage: %s <baseline.json> <candidate.json> [--tol=<pct>]\n",
+                 "usage: %s <baseline.json> <candidate.json> [--tol=<pct>] "
+                 "[--tol-row=<label>=<pct> ...]\n",
                  argv[0]);
     return 1;
   }
@@ -101,12 +116,14 @@ int main(int argc, char** argv) {
     }
     if (base_s <= 0.0 || it->second <= 0.0) continue;
     ++compared;
+    const auto rt = row_tol.find(label);
+    const double tol = rt != row_tol.end() ? rt->second : tol_pct;
     const double delta_pct = 100.0 * (it->second - base_s) / base_s;
-    if (delta_pct > tol_pct) {
+    if (delta_pct > tol) {
       std::fprintf(stderr,
                    "check_bench: REGRESSION '%s': %.3es -> %.3es (%+.1f%%, "
                    "tol %.1f%%)\n",
-                   label.c_str(), base_s, it->second, delta_pct, tol_pct);
+                   label.c_str(), base_s, it->second, delta_pct, tol);
       ++regressions;
     }
   }
