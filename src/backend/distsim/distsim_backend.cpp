@@ -65,6 +65,22 @@ public:
     for (int r = 0; r < ranks_; ++r) {
       slabs_.push_back(Slab{extent * r / ranks_, extent * (r + 1) / ranks_});
     }
+    // The halo exchange copies exactly one neighbor hop, so a slab thinner
+    // than the halo depth would silently serve stale rows for the part of a
+    // neighbor's halo it does not own.  Refuse such decompositions cleanly
+    // instead of computing wrong values.
+    for (int r = 0; r < ranks_; ++r) {
+      SF_REQUIRE(
+          slabs_[static_cast<size_t>(r)].len() >= halo_,
+          "distsim: rank " + std::to_string(r) + " slab [" +
+              std::to_string(slabs_[static_cast<size_t>(r)].lo) + ", " +
+              std::to_string(slabs_[static_cast<size_t>(r)].hi) + ") has " +
+              std::to_string(slabs_[static_cast<size_t>(r)].len()) +
+              " rows, fewer than the stencil halo depth " +
+              std::to_string(halo_) +
+              " — the one-hop halo exchange cannot serve it; use fewer "
+              "ranks or a larger dim-0 extent");
+    }
     row_doubles_ = 1;
     for (size_t d = 1; d < global_shape_.size(); ++d) {
       row_doubles_ *= global_shape_[d];

@@ -63,7 +63,7 @@ AddrPlan maybe_plan_addresses(const KernelPlan& plan,
   if (!options.addr_opt) return addr;
   trace::Span span("codegen:addr", "compile");
   addr = plan_addresses(plan);
-  verify_addr_plan(plan, addr);
+  verify_plan(plan, addr);  // structural + naive-index cross-check
   span.counter("active_nests", static_cast<double>(addr.active_count()));
   return addr;
 }

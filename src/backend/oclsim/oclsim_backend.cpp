@@ -6,6 +6,7 @@
 #include "codegen/cemit.hpp"
 #include "codegen/lower.hpp"
 #include "codegen/transform/addr.hpp"
+#include "codegen/verify_plan.hpp"
 #include "jit/cache.hpp"
 #include "roofline/traffic.hpp"
 #include "support/error.hpp"
@@ -162,7 +163,7 @@ public:
     if (options.addr_opt) {
       trace::Span span("codegen:addr", "compile");
       addr = plan_addresses(plan);
-      verify_addr_plan(plan, addr);
+      verify_plan(plan, addr);  // structural + naive-index cross-check
       span.counter("active_nests", static_cast<double>(addr.active_count()));
       ocl.addr = &addr;
     }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "codegen/transform/addr.hpp"
 #include "support/error.hpp"
 
 namespace snowflake {
@@ -35,6 +36,20 @@ void verify_nest(const KernelPlan& plan, const LoopNest& nest) {
       check(d.grid_dim < out_rank, nest.label + ": grid_dim out of range");
       check(coord_dims.insert(d.grid_dim).second,
             nest.label + ": duplicate coordinate loop for a grid dim");
+      // Every planned write lands inside the output grid: the write uses
+      // the identity map, so the loop bounds ARE the written indices.
+      // (Intra-tile dims keep the original lo/hi — the stored hi caps the
+      // tile sweep — so the same check covers tiled nests.)
+      if (d.hi > d.lo) {
+        const std::int64_t extent =
+            plan.shapes.at(nest.out_grid)[static_cast<size_t>(d.grid_dim)];
+        check(d.lo >= 0, nest.label + ": writes grid dim " +
+                             std::to_string(d.grid_dim) + " below index 0");
+        check(d.hi <= extent,
+              nest.label + ": writes grid dim " + std::to_string(d.grid_dim) +
+                  " up to " + std::to_string(d.hi) + ", past extent " +
+                  std::to_string(extent));
+      }
     }
   }
   for (int gd = 0; gd < out_rank; ++gd) {
@@ -113,6 +128,96 @@ void verify_plan(const KernelPlan& plan) {
     check(seen[n] == 1, plan.nests[n].label + ": appears in " +
                             std::to_string(seen[n]) + " chains (expected 1)");
     verify_nest(plan, plan.nests[n]);
+  }
+}
+
+void verify_plan(const KernelPlan& plan, const AddrPlan& addr) {
+  verify_plan(plan);
+  verify_addr_plan(plan, addr);
+
+  // Cross-check the address plan against the naive index computation: at
+  // sampled iteration points of every active nest, the planned rendering
+  // (hoisted base + induction variable or constant offset) must name the
+  // same flat element as sum_d resolved_d(i_d) * stride_d.  Two points per
+  // nest — the first iteration and a one-stride advance along every dim —
+  // pin both the induction start value and its step.
+  for (size_t n = 0; n < plan.nests.size(); ++n) {
+    const AddrNestPlan& np = addr.nests[n];
+    if (!np.active) continue;
+    const LoopNest& nest = plan.nests[n];
+    const size_t rank = plan.shapes.at(nest.out_grid).size();
+
+    std::vector<std::int64_t> first(rank, 0), advance(rank, 0);
+    bool empty = false;
+    for (const LoopDim& d : nest.dims) {
+      if (d.grid_dim < 0) continue;
+      if (d.hi <= d.lo) {
+        empty = true;
+        break;
+      }
+      first[static_cast<size_t>(d.grid_dim)] = d.lo;
+      advance[static_cast<size_t>(d.grid_dim)] =
+          d.lo + d.stride < d.hi ? d.stride : 0;
+    }
+    if (empty) continue;
+
+    const auto strides_of = [&](const std::string& grid) {
+      const Index& shape = plan.shapes.at(grid);
+      Index s(shape.size(), 1);
+      for (size_t d = shape.size(); d-- > 1;) s[d - 1] = s[d] * shape[d];
+      return s;
+    };
+    const auto resolved = [&](const DimMap& m, std::int64_t i) {
+      const std::int64_t numer = m.num * i + m.off;
+      check(numer % m.den == 0, nest.label +
+                                    ": map does not divide exactly at a "
+                                    "sampled iteration point");
+      return numer / m.den;
+    };
+
+    const auto check_point = [&](const std::vector<std::int64_t>& pt) {
+      const auto check_access = [&](const std::string& grid,
+                                    const IndexMap& map) {
+        const AddrAccess& a = np.accesses.at(addr_access_key(grid, map));
+        const Index gs = strides_of(grid);
+        std::int64_t naive = 0;
+        for (size_t d = 0; d < rank; ++d) {
+          naive += resolved(map.dim(static_cast<int>(d)), pt[d]) * gs[d];
+        }
+        std::int64_t planned = 0;
+        const AddrBase& base = np.bases[static_cast<size_t>(a.base)];
+        for (size_t d = 0; d + 1 < rank; ++d) {
+          planned += resolved(base.outer[d], pt[d]) * gs[d];
+        }
+        std::int64_t inner = 0;
+        if (a.induction < 0) {
+          inner = pt[rank - 1] + a.offset;
+        } else {
+          const AddrInduction& ind =
+              np.inductions[static_cast<size_t>(a.induction)];
+          inner = resolved(DimMap{ind.num, ind.off0, ind.den}, pt[rank - 1]) +
+                  a.offset;
+        }
+        planned += inner * gs[rank - 1];
+        check(planned == naive,
+              nest.label + ": planned address of '" + grid + "' is " +
+                  std::to_string(planned) +
+                  ", naive index computation gives " + std::to_string(naive));
+      };
+      check_access(nest.out_grid, IndexMap::identity(static_cast<int>(rank)));
+      for (const auto* r : collect_reads(nest.rhs)) {
+        check_access(r->grid(), r->map());
+      }
+    };
+
+    check_point(first);
+    std::vector<std::int64_t> second = first;
+    bool advanced = false;
+    for (size_t d = 0; d < rank; ++d) {
+      second[d] += advance[d];
+      advanced = advanced || advance[d] != 0;
+    }
+    if (advanced) check_point(second);
   }
 }
 

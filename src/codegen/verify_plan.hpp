@@ -8,6 +8,8 @@
 
 namespace snowflake {
 
+struct AddrPlan;
+
 /// Checks:
 ///  * every nest appears in exactly one chain;
 ///  * chain members share a wave and, for fused chains, the required
@@ -16,7 +18,18 @@ namespace snowflake {
 ///  * loop dims are well-formed (strides >= 1, tile_of references an
 ///    earlier dim with matching grid_dim ownership, every grid dim of the
 ///    output has exactly one coordinate loop);
+///  * every coordinate loop's bounds lie inside the output grid — the
+///    write uses the identity map, so this is "every planned write lands
+///    in bounds";
 ///  * grid/param orders are sorted and cover every name the nests use.
 void verify_plan(const KernelPlan& plan);
+
+/// Everything verify_plan(plan) checks, plus the addr-plan structural
+/// invariants (verify_addr_plan) and a semantic cross-check: at sampled
+/// iteration points of every active nest, the planned rendering — hoisted
+/// row base plus induction variable or constant offset — must produce the
+/// same flat element index as the naive computation
+/// sum_d ((num_d * i_d + off_d) / den_d) * stride_d.
+void verify_plan(const KernelPlan& plan, const AddrPlan& addr);
 
 }  // namespace snowflake

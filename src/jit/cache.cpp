@@ -1,5 +1,8 @@
 #include "jit/cache.hpp"
 
+#include <unistd.h>
+
+#include <atomic>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -34,6 +37,15 @@ std::string read_file(const fs::path& path) {
   std::ostringstream ss;
   ss << in.rdbuf();
   return ss.str();
+}
+
+/// Unique-per-call suffix for staging files: the pid distinguishes
+/// concurrent processes sharing one cache directory, the counter
+/// distinguishes concurrent KernelCache instances within one process.
+std::string staging_suffix() {
+  static std::atomic<std::uint64_t> counter{0};
+  return ".tmp." + std::to_string(getpid()) + "." +
+         std::to_string(counter.fetch_add(1));
 }
 
 }  // namespace
@@ -87,19 +99,43 @@ std::shared_ptr<Module> KernelCache::get_or_compile(const std::string& source,
       module = std::make_shared<Module>(so_path.string());
       disk_hit = true;
     } else {
-      {
-        trace::Span compile_span("jit:cc", "jit");
-        const double start = trace::now_us();
-        toolchain.compile_shared_object(source, so_path.string());
-        const double cc_seconds = (trace::now_us() - start) / 1e6;
-        compile_span.counter("cc_s", cc_seconds);
-        compile_span.counter("source_bytes",
-                             static_cast<double>(source.size()));
-        collector.increment("jit.cc.seconds", cc_seconds);
-      }
-      {
-        std::ofstream out(src_path, std::ios::binary);
-        out << source;
+      // Publish atomically: compile and write into staging files, then
+      // rename(2) them into place (.src first, then .so), so a concurrent
+      // process sharing this directory either sees a complete entry or no
+      // entry — never a torn shared object under the final name.
+      const std::string suffix = staging_suffix();
+      const fs::path so_tmp = fs::path(so_path.string() + suffix);
+      const fs::path src_tmp = fs::path(src_path.string() + suffix);
+      try {
+        {
+          trace::Span compile_span("jit:cc", "jit");
+          const double start = trace::now_us();
+          toolchain.compile_shared_object(source, so_tmp.string());
+          const double cc_seconds = (trace::now_us() - start) / 1e6;
+          compile_span.counter("cc_s", cc_seconds);
+          compile_span.counter("source_bytes",
+                               static_cast<double>(source.size()));
+          collector.increment("jit.cc.seconds", cc_seconds);
+        }
+        {
+          std::ofstream out(src_tmp, std::ios::binary);
+          out << source;
+          if (!out) {
+            throw ToolchainError("cannot write " + src_tmp.string());
+          }
+        }
+        // Drop any stale .so under the final name first (collision repair):
+        // between the two renames a concurrent reader must pair the fresh
+        // .src with either the fresh .so or a missing one, never a stale one.
+        std::error_code stale_ec;
+        fs::remove(so_path, stale_ec);
+        fs::rename(src_tmp, src_path);
+        fs::rename(so_tmp, so_path);
+      } catch (...) {
+        std::error_code cleanup_ec;
+        fs::remove(so_tmp, cleanup_ec);
+        fs::remove(src_tmp, cleanup_ec);
+        throw;
       }
       module = std::make_shared<Module>(so_path.string());
     }

@@ -1,5 +1,7 @@
 #include "jit/toolchain.hpp"
 
+#include <sys/wait.h>
+
 #include <array>
 #include <cstdio>
 #include <cstdlib>
@@ -48,18 +50,32 @@ std::string discover_compiler() {
   return "";
 }
 
-/// Run a command, capturing combined stdout+stderr; returns exit status.
-int run_command(const std::string& command, std::string& output) {
-  output.clear();
+struct RunResult {
+  bool spawn_failed = false;  // popen/pclose themselves failed
+  int wait_status = 0;        // raw waitpid status (valid when !spawn_failed)
+  std::string output;         // combined stdout+stderr
+};
+
+/// Run a command, capturing combined stdout+stderr.
+RunResult run_command(const std::string& command) {
+  RunResult result;
   FILE* pipe = popen((command + " 2>&1").c_str(), "r");
-  if (pipe == nullptr) return -1;
+  if (pipe == nullptr) {
+    result.spawn_failed = true;
+    return result;
+  }
   std::array<char, 4096> buf;
   size_t n;
   while ((n = fread(buf.data(), 1, buf.size(), pipe)) > 0) {
-    output.append(buf.data(), n);
+    result.output.append(buf.data(), n);
   }
   const int status = pclose(pipe);
-  return status;
+  if (status == -1) {
+    result.spawn_failed = true;
+    return result;
+  }
+  result.wait_status = status;
+  return result;
 }
 
 std::string shell_quote(const std::string& s) {
@@ -76,6 +92,16 @@ std::string shell_quote(const std::string& s) {
 }
 
 }  // namespace
+
+std::string describe_wait_status(int status) {
+  if (WIFEXITED(status)) {
+    return "exit code " + std::to_string(WEXITSTATUS(status));
+  }
+  if (WIFSIGNALED(status)) {
+    return "killed by signal " + std::to_string(WTERMSIG(status));
+  }
+  return "wait status " + std::to_string(status);
+}
 
 Toolchain::Toolchain(ToolchainConfig config) : config_(std::move(config)) {
   compiler_ = config_.compiler.empty() ? discover_compiler() : config_.compiler;
@@ -109,20 +135,29 @@ void Toolchain::compile_shared_object(const std::string& source,
                               shell_quote(c_path.string()) + " -o " +
                               shell_quote(so.string());
   SF_LOG_DEBUG("jit compile: " << command);
-  std::string output;
-  int status;
+  RunResult result;
   {
     trace::Span span("jit:toolchain", "jit");
     span.counter("source_bytes", static_cast<double>(source.size()));
-    status = run_command(command, output);
+    result = run_command(command);
   }
   if (!config_.debug_keep_source) {
     std::error_code ec;
     fs::remove(c_path, ec);
   }
-  if (status != 0) {
-    throw ToolchainError("JIT compilation failed (status " +
-                         std::to_string(status) + "):\n" + command + "\n" + output);
+  if (result.spawn_failed) {
+    throw ToolchainError("cannot spawn host compiler (popen failed):\n" +
+                         command);
+  }
+  if (WIFSIGNALED(result.wait_status)) {
+    throw ToolchainError("host compiler " +
+                         describe_wait_status(result.wait_status) + ":\n" +
+                         command + "\n" + result.output);
+  }
+  if (!WIFEXITED(result.wait_status) || WEXITSTATUS(result.wait_status) != 0) {
+    throw ToolchainError("JIT compilation failed (" +
+                         describe_wait_status(result.wait_status) + "):\n" +
+                         command + "\n" + result.output);
   }
 }
 

@@ -11,6 +11,11 @@
 
 namespace snowflake {
 
+/// Human-readable decoding of a raw waitpid()/pclose() status: "exit code
+/// N" for normal exits, "killed by signal N" for signal deaths (so a
+/// compiler that exits 1 is reported as exit code 1, not "status 256").
+std::string describe_wait_status(int status);
+
 struct ToolchainConfig {
   std::string compiler;                 // empty = auto-discover
   std::vector<std::string> extra_flags; // appended after the defaults

@@ -1,0 +1,216 @@
+#include "verify/corpus.hpp"
+
+#include "ir/stencil_library.hpp"
+#include "support/hash.hpp"
+
+namespace snowflake {
+namespace snowcheck {
+
+namespace {
+
+GridSpec spec(Index shape, const std::string& name) {
+  return GridSpec{std::move(shape), fnv1a64(name), 0.5, 1.5};
+}
+
+Variant variant(const std::string& label, const std::string& backend,
+                CompileOptions options, std::int64_t tile_edge = 0) {
+  Variant v;
+  v.label = label;
+  v.backend = backend;
+  v.options = std::move(options);
+  v.tile_edge = tile_edge;
+  return v;
+}
+
+/// PR 3 fixed a latent rank-1 bug where the OpenMP emitter put a
+/// workshare pragma and a simd pragma on the same (only) loop instead of
+/// merging them into `omp for simd` — the generated C failed to compile.
+/// Reintroducing it turns this entry into an Error.
+CorpusEntry pr3_rank1_for_simd() {
+  CorpusEntry e;
+  e.name = "pr3-rank1-for-simd";
+  e.note = "rank-1 workshare+simd pragma collision (fixed in PR 3)";
+  e.program.grids["x"] = spec({64}, "x");
+  e.program.grids["y"] = spec({64}, "y");
+  ExprPtr body = 0.25 * read("x", {-1}) + 0.5 * read("x", {0}) +
+                 0.25 * read("x", {1});
+  e.program.group.append(Stencil("blur1d", body, "y", lib::interior(1)));
+  CompileOptions o;
+  o.schedule = CompileOptions::Schedule::ParallelFor;
+  o.simd = true;
+  e.variant = variant("omp-for/simd", "openmp", o);
+  return e;
+}
+
+/// Distsim decomposed a dim-0 extent of 8 over 6 ranks into slabs of 1-2
+/// rows — thinner than the radius-2 halo — and the one-hop halo exchange
+/// silently served stale rows to the second wave (two adjacent length-1
+/// slabs sit mid-interior, so a radius-2 read crosses two rank
+/// boundaries).  The backend now refuses the decomposition; this entry
+/// pins the clean rejection, and losing the guard makes the replay fail
+/// with actually-wrong values.
+CorpusEntry distsim_thin_slab() {
+  CorpusEntry e;
+  e.name = "distsim-thin-slab";
+  e.note = "thin-slab halo exchange served stale rows (guarded this PR)";
+  for (const char* g : {"x", "mid", "out"}) {
+    e.program.grids[g] = spec({8, 7}, g);
+  }
+  ExprPtr blur = read("x", {0, 0}) + 0.25 * read("x", {-2, 0}) +
+                 0.25 * read("x", {2, 0});
+  ExprPtr blur2 = read("mid", {0, 0}) + 0.25 * read("mid", {-2, 0}) +
+                  0.25 * read("mid", {2, 0});
+  e.program.group.append(
+      Stencil("blur", blur, "mid", lib::interior_margin(2, 2)));
+  e.program.group.append(
+      Stencil("blur2", blur2, "out", lib::interior_margin(2, 2)));
+  CompileOptions o;
+  o.dist_ranks = 6;
+  e.variant = variant("distsim/r6", "distsim", o);
+  e.expect_rejected = true;
+  return e;
+}
+
+/// Multiplicative (num = 2) restriction maps through the address-
+/// arithmetic pass: strength-reduced induction variables must agree with
+/// the naive index computation.
+CorpusEntry addr_multiplicative() {
+  CorpusEntry e;
+  e.name = "addr-multiplicative";
+  e.note = "restriction maps under addr_opt (strength-reduced inductions)";
+  e.program.grids["fine"] = spec({14, 14}, "fine");
+  e.program.grids["coarse"] = spec({8, 8}, "coarse");
+  ExprPtr acc;
+  for (std::int64_t t0 : {-1, 0}) {
+    for (std::int64_t t1 : {-1, 0}) {
+      ExprPtr term = 0.25 * read_mapped("fine", IndexMap({DimMap{2, t0, 1},
+                                                          DimMap{2, t1, 1}}));
+      acc = acc == nullptr ? term : acc + term;
+    }
+  }
+  e.program.group.append(Stencil("fw", acc, "coarse", lib::interior(2)));
+  e.variant = variant("c", "c", CompileOptions{});
+  return e;
+}
+
+/// Divisive (den = 2) interpolation maps over parity-strided rects on the
+/// vectorized parallel-for path.
+CorpusEntry interp_divisive() {
+  CorpusEntry e;
+  e.name = "interp-divisive";
+  e.note = "division-free interpolation inductions under omp for simd";
+  e.program.grids["hc"] = spec({6, 6}, "hc");
+  e.program.grids["gf"] = spec({10, 10}, "gf");
+  for (int mask = 0; mask < 4; ++mask) {
+    std::vector<DimMap> dims;
+    Index start(2);
+    for (int d = 0; d < 2; ++d) {
+      const bool odd = ((mask >> d) & 1) == 1;
+      start[static_cast<size_t>(d)] = odd ? 1 : 2;
+      dims.push_back(DimMap{1, odd ? 1 : 0, 2});
+    }
+    e.program.group.append(
+        Stencil("interp" + std::to_string(mask),
+                read("gf", {0, 0}) + read_mapped("hc", IndexMap(dims)), "gf",
+                RectDomain(std::move(start), Index{-1, -1}, Index{2, 2})));
+  }
+  CompileOptions o;
+  o.schedule = CompileOptions::Schedule::ParallelFor;
+  o.simd = true;
+  e.variant = variant("omp-for/simd", "openmp", o);
+  return e;
+}
+
+/// Two chained sweeps fused by temporal blocking: the overlapped-tile
+/// traversal must agree with two plain reference applications.
+CorpusEntry timetile_chain() {
+  CorpusEntry e;
+  e.name = "timetile-chain";
+  e.note = "temporal blocking of a chained two-stencil group";
+  e.program.grids["a"] = spec({16, 16}, "a");
+  e.program.grids["b"] = spec({16, 16}, "b");
+  e.program.grids["c"] = spec({16, 16}, "c");
+  ExprPtr s1 = 0.5 * read("a", {0, 0}) +
+               0.25 * (read("a", {1, 0}) + read("a", {-1, 0}));
+  ExprPtr s2 = 0.5 * read("b", {0, 0}) +
+               0.25 * (read("b", {0, 1}) + read("b", {0, -1}));
+  e.program.group.append(Stencil("s1", s1, "b", lib::interior(2)));
+  e.program.group.append(Stencil("s2", s2, "c", lib::interior(2)));
+  CompileOptions o;
+  o.time_tile = 2;
+  e.variant = variant("omp-tasks/tt2", "openmp", o, 4);
+  return e;
+}
+
+/// GSRB-shaped in-place multicolor update under multicolor fusion.
+CorpusEntry multicolor_fuse() {
+  CorpusEntry e;
+  e.name = "multicolor-fuse";
+  e.note = "in-place two-color update under fuse_colors";
+  e.program.grids["u"] = spec({12, 12}, "u");
+  e.program.params["w"] = 0.6;
+  ExprPtr body =
+      param("w") * 0.25 *
+          (read("u", {1, 0}) + read("u", {-1, 0}) + read("u", {0, 1}) +
+           read("u", {0, -1})) +
+      (1.0 - param("w")) * read("u", {0, 0});
+  std::vector<RectDomain> rects;
+  for (std::int64_t parity : {0, 1}) {
+    rects.emplace_back(Index{1 + parity, 1}, Index{-1, -1}, Index{2, 1});
+  }
+  e.program.group.append(
+      Stencil("gsrb_like", body, "u", DomainUnion(std::move(rects))));
+  CompileOptions o;
+  o.schedule = CompileOptions::Schedule::ParallelFor;
+  o.fuse_colors = true;
+  e.variant = variant("omp-for/fuse", "openmp", o);
+  return e;
+}
+
+/// Pinned (stride-0) boundary faces plus an interior update, tiled.
+CorpusEntry face_pinned() {
+  CorpusEntry e;
+  e.name = "face-pinned";
+  e.note = "stride-0 pinned face dims alongside a tiled interior sweep";
+  e.program.grids["v"] = spec({13, 13}, "v");
+  e.program.grids["w"] = spec({13, 13}, "w");
+  e.program.group.append(Stencil(
+      "lo_face", 2.0 * read("v", {1, 0}) - read("v", {2, 0}), "v",
+      RectDomain(Index{0, 0}, Index{0, 0}, Index{0, 1})));
+  e.program.group.append(Stencil(
+      "hi_face", 2.0 * read("v", {-1, 0}) - read("v", {-2, 0}), "v",
+      RectDomain(Index{-1, 0}, Index{0, 0}, Index{0, 1})));
+  e.program.group.append(Stencil(
+      "smooth",
+      0.25 * (read("v", {1, 0}) + read("v", {-1, 0}) + read("v", {0, 1}) +
+              read("v", {0, -1})),
+      "w", lib::interior(2)));
+  e.variant = variant("c/tile", "c", CompileOptions{}, 4);
+  return e;
+}
+
+}  // namespace
+
+std::vector<CorpusEntry> corpus() {
+  std::vector<CorpusEntry> entries;
+  entries.push_back(pr3_rank1_for_simd());
+  entries.push_back(distsim_thin_slab());
+  entries.push_back(addr_multiplicative());
+  entries.push_back(interp_divisive());
+  entries.push_back(timetile_chain());
+  entries.push_back(multicolor_fuse());
+  entries.push_back(face_pinned());
+  return entries;
+}
+
+ReplayOutcome replay(const CorpusEntry& entry, double tol) {
+  ReplayOutcome outcome;
+  outcome.result = diff_variant(entry.program, entry.variant, tol);
+  outcome.ok = entry.expect_rejected
+                   ? outcome.result.status == DiffStatus::Rejected
+                   : outcome.result.status == DiffStatus::Match;
+  return outcome;
+}
+
+}  // namespace snowcheck
+}  // namespace snowflake

@@ -1,0 +1,44 @@
+#pragma once
+// snowcheck regression corpus: fixed programs replaying past failures and
+// pinning high-risk feature x backend combinations.  Every bug the
+// differential harness (or a reviewer) finds gets distilled into an entry
+// here, so reintroducing it turns a corpus replay red with a minimized
+// reproducer attached — see docs/testing.md.
+//
+// Current entries include the PR 3 rank-1 `omp for`+`omp simd` pragma
+// collision and the distsim thin-slab halo bug (now rejected cleanly at
+// compile time).
+
+#include <string>
+#include <vector>
+
+#include "verify/differ.hpp"
+#include "verify/program.hpp"
+
+namespace snowflake {
+namespace snowcheck {
+
+struct CorpusEntry {
+  std::string name;
+  std::string note;  // which bug / feature this pins
+  Program program;
+  Variant variant;
+  /// Some entries pin a *clean rejection* (backend scope checks): the
+  /// expected status is Rejected, and anything else — including a
+  /// successful-but-wrong run — fails the replay.
+  bool expect_rejected = false;
+};
+
+/// All checked-in corpus entries (built fresh on each call).
+std::vector<CorpusEntry> corpus();
+
+/// Replay one entry.  ok == true when the result matches the entry's
+/// expectation (Match, or Rejected when expect_rejected).
+struct ReplayOutcome {
+  bool ok = false;
+  DiffResult result;
+};
+ReplayOutcome replay(const CorpusEntry& entry, double tol = kDefaultTol);
+
+}  // namespace snowcheck
+}  // namespace snowflake

@@ -1,0 +1,200 @@
+#include "verify/differ.hpp"
+
+#include <exception>
+
+#include "support/error.hpp"
+
+namespace snowflake {
+namespace snowcheck {
+
+namespace {
+
+Variant make(const std::string& label, const std::string& backend,
+             CompileOptions opt, std::int64_t tile_edge = 0) {
+  Variant v;
+  v.label = label;
+  v.backend = backend;
+  v.options = std::move(opt);
+  v.tile_edge = tile_edge;
+  return v;
+}
+
+CompileOptions base() { return CompileOptions{}; }
+
+CompileOptions omp_for() {
+  CompileOptions o;
+  o.schedule = CompileOptions::Schedule::ParallelFor;
+  return o;
+}
+
+}  // namespace
+
+std::vector<Variant> variant_matrix() {
+  std::vector<Variant> m;
+
+  // Sequential C micro-compiler.
+  m.push_back(make("c", "c", base()));
+  {
+    CompileOptions o = base();
+    o.addr_opt = false;
+    m.push_back(make("c/noaddr", "c", o));
+  }
+  m.push_back(make("c/tile", "c", base(), 4));
+  {
+    CompileOptions o = base();
+    o.fuse_colors = true;
+    o.fuse_stencils = true;
+    m.push_back(make("c/fuse", "c", o));
+  }
+  {
+    CompileOptions o = base();
+    o.time_tile = 2;
+    m.push_back(make("c/tt2", "c", o, 4));
+  }
+
+  // OpenMP parallel-for schedule.
+  m.push_back(make("omp-for", "openmp", omp_for()));
+  {
+    CompileOptions o = omp_for();
+    o.simd = true;
+    m.push_back(make("omp-for/simd", "openmp", o));
+  }
+  {
+    CompileOptions o = omp_for();
+    o.fuse_colors = true;
+    o.fuse_stencils = true;
+    m.push_back(make("omp-for/fuse", "openmp", o));
+  }
+  {
+    CompileOptions o = omp_for();
+    o.simd = true;
+    m.push_back(make("omp-for/tile+simd", "openmp", o, 4));
+  }
+  {
+    CompileOptions o = omp_for();
+    o.time_tile = 2;
+    m.push_back(make("omp-for/tt2", "openmp", o, 4));
+  }
+  {
+    CompileOptions o = omp_for();
+    o.addr_opt = false;
+    o.simd = true;
+    m.push_back(make("omp-for/noaddr+simd", "openmp", o));
+  }
+
+  // OpenMP task schedule (the paper's default).
+  m.push_back(make("omp-tasks", "openmp", base()));
+  {
+    CompileOptions o = base();
+    o.fuse_colors = true;
+    o.fuse_stencils = true;
+    m.push_back(make("omp-tasks/fuse", "openmp", o));
+  }
+  m.push_back(make("omp-tasks/tile", "openmp", base(), 4));
+  {
+    CompileOptions o = base();
+    o.time_tile = 2;
+    m.push_back(make("omp-tasks/tt2", "openmp", o, 4));
+  }
+  {
+    CompileOptions o = base();
+    o.addr_opt = false;
+    m.push_back(make("omp-tasks/noaddr", "openmp", o));
+  }
+
+  // Simulated-device work-group backend.
+  m.push_back(make("oclsim", "oclsim", base()));
+  {
+    CompileOptions o = base();
+    o.addr_opt = false;
+    m.push_back(make("oclsim/noaddr", "oclsim", o));
+  }
+
+  // Simulated distributed slabs (most generated programs are out of its
+  // scope and report Rejected; in-scope ones must still be exact).
+  {
+    CompileOptions o = base();
+    o.dist_ranks = 2;
+    m.push_back(make("distsim/r2", "distsim", o));
+  }
+  {
+    CompileOptions o = base();
+    o.dist_ranks = 3;
+    m.push_back(make("distsim/r3", "distsim", o));
+  }
+
+  return m;
+}
+
+std::vector<Variant> variants_matching(const std::string& prefix) {
+  std::vector<Variant> out;
+  for (auto& v : variant_matrix()) {
+    if (v.label.rfind(prefix, 0) == 0) out.push_back(std::move(v));
+  }
+  return out;
+}
+
+DiffResult diff_variant(const Program& program, const Variant& variant,
+                        double tol) {
+  DiffResult result;
+  result.variant = variant.label;
+
+  GridSet expected = program.materialize();
+  GridSet actual = program.materialize();
+  const int rank = program.group.rank();
+
+  CompileOptions options = variant.options;
+  if (variant.tile_edge > 0) {
+    options.tile = Index(static_cast<size_t>(rank), variant.tile_edge);
+  }
+
+  try {
+    std::unique_ptr<CompiledKernel> kernel;
+    try {
+      kernel = compile(program.group, actual, variant.backend, options);
+    } catch (const InvalidArgument& e) {
+      result.status = DiffStatus::Rejected;
+      result.message = e.what();
+      return result;
+    }
+    kernel->run(actual, program.params);
+
+    // The oracle: the sequential interpreter, applied as many sweeps as
+    // the kernel fused into one run (time tiling).
+    auto ref = compile(program.group, expected, "reference");
+    for (int s = 0; s < kernel->fused_sweeps(); ++s) {
+      ref->run(expected, program.params);
+    }
+
+    for (const auto& [name, spec] : program.grids) {
+      (void)spec;
+      const double diff =
+          Grid::max_abs_diff(expected.at(name), actual.at(name));
+      if (diff > result.max_diff) {
+        result.max_diff = diff;
+        if (diff > tol) {
+          result.status = DiffStatus::Mismatch;
+          result.message = "grid '" + name + "' diverges by " +
+                           std::to_string(diff) + " (tol " +
+                           std::to_string(tol) + ")";
+        }
+      }
+    }
+  } catch (const std::exception& e) {
+    result.status = DiffStatus::Error;
+    result.message = e.what();
+  }
+  return result;
+}
+
+std::vector<DiffResult> diff_program(const Program& program, double tol,
+                                     const std::string& backend_prefix) {
+  std::vector<DiffResult> results;
+  for (const Variant& v : variants_matching(backend_prefix)) {
+    results.push_back(diff_variant(program, v, tol));
+  }
+  return results;
+}
+
+}  // namespace snowcheck
+}  // namespace snowflake

@@ -1,0 +1,68 @@
+#pragma once
+// snowcheck differential runner: execute a Program on the reference
+// interpreter (the oracle) and on every entry of the backend x options
+// matrix, and compare grid-by-grid to a tight absolute tolerance.
+//
+// A variant that legitimately cannot compile the program (backend scope
+// checks such as distsim's pure-offset/same-shape requirements) reports
+// Rejected, which is not a failure.  Mismatches and unexpected errors
+// (InternalError, ToolchainError, crashes surfaced as exceptions) are.
+
+#include <string>
+#include <vector>
+
+#include "verify/program.hpp"
+
+namespace snowflake {
+namespace snowcheck {
+
+struct Variant {
+  std::string label;    // e.g. "omp-for/tile+simd"
+  std::string backend;  // registered backend name
+  CompileOptions options;
+  /// Per-dim tile edge materialized as options.tile = Index(rank, edge) at
+  /// compile time (a Variant is rank-agnostic; Programs are not).
+  std::int64_t tile_edge = 0;
+};
+
+/// The default verification matrix: c / openmp-for / openmp-tasks /
+/// oclsim / distsim crossed with {fusion, tiling, time_tile, addr_opt,
+/// simd} on and off.
+std::vector<Variant> variant_matrix();
+
+/// Entries of the matrix whose label starts with `prefix` ("" = all).
+std::vector<Variant> variants_matching(const std::string& prefix);
+
+enum class DiffStatus {
+  Match,     // agreed with the reference within tolerance
+  Mismatch,  // ran, but some grid diverged
+  Rejected,  // backend declined the program (InvalidArgument) — not a bug
+  Error,     // compile or run blew up (InternalError, ToolchainError, ...)
+};
+
+struct DiffResult {
+  DiffStatus status = DiffStatus::Match;
+  std::string variant;  // label of the variant that produced this result
+  std::string message;  // diverging grid / exception text
+  double max_diff = 0.0;
+
+  bool failed() const {
+    return status == DiffStatus::Mismatch || status == DiffStatus::Error;
+  }
+};
+
+/// Default comparison tolerance (absolute, per grid element).
+inline constexpr double kDefaultTol = 1e-12;
+
+/// Run `program` under one variant against the reference oracle.
+DiffResult diff_variant(const Program& program, const Variant& variant,
+                        double tol = kDefaultTol);
+
+/// Run the whole (optionally prefix-filtered) matrix; one result per
+/// variant, in matrix order.
+std::vector<DiffResult> diff_program(const Program& program,
+                                     double tol = kDefaultTol,
+                                     const std::string& backend_prefix = "");
+
+}  // namespace snowcheck
+}  // namespace snowflake

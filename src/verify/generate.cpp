@@ -1,0 +1,281 @@
+#include "verify/generate.hpp"
+
+#include <string>
+#include <vector>
+
+#include "ir/stencil_library.hpp"
+
+namespace snowflake {
+namespace snowcheck {
+
+namespace {
+
+/// All 0/1 vectors of length `rank` (parity classes / hypercube corners).
+std::vector<Index> parity_corners(int rank) {
+  std::vector<Index> out;
+  const int n = 1 << rank;
+  for (int mask = 0; mask < n; ++mask) {
+    Index p(static_cast<size_t>(rank));
+    for (int d = 0; d < rank; ++d) p[static_cast<size_t>(d)] = (mask >> d) & 1;
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+/// Incremental program builder.  Grids come in two shape classes coupled
+/// the way the multigrid operators couple them: fine = 2 * coarse - 2, so
+/// restriction (2i + t) and interpolation ((i + t) / 2) taps land in
+/// bounds from the matching interior domains.
+struct Builder {
+  explicit Builder(Rng& r) : rng(r) {}
+
+  Rng& rng;
+  Program p;
+  int rank = 2;
+  Index fine_shape, coarse_shape;
+  std::vector<std::string> fine, coarse;
+  int grid_seq = 0;
+  int param_seq = 0;
+  int stencil_seq = 0;
+
+  std::string new_fine() {
+    const std::string name = "g" + std::to_string(grid_seq++);
+    p.grids[name] = GridSpec{fine_shape, rng.next(), 0.5, 1.5};
+    fine.push_back(name);
+    return name;
+  }
+  std::string new_coarse() {
+    const std::string name = "h" + std::to_string(grid_seq++);
+    p.grids[name] = GridSpec{coarse_shape, rng.next(), 0.5, 1.5};
+    coarse.push_back(name);
+    return name;
+  }
+  std::string pick_fine() {
+    return fine[static_cast<size_t>(
+        rng.range(0, static_cast<std::int64_t>(fine.size()) - 1))];
+  }
+
+  std::string name(const char* kind) {
+    return std::string(kind) + std::to_string(stencil_seq++);
+  }
+
+  /// A coefficient leaf: usually a literal, sometimes a named scalar
+  /// parameter bound in p.params (exercises ParamExpr end to end).
+  ExprPtr weight() {
+    if (rng.chance(0.25)) {
+      const std::string pn = "w" + std::to_string(param_seq++);
+      p.params[pn] = rng.real(0.1, 0.9);
+      return param(pn);
+    }
+    return constant(rng.real(-1.0, 1.0));
+  }
+
+  Index rand_offset(std::int64_t radius) {
+    Index off(static_cast<size_t>(rank));
+    for (int d = 0; d < rank; ++d) {
+      off[static_cast<size_t>(d)] = rng.range(-radius, radius);
+    }
+    return off;
+  }
+
+  /// Pure-offset neighborhood stencil; sometimes over a 2-color strided
+  /// union, sometimes writing an existing grid (cross-stencil and
+  /// order-dependent cases both arise naturally).
+  void add_plain() {
+    const std::int64_t radius = rng.range(1, 2);
+    const std::int64_t taps = rng.range(2, 4);
+    ExprPtr acc;
+    for (std::int64_t t = 0; t < taps; ++t) {
+      ExprPtr term = weight() * read(pick_fine(), rand_offset(radius));
+      acc = acc == nullptr ? term : acc + term;
+    }
+    const std::string out = rng.chance(0.7) ? new_fine() : pick_fine();
+    DomainUnion domain = lib::interior_margin(rank, radius);
+    if (rng.chance(0.3)) {
+      // Parity-split one dimension: a strided two-rect union.
+      const int ds = static_cast<int>(rng.range(0, rank - 1));
+      std::vector<RectDomain> rects;
+      for (std::int64_t parity : {0, 1}) {
+        Index start(static_cast<size_t>(rank), radius);
+        Index stop(static_cast<size_t>(rank), -radius);
+        Index stride(static_cast<size_t>(rank), 1);
+        start[static_cast<size_t>(ds)] = radius + parity;
+        stride[static_cast<size_t>(ds)] = 2;
+        rects.emplace_back(std::move(start), std::move(stop), std::move(stride));
+      }
+      domain = DomainUnion(std::move(rects));
+    }
+    p.group.append(Stencil(name("plain"), acc, out, domain));
+  }
+
+  /// GSRB-shaped multicolor in-place update: one stencil, two parity rects
+  /// along dim 0, the output grid read at +-1 in every dimension.
+  void add_multicolor() {
+    const std::string g = pick_fine();
+    ExprPtr acc = weight() * read(g, Index(static_cast<size_t>(rank), 0));
+    for (int d = 0; d < rank; ++d) {
+      Index plus(static_cast<size_t>(rank), 0), minus(static_cast<size_t>(rank), 0);
+      plus[static_cast<size_t>(d)] = 1;
+      minus[static_cast<size_t>(d)] = -1;
+      acc = acc + weight() * (read(g, plus) + read(g, minus));
+    }
+    std::vector<RectDomain> rects;
+    for (std::int64_t parity : {0, 1}) {
+      Index start(static_cast<size_t>(rank), 1);
+      Index stop(static_cast<size_t>(rank), -1);
+      Index stride(static_cast<size_t>(rank), 1);
+      start[0] = 1 + parity;
+      stride[0] = 2;
+      rects.emplace_back(std::move(start), std::move(stop), std::move(stride));
+    }
+    p.group.append(Stencil(name("color"), acc, g, DomainUnion(std::move(rects))));
+  }
+
+  /// Variable-coefficient update: a coefficient mesh read at the point,
+  /// plus a parameterized second term.
+  void add_varcoef() {
+    const std::string coef = new_fine();
+    const std::string pn = "w" + std::to_string(param_seq++);
+    p.params[pn] = rng.real(0.1, 0.9);
+    ExprPtr acc =
+        read(coef, Index(static_cast<size_t>(rank), 0)) *
+            read(pick_fine(), rand_offset(1)) +
+        param(pn) * read(pick_fine(), rand_offset(1));
+    const std::string out = rng.chance(0.7) ? new_fine() : pick_fine();
+    p.group.append(Stencil(name("vc"), acc, out, lib::interior_margin(rank, 1)));
+  }
+
+  /// Boundary face: one dimension pinned with stride 0, reads reaching
+  /// inward along that dimension only.
+  void add_face() {
+    const std::string in = pick_fine();
+    const std::string out = new_fine();
+    const int d0 = static_cast<int>(rng.range(0, rank - 1));
+    const bool high = rng.chance(0.5);
+    const std::int64_t depth = rng.range(1, 2);
+    Index start(static_cast<size_t>(rank), 0);
+    Index stop(static_cast<size_t>(rank), 0);  // stop 0 = full extent
+    Index stride(static_cast<size_t>(rank), 1);
+    start[static_cast<size_t>(d0)] = high ? -1 : 0;
+    stride[static_cast<size_t>(d0)] = 0;  // pinned point
+    Index off(static_cast<size_t>(rank), 0);
+    off[static_cast<size_t>(d0)] = high ? -depth : depth;
+    ExprPtr acc = weight() * read(in, off) + constant(rng.real(-0.5, 0.5));
+    p.group.append(Stencil(name("face"), acc, out,
+                           RectDomain(std::move(start), std::move(stop),
+                                      std::move(stride))));
+  }
+
+  /// Full-weighting-shaped restriction: multiplicative (num = 2) index
+  /// maps reading a fine grid, writing a coarse interior.
+  void add_restrict() {
+    const std::string in = pick_fine();
+    const std::string out = new_coarse();
+    const std::int64_t taps = rng.range(2, 4);
+    ExprPtr acc;
+    for (std::int64_t t = 0; t < taps; ++t) {
+      std::vector<DimMap> dims;
+      for (int d = 0; d < rank; ++d) {
+        dims.push_back(DimMap{2, rng.range(-1, 1), 1});
+      }
+      ExprPtr term = weight() * read_mapped(in, IndexMap(std::move(dims)));
+      acc = acc == nullptr ? term : acc + term;
+    }
+    p.group.append(Stencil(name("restrict"), acc, out, lib::interior(rank)));
+  }
+
+  /// Interpolation: divisive (den = 2) maps over parity-strided rects.
+  /// One stencil per parity class (the map's offset depends on the
+  /// parity, and a stencil has a single expression for its whole union).
+  void add_interp() {
+    const std::string in = coarse.empty()
+                               ? new_coarse()
+                               : coarse[static_cast<size_t>(rng.range(
+                                     0, static_cast<std::int64_t>(coarse.size()) - 1))];
+    const std::string out = new_fine();
+    const bool add_to_out = rng.chance(0.5);
+    const bool with_far_tap = rng.chance(0.5);
+    std::vector<Index> parities = parity_corners(rank);
+    if (rank >= 3) {
+      // Cap the blow-up: keep two random parity classes of the eight.
+      std::vector<Index> kept;
+      kept.push_back(parities[static_cast<size_t>(rng.range(0, 3))]);
+      kept.push_back(parities[static_cast<size_t>(rng.range(4, 7))]);
+      parities = std::move(kept);
+    }
+    for (const Index& parity : parities) {
+      std::vector<DimMap> near, far;
+      Index start(static_cast<size_t>(rank));
+      for (int d = 0; d < rank; ++d) {
+        const bool odd = parity[static_cast<size_t>(d)] == 1;
+        start[static_cast<size_t>(d)] = odd ? 1 : 2;
+        near.push_back(DimMap{1, odd ? 1 : 0, 2});
+        far.push_back(DimMap{1, odd ? -1 : 2, 2});
+      }
+      ExprPtr acc = weight() * read_mapped(in, IndexMap(std::move(near)));
+      if (with_far_tap) {
+        acc = acc + weight() * read_mapped(in, IndexMap(std::move(far)));
+      }
+      if (add_to_out) {
+        acc = read(out, Index(static_cast<size_t>(rank), 0)) + acc;
+      }
+      p.group.append(Stencil(
+          name("interp"), acc, out,
+          RectDomain(std::move(start), Index(static_cast<size_t>(rank), -1),
+                     Index(static_cast<size_t>(rank), 2))));
+    }
+  }
+};
+
+Program try_generate(Rng rng) {
+  Builder b(rng);
+  b.rank = static_cast<int>(rng.range(1, 3));
+  b.coarse_shape = Index(static_cast<size_t>(b.rank));
+  b.fine_shape = Index(static_cast<size_t>(b.rank));
+  for (int d = 0; d < b.rank; ++d) {
+    const std::int64_t c = rng.range(5, 8);
+    b.coarse_shape[static_cast<size_t>(d)] = c;
+    b.fine_shape[static_cast<size_t>(d)] = 2 * c - 2;
+  }
+  b.new_fine();
+  if (rng.chance(0.5)) b.new_fine();
+
+  const std::int64_t features = rng.range(1, 3);
+  for (std::int64_t s = 0; s < features; ++s) {
+    switch (rng.range(0, 5)) {
+      case 0: b.add_plain(); break;
+      case 1: b.add_multicolor(); break;
+      case 2: b.add_varcoef(); break;
+      case 3: b.add_face(); break;
+      case 4: b.add_restrict(); break;
+      default: b.add_interp(); break;
+    }
+  }
+  return b.p;
+}
+
+/// A trivially valid rank-2 blur, used only if every retry produced an
+/// invalid program (should not happen; keeps generate_program total).
+Program fallback_program(std::uint64_t seed) {
+  Program p;
+  p.grids["g0"] = GridSpec{{12, 12}, seed * 2 + 1, 0.5, 1.5};
+  p.grids["g1"] = GridSpec{{12, 12}, seed * 2 + 2, 0.5, 1.5};
+  ExprPtr e = 0.5 * read("g0", {0, 0}) +
+              0.125 * (read("g0", {1, 0}) + read("g0", {-1, 0}) +
+                       read("g0", {0, 1}) + read("g0", {0, -1}));
+  p.group.append(Stencil("fallback_blur", e, "g1", lib::interior(2)));
+  return p;
+}
+
+}  // namespace
+
+Program generate_program(std::uint64_t seed) {
+  for (std::uint64_t attempt = 0; attempt < 16; ++attempt) {
+    Program p = try_generate(Rng(seed + 0x9e3779b97f4a7c15ull * (attempt + 1)));
+    if (is_valid(p)) return p;
+  }
+  return fallback_program(seed);
+}
+
+}  // namespace snowcheck
+}  // namespace snowflake

@@ -1,0 +1,56 @@
+#pragma once
+// snowcheck program generator: seeded, deterministic random stencil
+// programs exercising every §2 language feature — strided DomainUnions
+// with grid-relative (negative) bounds and pinned (stride-0) face dims,
+// multicolor in-place updates, variable coefficients and scalar params,
+// multiplicative (restriction) and divisive (interpolation) index maps,
+// and multi-stencil groups with cross-stencil dependences.
+//
+// The same seed always yields the same Program, so a failing seed is a
+// complete bug report.  Generated programs are always valid: candidates
+// are gated through validate_group, with a deterministic retry chain and
+// a fixed known-good fallback so generate_program never throws.
+
+#include <cstdint>
+
+#include "verify/program.hpp"
+
+namespace snowflake {
+namespace snowcheck {
+
+/// splitmix64: the tiny deterministic PRNG the test suite already uses.
+class Rng {
+public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    state_ += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    next() % static_cast<std::uint64_t>(hi - lo + 1));
+  }
+
+  double real(double lo, double hi) {
+    const double unit =
+        static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+    return lo + unit * (hi - lo);
+  }
+
+  bool chance(double p) { return real(0.0, 1.0) < p; }
+
+private:
+  std::uint64_t state_;
+};
+
+/// Generate the program for `seed` (deterministic; never throws).
+Program generate_program(std::uint64_t seed);
+
+}  // namespace snowcheck
+}  // namespace snowflake

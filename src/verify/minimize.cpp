@@ -1,0 +1,203 @@
+#include "verify/minimize.hpp"
+
+#include <iterator>
+#include <set>
+#include <utility>
+#include <vector>
+
+namespace snowflake {
+namespace snowcheck {
+
+namespace {
+
+/// One-step simplifications of an expression tree, shallowest first: the
+/// earlier a candidate appears, the bigger the bite it takes.
+void shrink_candidates(const ExprPtr& expr, std::vector<ExprPtr>* out) {
+  switch (expr->kind()) {
+    case ExprKind::Binary: {
+      const auto* b = static_cast<const BinaryExpr*>(expr.get());
+      out->push_back(b->lhs());
+      out->push_back(b->rhs());
+      std::vector<ExprPtr> lhs_shrunk, rhs_shrunk;
+      shrink_candidates(b->lhs(), &lhs_shrunk);
+      shrink_candidates(b->rhs(), &rhs_shrunk);
+      for (const auto& c : lhs_shrunk) {
+        out->push_back(std::make_shared<BinaryExpr>(b->op(), c, b->rhs()));
+      }
+      for (const auto& c : rhs_shrunk) {
+        out->push_back(std::make_shared<BinaryExpr>(b->op(), b->lhs(), c));
+      }
+      break;
+    }
+    case ExprKind::Unary: {
+      const auto* u = static_cast<const UnaryExpr*>(expr.get());
+      out->push_back(u->operand());
+      std::vector<ExprPtr> shrunk;
+      shrink_candidates(u->operand(), &shrunk);
+      for (const auto& c : shrunk) {
+        out->push_back(std::make_shared<UnaryExpr>(u->op(), c));
+      }
+      break;
+    }
+    case ExprKind::Param:
+      out->push_back(constant(1.0));
+      break;
+    case ExprKind::Constant:
+    case ExprKind::GridRead:
+      break;
+  }
+}
+
+/// Rebuild the group with stencil `i` replaced.
+StencilGroup with_stencil(const StencilGroup& group, size_t i,
+                          const Stencil& replacement) {
+  StencilGroup out;
+  for (size_t s = 0; s < group.size(); ++s) {
+    out.append(s == i ? replacement : group[s]);
+  }
+  return out;
+}
+
+/// Drop grids and params the group no longer references.
+void prune_unused(Program* p) {
+  const std::set<std::string> used_grids = p->group.grids();
+  for (auto it = p->grids.begin(); it != p->grids.end();) {
+    it = used_grids.count(it->first) ? std::next(it) : p->grids.erase(it);
+  }
+  const std::set<std::string> used_params = p->group.params();
+  for (auto it = p->params.begin(); it != p->params.end();) {
+    it = used_params.count(it->first) ? std::next(it) : p->params.erase(it);
+  }
+}
+
+class Minimizer {
+public:
+  Minimizer(const FailPredicate& pred, MinimizeStats* stats, int budget)
+      : pred_(pred), stats_(stats), budget_(budget) {}
+
+  bool try_accept(Program* current, Program candidate) {
+    if (budget_ <= 0) return false;
+    prune_unused(&candidate);
+    if (!is_valid(candidate)) return false;
+    --budget_;
+    if (stats_) ++stats_->predicate_calls;
+    if (!pred_(candidate)) return false;
+    if (stats_) ++stats_->accepted;
+    *current = std::move(candidate);
+    return true;
+  }
+
+  bool exhausted() const { return budget_ <= 0; }
+
+private:
+  const FailPredicate& pred_;
+  MinimizeStats* stats_;
+  int budget_;
+};
+
+bool drop_stencils(Program* p, Minimizer* m) {
+  if (p->group.size() <= 1) return false;
+  for (size_t i = p->group.size(); i-- > 0;) {
+    Program cand = *p;
+    StencilGroup g;
+    for (size_t s = 0; s < p->group.size(); ++s) {
+      if (s != i) g.append(p->group[s]);
+    }
+    cand.group = g;
+    if (m->try_accept(p, std::move(cand))) return true;
+  }
+  return false;
+}
+
+bool drop_rects(Program* p, Minimizer* m) {
+  for (size_t i = 0; i < p->group.size(); ++i) {
+    const DomainUnion& dom = p->group[i].domain();
+    if (dom.rect_count() <= 1) continue;
+    for (size_t r = 0; r < dom.rect_count(); ++r) {
+      std::vector<RectDomain> rects;
+      for (size_t k = 0; k < dom.rect_count(); ++k) {
+        if (k != r) rects.push_back(dom.rects()[k]);
+      }
+      Program cand = *p;
+      cand.group = with_stencil(
+          p->group, i,
+          Stencil(p->group[i].name(), p->group[i].expr(), p->group[i].output(),
+                  DomainUnion(std::move(rects))));
+      if (m->try_accept(p, std::move(cand))) return true;
+    }
+  }
+  return false;
+}
+
+bool simplify_exprs(Program* p, Minimizer* m) {
+  for (size_t i = 0; i < p->group.size(); ++i) {
+    std::vector<ExprPtr> candidates;
+    shrink_candidates(p->group[i].expr(), &candidates);
+    for (const auto& e : candidates) {
+      Program cand = *p;
+      cand.group = with_stencil(
+          p->group, i,
+          Stencil(p->group[i].name(), e, p->group[i].output(),
+                  p->group[i].domain()));
+      if (m->try_accept(p, std::move(cand))) return true;
+      if (m->exhausted()) return false;
+    }
+  }
+  return false;
+}
+
+bool shrink_shapes(Program* p, Minimizer* m) {
+  // Grid-relative domains survive extent changes, so a plain decrement is
+  // often valid; coupled shape classes (fine = 2 * coarse - 2) usually
+  // need lock-step shrinks, which the validity gate sorts out for us by
+  // rejecting the torn intermediates.
+  for (const auto& [name, spec] : p->grids) {
+    for (size_t d = 0; d < spec.shape.size(); ++d) {
+      if (spec.shape[d] <= 4) continue;
+      Program cand = *p;
+      cand.grids[name].shape[d] -= 1;
+      if (m->try_accept(p, std::move(cand))) return true;
+    }
+  }
+  // Lock-step: shrink every grid's dim d together (fine by 2, others by 1
+  // keeps the 2c-2 coupling intact).
+  if (p->grids.empty()) return false;
+  const size_t rank = p->grids.begin()->second.shape.size();
+  for (size_t d = 0; d < rank; ++d) {
+    Program cand = *p;
+    bool any = false;
+    for (auto& [name, spec] : cand.grids) {
+      (void)name;
+      if (d >= spec.shape.size() || spec.shape[d] <= 6) continue;
+      spec.shape[d] -= spec.shape[d] % 2 == 0 ? 2 : 1;
+      any = true;
+    }
+    if (any && m->try_accept(p, std::move(cand))) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Program minimize(const Program& program, const FailPredicate& still_fails,
+                 MinimizeStats* stats, int max_predicate_calls) {
+  if (stats) *stats = MinimizeStats{};
+  if (!still_fails(program)) return program;
+  if (stats) stats->predicate_calls = 1;
+
+  Program current = program;
+  Minimizer m(still_fails, stats, max_predicate_calls);
+  bool changed = true;
+  while (changed && !m.exhausted()) {
+    changed = false;
+    while (drop_stencils(&current, &m)) changed = true;
+    while (drop_rects(&current, &m)) changed = true;
+    while (simplify_exprs(&current, &m)) changed = true;
+    while (shrink_shapes(&current, &m)) changed = true;
+  }
+  prune_unused(&current);
+  return current;
+}
+
+}  // namespace snowcheck
+}  // namespace snowflake

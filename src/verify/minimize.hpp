@@ -1,0 +1,36 @@
+#pragma once
+// snowcheck greedy minimizer: shrink a failing Program while a caller-
+// supplied predicate keeps reporting failure.  Passes, applied to a
+// fixpoint: drop whole stencils, drop rects from multi-rect unions,
+// shrink grid extents, simplify expressions (collapse a Binary to one
+// side, strip a Unary, constant-fold a Param), and prune grids/params
+// the surviving group no longer references.
+//
+// Every candidate is gated through is_valid() before the predicate runs,
+// so the minimizer never hands the differ an ill-formed program.  The
+// total number of predicate evaluations is capped; minimization is
+// best-effort, not optimal.
+
+#include <functional>
+
+#include "verify/program.hpp"
+
+namespace snowflake {
+namespace snowcheck {
+
+/// Returns true while the candidate still exhibits the failure.
+using FailPredicate = std::function<bool(const Program&)>;
+
+struct MinimizeStats {
+  int predicate_calls = 0;
+  int accepted = 0;
+};
+
+/// Greedily shrink `program`.  `still_fails(program)` must be true on
+/// entry (otherwise the input is returned unchanged).
+Program minimize(const Program& program, const FailPredicate& still_fails,
+                 MinimizeStats* stats = nullptr,
+                 int max_predicate_calls = 600);
+
+}  // namespace snowcheck
+}  // namespace snowflake

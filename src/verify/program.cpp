@@ -1,0 +1,61 @@
+#include "verify/program.hpp"
+
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace snowflake {
+namespace snowcheck {
+
+GridSet Program::materialize() const {
+  GridSet out;
+  for (const auto& [name, spec] : grids) {
+    out.add_zeros(name, spec.shape).fill_random(spec.fill_seed, spec.lo, spec.hi);
+  }
+  return out;
+}
+
+ShapeMap Program::shapes() const {
+  ShapeMap out;
+  for (const auto& [name, spec] : grids) out[name] = spec.shape;
+  return out;
+}
+
+std::string Program::describe() const {
+  std::ostringstream os;
+  os << group.to_string();
+  for (const auto& [name, spec] : grids) {
+    os << "grid " << name << ": [";
+    for (size_t d = 0; d < spec.shape.size(); ++d) {
+      if (d) os << ", ";
+      os << spec.shape[d];
+    }
+    os << "] seed " << spec.fill_seed << " in [" << spec.lo << ", " << spec.hi
+       << "]\n";
+  }
+  for (const auto& [name, value] : params) {
+    os << "param " << name << " = " << value << "\n";
+  }
+  return os.str();
+}
+
+bool is_valid(const Program& program) {
+  if (program.group.empty()) return false;
+  for (const auto& s : program.group.stencils()) {
+    for (const auto& g : s.grids()) {
+      if (program.grids.count(g) == 0) return false;
+    }
+    for (const auto& p : s.params()) {
+      if (program.params.count(p) == 0) return false;
+    }
+  }
+  try {
+    validate_group(program.group, program.shapes());
+  } catch (const Error&) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace snowcheck
+}  // namespace snowflake

@@ -1,0 +1,52 @@
+#pragma once
+// snowcheck: differential verification harness for the whole toolchain.
+//
+// A Program is a self-contained, reproducible test case: a StencilGroup
+// plus a recipe for its grid environment (shape and deterministic fill
+// seed per grid) and its scalar parameters.  Everything downstream — the
+// generator, the differ, the minimizer, the reproducer emitter and the
+// regression corpus — trades in Programs, so a failing case can be
+// shrunk, replayed and checked in without carrying array data around.
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "backend/backend.hpp"
+#include "grid/grid_set.hpp"
+#include "ir/stencil.hpp"
+#include "ir/validate.hpp"
+
+namespace snowflake {
+namespace snowcheck {
+
+/// Deterministic recipe for one grid: materialize() yields bit-identical
+/// contents for the same spec on every run.
+struct GridSpec {
+  Index shape;
+  std::uint64_t fill_seed = 0;
+  double lo = 0.5;
+  double hi = 1.5;
+};
+
+struct Program {
+  StencilGroup group;
+  std::map<std::string, GridSpec> grids;
+  ParamMap params;
+
+  /// Allocate and deterministically fill every grid.
+  GridSet materialize() const;
+
+  /// The shape contract the group compiles against.
+  ShapeMap shapes() const;
+
+  /// Human-readable dump (stencils, grid recipes, params).
+  std::string describe() const;
+};
+
+/// validate_group without throwing: true when the program compiles against
+/// its own shapes (the generator and the minimizer both gate on this).
+bool is_valid(const Program& program);
+
+}  // namespace snowcheck
+}  // namespace snowflake

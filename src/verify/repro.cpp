@@ -1,0 +1,200 @@
+#include "verify/repro.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace snowflake {
+namespace snowcheck {
+
+namespace {
+
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  std::string s(buf);
+  // Make sure the literal parses as a double, not an int.
+  if (s.find_first_of(".eEnN") == std::string::npos) s += ".0";
+  return s;
+}
+
+std::string fmt_index(const Index& idx) {
+  std::ostringstream os;
+  os << "{";
+  for (size_t d = 0; d < idx.size(); ++d) {
+    if (d) os << ", ";
+    os << idx[d];
+  }
+  os << "}";
+  return os.str();
+}
+
+std::string fmt_map(const IndexMap& map) {
+  std::ostringstream os;
+  os << "IndexMap({";
+  for (int d = 0; d < map.rank(); ++d) {
+    const DimMap& m = map.dim(d);
+    if (d) os << ", ";
+    os << "DimMap{" << m.num << ", " << m.off << ", " << m.den << "}";
+  }
+  os << "})";
+  return os.str();
+}
+
+void emit_expr(const ExprPtr& expr, std::ostringstream& os) {
+  switch (expr->kind()) {
+    case ExprKind::Constant:
+      os << "constant("
+         << fmt_double(static_cast<const ConstantExpr*>(expr.get())->value())
+         << ")";
+      break;
+    case ExprKind::Param:
+      os << "param(\"" << static_cast<const ParamExpr*>(expr.get())->name()
+         << "\")";
+      break;
+    case ExprKind::GridRead: {
+      const auto* r = static_cast<const GridReadExpr*>(expr.get());
+      if (r->map().is_pure_offset()) {
+        Index off(static_cast<size_t>(r->map().rank()));
+        for (int d = 0; d < r->map().rank(); ++d) {
+          off[static_cast<size_t>(d)] = r->map().dim(d).off;
+        }
+        os << "read(\"" << r->grid() << "\", " << fmt_index(off) << ")";
+      } else {
+        os << "read_mapped(\"" << r->grid() << "\", " << fmt_map(r->map())
+           << ")";
+      }
+      break;
+    }
+    case ExprKind::Binary: {
+      const auto* b = static_cast<const BinaryExpr*>(expr.get());
+      const char* op = b->op() == BinaryOp::Add   ? " + "
+                       : b->op() == BinaryOp::Sub ? " - "
+                       : b->op() == BinaryOp::Mul ? " * "
+                                                  : " / ";
+      os << "(";
+      emit_expr(b->lhs(), os);
+      os << op;
+      emit_expr(b->rhs(), os);
+      os << ")";
+      break;
+    }
+    case ExprKind::Unary:
+      os << "(-";
+      emit_expr(static_cast<const UnaryExpr*>(expr.get())->operand(), os);
+      os << ")";
+      break;
+  }
+}
+
+std::string fmt_rect(const RectDomain& rect) {
+  Index start(rect.dims().size()), stop(rect.dims().size()),
+      stride(rect.dims().size());
+  for (size_t d = 0; d < rect.dims().size(); ++d) {
+    start[d] = rect.dims()[d].start;
+    stop[d] = rect.dims()[d].stop;
+    stride[d] = rect.dims()[d].stride;
+  }
+  return "RectDomain(Index" + fmt_index(start) + ", Index" + fmt_index(stop) +
+         ", Index" + fmt_index(stride) + ")";
+}
+
+void emit_options(const Variant& variant, int rank, std::ostringstream& os) {
+  const CompileOptions d;  // defaults, emit only divergences
+  const CompileOptions& o = variant.options;
+  os << "  CompileOptions opt;\n";
+  if (variant.tile_edge > 0) {
+    os << "  opt.tile = Index(" << rank << ", " << variant.tile_edge << ");\n";
+  }
+  if (o.fuse_colors != d.fuse_colors) os << "  opt.fuse_colors = true;\n";
+  if (o.fuse_stencils != d.fuse_stencils) os << "  opt.fuse_stencils = true;\n";
+  if (o.simd != d.simd) os << "  opt.simd = true;\n";
+  if (o.schedule != d.schedule) {
+    os << "  opt.schedule = CompileOptions::Schedule::ParallelFor;\n";
+  }
+  if (o.task_grain != d.task_grain) {
+    os << "  opt.task_grain = " << o.task_grain << ";\n";
+  }
+  if (o.barrier_per_stencil != d.barrier_per_stencil) {
+    os << "  opt.barrier_per_stencil = true;\n";
+  }
+  if (o.analysis != d.analysis) {
+    os << "  opt.analysis = CompileOptions::Analysis::Interval;\n";
+  }
+  if (o.time_tile != d.time_tile) {
+    os << "  opt.time_tile = " << o.time_tile << ";\n";
+  }
+  if (o.addr_opt != d.addr_opt) os << "  opt.addr_opt = false;\n";
+  if (o.dist_ranks != d.dist_ranks) {
+    os << "  opt.dist_ranks = " << o.dist_ranks << ";\n";
+  }
+}
+
+}  // namespace
+
+std::string emit_repro(const Program& program, const Variant& variant,
+                       double tol) {
+  const int rank = program.group.rank();
+  std::ostringstream os;
+  os << "// snowcheck reproducer: variant \"" << variant.label
+     << "\" vs reference, tol " << fmt_double(tol) << ".\n"
+     << "// Self-contained: link against the snowflake library and run.\n"
+     << "#include <cstdio>\n\n"
+     << "#include \"backend/backend.hpp\"\n"
+     << "#include \"grid/grid_set.hpp\"\n"
+     << "#include \"ir/stencil.hpp\"\n\n"
+     << "using namespace snowflake;\n\n"
+     << "int main() {\n"
+     << "  GridSet expected, actual;\n";
+  for (const auto& [name, spec] : program.grids) {
+    for (const char* set : {"expected", "actual"}) {
+      os << "  " << set << ".add_zeros(\"" << name << "\", Index"
+         << fmt_index(spec.shape) << ").fill_random(" << spec.fill_seed
+         << "ull, " << fmt_double(spec.lo) << ", " << fmt_double(spec.hi)
+         << ");\n";
+    }
+  }
+  os << "\n  StencilGroup group;\n";
+  for (const auto& s : program.group.stencils()) {
+    os << "  group.append(Stencil(\"" << s.name() << "\",\n      ";
+    emit_expr(s.expr(), os);
+    os << ",\n      \"" << s.output() << "\",\n      DomainUnion({";
+    for (size_t r = 0; r < s.domain().rect_count(); ++r) {
+      if (r) os << ",\n                   ";
+      os << fmt_rect(s.domain().rects()[r]);
+    }
+    os << "})));\n";
+  }
+  os << "\n  ParamMap params{";
+  bool first = true;
+  for (const auto& [name, value] : program.params) {
+    if (!first) os << ", ";
+    os << "{\"" << name << "\", " << fmt_double(value) << "}";
+    first = false;
+  }
+  os << "};\n\n";
+  emit_options(variant, rank, os);
+  os << "\n  auto kernel = compile(group, actual, \"" << variant.backend
+     << "\", opt);\n"
+     << "  kernel->run(actual, params);\n"
+     << "  auto ref = compile(group, expected, \"reference\");\n"
+     << "  for (int s = 0; s < kernel->fused_sweeps(); ++s) "
+        "ref->run(expected, params);\n\n"
+     << "  double worst = 0.0;\n"
+     << "  for (const auto& name : expected.names()) {\n"
+     << "    const double d = Grid::max_abs_diff(expected.at(name), "
+        "actual.at(name));\n"
+     << "    std::printf(\"%-12s max |diff| = %.3e\\n\", name.c_str(), d);\n"
+     << "    if (d > worst) worst = d;\n"
+     << "  }\n"
+     << "  const double tol = " << fmt_double(tol) << ";\n"
+     << "  std::printf(\"worst %.3e vs tol %.1e: %s\\n\", worst, tol,\n"
+     << "              worst <= tol ? \"MATCH\" : \"MISMATCH\");\n"
+     << "  return worst <= tol ? 0 : 1;\n"
+     << "}\n";
+  return os.str();
+}
+
+}  // namespace snowcheck
+}  // namespace snowflake

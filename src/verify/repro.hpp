@@ -1,0 +1,23 @@
+#pragma once
+// snowcheck reproducer emitter: render a (typically minimized) failing
+// Program + Variant as a self-contained C++ translation unit that rebuilds
+// the program through the public builder API, runs the variant against
+// the reference oracle, prints the worst divergence, and exits nonzero on
+// mismatch.  The dump depends only on the snowflake umbrella library —
+// not on src/verify — so it can be pasted straight into a bug report or
+// checked in as a regression test.
+
+#include <string>
+
+#include "verify/differ.hpp"
+#include "verify/program.hpp"
+
+namespace snowflake {
+namespace snowcheck {
+
+/// C++ source text of the reproducer (a complete file with main()).
+std::string emit_repro(const Program& program, const Variant& variant,
+                       double tol = kDefaultTol);
+
+}  // namespace snowcheck
+}  // namespace snowflake

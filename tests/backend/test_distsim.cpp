@@ -127,6 +127,38 @@ TEST(DistSim, RejectsSequentialStencils) {
                InvalidArgument);
 }
 
+TEST(DistSim, ThinSlabsRejectedCleanly) {
+  // A radius-2 stencil decomposed so that some slab has fewer rows than the
+  // halo depth: the one-hop halo exchange cannot serve such a slab's
+  // neighbors, so pre-fix the second wave silently read stale halo rows
+  // (the first wave is saved by scatter()).  The compile must now fail
+  // cleanly instead of producing wrong values.
+  GridSet gs;
+  for (const std::string g : {"x", "mid", "out"}) {
+    gs.add_zeros(g, {7, 7}).fill_random(fnv1a64(g), 0.5, 1.5);
+  }
+  StencilGroup chained;
+  chained.append(
+      Stencil("blur", read("x", {0, 0}) + 0.25 * read("x", {-2, 0}) +
+                          0.25 * read("x", {2, 0}),
+              "mid", lib::interior_margin(2, 2)));
+  chained.append(
+      Stencil("blur2", read("mid", {0, 0}) + 0.25 * read("mid", {-2, 0}) +
+                           0.25 * read("mid", {2, 0}),
+              "out", lib::interior_margin(2, 2)));
+  // Extent 7 over 5 ranks: slabs of 1 or 2 rows, all thinner than halo 2.
+  try {
+    compile(chained, gs, "distsim", with_ranks(5));
+    FAIL() << "expected InvalidArgument for thin slabs";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("halo depth"), std::string::npos)
+        << e.what();
+  }
+  // The same program on slabs at least as deep as the halo stays exact
+  // (extent 7 over 3 ranks: 2/2/3 rows, halo 2 — the boundary case).
+  expect_matches_reference(chained, gs, {}, "distsim", with_ranks(3));
+}
+
 TEST(DistSim, RejectsTooManyRanks) {
   GridSet gs;
   gs.add_zeros("x", {4, 4});

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "codegen/lower.hpp"
+#include "codegen/transform/addr.hpp"
 #include "codegen/transform/fusion.hpp"
 #include "codegen/transform/multicolor.hpp"
 #include "codegen/transform/tiling.hpp"
@@ -65,6 +66,76 @@ TEST(VerifyPlan, CatchesMissingCoordinateLoop) {
                           ShapeMap{{"x", {8, 8}}, {"out", {8, 8}}});
   plan.nests[0].dims[1].grid_dim = 0;  // dim 1 now shadows dim 0
   EXPECT_THROW(verify_plan(plan), InternalError);
+}
+
+TEST(VerifyPlan, CatchesOutOfBoundsWrite) {
+  KernelPlan plan = lower(StencilGroup(cc_apply(2, "x", "out")),
+                          ShapeMap{{"x", {8, 8}}, {"out", {8, 8}}});
+  plan.nests[0].dims[0].hi = 9;  // writes one row past the output extent
+  EXPECT_THROW(verify_plan(plan), InternalError);
+  plan.nests[0].dims[0].hi = 7;
+  plan.nests[0].dims[0].lo = -1;  // writes above row 0
+  EXPECT_THROW(verify_plan(plan), InternalError);
+}
+
+TEST(VerifyPlan, CatchesOutOfBoundsWriteThroughTiledNest) {
+  KernelPlan plan = lower(StencilGroup(cc_apply(2, "x", "out")),
+                          ShapeMap{{"x", {16, 16}}, {"out", {16, 16}}});
+  tile_plan(plan, {4, 4});
+  for (auto& d : plan.nests[0].dims) {
+    if (d.grid_dim == 0) d.hi = 17;  // intra-tile cap past the extent
+  }
+  EXPECT_THROW(verify_plan(plan), InternalError);
+}
+
+TEST(VerifyPlan, AddrCrossCheckAcceptsPlannedNests) {
+  // Pure-offset, multiplicative (restriction) and divisive (interpolation)
+  // accesses all survive the naive-index cross-check.
+  ShapeMap shapes = smoother_shapes(18);
+  KernelPlan plan = lower(mg::gsrb_smooth_group(2), shapes);
+  EXPECT_NO_THROW(verify_plan(plan, plan_addresses(plan)));
+
+  KernelPlan restr =
+      lower(mg::restriction_group(2),
+            ShapeMap{{"fine_res", {18, 18}}, {"coarse_rhs", {10, 10}}});
+  EXPECT_NO_THROW(verify_plan(restr, plan_addresses(restr)));
+
+  KernelPlan interp =
+      lower(mg::interpolation_add_group(2),
+            ShapeMap{{mg::kCoarseX, {6, 6}}, {mg::kFineX, {10, 10}}});
+  EXPECT_NO_THROW(verify_plan(interp, plan_addresses(interp)));
+
+  KernelPlan tiled = lower(mg::gsrb_smooth_group(2), shapes);
+  tile_plan(tiled, {4, 4});
+  EXPECT_NO_THROW(verify_plan(tiled, plan_addresses(tiled)));
+}
+
+TEST(VerifyPlan, AddrCrossCheckCatchesCorruptedInduction) {
+  KernelPlan plan =
+      lower(mg::restriction_group(2),
+            ShapeMap{{"fine_res", {18, 18}}, {"coarse_rhs", {10, 10}}});
+  AddrPlan addr = plan_addresses(plan);
+  ASSERT_TRUE(addr.nests[0].active);
+  ASSERT_FALSE(addr.nests[0].inductions.empty());
+  // Shift an induction's start by one element (off0 += den keeps the class
+  // and step congruences intact): the structural checks stay green, only
+  // the naive-index comparison exposes the skewed start value.
+  AddrInduction& ind = addr.nests[0].inductions[0];
+  ind.off0 += ind.den;
+  EXPECT_THROW(verify_plan(plan, addr), InternalError);
+}
+
+TEST(VerifyPlan, AddrCrossCheckCatchesCorruptedBase) {
+  KernelPlan plan =
+      lower(mg::restriction_group(2),
+            ShapeMap{{"fine_res", {18, 18}}, {"coarse_rhs", {10, 10}}});
+  AddrPlan addr = plan_addresses(plan);
+  ASSERT_TRUE(addr.nests[0].active);
+  // Shift a hoisted base's outer map by one row: steps and classes stay
+  // self-consistent, only the naive comparison exposes the skew.
+  ASSERT_FALSE(addr.nests[0].bases.empty());
+  addr.nests[0].bases[0].outer[0].off += 1;
+  EXPECT_THROW(verify_plan(plan, addr), InternalError);
 }
 
 TEST(VerifyPlan, CatchesBogusFusion) {

@@ -4,6 +4,8 @@
 
 #include <filesystem>
 #include <fstream>
+#include <thread>
+#include <vector>
 
 namespace snowflake {
 namespace {
@@ -13,7 +15,13 @@ namespace fs = std::filesystem;
 class CacheTest : public ::testing::Test {
 protected:
   void SetUp() override {
-    dir_ = (fs::temp_directory_path() / "sf_cache_test").string();
+    // Per-test directory: ctest runs each TEST_F as its own process, often
+    // in parallel, so a shared directory would let one test's cleanup yank
+    // files out from under another's in-flight compile.
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = (fs::temp_directory_path() /
+            (std::string("sf_cache_test_") + info->name()))
+               .string();
     fs::remove_all(dir_);
   }
   void TearDown() override { fs::remove_all(dir_); }
@@ -103,6 +111,56 @@ TEST_F(CacheTest, FlagsPartOfKey) {
   auto a = cache.get_or_compile(kSource, Toolchain{});
   auto b = cache.get_or_compile(kSource, Toolchain{omp_cfg});
   EXPECT_NE(a.get(), b.get());
+}
+
+TEST_F(CacheTest, TwoInstancesSharingOneDirectoryPublishAtomically) {
+  // Two KernelCache instances over one SNOWFLAKE_CACHE_DIR model two
+  // concurrent processes: their in-flight bookkeeping is private, so both
+  // may compile the same key at once.  Entries are published via rename(2)
+  // (.src before .so), so neither instance may ever dlopen a torn shared
+  // object; every loaded kernel must be callable and correct.
+  KernelCache a(dir_);
+  KernelCache b(dir_);
+  const Toolchain tc;
+  constexpr int kKernels = 6;
+  auto source_for = [](int i) {
+    return "void sf_kernel(double** grids, const double* params) {\n"
+           "  (void)params; grids[0][0] += " +
+           std::to_string(i + 1) + ".0;\n}\n";
+  };
+  std::vector<std::string> errors_a, errors_b;
+  auto worker = [&](KernelCache& cache, std::vector<std::string>& errors) {
+    for (int i = 0; i < kKernels; ++i) {
+      try {
+        auto module = cache.get_or_compile(source_for(i), tc);
+        double cell = 0.0;
+        double* grids[] = {&cell};
+        module->kernel("sf_kernel")(grids, nullptr);
+        if (cell != i + 1.0) {
+          errors.push_back("kernel " + std::to_string(i) + " computed " +
+                           std::to_string(cell));
+        }
+      } catch (const std::exception& e) {
+        errors.push_back(e.what());
+      }
+    }
+  };
+  std::thread ta([&] { worker(a, errors_a); });
+  std::thread tb([&] { worker(b, errors_b); });
+  ta.join();
+  tb.join();
+  EXPECT_TRUE(errors_a.empty()) << errors_a.front();
+  EXPECT_TRUE(errors_b.empty()) << errors_b.front();
+  // No staging leftovers: every .tmp file was renamed or cleaned up.
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    EXPECT_EQ(entry.path().string().find(".tmp."), std::string::npos)
+        << "staging file left behind: " << entry.path();
+  }
+  // Both instances ended with a usable entry per kernel.
+  const auto sa = a.stats();
+  const auto sb = b.stats();
+  EXPECT_EQ(sa.compiles + sa.disk_hits, static_cast<std::uint64_t>(kKernels));
+  EXPECT_EQ(sb.compiles + sb.disk_hits, static_cast<std::uint64_t>(kKernels));
 }
 
 TEST_F(CacheTest, LoadedModuleIsCallable) {

@@ -4,6 +4,7 @@
 
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 
 #include "jit/module.hpp"
 #include "support/error.hpp"
@@ -55,9 +56,53 @@ TEST(Toolchain, CompileErrorCarriesDiagnostics) {
     tc.compile_shared_object("this is not C\n", so);
     FAIL() << "expected ToolchainError";
   } catch (const ToolchainError& e) {
-    EXPECT_NE(std::string(e.what()).find("JIT compilation failed"),
-              std::string::npos);
+    const std::string what = e.what();
+    EXPECT_NE(what.find("JIT compilation failed"), std::string::npos);
+    // The wait status is decoded: a compiler exiting 1 reads "exit code 1",
+    // never the raw wait-status encoding ("status 256").
+    EXPECT_NE(what.find("exit code 1"), std::string::npos) << what;
+    EXPECT_EQ(what.find("status 256"), std::string::npos) << what;
   }
+}
+
+TEST(Toolchain, WaitStatusDecoding) {
+  // Linux wait-status encoding: exit code in the high byte, terminating
+  // signal in the low bits.
+  EXPECT_EQ(describe_wait_status(1 << 8), "exit code 1");
+  EXPECT_EQ(describe_wait_status(127 << 8), "exit code 127");
+  EXPECT_EQ(describe_wait_status(0), "exit code 0");
+  EXPECT_EQ(describe_wait_status(9), "killed by signal 9");
+  EXPECT_EQ(describe_wait_status(11), "killed by signal 11");
+}
+
+TEST(Toolchain, SignalDeathReportedDistinctly) {
+  // A "compiler" that kills itself must be reported as a signal death, not
+  // as a bogus huge exit code.
+  const auto dir = std::filesystem::temp_directory_path();
+  const std::string script = (dir / "sf_sigkill_cc.sh").string();
+  {
+    std::ofstream out(script);
+    out << "#!/bin/sh\nkill -KILL $$\n";
+  }
+  std::filesystem::permissions(script,
+                               std::filesystem::perms::owner_all |
+                                   std::filesystem::perms::group_read |
+                                   std::filesystem::perms::others_read);
+  ToolchainConfig cfg;
+  cfg.compiler = script;
+  const Toolchain tc(cfg);
+  try {
+    tc.compile_shared_object("int x;\n", temp_so_path("sf_sig.so"));
+    FAIL() << "expected ToolchainError";
+  } catch (const ToolchainError& e) {
+    const std::string what = e.what();
+    // Either the script itself dies by SIGKILL (shell execs it) or the
+    // shell reports 128+9 = 137; both must decode readably.
+    EXPECT_TRUE(what.find("killed by signal 9") != std::string::npos ||
+                what.find("exit code 137") != std::string::npos)
+        << what;
+  }
+  std::filesystem::remove(script);
 }
 
 TEST(Toolchain, MissingCompilerThrows) {

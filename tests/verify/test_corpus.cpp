@@ -1,0 +1,124 @@
+// Tests for the snowcheck regression corpus and the reproducer emitter.
+// Every checked-in entry must replay green; the two latent-bug entries
+// (the PR 3 rank-1 pragma collision and the distsim thin-slab guard) are
+// additionally pinned by name so they cannot silently disappear.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "verify/corpus.hpp"
+#include "verify/minimize.hpp"
+#include "verify/repro.hpp"
+
+namespace snowflake {
+namespace snowcheck {
+namespace {
+
+TEST(Corpus, EntriesAreWellFormed) {
+  const auto entries = corpus();
+  ASSERT_GE(entries.size(), 5u);
+  std::set<std::string> names;
+  for (const auto& e : entries) {
+    EXPECT_FALSE(e.name.empty());
+    EXPECT_FALSE(e.note.empty()) << e.name;
+    EXPECT_TRUE(names.insert(e.name).second) << "duplicate name " << e.name;
+    EXPECT_TRUE(is_valid(e.program)) << e.name;
+  }
+  // The two distilled latent bugs must stay pinned.
+  EXPECT_EQ(names.count("pr3-rank1-for-simd"), 1u);
+  EXPECT_EQ(names.count("distsim-thin-slab"), 1u);
+}
+
+TEST(Corpus, EveryEntryReplaysGreen) {
+  for (const auto& e : corpus()) {
+    const ReplayOutcome outcome = replay(e);
+    EXPECT_TRUE(outcome.ok)
+        << e.name << ": status " << static_cast<int>(outcome.result.status)
+        << " " << outcome.result.message << " (max diff "
+        << outcome.result.max_diff << ")";
+  }
+}
+
+TEST(Corpus, ThinSlabEntryPinsTheCleanRejection) {
+  for (const auto& e : corpus()) {
+    if (e.name != "distsim-thin-slab") continue;
+    ASSERT_TRUE(e.expect_rejected);
+    const DiffResult r = diff_variant(e.program, e.variant);
+    EXPECT_EQ(r.status, DiffStatus::Rejected);
+    // The rejection must be the halo-depth scope check, not some other
+    // InvalidArgument — otherwise the guard may have been lost.
+    EXPECT_NE(r.message.find("halo"), std::string::npos) << r.message;
+  }
+}
+
+TEST(Repro, EmitsSelfContainedSource) {
+  for (const auto& e : corpus()) {
+    const std::string src = emit_repro(e.program, e.variant);
+    EXPECT_NE(src.find("int main()"), std::string::npos) << e.name;
+    EXPECT_NE(src.find("compile(group, actual, \"" + e.variant.backend),
+              std::string::npos)
+        << e.name;
+    EXPECT_NE(src.find("fused_sweeps()"), std::string::npos) << e.name;
+    for (const auto& [grid, spec] : e.program.grids) {
+      (void)spec;
+      EXPECT_NE(src.find("add_zeros(\"" + grid + "\""), std::string::npos)
+          << e.name << " missing grid " << grid;
+    }
+    for (const auto& s : e.program.group.stencils()) {
+      EXPECT_NE(src.find("Stencil(\"" + s.name() + "\""), std::string::npos)
+          << e.name << " missing stencil " << s.name();
+    }
+  }
+}
+
+TEST(Repro, RoundTripsIndexMapsAndOptions) {
+  const auto entries = corpus();
+  for (const auto& e : entries) {
+    const std::string src = emit_repro(e.program, e.variant);
+    if (e.name == "addr-multiplicative") {
+      EXPECT_NE(src.find("read_mapped(\"fine\""), std::string::npos);
+      EXPECT_NE(src.find("DimMap{2, -1, 1}"), std::string::npos);
+    }
+    if (e.name == "interp-divisive") {
+      EXPECT_NE(src.find("DimMap{1, 1, 2}"), std::string::npos);
+      EXPECT_NE(src.find("opt.simd = true;"), std::string::npos);
+      EXPECT_NE(src.find("Schedule::ParallelFor"), std::string::npos);
+    }
+    if (e.name == "timetile-chain") {
+      EXPECT_NE(src.find("opt.time_tile = 2;"), std::string::npos);
+      EXPECT_NE(src.find("opt.tile = Index(2, 4);"), std::string::npos);
+    }
+    if (e.name == "distsim-thin-slab") {
+      EXPECT_NE(src.find("opt.dist_ranks = 6;"), std::string::npos);
+    }
+  }
+}
+
+TEST(Repro, MinimizedCorpusEntryStillEmits) {
+  // Exercise the minimize -> emit pipeline end to end with a predicate
+  // that keeps the multiplicative map alive.
+  for (const auto& e : corpus()) {
+    if (e.name != "addr-multiplicative") continue;
+    const auto still_fails = [](const Program& c) {
+      for (const auto& s : c.group.stencils()) {
+        for (const auto* r : collect_reads(s.expr())) {
+          for (int d = 0; d < r->map().rank(); ++d) {
+            if (r->map().dim(d).num == 2) return true;
+          }
+        }
+      }
+      return false;
+    };
+    const Program minimized = minimize(e.program, still_fails);
+    ASSERT_TRUE(still_fails(minimized));
+    const std::string src = emit_repro(minimized, e.variant);
+    EXPECT_NE(src.find("read_mapped"), std::string::npos);
+    EXPECT_NE(src.find("int main()"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace snowcheck
+}  // namespace snowflake

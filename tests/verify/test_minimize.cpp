@@ -1,0 +1,132 @@
+// Tests for the snowcheck greedy minimizer: stencil/rect dropping,
+// expression simplification, shape shrinking, the predicate-call budget,
+// and the is_valid gate.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "ir/stencil_library.hpp"
+#include "support/hash.hpp"
+#include "verify/minimize.hpp"
+#include "verify/program.hpp"
+
+namespace snowflake {
+namespace snowcheck {
+namespace {
+
+GridSpec spec(Index shape, const std::string& name) {
+  return GridSpec{std::move(shape), fnv1a64(name), 0.5, 1.5};
+}
+
+/// Three stencils, three grid pairs; only "bad" matters to the predicate.
+Program three_stencil_program() {
+  Program p;
+  for (const char* g : {"a", "b", "c", "d"}) p.grids[g] = spec({12, 12}, g);
+  p.params["w"] = 0.5;
+  ExprPtr blur_a = 0.25 * (read("a", {1, 0}) + read("a", {-1, 0}) +
+                           read("a", {0, 1}) + read("a", {0, -1}));
+  ExprPtr bad = param("w") * read("b", {1, 1}) + 0.125 * read("b", {-1, -1});
+  ExprPtr blur_c = 0.5 * read("c", {0, 0}) + 0.5 * read("c", {1, 0});
+  p.group.append(Stencil("fine", blur_a, "b", lib::interior(2)));
+  p.group.append(Stencil("bad", bad, "c", lib::interior(2)));
+  p.group.append(Stencil("tail", blur_c, "d", lib::interior(2)));
+  return p;
+}
+
+bool has_stencil(const Program& p, const std::string& name) {
+  for (const auto& s : p.group.stencils()) {
+    if (s.name() == name) return true;
+  }
+  return false;
+}
+
+TEST(Minimize, DropsIrrelevantStencilsAndPrunesGrids) {
+  const Program full = three_stencil_program();
+  MinimizeStats stats;
+  const Program out = minimize(
+      full, [](const Program& c) { return has_stencil(c, "bad"); }, &stats);
+  EXPECT_EQ(out.group.size(), 1u);
+  EXPECT_TRUE(has_stencil(out, "bad"));
+  // Grids the surviving group never touches are pruned (the predicate only
+  // pins the stencil's name, so even its input reads may simplify away);
+  // the output grid always survives.
+  EXPECT_EQ(out.grids.count("a"), 0u);
+  EXPECT_EQ(out.grids.count("d"), 0u);
+  EXPECT_EQ(out.grids.count("c"), 1u);
+  EXPECT_GT(stats.accepted, 0);
+  EXPECT_TRUE(is_valid(out));
+}
+
+TEST(Minimize, SimplifiesExpressionsToTheFailingRead) {
+  const Program full = three_stencil_program();
+  // Failure depends only on a read of "b" somewhere in the group.
+  const auto still_fails = [](const Program& c) {
+    for (const auto& s : c.group.stencils()) {
+      if (s.inputs().count("b") > 0) return true;
+    }
+    return false;
+  };
+  ASSERT_TRUE(still_fails(full));
+  const Program out = minimize(full, still_fails);
+  ASSERT_TRUE(still_fails(out));
+  EXPECT_EQ(out.group.size(), 1u);
+  // The 2-tap "bad" expression collapses: at most one read survives, and
+  // the param has been folded away.
+  const auto& s = out.group.stencils()[0];
+  int b_reads = 0;
+  for (const auto* r : collect_reads(s.expr())) {
+    if (r->grid() == "b") ++b_reads;
+  }
+  EXPECT_LE(b_reads, 1);
+  EXPECT_TRUE(params_used(s.expr()).empty());
+}
+
+TEST(Minimize, ShrinksShapes) {
+  Program p;
+  p.grids["x"] = spec({24, 24}, "x");
+  p.grids["y"] = spec({24, 24}, "y");
+  p.group.append(Stencil("copy", 1.0 * read("x", {0, 0}), "y",
+                         lib::interior(2)));
+  const Program out =
+      minimize(p, [](const Program& c) { return is_valid(c); });
+  // Still failing (predicate is always true on valid programs), so the
+  // shapes should have been walked down toward the floor.  Only the output
+  // grid is guaranteed to survive — the input read may simplify away.
+  ASSERT_EQ(out.grids.count("y"), 1u);
+  EXPECT_LT(out.grids.at("y").shape[0], 24);
+  EXPECT_GT(out.grids.at("y").shape[0], 3);
+}
+
+TEST(Minimize, ReturnsInputWhenPredicateAlreadyPasses) {
+  const Program full = three_stencil_program();
+  MinimizeStats stats;
+  const Program out =
+      minimize(full, [](const Program&) { return false; }, &stats);
+  EXPECT_EQ(out.describe(), full.describe());
+  EXPECT_EQ(stats.accepted, 0);
+}
+
+TEST(Minimize, RespectsPredicateCallBudget) {
+  const Program full = three_stencil_program();
+  MinimizeStats stats;
+  minimize(
+      full, [](const Program& c) { return !c.group.empty(); }, &stats,
+      /*max_predicate_calls=*/10);
+  // The entry still-fails check is one call on top of the shrink budget.
+  EXPECT_LE(stats.predicate_calls, 11);
+}
+
+TEST(Minimize, NeverHandsThePredicateAnInvalidProgram) {
+  const Program full = three_stencil_program();
+  int invalid_seen = 0;
+  minimize(full, [&](const Program& c) {
+    if (!is_valid(c)) ++invalid_seen;
+    return has_stencil(c, "bad");
+  });
+  EXPECT_EQ(invalid_seen, 0);
+}
+
+}  // namespace
+}  // namespace snowcheck
+}  // namespace snowflake

@@ -1,0 +1,221 @@
+// snowfuzz: differential fuzzing driver for the snowcheck harness.
+//
+//   snowfuzz [--seed N] [--count N] [--backend PREFIX] [--tol X]
+//            [--emit-repro DIR] [--corpus] [--seed-from-time]
+//            [--require-env VAR] [--max-failures N]
+//
+// Default mode generates `count` random stencil programs starting at
+// `seed` and diffs each against the reference oracle across the backend x
+// options matrix (optionally restricted to variants whose label starts
+// with PREFIX).  Every failure is greedily minimized; with --emit-repro a
+// self-contained reproducer .cpp is written per failure.
+//
+// --corpus replays the checked-in regression corpus instead of fuzzing.
+// --require-env VAR exits 77 (the ctest skip code) unless VAR is set,
+// which is how the long-running fuzz entry stays out of default runs.
+// --seed-from-time makes that entry explore fresh seeds on every run.
+
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "verify/corpus.hpp"
+#include "verify/differ.hpp"
+#include "verify/generate.hpp"
+#include "verify/minimize.hpp"
+#include "verify/program.hpp"
+#include "verify/repro.hpp"
+
+using namespace snowflake;
+using namespace snowflake::snowcheck;
+
+namespace {
+
+struct Options {
+  std::uint64_t seed = 1;
+  int count = 100;
+  std::string backend_prefix;
+  double tol = kDefaultTol;
+  std::string repro_dir;
+  bool run_corpus = false;
+  bool seed_from_time = false;
+  int max_failures = 5;
+};
+
+void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--seed N] [--count N] [--backend PREFIX] [--tol X]\n"
+      "          [--emit-repro DIR] [--corpus] [--seed-from-time]\n"
+      "          [--require-env VAR] [--max-failures N]\n",
+      argv0);
+}
+
+const char* status_name(DiffStatus s) {
+  switch (s) {
+    case DiffStatus::Match:
+      return "match";
+    case DiffStatus::Mismatch:
+      return "MISMATCH";
+    case DiffStatus::Rejected:
+      return "rejected";
+    case DiffStatus::Error:
+      return "ERROR";
+  }
+  return "?";
+}
+
+std::string sanitize(const std::string& label) {
+  std::string out;
+  for (char c : label) {
+    out += (std::isalnum(static_cast<unsigned char>(c)) != 0) ? c : '_';
+  }
+  return out;
+}
+
+/// Shrink a failing case and (optionally) write a reproducer.  Returns the
+/// path written, or "" when --emit-repro was not given.
+std::string handle_failure(const Options& opt, const std::string& tag,
+                           const Program& program, const Variant& variant) {
+  const auto still_fails = [&](const Program& candidate) {
+    return diff_variant(candidate, variant, opt.tol).failed();
+  };
+  MinimizeStats stats;
+  const Program minimized = minimize(program, still_fails, &stats);
+  std::printf("  minimized: %d predicate calls, %d accepted shrinks\n",
+              stats.predicate_calls, stats.accepted);
+  std::printf("%s", minimized.describe().c_str());
+  if (opt.repro_dir.empty()) return "";
+  const std::string path =
+      opt.repro_dir + "/repro_" + tag + "_" + sanitize(variant.label) + ".cpp";
+  std::ofstream out(path, std::ios::binary);
+  out << emit_repro(minimized, variant, opt.tol);
+  if (!out) {
+    std::fprintf(stderr, "snowfuzz: failed to write %s\n", path.c_str());
+    return "";
+  }
+  std::printf("  reproducer: %s\n", path.c_str());
+  return path;
+}
+
+int run_fuzz(const Options& opt) {
+  const std::vector<Variant> matrix = variants_matching(opt.backend_prefix);
+  if (matrix.empty()) {
+    std::fprintf(stderr, "snowfuzz: no variants match prefix '%s'\n",
+                 opt.backend_prefix.c_str());
+    return 2;
+  }
+  std::printf("snowfuzz: %d programs from seed %llu over %zu variants\n",
+              opt.count, static_cast<unsigned long long>(opt.seed),
+              matrix.size());
+  int failures = 0, runs = 0, matches = 0, rejected = 0;
+  for (int i = 0; i < opt.count && failures < opt.max_failures; ++i) {
+    const std::uint64_t seed = opt.seed + static_cast<std::uint64_t>(i);
+    const Program program = generate_program(seed);
+    for (const Variant& v : matrix) {
+      const DiffResult r = diff_variant(program, v, opt.tol);
+      ++runs;
+      if (r.status == DiffStatus::Match) ++matches;
+      if (r.status == DiffStatus::Rejected) ++rejected;
+      if (!r.failed()) continue;
+      ++failures;
+      std::printf("seed %llu variant %s: %s %s (max diff %.3e)\n",
+                  static_cast<unsigned long long>(seed), v.label.c_str(),
+                  status_name(r.status), r.message.c_str(), r.max_diff);
+      handle_failure(opt, "seed" + std::to_string(seed), program, v);
+      if (failures >= opt.max_failures) break;
+    }
+    if ((i + 1) % 25 == 0 && failures == 0) {
+      std::printf("  ... %d/%d programs clean\n", i + 1, opt.count);
+    }
+  }
+  std::printf(
+      "snowfuzz: %d variant runs (%d match, %d rejected), %d failure%s\n",
+      runs, matches, rejected, failures, failures == 1 ? "" : "s");
+  return failures == 0 ? 0 : 1;
+}
+
+int run_corpus(const Options& opt) {
+  const std::vector<CorpusEntry> entries = corpus();
+  std::printf("snowfuzz: replaying %zu corpus entries\n", entries.size());
+  int failures = 0;
+  for (const CorpusEntry& e : entries) {
+    const ReplayOutcome outcome = replay(e, opt.tol);
+    std::printf("  %-24s %-10s %s\n", e.name.c_str(),
+                outcome.ok ? "ok" : "FAIL", e.note.c_str());
+    if (outcome.ok) continue;
+    ++failures;
+    std::printf("    got %s %s (max diff %.3e)%s\n",
+                status_name(outcome.result.status),
+                outcome.result.message.c_str(), outcome.result.max_diff,
+                e.expect_rejected ? " [expected clean rejection]" : "");
+    if (outcome.result.failed()) {
+      handle_failure(opt, e.name, e.program, e.variant);
+    }
+  }
+  std::printf("snowfuzz: corpus %s (%d/%zu failed)\n",
+              failures == 0 ? "clean" : "RED", failures, entries.size());
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "snowfuzz: %s needs a value\n", arg.c_str());
+        usage(argv[0]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--seed") {
+      opt.seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--count") {
+      opt.count = std::atoi(next());
+    } else if (arg == "--backend") {
+      opt.backend_prefix = next();
+    } else if (arg == "--tol") {
+      opt.tol = std::strtod(next(), nullptr);
+    } else if (arg == "--emit-repro") {
+      opt.repro_dir = next();
+    } else if (arg == "--corpus") {
+      opt.run_corpus = true;
+    } else if (arg == "--seed-from-time") {
+      opt.seed_from_time = true;
+    } else if (arg == "--max-failures") {
+      opt.max_failures = std::atoi(next());
+    } else if (arg == "--require-env") {
+      const char* var = next();
+      const char* val = std::getenv(var);
+      if (val == nullptr || *val == '\0') {
+        std::printf("snowfuzz: %s not set, skipping\n", var);
+        return 77;  // ctest SKIP_RETURN_CODE
+      }
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "snowfuzz: unknown option %s\n", arg.c_str());
+      usage(argv[0]);
+      return 2;
+    }
+  }
+  if (opt.seed_from_time) {
+    opt.seed = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::seconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+    std::printf("snowfuzz: seed from time = %llu\n",
+                static_cast<unsigned long long>(opt.seed));
+  }
+  return opt.run_corpus ? run_corpus(opt) : run_fuzz(opt);
+}
