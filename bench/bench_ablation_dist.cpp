@@ -1,0 +1,86 @@
+// Ablation: the distsim SPMD runtime (CompileOptions::dist_*).
+// Strong-scales the VC GSRB smoother over simulated rank counts and
+// compares comm/compute overlap (interior sub-program runs while halo
+// messages are in flight) against the post-wait-compute baseline, plus
+// the dependence-pruned exchange against the legacy copy-everything one.
+// Expectation: overlap >= no-overlap within noise at every rank count
+// (the gap grows with ranks, where waits dominate), and pruning cuts the
+// exchanged bytes severalfold without touching answers.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "backend/distsim/distsim_backend.hpp"
+#include "bench_common.hpp"
+#include "multigrid/operators.hpp"
+
+using namespace snowflake;
+using namespace snowflake::bench;
+
+namespace {
+
+struct Measured {
+  double seconds = 0.0;
+  double halo_bytes = 0.0;
+};
+
+Measured run_variant(const StencilGroup& group, GridSet& grids,
+                     const ParamMap& params, const CompileOptions& opt,
+                     int sweeps) {
+  auto kernel = compile(group, grids, "distsim", opt);
+  Measured m;
+  m.seconds = time_kernel_best(*kernel, grids, params, 1, sweeps);
+  const auto* info = dynamic_cast<const DistSimKernelInfo*>(kernel.get());
+  if (info != nullptr) m.halo_bytes = info->last_halo_bytes();
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = Args::parse(argc, argv);
+  banner("Ablation: distsim overlap + pruned exchange at n=" +
+             std::to_string(args.n),
+         "GSRB strong scaling over simulated ranks; overlap splits each "
+         "wave into interior/boundary (best of " +
+             std::to_string(args.sweeps) + ")");
+
+  BenchLevel bl(args.n);
+  const StencilGroup group = mg::gsrb_smooth_group(3);
+  const ParamMap params{{"h2inv", bl.h2inv()}};
+
+  Table table({"ranks", "overlap (s)", "no-overlap (s)", "off/on",
+               "halo MiB", "unpruned MiB"});
+  for (const int ranks : {1, 2, 4}) {
+    CompileOptions opt;
+    opt.dist_ranks = ranks;
+    const Measured on = run_variant(group, bl.grids(), params, opt,
+                                    args.sweeps);
+    opt.dist_overlap = false;
+    const Measured off = run_variant(group, bl.grids(), params, opt,
+                                     args.sweeps);
+    opt.dist_overlap = true;
+    opt.dist_prune = false;
+    const Measured unpruned = run_variant(group, bl.grids(), params, opt,
+                                          args.sweeps);
+
+    const std::string r = std::to_string(ranks);
+    JsonReport::instance().record("gsrb dist r" + r + " overlap", on.seconds,
+                                  0.0, 0.0);
+    JsonReport::instance().record("gsrb dist r" + r + " nooverlap",
+                                  off.seconds, 0.0, 0.0);
+    JsonReport::instance().record("gsrb dist r" + r + " noprune",
+                                  unpruned.seconds, 0.0, 0.0);
+    table.row({r, Table::sci(on.seconds), Table::sci(off.seconds),
+               Table::num(off.seconds / on.seconds, 2),
+               Table::num(on.halo_bytes / (1024.0 * 1024.0), 3),
+               Table::num(unpruned.halo_bytes / (1024.0 * 1024.0), 3)});
+  }
+
+  std::printf(
+      "\nexpectation: off/on >= 1 within noise, growing with ranks; the\n"
+      "pruned exchange moves ~5x fewer bytes than copy-everything (only\n"
+      "the in-place mesh travels, never the coefficients).\n");
+  return 0;
+}

@@ -54,5 +54,17 @@ int main(int argc, char** argv) {
     }
     smoother->run(grids, params);
   }
+
+  // Per-rank comm-vs-compute attribution of the last sweep: the runtime
+  // is SPMD (one persistent worker thread per rank), so each rank's wait
+  // time is real contention, not orchestration.
+  std::printf("\n%-6s %-12s %-12s %-12s %-10s\n", "rank", "compute (s)",
+              "wait (s)", "pack (s)", "sent (B)");
+  const auto stats = info->last_rank_stats();
+  for (size_t r = 0; r < stats.size(); ++r) {
+    std::printf("%-6zu %-12.3e %-12.3e %-12.3e %-10.0f\n", r,
+                stats[r].compute_seconds, stats[r].wait_seconds,
+                stats[r].pack_seconds, stats[r].bytes_sent);
+  }
   return 0;
 }

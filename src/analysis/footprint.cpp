@@ -1,0 +1,75 @@
+#include "analysis/footprint.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "support/error.hpp"
+
+namespace snowflake {
+
+std::int64_t CommFootprint::max_depth() const {
+  std::int64_t depth = 0;
+  for (const auto& wave : waves) {
+    for (const auto& wg : wave) depth = std::max(depth, wg.depth);
+  }
+  return depth;
+}
+
+CommFootprint comm_footprint(const StencilGroup& group,
+                             const Schedule& schedule, bool prune) {
+  CommFootprint fp;
+  fp.waves.resize(schedule.waves.size());
+
+  // Group-wide halo depth (for the unpruned baseline) and the per-wave,
+  // per-grid read depths.
+  std::int64_t group_halo = 0;
+  std::vector<std::map<std::string, std::int64_t>> read_depth(
+      schedule.waves.size());
+  for (size_t w = 0; w < schedule.waves.size(); ++w) {
+    for (size_t s : schedule.waves[w].stencils) {
+      for (const auto* r : collect_reads(group[s].expr())) {
+        SF_REQUIRE(r->map().is_pure_offset(),
+                   "comm footprint requires pure-offset reads (stencil '" +
+                       group[s].name() + "' uses " + r->map().to_string() +
+                       ")");
+        const std::int64_t off = std::abs(r->map().dim(0).off);
+        group_halo = std::max(group_halo, off);
+        auto& depth = read_depth[w][r->grid()];
+        depth = std::max(depth, off);
+      }
+    }
+  }
+
+  if (!prune) {
+    // Legacy baseline: every grid of the group, full halo, every wave
+    // past the first.
+    if (group_halo > 0) {
+      for (size_t w = 1; w < schedule.waves.size(); ++w) {
+        for (const auto& g : group.grids()) {
+          fp.waves[w].push_back(WaveGridDepth{g, group_halo});
+        }
+      }
+    }
+    return fp;
+  }
+
+  // Pruned: written-before set grows wave by wave; a grid is exchanged
+  // only when a stale boundary layer could actually be read.
+  std::set<std::string> written;
+  for (size_t w = 0; w < schedule.waves.size(); ++w) {
+    if (w > 0) {
+      for (const auto& [grid, depth] : read_depth[w]) {
+        if (depth > 0 && written.count(grid) != 0) {
+          fp.waves[w].push_back(WaveGridDepth{grid, depth});
+        }
+      }
+    }
+    for (size_t s : schedule.waves[w].stencils) {
+      written.insert(group[s].output());
+    }
+  }
+  return fp;
+}
+
+}  // namespace snowflake

@@ -1,0 +1,59 @@
+#pragma once
+// Per-wave communication footprint of a scheduled StencilGroup.
+//
+// A distributed backend that partitions the outermost dimension needs to
+// know, before each barrier wave, which grids must have fresh boundary
+// layers and how deep those layers are.  Both questions are answered by
+// the same dependence information the scheduler already uses:
+//
+//   * a grid needs an exchange before wave w only if some stencil of wave
+//     w reads it through a nonzero dim-0 offset (offset-0 reads stay
+//     inside the reader's owned slab), AND an earlier wave of the group
+//     has written it since the last global distribution — grids no wave
+//     writes (coefficients, rhs) keep the boundary layers the initial
+//     scatter installed and never need re-copying;
+//   * the required depth is the largest |dim-0 offset| any wave-w stencil
+//     reads that grid through, which is at most the group halo but often
+//     smaller per grid and per wave.
+//
+// The analysis is exact for the pure-offset programs the distributed
+// backend accepts (every read is a constant translate), and conservative
+// only in ignoring *which rows* of the slab boundary a wave's domain
+// touches — it prunes by grid and depth, not by sub-row extent.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/dag.hpp"
+#include "ir/stencil.hpp"
+
+namespace snowflake {
+
+/// Exchange requirement of one grid before one wave.
+struct WaveGridDepth {
+  std::string grid;
+  std::int64_t depth = 0;  // max |dim-0 read offset| of the wave's reads
+};
+
+/// Communication footprint of every wave of a schedule.  waves[0] is
+/// always empty: the first wave is served by the initial distribution.
+struct CommFootprint {
+  std::vector<std::vector<WaveGridDepth>> waves;
+
+  /// Largest depth across all waves (0 when nothing is exchanged).
+  std::int64_t max_depth() const;
+};
+
+/// Compute the footprint of `group` under `schedule` (which must come
+/// from the same group).  Requires pure-offset reads; reads through
+/// non-offset maps make the whole analysis throw InvalidArgument, which
+/// matches the scope check of the backends that call it.
+///
+/// With `prune` false, every grid of the group is listed before every
+/// wave past the first at the full group halo depth — the legacy
+/// copy-everything behaviour, kept as an ablation baseline.
+CommFootprint comm_footprint(const StencilGroup& group,
+                             const Schedule& schedule, bool prune);
+
+}  // namespace snowflake

@@ -69,8 +69,20 @@ struct CompileOptions {
   /// in the innermost two dims.  Empty = {16, 64}.
   Index workgroup;
   /// Number of simulated distributed ranks (distsim backend); <= 0 picks
-  /// a default of 2.
+  /// a default of 2.  Requests larger than the dim-0 extent are clamped
+  /// to one row per rank with a logged warning.
   int dist_ranks = 0;
+  /// Overlap communication with computation (distsim backend): split each
+  /// rank's wave at compile time into an interior sub-program that runs
+  /// while halo messages are in flight and a boundary sub-program that
+  /// runs after they arrive.  Off = post sends, wait, then compute the
+  /// whole wave (the ablation baseline, bench_ablation_dist).
+  bool dist_overlap = true;
+  /// Prune the halo exchange with the dependence footprint (distsim
+  /// backend): only grids an earlier wave wrote travel, each only as deep
+  /// as the next wave reads it.  Off = every grid, full halo depth,
+  /// every wave (the legacy copy-everything baseline).
+  bool dist_prune = true;
 };
 
 /// A compiled, executable stencil group (the "Python callable" of §IV).

@@ -1,0 +1,88 @@
+#include "backend/distsim/comm_plan.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "support/error.hpp"
+
+namespace snowflake {
+
+namespace {
+
+/// Emit owner-direct messages filling rank `dst`'s halo rows
+/// [g_lo, g_hi) (global coordinates, already clamped to the grid) of one
+/// grid.  Walks every owning rank; a window deeper than the adjacent slab
+/// naturally draws from ranks further away.
+void emit_window(std::vector<MsgSpec>* out, const std::vector<Slab>& slabs,
+                 int dst, size_t grid_index, std::int64_t halo,
+                 std::int64_t g_lo, std::int64_t g_hi) {
+  if (g_hi <= g_lo) return;
+  for (int src = 0; src < static_cast<int>(slabs.size()); ++src) {
+    if (src == dst) continue;
+    const Slab& s = slabs[static_cast<size_t>(src)];
+    const std::int64_t a = std::max(g_lo, s.lo);
+    const std::int64_t b = std::min(g_hi, s.hi);
+    if (b <= a) continue;
+    MsgSpec m;
+    m.src = src;
+    m.dst = dst;
+    m.grid_index = grid_index;
+    m.src_row = a - s.lo + halo;
+    m.dst_row = a - slabs[static_cast<size_t>(dst)].lo + halo;
+    m.rows = b - a;
+    out->push_back(m);
+  }
+}
+
+}  // namespace
+
+double CommPlan::bytes_per_run(std::int64_t row_doubles) const {
+  double bytes = 0.0;
+  for (const auto& wave : waves) {
+    for (const auto& m : wave.msgs) {
+      bytes += static_cast<double>(m.rows * row_doubles) * sizeof(double);
+    }
+  }
+  return bytes;
+}
+
+CommPlan build_comm_plan(const CommFootprint& footprint,
+                         const std::vector<std::string>& grid_names,
+                         const std::vector<Slab>& slabs, std::int64_t halo) {
+  std::map<std::string, size_t> grid_index;
+  for (size_t i = 0; i < grid_names.size(); ++i) grid_index[grid_names[i]] = i;
+  const std::int64_t extent = slabs.empty() ? 0 : slabs.back().hi;
+
+  CommPlan plan;
+  plan.waves.resize(footprint.waves.size());
+  if (slabs.size() < 2) return plan;  // single rank: nothing to exchange
+
+  for (size_t w = 0; w < footprint.waves.size(); ++w) {
+    WaveExchange& ex = plan.waves[w];
+    for (const auto& wg : footprint.waves[w]) {
+      const auto it = grid_index.find(wg.grid);
+      SF_REQUIRE(it != grid_index.end(),
+                 "comm plan: unknown grid '" + wg.grid + "'");
+      const std::int64_t depth = std::min(wg.depth, halo);
+      if (depth <= 0) continue;
+      ex.grids.push_back(it->second);
+      ex.depths.push_back(depth);
+      ex.margin = std::max(ex.margin, depth);
+      for (int dst = 0; dst < static_cast<int>(slabs.size()); ++dst) {
+        const Slab& d = slabs[static_cast<size_t>(dst)];
+        emit_window(&ex.msgs, slabs, dst, it->second, halo,
+                    std::max<std::int64_t>(0, d.lo - depth), d.lo);
+        emit_window(&ex.msgs, slabs, dst, it->second, halo, d.hi,
+                    std::min<std::int64_t>(extent, d.hi + depth));
+      }
+    }
+    // Fix every receiver's slot numbering (delivery targets).
+    std::vector<size_t> next_slot(slabs.size(), 0);
+    for (auto& m : ex.msgs) {
+      m.dst_slot = next_slot[static_cast<size_t>(m.dst)]++;
+    }
+  }
+  return plan;
+}
+
+}  // namespace snowflake

@@ -1,0 +1,71 @@
+#pragma once
+// Compile-time halo-exchange plan for the simulated distributed backend.
+//
+// For every barrier wave the plan lists the point-to-point messages that
+// must be delivered before the wave's boundary computation may run.  Each
+// message carries a contiguous block of dim-0 rows of one grid from the
+// rank that OWNS those rows directly to the rank whose halo needs them —
+// owner-direct delivery, so a halo deeper than a neighbouring slab simply
+// produces messages from further-away ranks ("multi-hop") instead of
+// serving stale rows or being rejected.
+//
+// Which grids appear, and how deep, comes from the dependence footprint
+// (analysis/footprint.hpp): grids no earlier wave has written are never
+// re-sent, and each grid travels only as deep as the wave actually reads
+// it.  The plan also fixes the overlap split margin per wave: rows within
+// `margin` of a slab edge may read rows the wave's unpack rewrites, so
+// only they belong to the boundary sub-program.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/footprint.hpp"
+#include "backend/distsim/decompose.hpp"
+
+namespace snowflake {
+
+/// One point-to-point halo message: `rows` dim-0 rows of grid
+/// `grid_index`, read from the sender's local frame at `src_row`, landing
+/// in the receiver's local frame at `dst_row`.
+struct MsgSpec {
+  int src = 0;
+  int dst = 0;
+  size_t grid_index = 0;
+  std::int64_t src_row = 0;
+  std::int64_t dst_row = 0;
+  std::int64_t rows = 0;
+  /// Index of this message in the receiver's per-wave slot array (the
+  /// sender delivers straight into that slot's buffer).
+  size_t dst_slot = 0;
+};
+
+/// All messages of one wave plus the overlap split margin.
+struct WaveExchange {
+  std::vector<MsgSpec> msgs;
+  /// Grids exchanged this wave (indices into the backend's grid order),
+  /// parallel to `depths`.
+  std::vector<size_t> grids;
+  std::vector<std::int64_t> depths;
+  /// Max depth of this wave's exchange: rows within `margin` of an
+  /// interior slab edge go to the boundary sub-program.
+  std::int64_t margin = 0;
+  bool any() const { return !msgs.empty(); }
+};
+
+struct CommPlan {
+  std::vector<WaveExchange> waves;
+
+  /// Total payload bytes of one full exchange cycle (all waves).
+  double bytes_per_run(std::int64_t row_doubles) const;
+};
+
+/// Build the plan from the footprint and the slab geometry.  `grid_names`
+/// fixes the grid_index order.  Messages never cross the global dim-0
+/// bounds: halo rows outside [0, extent) do not exist and are never read
+/// by a program that is valid on the undecomposed grid.
+CommPlan build_comm_plan(const CommFootprint& footprint,
+                         const std::vector<std::string>& grid_names,
+                         const std::vector<Slab>& slabs, std::int64_t halo);
+
+}  // namespace snowflake

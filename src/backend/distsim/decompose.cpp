@@ -1,0 +1,53 @@
+#include "backend/distsim/decompose.hpp"
+
+#include "domain/domain_algebra.hpp"
+#include "support/error.hpp"
+
+namespace snowflake {
+
+std::vector<Slab> decompose_dim0(std::int64_t extent, int ranks) {
+  SF_REQUIRE(extent >= 1, "distsim: dim-0 extent must be positive");
+  SF_REQUIRE(ranks >= 1 && ranks <= extent,
+             "distsim: rank count " + std::to_string(ranks) +
+                 " infeasible for extent " + std::to_string(extent));
+  std::vector<Slab> slabs;
+  slabs.reserve(static_cast<size_t>(ranks));
+  for (int r = 0; r < ranks; ++r) {
+    slabs.push_back(Slab{extent * r / ranks, extent * (r + 1) / ranks});
+  }
+  return slabs;
+}
+
+std::optional<Stencil> clip_stencil_rows(const Stencil& stencil,
+                                         const Index& global_shape,
+                                         const Slab& slab, std::int64_t halo,
+                                         std::int64_t row_lo,
+                                         std::int64_t row_hi) {
+  if (row_hi <= row_lo) return std::nullopt;
+  const ResolvedUnion domain = stencil.domain().resolve(global_shape);
+  const ResolvedRange window{row_lo, row_hi, 1};
+  const std::int64_t shift = halo - slab.lo;
+  std::vector<RectDomain> local_rects;
+  for (const auto& rect : domain.rects()) {
+    if (rect.empty()) continue;
+    const auto clipped = intersect_ranges(rect.range(0), window);
+    if (!clipped) continue;
+    Index start(rect.ranges().size()), stop(rect.ranges().size()),
+        stride(rect.ranges().size());
+    start[0] = clipped->lo + shift;
+    stop[0] = clipped->hi + shift;
+    stride[0] = clipped->stride;
+    for (size_t d = 1; d < rect.ranges().size(); ++d) {
+      start[d] = rect.range(static_cast<int>(d)).lo;
+      stop[d] = rect.range(static_cast<int>(d)).hi;
+      stride[d] = rect.range(static_cast<int>(d)).stride;
+    }
+    local_rects.emplace_back(std::move(start), std::move(stop),
+                             std::move(stride));
+  }
+  if (local_rects.empty()) return std::nullopt;
+  return Stencil(stencil.name() + "@r", stencil.expr(), stencil.output(),
+                 DomainUnion(std::move(local_rects)));
+}
+
+}  // namespace snowflake

@@ -1,0 +1,43 @@
+#pragma once
+// Dim-0 slab decomposition and per-rank domain clipping for the simulated
+// distributed backend.
+//
+// The outermost dimension is split into R contiguous slabs (balanced to
+// within one row).  Each rank's local storage is its slab plus `halo`
+// layers on both sides; clipping translates global-coordinate domains
+// into that local frame.  The clip is row-range-aware so the backend can
+// split a rank's share of a wave into an interior part (whose reads
+// provably stay inside rows the rank already holds) and a boundary part
+// (which must wait for the wave's halo messages).
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "ir/stencil.hpp"
+#include "ir/validate.hpp"
+
+namespace snowflake {
+
+struct Slab {
+  std::int64_t lo = 0;  // first owned global row of dim 0
+  std::int64_t hi = 0;  // exclusive
+  std::int64_t len() const { return hi - lo; }
+};
+
+/// Split `extent` rows into `ranks` balanced contiguous slabs.  A request
+/// larger than the extent is clamped to one row per rank (the caller logs
+/// the clamp); requires extent >= 1 and ranks >= 1 after clamping.
+std::vector<Slab> decompose_dim0(std::int64_t extent, int ranks);
+
+/// Clip `stencil`'s global domain to the global dim-0 rows
+/// [row_lo, row_hi) — which must lie inside `slab` — and translate into
+/// the rank-local frame (local row = global row - slab.lo + halo).
+/// nullopt when no domain point lands in the window.
+std::optional<Stencil> clip_stencil_rows(const Stencil& stencil,
+                                         const Index& global_shape,
+                                         const Slab& slab, std::int64_t halo,
+                                         std::int64_t row_lo,
+                                         std::int64_t row_hi);
+
+}  // namespace snowflake

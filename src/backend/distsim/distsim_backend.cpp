@@ -1,27 +1,72 @@
 #include "backend/distsim/distsim_backend.hpp"
 
+#include <chrono>
+#include <condition_variable>
 #include <cstring>
+#include <mutex>
+#include <thread>
 
 #include "analysis/dag.hpp"
-#include "domain/domain_algebra.hpp"
+#include "analysis/footprint.hpp"
+#include "backend/distsim/comm_plan.hpp"
+#include "backend/distsim/decompose.hpp"
 #include "support/error.hpp"
+#include "support/logging.hpp"
 #include "trace/trace.hpp"
 
 namespace snowflake {
 
 namespace {
 
-struct Slab {
-  std::int64_t lo = 0;  // first owned global row of dim 0
-  std::int64_t hi = 0;  // exclusive
-  std::int64_t len() const { return hi - lo; }
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// The distsim-safe subset of the caller's options for the per-rank
+/// sequential sub-compiles: tiling, fusion, the address pass and the
+/// analysis choice carry through; OpenMP scheduling, simd, temporal
+/// blocking (one run must stay one sweep per wave so the halo protocol
+/// holds) and the distributed knobs themselves are stripped.
+CompileOptions rank_options(const CompileOptions& options) {
+  CompileOptions safe = options;
+  safe.schedule = CompileOptions::Schedule::Tasks;
+  safe.simd = false;
+  safe.time_tile = 1;
+  safe.dist_ranks = 0;
+  safe.workgroup = Index();
+  return safe;
+}
+
+/// Mailbox slot for one expected message: the sender copies the payload
+/// into `buf`, then publishes by setting `epoch` under the receiver's
+/// mailbox lock.  One slot has exactly one sender and one receiver, so
+/// the buffer itself needs no lock.
+struct RecvSlot {
+  const MsgSpec* spec = nullptr;
+  std::vector<double> buf;
+  std::uint64_t epoch = 0;
 };
 
-/// Per-rank program: one compiled kernel per wave (null when the wave has
-/// no work on this rank).
-struct RankProgram {
+/// Sub-programs of one wave on one rank.  `pre` runs before the wave's
+/// messages are awaited (the full program when the wave needs no
+/// exchange, the interior split under dist_overlap); `post` runs after
+/// unpacking (the boundary split, or the full program when overlap is
+/// off).  Either may be null when no domain point lands in its window.
+struct WaveKernels {
+  std::unique_ptr<CompiledKernel> pre;
+  std::unique_ptr<CompiledKernel> post;
+};
+
+struct RankState {
   GridSet grids;  // private local storage: (len + 2H) x S[1..]
-  std::vector<std::unique_ptr<CompiledKernel>> wave_kernels;
+  std::vector<WaveKernels> waves;
+  std::vector<std::vector<const MsgSpec*>> sends;  // [wave] -> my sends
+  std::vector<std::vector<RecvSlot>> recvs;        // [wave] -> my slots
+  std::mutex mail_mu;
+  std::condition_variable mail_cv;
+  DistSimKernelInfo::RankStats stats;
+  std::thread worker;
 };
 
 class DistSimKernel final : public CompiledKernel, public DistSimKernelInfo {
@@ -29,10 +74,12 @@ public:
   DistSimKernel(const StencilGroup& group, const ShapeMap& shapes,
                 const CompileOptions& options) {
     validate_group(group, shapes);
-    const Schedule schedule = greedy_schedule(group, shapes);
+    const Schedule schedule =
+        options.barrier_per_stencil ? barrier_per_stencil_schedule(group, shapes)
+                                    : greedy_schedule(group, shapes);
+    overlap_ = options.dist_overlap;
 
     // --- scope checks (see header) -------------------------------------
-    grid_names_ = std::vector<std::string>();
     const auto grids = group.grids();
     grid_names_.assign(grids.begin(), grids.end());
     global_shape_ = shapes.at(grid_names_.front());
@@ -59,58 +106,108 @@ public:
     // --- decomposition ---------------------------------------------------
     ranks_ = options.dist_ranks > 0 ? options.dist_ranks : 2;
     const std::int64_t extent = global_shape_[0];
-    SF_REQUIRE(extent >= ranks_, "distsim: dim-0 extent " +
-                                     std::to_string(extent) + " < " +
-                                     std::to_string(ranks_) + " ranks");
-    for (int r = 0; r < ranks_; ++r) {
-      slabs_.push_back(Slab{extent * r / ranks_, extent * (r + 1) / ranks_});
+    if (extent < ranks_) {
+      SF_LOG_WARN("distsim: "
+                  << ranks_ << " ranks requested but dim-0 extent is only "
+                  << extent << "; clamping to " << extent
+                  << " single-row slabs");
+      ranks_ = static_cast<int>(extent);
     }
-    // The halo exchange copies exactly one neighbor hop, so a slab thinner
-    // than the halo depth would silently serve stale rows for the part of a
-    // neighbor's halo it does not own.  Refuse such decompositions cleanly
-    // instead of computing wrong values.
-    for (int r = 0; r < ranks_; ++r) {
-      SF_REQUIRE(
-          slabs_[static_cast<size_t>(r)].len() >= halo_,
-          "distsim: rank " + std::to_string(r) + " slab [" +
-              std::to_string(slabs_[static_cast<size_t>(r)].lo) + ", " +
-              std::to_string(slabs_[static_cast<size_t>(r)].hi) + ") has " +
-              std::to_string(slabs_[static_cast<size_t>(r)].len()) +
-              " rows, fewer than the stencil halo depth " +
-              std::to_string(halo_) +
-              " — the one-hop halo exchange cannot serve it; use fewer "
-              "ranks or a larger dim-0 extent");
-    }
+    slabs_ = decompose_dim0(extent, ranks_);
     row_doubles_ = 1;
     for (size_t d = 1; d < global_shape_.size(); ++d) {
       row_doubles_ *= global_shape_[d];
     }
 
-    // --- per-rank clipped programs ---------------------------------------
+    // --- communication plan ----------------------------------------------
+    const CommFootprint footprint =
+        comm_footprint(group, schedule, options.dist_prune);
+    plan_ = build_comm_plan(footprint, grid_names_, slabs_, halo_);
+
+    // --- per-rank clipped sub-programs -----------------------------------
     Backend& cseq = Backend::get("c");
-    programs_.resize(static_cast<size_t>(ranks_));
+    const CompileOptions sub_options = rank_options(options);
+    ranks_state_ =
+        std::vector<std::unique_ptr<RankState>>(static_cast<size_t>(ranks_));
     for (int r = 0; r < ranks_; ++r) {
-      RankProgram& prog = programs_[static_cast<size_t>(r)];
+      ranks_state_[static_cast<size_t>(r)] = std::make_unique<RankState>();
+      RankState& rs = *ranks_state_[static_cast<size_t>(r)];
+      const Slab& slab = slabs_[static_cast<size_t>(r)];
       Index local_shape = global_shape_;
-      local_shape[0] = slabs_[static_cast<size_t>(r)].len() + 2 * halo_;
+      local_shape[0] = slab.len() + 2 * halo_;
       ShapeMap local_shapes;
       for (const auto& g : grid_names_) {
-        prog.grids.add_zeros(g, local_shape);
+        rs.grids.add_zeros(g, local_shape);
         local_shapes[g] = local_shape;
       }
-      for (const auto& wave : schedule.waves) {
-        StencilGroup local_group;
-        for (size_t s : wave.stencils) {
-          auto clipped = clip_stencil(group[s], r);
-          if (clipped) local_group.append(std::move(*clipped));
+      rs.waves.resize(schedule.waves.size());
+      rs.sends.resize(schedule.waves.size());
+      rs.recvs.resize(schedule.waves.size());
+      for (size_t w = 0; w < schedule.waves.size(); ++w) {
+        const WaveExchange& ex = plan_.waves[w];
+        // Row windows of the pre/post split (global coordinates).
+        std::int64_t in_lo = slab.lo, in_hi = slab.hi;
+        if (ex.any() && overlap_) {
+          if (r > 0) in_lo = std::min(slab.lo + ex.margin, slab.hi);
+          if (r + 1 < ranks_) in_hi = std::max(slab.hi - ex.margin, in_lo);
         }
-        if (local_group.empty()) {
-          prog.wave_kernels.push_back(nullptr);
-        } else {
-          prog.wave_kernels.push_back(
-              cseq.compile(local_group, local_shapes, CompileOptions{}));
+        StencilGroup pre_g, post_g;
+        for (size_t s : schedule.waves[w].stencils) {
+          const auto add = [&](StencilGroup* dst, std::int64_t lo,
+                               std::int64_t hi) {
+            auto clipped = clip_stencil_rows(group[s], global_shape_, slab,
+                                             halo_, lo, hi);
+            if (clipped) dst->append(std::move(*clipped));
+          };
+          if (!ex.any()) {
+            add(&pre_g, slab.lo, slab.hi);
+          } else if (!overlap_) {
+            add(&post_g, slab.lo, slab.hi);
+          } else {
+            add(&pre_g, in_lo, in_hi);
+            add(&post_g, slab.lo, in_lo);
+            add(&post_g, in_hi, slab.hi);
+          }
+        }
+        if (!pre_g.empty()) {
+          rs.waves[w].pre = cseq.compile(pre_g, local_shapes, sub_options);
+        }
+        if (!post_g.empty()) {
+          rs.waves[w].post = cseq.compile(post_g, local_shapes, sub_options);
         }
       }
+    }
+
+    // --- mailboxes ---------------------------------------------------------
+    for (size_t w = 0; w < plan_.waves.size(); ++w) {
+      for (const MsgSpec& m : plan_.waves[w].msgs) {
+        RankState& src = *ranks_state_[static_cast<size_t>(m.src)];
+        RankState& dst = *ranks_state_[static_cast<size_t>(m.dst)];
+        src.sends[w].push_back(&m);
+        if (dst.recvs[w].size() <= m.dst_slot) {
+          dst.recvs[w].resize(m.dst_slot + 1);
+        }
+        RecvSlot& slot = dst.recvs[w][m.dst_slot];
+        slot.spec = &m;
+        slot.buf.resize(static_cast<size_t>(m.rows * row_doubles_));
+      }
+    }
+
+    // --- persistent workers (spawned last: the ctor may throw above) ------
+    for (int r = 0; r < ranks_; ++r) {
+      ranks_state_[static_cast<size_t>(r)]->worker =
+          std::thread([this, r] { worker_loop(r); });
+    }
+  }
+
+  ~DistSimKernel() override {
+    {
+      std::lock_guard<std::mutex> lock(run_mu_);
+      shutdown_ = true;
+    }
+    run_cv_.notify_all();
+    for (auto& rs : ranks_state_) {
+      if (rs->worker.joinable()) rs->worker.join();
     }
   }
 
@@ -120,26 +217,47 @@ public:
     for (const auto& g : grid_names_) shapes[g] = global_shape_;
     const std::vector<double*> global =
         Backend::bind_grids(grids, shapes, grid_names_);
-    last_halo_bytes_ = 0.0;
 
-    scatter(global);
-    const size_t waves = programs_[0].wave_kernels.size();
-    for (size_t w = 0; w < waves; ++w) {
-      trace::Span span(
-          trace::enabled() ? "distsim:wave:" + std::to_string(w)
-                           : std::string(),
-          "run");
-      if (w > 0 && halo_ > 0) exchange_halos();
-#pragma omp parallel for schedule(static)
-      for (int r = 0; r < ranks_; ++r) {
-        auto& kernel = programs_[static_cast<size_t>(r)].wave_kernels[w];
-        if (kernel) kernel->run(programs_[static_cast<size_t>(r)].grids, params);
-      }
+    {
+      std::lock_guard<std::mutex> lock(run_mu_);
+      run_global_ = &global;
+      run_params_ = &params;
+      done_count_ = 0;
+      ++epoch_;
     }
-    gather(global);
+    run_cv_.notify_all();
+    {
+      std::unique_lock<std::mutex> lock(run_mu_);
+      done_cv_.wait(lock, [&] { return done_count_ == ranks_; });
+    }
+
+    last_halo_bytes_ = 0.0;
+    last_halo_messages_ = 0;
+    for (const auto& rs : ranks_state_) {
+      last_halo_bytes_ += rs->stats.bytes_sent;
+      last_halo_messages_ += rs->stats.messages_sent;
+    }
+    auto& collector = trace::TraceCollector::instance();
+    collector.increment("distsim.halo_bytes", last_halo_bytes_);
+    collector.increment("distsim.halo_messages",
+                        static_cast<double>(last_halo_messages_));
   }
 
   std::string backend_name() const override { return "distsim"; }
+
+  /// Concatenated generated C of rank 0's sub-programs (tests assert the
+  /// per-rank compiles stay sequential — no OpenMP pragma may appear).
+  std::string source() const override {
+    std::string out;
+    const RankState& rs = *ranks_state_.front();
+    for (size_t w = 0; w < rs.waves.size(); ++w) {
+      for (const CompiledKernel* k :
+           {rs.waves[w].pre.get(), rs.waves[w].post.get()}) {
+        if (k != nullptr) out += k->source();
+      }
+    }
+    return out;
+  }
 
   int ranks() const override { return ranks_; }
   std::int64_t halo_depth() const override { return halo_; }
@@ -149,89 +267,178 @@ public:
     return out;
   }
   double last_halo_bytes() const override { return last_halo_bytes_; }
-
-private:
-  /// Clip a stencil's global domain to rank r's owned slab and translate
-  /// into local coordinates; nullopt when no point lands on the rank.
-  std::optional<Stencil> clip_stencil(const Stencil& stencil, int r) const {
-    const Slab& slab = slabs_[static_cast<size_t>(r)];
-    const ResolvedUnion domain = stencil.domain().resolve(global_shape_);
-    const ResolvedRange owned{slab.lo, slab.hi, 1};
-    const std::int64_t shift = halo_ - slab.lo;
-    std::vector<RectDomain> local_rects;
-    for (const auto& rect : domain.rects()) {
-      if (rect.empty()) continue;
-      const auto clipped = intersect_ranges(rect.range(0), owned);
-      if (!clipped) continue;
-      Index start(rect.ranges().size()), stop(rect.ranges().size()),
-          stride(rect.ranges().size());
-      start[0] = clipped->lo + shift;
-      stop[0] = clipped->hi + shift;
-      stride[0] = clipped->stride;
-      for (size_t d = 1; d < rect.ranges().size(); ++d) {
-        start[d] = rect.range(static_cast<int>(d)).lo;
-        stop[d] = rect.range(static_cast<int>(d)).hi;
-        stride[d] = rect.range(static_cast<int>(d)).stride;
-      }
-      local_rects.emplace_back(std::move(start), std::move(stop),
-                               std::move(stride));
-    }
-    if (local_rects.empty()) return std::nullopt;
-    return Stencil(stencil.name() + "@r" + std::to_string(r), stencil.expr(),
-                   stencil.output(), DomainUnion(std::move(local_rects)));
+  std::int64_t last_halo_messages() const override {
+    return last_halo_messages_;
+  }
+  std::vector<RankStats> last_rank_stats() const override {
+    std::vector<RankStats> out;
+    for (const auto& rs : ranks_state_) out.push_back(rs->stats);
+    return out;
+  }
+  size_t wave_count() const override { return plan_.waves.size(); }
+  std::vector<std::string> exchanged_grids(size_t wave) const override {
+    std::vector<std::string> out;
+    if (wave >= plan_.waves.size()) return out;
+    for (size_t gi : plan_.waves[wave].grids) out.push_back(grid_names_[gi]);
+    return out;
   }
 
-  double* local_row(int rank, const std::string& grid, std::int64_t local_row_idx) {
-    Grid& g = programs_[static_cast<size_t>(rank)].grids.at(grid);
+private:
+  double* local_row(int rank, size_t grid_index, std::int64_t local_row_idx) {
+    Grid& g = ranks_state_[static_cast<size_t>(rank)]->grids.at(
+        grid_names_[grid_index]);
     return g.data() + local_row_idx * row_doubles_;
   }
 
-  void scatter(const std::vector<double*>& global) {
-    for (int r = 0; r < ranks_; ++r) {
-      const Slab& slab = slabs_[static_cast<size_t>(r)];
-      // Copy owned rows plus any in-bounds halo rows in one shot.
-      const std::int64_t g_lo = std::max<std::int64_t>(0, slab.lo - halo_);
-      const std::int64_t g_hi =
-          std::min<std::int64_t>(global_shape_[0], slab.hi + halo_);
-      for (size_t gi = 0; gi < grid_names_.size(); ++gi) {
-        double* dst = local_row(r, grid_names_[gi], g_lo - slab.lo + halo_);
-        const double* src = global[gi] + g_lo * row_doubles_;
-        std::memcpy(dst, src,
-                    static_cast<size_t>((g_hi - g_lo) * row_doubles_) *
-                        sizeof(double));
+  // --- SPMD per-rank program (runs on the worker threads) -----------------
+
+  void worker_loop(int r) {
+    std::uint64_t seen = 0;
+    for (;;) {
+      const std::vector<double*>* global = nullptr;
+      const ParamMap* params = nullptr;
+      {
+        std::unique_lock<std::mutex> lock(run_mu_);
+        run_cv_.wait(lock, [&] { return shutdown_ || epoch_ > seen; });
+        if (shutdown_) return;
+        seen = epoch_;
+        global = run_global_;
+        params = run_params_;
       }
+      run_rank(r, seen, *global, *params);
+      {
+        std::lock_guard<std::mutex> lock(run_mu_);
+        ++done_count_;
+      }
+      done_cv_.notify_all();
     }
   }
 
-  void gather(const std::vector<double*>& global) {
-    for (int r = 0; r < ranks_; ++r) {
-      const Slab& slab = slabs_[static_cast<size_t>(r)];
-      for (size_t gi = 0; gi < grid_names_.size(); ++gi) {
-        const double* src = local_row(r, grid_names_[gi], halo_);
-        double* dst = global[gi] + slab.lo * row_doubles_;
-        std::memcpy(dst, src,
-                    static_cast<size_t>(slab.len() * row_doubles_) *
-                        sizeof(double));
+  void run_rank(int r, std::uint64_t epoch, const std::vector<double*>& global,
+                const ParamMap& params) {
+    RankState& rs = *ranks_state_[static_cast<size_t>(r)];
+    rs.stats = RankStats{};
+    const bool traced = trace::enabled();
+    const std::string tag = traced ? "distsim:r" + std::to_string(r) : "";
+
+    scatter_rank(r, global);
+    // Every rank must finish reading the global grids before any rank's
+    // gather may overwrite them (a comm-free rank could race ahead).
+    barrier_wait();
+
+    for (size_t w = 0; w < rs.waves.size(); ++w) {
+      const WaveExchange& ex = plan_.waves[w];
+      if (ex.any()) post_sends(r, w, epoch);
+      if (rs.waves[w].pre) {
+        trace::Span span(traced ? tag + ":w" + std::to_string(w) + ":compute"
+                                : std::string(),
+                         "dist-compute");
+        const auto t0 = std::chrono::steady_clock::now();
+        rs.waves[w].pre->run(rs.grids, params);
+        rs.stats.compute_seconds += seconds_since(t0);
       }
+      if (ex.any()) await_and_unpack(r, w, epoch);
+      if (rs.waves[w].post) {
+        trace::Span span(traced ? tag + ":w" + std::to_string(w) + ":boundary"
+                                : std::string(),
+                         "dist-compute");
+        const auto t0 = std::chrono::steady_clock::now();
+        rs.waves[w].post->run(rs.grids, params);
+        rs.stats.compute_seconds += seconds_since(t0);
+      }
+    }
+    gather_rank(r, global);
+  }
+
+  void post_sends(int r, size_t w, std::uint64_t epoch) {
+    RankState& rs = *ranks_state_[static_cast<size_t>(r)];
+    if (rs.sends[w].empty()) return;
+    trace::Span span(trace::enabled() ? "distsim:r" + std::to_string(r) +
+                                            ":w" + std::to_string(w) + ":send"
+                                      : std::string(),
+                     "dist-comm");
+    const auto t0 = std::chrono::steady_clock::now();
+    double bytes = 0.0;
+    for (const MsgSpec* m : rs.sends[w]) {
+      RankState& dst = *ranks_state_[static_cast<size_t>(m->dst)];
+      RecvSlot& slot = dst.recvs[w][m->dst_slot];
+      const size_t doubles = static_cast<size_t>(m->rows * row_doubles_);
+      std::memcpy(slot.buf.data(), local_row(r, m->grid_index, m->src_row),
+                  doubles * sizeof(double));
+      {
+        std::lock_guard<std::mutex> lock(dst.mail_mu);
+        slot.epoch = epoch;
+      }
+      dst.mail_cv.notify_all();
+      bytes += static_cast<double>(doubles) * sizeof(double);
+      ++rs.stats.messages_sent;
+    }
+    rs.stats.bytes_sent += bytes;
+    rs.stats.pack_seconds += seconds_since(t0);
+    span.counter("bytes", bytes);
+  }
+
+  void await_and_unpack(int r, size_t w, std::uint64_t epoch) {
+    RankState& rs = *ranks_state_[static_cast<size_t>(r)];
+    if (rs.recvs[w].empty()) return;
+    trace::Span span(trace::enabled() ? "distsim:r" + std::to_string(r) +
+                                            ":w" + std::to_string(w) + ":wait"
+                                      : std::string(),
+                     "dist-comm");
+    const auto t0 = std::chrono::steady_clock::now();
+    {
+      std::unique_lock<std::mutex> lock(rs.mail_mu);
+      rs.mail_cv.wait(lock, [&] {
+        for (const RecvSlot& slot : rs.recvs[w]) {
+          if (slot.epoch != epoch) return false;
+        }
+        return true;
+      });
+    }
+    for (const RecvSlot& slot : rs.recvs[w]) {
+      std::memcpy(local_row(r, slot.spec->grid_index, slot.spec->dst_row),
+                  slot.buf.data(),
+                  static_cast<size_t>(slot.spec->rows * row_doubles_) *
+                      sizeof(double));
+    }
+    rs.stats.wait_seconds += seconds_since(t0);
+  }
+
+  void scatter_rank(int r, const std::vector<double*>& global) {
+    const Slab& slab = slabs_[static_cast<size_t>(r)];
+    // Copy owned rows plus any in-bounds halo rows in one shot.
+    const std::int64_t g_lo = std::max<std::int64_t>(0, slab.lo - halo_);
+    const std::int64_t g_hi =
+        std::min<std::int64_t>(global_shape_[0], slab.hi + halo_);
+    for (size_t gi = 0; gi < grid_names_.size(); ++gi) {
+      double* dst = local_row(r, gi, g_lo - slab.lo + halo_);
+      const double* src = global[gi] + g_lo * row_doubles_;
+      std::memcpy(dst, src,
+                  static_cast<size_t>((g_hi - g_lo) * row_doubles_) *
+                      sizeof(double));
     }
   }
 
-  void exchange_halos() {
-    const size_t bytes =
-        static_cast<size_t>(halo_ * row_doubles_) * sizeof(double);
-    for (int r = 0; r + 1 < ranks_; ++r) {
-      const std::int64_t len_r = slabs_[static_cast<size_t>(r)].len();
-      const std::int64_t len_r1 = slabs_[static_cast<size_t>(r + 1)].len();
-      (void)len_r1;
-      for (const auto& g : grid_names_) {
-        // r's last owned rows -> (r+1)'s bottom halo.
-        std::memcpy(local_row(r + 1, g, 0), local_row(r, g, len_r),
-                    bytes);
-        // (r+1)'s first owned rows -> r's top halo.
-        std::memcpy(local_row(r, g, halo_ + len_r),
-                    local_row(r + 1, g, halo_), bytes);
-        last_halo_bytes_ += 2.0 * static_cast<double>(bytes);
-      }
+  void gather_rank(int r, const std::vector<double*>& global) {
+    const Slab& slab = slabs_[static_cast<size_t>(r)];
+    for (size_t gi = 0; gi < grid_names_.size(); ++gi) {
+      const double* src = local_row(r, gi, halo_);
+      double* dst = global[gi] + slab.lo * row_doubles_;
+      std::memcpy(dst, src,
+                  static_cast<size_t>(slab.len() * row_doubles_) *
+                      sizeof(double));
+    }
+  }
+
+  void barrier_wait() {
+    std::unique_lock<std::mutex> lock(run_mu_);
+    if (++barrier_count_ == ranks_) {
+      barrier_count_ = 0;
+      ++barrier_gen_;
+      barrier_cv_.notify_all();
+    } else {
+      const std::uint64_t gen = barrier_gen_;
+      barrier_cv_.wait(lock, [&] { return barrier_gen_ != gen; });
     }
   }
 
@@ -239,10 +446,25 @@ private:
   Index global_shape_;
   std::int64_t halo_ = 0;
   int ranks_ = 0;
+  bool overlap_ = true;
   std::vector<Slab> slabs_;
   std::int64_t row_doubles_ = 1;
-  std::vector<RankProgram> programs_;
+  CommPlan plan_;
+  std::vector<std::unique_ptr<RankState>> ranks_state_;
+
+  // Run orchestration (workers block on run_cv_ between runs).
+  std::mutex run_mu_;
+  std::condition_variable run_cv_, done_cv_, barrier_cv_;
+  std::uint64_t epoch_ = 0;
+  int done_count_ = 0;
+  int barrier_count_ = 0;
+  std::uint64_t barrier_gen_ = 0;
+  bool shutdown_ = false;
+  const std::vector<double*>* run_global_ = nullptr;
+  const ParamMap* run_params_ = nullptr;
+
   double last_halo_bytes_ = 0.0;
+  std::int64_t last_halo_messages_ = 0;
 };
 
 class DistSimBackend final : public Backend {

@@ -4,36 +4,78 @@
 // SUBSTITUTION (see DESIGN.md): the paper's §VII plans MPI / UPC++
 // backends ("one process per NUMA node").  No multi-node system exists in
 // this environment, so this backend reproduces the *structure* of that
-// port in one process: the outermost dimension is partitioned into R
-// contiguous slabs, each rank owns private copies of every grid (slab plus
-// halo layers — separate allocations, i.e. separate address spaces), wave
-// barriers become rank joins, and halo exchange is an explicit copy
-// between neighbouring ranks' storage before every wave.  Each rank's
-// clipped stencil program is compiled by the sequential C micro-compiler;
-// ranks execute concurrently under OpenMP.
+// port in one process as an SPMD runtime: the outermost dimension is
+// partitioned into R contiguous slabs, each rank is a persistent worker
+// thread owning private copies of every grid (slab plus halo layers —
+// separate allocations, i.e. separate address spaces), and all data
+// motion is point-to-point packed messages through per-rank mailboxes.
+// There is no global orchestrator between waves: each rank posts its
+// sends, computes the interior sub-program of the wave (split off at
+// compile time so it provably reads no halo row), then waits for its
+// expected messages and finishes the boundary sub-program — communication
+// overlapped with computation, the way an MPI_Isend/Irecv port would do
+// it (CompileOptions::dist_overlap ablates the split).
+//
+// The exchange is pruned by the dependence footprint
+// (analysis/footprint.hpp): grids no wave writes are distributed once and
+// never re-sent, and each grid travels only as deep as the next wave
+// reads it (CompileOptions::dist_prune ablates this).  Messages are
+// owner-direct, so slabs thinner than the halo depth draw from ranks
+// further away instead of being rejected ("multi-hop").  A rank count
+// larger than the dim-0 extent is clamped to one row per rank with a
+// logged warning.
 //
 // Scope: groups whose grids share one shape, whose reads are pure offsets,
 // and whose stencils are all point-parallel (the decomposable common case;
 // restriction/interpolation and sequential scans are rejected with a clear
 // error).  The domain algebra does the heavy lifting: per-rank programs
 // are the *exact* clip-and-translate images of the global domains, so
-// boundary stencils land only on edge ranks automatically.
+// boundary stencils land only on edge ranks automatically.  Per-rank
+// sub-programs are compiled by the sequential C micro-compiler with the
+// caller's schedule-neutral options (tiling, fusion, addr_opt, analysis
+// choice) threaded through; OpenMP-only options are stripped so a rank
+// can never nest a second parallel runtime under its worker thread.
 
 #include "backend/backend.hpp"
 
 namespace snowflake {
 
-/// Introspection for tests/benches: decomposition geometry of a compiled
-/// distsim kernel (dynamic_cast from CompiledKernel).
+/// Introspection for tests/benches/examples: decomposition geometry and
+/// communication accounting of a compiled distsim kernel (dynamic_cast
+/// from CompiledKernel).
 class DistSimKernelInfo {
 public:
+  /// Per-rank timing/traffic of the last run() (seconds / bytes).
+  struct RankStats {
+    double pack_seconds = 0.0;     // packing + delivering sends
+    double wait_seconds = 0.0;     // blocked on the mailbox + unpacking
+    double compute_seconds = 0.0;  // interior + boundary sub-programs
+    double bytes_sent = 0.0;       // payload bytes this rank delivered
+    std::int64_t messages_sent = 0;
+  };
+
   virtual ~DistSimKernelInfo() = default;
   virtual int ranks() const = 0;
   virtual std::int64_t halo_depth() const = 0;
   /// [start, end) global rows of dim 0 owned by each rank.
   virtual std::vector<std::pair<std::int64_t, std::int64_t>> slabs() const = 0;
-  /// Bytes moved by halo exchange in the last run().
+
+  /// Payload bytes moved by halo messages in the last run().  Since the
+  /// exchange is pruned, this counts only grids a wave actually reads
+  /// across a slab boundary after some earlier wave wrote them — grids
+  /// that are never written (coefficients, rhs) are distributed by the
+  /// initial scatter and never counted again.
   virtual double last_halo_bytes() const = 0;
+  /// Messages delivered in the last run().
+  virtual std::int64_t last_halo_messages() const = 0;
+  /// Per-rank comm-vs-compute attribution of the last run().
+  virtual std::vector<RankStats> last_rank_stats() const = 0;
+
+  /// Number of barrier waves of the compiled schedule.
+  virtual size_t wave_count() const = 0;
+  /// Names of the grids exchanged before wave `w` (empty for wave 0 and
+  /// for waves whose reads are all served locally).
+  virtual std::vector<std::string> exchanged_grids(size_t wave) const = 0;
 };
 
 }  // namespace snowflake

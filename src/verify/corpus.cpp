@@ -42,17 +42,18 @@ CorpusEntry pr3_rank1_for_simd() {
   return e;
 }
 
-/// Distsim decomposed a dim-0 extent of 8 over 6 ranks into slabs of 1-2
-/// rows — thinner than the radius-2 halo — and the one-hop halo exchange
+/// Distsim decomposes a dim-0 extent of 8 over 6 ranks into slabs of 1-2
+/// rows — thinner than the radius-2 halo.  PR 4's one-hop exchange
 /// silently served stale rows to the second wave (two adjacent length-1
 /// slabs sit mid-interior, so a radius-2 read crosses two rank
-/// boundaries).  The backend now refuses the decomposition; this entry
-/// pins the clean rejection, and losing the guard makes the replay fail
-/// with actually-wrong values.
+/// boundaries) and had to reject the decomposition.  The owner-direct
+/// multi-hop exchange serves the deep halo from ranks further away, so
+/// this entry now pins the exact *answer*: a regression back to stale
+/// rows makes the replay fail with actually-wrong values.
 CorpusEntry distsim_thin_slab() {
   CorpusEntry e;
   e.name = "distsim-thin-slab";
-  e.note = "thin-slab halo exchange served stale rows (guarded this PR)";
+  e.note = "thin slabs under a radius-2 halo (multi-hop exchange)";
   for (const char* g : {"x", "mid", "out"}) {
     e.program.grids[g] = spec({8, 7}, g);
   }
@@ -67,7 +68,6 @@ CorpusEntry distsim_thin_slab() {
   CompileOptions o;
   o.dist_ranks = 6;
   e.variant = variant("distsim/r6", "distsim", o);
-  e.expect_rejected = true;
   return e;
 }
 

@@ -122,6 +122,33 @@ std::vector<Variant> variant_matrix() {
     o.dist_ranks = 3;
     m.push_back(make("distsim/r3", "distsim", o));
   }
+  // SPMD runtime ablations: high rank counts exercise the multi-hop
+  // exchange (thin slabs), and the overlap/prune toggles must never change
+  // answers — only traffic and schedule.
+  {
+    CompileOptions o = base();
+    o.dist_ranks = 5;
+    m.push_back(make("distsim/r5", "distsim", o));
+  }
+  {
+    CompileOptions o = base();
+    o.dist_ranks = 3;
+    o.dist_overlap = false;
+    m.push_back(make("distsim/r3-nooverlap", "distsim", o));
+  }
+  {
+    CompileOptions o = base();
+    o.dist_ranks = 3;
+    o.dist_prune = false;
+    m.push_back(make("distsim/r3-noprune", "distsim", o));
+  }
+  {
+    CompileOptions o = base();
+    o.dist_ranks = 5;
+    o.dist_overlap = false;
+    o.dist_prune = false;
+    m.push_back(make("distsim/r5-baseline", "distsim", o));
+  }
 
   return m;
 }

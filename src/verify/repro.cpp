@@ -129,6 +129,8 @@ void emit_options(const Variant& variant, int rank, std::ostringstream& os) {
   if (o.dist_ranks != d.dist_ranks) {
     os << "  opt.dist_ranks = " << o.dist_ranks << ";\n";
   }
+  if (o.dist_overlap != d.dist_overlap) os << "  opt.dist_overlap = false;\n";
+  if (o.dist_prune != d.dist_prune) os << "  opt.dist_prune = false;\n";
 }
 
 }  // namespace

@@ -78,16 +78,29 @@ TEST(DistSim, DecompositionGeometry) {
   }
 }
 
-TEST(DistSim, HaloTrafficAccounted) {
+TEST(DistSim, HaloTrafficAccountedAndPruned) {
+  // Regression pin for the comm-accounting bugfix: the exchange used to
+  // re-copy every grid each wave, including the coefficient grids
+  // (lambda_inv, beta_*, rhs, dinv) that no wave ever writes — those are
+  // correct from scatter() forever.  The pruned exchange moves only the
+  // in-place smoother mesh 'x'.
   GridSet gs = smoother_grids(2, 16, 505);
   auto kernel = compile(mg::gsrb_smooth_group(2), gs, "distsim", with_ranks(4));
   kernel->run(gs, {{"h2inv", 4.0}});
   const auto* info = dynamic_cast<const DistSimKernelInfo*>(kernel.get());
   ASSERT_NE(info, nullptr);
-  // 4 waves -> 3 exchanges; 3 rank boundaries x 2 directions x 5 grids x
-  // 16 doubles per halo row.
-  const double expected = 3.0 * 3 * 2 * 5 * 16 * 8;
+  // 4 waves -> 3 exchanges; 3 rank boundaries x 2 directions x ONE grid
+  // (x) x depth 1 x 16 doubles per halo row.  The legacy accounting was
+  // 5x this (every grid, every wave).
+  const double expected = 3.0 * 3 * 2 * 1 * 16 * 8;
   EXPECT_DOUBLE_EQ(info->last_halo_bytes(), expected);
+  EXPECT_EQ(info->last_halo_messages(), 3 * 3 * 2);
+  // Wave 0 is served by scatter; every later wave re-sends only 'x'.
+  ASSERT_EQ(info->wave_count(), 4u);
+  EXPECT_TRUE(info->exchanged_grids(0).empty());
+  for (size_t w = 1; w < info->wave_count(); ++w) {
+    EXPECT_EQ(info->exchanged_grids(w), std::vector<std::string>{"x"}) << w;
+  }
 }
 
 TEST(DistSim, ChebyshevStepDecomposes) {
@@ -127,12 +140,11 @@ TEST(DistSim, RejectsSequentialStencils) {
                InvalidArgument);
 }
 
-TEST(DistSim, ThinSlabsRejectedCleanly) {
-  // A radius-2 stencil decomposed so that some slab has fewer rows than the
-  // halo depth: the one-hop halo exchange cannot serve such a slab's
-  // neighbors, so pre-fix the second wave silently read stale halo rows
-  // (the first wave is saved by scatter()).  The compile must now fail
-  // cleanly instead of producing wrong values.
+TEST(DistSim, ThinSlabsRunViaMultiHopExchange) {
+  // A radius-2 stencil decomposed into slabs of 1-2 rows — thinner than
+  // the halo depth.  The one-hop exchange of PR 4 had to reject this;
+  // owner-direct messages serve a deep halo from ranks further away, so
+  // the decomposition now runs and stays exact.
   GridSet gs;
   for (const std::string g : {"x", "mid", "out"}) {
     gs.add_zeros(g, {7, 7}).fill_random(fnv1a64(g), 0.5, 1.5);
@@ -147,25 +159,39 @@ TEST(DistSim, ThinSlabsRejectedCleanly) {
                            0.25 * read("mid", {2, 0}),
               "out", lib::interior_margin(2, 2)));
   // Extent 7 over 5 ranks: slabs of 1 or 2 rows, all thinner than halo 2.
-  try {
-    compile(chained, gs, "distsim", with_ranks(5));
-    FAIL() << "expected InvalidArgument for thin slabs";
-  } catch (const InvalidArgument& e) {
-    EXPECT_NE(std::string(e.what()).find("halo depth"), std::string::npos)
-        << e.what();
+  expect_matches_reference(chained, gs, {}, "distsim", with_ranks(5), 1e-12);
+  // Every feasible rank count agrees, including the one-row-per-rank edge.
+  for (int ranks : {3, 7}) {
+    expect_matches_reference(chained, gs, {}, "distsim", with_ranks(ranks),
+                             1e-12);
   }
-  // The same program on slabs at least as deep as the halo stays exact
-  // (extent 7 over 3 ranks: 2/2/3 rows, halo 2 — the boundary case).
-  expect_matches_reference(chained, gs, {}, "distsim", with_ranks(3));
+  // The deep halo crosses two slab boundaries: rank 2's bottom window of
+  // depth 2 over length-1 slabs draws one row each from ranks 0 and 1.
+  GridSet run_gs = testutil::clone(gs);
+  auto kernel = compile(chained, run_gs, "distsim", with_ranks(7));
+  kernel->run(run_gs, {});
+  const auto* info = dynamic_cast<const DistSimKernelInfo*>(kernel.get());
+  ASSERT_NE(info, nullptr);
+  EXPECT_EQ(info->halo_depth(), 2);
+  EXPECT_GT(info->last_halo_messages(), 2 * (7 - 1));
 }
 
-TEST(DistSim, RejectsTooManyRanks) {
+TEST(DistSim, ClampsTooManyRanksWithWarning) {
+  // dist_ranks larger than the dim-0 extent used to abort; it now
+  // degrades to the largest feasible decomposition (one row per rank).
   GridSet gs;
-  gs.add_zeros("x", {4, 4});
+  gs.add_zeros("x", {4, 4}).fill_random(506, -1.0, 1.0);
   gs.add_zeros("out", {4, 4});
-  EXPECT_THROW(compile(StencilGroup(lib::cc_apply(2, "x", "out")), gs,
-                       "distsim", with_ranks(8)),
-               InvalidArgument);
+  auto kernel = compile(StencilGroup(lib::cc_apply(2, "x", "out")), gs,
+                        "distsim", with_ranks(8));
+  const auto* info = dynamic_cast<const DistSimKernelInfo*>(kernel.get());
+  ASSERT_NE(info, nullptr);
+  EXPECT_EQ(info->ranks(), 4);
+  const auto slabs = info->slabs();
+  ASSERT_EQ(slabs.size(), 4u);
+  for (const auto& [lo, hi] : slabs) EXPECT_EQ(hi - lo, 1);
+  expect_matches_reference(StencilGroup(lib::cc_apply(2, "x", "out")), gs,
+                           {{"h2inv", 4.0}}, "distsim", with_ranks(8));
 }
 
 TEST(DistSim, MixedShapesRejected) {

@@ -1,0 +1,210 @@
+// Communication machinery of the distsim SPMD runtime: footprint pruning,
+// owner-direct multi-hop message plans, the overlap/prune ablation toggles,
+// caller-option threading (no nested OpenMP), per-rank comm-vs-compute
+// stats, and trace attribution.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/dag.hpp"
+#include "analysis/footprint.hpp"
+#include "backend/distsim/comm_plan.hpp"
+#include "backend/distsim/decompose.hpp"
+#include "backend/distsim/distsim_backend.hpp"
+#include "backend_test_util.hpp"
+#include "ir/validate.hpp"
+#include "multigrid/operators.hpp"
+#include "trace/trace.hpp"
+
+namespace snowflake {
+namespace {
+
+using testutil::expect_matches_reference;
+using testutil::smoother_grids;
+
+CompileOptions with_ranks(int r) {
+  CompileOptions opt;
+  opt.dist_ranks = r;
+  return opt;
+}
+
+TEST(CommFootprint, PrunesNeverWrittenGridsAndTracksDepth) {
+  const GridSet gs = smoother_grids(2, 12, 600);
+  const StencilGroup group = mg::gsrb_smooth_group(2);
+  const Schedule sched = greedy_schedule(group, shapes_of(gs));
+  const CommFootprint fp = comm_footprint(group, sched, /*prune=*/true);
+
+  ASSERT_EQ(fp.waves.size(), 4u);  // faces, red, faces, black
+  EXPECT_TRUE(fp.waves[0].empty());  // served by the initial scatter
+  for (size_t w = 1; w < fp.waves.size(); ++w) {
+    // Only the in-place mesh 'x' is ever written; the coefficient grids
+    // (rhs, lambda_inv, beta_*) never re-travel.
+    ASSERT_EQ(fp.waves[w].size(), 1u) << w;
+    EXPECT_EQ(fp.waves[w][0].grid, "x");
+    EXPECT_EQ(fp.waves[w][0].depth, 1);
+  }
+  EXPECT_EQ(fp.max_depth(), 1);
+
+  // The ablation baseline re-lists every group grid, full halo, each wave.
+  const CommFootprint all = comm_footprint(group, sched, /*prune=*/false);
+  ASSERT_EQ(all.waves.size(), 4u);
+  EXPECT_TRUE(all.waves[0].empty());
+  for (size_t w = 1; w < all.waves.size(); ++w) {
+    EXPECT_EQ(all.waves[w].size(), 5u) << w;  // x, rhs, lambda_inv, beta_0/1
+    const bool has_rhs =
+        std::any_of(all.waves[w].begin(), all.waves[w].end(),
+                    [](const WaveGridDepth& g) { return g.grid == "rhs"; });
+    EXPECT_TRUE(has_rhs) << w;
+  }
+}
+
+TEST(CommPlan, OwnerDirectMessagesCrossThinSlabs) {
+  // One-row slabs under a depth-2 halo: each rank's halo window spans two
+  // neighbouring slabs per side, so messages come from two ranks away —
+  // owner-direct delivery with no relay rounds.
+  const auto slabs = decompose_dim0(5, 5);
+  CommFootprint fp;
+  fp.waves.resize(2);
+  fp.waves[1].push_back({"g", 2});
+  const CommPlan plan = build_comm_plan(fp, {"g"}, slabs, /*halo=*/2);
+
+  ASSERT_EQ(plan.waves.size(), 2u);
+  EXPECT_FALSE(plan.waves[0].any());
+  EXPECT_EQ(plan.waves[1].margin, 2);
+
+  std::set<int> srcs_into_mid;
+  for (const MsgSpec& m : plan.waves[1].msgs) {
+    EXPECT_NE(m.src, m.dst);
+    EXPECT_EQ(m.rows, 1);  // one-row slabs can only send one row each
+    if (m.dst == 2) srcs_into_mid.insert(m.src);
+  }
+  // Rank 2's low window is global rows [0,2) (owners 0 and 1), its high
+  // window [3,5) (owners 3 and 4).
+  EXPECT_EQ(srcs_into_mid, (std::set<int>{0, 1, 3, 4}));
+}
+
+TEST(DistSimComm, PruneOffRestoresLegacyCopyEverythingTraffic) {
+  // The pre-fix exchange re-copied all five group grids before every wave;
+  // dist_prune=false keeps that behaviour as the ablation baseline and it
+  // must still be numerically exact (just wasteful).
+  GridSet gs = smoother_grids(2, 16, 505);
+  CompileOptions opt = with_ranks(4);
+  opt.dist_prune = false;
+  auto kernel = compile(mg::gsrb_smooth_group(2), gs, "distsim", opt);
+  kernel->run(gs, {{"h2inv", 4.0}});
+  const auto* info = dynamic_cast<const DistSimKernelInfo*>(kernel.get());
+  ASSERT_NE(info, nullptr);
+  // 3 exchanges x 3 boundaries x 2 directions x 5 grids x 16 doubles.
+  EXPECT_DOUBLE_EQ(info->last_halo_bytes(), 3.0 * 3 * 2 * 5 * 16 * 8);
+  expect_matches_reference(mg::gsrb_smooth_group(2), smoother_grids(2, 16, 505),
+                           {{"h2inv", 4.0}}, "distsim", opt);
+}
+
+TEST(DistSimComm, OverlapToggleIsPurePerformance) {
+  // Overlap off = post sends, wait, compute the whole wave.  Same answers,
+  // same traffic — only the schedule inside the wave changes.
+  const GridSet gs = smoother_grids(2, 14, 507);
+  CompileOptions on = with_ranks(3);
+  CompileOptions off = with_ranks(3);
+  off.dist_overlap = false;
+  expect_matches_reference(mg::gsrb_smooth_group(2), gs, {{"h2inv", 4.0}},
+                           "distsim", off);
+
+  double bytes[2];
+  int i = 0;
+  for (const CompileOptions& opt : {on, off}) {
+    GridSet run_gs = testutil::clone(gs);
+    auto kernel = compile(mg::gsrb_smooth_group(2), run_gs, "distsim", opt);
+    kernel->run(run_gs, {{"h2inv", 4.0}});
+    const auto* info = dynamic_cast<const DistSimKernelInfo*>(kernel.get());
+    ASSERT_NE(info, nullptr);
+    bytes[i++] = info->last_halo_bytes();
+  }
+  EXPECT_DOUBLE_EQ(bytes[0], bytes[1]);
+}
+
+TEST(DistSimComm, CallerOptionsThreadedWithoutNestedOpenMP) {
+  // The per-rank sub-kernels used to be compiled with default
+  // CompileOptions{}, silently dropping the caller's tiling/addr/analysis
+  // choices.  Those now thread through — but OpenMP scheduling must not:
+  // a rank already runs on its own worker thread, so nesting a parallel
+  // runtime under it is forbidden.
+  const GridSet gs = smoother_grids(2, 14, 508);
+  CompileOptions opt = with_ranks(3);
+  opt.schedule = CompileOptions::Schedule::ParallelFor;
+  opt.simd = true;
+  opt.tile = {4, 4};
+  opt.fuse_stencils = true;
+  expect_matches_reference(mg::gsrb_smooth_group(2), gs, {{"h2inv", 4.0}},
+                           "distsim", opt);
+
+  auto kernel = compile(mg::gsrb_smooth_group(2), testutil::clone(gs),
+                        "distsim", opt);
+  const std::string src = kernel->source();
+  EXPECT_FALSE(src.empty());
+  EXPECT_EQ(src.find("#pragma omp"), std::string::npos);
+}
+
+TEST(DistSimComm, RankStatsSumToKernelTotals) {
+  GridSet gs = smoother_grids(2, 16, 509);
+  auto kernel = compile(mg::gsrb_smooth_group(2), gs, "distsim", with_ranks(4));
+  kernel->run(gs, {{"h2inv", 4.0}});
+  const auto* info = dynamic_cast<const DistSimKernelInfo*>(kernel.get());
+  ASSERT_NE(info, nullptr);
+
+  const auto stats = info->last_rank_stats();
+  ASSERT_EQ(stats.size(), 4u);
+  double bytes = 0.0, compute = 0.0;
+  std::int64_t messages = 0;
+  for (const auto& s : stats) {
+    EXPECT_GE(s.pack_seconds, 0.0);
+    EXPECT_GE(s.wait_seconds, 0.0);
+    bytes += s.bytes_sent;
+    compute += s.compute_seconds;
+    messages += s.messages_sent;
+  }
+  EXPECT_DOUBLE_EQ(bytes, info->last_halo_bytes());
+  EXPECT_EQ(messages, info->last_halo_messages());
+  EXPECT_GT(compute, 0.0);  // every rank ran real sub-programs
+}
+
+class DistSimTraceTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    trace::TraceCollector::instance().clear();
+    trace::set_enabled(true);
+  }
+  void TearDown() override {
+    trace::set_enabled(false);
+    trace::TraceCollector::instance().clear();
+  }
+};
+
+TEST_F(DistSimTraceTest, SpansAttributeCommVersusComputePerRank) {
+  GridSet gs = smoother_grids(2, 14, 510);
+  auto kernel = compile(mg::gsrb_smooth_group(2), gs, "distsim", with_ranks(2));
+  kernel->run(gs, {{"h2inv", 4.0}});
+
+  bool comm = false, compute = false, per_rank = false;
+  for (const auto& s : trace::TraceCollector::instance().spans()) {
+    if (s.category == "dist-comm") comm = true;
+    if (s.category == "dist-compute") compute = true;
+    if (s.name.rfind("distsim:r1:", 0) == 0) per_rank = true;
+  }
+  EXPECT_TRUE(comm);
+  EXPECT_TRUE(compute);
+  EXPECT_TRUE(per_rank);
+
+  const auto& counters = trace::TraceCollector::instance().counters();
+  ASSERT_TRUE(counters.count("distsim.halo_bytes"));
+  EXPECT_GT(counters.at("distsim.halo_bytes"), 0.0);
+  ASSERT_TRUE(counters.count("distsim.halo_messages"));
+  EXPECT_GT(counters.at("distsim.halo_messages"), 0.0);
+}
+
+}  // namespace
+}  // namespace snowflake

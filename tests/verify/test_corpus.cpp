@@ -1,7 +1,7 @@
 // Tests for the snowcheck regression corpus and the reproducer emitter.
 // Every checked-in entry must replay green; the two latent-bug entries
-// (the PR 3 rank-1 pragma collision and the distsim thin-slab guard) are
-// additionally pinned by name so they cannot silently disappear.
+// (the PR 3 rank-1 pragma collision and the distsim thin-slab program)
+// are additionally pinned by name so they cannot silently disappear.
 
 #include <gtest/gtest.h>
 
@@ -41,15 +41,18 @@ TEST(Corpus, EveryEntryReplaysGreen) {
   }
 }
 
-TEST(Corpus, ThinSlabEntryPinsTheCleanRejection) {
+TEST(Corpus, ThinSlabEntryNowMatchesViaMultiHopExchange) {
+  // PR 4 pinned this entry as a clean rejection (one-hop exchange could
+  // not serve a radius-2 halo from 1-row slabs).  The owner-direct
+  // multi-hop exchange makes the decomposition legal, so the entry now
+  // pins the exact answer: a Rejected or Mismatch here means the deep
+  // halo regressed to stale rows.
   for (const auto& e : corpus()) {
     if (e.name != "distsim-thin-slab") continue;
-    ASSERT_TRUE(e.expect_rejected);
+    ASSERT_FALSE(e.expect_rejected);
     const DiffResult r = diff_variant(e.program, e.variant);
-    EXPECT_EQ(r.status, DiffStatus::Rejected);
-    // The rejection must be the halo-depth scope check, not some other
-    // InvalidArgument — otherwise the guard may have been lost.
-    EXPECT_NE(r.message.find("halo"), std::string::npos) << r.message;
+    EXPECT_EQ(r.status, DiffStatus::Match) << r.message;
+    EXPECT_LE(r.max_diff, 1e-12);
   }
 }
 
@@ -92,6 +95,15 @@ TEST(Repro, RoundTripsIndexMapsAndOptions) {
     }
     if (e.name == "distsim-thin-slab") {
       EXPECT_NE(src.find("opt.dist_ranks = 6;"), std::string::npos);
+      // A repro for a distsim failure must round-trip the ablation
+      // toggles too: flip them on a copy of the entry's variant.
+      Variant toggled = e.variant;
+      toggled.options.dist_overlap = false;
+      toggled.options.dist_prune = false;
+      const std::string off = emit_repro(e.program, toggled);
+      EXPECT_NE(off.find("opt.dist_overlap = false;"), std::string::npos);
+      EXPECT_NE(off.find("opt.dist_prune = false;"), std::string::npos);
+      EXPECT_EQ(src.find("opt.dist_overlap"), std::string::npos);
     }
   }
 }
