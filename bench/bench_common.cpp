@@ -11,6 +11,8 @@
 
 #include "ir/stencil_library.hpp"
 #include "roofline/stream.hpp"
+#include "support/fingerprint.hpp"
+#include "trace/history.hpp"
 #include "trace/profile.hpp"
 #include "trace/trace.hpp"
 
@@ -34,10 +36,12 @@ Args Args::parse(int argc, char** argv) {
       trace::enable_metrics_dump();
     } else if (std::strncmp(a, "--json=", 7) == 0) {
       JsonReport::instance().enable(a + 7);
+    } else if (std::strncmp(a, "--perf-db=", 10) == 0) {
+      setenv("SNOWFLAKE_PERF_DB", a + 10, 1);
     } else if (std::strcmp(a, "--help") == 0) {
       std::printf(
           "options: --n=<size> --sweeps=<reps> --paper --trace=<out.json> "
-          "--metrics --json=<out.json>\n");
+          "--metrics --json=<out.json> --perf-db=<ledger.jsonl>\n");
       std::exit(0);
     }
   }
@@ -74,6 +78,23 @@ void JsonReport::record_min(const std::string& label, double seconds) {
 
 void JsonReport::flush() const {
   if (path_.empty()) return;
+  // Mirror each row into the persistent perf ledger exactly once, so the
+  // atexit flush after an explicit flush() does not duplicate history.
+  if (const std::string db = trace::perf_db_path();
+      !db.empty() && ledger_rows_written_ < rows_.size()) {
+    std::vector<std::string> lines;
+    for (size_t i = ledger_rows_written_; i < rows_.size(); ++i) {
+      const Row& r = rows_[i];
+      if (r.seconds <= 0.0) continue;  // informational rows stay out
+      lines.push_back(trace::bench_ledger_line(r.label, r.seconds, r.gbps,
+                                               r.roofline_pct));
+    }
+    std::string error;
+    if (!trace::PerfLedger(db).append(lines, &error)) {
+      std::fprintf(stderr, "bench: %s\n", error.c_str());
+    }
+    ledger_rows_written_ = rows_.size();
+  }
   FILE* f = std::fopen(path_.c_str(), "w");
   if (!f) {
     std::fprintf(stderr, "bench: cannot write --json file %s\n", path_.c_str());
@@ -128,6 +149,7 @@ double host_bandwidth() {
   static const double bw = [] {
     const double b = measure_stream_dot(1u << 24, 4).best_bytes_per_s;
     trace::ProfileRegistry::instance().set_reference_bandwidth(b);
+    set_measured_bandwidth(b);  // informative field of the fingerprint
     return b;
   }();
   return bw;
@@ -218,6 +240,8 @@ int gbench_main(int argc, char** argv) {
     const char* a = argv[i];
     if (std::strncmp(a, "--json=", 7) == 0) {
       JsonReport::instance().enable(a + 7);
+    } else if (std::strncmp(a, "--perf-db=", 10) == 0) {
+      setenv("SNOWFLAKE_PERF_DB", a + 10, 1);
     } else if (std::strncmp(a, "--trace=", 8) == 0) {
       trace::enable_trace_file(a + 8);
     } else if (std::strcmp(a, "--metrics") == 0) {

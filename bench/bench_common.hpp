@@ -13,6 +13,8 @@
 //   --metrics      dump trace counters + kernel profiles to stderr at exit
 //   --json=<f>     write machine-readable results to <f> at exit (rows the
 //                  bench records via JsonReport; schema snowflake-bench-v1)
+//   --perf-db=<f>  append results to the persistent perf ledger <f>
+//                  (equivalent to setting $SNOWFLAKE_PERF_DB)
 
 #include <cstdint>
 #include <functional>
@@ -63,6 +65,11 @@ struct BenchLevel {
 ///                 "roofline_pct": ...}, ...]}
 /// record() is a no-op until enable() is called, so benches can record
 /// unconditionally.  Pass 0 for gbps / roofline_pct when not meaningful.
+///
+/// When $SNOWFLAKE_PERF_DB is set (or --perf-db=<f> was passed), flush()
+/// also appends each row once to the persistent perf ledger as a
+/// kind=bench entry, so successive bench runs build the trend history
+/// tools/snowreport renders and check_bench --history gates against.
 class JsonReport {
 public:
   static JsonReport& instance();
@@ -85,6 +92,7 @@ private:
   };
   std::string path_;
   std::vector<Row> rows_;
+  mutable size_t ledger_rows_written_ = 0;  // flush() appends each row once
 };
 
 /// Fixed-width table printer.

@@ -4,9 +4,12 @@
 // lowered plan, traffic estimates, and the exact C each micro-compiler
 // emits.
 //
-// Usage: inspect_kernel [group] [n] [--source=<backend>]
+// Usage: inspect_kernel [group] [n] [--source=<backend>] [--run=<sweeps>]
 //   group: smooth | residual | apply | jacobi | boundary | restrict | interp
 //   n:     interior size (default 8)
+//   --run: compile with the openmp backend and run <sweeps> sweeps first,
+//          so the report's Profile section shows observed wall time and
+//          modeled-vs-measured bandwidth instead of "(no recorded runs)"
 
 #include <cstdio>
 #include <cstdlib>
@@ -53,8 +56,10 @@ int main(int argc, char** argv) {
   const std::string name = argc > 1 ? argv[1] : "smooth";
   const std::int64_t n = argc > 2 ? std::atoll(argv[2]) : 8;
   std::string source_backend;
+  int sweeps = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--source=", 9) == 0) source_backend = argv[i] + 9;
+    if (std::strncmp(argv[i], "--run=", 6) == 0) sweeps = std::atoi(argv[i] + 6);
   }
 
   const StencilGroup group = pick_group(name);
@@ -62,6 +67,20 @@ int main(int argc, char** argv) {
 
   std::printf("inspecting '%s' at n=%lld\n\n", name.c_str(),
               static_cast<long long>(n));
+
+  if (sweeps > 0) {
+    GridSet gs;
+    std::uint64_t seed = 42;
+    for (const auto& [grid, shape] : shapes) {
+      gs.add_zeros(grid, shape).fill_random(seed++, 0.1, 1.0);
+    }
+    ParamMap params;
+    for (const auto& p : group.params()) params[p] = 1.0;
+    auto kernel = compile(group, gs, "openmp");
+    for (int s = 0; s < sweeps; ++s) kernel->run(gs, params);
+    std::printf("ran %d sweep(s) on the openmp backend\n\n", sweeps);
+  }
+
   std::printf("%s", explain_group(group, shapes).c_str());
 
   if (!source_backend.empty()) {

@@ -6,6 +6,8 @@
 #include <sstream>
 
 #include "support/error.hpp"
+#include "support/hash.hpp"
+#include "trace/counters.hpp"
 #include "trace/trace.hpp"
 
 namespace snowflake {
@@ -33,23 +35,36 @@ void CompiledKernel::run(GridSet& grids, const ParamMap& params) {
           ? (run_span_name_.empty() ? "run:" + backend_name() : run_span_name_)
           : std::string(),
       "run");
+  // Sample the hardware counter group around the execution; when the PMU
+  // is unavailable both reads are invalid and the delta is ignored.
+  auto& counters = trace::CounterGroup::instance();
+  const trace::CounterValues c0 = counters.read();
   const auto start = std::chrono::steady_clock::now();
   run_impl(grids, params);
   last_run_seconds_ =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
+  const trace::CounterValues delta = counters.read() - c0;
   const double modeled = modeled_seconds();
-  if (profile_ != nullptr) profile_->record_run(last_run_seconds_, modeled);
+  if (profile_ != nullptr) {
+    profile_->record_run(last_run_seconds_, modeled, delta);
+  }
   span.counter("wall_s", last_run_seconds_);
   if (modeled > 0.0) span.counter("modeled_s", modeled);
   if (static_bytes_ > 0.0) span.counter("bytes", static_bytes_);
   if (static_flops_ > 0.0) span.counter("flops", static_flops_);
+  if (delta.valid) {
+    span.counter("cycles", delta.cycles);
+    span.counter("instructions", delta.instructions);
+    span.counter("llc_misses", delta.llc_misses);
+  }
 }
 
 void CompiledKernel::attach_profile(const std::string& label,
-                                    const std::string& backend) {
+                                    const std::string& backend,
+                                    const std::string& options_salt) {
   profile_ = &trace::ProfileRegistry::instance().kernel(
-      label, backend, static_bytes_, static_flops_);
+      label, backend, static_bytes_, static_flops_, options_salt);
   run_span_name_ = "run:" + label;
 }
 
@@ -74,6 +89,25 @@ std::string kernel_label(const StencilGroup& group, const ShapeMap& shapes) {
   return os.str();
 }
 
+std::string options_salt(const CompileOptions& o) {
+  HashStream h;
+  for (const auto v : o.tile) h.add(v);
+  h.add(static_cast<std::int64_t>(o.fuse_colors))
+      .add(static_cast<std::int64_t>(o.fuse_stencils))
+      .add(static_cast<std::int64_t>(o.simd))
+      .add(static_cast<std::int64_t>(o.schedule))
+      .add(o.task_grain)
+      .add(static_cast<std::int64_t>(o.barrier_per_stencil))
+      .add(static_cast<std::int64_t>(o.analysis))
+      .add(static_cast<std::int64_t>(o.time_tile))
+      .add(static_cast<std::int64_t>(o.addr_opt));
+  for (const auto v : o.workgroup) h.add(v);
+  h.add(static_cast<std::int64_t>(o.dist_ranks))
+      .add(static_cast<std::int64_t>(o.dist_overlap))
+      .add(static_cast<std::int64_t>(o.dist_prune));
+  return hash_hex(h.digest());
+}
+
 std::unique_ptr<CompiledKernel> Backend::compile(const StencilGroup& group,
                                                  const ShapeMap& shapes,
                                                  const CompileOptions& options) {
@@ -83,7 +117,8 @@ std::unique_ptr<CompiledKernel> Backend::compile(const StencilGroup& group,
   span.counter("stencils", static_cast<double>(group.size()));
   auto kernel = compile_impl(group, shapes, options);
   if (kernel != nullptr) {
-    kernel->attach_profile(kernel_label(group, shapes), name());
+    kernel->attach_profile(kernel_label(group, shapes), name(),
+                           options_salt(options));
   }
   return kernel;
 }

@@ -134,7 +134,8 @@ protected:
 
 private:
   friend class Backend;
-  void attach_profile(const std::string& label, const std::string& backend);
+  void attach_profile(const std::string& label, const std::string& backend,
+                      const std::string& options_salt);
 
   trace::KernelProfile* profile_ = nullptr;  // registry-owned, never freed
   std::string run_span_name_;
@@ -147,6 +148,12 @@ private:
 /// stencil names plus the output shape, so the same operator compiled at
 /// two multigrid levels gets two entries.
 std::string kernel_label(const StencilGroup& group, const ShapeMap& shapes);
+
+/// Short hex hash over every CompileOptions field.  Salts runtime-profile
+/// and perf-ledger keys so the same kernel compiled with different
+/// schedules (tiling, fusion, time_tile, ...) forms distinct time series
+/// instead of one blurred one.
+std::string options_salt(const CompileOptions& options);
 
 class Backend {
 public:

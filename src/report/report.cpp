@@ -7,6 +7,7 @@
 #include "backend/jit/jit_backend.hpp"
 #include "codegen/transform/addr.hpp"
 #include "roofline/traffic.hpp"
+#include "trace/counters.hpp"
 #include "trace/profile.hpp"
 
 namespace snowflake {
@@ -122,13 +123,29 @@ std::string explain_group(const StencilGroup& group, const ShapeMap& shapes,
          << p.wall_seconds << " s total ("
          << p.wall_seconds / static_cast<double>(p.invocations) * 1e3
          << " ms/run), modeled " << p.modeled_seconds << " s";
+      // Model vs machine, side by side: the static traffic model's GB/s
+      // and the hardware-counter GB/s for the same runs (Figure 5's
+      // roofline proximity read off one report).
       const double gbs = p.achieved_bytes_per_s() / 1e9;
       if (gbs > 0.0) {
-        os << ", " << gbs << " GB/s";
+        os << ", " << gbs << " GB/s modeled";
         if (ref_bw > 0.0) {
           os << " (" << 100.0 * p.achieved_bytes_per_s() / ref_bw
              << "% of STREAM roofline)";
         }
+      }
+      if (p.counter_runs > 0) {
+        os << ", " << p.measured_bytes_per_s() / 1e9
+           << " GB/s measured via LLC misses";
+        if (p.bytes_per_run > 0.0) {
+          os << " (" << 100.0 * p.measured_bytes_per_run() / p.bytes_per_run
+             << "% of the traffic model)";
+        }
+      } else if (gbs > 0.0) {
+        os << " (modeled only; hardware counters "
+           << (trace::CounterGroup::instance().available() ? "recorded no runs"
+                                                           : "unavailable")
+           << ")";
       }
       os << "\n";
     }

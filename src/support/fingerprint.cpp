@@ -1,0 +1,95 @@
+#include "support/fingerprint.hpp"
+
+#include <unistd.h>
+
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "support/hash.hpp"
+
+namespace snowflake {
+
+namespace {
+
+std::string read_cpu_model() {
+  std::ifstream in("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    if (line.compare(0, 10, "model name") == 0) {
+      size_t start = colon + 1;
+      while (start < line.size() && line[start] == ' ') ++start;
+      return line.substr(start);
+    }
+  }
+  return "unknown";
+}
+
+std::int64_t read_total_mem_bytes() {
+  std::ifstream in("/proc/meminfo");
+  std::string key;
+  std::int64_t kb = 0;
+  while (in >> key >> kb) {
+    if (key == "MemTotal:") return kb * 1024;
+    in.ignore(256, '\n');
+  }
+  return 0;
+}
+
+int read_cache_line_bytes() {
+  std::ifstream in(
+      "/sys/devices/system/cpu/cpu0/cache/index0/coherency_line_size");
+  int bytes = 0;
+  if (in >> bytes && bytes > 0) return bytes;
+#ifdef _SC_LEVEL1_DCACHE_LINESIZE
+  const long sc = sysconf(_SC_LEVEL1_DCACHE_LINESIZE);
+  if (sc > 0) return static_cast<int>(sc);
+#endif
+  return 64;
+}
+
+struct State {
+  MachineFingerprint fp;
+  std::mutex mu;  // guards stream_bytes_per_s updates after init
+};
+
+State& state() {
+  // Leaked on purpose: exit-time writers (the perf ledger append, the
+  // bench JSON flush) run from atexit/static destructors in arbitrary
+  // order relative to when this state was first touched, so it must
+  // never be destroyed.
+  static State& s = *new State();
+  static std::once_flag once;
+  std::call_once(once, [] {
+    MachineFingerprint& fp = s.fp;
+    fp.cpu_model = read_cpu_model();
+    fp.cores = static_cast<int>(std::thread::hardware_concurrency());
+    if (fp.cores <= 0) fp.cores = 1;
+    fp.total_mem_bytes = read_total_mem_bytes();
+    fp.cache_line_bytes = read_cache_line_bytes();
+    HashStream h;
+    h.add(fp.cpu_model)
+        .add(static_cast<std::int64_t>(fp.cores))
+        .add(fp.total_mem_bytes)
+        .add(static_cast<std::int64_t>(fp.cache_line_bytes));
+    fp.id = hash_hex(h.digest());
+  });
+  return s;
+}
+
+}  // namespace
+
+const MachineFingerprint& fingerprint() { return state().fp; }
+
+void set_measured_bandwidth(double bytes_per_s) {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.fp.stream_bytes_per_s = bytes_per_s;
+}
+
+int cache_line_bytes() { return fingerprint().cache_line_bytes; }
+
+}  // namespace snowflake

@@ -1,0 +1,37 @@
+#pragma once
+// Machine identity for the persistent performance ledger and (later) the
+// autotuning database: timings are only comparable between runs on the
+// same machine, so every ledger entry is keyed by a stable fingerprint of
+// the host.  The stable part (CPU model, core count, memory size, cache
+// line) is hashed into a short hex id; the measured STREAM bandwidth is
+// carried as an informative field but kept out of the id, because it
+// jitters run to run and is only measured by processes that ask for it.
+
+#include <cstdint>
+#include <string>
+
+namespace snowflake {
+
+struct MachineFingerprint {
+  std::string cpu_model;          // /proc/cpuinfo "model name" ("unknown" off-Linux)
+  int cores = 0;                  // online hardware threads
+  std::int64_t total_mem_bytes = 0;  // /proc/meminfo MemTotal (0 when unknown)
+  int cache_line_bytes = 64;      // L1D line size (64 when undetectable)
+  double stream_bytes_per_s = 0;  // measured STREAM bandwidth; 0 = not measured
+  std::string id;                 // 16-hex-digit stable hash of the above
+                                  // (minus stream_bytes_per_s)
+};
+
+/// The memoized fingerprint of this machine.  Cheap after the first call;
+/// never throws (unreadable fields degrade to their defaults).
+const MachineFingerprint& fingerprint();
+
+/// Record a measured STREAM bandwidth into the fingerprint (bench harness
+/// calls this from host_bandwidth()).  Does not change fingerprint().id.
+void set_measured_bandwidth(double bytes_per_s);
+
+/// L1D cache line size in bytes (the fingerprint's, as a convenience for
+/// LLC-miss -> DRAM-bytes conversion).
+int cache_line_bytes();
+
+}  // namespace snowflake

@@ -1,0 +1,130 @@
+#include "trace/counters.hpp"
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+#include "support/logging.hpp"
+
+namespace snowflake::trace {
+
+CounterValues CounterValues::operator-(const CounterValues& start) const {
+  CounterValues d;
+  d.valid = valid && start.valid;
+  if (!d.valid) return d;
+  d.cycles = cycles - start.cycles;
+  d.instructions = instructions - start.instructions;
+  d.llc_misses = llc_misses - start.llc_misses;
+  d.stalled_cycles = stalled_cycles - start.stalled_cycles;
+  return d;
+}
+
+#if defined(__linux__)
+
+namespace {
+
+constexpr std::uint64_t kConfigs[4] = {
+    PERF_COUNT_HW_CPU_CYCLES,
+    PERF_COUNT_HW_INSTRUCTIONS,
+    PERF_COUNT_HW_CACHE_MISSES,  // last-level cache misses
+    PERF_COUNT_HW_STALLED_CYCLES_BACKEND,
+};
+
+int open_event(std::uint64_t config) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.type = PERF_TYPE_HARDWARE;
+  attr.size = sizeof(attr);
+  attr.config = config;
+  attr.disabled = 0;
+  attr.inherit = 1;  // count OpenMP worker threads spawned after the probe
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  // inherit forbids PERF_FORMAT_GROUP, so each event is its own fd and
+  // carries its own multiplexing times.
+  attr.read_format =
+      PERF_FORMAT_TOTAL_TIME_ENABLED | PERF_FORMAT_TOTAL_TIME_RUNNING;
+  return static_cast<int>(
+      syscall(SYS_perf_event_open, &attr, 0, -1, -1, 0));
+}
+
+/// Read one fd's {value, time_enabled, time_running} and scale for
+/// multiplexing.  Returns 0 on any read problem.
+double read_scaled(int fd) {
+  if (fd < 0) return 0.0;
+  std::uint64_t buf[3] = {0, 0, 0};
+  if (::read(fd, buf, sizeof(buf)) != static_cast<ssize_t>(sizeof(buf))) {
+    return 0.0;
+  }
+  if (buf[2] == 0) return 0.0;  // never scheduled
+  return static_cast<double>(buf[0]) *
+         (static_cast<double>(buf[1]) / static_cast<double>(buf[2]));
+}
+
+}  // namespace
+
+CounterGroup::CounterGroup() {
+  if (const char* off = std::getenv(kDisableEnv); off != nullptr && *off &&
+      std::strcmp(off, "0") != 0) {
+    reason_ = "disabled by SNOWFLAKE_NO_PMU";
+    return;
+  }
+  for (int i = 0; i < kEvents; ++i) {
+    fds_[i] = open_event(kConfigs[i]);
+    if (i == 0 && fds_[0] < 0) {
+      // No cycle counter, no PMU: report why once and fall back.
+      reason_ = std::string("perf_event_open(cycles): ") + std::strerror(errno);
+      SF_LOG_INFO("hardware counters unavailable (" << reason_
+                  << "); profiles fall back to wall-clock only");
+      return;
+    }
+  }
+  available_ = true;
+  SF_LOG_DEBUG("hardware counter group open (cycles"
+               << (fds_[1] >= 0 ? ", instructions" : "")
+               << (fds_[2] >= 0 ? ", llc-misses" : "")
+               << (fds_[3] >= 0 ? ", stalled-backend" : "") << ")");
+}
+
+CounterGroup::~CounterGroup() {
+  for (int fd : fds_) {
+    if (fd >= 0) ::close(fd);
+  }
+}
+
+CounterValues CounterGroup::read() const {
+  CounterValues v;
+  if (!available_) return v;
+  v.cycles = read_scaled(fds_[0]);
+  v.instructions = read_scaled(fds_[1]);
+  v.llc_misses = read_scaled(fds_[2]);
+  v.stalled_cycles = read_scaled(fds_[3]);
+  v.valid = true;
+  return v;
+}
+
+#else  // !__linux__
+
+CounterGroup::CounterGroup() {
+  reason_ = "perf_event_open is Linux-only";
+}
+
+CounterGroup::~CounterGroup() = default;
+
+CounterValues CounterGroup::read() const { return CounterValues{}; }
+
+#endif
+
+CounterGroup& CounterGroup::instance() {
+  static CounterGroup group;
+  return group;
+}
+
+}  // namespace snowflake::trace

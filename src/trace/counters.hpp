@@ -1,0 +1,68 @@
+#pragma once
+// Hardware performance counters via perf_event_open(2): cycles,
+// instructions, last-level-cache misses, and stalled backend cycles,
+// sampled around every CompiledKernel::run() and folded into the kernel's
+// runtime profile as measured-vs-modeled fields (measured DRAM bytes ~=
+// LLC misses x cache line size, cross-checked against the static traffic
+// model).
+//
+// The probe runs once, at first use: each event is opened as its own fd
+// (inherit=1 so OpenMP worker threads spawned later are counted,
+// exclude_kernel/hv so no privilege is needed) and scaled by its
+// enabled/running times when the kernel multiplexes the PMU.  When the
+// cycle counter cannot be opened at all — containers, VMs without a
+// virtualized PMU, perf_event_paranoid, seccomp — the whole group reports
+// unavailable() and every consumer silently falls back to wall-clock-only
+// numbers.  SNOWFLAKE_NO_PMU=1 forces the fallback (CI exercises it).
+
+#include <string>
+
+namespace snowflake::trace {
+
+/// One cumulative (or delta) counter reading.  All values are scaled for
+/// PMU multiplexing; a field is 0 when its event could not be opened.
+struct CounterValues {
+  double cycles = 0.0;
+  double instructions = 0.0;
+  double llc_misses = 0.0;
+  double stalled_cycles = 0.0;
+  bool valid = false;  // false = counters unavailable, ignore the fields
+
+  /// Delta of two cumulative readings (valid only when both are).
+  CounterValues operator-(const CounterValues& start) const;
+};
+
+/// The process-wide counter group.  Constructible directly for tests
+/// (re-runs the probe, honouring the environment at construction time);
+/// everything else uses instance().
+class CounterGroup {
+public:
+  /// Env var that forces the PMU-unavailable fallback when set non-empty.
+  static constexpr const char* kDisableEnv = "SNOWFLAKE_NO_PMU";
+
+  CounterGroup();
+  ~CounterGroup();
+  CounterGroup(const CounterGroup&) = delete;
+  CounterGroup& operator=(const CounterGroup&) = delete;
+
+  static CounterGroup& instance();
+
+  /// True when at least the cycle counter opened.
+  bool available() const { return available_; }
+
+  /// Why the probe failed ("" when available()).
+  const std::string& unavailable_reason() const { return reason_; }
+
+  /// Cumulative scaled readings since construction; .valid=false (all
+  /// zeros) when unavailable — callers need no separate availability
+  /// check around read()/subtract.
+  CounterValues read() const;
+
+private:
+  static constexpr int kEvents = 4;
+  int fds_[kEvents] = {-1, -1, -1, -1};
+  bool available_ = false;
+  std::string reason_;
+};
+
+}  // namespace snowflake::trace

@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "support/logging.hpp"
+#include "trace/counters.hpp"
 #include "trace/profile.hpp"
 #include "trace/trace.hpp"
 
@@ -108,6 +109,15 @@ std::string metrics_text() {
   std::ostringstream os;
   os << "== snowflake metrics ==\n";
 
+  const auto& pmu = CounterGroup::instance();
+  if (pmu.available()) {
+    os << "hardware counters: available (cycles, instructions, llc-misses, "
+          "stalled-backend)\n";
+  } else {
+    os << "hardware counters: unavailable (" << pmu.unavailable_reason()
+       << ")\n";
+  }
+
   const auto counters = TraceCollector::instance().counters();
   os << "counters (" << counters.size() << "):\n";
   for (const auto& [name, value] : counters) {
@@ -129,11 +139,20 @@ std::string metrics_text() {
        << " ms/run)";
     if (p.modeled_seconds > 0.0) os << ", " << p.modeled_seconds << " s modeled";
     if (const double bw = p.achieved_bytes_per_s(); bw > 0.0) {
-      os << ", " << bw / 1e9 << " GB/s";
+      os << ", " << bw / 1e9 << " GB/s modeled";
       if (roof > 0.0) os << " (" << 100.0 * bw / roof << "% of roofline)";
     }
     if (const double fl = p.achieved_flops_per_s(); fl > 0.0) {
       os << ", " << fl / 1e9 << " Gflop/s";
+    }
+    // Measured-vs-modeled cross-check: LLC-miss DRAM bytes next to the
+    // static traffic model for the same runs.
+    if (p.counter_runs > 0) {
+      os << ", measured " << p.measured_bytes_per_s() / 1e9 << " GB/s ("
+         << static_cast<long long>(p.measured_bytes_per_run())
+         << " B/run vs model "
+         << static_cast<long long>(p.bytes_per_run) << "), ipc " << p.ipc()
+         << ", stalled " << 100.0 * p.stall_fraction() << "%";
     }
     os << "\n";
   }

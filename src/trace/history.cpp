@@ -1,0 +1,285 @@
+#include "trace/history.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+
+#include "support/fingerprint.hpp"
+#include "support/hash.hpp"
+#include "support/logging.hpp"
+
+namespace snowflake::trace {
+
+namespace {
+
+const std::string kEmpty;
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+void field(std::string& out, const char* key, const std::string& value) {
+  out += out.empty() ? "{\"" : ",\"";
+  out += key;
+  out += "\":\"";
+  out += escape(value);
+  out += '"';
+}
+
+void field(std::string& out, const char* key, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  out += out.empty() ? "{\"" : ",\"";
+  out += key;
+  out += "\":";
+  out += buf;
+}
+
+/// Common head of every ledger line: schema, kind, timestamp, machine.
+std::string line_head(const char* kind) {
+  std::string out;
+  field(out, "schema", std::string("snowflake-perf-v1"));
+  field(out, "kind", std::string(kind));
+  field(out, "ts", static_cast<double>(std::time(nullptr)));
+  field(out, "machine", fingerprint().id);
+  return out;
+}
+
+}  // namespace
+
+const std::string& LedgerEntry::str(const std::string& key) const {
+  const auto it = text.find(key);
+  return it == text.end() ? kEmpty : it->second;
+}
+
+double LedgerEntry::number(const std::string& key, double dflt) const {
+  const auto it = num.find(key);
+  return it == num.end() ? dflt : it->second;
+}
+
+bool parse_ledger_line(const std::string& line, LedgerEntry* out) {
+  // Flat object scanner: {"key":"string"|number, ...}.  The ledger never
+  // nests, so this stays dependency-free like the other repo parsers.
+  size_t pos = 0;
+  auto skip_ws = [&] {
+    while (pos < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[pos]))) {
+      ++pos;
+    }
+  };
+  auto parse_string = [&](std::string* s) {
+    if (pos >= line.size() || line[pos] != '"') return false;
+    ++pos;
+    while (pos < line.size() && line[pos] != '"') {
+      if (line[pos] == '\\' && pos + 1 < line.size()) ++pos;
+      *s += line[pos++];
+    }
+    if (pos >= line.size()) return false;
+    ++pos;  // closing quote
+    return true;
+  };
+  skip_ws();
+  if (pos >= line.size() || line[pos] != '{') return false;
+  ++pos;
+  skip_ws();
+  if (pos < line.size() && line[pos] == '}') return true;
+  while (true) {
+    skip_ws();
+    std::string key;
+    if (!parse_string(&key)) return false;
+    skip_ws();
+    if (pos >= line.size() || line[pos] != ':') return false;
+    ++pos;
+    skip_ws();
+    if (pos >= line.size()) return false;
+    if (line[pos] == '"') {
+      std::string value;
+      if (!parse_string(&value)) return false;
+      out->text[key] = std::move(value);
+    } else {
+      char* end = nullptr;
+      const double value = std::strtod(line.c_str() + pos, &end);
+      if (end == line.c_str() + pos) return false;
+      out->num[key] = value;
+      pos = static_cast<size_t>(end - line.c_str());
+    }
+    skip_ws();
+    if (pos < line.size() && line[pos] == ',') {
+      ++pos;
+      continue;
+    }
+    if (pos < line.size() && line[pos] == '}') return true;
+    return false;
+  }
+}
+
+PerfLedger::PerfLedger(std::string path) : path_(std::move(path)) {}
+
+bool PerfLedger::append(const std::vector<std::string>& json_lines,
+                        std::string* error) {
+  if (json_lines.empty()) return true;
+  std::string batch;
+  for (const auto& line : json_lines) {
+    batch += line;
+    batch += '\n';
+  }
+  // One O_APPEND write(2) for the whole batch: the kernel serializes
+  // appends per inode, so concurrent processes interleave at batch
+  // granularity — a reader never sees a torn line.
+  const int fd = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) {
+    if (error != nullptr) {
+      *error = "cannot open ledger '" + path_ + "': " + std::strerror(errno);
+    }
+    return false;
+  }
+  size_t written = 0;
+  bool ok = true;
+  while (written < batch.size()) {
+    const ssize_t n =
+        ::write(fd, batch.data() + written, batch.size() - written);
+    if (n <= 0) {
+      if (errno == EINTR) continue;
+      if (error != nullptr) {
+        *error = "short write to ledger '" + path_ + "': " +
+                 std::strerror(errno);
+      }
+      ok = false;
+      break;
+    }
+    written += static_cast<size_t>(n);
+  }
+  ::close(fd);
+  return ok;
+}
+
+bool PerfLedger::load(const std::string& path, std::vector<LedgerEntry>* out,
+                      std::string* error, int* skipped) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open ledger '" + path + "'";
+    return false;
+  }
+  int bad = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    LedgerEntry entry;
+    if (parse_ledger_line(line, &entry) &&
+        entry.str("schema") == "snowflake-perf-v1") {
+      out->push_back(std::move(entry));
+    } else {
+      ++bad;
+    }
+  }
+  if (skipped != nullptr) *skipped = bad;
+  return true;
+}
+
+std::string perf_db_path() {
+  const char* env = std::getenv("SNOWFLAKE_PERF_DB");
+  return env != nullptr && *env ? std::string(env) : std::string();
+}
+
+std::string ledger_line(const KernelProfileData& p) {
+  std::string out = line_head("kernel");
+  field(out, "label", p.label);
+  field(out, "backend", p.backend);
+  field(out, "options", p.options_salt);
+  // The ledger key: what snowreport and check_bench group a time series
+  // by.  Hashes the kernel identity (label covers stencil names + shape),
+  // the backend, and the options salt; the machine id is a separate field.
+  field(out, "key",
+        hash_hex(fnv1a64(p.label + "\x1e" + p.backend + "\x1e" +
+                         p.options_salt)));
+  const double runs = static_cast<double>(p.invocations);
+  field(out, "invocations", runs);
+  field(out, "seconds", runs > 0 ? p.wall_seconds / runs : 0.0);
+  field(out, "modeled_bytes", p.bytes_per_run);
+  field(out, "flops", p.flops_per_run);
+  field(out, "gbps", p.achieved_bytes_per_s() / 1e9);
+  const double roof = ProfileRegistry::instance().reference_bandwidth();
+  field(out, "roofline_pct",
+        roof > 0 ? 100.0 * p.achieved_bytes_per_s() / roof : 0.0);
+  field(out, "counters", p.counter_runs > 0 ? 1.0 : 0.0);
+  if (p.counter_runs > 0) {
+    const double cruns = static_cast<double>(p.counter_runs);
+    field(out, "measured_bytes", p.measured_bytes_per_run());
+    field(out, "measured_gbps", p.measured_bytes_per_s() / 1e9);
+    field(out, "cycles", p.cycles / cruns);
+    field(out, "instructions", p.instructions / cruns);
+    field(out, "llc_misses", p.llc_misses / cruns);
+    field(out, "stalled_cycles", p.stalled_cycles / cruns);
+  }
+  out += '}';
+  return out;
+}
+
+std::string bench_ledger_line(const std::string& label, double seconds,
+                              double gbps, double roofline_pct) {
+  std::string out = line_head("bench");
+  field(out, "label", label);
+  field(out, "backend", std::string("bench"));
+  field(out, "key", hash_hex(fnv1a64(label + "\x1e" + "bench")));
+  field(out, "seconds", seconds);
+  field(out, "gbps", gbps);
+  field(out, "roofline_pct", roofline_pct);
+  out += '}';
+  return out;
+}
+
+void append_process_profiles() {
+  const std::string path = perf_db_path();
+  if (path.empty()) return;
+  // flush() + exit must not double-write identical history: remember how
+  // many runs had been recorded at the last append and skip when nothing
+  // new happened.
+  static std::mutex mu;
+  static std::uint64_t last_total = ~std::uint64_t{0};
+  std::lock_guard<std::mutex> lock(mu);
+  const std::uint64_t total = ProfileRegistry::instance().total_invocations();
+  if (total == last_total) return;
+  std::vector<std::string> lines;
+  for (const auto& p : ProfileRegistry::instance().snapshot()) {
+    if (p.invocations == 0) continue;
+    lines.push_back(ledger_line(p));
+  }
+  if (lines.empty()) return;
+  std::string error;
+  PerfLedger ledger(path);
+  if (!ledger.append(lines, &error)) {
+    SF_LOG_WARN("perf ledger append failed: " << error);
+    return;
+  }
+  last_total = total;
+  SF_LOG_DEBUG("appended " << lines.size() << " profile(s) to perf ledger "
+                           << path);
+}
+
+double median(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  const size_t mid = values.size() / 2;
+  std::nth_element(values.begin(), values.begin() + mid, values.end());
+  const double hi = values[mid];
+  if (values.size() % 2 == 1) return hi;
+  const double lo = *std::max_element(values.begin(), values.begin() + mid);
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace snowflake::trace

@@ -1,0 +1,90 @@
+#pragma once
+// Persistent performance ledger: an append-only JSON-lines file (one flat
+// object per line, schema "snowflake-perf-v1") accumulating measured
+// kernel performance across process lifetimes.  Entries are keyed by
+// (kernel key hash, machine fingerprint id, backend, compile-options
+// salt) so the same kernel on the same machine forms a comparable time
+// series; tools/snowreport renders trends from it and tools/check_bench
+// --history gates fresh runs against the rolling median instead of a
+// single fixture file.
+//
+// Two entry kinds share the schema:
+//   kind=kernel  one line per kernel profile with runs, appended at
+//                process exit (and by trace::flush()) when
+//                $SNOWFLAKE_PERF_DB names the ledger file.  `seconds` is
+//                per-run wall time; counter fields are per-run averages.
+//   kind=bench   one line per bench --json row (JsonReport appends them
+//                alongside the report file).  `seconds` is the row's
+//                best-of-N.
+//
+// Atomicity: appends are staged into one memory buffer of whole lines and
+// committed with a single write(2) on an O_APPEND descriptor, the append
+// analogue of the KernelCache tmp+rename publish — concurrent writers
+// (two benches sharing one ledger) interleave at line granularity only,
+// never mid-line, so every line always parses.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "trace/profile.hpp"
+
+namespace snowflake::trace {
+
+/// One parsed ledger line: flat string and number fields.
+struct LedgerEntry {
+  std::map<std::string, std::string> text;
+  std::map<std::string, double> num;
+
+  const std::string& str(const std::string& key) const;
+  double number(const std::string& key, double dflt = 0.0) const;
+};
+
+/// Append-side handle on a ledger file.
+class PerfLedger {
+public:
+  explicit PerfLedger(std::string path);
+
+  const std::string& path() const { return path_; }
+
+  /// Append whole JSON lines (no trailing newline needed) in one atomic
+  /// write.  Returns false (and fills *error) on I/O failure.
+  bool append(const std::vector<std::string>& json_lines,
+              std::string* error = nullptr);
+
+  /// Parse a ledger file into entries (file order = append order).
+  /// Unparseable lines are counted in *skipped (when non-null) and
+  /// dropped, so a torn tail never hides the rest of the history.
+  static bool load(const std::string& path, std::vector<LedgerEntry>* out,
+                   std::string* error = nullptr, int* skipped = nullptr);
+
+private:
+  std::string path_;
+};
+
+/// Parse one flat JSON object line into *out (strings and numbers only —
+/// the ledger schema is flat by construction).  Returns false on
+/// malformed input.
+bool parse_ledger_line(const std::string& line, LedgerEntry* out);
+
+/// $SNOWFLAKE_PERF_DB, or "" when the ledger is disabled.
+std::string perf_db_path();
+
+/// Render one kernel profile as a kind=kernel ledger line (includes the
+/// machine fingerprint and the current roofline reference bandwidth).
+std::string ledger_line(const KernelProfileData& profile);
+
+/// Render one bench row as a kind=bench ledger line.
+std::string bench_ledger_line(const std::string& label, double seconds,
+                              double gbps, double roofline_pct);
+
+/// Append every profile with recorded runs to $SNOWFLAKE_PERF_DB.  No-op
+/// when the env var is unset or when nothing ran since the last append
+/// (so trace::flush() followed by process exit writes once, not twice).
+void append_process_profiles();
+
+/// Median of `values` (0 when empty).  Callers pass the trailing window.
+double median(std::vector<double> values);
+
+}  // namespace snowflake::trace

@@ -1,5 +1,7 @@
 #include "trace/profile.hpp"
 
+#include "support/fingerprint.hpp"
+
 namespace snowflake::trace {
 
 double KernelProfileData::achieved_bytes_per_s() const {
@@ -12,11 +14,42 @@ double KernelProfileData::achieved_flops_per_s() const {
   return flops_per_run * static_cast<double>(invocations) / wall_seconds;
 }
 
-void KernelProfile::record_run(double wall_seconds, double modeled_seconds) {
+double KernelProfileData::measured_bytes_per_run() const {
+  if (counter_runs == 0 || llc_misses <= 0.0) return 0.0;
+  return llc_misses * static_cast<double>(cache_line_bytes()) /
+         static_cast<double>(counter_runs);
+}
+
+double KernelProfileData::measured_bytes_per_s() const {
+  if (counter_wall_seconds <= 0.0 || llc_misses <= 0.0) return 0.0;
+  return llc_misses * static_cast<double>(cache_line_bytes()) /
+         counter_wall_seconds;
+}
+
+double KernelProfileData::ipc() const {
+  if (cycles <= 0.0 || instructions <= 0.0) return 0.0;
+  return instructions / cycles;
+}
+
+double KernelProfileData::stall_fraction() const {
+  if (cycles <= 0.0 || stalled_cycles <= 0.0) return 0.0;
+  return stalled_cycles / cycles;
+}
+
+void KernelProfile::record_run(double wall_seconds, double modeled_seconds,
+                               const CounterValues& counters) {
   std::lock_guard<std::mutex> lock(mu_);
   ++data_.invocations;
   data_.wall_seconds += wall_seconds;
   data_.modeled_seconds += modeled_seconds;
+  if (counters.valid) {
+    ++data_.counter_runs;
+    data_.counter_wall_seconds += wall_seconds;
+    data_.cycles += counters.cycles;
+    data_.instructions += counters.instructions;
+    data_.llc_misses += counters.llc_misses;
+    data_.stalled_cycles += counters.stalled_cycles;
+  }
 }
 
 KernelProfileData KernelProfile::snapshot() const {
@@ -32,14 +65,16 @@ ProfileRegistry& ProfileRegistry::instance() {
 KernelProfile& ProfileRegistry::kernel(const std::string& label,
                                        const std::string& backend,
                                        double bytes_per_run,
-                                       double flops_per_run) {
-  const std::string key = label + "\x1f" + backend;
+                                       double flops_per_run,
+                                       const std::string& options_salt) {
+  const std::string key = label + "\x1f" + backend + "\x1f" + options_salt;
   std::lock_guard<std::mutex> lock(mu_);
   auto& slot = profiles_[key];
   if (slot == nullptr) {
     slot.reset(new KernelProfile());
     slot->data_.label = label;
     slot->data_.backend = backend;
+    slot->data_.options_salt = options_salt;
     slot->data_.bytes_per_run = bytes_per_run;
     slot->data_.flops_per_run = flops_per_run;
   }
@@ -52,6 +87,15 @@ std::vector<KernelProfileData> ProfileRegistry::snapshot() const {
   out.reserve(profiles_.size());
   for (const auto& [key, profile] : profiles_) out.push_back(profile->snapshot());
   return out;
+}
+
+std::uint64_t ProfileRegistry::total_invocations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t total = 0;
+  for (const auto& [key, profile] : profiles_) {
+    total += profile->snapshot().invocations;
+  }
+  return total;
 }
 
 void ProfileRegistry::set_reference_bandwidth(double bytes_per_s) {

@@ -1,16 +1,19 @@
 #pragma once
 // Per-kernel runtime profiles: every CompiledKernel::run() feeds an entry
-// here (invocations, wall seconds, modeled device seconds) keyed by the
-// kernel's human-readable label and backend.  The backend attaches the
-// static cost model (DRAM bytes and flops per run, from roofline/traffic)
-// at compile time, so the profile can report achieved GB/s and — when a
-// measured STREAM bandwidth has been registered — the fraction of the
-// roofline actually reached.
+// here (invocations, wall seconds, modeled device seconds, and — when the
+// PMU is available — hardware counter deltas) keyed by the kernel's
+// human-readable label, backend, and compile-options salt.  The backend
+// attaches the static cost model (DRAM bytes and flops per run, from
+// roofline/traffic) at compile time, so the profile can report achieved
+// GB/s two ways: modeled (static bytes / wall time) and measured (LLC
+// misses x cache line size / wall time), the Figure 5 model-vs-machine
+// cross-check.
 //
 // Accumulation is always on (one uncontended mutex lock per kernel run,
 // noise next to any grid sweep); only span recording is gated by
 // trace::enabled().  Consumers: trace::metrics_text(), the "Profile"
-// section of report::explain_group, and $SNOWFLAKE_METRICS.
+// section of report::explain_group, the $SNOWFLAKE_PERF_DB ledger
+// (trace/history.hpp), and $SNOWFLAKE_METRICS.
 
 #include <cstdint>
 #include <map>
@@ -19,27 +22,57 @@
 #include <string>
 #include <vector>
 
+#include "trace/counters.hpp"
+
 namespace snowflake::trace {
 
 struct KernelProfileData {
   std::string label;    // kernel identity, e.g. "bc_x+gsrb_red+... @66x66x66"
   std::string backend;  // producing backend name
+  std::string options_salt;  // hex hash of the CompileOptions that built it
   double bytes_per_run = 0.0;  // static model; 0 = unknown (e.g. reference)
   double flops_per_run = 0.0;
   std::uint64_t invocations = 0;
   double wall_seconds = 0.0;
   double modeled_seconds = 0.0;  // simulated-device backends only
 
-  /// Achieved DRAM bandwidth over all runs (0 when unknown/untimed).
+  // Hardware counter deltas summed over the runs that had valid readings
+  // (counter_runs of them, with counter_wall_seconds of wall time); all
+  // zero when the PMU is unavailable.
+  std::uint64_t counter_runs = 0;
+  double counter_wall_seconds = 0.0;
+  double cycles = 0.0;
+  double instructions = 0.0;
+  double llc_misses = 0.0;
+  double stalled_cycles = 0.0;
+
+  /// Achieved DRAM bandwidth over all runs per the static traffic model
+  /// (0 when unknown/untimed).
   double achieved_bytes_per_s() const;
   /// Achieved flop rate over all runs (0 when unknown/untimed).
   double achieved_flops_per_s() const;
+
+  /// Measured DRAM bytes per run ~= LLC misses x cache line size (0 when
+  /// the PMU was unavailable).  An approximation: it misses write-allocate
+  /// traffic that hits in cache and counts speculative fills, but lands
+  /// within tens of percent of the compulsory-traffic model for streaming
+  /// kernels — exactly the cross-check Figure 5 wants.
+  double measured_bytes_per_run() const;
+  /// Measured DRAM bandwidth over the counted runs (0 without the PMU).
+  double measured_bytes_per_s() const;
+  /// Instructions per cycle over the counted runs (0 without the PMU).
+  double ipc() const;
+  /// Fraction of cycles stalled in the backend (0 without the PMU).
+  double stall_fraction() const;
 };
 
 /// Pointer-stable accumulator handed to a compiled kernel.
 class KernelProfile {
 public:
-  void record_run(double wall_seconds, double modeled_seconds);
+  /// Record one run.  `counters` is the per-run delta; invalid deltas
+  /// (PMU unavailable) leave the measured fields untouched.
+  void record_run(double wall_seconds, double modeled_seconds,
+                  const CounterValues& counters = CounterValues{});
   KernelProfileData snapshot() const;
 
 private:
@@ -55,12 +88,17 @@ public:
   static ProfileRegistry& instance();
 
   /// Fetch (or create) the profile for a kernel.  On creation the static
-  /// cost model is stored; repeat compiles of the same label+backend
+  /// cost model is stored; repeat compiles of the same label+backend+salt
   /// share one entry, so recompilation does not reset observed runs.
   KernelProfile& kernel(const std::string& label, const std::string& backend,
-                        double bytes_per_run, double flops_per_run);
+                        double bytes_per_run, double flops_per_run,
+                        const std::string& options_salt = "");
 
   std::vector<KernelProfileData> snapshot() const;
+
+  /// Total runs recorded across all profiles (cheap change detector for
+  /// the ledger's flush-vs-exit dedup).
+  std::uint64_t total_invocations() const;
 
   /// Measured STREAM bandwidth (bytes/s) used to annotate profiles with a
   /// %-of-roofline figure; 0 = not measured.

@@ -4,7 +4,9 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "trace/counters.hpp"
 #include "trace/export.hpp"
+#include "trace/history.hpp"
 #include "trace/profile.hpp"
 
 namespace snowflake::trace {
@@ -46,6 +48,10 @@ struct EnvInit {
   EnvInit() {
     TraceCollector::instance();
     ProfileRegistry::instance();
+    // Probe the hardware counter group now, before any OpenMP runtime has
+    // spawned worker threads: perf_event inherit only covers threads
+    // created after the events are opened.
+    CounterGroup::instance();
     if (const char* p = std::getenv("SNOWFLAKE_TRACE"); p != nullptr && *p) {
       enable_trace_file(p);
     }
@@ -55,16 +61,7 @@ struct EnvInit {
       exit_actions().metrics_path = std::strcmp(m, "1") == 0 ? "-" : m;
     }
   }
-  ~EnvInit() {
-    std::string trace_path, metrics_path;
-    {
-      std::lock_guard<std::mutex> lock(exit_actions().mu);
-      trace_path = exit_actions().trace_path;
-      metrics_path = exit_actions().metrics_path;
-    }
-    if (!trace_path.empty()) write_chrome_trace(trace_path);
-    if (!metrics_path.empty()) write_metrics(metrics_path);
-  }
+  ~EnvInit() { flush(); }
 };
 
 EnvInit g_env_init;
@@ -86,6 +83,18 @@ void enable_trace_file(std::string path) {
 void enable_metrics_dump() {
   std::lock_guard<std::mutex> lock(exit_actions().mu);
   exit_actions().metrics_path = "-";
+}
+
+void flush() {
+  std::string trace_path, metrics_path;
+  {
+    std::lock_guard<std::mutex> lock(exit_actions().mu);
+    trace_path = exit_actions().trace_path;
+    metrics_path = exit_actions().metrics_path;
+  }
+  if (!trace_path.empty()) write_chrome_trace(trace_path);
+  if (!metrics_path.empty()) write_metrics(metrics_path);
+  append_process_profiles();  // $SNOWFLAKE_PERF_DB; no-op when unset/stale
 }
 
 double now_us() {

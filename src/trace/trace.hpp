@@ -48,6 +48,14 @@ void enable_trace_file(std::string path);
 /// mechanism $SNOWFLAKE_METRICS uses).
 void enable_metrics_dump();
 
+/// Write every registered output now, mid-run: the Chrome trace file, the
+/// metrics dump, and the $SNOWFLAKE_PERF_DB ledger append.  The exit-time
+/// writers still run (the trace/metrics files are simply rewritten with
+/// more spans; the ledger append is skipped unless new runs happened), so
+/// a long job can checkpoint its observability output and lose nothing if
+/// it later dies on a signal.  No-op for outputs that were never enabled.
+void flush();
+
 /// Monotonic microseconds since the process trace epoch.
 double now_us();
 

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "backend/jit/jit_backend.hpp"
 #include "ir/stencil_library.hpp"
 #include "multigrid/operators.hpp"
 #include "support/error.hpp"
@@ -72,6 +73,33 @@ TEST(Report, ValidatesFirst) {
   const StencilGroup bad(Stencil(read("x", {-5, 0}), "out", lib::interior(2)));
   ShapeMap shapes{{"x", {8, 8}}, {"out", {8, 8}}};
   EXPECT_THROW(explain_group(bad, shapes), InvalidArgument);
+}
+
+TEST(Report, ProfileSectionShowsModeledVsMeasured) {
+  // Compile and run the group so the Profile section has observed data,
+  // then check it renders the model-vs-machine pair: modeled GB/s always,
+  // and either measured GB/s (PMU available) or an explicit
+  // "(modeled only; ...)" note on the fallback path — never silence.
+  const StencilGroup group(lib::cc_apply(2, "x", "out"));
+  GridSet gs;
+  gs.add_zeros("x", Index{12, 12}).fill_random(7, -1.0, 1.0);
+  gs.add_zeros("out", Index{12, 12});
+  auto kernel = compile(group, gs, "c");
+  kernel->run(gs, {{"h2inv", 4.0}});
+
+  ShapeMap shapes{{"x", {12, 12}}, {"out", {12, 12}}};
+  const std::string report = explain_group(group, shapes);
+  ASSERT_NE(report.find("== Profile (observed at runtime) =="),
+            std::string::npos);
+  EXPECT_EQ(report.find("(no recorded runs"), std::string::npos) << report;
+  EXPECT_NE(report.find("runs"), std::string::npos);
+  EXPECT_NE(report.find("GB/s modeled"), std::string::npos) << report;
+  const bool measured =
+      report.find("GB/s measured via LLC misses") != std::string::npos;
+  const bool modeled_only =
+      report.find("(modeled only; hardware counters") != std::string::npos;
+  EXPECT_TRUE(measured || modeled_only) << report;
+  EXPECT_FALSE(measured && modeled_only) << report;
 }
 
 }  // namespace

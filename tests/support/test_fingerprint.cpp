@@ -1,0 +1,51 @@
+// Machine fingerprint: the identity every perf-ledger entry is keyed by.
+// These tests pin the contract the ledger depends on — the id is a stable
+// 16-hex-digit hash of the hardware-description fields, and the measured
+// STREAM bandwidth stays out of it (it jitters run to run).
+
+#include "support/fingerprint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+
+namespace snowflake {
+namespace {
+
+TEST(FingerprintTest, FieldsArePopulated) {
+  const MachineFingerprint& fp = fingerprint();
+  EXPECT_FALSE(fp.cpu_model.empty());
+  EXPECT_GT(fp.cores, 0);
+  EXPECT_GT(fp.cache_line_bytes, 0);
+}
+
+TEST(FingerprintTest, IdIsSixteenHexDigits) {
+  const std::string& id = fingerprint().id;
+  ASSERT_EQ(id.size(), 16u);
+  for (char c : id) {
+    EXPECT_TRUE(std::isxdigit(static_cast<unsigned char>(c)))
+        << "non-hex character '" << c << "' in id " << id;
+  }
+}
+
+TEST(FingerprintTest, StableAcrossCalls) {
+  const std::string first = fingerprint().id;
+  EXPECT_EQ(fingerprint().id, first);
+  EXPECT_EQ(&fingerprint(), &fingerprint());
+}
+
+TEST(FingerprintTest, MeasuredBandwidthDoesNotChangeId) {
+  const std::string before = fingerprint().id;
+  const double saved = fingerprint().stream_bytes_per_s;
+  set_measured_bandwidth(12.5e9);
+  EXPECT_DOUBLE_EQ(fingerprint().stream_bytes_per_s, 12.5e9);
+  EXPECT_EQ(fingerprint().id, before);
+  set_measured_bandwidth(saved);
+}
+
+TEST(FingerprintTest, CacheLineHelperMatchesFingerprint) {
+  EXPECT_EQ(cache_line_bytes(), fingerprint().cache_line_bytes);
+}
+
+}  // namespace
+}  // namespace snowflake

@@ -1,0 +1,131 @@
+// Hardware counter group: the probe must report one way or the other, the
+// SNOWFLAKE_NO_PMU override must force the fallback deterministically
+// (this is how CI pins the PMU-unavailable path on machines that do have
+// perf access), and invalid readings must never contaminate a kernel
+// profile's measured fields.
+
+#include "trace/counters.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "trace/profile.hpp"
+
+namespace snowflake::trace {
+namespace {
+
+// Scoped setenv/unsetenv so a failing assertion can't leak the override
+// into later tests in this process.
+class EnvGuard {
+public:
+  EnvGuard(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    had_old_ = old != nullptr;
+    if (had_old_) old_ = old;
+    if (value != nullptr) {
+      ::setenv(name, value, 1);
+    } else {
+      ::unsetenv(name);
+    }
+  }
+  ~EnvGuard() {
+    if (had_old_) {
+      ::setenv(name_, old_.c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+
+private:
+  const char* name_;
+  bool had_old_ = false;
+  std::string old_;
+};
+
+TEST(CountersTest, ProbeAlwaysReportsAVerdict) {
+  CounterGroup group;
+  if (group.available()) {
+    EXPECT_TRUE(group.unavailable_reason().empty());
+  } else {
+    EXPECT_FALSE(group.unavailable_reason().empty());
+  }
+}
+
+TEST(CountersTest, DisableEnvForcesFallback) {
+  EnvGuard env(CounterGroup::kDisableEnv, "1");
+  CounterGroup group;
+  EXPECT_FALSE(group.available());
+  EXPECT_NE(group.unavailable_reason().find(CounterGroup::kDisableEnv),
+            std::string::npos);
+  const CounterValues v = group.read();
+  EXPECT_FALSE(v.valid);
+  EXPECT_EQ(v.cycles, 0.0);
+  EXPECT_EQ(v.llc_misses, 0.0);
+}
+
+TEST(CountersTest, ReadIsMonotonicWhenAvailable) {
+  EnvGuard env(CounterGroup::kDisableEnv, nullptr);
+  CounterGroup group;
+  if (!group.available()) {
+    GTEST_SKIP() << "PMU unavailable: " << group.unavailable_reason();
+  }
+  const CounterValues a = group.read();
+  ASSERT_TRUE(a.valid);
+  // Burn some cycles so the delta is observable.
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink = sink + static_cast<double>(i) * 1e-9;
+  const CounterValues b = group.read();
+  ASSERT_TRUE(b.valid);
+  const CounterValues d = b - a;
+  EXPECT_TRUE(d.valid);
+  EXPECT_GE(d.cycles, 0.0);
+  EXPECT_GT(d.instructions, 0.0);
+}
+
+TEST(CountersTest, DeltaOfInvalidReadingsIsInvalid) {
+  CounterValues invalid;  // default: valid=false
+  CounterValues valid;
+  valid.valid = true;
+  valid.cycles = 100.0;
+  EXPECT_FALSE((valid - invalid).valid);
+  EXPECT_FALSE((invalid - valid).valid);
+  EXPECT_FALSE((invalid - invalid).valid);
+  CounterValues later = valid;
+  later.cycles = 250.0;
+  const CounterValues d = later - valid;
+  EXPECT_TRUE(d.valid);
+  EXPECT_DOUBLE_EQ(d.cycles, 150.0);
+}
+
+TEST(CountersTest, InvalidDeltasDoNotContaminateProfiles) {
+  ProfileRegistry::instance().clear();
+  auto& prof = ProfileRegistry::instance().kernel(
+      "counters-test @8x8x8", "openmp", /*bytes_per_run=*/4096.0,
+      /*flops_per_run=*/512.0, "deadbeef");
+  prof.record_run(1e-6, 0.0, CounterValues{});  // PMU-unavailable run
+  KernelProfileData data = prof.snapshot();
+  EXPECT_EQ(data.invocations, 1u);
+  EXPECT_EQ(data.counter_runs, 0u);
+  EXPECT_EQ(data.measured_bytes_per_run(), 0.0);
+  EXPECT_EQ(data.measured_bytes_per_s(), 0.0);
+  EXPECT_EQ(data.ipc(), 0.0);
+
+  CounterValues delta;
+  delta.valid = true;
+  delta.cycles = 2000.0;
+  delta.instructions = 3000.0;
+  delta.llc_misses = 10.0;
+  delta.stalled_cycles = 500.0;
+  prof.record_run(1e-6, 0.0, delta);
+  data = prof.snapshot();
+  EXPECT_EQ(data.invocations, 2u);
+  EXPECT_EQ(data.counter_runs, 1u);
+  EXPECT_GT(data.measured_bytes_per_run(), 0.0);
+  EXPECT_DOUBLE_EQ(data.ipc(), 1.5);
+  EXPECT_DOUBLE_EQ(data.stall_fraction(), 0.25);
+  ProfileRegistry::instance().clear();
+}
+
+}  // namespace
+}  // namespace snowflake::trace

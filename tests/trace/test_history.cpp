@@ -1,0 +1,209 @@
+// Perf ledger: line format round-trips, torn/garbage tails are skipped
+// without hiding the rest of the history, and concurrent appenders never
+// tear a line — the append analogue of the KernelCache atomic-publish
+// tests in tests/jit/test_cache.cpp.
+
+#include "trace/history.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "support/fingerprint.hpp"
+
+namespace snowflake::trace {
+namespace {
+
+namespace fs = std::filesystem;
+
+class HistoryTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    path_ = (fs::temp_directory_path() /
+             (std::string("sf_ledger_test_") + info->name() + ".jsonl"))
+                .string();
+    std::remove(path_.c_str());
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_;
+};
+
+TEST_F(HistoryTest, ParseLedgerLineRoundTrip) {
+  LedgerEntry e;
+  ASSERT_TRUE(parse_ledger_line(
+      R"({"schema":"snowflake-perf-v1","kind":"bench","label":"gsrb \"8^3\"","seconds":2.5e-06,"gbps":11.4})",
+      &e));
+  EXPECT_EQ(e.str("schema"), "snowflake-perf-v1");
+  EXPECT_EQ(e.str("kind"), "bench");
+  EXPECT_EQ(e.str("label"), "gsrb \"8^3\"");
+  EXPECT_DOUBLE_EQ(e.number("seconds"), 2.5e-6);
+  EXPECT_DOUBLE_EQ(e.number("gbps"), 11.4);
+  EXPECT_EQ(e.str("missing"), "");
+  EXPECT_DOUBLE_EQ(e.number("missing", -1.0), -1.0);
+}
+
+TEST_F(HistoryTest, ParseLedgerLineRejectsMalformed) {
+  LedgerEntry e;
+  EXPECT_FALSE(parse_ledger_line("", &e));
+  EXPECT_FALSE(parse_ledger_line("not json", &e));
+  EXPECT_FALSE(parse_ledger_line("{\"torn\":\"lin", &e));
+  EXPECT_FALSE(parse_ledger_line("{\"key\":}", &e));
+  EXPECT_TRUE(parse_ledger_line("{}", &e));
+}
+
+TEST_F(HistoryTest, AppendLoadRoundTrip) {
+  PerfLedger ledger(path_);
+  std::string error;
+  ASSERT_TRUE(ledger.append(
+      {bench_ledger_line("gsrb 8^3", 2.5e-6, 11.4, 120.0),
+       bench_ledger_line("gsrb 16^3", 1.9e-5, 13.7, 150.0)},
+      &error))
+      << error;
+  ASSERT_TRUE(ledger.append({bench_ledger_line("gsrb 8^3", 2.6e-6, 11.0, 118.0)},
+                            &error))
+      << error;
+
+  std::vector<LedgerEntry> entries;
+  int skipped = 0;
+  ASSERT_TRUE(PerfLedger::load(path_, &entries, &error, &skipped)) << error;
+  EXPECT_EQ(skipped, 0);
+  ASSERT_EQ(entries.size(), 3u);
+  // File order is append order; every line carries the shared head.
+  EXPECT_EQ(entries[0].str("label"), "gsrb 8^3");
+  EXPECT_EQ(entries[1].str("label"), "gsrb 16^3");
+  EXPECT_EQ(entries[2].str("label"), "gsrb 8^3");
+  for (const auto& e : entries) {
+    EXPECT_EQ(e.str("schema"), "snowflake-perf-v1");
+    EXPECT_EQ(e.str("kind"), "bench");
+    EXPECT_EQ(e.str("machine"), fingerprint().id);
+    EXPECT_GT(e.number("seconds"), 0.0);
+  }
+}
+
+TEST_F(HistoryTest, KernelLedgerLineCarriesPerRunAverages) {
+  KernelProfileData p;
+  p.label = "gsrb @10x10x10";
+  p.backend = "openmp";
+  p.options_salt = "cafebabe";
+  p.bytes_per_run = 8000.0;
+  p.invocations = 4;
+  p.wall_seconds = 4e-6;
+  p.counter_runs = 2;
+  p.counter_wall_seconds = 2e-6;
+  p.cycles = 8000.0;
+  p.instructions = 12000.0;
+  p.llc_misses = 40.0;
+  p.stalled_cycles = 1000.0;
+
+  LedgerEntry e;
+  ASSERT_TRUE(parse_ledger_line(ledger_line(p), &e));
+  EXPECT_EQ(e.str("kind"), "kernel");
+  EXPECT_EQ(e.str("label"), "gsrb @10x10x10");
+  EXPECT_EQ(e.str("backend"), "openmp");
+  EXPECT_EQ(e.str("options"), "cafebabe");
+  EXPECT_EQ(e.str("key").size(), 16u);
+  EXPECT_DOUBLE_EQ(e.number("seconds"), 1e-6);       // per-run wall
+  EXPECT_DOUBLE_EQ(e.number("invocations"), 4.0);
+  EXPECT_DOUBLE_EQ(e.number("counters"), 1.0);
+  EXPECT_DOUBLE_EQ(e.number("cycles"), 4000.0);      // per counted run
+  EXPECT_DOUBLE_EQ(e.number("llc_misses"), 20.0);
+  EXPECT_GT(e.number("measured_gbps"), 0.0);
+}
+
+TEST_F(HistoryTest, LoadSkipsGarbageLinesButKeepsTheRest) {
+  PerfLedger ledger(path_);
+  ASSERT_TRUE(ledger.append({bench_ledger_line("row1", 1e-6, 1.0, 10.0)}));
+  {
+    // Simulate a torn tail / foreign content in the middle of the file.
+    std::ofstream out(path_, std::ios::app | std::ios::binary);
+    out << "{\"schema\":\"snowflake-perf-v1\",\"kind\":\"bench\",\"tor\n";
+    out << "complete garbage\n";
+  }
+  ASSERT_TRUE(ledger.append({bench_ledger_line("row2", 2e-6, 2.0, 20.0)}));
+
+  std::vector<LedgerEntry> entries;
+  std::string error;
+  int skipped = 0;
+  ASSERT_TRUE(PerfLedger::load(path_, &entries, &error, &skipped)) << error;
+  EXPECT_EQ(skipped, 2);
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].str("label"), "row1");
+  EXPECT_EQ(entries[1].str("label"), "row2");
+}
+
+TEST_F(HistoryTest, LoadFailsCleanlyOnMissingFile) {
+  std::vector<LedgerEntry> entries;
+  std::string error;
+  EXPECT_FALSE(PerfLedger::load(path_ + ".nope", &entries, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST_F(HistoryTest, ConcurrentAppendersNeverTearALine) {
+  // Mirror of CacheTest.TwoInstancesSharingOneDirectory...: several
+  // ledger handles on the same file appending batches concurrently must
+  // produce a file where every line still parses and nothing is lost —
+  // the O_APPEND single-write(2) batch commit is the whole guarantee.
+  constexpr int kThreads = 4;
+  constexpr int kBatches = 50;
+  constexpr int kLinesPerBatch = 3;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([this, t] {
+      PerfLedger ledger(path_);  // one instance per writer, shared file
+      for (int b = 0; b < kBatches; ++b) {
+        std::vector<std::string> batch;
+        for (int l = 0; l < kLinesPerBatch; ++l) {
+          batch.push_back(bench_ledger_line(
+              "writer" + std::to_string(t) + " batch" + std::to_string(b),
+              1e-6 * (l + 1), 1.0, 10.0));
+        }
+        ASSERT_TRUE(ledger.append(batch));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  std::vector<LedgerEntry> entries;
+  std::string error;
+  int skipped = 0;
+  ASSERT_TRUE(PerfLedger::load(path_, &entries, &error, &skipped)) << error;
+  EXPECT_EQ(skipped, 0) << "a concurrent append tore a line";
+  EXPECT_EQ(entries.size(),
+            static_cast<size_t>(kThreads * kBatches * kLinesPerBatch));
+  // Batches commit atomically: the lines of one batch are contiguous.
+  for (size_t i = 0; i + kLinesPerBatch <= entries.size();
+       i += kLinesPerBatch) {
+    const std::string& label = entries[i].str("label");
+    for (int l = 1; l < kLinesPerBatch; ++l) {
+      EXPECT_EQ(entries[i + l].str("label"), label)
+          << "batch interleaved at line " << i + l;
+    }
+  }
+}
+
+TEST_F(HistoryTest, MedianHandlesOddEvenEmpty) {
+  EXPECT_DOUBLE_EQ(median({}), 0.0);
+  EXPECT_DOUBLE_EQ(median({3.0}), 3.0);
+  EXPECT_DOUBLE_EQ(median({5.0, 1.0, 3.0}), 3.0);
+  EXPECT_DOUBLE_EQ(median({4.0, 1.0, 3.0, 2.0}), 2.5);
+  EXPECT_DOUBLE_EQ(median({2.0, 2.0, 9.0, 2.0, 2.0}), 2.0);
+}
+
+TEST_F(HistoryTest, PerfDbPathReflectsEnvironment) {
+  const char* old = std::getenv("SNOWFLAKE_PERF_DB");
+  const std::string saved = old != nullptr ? old : "";
+  ::setenv("SNOWFLAKE_PERF_DB", "/tmp/some_ledger.jsonl", 1);
+  EXPECT_EQ(perf_db_path(), "/tmp/some_ledger.jsonl");
+  ::unsetenv("SNOWFLAKE_PERF_DB");
+  EXPECT_EQ(perf_db_path(), "");
+  if (old != nullptr) ::setenv("SNOWFLAKE_PERF_DB", saved.c_str(), 1);
+}
+
+}  // namespace
+}  // namespace snowflake::trace

@@ -2,16 +2,27 @@
 //
 //   check_bench <baseline.json> <candidate.json> [--tol=<pct>]
 //               [--tol-row=<label>=<pct> ...]
+//   check_bench --history=<ledger.jsonl> <candidate.json> [--tol=<pct>]
+//               [--last=<N>] [--min-history=<M>] [--any-machine]
+//               [--tol-row=<label>=<pct> ...]
 //
-// Both files must be snowflake-bench-v1 (written by any bench binary's
-// --json=<file> flag).  Rows are matched by label; a candidate row whose
-// best seconds exceed the baseline's by more than <pct> percent (default
-// 10) is a regression and the tool exits 1, printing every offender.
-// --tol-row overrides the tolerance for one label (repeatable; split at
-// the LAST '=' since labels contain spaces but never '=').  Rows present
-// in only one file are reported but not fatal — benches gain and lose
-// variants over time.  Rows with seconds <= 0 (informational records like
-// the tuner pick) are ignored.
+// Fixture mode: both files must be snowflake-bench-v1 (written by any
+// bench binary's --json=<file> flag).  Rows are matched by label; a
+// candidate row whose best seconds exceed the baseline's by more than
+// <pct> percent (default 10) is a regression and the tool exits 1,
+// printing every offender.  --tol-row overrides the tolerance for one
+// label (repeatable; split at the LAST '=' since labels contain spaces
+// but never '=').  Rows present in only one file are reported but not
+// fatal — benches gain and lose variants over time.  Rows with seconds
+// <= 0 (informational records like the tuner pick) are ignored.
+//
+// History mode (--history): the baseline is the rolling median of the
+// last N (default 10) kind=bench ledger entries with the same label from
+// this machine's fingerprint (--any-machine lifts the machine filter) —
+// a single noisy fixture file can no longer poison the gate, and the
+// baseline tracks genuine improvements automatically.  Labels with fewer
+// than M (default 2) ledger entries are reported and skipped, so a fresh
+// ledger never fails spuriously.
 
 #include <cmath>
 #include <cstdio>
@@ -21,6 +32,10 @@
 #include <map>
 #include <sstream>
 #include <string>
+#include <vector>
+
+#include "support/fingerprint.hpp"
+#include "trace/history.hpp"
 
 namespace {
 
@@ -71,16 +86,59 @@ bool load(const char* path, std::map<std::string, double>* out) {
   return true;
 }
 
+/// Rolling-median baselines from the perf ledger: label -> median of the
+/// last `window` matching kind=bench entries (file order = append order),
+/// plus the number of entries seen.
+bool load_history(const std::string& ledger_path, size_t window,
+                  bool any_machine,
+                  std::map<std::string, std::vector<double>>* series) {
+  std::vector<snowflake::trace::LedgerEntry> entries;
+  std::string error;
+  int skipped = 0;
+  if (!snowflake::trace::PerfLedger::load(ledger_path, &entries, &error,
+                                          &skipped)) {
+    std::fprintf(stderr, "check_bench: %s\n", error.c_str());
+    return false;
+  }
+  if (skipped > 0) {
+    std::fprintf(stderr, "check_bench: warning: %d unparseable line(s) in %s\n",
+                 skipped, ledger_path.c_str());
+  }
+  const std::string machine = snowflake::fingerprint().id;
+  for (const auto& e : entries) {
+    if (e.str("kind") != "bench") continue;
+    if (!any_machine && e.str("machine") != machine) continue;
+    auto& s = (*series)[e.str("label")];
+    s.push_back(e.number("seconds"));
+    if (s.size() > window) s.erase(s.begin());
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   double tol_pct = 10.0;
   std::map<std::string, double> row_tol;
+  std::string history_path;
+  size_t window = 10;
+  size_t min_history = 2;
+  bool any_machine = false;
   const char* files[2] = {nullptr, nullptr};
   int nfiles = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--tol=", 6) == 0) {
       tol_pct = std::atof(argv[i] + 6);
+    } else if (std::strncmp(argv[i], "--history=", 10) == 0) {
+      history_path = argv[i] + 10;
+    } else if (std::strncmp(argv[i], "--last=", 7) == 0) {
+      window = static_cast<size_t>(std::atoll(argv[i] + 7));
+      if (window == 0) window = 10;
+    } else if (std::strncmp(argv[i], "--min-history=", 14) == 0) {
+      min_history = static_cast<size_t>(std::atoll(argv[i] + 14));
+      if (min_history == 0) min_history = 1;
+    } else if (std::strcmp(argv[i], "--any-machine") == 0) {
+      any_machine = true;
     } else if (std::strncmp(argv[i], "--tol-row=", 10) == 0) {
       const std::string spec(argv[i] + 10);
       const size_t eq = spec.rfind('=');
@@ -95,11 +153,72 @@ int main(int argc, char** argv) {
       files[nfiles++] = argv[i];
     }
   }
+  if (!history_path.empty()) {
+    // History mode: one candidate file, gated against the ledger.
+    if (nfiles != 1) {
+      std::fprintf(stderr,
+                   "usage: %s --history=<ledger.jsonl> <candidate.json> "
+                   "[--tol=<pct>] [--last=<N>] [--min-history=<M>] "
+                   "[--any-machine] [--tol-row=<label>=<pct> ...]\n",
+                   argv[0]);
+      return 1;
+    }
+    std::map<std::string, double> cand;
+    if (!load(files[0], &cand)) return 1;
+    std::map<std::string, std::vector<double>> series;
+    if (!load_history(history_path, window, any_machine, &series)) return 1;
+
+    int regressions = 0, compared = 0;
+    for (const auto& [label, cand_s] : cand) {
+      if (cand_s <= 0.0) continue;
+      const auto it = series.find(label);
+      if (it == series.end() || it->second.size() < min_history) {
+        std::printf(
+            "check_bench: '%s' has %zu ledger entr%s (< %zu), skipped\n",
+            label.c_str(), it == series.end() ? 0 : it->second.size(),
+            (it != series.end() && it->second.size() == 1) ? "y" : "ies",
+            min_history);
+        continue;
+      }
+      ++compared;
+      const double base_s = snowflake::trace::median(it->second);
+      const auto rt = row_tol.find(label);
+      const double tol = rt != row_tol.end() ? rt->second : tol_pct;
+      const double delta_pct = 100.0 * (cand_s - base_s) / base_s;
+      if (delta_pct > tol) {
+        std::fprintf(stderr,
+                     "check_bench: REGRESSION '%s': median(%zu) %.3es -> "
+                     "%.3es (%+.1f%%, tol %.1f%%)\n",
+                     label.c_str(), it->second.size(), base_s, cand_s,
+                     delta_pct, tol);
+        ++regressions;
+      }
+    }
+    if (compared == 0) {
+      std::fprintf(stderr,
+                   "check_bench: no candidate row has enough ledger history "
+                   "(need %zu entries per label)\n",
+                   min_history);
+      return 1;
+    }
+    if (regressions > 0) {
+      std::fprintf(stderr, "check_bench: %d regression(s) vs rolling median\n",
+                   regressions);
+      return 1;
+    }
+    std::printf(
+        "check_bench: %d row(s) within %.1f%% of the rolling median "
+        "(window %zu)\n",
+        compared, tol_pct, window);
+    return 0;
+  }
+
   if (nfiles != 2) {
     std::fprintf(stderr,
                  "usage: %s <baseline.json> <candidate.json> [--tol=<pct>] "
-                 "[--tol-row=<label>=<pct> ...]\n",
-                 argv[0]);
+                 "[--tol-row=<label>=<pct> ...]\n"
+                 "       %s --history=<ledger.jsonl> <candidate.json> ...\n",
+                 argv[0], argv[0]);
     return 1;
   }
 

@@ -1,32 +1,110 @@
-// check_trace: CI validator for emitted Chrome trace-event JSON.
+// check_trace: CI validator for emitted observability output.
 //
 //   check_trace <trace.json> [required-span-name...]
+//   check_trace --metrics <metrics.txt> [required-substring...]
 //
-// Exits 0 when the file parses as JSON, contains a traceEvents array, and
-// every required span name appears; prints what failed and exits 1
-// otherwise.  Used by the quickstart_trace_validate ctest entry.
+// Trace mode exits 0 when the file parses as JSON, contains a traceEvents
+// array, and every required span name appears.  Metrics mode validates
+// the $SNOWFLAKE_METRICS text dump: the header, the hardware-counter
+// availability line (the probe must always report one way or the other),
+// the counters and kernels sections, and any required substrings — e.g.
+// "measured" to demand PMU-derived fields, or "hardware counters:
+// unavailable" to pin the fallback path in CI.  Prints what failed and
+// exits 1 otherwise.
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
 
 #include "trace/export.hpp"
 
-int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::fprintf(stderr, "usage: %s <trace.json> [required-span-name...]\n",
-                 argv[0]);
-    return 1;
-  }
-  std::ifstream in(argv[1], std::ios::binary);
+namespace {
+
+bool slurp(const char* path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
   if (!in) {
-    std::fprintf(stderr, "check_trace: cannot open '%s'\n", argv[1]);
-    return 1;
+    std::fprintf(stderr, "check_trace: cannot open '%s'\n", path);
+    return false;
   }
   std::ostringstream ss;
   ss << in.rdbuf();
-  const std::string json = ss.str();
+  *out = ss.str();
+  return true;
+}
+
+int check_metrics(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: check_trace --metrics <metrics.txt> "
+                 "[required-substring...]\n");
+    return 1;
+  }
+  std::string text;
+  if (!slurp(argv[2], &text)) return 1;
+
+  int failures = 0;
+  const char* structure[] = {
+      "== snowflake metrics ==",
+      "hardware counters: ",  // probe verdict: "available" or "unavailable"
+      "counters (",
+      "kernels (",
+  };
+  for (const char* needle : structure) {
+    if (text.find(needle) == std::string::npos) {
+      std::fprintf(stderr, "check_trace: metrics missing section '%s'\n",
+                   needle);
+      ++failures;
+    }
+  }
+  // The counter fields travel together: a metrics dump claiming the PMU
+  // is available must show measured bandwidth on kernels that ran, and a
+  // fallback dump must not fabricate any.
+  const bool claims_available =
+      text.find("hardware counters: available") != std::string::npos;
+  const bool has_measured = text.find(", measured ") != std::string::npos;
+  const bool has_runs = text.find(" runs,") != std::string::npos;
+  if (!claims_available && has_measured) {
+    std::fprintf(stderr,
+                 "check_trace: metrics report measured counters while the "
+                 "PMU probe says unavailable\n");
+    ++failures;
+  }
+  if (claims_available && has_runs && !has_measured) {
+    std::fprintf(stderr,
+                 "check_trace: PMU available and kernels ran, but no "
+                 "measured fields in metrics\n");
+    ++failures;
+  }
+  for (int i = 3; i < argc; ++i) {
+    if (text.find(argv[i]) == std::string::npos) {
+      std::fprintf(stderr, "check_trace: metrics missing required '%s'\n",
+                   argv[i]);
+      ++failures;
+    }
+  }
+  if (failures > 0) return 1;
+  std::printf("check_trace: %s ok (%zu bytes, %d required substrings)\n",
+              argv[2], text.size(), argc - 3);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "--metrics") == 0) {
+    return check_metrics(argc, argv);
+  }
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s <trace.json> [required-span-name...]\n"
+                 "       %s --metrics <metrics.txt> [required-substring...]\n",
+                 argv[0], argv[0]);
+    return 1;
+  }
+  std::string json;
+  if (!slurp(argv[1], &json)) return 1;
 
   std::string error;
   if (!snowflake::trace::validate_trace_json(json, &error)) {

@@ -1,0 +1,272 @@
+// snowreport: render per-kernel performance trends from the persistent
+// perf ledger ($SNOWFLAKE_PERF_DB, schema snowflake-perf-v1), plus a
+// distsim critical-path breakdown from a Chrome trace file.
+//
+//   snowreport <ledger.jsonl> [--kernel=<substr>] [--machine=<id|any>]
+//              [--last=<N>] [--series] [--require-rows=<n>]
+//   snowreport --critical-path <trace.json>
+//
+// Ledger mode groups entries by (kind, label, backend, options, machine)
+// — one time series per kernel per configuration per machine — and prints
+// one trend row per group: the latest per-run seconds, the rolling median
+// of the last N entries, the regression delta against that median, and
+// achieved GB/s both ways (static traffic model and hardware counters)
+// next to the roofline percentage.  --series additionally lists every
+// entry of each group.  --require-rows=<n> exits 1 unless at least n
+// trend rows rendered (the CI assertion that a ledger actually
+// accumulated history).  By default only entries from this machine are
+// shown (timings don't compare across fingerprints); --machine=any lifts
+// that.
+//
+// --critical-path parses the distsim:r<r>:w<w>:{send,wait,compute,
+// boundary} spans a traced distsim run emits (categories dist-comm /
+// dist-compute) and prints per-rank comm-vs-compute totals; the critical
+// path is the rank with the largest total — its comm share is what
+// overlap (CompileOptions::dist_overlap) has left unhidden.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "support/fingerprint.hpp"
+#include "trace/history.hpp"
+
+using snowflake::trace::LedgerEntry;
+using snowflake::trace::PerfLedger;
+
+namespace {
+
+struct Series {
+  std::vector<const LedgerEntry*> entries;  // append order
+};
+
+int run_ledger_report(const std::string& path, const std::string& kernel_filter,
+                      std::string machine, size_t last, bool series,
+                      int require_rows) {
+  std::vector<LedgerEntry> entries;
+  std::string error;
+  int skipped = 0;
+  if (!PerfLedger::load(path, &entries, &error, &skipped)) {
+    std::fprintf(stderr, "snowreport: %s\n", error.c_str());
+    return 1;
+  }
+  if (skipped > 0) {
+    std::fprintf(stderr, "snowreport: warning: %d unparseable line(s) in %s\n",
+                 skipped, path.c_str());
+  }
+  if (machine.empty()) machine = snowflake::fingerprint().id;
+
+  std::map<std::string, Series> groups;
+  std::map<std::string, int> machines;
+  for (const auto& e : entries) {
+    ++machines[e.str("machine")];
+    if (machine != "any" && e.str("machine") != machine) continue;
+    if (!kernel_filter.empty() &&
+        e.str("label").find(kernel_filter) == std::string::npos) {
+      continue;
+    }
+    const std::string key = e.str("kind") + "\x1f" + e.str("label") + "\x1f" +
+                            e.str("backend") + "\x1f" + e.str("options") +
+                            "\x1f" + e.str("machine");
+    groups[key].entries.push_back(&e);
+  }
+
+  std::printf("== perf ledger: %s (%zu entries, %zu machine(s)) ==\n",
+              path.c_str(), entries.size(), machines.size());
+  if (machine != "any") {
+    std::printf("machine %s (%s); --machine=any to include all\n",
+                machine.c_str(), snowflake::fingerprint().cpu_model.c_str());
+  }
+
+  int rows = 0;
+  for (const auto& [key, group] : groups) {
+    const LedgerEntry& latest = *group.entries.back();
+    std::vector<double> window;
+    const size_t n = group.entries.size();
+    for (size_t i = n > last ? n - last : 0; i < n; ++i) {
+      window.push_back(group.entries[i]->number("seconds"));
+    }
+    const double med = snowflake::trace::median(window);
+    const double latest_s = latest.number("seconds");
+    const double delta_pct =
+        med > 0.0 ? 100.0 * (latest_s - med) / med : 0.0;
+
+    std::printf("[%s] %s", latest.str("kind").c_str(),
+                latest.str("label").c_str());
+    if (latest.str("kind") != "bench") {
+      std::printf(" (%s", latest.str("backend").c_str());
+      if (!latest.str("options").empty()) {
+        std::printf(", opts %.8s", latest.str("options").c_str());
+      }
+      std::printf(")");
+    }
+    std::printf("  x%zu\n", n);
+    std::printf("    latest %.3e s, median(last %zu) %.3e s, delta %+.1f%%",
+                latest_s, window.size(), med, delta_pct);
+    if (const double gbps = latest.number("gbps"); gbps > 0.0) {
+      std::printf(", %.2f GB/s modeled", gbps);
+    }
+    if (latest.number("counters") > 0.0) {
+      std::printf(", %.2f GB/s measured", latest.number("measured_gbps"));
+    }
+    if (const double roof = latest.number("roofline_pct"); roof > 0.0) {
+      std::printf(", %.1f%% of roofline", roof);
+    }
+    std::printf("\n");
+    if (series) {
+      for (const auto* e : group.entries) {
+        std::printf("      ts %.0f: %.3e s", e->number("ts"),
+                    e->number("seconds"));
+        if (e->number("counters") > 0.0) {
+          std::printf(" (%.0f cyc, %.0f llc-miss)", e->number("cycles"),
+                      e->number("llc_misses"));
+        }
+        std::printf("\n");
+      }
+    }
+    ++rows;
+  }
+  if (rows == 0) {
+    std::printf("(no matching trend rows)\n");
+  }
+  if (require_rows > 0 && rows < require_rows) {
+    std::fprintf(stderr, "snowreport: expected >= %d trend row(s), got %d\n",
+                 require_rows, rows);
+    return 1;
+  }
+  return 0;
+}
+
+/// Distsim span accounting scraped from a Chrome trace: seconds per rank
+/// per phase.  The trace writer emits {"name":...,"cat":...,...,"dur":N}
+/// in fixed field order, so a scan is enough (same approach as
+/// check_bench's report parser).
+struct RankBreakdown {
+  double send = 0, wait = 0, compute = 0, boundary = 0;
+  double total() const { return send + wait + compute + boundary; }
+  double comm() const { return send + wait; }
+};
+
+int run_critical_path(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "snowreport: cannot open trace '%s'\n", path.c_str());
+    return 1;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const std::string json = ss.str();
+
+  std::map<int, RankBreakdown> ranks;
+  int waves = 0;
+  const std::string needle = "\"name\":\"distsim:r";
+  const std::string dur_key = "\"dur\":";
+  size_t pos = 0;
+  while ((pos = json.find(needle, pos)) != std::string::npos) {
+    pos += needle.size();
+    char* end = nullptr;
+    const int rank = static_cast<int>(std::strtol(json.c_str() + pos, &end, 10));
+    size_t p = static_cast<size_t>(end - json.c_str());
+    if (p >= json.size() || json[p] != ':' || json[p + 1] != 'w') continue;
+    const int wave =
+        static_cast<int>(std::strtol(json.c_str() + p + 2, &end, 10));
+    waves = std::max(waves, wave + 1);
+    p = static_cast<size_t>(end - json.c_str());
+    if (p >= json.size() || json[p] != ':') continue;
+    const size_t phase_end = json.find('"', p + 1);
+    if (phase_end == std::string::npos) continue;
+    const std::string phase = json.substr(p + 1, phase_end - p - 1);
+    const size_t dpos = json.find(dur_key, phase_end);
+    if (dpos == std::string::npos) continue;
+    const double dur_s =
+        std::strtod(json.c_str() + dpos + dur_key.size(), nullptr) / 1e6;
+    RankBreakdown& rb = ranks[rank];
+    if (phase == "send") rb.send += dur_s;
+    else if (phase == "wait") rb.wait += dur_s;
+    else if (phase == "compute") rb.compute += dur_s;
+    else if (phase == "boundary") rb.boundary += dur_s;
+  }
+
+  if (ranks.empty()) {
+    std::fprintf(stderr,
+                 "snowreport: no distsim spans in %s (trace a distsim run "
+                 "with SNOWFLAKE_TRACE)\n",
+                 path.c_str());
+    return 1;
+  }
+
+  std::printf("== distsim critical path: %s (%zu ranks, %d waves) ==\n",
+              path.c_str(), ranks.size(), waves);
+  std::printf("%-6s %-12s %-12s %-12s %-12s %-12s %s\n", "rank", "send s",
+              "wait s", "compute s", "boundary s", "total s", "comm %");
+  int critical = -1;
+  double critical_total = -1.0;
+  for (const auto& [rank, rb] : ranks) {
+    std::printf("%-6d %-12.3e %-12.3e %-12.3e %-12.3e %-12.3e %.1f\n", rank,
+                rb.send, rb.wait, rb.compute, rb.boundary, rb.total(),
+                rb.total() > 0 ? 100.0 * rb.comm() / rb.total() : 0.0);
+    if (rb.total() > critical_total) {
+      critical_total = rb.total();
+      critical = rank;
+    }
+  }
+  const RankBreakdown& cp = ranks[critical];
+  std::printf(
+      "critical path: rank %d, %.3e s total, %.1f%% in communication "
+      "(unhidden by overlap)\n",
+      critical, cp.total(),
+      cp.total() > 0 ? 100.0 * cp.comm() / cp.total() : 0.0);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string ledger_path, trace_path, kernel_filter, machine;
+  size_t last = 10;
+  bool series = false;
+  int require_rows = 0;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strncmp(a, "--kernel=", 9) == 0) {
+      kernel_filter = a + 9;
+    } else if (std::strncmp(a, "--machine=", 10) == 0) {
+      machine = a + 10;
+    } else if (std::strncmp(a, "--last=", 7) == 0) {
+      last = static_cast<size_t>(std::atoll(a + 7));
+    } else if (std::strcmp(a, "--series") == 0) {
+      series = true;
+    } else if (std::strncmp(a, "--require-rows=", 15) == 0) {
+      require_rows = std::atoi(a + 15);
+    } else if (std::strcmp(a, "--critical-path") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "snowreport: --critical-path needs a trace file\n");
+        return 1;
+      }
+      trace_path = argv[++i];
+    } else if (a[0] == '-') {
+      std::fprintf(stderr,
+                   "usage: snowreport <ledger.jsonl> [--kernel=<substr>] "
+                   "[--machine=<id|any>] [--last=<N>] [--series] "
+                   "[--require-rows=<n>]\n"
+                   "       snowreport --critical-path <trace.json>\n");
+      return std::strcmp(a, "--help") == 0 ? 0 : 1;
+    } else {
+      ledger_path = a;
+    }
+  }
+  if (!trace_path.empty()) return run_critical_path(trace_path);
+  if (ledger_path.empty()) {
+    std::fprintf(stderr, "snowreport: no ledger file given (--help for usage)\n");
+    return 1;
+  }
+  if (last == 0) last = 10;
+  return run_ledger_report(ledger_path, kernel_filter, machine, last, series,
+                           require_rows);
+}
