@@ -1,0 +1,135 @@
+// Ablation: the persistent autotuning database (warm-start tiers).
+//
+// Three tune() calls on the VC GSRB smoother against a fresh tune db:
+//
+//   cold   full candidate sweep at n^3 — every candidate compiles + times;
+//   warm   the same (group, machine, shape class) again — an exact store
+//          hit answers from the db with zero candidate compiles and zero
+//          timing reps, so wall clock collapses (>= 10x is the bar,
+//          enforced by --min-speedup);
+//   near   the neighbouring shape class (n/2)^3 — a pruned re-validation
+//          sweep strictly smaller than the full list, and the unseen
+//          shape class lands in the tuning-debt queue.
+//
+// Emits --json rows (seconds = wall clock for the tune rows, counts for
+// the sweep-size rows) for the check_bench fixture; candidate counts are
+// TuneResult::timings sizes, i.e. the number of candidates actually
+// compiled and timed per tier.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <chrono>
+
+#include "bench_common.hpp"
+#include "multigrid/operators.hpp"
+#include "tune/store.hpp"
+#include "tune/tuner.hpp"
+
+using namespace snowflake;
+using namespace snowflake::bench;
+
+namespace {
+
+double wall() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = Args::parse(argc, argv);
+  double min_speedup = 0.0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--min-speedup=", 14) == 0) {
+      min_speedup = std::atof(argv[i] + 14);
+    }
+  }
+
+  // A fresh database: cold must really be cold.
+  if (tune::tune_db_path().empty()) {
+    setenv("SNOWFLAKE_TUNE_DB", "bench_ablation_tune.db.jsonl", 1);
+  }
+  std::remove(tune::tune_db_path().c_str());
+
+  banner("Ablation: warm-start autotuning for VC GSRB at " +
+             std::to_string(args.n) + "^3",
+         "cold = full sweep, warm = tune-db exact hit, near = pruned sweep "
+         "at (n/2)^3 + debt enqueue.\ndb: " + tune::tune_db_path());
+
+  const StencilGroup group = mg::gsrb_smooth_group(3);
+  const Tuner tuner;
+
+  BenchLevel bl(args.n);
+  const ParamMap params{{"h2inv", bl.h2inv()}};
+  const auto candidates =
+      default_tile_candidates(3, shapes_of(bl.grids()).at("x"));
+
+  const double t0 = wall();
+  const TuneResult cold =
+      tuner.tune(group, bl.grids(), params, "openmp", candidates, 1, 2);
+  const double cold_s = wall() - t0;
+
+  const double t1 = wall();
+  const TuneResult warm =
+      tuner.tune(group, bl.grids(), params, "openmp", candidates, 1, 2);
+  const double warm_s = wall() - t1;
+
+  BenchLevel near_bl(args.n / 2);
+  const ParamMap near_params{{"h2inv", near_bl.h2inv()}};
+  const auto near_candidates =
+      default_tile_candidates(3, shapes_of(near_bl.grids()).at("x"));
+  const double t2 = wall();
+  const TuneResult near =
+      tuner.tune(group, near_bl.grids(), near_params, "openmp",
+                 near_candidates, 1, 2);
+  const double near_s = wall() - t2;
+
+  tune::TuneDb db;
+  tune::TuneStore().load(&db);
+  int open_debts = 0;
+  for (const auto& [ks, debt] : db.debts) open_debts += debt.open > 0;
+
+  const double speedup = warm_s > 0.0 ? cold_s / warm_s : 0.0;
+  Table table({"tier", "best", "wall s", "candidates"});
+  table.row({"cold (full sweep)", cold.best.label, Table::sci(cold_s),
+             std::to_string(cold.timings.size())});
+  table.row({"warm (store hit)", warm.best.label, Table::sci(warm_s), "0"});
+  table.row({"near (pruned sweep)", near.best.label, Table::sci(near_s),
+             std::to_string(near.timings.size())});
+  std::printf("\nwarm speedup: %.0fx; open debts: %d\n", speedup, open_debts);
+
+  JsonReport::instance().record("cold tune", cold_s, 0, 0);
+  JsonReport::instance().record("warm tune", warm_s, 0, 0);
+  JsonReport::instance().record("near tune", near_s, 0, 0);
+  JsonReport::instance().record(
+      "full sweep candidates", static_cast<double>(cold.timings.size()), 0, 0);
+  JsonReport::instance().record(
+      "pruned sweep candidates", static_cast<double>(near.timings.size()), 0,
+      0);
+  JsonReport::instance().record("open debts",
+                                static_cast<double>(open_debts), 0, 0);
+
+  // The whole point of the store: a warm process answers instantly, and a
+  // neighbour query never repeats the full sweep.
+  bool ok = true;
+  if (warm.best.label != cold.best.label) {
+    std::printf("FAIL: warm best %s != cold best %s\n",
+                warm.best.label.c_str(), cold.best.label.c_str());
+    ok = false;
+  }
+  if (near.timings.size() >= cold.timings.size()) {
+    std::printf("FAIL: pruned sweep (%zu) not smaller than full sweep (%zu)\n",
+                near.timings.size(), cold.timings.size());
+    ok = false;
+  }
+  if (min_speedup > 0.0 && speedup < min_speedup) {
+    std::printf("FAIL: warm speedup %.1fx < required %.1fx\n", speedup,
+                min_speedup);
+    ok = false;
+  }
+  JsonReport::instance().flush();
+  return ok ? 0 : 1;
+}

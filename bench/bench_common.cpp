@@ -10,7 +10,9 @@
 #include <vector>
 
 #include "ir/stencil_library.hpp"
+#include "ir/validate.hpp"
 #include "roofline/stream.hpp"
+#include "tune/tuner.hpp"
 #include "support/fingerprint.hpp"
 #include "trace/history.hpp"
 #include "trace/profile.hpp"
@@ -38,10 +40,16 @@ Args Args::parse(int argc, char** argv) {
       JsonReport::instance().enable(a + 7);
     } else if (std::strncmp(a, "--perf-db=", 10) == 0) {
       setenv("SNOWFLAKE_PERF_DB", a + 10, 1);
+    } else if (std::strcmp(a, "--tune") == 0) {
+      args.tune = true;
+    } else if (std::strncmp(a, "--tune-db=", 10) == 0) {
+      setenv("SNOWFLAKE_TUNE_DB", a + 10, 1);
+      args.tune = true;
     } else if (std::strcmp(a, "--help") == 0) {
       std::printf(
           "options: --n=<size> --sweeps=<reps> --paper --trace=<out.json> "
-          "--metrics --json=<out.json> --perf-db=<ledger.jsonl>\n");
+          "--metrics --json=<out.json> --perf-db=<ledger.jsonl> "
+          "--tune --tune-db=<db.jsonl>\n");
       std::exit(0);
     }
   }
@@ -153,6 +161,22 @@ double host_bandwidth() {
     return b;
   }();
   return bw;
+}
+
+CompileOptions tuned_options(const StencilGroup& group, GridSet& grids,
+                             const ParamMap& params,
+                             const std::string& backend) {
+  const ShapeMap shapes = shapes_of(grids);
+  Index box;
+  for (const auto& [name, shape] : shapes) {
+    if (shape.size() > box.size()) box = shape;
+  }
+  const TuneResult result =
+      Tuner().tune(group, grids, params, backend,
+                   default_tile_candidates(group.rank(), box),
+                   /*warmup=*/1, /*reps=*/2);
+  std::printf("tuned: %s\n", result.best.label.c_str());
+  return result.best.options;
 }
 
 BenchLevel::BenchLevel(std::int64_t n, bool variable_beta) {

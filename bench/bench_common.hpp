@@ -32,6 +32,10 @@ struct Args {
   bool n_explicit = false;  // true when --n= was passed
   int sweeps = 5;
   bool paper = false;
+  /// --tune: autotune kernel options through the warm-start path before
+  /// timing (tuned_options below).  --tune-db=<f> points $SNOWFLAKE_TUNE_DB
+  /// at <f> so the sweep persists and later runs start warm.
+  bool tune = false;
   static Args parse(int argc, char** argv);
 };
 
@@ -46,6 +50,15 @@ double time_kernel_best(CompiledKernel& kernel, GridSet& grids,
 
 /// Measured Figure 6 STREAM-dot bandwidth (bytes/s), memoized per process.
 double host_bandwidth();
+
+/// Warm-path autotune for a bench kernel: Tuner::tune over
+/// default_tile_candidates(rank, grid box) — an exact hit in
+/// $SNOWFLAKE_TUNE_DB returns the stored best with zero candidate
+/// compiles, so `--tune --tune-db=<f>` benches pay the sweep once per
+/// (kernel, machine, shape class) fleet-wide.
+CompileOptions tuned_options(const StencilGroup& group, GridSet& grids,
+                             const ParamMap& params,
+                             const std::string& backend);
 
 /// A multigrid level plus the extra grids the standalone stencil benches
 /// need (out, dinv), with lambda/dinv initialized.

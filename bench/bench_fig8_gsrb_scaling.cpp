@@ -40,6 +40,11 @@ int main(int argc, char** argv) {
 
     CompileOptions opt;
     opt.fuse_colors = true;  // the paper's multicolor reordering (§IV-A)
+    if (args.tune) {
+      // Warm-start autotuned schedule (instant on a tune-db hit).
+      opt = tuned_options(mg::gsrb_smooth_group(3), bl.grids(), params,
+                          "openmp");
+    }
     auto kernel = compile(mg::gsrb_smooth_group(3), bl.grids(), "openmp", opt);
     const double t_sf =
         time_kernel_best(*kernel, bl.grids(), params, 2, args.sweeps);

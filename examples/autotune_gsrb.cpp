@@ -1,6 +1,9 @@
 // Autotuning the GSRB smoother's compile options (paper §IV-A: tiling
 // "provides a method of tuning tiling sizes").  Sweeps tile sizes and
-// multicolor reordering, then reports the winner.
+// multicolor reordering, then reports the winner — and lets the solver
+// do the same internally via Config::autotune.  Set
+// SNOWFLAKE_TUNE_DB=tune.jsonl and run twice: the second run answers
+// from the persistent database with zero candidate recompiles.
 //
 // Usage: autotune_gsrb [n]   (default 48)
 
@@ -10,6 +13,7 @@
 #include "ir/stencil_library.hpp"
 #include "multigrid/operators.hpp"
 #include "multigrid/solver.hpp"
+#include "tune/store.hpp"
 #include "tune/tuner.hpp"
 
 using namespace snowflake;
@@ -32,10 +36,10 @@ int main(int argc, char** argv) {
   std::printf("tuning VC GSRB smoother at %lld^3 over the OpenMP backend\n\n",
               static_cast<long long>(n));
   Tuner tuner;
-  const TuneResult result =
-      tuner.tune(mg::gsrb_smooth_group(3), grids, {{"h2inv", level.h2inv()}},
-                 "openmp", default_tile_candidates(3), /*warmup=*/2,
-                 /*reps=*/3);
+  const TuneResult result = tuner.tune(
+      mg::gsrb_smooth_group(3), grids, {{"h2inv", level.h2inv()}}, "openmp",
+      default_tile_candidates(3, level.box_shape()), /*warmup=*/2,
+      /*reps=*/3);
 
   std::printf("%-16s %-12s\n", "candidate", "seconds");
   for (const auto& t : result.timings) {
@@ -43,5 +47,17 @@ int main(int argc, char** argv) {
                 t.label == result.best.label ? "  <-- best" : "");
   }
   std::printf("\nbest configuration: %s\n", result.best.label.c_str());
+
+  // The solver runs the same sweep internally: Config::autotune tunes the
+  // finest-level smoother before any kernel compiles and adopts the
+  // winner hierarchy-wide (warm-started when $SNOWFLAKE_TUNE_DB is set).
+  mg::Solver::Config config;
+  config.problem = spec;
+  config.autotune = true;
+  mg::Solver solver(config);
+  solver.vcycle();
+  std::printf("\nsolver(autotune): schedule {%s}, one V-cycle -> |r| %.3e\n",
+              tune::encode_options(solver.config().options).c_str(),
+              solver.residual_norm());
   return 0;
 }

@@ -100,7 +100,9 @@ std::string options_salt(const CompileOptions& o) {
       .add(static_cast<std::int64_t>(o.barrier_per_stencil))
       .add(static_cast<std::int64_t>(o.analysis))
       .add(static_cast<std::int64_t>(o.time_tile))
-      .add(static_cast<std::int64_t>(o.addr_opt));
+      .add(static_cast<std::int64_t>(o.addr_opt))
+      .add(static_cast<std::int64_t>(o.wavefront))
+      .add(static_cast<std::int64_t>(o.simd_rows));
   for (const auto v : o.workgroup) h.add(v);
   h.add(static_cast<std::int64_t>(o.dist_ranks))
       .add(static_cast<std::int64_t>(o.dist_overlap))

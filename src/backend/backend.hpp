@@ -65,6 +65,23 @@ struct CompileOptions {
   /// to the legacy re-linearized indexing when illegal; off = exactly
   /// today's codegen (A/B comparison, `bench_ablation_addr`).
   bool addr_opt = true;
+  /// Wavefront time-tiling (JIT backends, requires time_tile >= 2):
+  /// replace the per-tile snapshot+scratch schedule with a skewed slab
+  /// traversal along dim 0.  Slabs are processed in order; the left fused
+  /// halo comes from a small carry band saved before each copy-out, the
+  /// right halo from the still-untouched live grid ahead of the
+  /// wavefront — no whole-grid snapshot, cutting the temporal-blocking
+  /// traffic overhead to O(halo) per written grid.  `tile[0]` is the slab
+  /// width (clamped to at least the fused halo depth); the same
+  /// analysis/halo legality gate applies, with fallback first to the
+  /// snapshot schedule's planner inputs and then to per-sweep.
+  bool wavefront = false;
+  /// Explicit-SIMD row kernels: annotate innermost point-parallel rows
+  /// with `#pragma omp simd` (plus addr-plan `linear` clauses) as its own
+  /// candidate axis.  Unlike `simd` this also applies to the sequential
+  /// "c" backend, which is compiled with -fopenmp-simd so the pragma
+  /// vectorizes without the OpenMP runtime.
+  bool simd_rows = false;
   /// Work-group tile (oclsim backend): the tall-skinny 2D block edge sizes
   /// in the innermost two dims.  Empty = {16, 64}.
   Index workgroup;

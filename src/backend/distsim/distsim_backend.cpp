@@ -32,7 +32,9 @@ CompileOptions rank_options(const CompileOptions& options) {
   CompileOptions safe = options;
   safe.schedule = CompileOptions::Schedule::Tasks;
   safe.simd = false;
+  safe.simd_rows = false;  // sub-kernels assert an omp-pragma-free source
   safe.time_tile = 1;
+  safe.wavefront = false;
   safe.dist_ranks = 0;
   safe.workgroup = Index();
   return safe;

@@ -13,6 +13,7 @@
 #include "codegen/transform/multicolor.hpp"
 #include "codegen/transform/tiling.hpp"
 #include "codegen/transform/time_tiling.hpp"
+#include "codegen/transform/wavefront.hpp"
 #include "codegen/verify_plan.hpp"
 #include "jit/cache.hpp"
 #include "roofline/traffic.hpp"
@@ -89,7 +90,19 @@ EmitOptions emit_options_for(const CompileOptions& options,
       break;
   }
   eo.simd = options.simd;
+  eo.simd_rows = options.simd_rows;
   return eo;
+}
+
+/// Host toolchain flags for a JIT compile.  Sequential-mode simd_rows
+/// kernels get -fopenmp-simd so their `omp simd` pragmas vectorize
+/// without the OpenMP runtime (the flag feeds flags_fingerprint(), hence
+/// the kernel cache key).
+ToolchainConfig toolchain_for(const CompileOptions& options, bool openmp) {
+  ToolchainConfig tc;
+  tc.openmp = openmp;
+  if (!openmp && options.simd_rows) tc.extra_flags.push_back("-fopenmp-simd");
+  return tc;
 }
 
 class JitKernel final : public CompiledKernel {
@@ -147,7 +160,11 @@ public:
       const StencilGroup& group, const ShapeMap& shapes,
       const CompileOptions& options) override {
     if (options.time_tile >= 2 && mode_ != JitMode::OpenMPTarget) {
-      if (auto kernel = compile_time_tiled(group, shapes, options)) {
+      if (options.wavefront) {
+        if (auto kernel = compile_wavefront(group, shapes, options)) {
+          return kernel;
+        }
+      } else if (auto kernel = compile_time_tiled(group, shapes, options)) {
         return kernel;
       }
       // Fall through to the per-sweep schedule: one run() = one sweep.
@@ -162,9 +179,8 @@ public:
       source = emit_c_source(plan, eo);
       span.counter("source_bytes", static_cast<double>(source.size()));
     }
-    ToolchainConfig tc;
-    tc.openmp = mode_ != JitMode::Sequential;
-    const Toolchain toolchain(tc);
+    const Toolchain toolchain(
+        toolchain_for(options, mode_ != JitMode::Sequential));
     auto module = KernelCache::instance().get_or_compile(source, toolchain);
     return std::make_unique<JitKernel>(std::move(plan), source,
                                        std::move(module), name());
@@ -196,6 +212,7 @@ private:
                   ? EmitOptions::Mode::OpenMPTasks
                   : EmitOptions::Mode::OpenMPFor;
     eo.simd = options.simd;
+    eo.simd_rows = options.simd_rows;
     const AddrPlan addr = maybe_plan_addresses(tt->base, options);
     if (options.addr_opt) eo.addr = &addr;
     std::string source;
@@ -204,14 +221,57 @@ private:
       source = emit_time_tiled_source(*tt, eo);
       span.counter("source_bytes", static_cast<double>(source.size()));
     }
-    ToolchainConfig tc;
-    tc.openmp = mode_ != JitMode::Sequential;
-    const Toolchain toolchain(tc);
+    const Toolchain toolchain(
+        toolchain_for(options, mode_ != JitMode::Sequential));
     auto module = KernelCache::instance().get_or_compile(source, toolchain);
     const double bytes = time_tile_traffic_bytes(*tt);
     return std::make_unique<JitKernel>(std::move(tt->base), source,
                                        std::move(module), name(), tt->depth,
                                        bytes);
+  }
+
+  /// Attempt the wavefront temporal-blocking path (CompileOptions::
+  /// wavefront); nullptr with a logged reason when the halo analysis
+  /// rejects the group (the caller then falls back to per-sweep).
+  std::unique_ptr<CompiledKernel> compile_wavefront(
+      const StencilGroup& group, const ShapeMap& shapes,
+      const CompileOptions& options) {
+    const Schedule schedule = build_schedule(group, shapes, options);
+    std::string reason;
+    auto wf = plan_wavefront(group, shapes, schedule, options.time_tile,
+                             options.tile, &reason);
+    if (!wf) {
+      SF_LOG_WARN("wavefront fallback (depth " << options.time_tile
+                                               << "): " << reason);
+      return nullptr;
+    }
+    {
+      trace::Span span("codegen:verify_plan", "compile");
+      verify_plan(wf->tt.base);
+    }
+    EmitOptions eo;
+    // Both OpenMP schedules render identically as worksharing over the
+    // cooperative slab sweep (tasks have no role in an ordered traversal);
+    // normalizing keeps the cache key shared.
+    eo.mode = mode_ == JitMode::Sequential ? EmitOptions::Mode::Sequential
+                                           : EmitOptions::Mode::OpenMPFor;
+    eo.simd = options.simd;
+    eo.simd_rows = options.simd_rows;
+    const AddrPlan addr = maybe_plan_addresses(wf->tt.base, options);
+    if (options.addr_opt) eo.addr = &addr;
+    std::string source;
+    {
+      trace::Span span("codegen:emit", "compile");
+      source = emit_wavefront_source(*wf, eo);
+      span.counter("source_bytes", static_cast<double>(source.size()));
+    }
+    const Toolchain toolchain(
+        toolchain_for(options, mode_ != JitMode::Sequential));
+    auto module = KernelCache::instance().get_or_compile(source, toolchain);
+    const double bytes = wavefront_traffic_bytes(*wf);
+    return std::make_unique<JitKernel>(std::move(wf->tt.base), source,
+                                       std::move(module), name(),
+                                       wf->tt.depth, bytes);
   }
 
   JitMode mode_;

@@ -36,6 +36,11 @@ struct EmitOptions {
   /// Annotate the innermost loop of point-parallel nests with
   /// `#pragma omp simd` (OpenMP modes only).
   bool simd = false;
+  /// Explicit-SIMD rows (CompileOptions::simd_rows): like `simd`, but
+  /// also annotates Sequential-mode kernels — the caller must compile
+  /// those with -fopenmp-simd so the pragma vectorizes without pulling in
+  /// the OpenMP runtime.
+  bool simd_rows = false;
   /// Emit structural comments (wave/chain/nest labels).
   bool comments = true;
   /// Address-arithmetic plan (codegen/transform/addr.hpp): hoisted row
@@ -61,6 +66,20 @@ struct TimeTilePlan;
 /// task + scratch per tile).  OpenMPTarget is rejected.
 std::string emit_time_tiled_source(const TimeTilePlan& tt,
                                    const EmitOptions& options);
+
+struct WavefrontPlan;
+
+/// Render a wavefront plan (codegen/transform/wavefront.hpp) as a
+/// complete C11 translation unit: a sequential slab sweep along dim 0
+/// over one shared scratch buffer per written grid, with a carry band
+/// holding pre-fusion left-halo rows and the live grid supplying the
+/// right halo — no whole-grid snapshot.  Sequential mode runs the sweep
+/// on one thread; both OpenMP modes render identically as worksharing
+/// (`omp parallel` around the slab loop, `omp for` on every row copy and
+/// stage nest, the implicit barriers ordering copy-in / stages /
+/// carry-save / copy-out).  OpenMPTarget is rejected.
+std::string emit_wavefront_source(const WavefrontPlan& wf,
+                                  const EmitOptions& options);
 
 // --- OpenCL-style emission (the "oclsim" micro-compiler) -------------------
 //

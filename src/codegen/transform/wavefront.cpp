@@ -1,0 +1,83 @@
+#include "codegen/transform/wavefront.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "codegen/lower.hpp"
+
+namespace snowflake {
+
+std::string WavefrontPlan::describe() const {
+  std::ostringstream os;
+  os << "wavefront W=" << tt.tile[0] << " band=" << band << " over\n"
+     << tt.describe();
+  return os.str();
+}
+
+std::optional<WavefrontPlan> plan_wavefront(const StencilGroup& group,
+                                            const ShapeMap& shapes,
+                                            const Schedule& schedule,
+                                            int depth, const Index& tile,
+                                            std::string* reason) {
+  auto base = plan_time_tiling(group, shapes, schedule, depth, tile, reason);
+  if (!base) return std::nullopt;
+
+  WavefrontPlan wf;
+  wf.tt = std::move(*base);
+  wf.band = wf.tt.halo[0];
+  // Slabs: requested width along dim 0 (never thinner than the carry
+  // band, so earlier copy-outs cannot clobber a band before it is saved),
+  // full box in every inner dim.
+  const std::int64_t req = !tile.empty() && tile[0] > 0 ? tile[0] : 32;
+  wf.tt.tile[0] =
+      std::max<std::int64_t>(1, std::min(std::max(req, wf.band), wf.tt.box[0]));
+  for (size_t d = 1; d < wf.tt.box.size(); ++d) wf.tt.tile[d] = wf.tt.box[d];
+  return wf;
+}
+
+double wavefront_traffic_bytes(const WavefrontPlan& wf) {
+  const TimeTilePlan& tt = wf.tt;
+  const std::set<std::string> scratch(tt.scratch_grids.begin(),
+                                      tt.scratch_grids.end());
+  std::set<std::string> streamed;
+  for (const auto& nest : tt.base.nests) {
+    for (const auto& g : grids_read(nest.rhs)) {
+      if (scratch.find(g) == scratch.end()) streamed.insert(g);
+    }
+  }
+  std::vector<double> streamed_cells;
+  for (const auto& g : streamed) {
+    double cells = 1.0;
+    for (auto e : tt.base.shapes.at(g)) cells *= static_cast<double>(e);
+    streamed_cells.push_back(cells);
+  }
+
+  double inner = 1.0;
+  for (size_t d = 1; d < tt.box.size(); ++d) {
+    inner *= static_cast<double>(tt.box[d]);
+  }
+  const double h = static_cast<double>(tt.halo[0]);
+  const double band = static_cast<double>(wf.band);
+  double bytes = 0.0;
+  for (std::int64_t t0 = 0; t0 < tt.box[0]; t0 += tt.tile[0]) {
+    const double lo = static_cast<double>(t0);
+    const double hi =
+        static_cast<double>(std::min(t0 + tt.tile[0], tt.box[0]));
+    const double rlo = std::max(lo - h, 0.0);
+    const double rhi = std::min(hi + h, static_cast<double>(tt.box[0]));
+    const double owned = (hi - lo) * inner;
+    const double region = (rhi - rlo) * inner;
+    // Scratch grids: copy-in read over the expanded slab, copy-out write
+    // (write-allocate + write-back) over owned rows, plus carry save
+    // (read + write-allocate + write-back) per band row.
+    bytes += static_cast<double>(scratch.size()) *
+             (region + 2.0 * owned + 3.0 * band * inner) * 8.0;
+    for (double cells : streamed_cells) {
+      bytes += std::min(region, cells) * 8.0;
+    }
+  }
+  return bytes;
+}
+
+}  // namespace snowflake

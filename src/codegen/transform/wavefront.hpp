@@ -1,0 +1,66 @@
+#pragma once
+// Wavefront time-tiling: a skewed-traversal variant of time_tiling.hpp
+// that eliminates the whole-grid pre-fusion snapshot.
+//
+// The written-grid box is cut into slabs along dim 0 (full extent in all
+// inner dims) and the slabs are processed strictly in order — a 1D
+// hyperplane sweep.  Because the traversal order is fixed, pre-fusion
+// halo values need no snapshot:
+//
+//   * right halo (rows >= the slab): the live grid ahead of the wavefront
+//     has not been copied out yet, so it still holds pre-fusion values;
+//   * left halo (rows < the slab): a small carry band of halo[0] rows per
+//     written grid, saved from the live grid just before each slab's
+//     copy-out overwrites them.
+//
+// The slab width W = tile[0] is clamped to at least halo[0], so the band
+// saved by slab k is untouched by every earlier copy-out when slab k+1
+// reads it.  Inner dims span the whole box, which makes every per-stage
+// margin there vacuous and every copy a contiguous row memcpy (written
+// grids' shape equals the box exactly — a halo-legality invariant).
+//
+// Legality is the same analysis/halo gate as the snapshot schedule; the
+// stage-margin induction proof carries over with "snapshot" replaced by
+// "carry band or untouched live rows".  Traffic drops from
+// 3*box*8 bytes per written grid (snapshot) to O(halo[0] * inner) carry
+// traffic — the point of the schedule.
+
+#include <optional>
+#include <string>
+
+#include "codegen/transform/time_tiling.hpp"
+
+namespace snowflake {
+
+struct WavefrontPlan {
+  /// Underlying time-tile plan with tile rewritten to the slab shape:
+  /// tile = (W, box[1], ..., box[rank-1]).  Stages, margins, halo, box and
+  /// scratch_grids are reused unchanged; scratch_extent() is the shared
+  /// slab scratch shape.
+  TimeTilePlan tt;
+  /// Carry band depth in rows (= tt.halo[0]); 0 means no carry is needed
+  /// (fused cycle never reads written grids along dim 0).
+  std::int64_t band = 0;
+
+  std::string describe() const;
+};
+
+/// Attempt to build a wavefront plan fusing `depth` applications.
+/// `tile[0]` requests the slab width (defaults to 32, clamped to
+/// [halo[0], box[0]]); other tile entries are ignored.  Returns nullopt
+/// with *reason set on the same legality failures as plan_time_tiling;
+/// callers fall back to the snapshot schedule or per-sweep compile.
+std::optional<WavefrontPlan> plan_wavefront(const StencilGroup& group,
+                                            const ShapeMap& shapes,
+                                            const Schedule& schedule,
+                                            int depth, const Index& tile,
+                                            std::string* reason = nullptr);
+
+/// Modeled DRAM bytes of one fused run: per slab, scratch grids pay
+/// copy-in reads over the expanded region plus copy-out writes over owned
+/// rows and carry save/restore traffic over the band; read-only grids
+/// stream the expanded region once.  No snapshot term.  Divide by depth
+/// for per-sweep traffic.
+double wavefront_traffic_bytes(const WavefrontPlan& wf);
+
+}  // namespace snowflake

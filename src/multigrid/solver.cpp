@@ -4,6 +4,7 @@
 
 #include "support/error.hpp"
 #include "trace/trace.hpp"
+#include "tune/tuner.hpp"
 
 namespace snowflake::mg {
 
@@ -36,6 +37,20 @@ Solver::Solver(Config config) : config_(std::move(config)) {
 
   Backend& backend = Backend::get(config_.backend);
   const int rank = spec.rank;
+
+  // Optional warm-started autotune: pick the smoother's schedule on the
+  // finest level before any kernel compiles, then reuse it hierarchy-wide.
+  // tune() snapshots and restores grid contents, so running it on the
+  // freshly built levels is safe.
+  if (config_.autotune && config_.smoother == Smoother::GSRB) {
+    Level& finest = *levels_[0];
+    const TuneResult tuned =
+        Tuner().tune(gsrb_smooth_group(rank), finest.grids(),
+                     {{"h2inv", finest.h2inv()}}, config_.backend,
+                     default_tile_candidates(rank, finest.box_shape()),
+                     /*warmup=*/1, /*reps=*/2);
+    config_.options = tuned.best.options;
+  }
 
   // Temporal blocking only pays off for the iterated smoother; every other
   // kernel runs once per cycle, so its compile options strip the depth

@@ -45,6 +45,13 @@ public:
     Smoother smoother = Smoother::GSRB;
     /// Chebyshev polynomial degree per smooth() call.
     int cheby_degree = 4;
+    /// Autotune `options` before compiling any kernel: sweep
+    /// default_tile_candidates(rank, finest box) on the finest level's
+    /// GSRB smoother and adopt the winner for the whole hierarchy.  With
+    /// $SNOWFLAKE_TUNE_DB set this is warm-started — a store hit returns
+    /// the remembered best with zero candidate compiles (tuner.hpp).
+    /// GSRB only; ignored for the Chebyshev smoother.
+    bool autotune = false;
   };
 
   explicit Solver(Config config);

@@ -1,0 +1,398 @@
+#include "tune/store.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <fstream>
+#include <sstream>
+
+#include "trace/history.hpp"
+
+namespace snowflake::tune {
+
+namespace {
+
+const char* kSchema = "snowflake-tune-v1";
+
+// Same flat-JSON emission helpers as the perf ledger (trace/history.cpp):
+// the two files share the line grammar, so trace::parse_ledger_line reads
+// both.
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+void field(std::string& out, const char* key, const std::string& value) {
+  out += out.empty() ? "{\"" : ",\"";
+  out += key;
+  out += "\":\"";
+  out += escape(value);
+  out += '"';
+}
+
+void field(std::string& out, const char* key, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  out += out.empty() ? "{\"" : ",\"";
+  out += key;
+  out += "\":";
+  out += buf;
+}
+
+/// Common head: schema, kind, timestamp, then the full key.
+std::string line_head(const char* kind, const TuneKey& key) {
+  std::string out;
+  field(out, "schema", std::string(kSchema));
+  field(out, "kind", std::string(kind));
+  field(out, "ts", static_cast<double>(std::time(nullptr)));
+  field(out, "machine", key.machine);
+  field(out, "group", key.group);
+  field(out, "backend", key.backend);
+  field(out, "shape", key.shape);
+  return out;
+}
+
+std::string encode_index(const Index& v) {
+  std::string s;
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (i) s += 'x';
+    s += std::to_string(v[i]);
+  }
+  return s;
+}
+
+bool decode_index(const std::string& s, Index* out) {
+  out->clear();
+  if (s.empty()) return true;
+  size_t pos = 0;
+  while (pos < s.size()) {
+    char* end = nullptr;
+    const long long v = std::strtoll(s.c_str() + pos, &end, 10);
+    if (end == s.c_str() + pos) return false;
+    out->push_back(v);
+    pos = static_cast<size_t>(end - s.c_str());
+    if (pos < s.size()) {
+      if (s[pos] != 'x') return false;
+      ++pos;
+    }
+  }
+  return true;
+}
+
+std::int64_t log2_bucket(std::int64_t extent) {
+  std::int64_t b = 0;
+  while (extent > 1) {
+    extent >>= 1;
+    ++b;
+  }
+  return b;
+}
+
+}  // namespace
+
+std::string tune_db_path() {
+  const char* env = std::getenv("SNOWFLAKE_TUNE_DB");
+  return env != nullptr && *env ? std::string(env) : std::string();
+}
+
+std::string shape_class(const ShapeMap& shapes) {
+  size_t rank = 0;
+  for (const auto& [name, shape] : shapes) {
+    rank = std::max(rank, shape.size());
+  }
+  std::string out = "r" + std::to_string(rank);
+  for (const auto& [name, shape] : shapes) {
+    out += '|';
+    for (size_t d = 0; d < shape.size(); ++d) {
+      if (d) out += '.';
+      out += std::to_string(log2_bucket(std::max<std::int64_t>(1, shape[d])));
+    }
+  }
+  return out;
+}
+
+bool neighbouring_shape_class(const std::string& a, const std::string& b) {
+  if (a == b || a.empty() || b.empty()) return false;
+  // Identical structure: same rank token, same grid/dim counts; every
+  // bucket within +-1.
+  size_t i = 0, j = 0;
+  auto token = [](const std::string& s, size_t* pos) -> std::string {
+    size_t start = *pos;
+    while (*pos < s.size() && s[*pos] != '|' && s[*pos] != '.') ++(*pos);
+    std::string t = s.substr(start, *pos - start);
+    return t;
+  };
+  // Leading "r<rank>" token must match exactly.
+  const std::string ra = token(a, &i), rb = token(b, &j);
+  if (ra != rb) return false;
+  while (i < a.size() || j < b.size()) {
+    if (i >= a.size() || j >= b.size()) return false;  // length mismatch
+    if (a[i] != b[j]) return false;  // separator structure mismatch
+    ++i;
+    ++j;
+    const std::string ta = token(a, &i), tb = token(b, &j);
+    if (ta.empty() || tb.empty()) return false;
+    const long va = std::strtol(ta.c_str(), nullptr, 10);
+    const long vb = std::strtol(tb.c_str(), nullptr, 10);
+    if (va > vb + 1 || vb > va + 1) return false;
+  }
+  return true;
+}
+
+std::string encode_options(const CompileOptions& o) {
+  std::string s;
+  auto kv = [&](const char* k, const std::string& v) {
+    if (!s.empty()) s += ';';
+    s += k;
+    s += '=';
+    s += v;
+  };
+  kv("tile", encode_index(o.tile));
+  kv("fc", o.fuse_colors ? "1" : "0");
+  kv("fs", o.fuse_stencils ? "1" : "0");
+  kv("simd", o.simd ? "1" : "0");
+  kv("sched",
+     o.schedule == CompileOptions::Schedule::ParallelFor ? "for" : "tasks");
+  kv("grain", std::to_string(o.task_grain));
+  kv("bar", o.barrier_per_stencil ? "1" : "0");
+  kv("ana",
+     o.analysis == CompileOptions::Analysis::Interval ? "int" : "dio");
+  kv("tt", std::to_string(o.time_tile));
+  kv("addr", o.addr_opt ? "1" : "0");
+  kv("wf", o.wavefront ? "1" : "0");
+  kv("sr", o.simd_rows ? "1" : "0");
+  kv("wg", encode_index(o.workgroup));
+  kv("dr", std::to_string(o.dist_ranks));
+  kv("do", o.dist_overlap ? "1" : "0");
+  kv("dp", o.dist_prune ? "1" : "0");
+  return s;
+}
+
+bool decode_options(const std::string& s, CompileOptions* out) {
+  *out = CompileOptions{};
+  size_t pos = 0;
+  while (pos < s.size()) {
+    const size_t eq = s.find('=', pos);
+    if (eq == std::string::npos) return false;
+    const std::string k = s.substr(pos, eq - pos);
+    size_t end = s.find(';', eq + 1);
+    if (end == std::string::npos) end = s.size();
+    const std::string v = s.substr(eq + 1, end - eq - 1);
+    pos = end + (end < s.size() ? 1 : 0);
+
+    auto flag = [&](bool* b) { *b = v == "1"; return v == "0" || v == "1"; };
+    bool ok = true;
+    if (k == "tile") ok = decode_index(v, &out->tile);
+    else if (k == "fc") ok = flag(&out->fuse_colors);
+    else if (k == "fs") ok = flag(&out->fuse_stencils);
+    else if (k == "simd") ok = flag(&out->simd);
+    else if (k == "sched") {
+      if (v == "for") out->schedule = CompileOptions::Schedule::ParallelFor;
+      else if (v == "tasks") out->schedule = CompileOptions::Schedule::Tasks;
+      else ok = false;
+    } else if (k == "grain") out->task_grain = std::atoll(v.c_str());
+    else if (k == "bar") ok = flag(&out->barrier_per_stencil);
+    else if (k == "ana") {
+      if (v == "int") out->analysis = CompileOptions::Analysis::Interval;
+      else if (v == "dio") out->analysis = CompileOptions::Analysis::Diophantine;
+      else ok = false;
+    } else if (k == "tt") out->time_tile = std::atoi(v.c_str());
+    else if (k == "addr") ok = flag(&out->addr_opt);
+    else if (k == "wf") ok = flag(&out->wavefront);
+    else if (k == "sr") ok = flag(&out->simd_rows);
+    else if (k == "wg") ok = decode_index(v, &out->workgroup);
+    else if (k == "dr") out->dist_ranks = std::atoi(v.c_str());
+    else if (k == "do") ok = flag(&out->dist_overlap);
+    else if (k == "dp") ok = flag(&out->dist_prune);
+    else ok = false;  // unknown key: likely a future schema, full sweep
+    if (!ok) return false;
+  }
+  return true;
+}
+
+int options_distance(const CompileOptions& a, const CompileOptions& b) {
+  int d = 0;
+  d += a.tile != b.tile;
+  d += a.fuse_colors != b.fuse_colors;
+  d += a.fuse_stencils != b.fuse_stencils;
+  d += a.simd != b.simd;
+  d += a.simd_rows != b.simd_rows;
+  d += a.schedule != b.schedule;
+  d += a.time_tile != b.time_tile;
+  d += a.addr_opt != b.addr_opt;
+  d += a.wavefront != b.wavefront;
+  return d;
+}
+
+std::string TuneKey::str() const {
+  return group + '\x1f' + backend + '\x1f' + machine + '\x1f' + shape;
+}
+
+TuneStore::TuneStore(std::string path) : path_(std::move(path)) {}
+
+std::string TuneStore::timing_line(const TuneKey& key,
+                                   const std::string& names,
+                                   const std::string& label,
+                                   const std::string& cand,
+                                   const CompileOptions& opts,
+                                   double seconds) {
+  std::string out = line_head("timing", key);
+  field(out, "names", names);
+  field(out, "label", label);
+  field(out, "cand", cand);
+  field(out, "opts", encode_options(opts));
+  field(out, "seconds", seconds);
+  out += '}';
+  return out;
+}
+
+std::string TuneStore::best_line(const TuneKey& key, const std::string& names,
+                                 const std::string& label,
+                                 const std::string& cand,
+                                 const CompileOptions& opts, double seconds) {
+  std::string out = line_head("best", key);
+  field(out, "names", names);
+  field(out, "label", label);
+  field(out, "cand", cand);
+  field(out, "opts", encode_options(opts));
+  field(out, "seconds", seconds);
+  out += '}';
+  return out;
+}
+
+std::string TuneStore::debt_line(const TuneKey& key, const std::string& names,
+                                 int rank, const std::string& shapes,
+                                 const std::string& params) {
+  std::string out = line_head("debt", key);
+  field(out, "names", names);
+  field(out, "rank", static_cast<double>(rank));
+  field(out, "shapes", shapes);
+  field(out, "params", params);
+  out += '}';
+  return out;
+}
+
+std::string TuneStore::debt_done_line(const TuneKey& key) {
+  std::string out = line_head("debt_done", key);
+  out += '}';
+  return out;
+}
+
+bool TuneStore::append(const std::vector<std::string>& lines,
+                       std::string* error) const {
+  if (!enabled() || lines.empty()) return true;
+  // The perf ledger's appender already implements the single O_APPEND
+  // write(2) batch + EINTR loop; reuse it verbatim.
+  return trace::PerfLedger(path_).append(lines, error);
+}
+
+bool TuneStore::load(TuneDb* out, std::string* error) const {
+  if (!enabled()) return true;
+  std::ifstream in(path_, std::ios::binary);
+  if (!in) return true;  // no database yet: every lookup is a cold miss
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    trace::LedgerEntry e;
+    if (!trace::parse_ledger_line(line, &e) || e.str("schema") != kSchema) {
+      ++out->skipped;
+      continue;
+    }
+    TuneKey key{e.str("group"), e.str("backend"), e.str("machine"),
+                e.str("shape")};
+    const std::string ks = key.str();
+    const std::string& kind = e.str("kind");
+    if (kind == "timing" || kind == "best") {
+      KeyRecord& rec = out->records[ks];
+      rec.key = key;
+      if (!e.str("names").empty()) rec.names = e.str("names");
+      if (!e.str("label").empty()) rec.label = e.str("label");
+      if (kind == "timing") {
+        rec.timings.push_back(
+            StoredTiming{e.str("cand"), e.str("opts"), e.number("seconds")});
+      } else {
+        rec.best_cand = e.str("cand");
+        rec.best_opts = e.str("opts");
+        rec.best_seconds = e.number("seconds");
+        rec.ts = e.number("ts");
+      }
+    } else if (kind == "debt") {
+      DebtRecord& debt = out->debts[ks];
+      debt.key = key;
+      debt.names = e.str("names");
+      debt.shapes = e.str("shapes");
+      debt.params = e.str("params");
+      debt.rank = static_cast<int>(e.number("rank"));
+      ++debt.open;
+    } else if (kind == "debt_done") {
+      const auto it = out->debts.find(ks);
+      if (it != out->debts.end()) --it->second.open;
+    } else {
+      ++out->skipped;
+    }
+  }
+  (void)error;
+  return true;
+}
+
+std::string TuneStore::encode_shapes(const ShapeMap& shapes) {
+  std::string s;
+  for (const auto& [name, shape] : shapes) {
+    if (!s.empty()) s += ',';
+    s += name + '=' + encode_index(shape);
+  }
+  return s;
+}
+
+bool TuneStore::decode_shapes(const std::string& s, ShapeMap* out) {
+  out->clear();
+  size_t pos = 0;
+  while (pos < s.size()) {
+    const size_t eq = s.find('=', pos);
+    if (eq == std::string::npos) return false;
+    size_t end = s.find(',', eq + 1);
+    if (end == std::string::npos) end = s.size();
+    Index shape;
+    if (!decode_index(s.substr(eq + 1, end - eq - 1), &shape)) return false;
+    (*out)[s.substr(pos, eq - pos)] = std::move(shape);
+    pos = end + (end < s.size() ? 1 : 0);
+  }
+  return true;
+}
+
+std::string TuneStore::encode_params(const ParamMap& params) {
+  std::string s;
+  char buf[64];
+  for (const auto& [name, value] : params) {
+    if (!s.empty()) s += ',';
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    s += name + '=' + buf;
+  }
+  return s;
+}
+
+bool TuneStore::decode_params(const std::string& s, ParamMap* out) {
+  out->clear();
+  size_t pos = 0;
+  while (pos < s.size()) {
+    const size_t eq = s.find('=', pos);
+    if (eq == std::string::npos) return false;
+    size_t end = s.find(',', eq + 1);
+    if (end == std::string::npos) end = s.size();
+    char* strtod_end = nullptr;
+    const std::string v = s.substr(eq + 1, end - eq - 1);
+    const double value = std::strtod(v.c_str(), &strtod_end);
+    if (strtod_end == v.c_str()) return false;
+    (*out)[s.substr(pos, eq - pos)] = value;
+    pos = end + (end < s.size() ? 1 : 0);
+  }
+  return true;
+}
+
+}  // namespace snowflake::tune

@@ -1,0 +1,147 @@
+#pragma once
+// Persistent autotuning database: an append-only JSON-lines file (schema
+// "snowflake-tune-v1") under $SNOWFLAKE_TUNE_DB accumulating candidate
+// timings across process lifetimes, so tuning converges fleet-wide
+// instead of being re-paid per process.
+//
+// Entries are keyed by (group structural hash, backend, machine
+// fingerprint, shape class).  The shape class buckets every grid extent
+// at floor(log2(extent)) — e.g. "r2|5.5|5.5" for two 32..63^2 grids — so
+// shapes with the same memory-hierarchy behaviour share one key, and
+// "neighbouring" classes (every bucket within +-1) can seed pruned
+// sweeps (tuner.hpp's warm-start tiers).
+//
+// Four line kinds share the schema:
+//   kind=timing     one candidate measurement of a full or pruned sweep
+//   kind=best       the sweep's winner (the last best line per key wins)
+//   kind=debt       a near-miss served from a neighbouring class; records
+//                   the exact shapes/params so the unseen shape class can
+//                   be refined later (Tuner::refine_pending, snowtune)
+//   kind=debt_done  a completed refinement (debt minus debt_done > 0
+//                   means the queue entry is still open)
+//
+// Atomicity matches the PR 6 perf ledger: every sweep's lines go out in
+// one O_APPEND write(2) batch, and the loader tolerates torn/garbage
+// lines by skipping them.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "backend/backend.hpp"
+#include "ir/validate.hpp"
+
+namespace snowflake::tune {
+
+/// $SNOWFLAKE_TUNE_DB, or "" when the store is disabled.
+std::string tune_db_path();
+
+/// Shape class of a grid set: "r<rank>|" then per grid (name order) the
+/// "."-joined per-dim log2 buckets, grids joined by "|".
+std::string shape_class(const ShapeMap& shapes);
+
+/// True when two shape classes have identical structure, every bucket
+/// differs by at most 1, and they are not equal (the near-miss predicate).
+bool neighbouring_shape_class(const std::string& a, const std::string& b);
+
+/// Compact "k=v;..."-encoded CompileOptions; decode round-trips every
+/// field the tuner's candidate space uses.  decode returns false on
+/// malformed or unknown-key input (the caller falls back to a full sweep).
+std::string encode_options(const CompileOptions& o);
+bool decode_options(const std::string& s, CompileOptions* out);
+
+/// Schedule-space distance: the number of differing feature coordinates
+/// (tile, fusion toggles, schedule, time-tile depth, addr, simd, simd
+/// rows, wavefront).  Pruned sweeps keep candidates at distance <= 1 from
+/// a stored best.
+int options_distance(const CompileOptions& a, const CompileOptions& b);
+
+struct TuneKey {
+  std::string group;    // 16-hex StencilGroup::structural_hash()
+  std::string backend;  // backend name, e.g. "openmp"
+  std::string machine;  // fingerprint().id (timings never cross machines)
+  std::string shape;    // shape_class()
+
+  /// "\x1f"-joined map key (the same convention as snowreport grouping).
+  std::string str() const;
+};
+
+/// One stored candidate measurement.
+struct StoredTiming {
+  std::string cand;  // candidate label
+  std::string opts;  // encode_options()
+  double seconds = 0.0;
+};
+
+/// Everything known about one key: accumulated timings plus the latest
+/// recorded best.
+struct KeyRecord {
+  TuneKey key;
+  std::string names;  // "+"-joined stencil names (group rebuild signature)
+  std::string label;  // kernel_label of the tuned kernel
+  std::vector<StoredTiming> timings;  // file order
+  std::string best_cand;
+  std::string best_opts;
+  double best_seconds = 0.0;
+  double ts = 0.0;  // timestamp of the winning best line
+};
+
+/// One tuning-debt queue entry (aggregated over debt/debt_done lines).
+struct DebtRecord {
+  TuneKey key;
+  std::string names;
+  std::string shapes;  // encode_shapes() — exact extents for refinement
+  std::string params;  // encode_params()
+  int rank = 0;
+  int open = 0;  // debt lines minus debt_done lines; > 0 = still queued
+};
+
+struct TuneDb {
+  std::map<std::string, KeyRecord> records;  // TuneKey::str() -> record
+  std::map<std::string, DebtRecord> debts;
+  int skipped = 0;  // unparseable lines tolerated by the loader
+};
+
+/// Append/load handle on the tune database file.
+class TuneStore {
+public:
+  /// Empty path disables the store (append/load become no-ops).
+  explicit TuneStore(std::string path = tune_db_path());
+
+  bool enabled() const { return !path_.empty(); }
+  const std::string& path() const { return path_; }
+
+  /// Render one line of each kind (no trailing newline).
+  static std::string timing_line(const TuneKey& key, const std::string& names,
+                                 const std::string& label,
+                                 const std::string& cand,
+                                 const CompileOptions& opts, double seconds);
+  static std::string best_line(const TuneKey& key, const std::string& names,
+                               const std::string& label,
+                               const std::string& cand,
+                               const CompileOptions& opts, double seconds);
+  static std::string debt_line(const TuneKey& key, const std::string& names,
+                               int rank, const std::string& shapes,
+                               const std::string& params);
+  static std::string debt_done_line(const TuneKey& key);
+
+  /// Append whole lines in one atomic O_APPEND write(2) batch.
+  bool append(const std::vector<std::string>& lines,
+              std::string* error = nullptr) const;
+
+  /// Parse the database (missing file = empty db, success).  Torn or
+  /// foreign lines are counted in out->skipped and dropped.
+  bool load(TuneDb* out, std::string* error = nullptr) const;
+
+  /// Shape/param round-trips for debt records: "x=6x6,out=6x6" and
+  /// "h2inv=1.5" (%.17g values).
+  static std::string encode_shapes(const ShapeMap& shapes);
+  static bool decode_shapes(const std::string& s, ShapeMap* out);
+  static std::string encode_params(const ParamMap& params);
+  static bool decode_params(const std::string& s, ParamMap* out);
+
+private:
+  std::string path_;
+};
+
+}  // namespace snowflake::tune

@@ -2,20 +2,141 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <limits>
+#include <map>
+#include <mutex>
+#include <set>
 #include <thread>
 
+#include "ir/validate.hpp"
 #include "support/error.hpp"
+#include "support/fingerprint.hpp"
+#include "support/hash.hpp"
 #include "support/logging.hpp"
+#include "trace/trace.hpp"
+#include "tune/store.hpp"
 
 namespace snowflake {
 
 namespace {
+
 double steady_now() {
   return std::chrono::duration<double>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
 }
+
+std::string group_names(const StencilGroup& group) {
+  std::string s;
+  for (size_t i = 0; i < group.size(); ++i) {
+    if (i) s += '+';
+    s += group[i].name();
+  }
+  return s;
+}
+
+tune::TuneKey make_key(const StencilGroup& group, const std::string& backend,
+                       const ShapeMap& shapes) {
+  tune::TuneKey key;
+  key.group = hash_hex(group.structural_hash());
+  key.backend = backend;
+  key.machine = fingerprint().id;
+  key.shape = tune::shape_class(shapes);
+  return key;
+}
+
+/// Tune requests seen by this process, so refine_pending() can rebuild
+/// the group and candidate list a debt refers to.  Keyed by
+/// (group hash, backend); last request wins.
+struct Registered {
+  StencilGroup group;
+  std::vector<TuneCandidate> candidates;
+  int warmup = 1;
+  int reps = 3;
+};
+
+std::mutex& registry_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::map<std::string, Registered>& registry() {
+  static std::map<std::string, Registered>* reg =
+      new std::map<std::string, Registered>();  // leak on purpose: atexit
+                                                // refinement may run late
+  return *reg;
+}
+
+void register_request(const tune::TuneKey& key, const StencilGroup& group,
+                      const std::vector<TuneCandidate>& candidates, int warmup,
+                      int reps) {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  registry()[key.group + '\x1f' + key.backend] =
+      Registered{group, candidates, warmup, reps};
+}
+
+/// Append one sweep's lines (every timing + the best + extras) in a
+/// single atomic batch.
+void record_sweep(const tune::TuneStore& store, const tune::TuneKey& key,
+                  const std::string& names, const std::string& label,
+                  const std::vector<TuneCandidate>& candidates,
+                  const TuneResult& result,
+                  std::vector<std::string> extra_lines = {}) {
+  if (!store.enabled()) return;
+  std::vector<std::string> lines;
+  for (size_t c = 0; c < result.timings.size(); ++c) {
+    const TuneTiming& t = result.timings[c];
+    const CompileOptions& opts =
+        c < candidates.size() ? candidates[c].options : CompileOptions{};
+    lines.push_back(
+        tune::TuneStore::timing_line(key, names, label, t.label, opts,
+                                     t.seconds));
+  }
+  double best_seconds = std::numeric_limits<double>::infinity();
+  for (const auto& t : result.timings) {
+    if (t.label == result.best.label) {
+      best_seconds = std::min(best_seconds, t.seconds);
+    }
+  }
+  lines.push_back(tune::TuneStore::best_line(
+      key, names, label, result.best.label, result.best.options,
+      best_seconds));
+  for (auto& l : extra_lines) lines.push_back(std::move(l));
+  std::string error;
+  if (!store.append(lines, &error)) {
+    SF_LOG_WARN("tune store append failed: " << error);
+  }
+}
+
+/// Find a stored best in a shape class neighbouring `key` (same group,
+/// backend and machine).  The most recently recorded neighbour wins.
+const tune::KeyRecord* find_neighbour(const tune::TuneDb& db,
+                                      const tune::TuneKey& key) {
+  const tune::KeyRecord* found = nullptr;
+  for (const auto& [ks, rec] : db.records) {
+    if (rec.key.group != key.group || rec.key.backend != key.backend ||
+        rec.key.machine != key.machine || rec.best_cand.empty()) {
+      continue;
+    }
+    if (!tune::neighbouring_shape_class(rec.key.shape, key.shape)) continue;
+    if (found == nullptr || rec.ts > found->ts) found = &rec;
+  }
+  return found;
+}
+
+void schedule_exit_refinement() {
+  static std::once_flag flag;
+  std::call_once(flag, [] {
+    std::atexit([] {
+      const int refined = Tuner().refine_pending();
+      if (refined > 0) {
+        SF_LOG_INFO("tune: refined " << refined << " pending debt(s) at exit");
+      }
+    });
+  });
+}
+
 }  // namespace
 
 Tuner::Tuner(std::function<double()> now)
@@ -28,6 +149,153 @@ TuneResult Tuner::tune(const StencilGroup& group, GridSet& grids,
   SF_REQUIRE(!candidates.empty(), "tune requires at least one candidate");
   SF_REQUIRE(reps >= 1, "tune requires reps >= 1");
 
+  const tune::TuneStore store;
+  if (!store.enabled()) {
+    return sweep(group, grids, params, backend, candidates, warmup, reps);
+  }
+
+  trace::Span span("tune:" + backend, "tune");
+  const ShapeMap shapes = shapes_of(grids);
+  const tune::TuneKey key = make_key(group, backend, shapes);
+  const std::string names = group_names(group);
+  const std::string label = kernel_label(group, shapes);
+  register_request(key, group, candidates, warmup, reps);
+  if (const char* env = std::getenv("SNOWFLAKE_TUNE_REFINE_AT_EXIT");
+      env != nullptr && *env && *env != '0') {
+    schedule_exit_refinement();
+  }
+
+  tune::TuneDb db;
+  store.load(&db);
+
+  // Tier 1: exact hit — stored best for this very key, zero recompiles
+  // and zero timing reps.
+  if (const auto it = db.records.find(key.str());
+      it != db.records.end() && !it->second.best_cand.empty()) {
+    const tune::KeyRecord& rec = it->second;
+    TuneResult result;
+    result.best.label = rec.best_cand;
+    bool have_options = false;
+    for (const auto& c : candidates) {
+      if (c.label == rec.best_cand) {
+        result.best.options = c.options;
+        have_options = true;
+        break;
+      }
+    }
+    if (!have_options) {
+      have_options = tune::decode_options(rec.best_opts, &result.best.options);
+    }
+    if (have_options) {
+      for (const auto& t : rec.timings) {
+        result.timings.push_back(TuneTiming{t.cand, t.seconds});
+      }
+      trace::TraceCollector::instance().increment("tuner.store_hit");
+      SF_LOG_INFO("tune: store hit for " << label << " -> " << rec.best_cand);
+      return result;
+    }
+    // Undecodable stored best (foreign schema?): treat as a cold miss.
+  }
+
+  // Tier 2: near miss — a neighbouring shape class seeds a pruned
+  // re-validation sweep, and the unseen shape joins the debt queue.
+  if (const tune::KeyRecord* nb = find_neighbour(db, key)) {
+    CompileOptions seed_opts;
+    if (tune::decode_options(nb->best_opts, &seed_opts)) {
+      std::vector<TuneCandidate> pruned;
+      for (const auto& c : candidates) {
+        if (tune::options_distance(c.options, seed_opts) <= 1) {
+          pruned.push_back(c);
+        }
+      }
+      if (!pruned.empty() && pruned.size() < candidates.size()) {
+        trace::TraceCollector::instance().increment("tuner.store_near");
+        SF_LOG_INFO("tune: near miss for " << label << " (neighbour "
+                                           << nb->key.shape << "), sweeping "
+                                           << pruned.size() << "/"
+                                           << candidates.size()
+                                           << " candidates");
+        TuneResult result =
+            sweep(group, grids, params, backend, pruned, warmup, reps);
+        record_sweep(store, key, names, label, pruned, result,
+                     {tune::TuneStore::debt_line(
+                         key, names, static_cast<int>(group.rank()),
+                         tune::TuneStore::encode_shapes(shapes),
+                         tune::TuneStore::encode_params(params))});
+        return result;
+      }
+    }
+  }
+
+  // Tier 3: cold miss — full sweep, record every timing.
+  trace::TraceCollector::instance().increment("tuner.store_miss");
+  TuneResult result =
+      sweep(group, grids, params, backend, candidates, warmup, reps);
+  record_sweep(store, key, names, label, candidates, result);
+  return result;
+}
+
+TuneResult Tuner::refine(const StencilGroup& group, GridSet& grids,
+                         const ParamMap& params, const std::string& backend,
+                         const std::vector<TuneCandidate>& candidates,
+                         int warmup, int reps) const {
+  SF_REQUIRE(!candidates.empty(), "refine requires at least one candidate");
+  trace::Span span("tune:refine", "tune");
+  TuneResult result =
+      sweep(group, grids, params, backend, candidates, warmup, reps);
+  const tune::TuneStore store;
+  if (store.enabled()) {
+    const ShapeMap shapes = shapes_of(grids);
+    const tune::TuneKey key = make_key(group, backend, shapes);
+    record_sweep(store, key, group_names(group), kernel_label(group, shapes),
+                 candidates, result,
+                 {tune::TuneStore::debt_done_line(key)});
+  }
+  return result;
+}
+
+int Tuner::refine_pending() const {
+  const tune::TuneStore store;
+  if (!store.enabled()) return 0;
+  tune::TuneDb db;
+  store.load(&db);
+  int refined = 0;
+  for (const auto& [ks, debt] : db.debts) {
+    if (debt.open <= 0) continue;
+    // Timings never transfer across machines.
+    if (debt.key.machine != fingerprint().id) continue;
+    Registered req;
+    {
+      std::lock_guard<std::mutex> lock(registry_mutex());
+      const auto it = registry().find(debt.key.group + '\x1f' +
+                                      debt.key.backend);
+      if (it == registry().end()) continue;  // group unknown to this process
+      req = it->second;
+    }
+    ShapeMap shapes;
+    ParamMap params;
+    if (!tune::TuneStore::decode_shapes(debt.shapes, &shapes) ||
+        shapes.empty() ||
+        !tune::TuneStore::decode_params(debt.params, &params)) {
+      continue;
+    }
+    GridSet gs;
+    std::uint64_t seed = 1;
+    for (const auto& [name, shape] : shapes) {
+      gs.add_zeros(name, shape).fill_random(seed++, -1.0, 1.0);
+    }
+    refine(req.group, gs, params, debt.key.backend, req.candidates,
+           req.warmup, req.reps);
+    ++refined;
+  }
+  return refined;
+}
+
+TuneResult Tuner::sweep(const StencilGroup& group, GridSet& grids,
+                        const ParamMap& params, const std::string& backend,
+                        const std::vector<TuneCandidate>& candidates,
+                        int warmup, int reps) const {
+  trace::Span span("tune:sweep", "tune");
   // Compile every candidate up front, concurrently: the JIT toolchain
   // forks one host-compiler process per module, so candidate compilations
   // overlap almost perfectly (the kernel cache admits one compile per key
@@ -63,6 +331,22 @@ TuneResult Tuner::tune(const StencilGroup& group, GridSet& grids,
     if (e) std::rethrow_exception(e);
   }
 
+  // Snapshot live grid contents: trial runs mutate grids, and restoring
+  // after every candidate both isolates the measurements and lets callers
+  // tune in place on live data (the multigrid warm-start path).
+  const std::vector<std::string> names = grids.names();
+  std::vector<std::vector<double>> saved(names.size());
+  for (size_t i = 0; i < names.size(); ++i) {
+    const Grid& g = grids.at(names[i]);
+    saved[i].assign(g.data(), g.data() + g.size());
+  }
+  auto restore = [&] {
+    for (size_t i = 0; i < names.size(); ++i) {
+      Grid& g = grids.at(names[i]);
+      std::copy(saved[i].begin(), saved[i].end(), g.data());
+    }
+  };
+
   TuneResult result;
   double best_seconds = std::numeric_limits<double>::infinity();
   for (size_t c = 0; c < candidates.size(); ++c) {
@@ -85,13 +369,26 @@ TuneResult Tuner::tune(const StencilGroup& group, GridSet& grids,
       best_seconds = best;
       result.best = candidate;
     }
+    restore();
   }
   return result;
 }
 
-std::vector<TuneCandidate> default_tile_candidates(int rank) {
+std::vector<TuneCandidate> default_tile_candidates(int rank,
+                                                   const Index& extents) {
   SF_REQUIRE(rank >= 1, "default_tile_candidates requires rank >= 1");
   std::vector<TuneCandidate> out;
+  // Tile edges clamp to the actual grid extents when known: on a small
+  // grid, wide tiles degenerate to the same kernel and dedup below.
+  auto tile_of = [&](std::int64_t t) {
+    Index tile(static_cast<size_t>(rank), t);
+    for (size_t d = 0; d < tile.size(); ++d) {
+      if (d < extents.size() && extents[d] > 0) {
+        tile[d] = std::min(tile[d], extents[d]);
+      }
+    }
+    return tile;
+  };
   // Spatial sweep: untiled + cubic tiles, with/without multicolor fusion
   // (tasks, the paper's default scheduling).
   for (const bool fuse : {false, true}) {
@@ -101,7 +398,7 @@ std::vector<TuneCandidate> default_tile_candidates(int rank) {
     out.push_back(TuneCandidate{"untiled" + suffix, untiled});
     for (std::int64_t t : {4, 8, 16, 32}) {
       CompileOptions opt;
-      opt.tile = Index(static_cast<size_t>(rank), t);
+      opt.tile = tile_of(t);
       opt.fuse_colors = fuse;
       out.push_back(
           TuneCandidate{"tile" + std::to_string(t) + suffix, opt});
@@ -121,21 +418,47 @@ std::vector<TuneCandidate> default_tile_candidates(int rank) {
     for (std::int64_t t : {16, 32}) {
       CompileOptions opt;
       opt.time_tile = depth;
-      opt.tile = Index(static_cast<size_t>(rank), t);
+      opt.tile = tile_of(t);
       out.push_back(TuneCandidate{"tt" + std::to_string(depth) + "_tile" +
                                       std::to_string(t),
                                   opt});
     }
   }
-  // Address-arithmetic A/B: the legacy re-linearized indexing, in case a
-  // host compiler pessimizes the hoisted-base form on some kernel.
+  // Wavefront temporal blocking: the snapshot-free skewed slab sweep
+  // (tile[0] is the slab width; see backend.hpp CompileOptions::wavefront).
+  for (const int depth : {2, 4}) {
+    CompileOptions opt;
+    opt.time_tile = depth;
+    opt.wavefront = true;
+    opt.tile = tile_of(16);
+    out.push_back(
+        TuneCandidate{"wf" + std::to_string(depth) + "_tile16", opt});
+  }
+  // Explicit-SIMD rows: its own candidate axis (also effective on the
+  // sequential backend, which compiles with -fopenmp-simd).
+  for (const bool fuse : {false, true}) {
+    CompileOptions opt;
+    opt.simd_rows = true;
+    opt.fuse_colors = fuse;
+    out.push_back(TuneCandidate{fuse ? "simdrows+fuse" : "simdrows", opt});
+  }
+  // Address-arithmetic ablation comparators.
   for (const bool fuse : {false, true}) {
     CompileOptions opt;
     opt.addr_opt = false;
     opt.fuse_colors = fuse;
     out.push_back(TuneCandidate{fuse ? "noaddr+fuse" : "noaddr", opt});
   }
-  return out;
+  // Drop exact-duplicate option sets (same options_salt), keeping the
+  // first label: clamped tiles above can collide on small grids.
+  std::set<std::string> seen;
+  std::vector<TuneCandidate> unique;
+  for (auto& c : out) {
+    if (seen.insert(options_salt(c.options)).second) {
+      unique.push_back(std::move(c));
+    }
+  }
+  return unique;
 }
 
 }  // namespace snowflake

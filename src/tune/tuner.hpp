@@ -4,8 +4,25 @@
 // tuning tiling sizes" — this is that method, automated).
 //
 // Compiles the group once per candidate, times each with the standard
-// warm-up/best-of protocol, and returns the fastest options.  The JIT
-// cache makes re-tuning cheap across runs.
+// warm-up/best-of protocol, and returns the fastest options.  With
+// $SNOWFLAKE_TUNE_DB set, results persist in the tune store (store.hpp)
+// and tune() becomes a three-tier warm-start path:
+//
+//   exact hit   same (group, backend, machine, shape class) was tuned
+//               before: the stored best returns instantly — zero
+//               candidate compiles, zero timing reps.
+//   near miss   a neighbouring shape class has a best: only that best
+//               plus its schedule-space neighbours (options_distance
+//               <= 1) are re-validated, and the unseen shape class is
+//               enqueued as tuning debt for later full refinement.
+//   cold miss   the full sweep runs and every timing (not just the
+//               winner) is recorded, so future prunes have gradients.
+//
+// The tiers emit tuner.store_{hit,near,miss} trace counters and tune:*
+// spans.  refine_pending() opportunistically pays open debts (full sweep
+// at the debted shape, closing the queue entry); tools/snowtune calls it
+// across processes, and $SNOWFLAKE_TUNE_REFINE_AT_EXIT=1 schedules it at
+// process exit.
 
 #include <functional>
 #include <string>
@@ -37,25 +54,53 @@ public:
   /// `now` returns monotonic seconds; injectable for deterministic tests.
   explicit Tuner(std::function<double()> now = {});
 
-  /// Time every candidate and return the fastest.  `grids` contents are
-  /// mutated by the trial runs (callers benchmark on scratch data).
-  /// Candidates are compiled concurrently up front (one forked host
-  /// compiler each); the warmup/best-of timing loop runs serially after
-  /// every compilation finished, so measurements are undisturbed.
+  /// Time every candidate and return the fastest (or a stored result —
+  /// see the tier description above).  Grid contents are snapshotted
+  /// before the timing loop and restored afterwards, so callers may tune
+  /// in place on live data.  Candidates are compiled concurrently up
+  /// front (one forked host compiler each); the warmup/best-of timing
+  /// loop runs serially after every compilation finished, so
+  /// measurements are undisturbed.
   TuneResult tune(const StencilGroup& group, GridSet& grids,
                   const ParamMap& params, const std::string& backend,
                   const std::vector<TuneCandidate>& candidates,
                   int warmup = 1, int reps = 3) const;
 
+  /// Run the full candidate sweep unconditionally and record it under the
+  /// exact key, closing any open debt for it: the refinement primitive
+  /// behind refine_pending() and tools/snowtune.
+  TuneResult refine(const StencilGroup& group, GridSet& grids,
+                    const ParamMap& params, const std::string& backend,
+                    const std::vector<TuneCandidate>& candidates,
+                    int warmup = 1, int reps = 3) const;
+
+  /// Pay open tuning debts whose groups this process has tuned before
+  /// (every tune() call registers its request): rebuild grids at the
+  /// debted shapes, run the full sweep, record, close the debt.  Returns
+  /// the number of debts refined.  No-op without $SNOWFLAKE_TUNE_DB.
+  int refine_pending() const;
+
 private:
+  TuneResult sweep(const StencilGroup& group, GridSet& grids,
+                   const ParamMap& params, const std::string& backend,
+                   const std::vector<TuneCandidate>& candidates, int warmup,
+                   int reps) const;
+
   std::function<double()> now_;
 };
 
 /// Standard sweep for a rank-d kernel: untiled plus cubic tiles
 /// {4, 8, 16, 32}^d, each with and without multicolor fusion (task
 /// scheduling); parallel-for scheduling with and without fusion;
-/// time-tile depths {2, 4} x spatial tiles {16, 32}^d; and the
-/// address-arithmetic pass disabled (with and without fusion).
-std::vector<TuneCandidate> default_tile_candidates(int rank);
+/// time-tile depths {2, 4} x spatial tiles {16, 32}^d; wavefront
+/// time-tiling (CompileOptions::wavefront) at depths {2, 4}, slab width
+/// 16; explicit-SIMD rows (CompileOptions::simd_rows) with and without
+/// fusion; and the address-arithmetic pass disabled (with and without
+/// fusion).  When `extents` is given (the tuned grids' box), tile edges
+/// clamp to it and candidates whose clamped options collide (same
+/// options_salt) dedup to the first — a 4^d grid no longer compiles
+/// 8/16/32-wide tiles that degenerate to the same kernel.
+std::vector<TuneCandidate> default_tile_candidates(int rank,
+                                                   const Index& extents = {});
 
 }  // namespace snowflake

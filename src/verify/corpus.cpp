@@ -142,6 +142,57 @@ CorpusEntry timetile_chain() {
   return e;
 }
 
+/// The timetile chain again, but on the snapshot-free wavefront schedule:
+/// slab carry bands must serve exactly the pre-fusion values the snapshot
+/// schedule would have read.  A regression in the carry-save ordering (or
+/// the W >= halo[0] clamp) makes the replay diverge from two plain
+/// reference applications.
+CorpusEntry wavefront_chain() {
+  CorpusEntry e;
+  e.name = "wavefront-chain";
+  e.note = "wavefront temporal blocking (carry bands vs snapshot)";
+  e.program.grids["a"] = spec({17, 11}, "a");
+  e.program.grids["b"] = spec({17, 11}, "b");
+  e.program.grids["c"] = spec({17, 11}, "c");
+  ExprPtr s1 = 0.5 * read("a", {0, 0}) +
+               0.25 * (read("a", {1, 0}) + read("a", {-1, 0}));
+  ExprPtr s2 = 0.5 * read("b", {0, 0}) +
+               0.25 * (read("b", {1, 1}) + read("b", {-1, -1}));
+  e.program.group.append(Stencil("s1", s1, "b", lib::interior(2)));
+  e.program.group.append(Stencil("s2", s2, "c", lib::interior(2)));
+  CompileOptions o;
+  o.time_tile = 2;
+  o.wavefront = true;
+  e.variant = variant("omp-for/wf2", "openmp", o, 4);
+  return e;
+}
+
+/// Explicit-SIMD rows on the sequential backend: `omp simd` pragmas
+/// compiled with -fopenmp-simd over an in-place two-color update must not
+/// let the vectorizer reorder the dependent color sweeps.
+CorpusEntry simd_rows_multicolor() {
+  CorpusEntry e;
+  e.name = "simd-rows-multicolor";
+  e.note = "simd_rows row vectorization of an in-place two-color update";
+  e.program.grids["u"] = spec({12, 18}, "u");
+  e.program.params["w"] = 0.7;
+  ExprPtr body =
+      param("w") * 0.25 *
+          (read("u", {1, 0}) + read("u", {-1, 0}) + read("u", {0, 1}) +
+           read("u", {0, -1})) +
+      (1.0 - param("w")) * read("u", {0, 0});
+  std::vector<RectDomain> rects;
+  for (std::int64_t parity : {0, 1}) {
+    rects.emplace_back(Index{1 + parity, 1}, Index{-1, -1}, Index{2, 1});
+  }
+  e.program.group.append(
+      Stencil("gsrb_like", body, "u", DomainUnion(std::move(rects))));
+  CompileOptions o;
+  o.simd_rows = true;
+  e.variant = variant("c/simdrows", "c", o);
+  return e;
+}
+
 /// GSRB-shaped in-place multicolor update under multicolor fusion.
 CorpusEntry multicolor_fuse() {
   CorpusEntry e;
@@ -198,6 +249,8 @@ std::vector<CorpusEntry> corpus() {
   entries.push_back(addr_multiplicative());
   entries.push_back(interp_divisive());
   entries.push_back(timetile_chain());
+  entries.push_back(wavefront_chain());
+  entries.push_back(simd_rows_multicolor());
   entries.push_back(multicolor_fuse());
   entries.push_back(face_pinned());
   return entries;

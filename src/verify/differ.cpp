@@ -51,6 +51,17 @@ std::vector<Variant> variant_matrix() {
     o.time_tile = 2;
     m.push_back(make("c/tt2", "c", o, 4));
   }
+  {
+    CompileOptions o = base();
+    o.time_tile = 2;
+    o.wavefront = true;
+    m.push_back(make("c/wf2", "c", o, 4));
+  }
+  {
+    CompileOptions o = base();
+    o.simd_rows = true;
+    m.push_back(make("c/simdrows", "c", o));
+  }
 
   // OpenMP parallel-for schedule.
   m.push_back(make("omp-for", "openmp", omp_for()));
@@ -81,6 +92,17 @@ std::vector<Variant> variant_matrix() {
     o.simd = true;
     m.push_back(make("omp-for/noaddr+simd", "openmp", o));
   }
+  {
+    CompileOptions o = omp_for();
+    o.time_tile = 2;
+    o.wavefront = true;
+    m.push_back(make("omp-for/wf2", "openmp", o, 4));
+  }
+  {
+    CompileOptions o = omp_for();
+    o.simd_rows = true;
+    m.push_back(make("omp-for/simdrows", "openmp", o));
+  }
 
   // OpenMP task schedule (the paper's default).
   m.push_back(make("omp-tasks", "openmp", base()));
@@ -100,6 +122,19 @@ std::vector<Variant> variant_matrix() {
     CompileOptions o = base();
     o.addr_opt = false;
     m.push_back(make("omp-tasks/noaddr", "openmp", o));
+  }
+  {
+    CompileOptions o = base();
+    o.time_tile = 3;
+    o.wavefront = true;
+    m.push_back(make("omp-tasks/wf3", "openmp", o, 4));
+  }
+  {
+    CompileOptions o = base();
+    o.simd_rows = true;
+    o.fuse_colors = true;
+    o.fuse_stencils = true;
+    m.push_back(make("omp-tasks/simdrows+fuse", "openmp", o));
   }
 
   // Simulated-device work-group backend.

@@ -126,6 +126,8 @@ void emit_options(const Variant& variant, int rank, std::ostringstream& os) {
     os << "  opt.time_tile = " << o.time_tile << ";\n";
   }
   if (o.addr_opt != d.addr_opt) os << "  opt.addr_opt = false;\n";
+  if (o.wavefront != d.wavefront) os << "  opt.wavefront = true;\n";
+  if (o.simd_rows != d.simd_rows) os << "  opt.simd_rows = true;\n";
   if (o.dist_ranks != d.dist_ranks) {
     os << "  opt.dist_ranks = " << o.dist_ranks << ";\n";
   }

@@ -1,0 +1,304 @@
+// Persistent tune-store tests: encoding round-trips, the shape-class
+// neighbour predicate, the three warm-start tiers end to end against a
+// real database file, loader tolerance of torn lines, and two-process
+// append atomicity (each sweep is one O_APPEND write(2) batch).
+
+#include "tune/store.hpp"
+
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "ir/stencil_library.hpp"
+#include "jit/cache.hpp"
+#include "trace/trace.hpp"
+#include "tune/tuner.hpp"
+
+namespace snowflake {
+namespace {
+
+using tune::TuneDb;
+using tune::TuneKey;
+using tune::TuneStore;
+
+TEST(TuneStoreCodec, OptionsRoundTrip) {
+  CompileOptions o;
+  o.tile = {4, 8};
+  o.fuse_colors = true;
+  o.fuse_stencils = true;
+  o.simd = true;
+  o.simd_rows = true;
+  o.schedule = CompileOptions::Schedule::ParallelFor;
+  o.time_tile = 3;
+  o.addr_opt = false;
+  o.wavefront = true;
+
+  CompileOptions back;
+  ASSERT_TRUE(tune::decode_options(tune::encode_options(o), &back));
+  // options_salt covers every knob; equal salts == equal options.
+  EXPECT_EQ(options_salt(back), options_salt(o));
+  EXPECT_EQ(tune::options_distance(o, back), 0);
+
+  CompileOptions defaults;
+  ASSERT_TRUE(tune::decode_options(tune::encode_options(defaults), &back));
+  EXPECT_EQ(options_salt(back), options_salt(defaults));
+}
+
+TEST(TuneStoreCodec, OptionsDecodeRejectsUnknownInput) {
+  CompileOptions out;
+  EXPECT_FALSE(tune::decode_options("not an encoding", &out));
+  // A future schema knob this build does not know -> refuse (the tuner
+  // falls back to a full sweep rather than guessing).
+  EXPECT_FALSE(tune::decode_options(
+      tune::encode_options(CompileOptions{}) + ";zz=1", &out));
+}
+
+TEST(TuneStoreCodec, ShapesAndParamsRoundTrip) {
+  const ShapeMap shapes{{"out", {6, 7}}, {"x", {6, 7}}};
+  ShapeMap shapes_back;
+  ASSERT_TRUE(
+      TuneStore::decode_shapes(TuneStore::encode_shapes(shapes), &shapes_back));
+  EXPECT_EQ(shapes_back, shapes);
+
+  const ParamMap params{{"h2inv", 1.5}, {"w", 0.30000000000000004}};
+  ParamMap params_back;
+  ASSERT_TRUE(
+      TuneStore::decode_params(TuneStore::encode_params(params), &params_back));
+  EXPECT_EQ(params_back, params);
+}
+
+TEST(TuneStoreCodec, ShapeClassAndNeighbours) {
+  EXPECT_EQ(tune::shape_class({{"x", {32, 32}}}), "r2|5.5");
+  EXPECT_EQ(tune::shape_class({{"out", {10, 10}}, {"x", {6, 48}}}),
+            "r2|3.3|2.5");
+
+  EXPECT_TRUE(tune::neighbouring_shape_class("r2|3.3|3.3", "r2|2.2|2.2"));
+  EXPECT_TRUE(tune::neighbouring_shape_class("r2|3.3", "r2|3.4"));
+  // Equal classes are exact hits, not neighbours.
+  EXPECT_FALSE(tune::neighbouring_shape_class("r2|3.3", "r2|3.3"));
+  // Any bucket more than one apart is out of range.
+  EXPECT_FALSE(tune::neighbouring_shape_class("r2|3.3", "r2|5.3"));
+  // Structure (grid count, rank) must match exactly.
+  EXPECT_FALSE(tune::neighbouring_shape_class("r2|3.3", "r2|3.3|3.3"));
+  EXPECT_FALSE(tune::neighbouring_shape_class("r2|3.3", "r3|3.3.3"));
+}
+
+/// Points $SNOWFLAKE_TUNE_DB at a fresh per-test file and restores the
+/// environment afterwards, so the warm-start tiers run hermetically.
+class TuneStoreTiers : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const char* prev = std::getenv("SNOWFLAKE_TUNE_DB");
+    if (prev != nullptr) prev_ = prev;
+    path_ = ::testing::TempDir() + "/tune_store_test_" +
+            std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+            ".jsonl";
+    std::remove(path_.c_str());
+    setenv("SNOWFLAKE_TUNE_DB", path_.c_str(), 1);
+  }
+
+  void TearDown() override {
+    if (prev_.empty()) {
+      unsetenv("SNOWFLAKE_TUNE_DB");
+    } else {
+      setenv("SNOWFLAKE_TUNE_DB", prev_.c_str(), 1);
+    }
+    std::remove(path_.c_str());
+  }
+
+  static GridSet grids(std::int64_t n) {
+    GridSet gs;
+    gs.add_zeros("x", {n, n}).fill_random(1, -1.0, 1.0);
+    gs.add_zeros("out", {n, n});
+    return gs;
+  }
+
+  /// untiled / tile4 / tile4+fuse: distances 0/1/2 from the untiled best,
+  /// so a near-miss prunes exactly one candidate class away.
+  static std::vector<TuneCandidate> three_candidates() {
+    std::vector<TuneCandidate> c(3);
+    c[0].label = "untiled";
+    c[1].label = "tile4";
+    c[1].options.tile = {4, 4};
+    c[2].label = "tile4+fuse";
+    c[2].options.tile = {4, 4};
+    c[2].options.fuse_colors = true;
+    return c;
+  }
+
+  static double counter(const std::string& name) {
+    const auto counters = trace::TraceCollector::instance().counters();
+    const auto it = counters.find(name);
+    return it == counters.end() ? 0.0 : it->second;
+  }
+
+  std::string path_;
+  std::string prev_;
+};
+
+TEST_F(TuneStoreTiers, ExactHitSkipsCompilesAndTiming) {
+  GridSet gs = grids(12);
+  const auto candidates = three_candidates();
+  size_t reads = 0;
+  // A monotone scripted clock: every candidate measures the same 1.0s
+  // delta, and the strictly-less comparison keeps the first -> "untiled".
+  Tuner tuner([&] { return static_cast<double>(++reads); });
+  const StencilGroup group(lib::cc_apply(2, "x", "out"));
+  const ParamMap params{{"h2inv", 1.0}};
+
+  const double miss0 = counter("tuner.store_miss");
+  const TuneResult cold =
+      tuner.tune(group, gs, params, "c", candidates, /*warmup=*/0, /*reps=*/1);
+  EXPECT_EQ(counter("tuner.store_miss"), miss0 + 1.0);
+  EXPECT_EQ(cold.best.label, "untiled");
+  ASSERT_EQ(cold.timings.size(), candidates.size());
+  const size_t cold_reads = reads;
+  EXPECT_EQ(cold_reads, 2u * candidates.size());
+
+  // Second tune of the same key: answered from the store with zero
+  // kernel compiles/loads and zero timing reps (zero clock reads).
+  const KernelCache::Stats before = KernelCache::instance().stats();
+  const double hit0 = counter("tuner.store_hit");
+  const TuneResult warm =
+      tuner.tune(group, gs, params, "c", candidates, /*warmup=*/0, /*reps=*/1);
+  const KernelCache::Stats after = KernelCache::instance().stats();
+
+  EXPECT_EQ(counter("tuner.store_hit"), hit0 + 1.0);
+  EXPECT_EQ(reads, cold_reads);
+  EXPECT_EQ(after.compiles, before.compiles);
+  EXPECT_EQ(after.disk_hits, before.disk_hits);
+  EXPECT_EQ(after.memory_hits, before.memory_hits);
+  EXPECT_EQ(warm.best.label, cold.best.label);
+  EXPECT_EQ(options_salt(warm.best.options), options_salt(cold.best.options));
+  // The stored timings replay so callers still see the sweep evidence.
+  EXPECT_EQ(warm.timings.size(), cold.timings.size());
+
+  TuneDb db;
+  ASSERT_TRUE(TuneStore().load(&db));
+  EXPECT_EQ(db.skipped, 0);
+  ASSERT_EQ(db.records.size(), 1u);
+  EXPECT_EQ(db.records.begin()->second.best_cand, "untiled");
+}
+
+TEST_F(TuneStoreTiers, NearMissPrunesAndEnqueuesDebt) {
+  const StencilGroup group(lib::cc_apply(2, "x", "out"));
+  const auto candidates = three_candidates();
+  const ParamMap params{{"h2inv", 1.0}};
+  size_t reads = 0;
+  Tuner tuner([&] { return static_cast<double>(++reads); });
+
+  // Cold at 10^2 (log2 bucket 3) seeds the store.
+  GridSet big = grids(10);
+  tuner.tune(group, big, params, "reference", candidates, 0, 1);
+
+  // 6^2 (bucket 2) is a neighbouring class: the sweep keeps only the
+  // candidates within options-distance 1 of the stored best, and the
+  // unseen shape class joins the debt queue.
+  GridSet small = grids(6);
+  const double near0 = counter("tuner.store_near");
+  const TuneResult near =
+      tuner.tune(group, small, params, "reference", candidates, 0, 1);
+  EXPECT_EQ(counter("tuner.store_near"), near0 + 1.0);
+  EXPECT_EQ(near.timings.size(), 2u);  // untiled + tile4; tile4+fuse pruned
+  EXPECT_LT(near.timings.size(), candidates.size());
+
+  TuneDb db;
+  ASSERT_TRUE(TuneStore().load(&db));
+  ASSERT_EQ(db.debts.size(), 1u);
+  const tune::DebtRecord& debt = db.debts.begin()->second;
+  EXPECT_EQ(debt.open, 1);
+  EXPECT_EQ(debt.rank, 2);
+  ShapeMap debt_shapes;
+  ASSERT_TRUE(TuneStore::decode_shapes(debt.shapes, &debt_shapes));
+  EXPECT_EQ(debt_shapes.at("x"), (Index{6, 6}));
+
+  // refine_pending() pays the debt from the in-process registry: a full
+  // sweep at the debted shape, and the queue entry closes.
+  EXPECT_EQ(Tuner().refine_pending(), 1);
+  TuneDb refined;
+  ASSERT_TRUE(TuneStore().load(&refined));
+  for (const auto& [ks, d] : refined.debts) EXPECT_LE(d.open, 0);
+  // The debted class now has its own stored best: the next query there
+  // is an exact hit.
+  const double hit0 = counter("tuner.store_hit");
+  tuner.tune(group, small, params, "reference", candidates, 0, 1);
+  EXPECT_EQ(counter("tuner.store_hit"), hit0 + 1.0);
+}
+
+TEST_F(TuneStoreTiers, LoaderToleratesTornAndForeignLines) {
+  TuneKey key{"deadbeefdeadbeef", "c", "m0", "r2|3.3|3.3"};
+  const CompileOptions opts;
+  ASSERT_TRUE(TuneStore().append(
+      {TuneStore::timing_line(key, "s", "l", "untiled", opts, 0.25),
+       TuneStore::best_line(key, "s", "l", "untiled", opts, 0.25)}));
+  {
+    std::ofstream f(path_, std::ios::app);
+    f << "{\"schema\":\"other-schema\",\"kind\":\"best\"}\n";
+    f << "garbage not json\n";
+    f << "{\"schema\":\"snowflake-tune-v1\",\"kind\":\"timing\",\"tru";  // torn
+  }
+  TuneDb db;
+  ASSERT_TRUE(TuneStore().load(&db));
+  EXPECT_EQ(db.skipped, 3);
+  ASSERT_EQ(db.records.size(), 1u);
+  const tune::KeyRecord& rec = db.records.at(key.str());
+  EXPECT_EQ(rec.best_cand, "untiled");
+  ASSERT_EQ(rec.timings.size(), 1u);
+  EXPECT_DOUBLE_EQ(rec.timings[0].seconds, 0.25);
+}
+
+TEST(TuneStoreAtomicity, TwoProcessAppendBatches) {
+  const std::string path = ::testing::TempDir() + "/tune_store_atomic_" +
+                           std::to_string(::getpid()) + ".jsonl";
+  std::remove(path.c_str());
+  const TuneStore store(path);
+  constexpr int kBatches = 64;
+  constexpr int kTimingsPerBatch = 3;
+
+  // Two concurrent writers, one O_APPEND write(2) per batch: the merged
+  // file must contain every line intact — no interleaving, no tearing.
+  auto writer = [&](const std::string& group) {
+    TuneKey key{group, "c", "m0", "r2|3.3|3.3"};
+    const CompileOptions opts;
+    for (int b = 0; b < kBatches; ++b) {
+      std::vector<std::string> lines;
+      for (int t = 0; t < kTimingsPerBatch; ++t) {
+        lines.push_back(TuneStore::timing_line(
+            key, "s", "l", "cand" + std::to_string(t), opts, 0.5));
+      }
+      lines.push_back(TuneStore::best_line(key, "s", "l", "cand0", opts, 0.5));
+      if (!store.append(lines)) _exit(1);
+    }
+    _exit(0);
+  };
+
+  const pid_t a = fork();
+  ASSERT_GE(a, 0);
+  if (a == 0) writer("aaaaaaaaaaaaaaaa");
+  const pid_t b = fork();
+  ASSERT_GE(b, 0);
+  if (b == 0) writer("bbbbbbbbbbbbbbbb");
+  int status = 0;
+  ASSERT_EQ(waitpid(a, &status, 0), a);
+  EXPECT_EQ(status, 0);
+  ASSERT_EQ(waitpid(b, &status, 0), b);
+  EXPECT_EQ(status, 0);
+
+  TuneDb db;
+  ASSERT_TRUE(store.load(&db));
+  EXPECT_EQ(db.skipped, 0);
+  ASSERT_EQ(db.records.size(), 2u);
+  for (const auto& [ks, rec] : db.records) {
+    EXPECT_EQ(rec.timings.size(),
+              static_cast<size_t>(kBatches * kTimingsPerBatch));
+    EXPECT_EQ(rec.best_cand, "cand0");
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace snowflake

@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+
+#include "backend/backend.hpp"
 #include "ir/stencil_library.hpp"
+#include "jit/cache.hpp"
 #include "support/error.hpp"
 
 namespace snowflake {
@@ -59,23 +63,106 @@ TEST(Tuner, RealClockSmoke) {
 TEST(Tuner, DefaultCandidates) {
   const auto c2 = default_tile_candidates(2);
   // (untiled + 4 tile sizes) x fusion, 2 parallel-for comparators,
-  // time-tile depths {2,4} x tiles {16,32}, and 2 addr-off comparators.
-  EXPECT_EQ(c2.size(), 18u);
+  // time-tile depths {2,4} x tiles {16,32}, 2 wavefront depths, 2
+  // explicit-SIMD-row comparators and 2 addr-off comparators.
+  ASSERT_EQ(c2.size(), 22u);
   EXPECT_EQ(c2[0].label, "untiled");
   EXPECT_TRUE(c2[0].options.tile.empty());
   EXPECT_EQ(c2[2].options.tile, (Index{8, 8}));
+  EXPECT_EQ(c2[5].label, "untiled+fuse");
   EXPECT_TRUE(c2[5].options.fuse_colors);
   EXPECT_EQ(c2[10].label, "for");
   EXPECT_EQ(c2[10].options.schedule, CompileOptions::Schedule::ParallelFor);
   EXPECT_EQ(c2[12].label, "tt2_tile16");
   EXPECT_EQ(c2[12].options.time_tile, 2);
   EXPECT_EQ(c2[12].options.tile, (Index{16, 16}));
+  EXPECT_EQ(c2[15].label, "tt4_tile32");
   EXPECT_EQ(c2[15].options.time_tile, 4);
-  EXPECT_EQ(c2[16].label, "noaddr");
-  EXPECT_FALSE(c2[16].options.addr_opt);
-  EXPECT_EQ(c2[17].label, "noaddr+fuse");
-  EXPECT_FALSE(c2[17].options.addr_opt);
-  EXPECT_TRUE(c2[17].options.fuse_colors);
+  EXPECT_EQ(c2[16].label, "wf2_tile16");
+  EXPECT_TRUE(c2[16].options.wavefront);
+  EXPECT_EQ(c2[16].options.time_tile, 2);
+  EXPECT_EQ(c2[16].options.tile, (Index{16, 16}));
+  EXPECT_EQ(c2[17].label, "wf4_tile16");
+  EXPECT_EQ(c2[17].options.time_tile, 4);
+  EXPECT_EQ(c2[18].label, "simdrows");
+  EXPECT_TRUE(c2[18].options.simd_rows);
+  EXPECT_EQ(c2[19].label, "simdrows+fuse");
+  EXPECT_TRUE(c2[19].options.fuse_colors);
+  EXPECT_EQ(c2[20].label, "noaddr");
+  EXPECT_FALSE(c2[20].options.addr_opt);
+  EXPECT_EQ(c2[21].label, "noaddr+fuse");
+  EXPECT_FALSE(c2[21].options.addr_opt);
+  EXPECT_TRUE(c2[21].options.fuse_colors);
+}
+
+TEST(Tuner, DefaultCandidatesClampAndDedup) {
+  // On an 8x8 grid the 16- and 32-wide tiles clamp to the extents and
+  // collapse into the 8-wide candidates; the clamped list carries no
+  // duplicate option sets.
+  const auto c = default_tile_candidates(2, {8, 8});
+  EXPECT_EQ(c.size(), 16u);
+  std::set<std::string> salts, labels;
+  for (const auto& cand : c) {
+    EXPECT_TRUE(salts.insert(options_salt(cand.options)).second)
+        << "duplicate options survived dedup: " << cand.label;
+    labels.insert(cand.label);
+    for (std::int64_t t : cand.options.tile) EXPECT_LE(t, 8);
+  }
+  EXPECT_TRUE(labels.count("tile8"));
+  EXPECT_FALSE(labels.count("tile16"));
+  EXPECT_FALSE(labels.count("tile32"));
+  // First label wins within a duplicate class.
+  EXPECT_TRUE(labels.count("tt2_tile16"));
+  EXPECT_FALSE(labels.count("tt2_tile32"));
+  EXPECT_TRUE(labels.count("wf2_tile16"));
+}
+
+TEST(Tuner, SweepRestoresGrids) {
+  // Trial runs mutate the grids; the sweep snapshots before timing and
+  // restores after every candidate so callers can tune on live data.
+  GridSet gs = apply_grids(10);
+  const Grid& x = gs.at("x");
+  const Grid& out = gs.at("out");
+  const std::vector<double> x0(x.data(), x.data() + x.size());
+  const std::vector<double> out0(out.data(), out.data() + out.size());
+
+  std::vector<double> script = {0.0, 1.0, 10.0, 11.0};
+  size_t cursor = 0;
+  Tuner tuner([&] { return script.at(cursor++); });
+  std::vector<TuneCandidate> candidates(2);
+  candidates[0].label = "a";
+  candidates[1].label = "b";
+  candidates[1].options.tile = {4, 4};
+  tuner.tune(StencilGroup(lib::cc_apply(2, "x", "out")), gs, {{"h2inv", 1.0}},
+             "reference", candidates, /*warmup=*/1, /*reps=*/1);
+
+  EXPECT_TRUE(std::equal(x0.begin(), x0.end(), x.data()));
+  EXPECT_TRUE(std::equal(out0.begin(), out0.end(), out.data()));
+}
+
+TEST(Tuner, ConcurrentCompileDedup) {
+  // The sweep compiles all candidates concurrently; identical option sets
+  // share one kernel-cache key, so the cache admits a single compile (or
+  // disk load) and every other worker takes a memory hit.
+  GridSet gs = apply_grids(13);  // size unique to this test binary
+  std::vector<TuneCandidate> candidates(6);
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    candidates[i].label = "dup" + std::to_string(i);
+  }
+  size_t reads = 0;
+  Tuner tuner([&] { return static_cast<double>(++reads); });
+
+  const KernelCache::Stats before = KernelCache::instance().stats();
+  const TuneResult result =
+      tuner.tune(StencilGroup(lib::cc_apply(2, "x", "out")), gs,
+                 {{"h2inv", 1.0}}, "c", candidates, /*warmup=*/0, /*reps=*/1);
+  const KernelCache::Stats after = KernelCache::instance().stats();
+
+  EXPECT_EQ(result.timings.size(), candidates.size());
+  EXPECT_EQ((after.compiles - before.compiles) +
+                (after.disk_hits - before.disk_hits),
+            1u);
+  EXPECT_EQ(after.memory_hits - before.memory_hits, candidates.size() - 1);
 }
 
 TEST(Tuner, RejectsEmptyCandidates) {

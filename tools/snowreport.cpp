@@ -5,6 +5,14 @@
 //   snowreport <ledger.jsonl> [--kernel=<substr>] [--machine=<id|any>]
 //              [--last=<N>] [--series] [--require-rows=<n>]
 //   snowreport --critical-path <trace.json>
+//   snowreport --tune <tunedb.jsonl> [--kernel=<substr>] [--machine=<id|any>]
+//              [--require-rows=<n>]
+//
+// --tune renders the autotuning database ($SNOWFLAKE_TUNE_DB, schema
+// snowflake-tune-v1): one row per (kernel, backend, machine, shape class)
+// with the stored best schedule, the timing spread of every candidate
+// measurement accumulated for that key, and the tuning-debt queue depth
+// (near-miss shapes awaiting full refinement).
 //
 // Ledger mode groups entries by (kind, label, backend, options, machine)
 // — one time series per kernel per configuration per machine — and prints
@@ -36,6 +44,7 @@
 
 #include "support/fingerprint.hpp"
 #include "trace/history.hpp"
+#include "tune/store.hpp"
 
 using snowflake::trace::LedgerEntry;
 using snowflake::trace::PerfLedger;
@@ -143,6 +152,73 @@ int run_ledger_report(const std::string& path, const std::string& kernel_filter,
   return 0;
 }
 
+int run_tune_report(const std::string& path, const std::string& kernel_filter,
+                    std::string machine, int require_rows) {
+  snowflake::tune::TuneDb db;
+  std::string error;
+  if (!snowflake::tune::TuneStore(path).load(&db, &error)) {
+    std::fprintf(stderr, "snowreport: %s\n", error.c_str());
+    return 1;
+  }
+  if (db.skipped > 0) {
+    std::fprintf(stderr, "snowreport: warning: %d unparseable line(s) in %s\n",
+                 db.skipped, path.c_str());
+  }
+  if (machine.empty()) machine = snowflake::fingerprint().id;
+
+  int open_debts = 0;
+  for (const auto& [ks, debt] : db.debts) open_debts += debt.open > 0;
+  std::printf("== tune db: %s (%zu key(s), %d open debt(s)) ==\n",
+              path.c_str(), db.records.size(), open_debts);
+  if (machine != "any") {
+    std::printf("machine %s (%s); --machine=any to include all\n",
+                machine.c_str(), snowflake::fingerprint().cpu_model.c_str());
+  }
+
+  int rows = 0;
+  for (const auto& [ks, rec] : db.records) {
+    if (machine != "any" && rec.key.machine != machine) continue;
+    if (!kernel_filter.empty() &&
+        rec.label.find(kernel_filter) == std::string::npos &&
+        rec.names.find(kernel_filter) == std::string::npos) {
+      continue;
+    }
+    std::vector<double> seconds;
+    for (const auto& t : rec.timings) seconds.push_back(t.seconds);
+    std::sort(seconds.begin(), seconds.end());
+    std::printf("%s (%s, shape %s)\n", rec.label.c_str(),
+                rec.key.backend.c_str(), rec.key.shape.c_str());
+    if (rec.best_cand.empty()) {
+      std::printf("    no best recorded (%zu timing(s))\n",
+                  rec.timings.size());
+    } else {
+      std::printf("    best %s: %.3e s  [%s]\n", rec.best_cand.c_str(),
+                  rec.best_seconds, rec.best_opts.c_str());
+    }
+    if (!seconds.empty()) {
+      std::printf(
+          "    %zu timing(s): min %.3e s, median %.3e s, max %.3e s "
+          "(spread %.1fx)\n",
+          seconds.size(), seconds.front(),
+          snowflake::trace::median(seconds), seconds.back(),
+          seconds.front() > 0.0 ? seconds.back() / seconds.front() : 0.0);
+    }
+    const auto debt = db.debts.find(ks);
+    if (debt != db.debts.end() && debt->second.open > 0) {
+      std::printf("    debt: %d open refinement(s) at shapes %s\n",
+                  debt->second.open, debt->second.shapes.c_str());
+    }
+    ++rows;
+  }
+  if (rows == 0) std::printf("(no matching tune rows)\n");
+  if (require_rows > 0 && rows < require_rows) {
+    std::fprintf(stderr, "snowreport: expected >= %d tune row(s), got %d\n",
+                 require_rows, rows);
+    return 1;
+  }
+  return 0;
+}
+
 /// Distsim span accounting scraped from a Chrome trace: seconds per rank
 /// per phase.  The trace writer emits {"name":...,"cat":...,...,"dur":N}
 /// in fixed field order, so a scan is enough (same approach as
@@ -231,10 +307,13 @@ int main(int argc, char** argv) {
   std::string ledger_path, trace_path, kernel_filter, machine;
   size_t last = 10;
   bool series = false;
+  bool tune_view = false;
   int require_rows = 0;
   for (int i = 1; i < argc; ++i) {
     const char* a = argv[i];
-    if (std::strncmp(a, "--kernel=", 9) == 0) {
+    if (std::strcmp(a, "--tune") == 0) {
+      tune_view = true;
+    } else if (std::strncmp(a, "--kernel=", 9) == 0) {
       kernel_filter = a + 9;
     } else if (std::strncmp(a, "--machine=", 10) == 0) {
       machine = a + 10;
@@ -255,7 +334,10 @@ int main(int argc, char** argv) {
                    "usage: snowreport <ledger.jsonl> [--kernel=<substr>] "
                    "[--machine=<id|any>] [--last=<N>] [--series] "
                    "[--require-rows=<n>]\n"
-                   "       snowreport --critical-path <trace.json>\n");
+                   "       snowreport --critical-path <trace.json>\n"
+                   "       snowreport --tune <tunedb.jsonl> "
+                   "[--kernel=<substr>] [--machine=<id|any>] "
+                   "[--require-rows=<n>]\n");
       return std::strcmp(a, "--help") == 0 ? 0 : 1;
     } else {
       ledger_path = a;
@@ -265,6 +347,9 @@ int main(int argc, char** argv) {
   if (ledger_path.empty()) {
     std::fprintf(stderr, "snowreport: no ledger file given (--help for usage)\n");
     return 1;
+  }
+  if (tune_view) {
+    return run_tune_report(ledger_path, kernel_filter, machine, require_rows);
   }
   if (last == 0) last = 10;
   return run_ledger_report(ledger_path, kernel_filter, machine, last, series,

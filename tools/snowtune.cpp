@@ -1,0 +1,188 @@
+// snowtune: operate the persistent autotuning database
+// ($SNOWFLAKE_TUNE_DB, schema snowflake-tune-v1).
+//
+//   snowtune [<db.jsonl>] [--list] [--debt] [--machine=<id|any>]
+//   snowtune [<db.jsonl>] --refine [--warmup=<n>] [--reps=<n>]
+//
+// --list (the default) prints every stored best per (kernel, backend,
+// machine, shape class); --debt prints the tuning-debt queue (near-miss
+// shapes served from a neighbouring class and awaiting full refinement).
+//
+// --refine pays open debts from outside the owning process: each debt
+// line records the group's stencil-name signature plus the exact shapes
+// and params, so any group this tool knows how to rebuild (the multigrid
+// operator library) is re-tuned with a full candidate sweep at the debted
+// shape and its queue entry closed.  Groups with unknown signatures are
+// listed — their owning process refines them via Tuner::refine_pending()
+// (or $SNOWFLAKE_TUNE_REFINE_AT_EXIT=1).
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "grid/grid_set.hpp"
+#include "multigrid/operators.hpp"
+#include "support/fingerprint.hpp"
+#include "tune/store.hpp"
+#include "tune/tuner.hpp"
+
+using namespace snowflake;
+
+namespace {
+
+std::string group_names(const StencilGroup& group) {
+  std::string s;
+  for (size_t i = 0; i < group.size(); ++i) {
+    if (i) s += '+';
+    s += group[i].name();
+  }
+  return s;
+}
+
+/// Rebuild a group from its stencil-name signature.  Covers the multigrid
+/// operator library — the groups the solver autotunes; returns an empty
+/// group when the signature is unknown.
+StencilGroup known_group_by_names(const std::string& names, int rank) {
+  if (rank < 1) return {};
+  using Maker = StencilGroup (*)(int);
+  const Maker makers[] = {mg::gsrb_smooth_group, mg::chebyshev_step_group,
+                          mg::residual_group, mg::rhs_manufacture_group,
+                          mg::restriction_group, mg::interpolation_add_group};
+  for (Maker make : makers) {
+    StencilGroup g = make(rank);
+    if (group_names(g) == names) return g;
+  }
+  return {};
+}
+
+int list_records(const tune::TuneDb& db, const std::string& machine) {
+  int rows = 0;
+  for (const auto& [ks, rec] : db.records) {
+    if (machine != "any" && rec.key.machine != machine) continue;
+    std::printf("%s (%s, shape %s)\n", rec.label.c_str(),
+                rec.key.backend.c_str(), rec.key.shape.c_str());
+    if (rec.best_cand.empty()) {
+      std::printf("    %zu timing(s), no best recorded\n", rec.timings.size());
+    } else {
+      std::printf("    best %s: %.3e s over %zu timing(s)\n",
+                  rec.best_cand.c_str(), rec.best_seconds,
+                  rec.timings.size());
+    }
+    ++rows;
+  }
+  if (rows == 0) std::printf("(no stored results for this machine)\n");
+  return 0;
+}
+
+int list_debts(const tune::TuneDb& db, const std::string& machine) {
+  int open = 0;
+  for (const auto& [ks, debt] : db.debts) {
+    if (debt.open <= 0) continue;
+    if (machine != "any" && debt.key.machine != machine) continue;
+    std::printf("%s (%s, rank %d): %d open at shapes %s params {%s}\n",
+                debt.names.c_str(), debt.key.backend.c_str(), debt.rank,
+                debt.open, debt.shapes.c_str(), debt.params.c_str());
+    ++open;
+  }
+  if (open == 0) std::printf("(debt queue empty)\n");
+  return 0;
+}
+
+int refine_debts(const tune::TuneDb& db, int warmup, int reps) {
+  const Tuner tuner;
+  int refined = 0, unknown = 0;
+  for (const auto& [ks, debt] : db.debts) {
+    if (debt.open <= 0) continue;
+    // Timings never transfer across machines; only refine local debts.
+    if (debt.key.machine != fingerprint().id) continue;
+    const StencilGroup group = known_group_by_names(debt.names, debt.rank);
+    ShapeMap shapes;
+    ParamMap params;
+    if (group.size() == 0 ||
+        !tune::TuneStore::decode_shapes(debt.shapes, &shapes) ||
+        shapes.empty() ||
+        !tune::TuneStore::decode_params(debt.params, &params)) {
+      std::printf("skip %s: unknown group signature (refine it from the "
+                  "owning process)\n",
+                  debt.names.c_str());
+      ++unknown;
+      continue;
+    }
+    GridSet grids;
+    std::uint64_t seed = 1;
+    Index box;
+    for (const auto& [name, shape] : shapes) {
+      grids.add_zeros(name, shape).fill_random(seed++, -1.0, 1.0);
+      if (shape.size() > box.size()) box = shape;
+    }
+    std::printf("refining %s at %s ...\n", debt.names.c_str(),
+                debt.shapes.c_str());
+    const TuneResult result = tuner.refine(
+        group, grids, params, debt.key.backend,
+        default_tile_candidates(debt.rank, box), warmup, reps);
+    std::printf("    best %s\n", result.best.label.c_str());
+    ++refined;
+  }
+  std::printf("refined %d debt(s), %d unknown group(s)\n", refined, unknown);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path = tune::tune_db_path();
+  std::string machine;
+  bool debt = false, refine = false;
+  int warmup = 1, reps = 3;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strcmp(a, "--list") == 0) {
+      // default view
+    } else if (std::strcmp(a, "--debt") == 0) {
+      debt = true;
+    } else if (std::strcmp(a, "--refine") == 0) {
+      refine = true;
+    } else if (std::strncmp(a, "--machine=", 10) == 0) {
+      machine = a + 10;
+    } else if (std::strncmp(a, "--warmup=", 9) == 0) {
+      warmup = std::atoi(a + 9);
+    } else if (std::strncmp(a, "--reps=", 7) == 0) {
+      reps = std::atoi(a + 7);
+    } else if (a[0] == '-') {
+      std::fprintf(stderr,
+                   "usage: snowtune [<db.jsonl>] [--list] [--debt] "
+                   "[--refine] [--machine=<id|any>] [--warmup=<n>] "
+                   "[--reps=<n>]\n");
+      return std::strcmp(a, "--help") == 0 ? 0 : 1;
+    } else {
+      path = a;
+    }
+  }
+  if (path.empty()) {
+    std::fprintf(stderr,
+                 "snowtune: no database ($SNOWFLAKE_TUNE_DB or a path "
+                 "argument)\n");
+    return 1;
+  }
+  if (machine.empty()) machine = fingerprint().id;
+
+  // --refine appends to the db, so keep the tuner's store pointed at it.
+  setenv("SNOWFLAKE_TUNE_DB", path.c_str(), 1);
+
+  tune::TuneDb db;
+  std::string error;
+  if (!tune::TuneStore(path).load(&db, &error)) {
+    std::fprintf(stderr, "snowtune: %s\n", error.c_str());
+    return 1;
+  }
+  if (db.skipped > 0) {
+    std::fprintf(stderr, "snowtune: warning: %d unparseable line(s)\n",
+                 db.skipped);
+  }
+  std::printf("== tune db: %s (%zu key(s)) ==\n", path.c_str(),
+              db.records.size());
+  if (refine) return refine_debts(db, warmup, reps);
+  if (debt) return list_debts(db, machine);
+  return list_records(db, machine);
+}
