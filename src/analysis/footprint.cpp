@@ -1,12 +1,57 @@
 #include "analysis/footprint.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <map>
 #include <set>
 
 #include "support/error.hpp"
 
 namespace snowflake {
+
+namespace {
+
+int sign_of(std::int64_t v) { return v > 0 ? 1 : (v < 0 ? -1 : 0); }
+
+/// True when offset `o` points through every nonzero direction of `delta`.
+bool compatible(const Index& o, const Index& delta) {
+  for (size_t a = 0; a < delta.size(); ++a) {
+    if (delta[a] != 0 && sign_of(o[a]) != static_cast<int>(delta[a])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::int64_t WaveGridDepth::face_depth(size_t axis, int sign) const {
+  std::int64_t d = 0;
+  for (const Index& o : offsets) {
+    if (axis < o.size() && sign_of(o[axis]) == sign) {
+      d = std::max(d, std::abs(o[axis]));
+    }
+  }
+  return d;
+}
+
+bool WaveGridDepth::needs_pattern(const Index& delta) const {
+  for (const Index& o : offsets) {
+    if (compatible(o, delta)) return true;
+  }
+  return false;
+}
+
+Index WaveGridDepth::pattern_depth(const Index& delta) const {
+  Index d(delta.size(), 0);
+  for (const Index& o : offsets) {
+    if (!compatible(o, delta)) continue;
+    for (size_t a = 0; a < delta.size(); ++a) {
+      if (delta[a] != 0) d[a] = std::max(d[a], std::abs(o[a]));
+    }
+  }
+  return d;
+}
 
 std::int64_t CommFootprint::max_depth() const {
   std::int64_t depth = 0;
@@ -20,11 +65,13 @@ CommFootprint comm_footprint(const StencilGroup& group,
                              const Schedule& schedule, bool prune) {
   CommFootprint fp;
   fp.waves.resize(schedule.waves.size());
+  const size_t rank =
+      group.size() > 0 ? static_cast<size_t>(group[0].rank()) : 0;
 
   // Group-wide halo depth (for the unpruned baseline) and the per-wave,
-  // per-grid read depths.
+  // per-grid deduplicated read-offset sets.
   std::int64_t group_halo = 0;
-  std::vector<std::map<std::string, std::int64_t>> read_depth(
+  std::vector<std::map<std::string, std::set<Index>>> read_offs(
       schedule.waves.size());
   for (size_t w = 0; w < schedule.waves.size(); ++w) {
     for (size_t s : schedule.waves[w].stencils) {
@@ -33,21 +80,34 @@ CommFootprint comm_footprint(const StencilGroup& group,
                    "comm footprint requires pure-offset reads (stencil '" +
                        group[s].name() + "' uses " + r->map().to_string() +
                        ")");
-        const std::int64_t off = std::abs(r->map().dim(0).off);
-        group_halo = std::max(group_halo, off);
-        auto& depth = read_depth[w][r->grid()];
-        depth = std::max(depth, off);
+        Index off(static_cast<size_t>(r->map().rank()), 0);
+        for (size_t d = 0; d < off.size(); ++d) {
+          off[d] = r->map().dim(static_cast<int>(d)).off;
+          group_halo = std::max(group_halo, std::abs(off[d]));
+        }
+        read_offs[w][r->grid()].insert(std::move(off));
       }
     }
   }
 
   if (!prune) {
-    // Legacy baseline: every grid of the group, full halo, every wave
-    // past the first.
+    // Legacy baseline: every grid of the group, full halo in every
+    // direction including all diagonals, every wave past the first.  The
+    // 2^rank halo-corner vectors imply every neighbour pattern at the
+    // full group-halo depth.
     if (group_halo > 0) {
+      std::vector<Index> corners;
+      const size_t n = size_t{1} << rank;
+      for (size_t mask = 0; mask < n; ++mask) {
+        Index c(rank, 0);
+        for (size_t a = 0; a < rank; ++a) {
+          c[a] = ((mask >> a) & 1) != 0 ? group_halo : -group_halo;
+        }
+        corners.push_back(std::move(c));
+      }
       for (size_t w = 1; w < schedule.waves.size(); ++w) {
         for (const auto& g : group.grids()) {
-          fp.waves[w].push_back(WaveGridDepth{g, group_halo});
+          fp.waves[w].push_back(WaveGridDepth{g, group_halo, corners});
         }
       }
     }
@@ -59,10 +119,18 @@ CommFootprint comm_footprint(const StencilGroup& group,
   std::set<std::string> written;
   for (size_t w = 0; w < schedule.waves.size(); ++w) {
     if (w > 0) {
-      for (const auto& [grid, depth] : read_depth[w]) {
-        if (depth > 0 && written.count(grid) != 0) {
-          fp.waves[w].push_back(WaveGridDepth{grid, depth});
+      for (const auto& [grid, offs] : read_offs[w]) {
+        if (written.count(grid) == 0) continue;
+        WaveGridDepth wg;
+        wg.grid = grid;
+        for (const Index& o : offs) {
+          std::int64_t mag = 0;
+          for (std::int64_t c : o) mag = std::max(mag, std::abs(c));
+          if (mag == 0) continue;  // offset-0 reads never leave the block
+          wg.depth = std::max(wg.depth, mag);
+          wg.offsets.push_back(o);
         }
+        if (wg.depth > 0) fp.waves[w].push_back(std::move(wg));
       }
     }
     for (size_t s : schedule.waves[w].stencils) {

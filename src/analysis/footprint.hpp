@@ -1,25 +1,32 @@
 #pragma once
 // Per-wave communication footprint of a scheduled StencilGroup.
 //
-// A distributed backend that partitions the outermost dimension needs to
-// know, before each barrier wave, which grids must have fresh boundary
-// layers and how deep those layers are.  Both questions are answered by
-// the same dependence information the scheduler already uses:
+// A distributed backend that partitions the grid into Cartesian blocks
+// needs to know, before each barrier wave, which grids must have fresh
+// boundary layers, on which faces, and how deep.  All of it is answered
+// by the same dependence information the scheduler already uses:
 //
 //   * a grid needs an exchange before wave w only if some stencil of wave
-//     w reads it through a nonzero dim-0 offset (offset-0 reads stay
-//     inside the reader's owned slab), AND an earlier wave of the group
-//     has written it since the last global distribution — grids no wave
-//     writes (coefficients, rhs) keep the boundary layers the initial
-//     scatter installed and never need re-copying;
-//   * the required depth is the largest |dim-0 offset| any wave-w stencil
-//     reads that grid through, which is at most the group halo but often
-//     smaller per grid and per wave.
+//     w reads it through a nonzero offset (offset-0 reads stay inside the
+//     reader's owned block), AND an earlier wave of the group has written
+//     it since the last global distribution — grids no wave writes
+//     (coefficients, rhs) keep the boundary layers the initial scatter
+//     installed and never need re-copying;
+//   * the required depth is per signed axis direction: the largest |o_a|
+//     of any wave-w read offset pointing through that face — at most the
+//     group halo but often smaller per grid, per wave, and per face;
+//   * an edge/corner neighbour (a diagonal pattern delta in {-1,0,1}^d)
+//     is needed only if some single read offset points through *all* of
+//     delta's nonzero directions at once.  A star stencil (axis-aligned
+//     offsets only) provably needs no corner messages; a 9-point box
+//     stencil does.
 //
-// The analysis is exact for the pure-offset programs the distributed
-// backend accepts (every read is a constant translate), and conservative
-// only in ignoring *which rows* of the slab boundary a wave's domain
-// touches — it prunes by grid and depth, not by sub-row extent.
+// The analysis keeps the full deduplicated read-offset set per grid per
+// wave, so the comm planner can ask both questions (`needs_pattern`,
+// `pattern_depth`) exactly rather than from a scalar depth.  It is exact
+// for the pure-offset programs the distributed backend accepts, and
+// conservative only in ignoring *which rows* of the block boundary a
+// wave's domain touches.
 
 #include <cstdint>
 #include <string>
@@ -33,7 +40,25 @@ namespace snowflake {
 /// Exchange requirement of one grid before one wave.
 struct WaveGridDepth {
   std::string grid;
-  std::int64_t depth = 0;  // max |dim-0 read offset| of the wave's reads
+  /// Max per-axis |read offset| of the wave's reads (scalar summary).
+  std::int64_t depth = 0;
+  /// Deduplicated read-offset vectors of the wave (one entry per distinct
+  /// offset; rank == grid rank).  Everything per-face derives from these.
+  std::vector<Index> offsets;
+
+  /// Depth required through the (axis, sign) face: max |o_axis| over
+  /// offsets with sign(o_axis) == sign.  sign is -1 (low face) or +1.
+  std::int64_t face_depth(size_t axis, int sign) const;
+
+  /// True if the neighbour pattern `delta` (components in {-1,0,+1}, not
+  /// all zero) is read through: some single offset points through every
+  /// nonzero direction of delta simultaneously.
+  bool needs_pattern(const Index& delta) const;
+
+  /// Per-axis message depth of pattern `delta`: for axes in delta's
+  /// support, max |o_a| over the offsets compatible with delta; zero
+  /// elsewhere.  Meaningful only when needs_pattern(delta).
+  Index pattern_depth(const Index& delta) const;
 };
 
 /// Communication footprint of every wave of a schedule.  waves[0] is
@@ -51,8 +76,11 @@ struct CommFootprint {
 /// matches the scope check of the backends that call it.
 ///
 /// With `prune` false, every grid of the group is listed before every
-/// wave past the first at the full group halo depth — the legacy
-/// copy-everything behaviour, kept as an ablation baseline.
+/// wave past the first at the full group halo depth in every direction
+/// including all diagonals (the offset set becomes the 2^rank halo-corner
+/// vectors, whose per-face projections imply every pattern at full
+/// depth) — the legacy copy-everything behaviour, kept as an ablation
+/// baseline.
 CommFootprint comm_footprint(const StencilGroup& group,
                              const Schedule& schedule, bool prune);
 

@@ -107,6 +107,8 @@ std::string options_salt(const CompileOptions& o) {
   h.add(static_cast<std::int64_t>(o.dist_ranks))
       .add(static_cast<std::int64_t>(o.dist_overlap))
       .add(static_cast<std::int64_t>(o.dist_prune));
+  for (const auto v : o.dist_grid) h.add(v);
+  h.add(static_cast<std::int64_t>(o.dist_pipeline));
   return hash_hex(h.digest());
 }
 

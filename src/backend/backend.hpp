@@ -89,6 +89,18 @@ struct CompileOptions {
   /// a default of 2.  Requests larger than the dim-0 extent are clamped
   /// to one row per rank with a logged warning.
   int dist_ranks = 0;
+  /// Cartesian process grid (distsim backend).  Empty = legacy dim-0
+  /// slabs of dist_ranks.  A single entry {R} auto-factorizes R over the
+  /// axes to minimize the modeled cut surface.  A full-rank entry
+  /// {r0, r1, ...} is the explicit ranks-per-axis grid; per-axis counts
+  /// larger than the extent are clamped with a logged warning.
+  Index dist_grid;
+  /// Pipelined (non-bulk-synchronous) wave execution (distsim backend):
+  /// each face's halo is sent as soon as the region producing it is
+  /// computed, and a rank may start the next wave's interior while still
+  /// awaiting this wave's remaining face messages.  Off = a rank finishes
+  /// all of wave w before touching wave w+1 (the BSP ablation baseline).
+  bool dist_pipeline = true;
   /// Overlap communication with computation (distsim backend): split each
   /// rank's wave at compile time into an interior sub-program that runs
   /// while halo messages are in flight and a boundary sub-program that

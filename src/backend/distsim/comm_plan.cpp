@@ -9,38 +9,56 @@ namespace snowflake {
 
 namespace {
 
-/// Emit owner-direct messages filling rank `dst`'s halo rows
-/// [g_lo, g_hi) (global coordinates, already clamped to the grid) of one
-/// grid.  Walks every owning rank; a window deeper than the adjacent slab
-/// naturally draws from ranks further away.
-void emit_window(std::vector<MsgSpec>* out, const std::vector<Slab>& slabs,
-                 int dst, size_t grid_index, std::int64_t halo,
-                 std::int64_t g_lo, std::int64_t g_hi) {
-  if (g_hi <= g_lo) return;
-  for (int src = 0; src < static_cast<int>(slabs.size()); ++src) {
-    if (src == dst) continue;
-    const Slab& s = slabs[static_cast<size_t>(src)];
-    const std::int64_t a = std::max(g_lo, s.lo);
-    const std::int64_t b = std::min(g_hi, s.hi);
-    if (b <= a) continue;
-    MsgSpec m;
-    m.src = src;
-    m.dst = dst;
-    m.grid_index = grid_index;
-    m.src_row = a - s.lo + halo;
-    m.dst_row = a - slabs[static_cast<size_t>(dst)].lo + halo;
-    m.rows = b - a;
-    out->push_back(m);
+/// Enumerate every neighbour pattern in {-1,0,+1}^d except all-zero, in a
+/// fixed deterministic order (ternary counter, axis 0 slowest).
+std::vector<Index> all_patterns(size_t rank) {
+  std::vector<Index> out;
+  Index delta(rank, -1);
+  for (;;) {
+    bool zero = true;
+    for (std::int64_t c : delta) zero &= c == 0;
+    if (!zero) out.push_back(delta);
+    size_t a = rank;
+    while (a-- > 0) {
+      if (delta[a] < 1) {
+        ++delta[a];
+        break;
+      }
+      delta[a] = -1;
+      if (a == 0) return out;
+    }
+    if (rank == 0) return out;
   }
+}
+
+Box to_local(const Box& global, const Box& block, const Index& halo) {
+  Box local = global;
+  for (size_t a = 0; a < global.lo.size(); ++a) {
+    local.lo[a] += halo[a] - block.lo[a];
+    local.hi[a] += halo[a] - block.lo[a];
+  }
+  return local;
 }
 
 }  // namespace
 
-double CommPlan::bytes_per_run(std::int64_t row_doubles) const {
+double CommPlan::bytes_per_run() const {
   double bytes = 0.0;
   for (const auto& wave : waves) {
     for (const auto& m : wave.msgs) {
-      bytes += static_cast<double>(m.rows * row_doubles) * sizeof(double);
+      bytes += static_cast<double>(m.doubles) * sizeof(double);
+    }
+  }
+  return bytes;
+}
+
+double CommPlan::bytes_per_run_class(int face_class) const {
+  double bytes = 0.0;
+  for (const auto& wave : waves) {
+    for (const auto& m : wave.msgs) {
+      if (m.face_class == face_class) {
+        bytes += static_cast<double>(m.doubles) * sizeof(double);
+      }
     }
   }
   return bytes;
@@ -48,14 +66,22 @@ double CommPlan::bytes_per_run(std::int64_t row_doubles) const {
 
 CommPlan build_comm_plan(const CommFootprint& footprint,
                          const std::vector<std::string>& grid_names,
-                         const std::vector<Slab>& slabs, std::int64_t halo) {
+                         const CartDecomp& decomp, const Index& halo) {
   std::map<std::string, size_t> grid_index;
   for (size_t i = 0; i < grid_names.size(); ++i) grid_index[grid_names[i]] = i;
-  const std::int64_t extent = slabs.empty() ? 0 : slabs.back().hi;
+  const size_t dims = decomp.rank_dims();
+  const int ranks = decomp.ranks();
 
   CommPlan plan;
   plan.waves.resize(footprint.waves.size());
-  if (slabs.size() < 2) return plan;  // single rank: nothing to exchange
+  for (auto& ex : plan.waves) {
+    ex.margin.assign(dims, {0, 0});
+  }
+  if (ranks < 2) return plan;  // single rank: nothing to exchange
+
+  const std::vector<Index> patterns = all_patterns(dims);
+  std::vector<Box> blocks;
+  for (int r = 0; r < ranks; ++r) blocks.push_back(decomp.block(r));
 
   for (size_t w = 0; w < footprint.waves.size(); ++w) {
     WaveExchange& ex = plan.waves[w];
@@ -63,21 +89,75 @@ CommPlan build_comm_plan(const CommFootprint& footprint,
       const auto it = grid_index.find(wg.grid);
       SF_REQUIRE(it != grid_index.end(),
                  "comm plan: unknown grid '" + wg.grid + "'");
-      const std::int64_t depth = std::min(wg.depth, halo);
-      if (depth <= 0) continue;
-      ex.grids.push_back(it->second);
-      ex.depths.push_back(depth);
-      ex.margin = std::max(ex.margin, depth);
-      for (int dst = 0; dst < static_cast<int>(slabs.size()); ++dst) {
-        const Slab& d = slabs[static_cast<size_t>(dst)];
-        emit_window(&ex.msgs, slabs, dst, it->second, halo,
-                    std::max<std::int64_t>(0, d.lo - depth), d.lo);
-        emit_window(&ex.msgs, slabs, dst, it->second, halo, d.hi,
-                    std::min<std::int64_t>(extent, d.hi + depth));
+      const size_t before = ex.msgs.size();
+      std::int64_t grid_depth = 0;
+
+      for (const Index& delta : patterns) {
+        if (!wg.needs_pattern(delta)) continue;
+        Index depth = wg.pattern_depth(delta);
+        bool feasible = true;
+        int face_class = 0;
+        for (size_t a = 0; a < dims; ++a) {
+          if (delta[a] == 0) continue;
+          ++face_class;
+          depth[a] = std::min(depth[a], halo[a]);
+          if (depth[a] <= 0) feasible = false;
+        }
+        if (!feasible) continue;
+
+        for (int dst = 0; dst < ranks; ++dst) {
+          const Box& b = blocks[static_cast<size_t>(dst)];
+          // The receiver's halo region through this pattern, clamped to
+          // the global grid.
+          Box h;
+          h.lo.resize(dims);
+          h.hi.resize(dims);
+          for (size_t a = 0; a < dims; ++a) {
+            if (delta[a] < 0) {
+              h.lo[a] = std::max<std::int64_t>(0, b.lo[a] - depth[a]);
+              h.hi[a] = b.lo[a];
+            } else if (delta[a] > 0) {
+              h.lo[a] = b.hi[a];
+              h.hi[a] = std::min(decomp.extents[a], b.hi[a] + depth[a]);
+            } else {
+              h.lo[a] = b.lo[a];
+              h.hi[a] = b.hi[a];
+            }
+          }
+          if (h.empty()) continue;
+          for (int src = 0; src < ranks; ++src) {
+            if (src == dst) continue;
+            const Box payload =
+                intersect_boxes(h, blocks[static_cast<size_t>(src)]);
+            if (payload.empty()) continue;
+            MsgSpec m;
+            m.src = src;
+            m.dst = dst;
+            m.grid_index = it->second;
+            m.src_box =
+                to_local(payload, blocks[static_cast<size_t>(src)], halo);
+            m.dst_box = to_local(payload, b, halo);
+            m.delta = delta;
+            m.face_class = face_class;
+            m.doubles = payload.volume();
+            ex.msgs.push_back(std::move(m));
+          }
+        }
+        for (size_t a = 0; a < dims; ++a) {
+          if (delta[a] == 0) continue;
+          grid_depth = std::max(grid_depth, depth[a]);
+          auto& side = ex.margin[a][delta[a] < 0 ? 0 : 1];
+          side = std::max(side, depth[a]);
+        }
+      }
+
+      if (ex.msgs.size() > before) {
+        ex.grids.push_back(it->second);
+        ex.depths.push_back(grid_depth);
       }
     }
     // Fix every receiver's slot numbering (delivery targets).
-    std::vector<size_t> next_slot(slabs.size(), 0);
+    std::vector<size_t> next_slot(static_cast<size_t>(ranks), 0);
     for (auto& m : ex.msgs) {
       m.dst_slot = next_slot[static_cast<size_t>(m.dst)]++;
     }

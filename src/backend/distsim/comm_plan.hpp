@@ -3,19 +3,24 @@
 //
 // For every barrier wave the plan lists the point-to-point messages that
 // must be delivered before the wave's boundary computation may run.  Each
-// message carries a contiguous block of dim-0 rows of one grid from the
-// rank that OWNS those rows directly to the rank whose halo needs them —
-// owner-direct delivery, so a halo deeper than a neighbouring slab simply
-// produces messages from further-away ranks ("multi-hop") instead of
-// serving stale rows or being rejected.
+// message carries one packed box of one grid from the rank that OWNS
+// those points directly to the rank whose halo needs them — owner-direct
+// delivery, so a halo deeper than a neighbouring block simply produces
+// messages from further-away ranks ("multi-hop") instead of serving
+// stale data or being rejected.
 //
-// Which grids appear, and how deep, comes from the dependence footprint
-// (analysis/footprint.hpp): grids no earlier wave has written are never
-// re-sent, and each grid travels only as deep as the wave actually reads
-// it.  The plan also fixes the overlap split margin per wave: rows within
-// `margin` of a slab edge may read rows the wave's unpack rewrites, so
-// only they belong to the boundary sub-program.
+// Messages are planned per neighbour pattern delta in {-1,0,+1}^d: the
+// receiver's halo region through that pattern (delta_a != 0 selects the
+// out-of-block layer on that side at the pattern's per-axis depth;
+// delta_a == 0 selects the owned range) is intersected with every other
+// rank's owned block.  |supp(delta)| classifies the message: 1 = face,
+// 2 = edge, 3 = corner.  Which patterns exist, and how deep, comes from
+// the per-face dependence footprint (analysis/footprint.hpp): grids no
+// earlier wave has written are never re-sent, each face travels only as
+// deep as the wave actually reads through it, and edge/corner messages
+// are planned only when some stencil reads through a diagonal offset.
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -25,31 +30,38 @@
 
 namespace snowflake {
 
-/// One point-to-point halo message: `rows` dim-0 rows of grid
-/// `grid_index`, read from the sender's local frame at `src_row`, landing
-/// in the receiver's local frame at `dst_row`.
+/// One point-to-point halo message: the box `src_box` of grid
+/// `grid_index` in the sender's local frame, landing at `dst_box` in the
+/// receiver's local frame (same shape, packed dense in transit).
 struct MsgSpec {
   int src = 0;
   int dst = 0;
   size_t grid_index = 0;
-  std::int64_t src_row = 0;
-  std::int64_t dst_row = 0;
-  std::int64_t rows = 0;
+  Box src_box;  // sender-local coordinates
+  Box dst_box;  // receiver-local coordinates
+  /// Neighbour pattern of the receiver's halo region this message fills
+  /// (components in {-1,0,+1}; receiver-relative).
+  Index delta;
+  /// |supp(delta)|: 1 = face, 2 = edge, 3 = corner.
+  int face_class = 1;
+  /// Payload double count (box volume).
+  std::int64_t doubles = 0;
   /// Index of this message in the receiver's per-wave slot array (the
   /// sender delivers straight into that slot's buffer).
   size_t dst_slot = 0;
 };
 
-/// All messages of one wave plus the overlap split margin.
+/// All messages of one wave plus the overlap carve margins.
 struct WaveExchange {
   std::vector<MsgSpec> msgs;
-  /// Grids exchanged this wave (indices into the backend's grid order),
-  /// parallel to `depths`.
+  /// Grids with at least one message this wave (indices into the
+  /// backend's grid order), parallel to `depths`.
   std::vector<size_t> grids;
-  std::vector<std::int64_t> depths;
-  /// Max depth of this wave's exchange: rows within `margin` of an
-  /// interior slab edge go to the boundary sub-program.
-  std::int64_t margin = 0;
+  std::vector<std::int64_t> depths;  // max per-axis depth used per grid
+  /// Per-axis {low, high} exchange depth of this wave: points within
+  /// margin[a] of an interior block face may read data this wave's
+  /// unpacks rewrite, so only they belong to the boundary sub-programs.
+  std::vector<std::array<std::int64_t, 2>> margin;
   bool any() const { return !msgs.empty(); }
 };
 
@@ -57,15 +69,19 @@ struct CommPlan {
   std::vector<WaveExchange> waves;
 
   /// Total payload bytes of one full exchange cycle (all waves).
-  double bytes_per_run(std::int64_t row_doubles) const;
+  double bytes_per_run() const;
+  /// Payload bytes of messages with the given face class (1..3).
+  double bytes_per_run_class(int face_class) const;
 };
 
-/// Build the plan from the footprint and the slab geometry.  `grid_names`
-/// fixes the grid_index order.  Messages never cross the global dim-0
-/// bounds: halo rows outside [0, extent) do not exist and are never read
-/// by a program that is valid on the undecomposed grid.
+/// Build the plan from the footprint and the block geometry.
+/// `grid_names` fixes the grid_index order; `halo` is the per-axis local
+/// halo allocation (0 on unsplit axes), which also caps message depth.
+/// Messages never cross the global bounds: halo points outside the grid
+/// do not exist and are never read by a program that is valid on the
+/// undecomposed grid.
 CommPlan build_comm_plan(const CommFootprint& footprint,
                          const std::vector<std::string>& grid_names,
-                         const std::vector<Slab>& slabs, std::int64_t halo);
+                         const CartDecomp& decomp, const Index& halo);
 
 }  // namespace snowflake

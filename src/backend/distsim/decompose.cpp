@@ -1,9 +1,120 @@
 #include "backend/distsim/decompose.hpp"
 
+#include <algorithm>
+
 #include "domain/domain_algebra.hpp"
 #include "support/error.hpp"
 
 namespace snowflake {
+
+Box intersect_boxes(const Box& a, const Box& b) {
+  Box out;
+  out.lo.resize(a.lo.size());
+  out.hi.resize(a.lo.size());
+  for (size_t d = 0; d < a.lo.size(); ++d) {
+    out.lo[d] = std::max(a.lo[d], b.lo[d]);
+    out.hi[d] = std::min(a.hi[d], b.hi[d]);
+  }
+  return out;
+}
+
+bool boxes_overlap(const Box& a, const Box& b) {
+  if (a.lo.empty() || b.lo.empty()) return false;
+  return !intersect_boxes(a, b).empty();
+}
+
+int CartDecomp::ranks() const {
+  int r = 1;
+  for (std::int64_t g : grid) r *= static_cast<int>(g);
+  return r;
+}
+
+Index CartDecomp::coords(int rank) const {
+  Index c(grid.size(), 0);
+  for (size_t a = grid.size(); a-- > 0;) {
+    c[a] = rank % grid[a];
+    rank = static_cast<int>(rank / grid[a]);
+  }
+  return c;
+}
+
+int CartDecomp::rank_of(const Index& c) const {
+  std::int64_t r = 0;
+  for (size_t a = 0; a < grid.size(); ++a) r = r * grid[a] + c[a];
+  return static_cast<int>(r);
+}
+
+Box CartDecomp::block(int rank) const {
+  const Index c = coords(rank);
+  Box b;
+  b.lo.resize(grid.size());
+  b.hi.resize(grid.size());
+  for (size_t a = 0; a < grid.size(); ++a) {
+    const Slab& s = axis_slabs[a][static_cast<size_t>(c[a])];
+    b.lo[a] = s.lo;
+    b.hi[a] = s.hi;
+  }
+  return b;
+}
+
+CartDecomp decompose_cartesian(const Index& extents, const Index& grid) {
+  SF_REQUIRE(extents.size() == grid.size(),
+             "distsim: process grid rank must match the grid rank");
+  CartDecomp d;
+  d.extents = extents;
+  d.grid = grid;
+  d.axis_slabs.resize(grid.size());
+  for (size_t a = 0; a < grid.size(); ++a) {
+    d.axis_slabs[a] =
+        decompose_dim0(extents[a], static_cast<int>(grid[a]));
+  }
+  return d;
+}
+
+namespace {
+
+/// Recursive enumeration of factor tuples of `ranks` over the axes;
+/// keeps the first minimum-surface tuple, enumerating the current axis
+/// from large factors down so ties prefer splitting earlier axes.
+void enumerate_factors(const Index& extents, size_t axis, int remaining,
+                       Index* current, double* best_surface, Index* best) {
+  if (axis == extents.size()) {
+    if (remaining != 1) return;
+    double surface = 0.0;
+    for (size_t a = 0; a < extents.size(); ++a) {
+      double cross = 1.0;
+      for (size_t b = 0; b < extents.size(); ++b) {
+        if (b != a) cross *= static_cast<double>(extents[b]);
+      }
+      surface += static_cast<double>((*current)[a] - 1) * cross;
+    }
+    if (best->empty() || surface < *best_surface) {
+      *best_surface = surface;
+      *best = *current;
+    }
+    return;
+  }
+  const std::int64_t cap = std::min<std::int64_t>(remaining, extents[axis]);
+  for (std::int64_t f = cap; f >= 1; --f) {
+    if (remaining % f != 0) continue;
+    (*current)[axis] = f;
+    enumerate_factors(extents, axis + 1, remaining / static_cast<int>(f),
+                      current, best_surface, best);
+  }
+}
+
+}  // namespace
+
+Index auto_factor_grid(const Index& extents, int ranks) {
+  SF_REQUIRE(ranks >= 1, "distsim: rank count must be positive");
+  for (int r = ranks; r >= 1; --r) {
+    Index current(extents.size(), 1), best;
+    double best_surface = 0.0;
+    enumerate_factors(extents, 0, r, &current, &best_surface, &best);
+    if (!best.empty()) return best;
+  }
+  return Index(extents.size(), 1);  // unreachable: r == 1 always fits
+}
 
 std::vector<Slab> decompose_dim0(std::int64_t extent, int ranks) {
   SF_REQUIRE(extent >= 1, "distsim: dim-0 extent must be positive");
@@ -18,36 +129,59 @@ std::vector<Slab> decompose_dim0(std::int64_t extent, int ranks) {
   return slabs;
 }
 
-std::optional<Stencil> clip_stencil_rows(const Stencil& stencil,
-                                         const Index& global_shape,
-                                         const Slab& slab, std::int64_t halo,
-                                         std::int64_t row_lo,
-                                         std::int64_t row_hi) {
-  if (row_hi <= row_lo) return std::nullopt;
+std::optional<Stencil> clip_stencil_box(const Stencil& stencil,
+                                        const Index& global_shape,
+                                        const Box& block, const Index& halo,
+                                        const Box& window) {
+  if (window.empty()) return std::nullopt;
   const ResolvedUnion domain = stencil.domain().resolve(global_shape);
-  const ResolvedRange window{row_lo, row_hi, 1};
-  const std::int64_t shift = halo - slab.lo;
   std::vector<RectDomain> local_rects;
   for (const auto& rect : domain.rects()) {
     if (rect.empty()) continue;
-    const auto clipped = intersect_ranges(rect.range(0), window);
-    if (!clipped) continue;
-    Index start(rect.ranges().size()), stop(rect.ranges().size()),
-        stride(rect.ranges().size());
-    start[0] = clipped->lo + shift;
-    stop[0] = clipped->hi + shift;
-    stride[0] = clipped->stride;
-    for (size_t d = 1; d < rect.ranges().size(); ++d) {
-      start[d] = rect.range(static_cast<int>(d)).lo;
-      stop[d] = rect.range(static_cast<int>(d)).hi;
-      stride[d] = rect.range(static_cast<int>(d)).stride;
+    const size_t rank = rect.ranges().size();
+    Index start(rank), stop(rank), stride(rank);
+    bool alive = true;
+    for (size_t d = 0; d < rank; ++d) {
+      const ResolvedRange win{window.lo[d], window.hi[d], 1};
+      const auto clipped =
+          intersect_ranges(rect.range(static_cast<int>(d)), win);
+      if (!clipped) {
+        alive = false;
+        break;
+      }
+      const std::int64_t shift = halo[d] - block.lo[d];
+      start[d] = clipped->lo + shift;
+      stop[d] = clipped->hi + shift;
+      stride[d] = clipped->stride;
     }
+    if (!alive) continue;
     local_rects.emplace_back(std::move(start), std::move(stop),
                              std::move(stride));
   }
   if (local_rects.empty()) return std::nullopt;
   return Stencil(stencil.name() + "@r", stencil.expr(), stencil.output(),
                  DomainUnion(std::move(local_rects)));
+}
+
+std::optional<Stencil> clip_stencil_rows(const Stencil& stencil,
+                                         const Index& global_shape,
+                                         const Slab& slab, std::int64_t halo,
+                                         std::int64_t row_lo,
+                                         std::int64_t row_hi) {
+  if (row_hi <= row_lo) return std::nullopt;
+  Box block, window;
+  block.lo.resize(global_shape.size());
+  block.hi.resize(global_shape.size());
+  Index halos(global_shape.size(), 0);
+  for (size_t d = 0; d < global_shape.size(); ++d) {
+    block.lo[d] = d == 0 ? slab.lo : 0;
+    block.hi[d] = d == 0 ? slab.hi : global_shape[d];
+  }
+  halos[0] = halo;
+  window = block;
+  window.lo[0] = row_lo;
+  window.hi[0] = row_hi;
+  return clip_stencil_box(stencil, global_shape, block, halos, window);
 }
 
 }  // namespace snowflake

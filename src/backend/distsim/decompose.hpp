@@ -1,14 +1,18 @@
 #pragma once
-// Dim-0 slab decomposition and per-rank domain clipping for the simulated
-// distributed backend.
+// Cartesian block decomposition and per-rank domain clipping for the
+// simulated distributed backend.
 //
-// The outermost dimension is split into R contiguous slabs (balanced to
-// within one row).  Each rank's local storage is its slab plus `halo`
-// layers on both sides; clipping translates global-coordinate domains
-// into that local frame.  The clip is row-range-aware so the backend can
-// split a rank's share of a wave into an interior part (whose reads
-// provably stay inside rows the rank already holds) and a boundary part
-// (which must wait for the wave's halo messages).
+// The grid is split into an r0 x r1 (x r2) Cartesian process grid of
+// contiguous blocks (each axis balanced to within one row).  Each rank's
+// local storage is its block plus `halo` layers on every split axis;
+// clipping translates global-coordinate domains into that local frame.
+// The clip is window-aware so the backend can carve a rank's share of a
+// wave into interior / ring / per-face / diagonal regions whose reads
+// have provably different message dependencies.
+//
+// The legacy dim-0 slab decomposition is the special case grid = {R, 1,
+// ..., 1}; `decompose_dim0` and `clip_stencil_rows` remain as the
+// 1-axis-specialized entry points.
 
 #include <cstdint>
 #include <optional>
@@ -25,10 +29,72 @@ struct Slab {
   std::int64_t len() const { return hi - lo; }
 };
 
+/// A half-open global-coordinate box [lo, hi) per axis.
+struct Box {
+  Index lo, hi;
+  bool empty() const {
+    for (size_t a = 0; a < lo.size(); ++a) {
+      if (hi[a] <= lo[a]) return true;
+    }
+    return lo.empty();
+  }
+  std::int64_t volume() const {
+    if (empty()) return 0;
+    std::int64_t v = 1;
+    for (size_t a = 0; a < lo.size(); ++a) v *= hi[a] - lo[a];
+    return v;
+  }
+  friend bool operator==(const Box& a, const Box& b) {
+    return a.lo == b.lo && a.hi == b.hi;
+  }
+};
+
+/// Intersection of two boxes of equal rank (possibly empty).
+Box intersect_boxes(const Box& a, const Box& b);
+/// True if the boxes share at least one point.
+bool boxes_overlap(const Box& a, const Box& b);
+
+/// An R = r0 x r1 (x r2) Cartesian process grid over `extents`.  Ranks
+/// are numbered row-major with axis 0 slowest, so the slab decomposition
+/// grid = {R, 1, ...} numbers ranks exactly like decompose_dim0.
+struct CartDecomp {
+  Index extents;                              // global grid shape
+  Index grid;                                 // ranks per axis
+  std::vector<std::vector<Slab>> axis_slabs;  // [axis][coord]
+
+  int ranks() const;
+  size_t rank_dims() const { return grid.size(); }
+  Index coords(int rank) const;
+  int rank_of(const Index& coords) const;
+  /// Owned global box of `rank`.
+  Box block(int rank) const;
+};
+
+/// Split `extents` into the given per-axis rank counts (each axis
+/// balanced to within one row).  Requires 1 <= grid[a] <= extents[a].
+CartDecomp decompose_cartesian(const Index& extents, const Index& grid);
+
+/// Factor `ranks` into a per-axis process grid minimizing the modeled cut
+/// surface sum_a (r_a - 1) * prod_{b != a} extents[b] (total points on
+/// internal block faces, i.e. halo traffic per unit depth).  Ties prefer
+/// splitting earlier axes, which keeps messages contiguous in the
+/// row-major layout.  Infeasible rank counts (no factorization with
+/// r_a <= extents[a]) are reduced until one fits; 1 always fits.
+Index auto_factor_grid(const Index& extents, int ranks);
+
 /// Split `extent` rows into `ranks` balanced contiguous slabs.  A request
 /// larger than the extent is clamped to one row per rank (the caller logs
 /// the clamp); requires extent >= 1 and ranks >= 1 after clamping.
 std::vector<Slab> decompose_dim0(std::int64_t extent, int ranks);
+
+/// Clip `stencil`'s global domain to the global box `window` — which must
+/// lie inside `block` — and translate into the rank-local frame
+/// (local_a = global_a - block.lo[a] + halo[a]).  nullopt when no domain
+/// point lands in the window.
+std::optional<Stencil> clip_stencil_box(const Stencil& stencil,
+                                        const Index& global_shape,
+                                        const Box& block, const Index& halo,
+                                        const Box& window);
 
 /// Clip `stencil`'s global domain to the global dim-0 rows
 /// [row_lo, row_hi) — which must lie inside `slab` — and translate into

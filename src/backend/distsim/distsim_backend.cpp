@@ -1,9 +1,14 @@
 #include "backend/distsim/distsim_backend.hpp"
 
+#include <algorithm>
+#include <array>
 #include <chrono>
 #include <condition_variable>
 #include <cstring>
+#include <map>
+#include <memory>
 #include <mutex>
+#include <set>
 #include <thread>
 
 #include "analysis/dag.hpp"
@@ -36,8 +41,39 @@ CompileOptions rank_options(const CompileOptions& options) {
   safe.time_tile = 1;
   safe.wavefront = false;
   safe.dist_ranks = 0;
+  safe.dist_grid = Index();
+  safe.dist_pipeline = true;
   safe.workgroup = Index();
   return safe;
+}
+
+/// Row-major strides of a shape (innermost stride 1).
+std::vector<std::int64_t> shape_strides(const Index& shape) {
+  std::vector<std::int64_t> s(shape.size(), 1);
+  for (size_t a = shape.size(); a-- > 1;) s[a - 1] = s[a] * shape[a];
+  return s;
+}
+
+std::int64_t offset_of(const Index& point,
+                       const std::vector<std::int64_t>& strides) {
+  std::int64_t off = 0;
+  for (size_t a = 0; a < point.size(); ++a) off += point[a] * strides[a];
+  return off;
+}
+
+/// Copy a box's contents between two strided layouts sharing the box
+/// extents; both sides must be unit-stride on the innermost axis.
+void copy_box(double* dst, const std::vector<std::int64_t>& dstride,
+              const double* src, const std::vector<std::int64_t>& sstride,
+              const Index& extent, size_t axis) {
+  if (axis + 1 == extent.size()) {
+    std::memcpy(dst, src, static_cast<size_t>(extent[axis]) * sizeof(double));
+    return;
+  }
+  for (std::int64_t i = 0; i < extent[axis]; ++i) {
+    copy_box(dst + i * dstride[axis], dstride, src + i * sstride[axis],
+             sstride, extent, axis + 1);
+  }
 }
 
 /// Mailbox slot for one expected message: the sender copies the payload
@@ -50,21 +86,61 @@ struct RecvSlot {
   std::uint64_t epoch = 0;
 };
 
-/// Sub-programs of one wave on one rank.  `pre` runs before the wave's
-/// messages are awaited (the full program when the wave needs no
-/// exchange, the interior split under dist_overlap); `post` runs after
-/// unpacking (the boundary split, or the full program when overlap is
-/// off).  Either may be null when no domain point lands in its window.
-struct WaveKernels {
-  std::unique_ptr<CompiledKernel> pre;
-  std::unique_ptr<CompiledKernel> post;
+/// Disjoint carve regions of one rank's share of one wave.  Whole is the
+/// uncarved block (exchange-free waves, the no-overlap ablation, single
+/// rank); Core/Ring decouple the interior from the messages by two halo
+/// depths; Face/Diag are the shells whose reads cross into halo layers.
+enum class RegionKind { Whole, Core, Ring, Face, Diag };
+
+struct RegionKernel {
+  std::unique_ptr<CompiledKernel> kernel;
+  size_t wave = 0;
+  RegionKind kind = RegionKind::Whole;
+  bool boundary = false;  // span naming: kernels gated on halo messages
 };
 
+/// One node of a rank's dependency graph.  Edges (deps_init /
+/// dependents) are fixed at compile time from box intersections.
+struct Task {
+  enum class Kind { Send, Unpack, Compute };
+  Kind kind = Kind::Compute;
+  size_t wave = 0;
+  const MsgSpec* msg = nullptr;  // Send
+  size_t slot = 0;               // Unpack: index into recvs[wave]
+  size_t kernel = 0;             // Compute: index into kernels
+  std::string face_key;          // Unpack: stall attribution label
+  int deps_init = 0;
+  std::vector<size_t> dependents;
+};
+
+/// Compile-time read/write geometry of a task (rank-local frames).
+struct TaskGeom {
+  std::vector<std::pair<size_t, Box>> writes;
+  std::vector<std::pair<size_t, Box>> reads;
+};
+
+bool geom_overlap(const std::vector<std::pair<size_t, Box>>& a,
+                  const std::vector<std::pair<size_t, Box>>& b) {
+  for (const auto& [ga, boxa] : a) {
+    for (const auto& [gb, boxb] : b) {
+      if (ga == gb && boxes_overlap(boxa, boxb)) return true;
+    }
+  }
+  return false;
+}
+
 struct RankState {
-  GridSet grids;  // private local storage: (len + 2H) x S[1..]
-  std::vector<WaveKernels> waves;
-  std::vector<std::vector<const MsgSpec*>> sends;  // [wave] -> my sends
-  std::vector<std::vector<RecvSlot>> recvs;        // [wave] -> my slots
+  GridSet grids;  // private local storage: block + halo on split axes
+  Index local_shape;
+  std::vector<std::int64_t> strides;
+  std::vector<RegionKernel> kernels;
+  std::vector<std::vector<RecvSlot>> recvs;  // [wave] -> my slots
+  std::vector<Task> tasks;                   // execution-priority order
+  std::vector<int> wave_task_count;
+  // Runtime scratch, touched only by this rank's worker thread.
+  std::vector<int> remaining;
+  std::vector<char> done;
+  std::vector<int> wave_remaining;
   std::mutex mail_mu;
   std::condition_variable mail_cv;
   DistSimKernelInfo::RankStats stats;
@@ -80,6 +156,7 @@ public:
         options.barrier_per_stencil ? barrier_per_stencil_schedule(group, shapes)
                                     : greedy_schedule(group, shapes);
     overlap_ = options.dist_overlap;
+    pipeline_ = options.dist_pipeline;
 
     // --- scope checks (see header) -------------------------------------
     const auto grids = group.grids();
@@ -90,13 +167,20 @@ public:
                  "distsim requires all grids to share one shape; '" + g +
                      "' differs");
     }
+    const size_t dims = global_shape_.size();
+    Index axis_halo(dims, 0);
     halo_ = 0;
     for (const auto& s : group.stencils()) {
       for (const auto* r : collect_reads(s.expr())) {
         SF_REQUIRE(r->map().is_pure_offset(),
                    "distsim supports pure-offset reads only (stencil '" +
                        s.name() + "' uses " + r->map().to_string() + ")");
-        halo_ = std::max(halo_, std::abs(r->map().dim(0).off));
+        for (size_t a = 0; a < dims; ++a) {
+          const std::int64_t off =
+              std::abs(r->map().dim(static_cast<int>(a)).off);
+          axis_halo[a] = std::max(axis_halo[a], off);
+          halo_ = std::max(halo_, off);
+        }
       }
     }
     for (size_t i = 0; i < group.size(); ++i) {
@@ -106,93 +190,69 @@ public:
     }
 
     // --- decomposition ---------------------------------------------------
-    ranks_ = options.dist_ranks > 0 ? options.dist_ranks : 2;
-    const std::int64_t extent = global_shape_[0];
-    if (extent < ranks_) {
-      SF_LOG_WARN("distsim: "
-                  << ranks_ << " ranks requested but dim-0 extent is only "
-                  << extent << "; clamping to " << extent
-                  << " single-row slabs");
-      ranks_ = static_cast<int>(extent);
-    }
-    slabs_ = decompose_dim0(extent, ranks_);
-    row_doubles_ = 1;
-    for (size_t d = 1; d < global_shape_.size(); ++d) {
-      row_doubles_ *= global_shape_[d];
+    Index pgrid = resolve_process_grid(options, dims);
+    ranks_ = 1;
+    for (std::int64_t g : pgrid) ranks_ *= static_cast<int>(g);
+    decomp_ = decompose_cartesian(global_shape_, pgrid);
+    halo_vec_.assign(dims, 0);
+    for (size_t a = 0; a < dims; ++a) {
+      if (pgrid[a] > 1) halo_vec_[a] = axis_halo[a];
     }
 
     // --- communication plan ----------------------------------------------
     const CommFootprint footprint =
         comm_footprint(group, schedule, options.dist_prune);
-    plan_ = build_comm_plan(footprint, grid_names_, slabs_, halo_);
+    plan_ = build_comm_plan(footprint, grid_names_, decomp_, halo_vec_);
 
-    // --- per-rank clipped sub-programs -----------------------------------
+    // Per-stencil read extents and output grids (grid-index keyed) for
+    // the geometric dependency edges.
+    std::map<std::string, size_t> gindex;
+    for (size_t i = 0; i < grid_names_.size(); ++i) gindex[grid_names_[i]] = i;
+    std::vector<size_t> stencil_output(group.size());
+    std::vector<std::map<size_t, std::vector<std::array<std::int64_t, 2>>>>
+        stencil_reads(group.size());
+    for (size_t s = 0; s < group.size(); ++s) {
+      stencil_output[s] = gindex.at(group[s].output());
+      for (const auto* r : collect_reads(group[s].expr())) {
+        auto& ext = stencil_reads[s][gindex.at(r->grid())];
+        if (ext.empty()) ext.assign(dims, {0, 0});
+        for (size_t a = 0; a < dims; ++a) {
+          const std::int64_t off = r->map().dim(static_cast<int>(a)).off;
+          ext[a][0] = std::min(ext[a][0], off);
+          ext[a][1] = std::max(ext[a][1], off);
+        }
+      }
+    }
+
+    // --- per-rank carved sub-programs and dependency graphs ---------------
     Backend& cseq = Backend::get("c");
     const CompileOptions sub_options = rank_options(options);
     ranks_state_ =
         std::vector<std::unique_ptr<RankState>>(static_cast<size_t>(ranks_));
+    coords_str_.resize(static_cast<size_t>(ranks_));
     for (int r = 0; r < ranks_; ++r) {
-      ranks_state_[static_cast<size_t>(r)] = std::make_unique<RankState>();
-      RankState& rs = *ranks_state_[static_cast<size_t>(r)];
-      const Slab& slab = slabs_[static_cast<size_t>(r)];
-      Index local_shape = global_shape_;
-      local_shape[0] = slab.len() + 2 * halo_;
-      ShapeMap local_shapes;
-      for (const auto& g : grid_names_) {
-        rs.grids.add_zeros(g, local_shape);
-        local_shapes[g] = local_shape;
+      const Index coords = decomp_.coords(r);
+      std::string& cs = coords_str_[static_cast<size_t>(r)];
+      for (size_t a = 0; a < coords.size(); ++a) {
+        cs += (a != 0 ? "x" : "") + std::to_string(coords[a]);
       }
-      rs.waves.resize(schedule.waves.size());
-      rs.sends.resize(schedule.waves.size());
-      rs.recvs.resize(schedule.waves.size());
-      for (size_t w = 0; w < schedule.waves.size(); ++w) {
-        const WaveExchange& ex = plan_.waves[w];
-        // Row windows of the pre/post split (global coordinates).
-        std::int64_t in_lo = slab.lo, in_hi = slab.hi;
-        if (ex.any() && overlap_) {
-          if (r > 0) in_lo = std::min(slab.lo + ex.margin, slab.hi);
-          if (r + 1 < ranks_) in_hi = std::max(slab.hi - ex.margin, in_lo);
-        }
-        StencilGroup pre_g, post_g;
-        for (size_t s : schedule.waves[w].stencils) {
-          const auto add = [&](StencilGroup* dst, std::int64_t lo,
-                               std::int64_t hi) {
-            auto clipped = clip_stencil_rows(group[s], global_shape_, slab,
-                                             halo_, lo, hi);
-            if (clipped) dst->append(std::move(*clipped));
-          };
-          if (!ex.any()) {
-            add(&pre_g, slab.lo, slab.hi);
-          } else if (!overlap_) {
-            add(&post_g, slab.lo, slab.hi);
-          } else {
-            add(&pre_g, in_lo, in_hi);
-            add(&post_g, slab.lo, in_lo);
-            add(&post_g, in_hi, slab.hi);
-          }
-        }
-        if (!pre_g.empty()) {
-          rs.waves[w].pre = cseq.compile(pre_g, local_shapes, sub_options);
-        }
-        if (!post_g.empty()) {
-          rs.waves[w].post = cseq.compile(post_g, local_shapes, sub_options);
-        }
-      }
+      build_rank(r, group, schedule, cseq, sub_options);
     }
 
     // --- mailboxes ---------------------------------------------------------
     for (size_t w = 0; w < plan_.waves.size(); ++w) {
       for (const MsgSpec& m : plan_.waves[w].msgs) {
-        RankState& src = *ranks_state_[static_cast<size_t>(m.src)];
         RankState& dst = *ranks_state_[static_cast<size_t>(m.dst)];
-        src.sends[w].push_back(&m);
         if (dst.recvs[w].size() <= m.dst_slot) {
           dst.recvs[w].resize(m.dst_slot + 1);
         }
         RecvSlot& slot = dst.recvs[w][m.dst_slot];
         slot.spec = &m;
-        slot.buf.resize(static_cast<size_t>(m.rows * row_doubles_));
+        slot.buf.resize(static_cast<size_t>(m.doubles));
       }
+    }
+    for (int r = 0; r < ranks_; ++r) {
+      build_tasks(r, schedule, stencil_output, stencil_reads);
     }
 
     // --- persistent workers (spawned last: the ctor may throw above) ------
@@ -235,14 +295,24 @@ public:
 
     last_halo_bytes_ = 0.0;
     last_halo_messages_ = 0;
+    double stall = 0.0;
     for (const auto& rs : ranks_state_) {
       last_halo_bytes_ += rs->stats.bytes_sent;
       last_halo_messages_ += rs->stats.messages_sent;
+      stall += rs->stats.stall_seconds;
+    }
+    for (int c = 1; c <= 3; ++c) {
+      last_class_bytes_[static_cast<size_t>(c)] =
+          plan_.bytes_per_run_class(c);
     }
     auto& collector = trace::TraceCollector::instance();
     collector.increment("distsim.halo_bytes", last_halo_bytes_);
     collector.increment("distsim.halo_messages",
                         static_cast<double>(last_halo_messages_));
+    collector.increment("distsim.halo_bytes.face", last_class_bytes_[1]);
+    collector.increment("distsim.halo_bytes.edge", last_class_bytes_[2]);
+    collector.increment("distsim.halo_bytes.corner", last_class_bytes_[3]);
+    collector.increment("distsim.stall_seconds", stall);
   }
 
   std::string backend_name() const override { return "distsim"; }
@@ -251,24 +321,37 @@ public:
   /// per-rank compiles stay sequential — no OpenMP pragma may appear).
   std::string source() const override {
     std::string out;
-    const RankState& rs = *ranks_state_.front();
-    for (size_t w = 0; w < rs.waves.size(); ++w) {
-      for (const CompiledKernel* k :
-           {rs.waves[w].pre.get(), rs.waves[w].post.get()}) {
-        if (k != nullptr) out += k->source();
-      }
+    for (const RegionKernel& k : ranks_state_.front()->kernels) {
+      out += k.kernel->source();
     }
     return out;
   }
 
   int ranks() const override { return ranks_; }
+  int requested_ranks() const override { return requested_ranks_; }
+  Index rank_grid() const override { return decomp_.grid; }
   std::int64_t halo_depth() const override { return halo_; }
   std::vector<std::pair<std::int64_t, std::int64_t>> slabs() const override {
     std::vector<std::pair<std::int64_t, std::int64_t>> out;
-    for (const auto& s : slabs_) out.emplace_back(s.lo, s.hi);
+    for (int r = 0; r < ranks_; ++r) {
+      const Box b = decomp_.block(r);
+      out.emplace_back(b.lo[0], b.hi[0]);
+    }
+    return out;
+  }
+  std::vector<std::pair<Index, Index>> blocks() const override {
+    std::vector<std::pair<Index, Index>> out;
+    for (int r = 0; r < ranks_; ++r) {
+      Box b = decomp_.block(r);
+      out.emplace_back(std::move(b.lo), std::move(b.hi));
+    }
     return out;
   }
   double last_halo_bytes() const override { return last_halo_bytes_; }
+  double last_halo_bytes_class(int face_class) const override {
+    if (face_class < 1 || face_class > 3) return 0.0;
+    return last_class_bytes_[static_cast<size_t>(face_class)];
+  }
   std::int64_t last_halo_messages() const override {
     return last_halo_messages_;
   }
@@ -286,10 +369,365 @@ public:
   }
 
 private:
-  double* local_row(int rank, size_t grid_index, std::int64_t local_row_idx) {
-    Grid& g = ranks_state_[static_cast<size_t>(rank)]->grids.at(
-        grid_names_[grid_index]);
-    return g.data() + local_row_idx * row_doubles_;
+  // --- compile-time construction ----------------------------------------
+
+  /// Resolve CompileOptions::{dist_grid, dist_ranks} into a per-axis
+  /// process grid, clamping infeasible requests with one logged warning.
+  Index resolve_process_grid(const CompileOptions& options, size_t dims) {
+    const Index& dg = options.dist_grid;
+    if (dg.empty()) {
+      // Legacy dim-0 slabs.
+      int r = options.dist_ranks > 0 ? options.dist_ranks : 2;
+      requested_ranks_ = r;
+      const std::int64_t extent = global_shape_[0];
+      if (extent < r) {
+        SF_LOG_WARN("distsim: "
+                    << r << " ranks requested but dim-0 extent is only "
+                    << extent << "; clamping to " << extent
+                    << " single-row slabs");
+        r = static_cast<int>(extent);
+      }
+      Index pgrid(dims, 1);
+      pgrid[0] = r;
+      return pgrid;
+    }
+    for (std::int64_t g : dg) {
+      SF_REQUIRE(g >= 1, "distsim: dist_grid entries must be >= 1");
+    }
+    if (dg.size() == 1) {
+      // Bare rank count: auto-factorize to the minimum modeled surface.
+      requested_ranks_ = static_cast<int>(dg[0]);
+      const Index pgrid = auto_factor_grid(global_shape_, requested_ranks_);
+      int total = 1;
+      for (std::int64_t g : pgrid) total *= static_cast<int>(g);
+      if (total != requested_ranks_) {
+        SF_LOG_WARN("distsim: no feasible factorization of "
+                    << requested_ranks_ << " ranks; clamping to " << total);
+      }
+      return pgrid;
+    }
+    SF_REQUIRE(dg.size() == dims,
+               "distsim: dist_grid rank " + std::to_string(dg.size()) +
+                   " does not match grid rank " + std::to_string(dims));
+    Index pgrid = dg;
+    requested_ranks_ = 1;
+    bool clamped = false;
+    for (size_t a = 0; a < dims; ++a) {
+      requested_ranks_ *= static_cast<int>(pgrid[a]);
+      if (pgrid[a] > global_shape_[a]) {
+        pgrid[a] = global_shape_[a];
+        clamped = true;
+      }
+    }
+    if (clamped) {
+      std::string s;
+      for (size_t a = 0; a < dims; ++a) {
+        s += (a != 0 ? "x" : "") + std::to_string(pgrid[a]);
+      }
+      SF_LOG_WARN("distsim: dist_grid exceeds the grid extents; clamping to "
+                  << s);
+    }
+    return pgrid;
+  }
+
+  Box local_box(const Box& global, const Box& block) const {
+    Box out = global;
+    for (size_t a = 0; a < out.lo.size(); ++a) {
+      out.lo[a] += halo_vec_[a] - block.lo[a];
+      out.hi[a] += halo_vec_[a] - block.lo[a];
+    }
+    return out;
+  }
+
+  /// Allocate rank `r`'s grids and compile its carved region kernels.
+  void build_rank(int r, const StencilGroup& group, const Schedule& schedule,
+                  Backend& cseq, const CompileOptions& sub_options) {
+    ranks_state_[static_cast<size_t>(r)] = std::make_unique<RankState>();
+    RankState& rs = *ranks_state_[static_cast<size_t>(r)];
+    const Box block = decomp_.block(r);
+    const size_t dims = global_shape_.size();
+
+    rs.local_shape = global_shape_;
+    for (size_t a = 0; a < dims; ++a) {
+      rs.local_shape[a] = block.hi[a] - block.lo[a] + 2 * halo_vec_[a];
+    }
+    rs.strides = shape_strides(rs.local_shape);
+    ShapeMap local_shapes;
+    for (const auto& g : grid_names_) {
+      rs.grids.add_zeros(g, rs.local_shape);
+      local_shapes[g] = rs.local_shape;
+    }
+    rs.recvs.resize(schedule.waves.size());
+
+    // Carve cut points per axis: [x0,x1) low shell, [x1,x2) low ring,
+    // [x2,x3) core, [x3,x4) high ring, [x4,x5) high shell.  Margins are
+    // the axis halo on sides with neighbours; clamped monotone so thin
+    // blocks degrade to empty cells, never overlapping ones.
+    std::vector<std::array<std::int64_t, 6>> cut(dims);
+    for (size_t a = 0; a < dims; ++a) {
+      const std::int64_t lo = block.lo[a], hi = block.hi[a];
+      const std::int64_t ml = lo > 0 ? halo_vec_[a] : 0;
+      const std::int64_t mh = hi < global_shape_[a] ? halo_vec_[a] : 0;
+      auto& x = cut[a];
+      x[0] = lo;
+      x[1] = std::min(lo + ml, hi);
+      x[5] = hi;
+      x[4] = std::max(hi - mh, x[1]);
+      x[2] = std::min(x[1] + ml, x[4]);
+      x[3] = std::max(x[4] - mh, x[2]);
+    }
+    const auto cell = [&](size_t a, int which) -> std::array<std::int64_t, 2> {
+      // which: 0 = low shell, 1 = low ring, 2 = core, 3 = high ring,
+      // 4 = high shell, 5 = shell middle [x1,x4).
+      const auto& x = cut[a];
+      switch (which) {
+        case 0: return {x[0], x[1]};
+        case 1: return {x[1], x[2]};
+        case 2: return {x[2], x[3]};
+        case 3: return {x[3], x[4]};
+        case 4: return {x[4], x[5]};
+        default: return {x[1], x[4]};
+      }
+    };
+    const auto pattern_box = [&](const Index& delta, bool shell) {
+      Box b;
+      b.lo.resize(dims);
+      b.hi.resize(dims);
+      for (size_t a = 0; a < dims; ++a) {
+        std::array<std::int64_t, 2> c;
+        if (delta[a] < 0) {
+          c = cell(a, shell ? 0 : 1);
+        } else if (delta[a] > 0) {
+          c = cell(a, shell ? 4 : 3);
+        } else {
+          c = cell(a, shell ? 5 : 2);
+        }
+        b.lo[a] = c[0];
+        b.hi[a] = c[1];
+      }
+      return b;
+    };
+
+    // Enumerate the nonzero sign patterns once.
+    std::vector<Index> patterns;
+    {
+      Index delta(dims, -1);
+      for (bool more = true; more;) {
+        bool zero = true;
+        for (std::int64_t c : delta) zero &= c == 0;
+        if (!zero) patterns.push_back(delta);
+        size_t a = dims;
+        more = false;
+        while (a-- > 0) {
+          if (delta[a] < 1) {
+            ++delta[a];
+            more = true;
+            break;
+          }
+          delta[a] = -1;
+        }
+      }
+    }
+
+    const auto add_kernel = [&](size_t w, RegionKind kind, bool boundary,
+                                const std::vector<Box>& boxes) {
+      StencilGroup sub;
+      for (const Box& box : boxes) {
+        if (box.empty()) continue;
+        for (size_t s : schedule.waves[w].stencils) {
+          auto clipped = clip_stencil_box(group[s], global_shape_, block,
+                                          halo_vec_, box);
+          if (clipped) sub.append(std::move(*clipped));
+        }
+      }
+      if (sub.empty()) return;
+      RegionKernel rk;
+      rk.kernel = cseq.compile(sub, local_shapes, sub_options);
+      rk.wave = w;
+      rk.kind = kind;
+      rk.boundary = boundary;
+      rs.kernels.push_back(std::move(rk));
+      kernel_regions_[static_cast<size_t>(r)].push_back(boxes);
+    };
+
+    kernel_regions_[static_cast<size_t>(r)] = {};
+    for (size_t w = 0; w < schedule.waves.size(); ++w) {
+      const WaveExchange& ex = plan_.waves[w];
+      const Box whole = block;
+      if (!ex.any() || !overlap_ || ranks_ < 2) {
+        add_kernel(w, RegionKind::Whole, ex.any() && !overlap_, {whole});
+        continue;
+      }
+      // Shells first (they gate the next wave's sends), then the merged
+      // diagonals, then the ring and core.
+      for (size_t a = 0; a < dims; ++a) {
+        for (int side = 0; side < 2; ++side) {
+          Index delta(dims, 0);
+          delta[a] = side == 0 ? -1 : 1;
+          add_kernel(w, RegionKind::Face, true,
+                     {pattern_box(delta, /*shell=*/true)});
+        }
+      }
+      std::vector<Box> diag;
+      for (const Index& delta : patterns) {
+        int supp = 0;
+        for (std::int64_t c : delta) supp += c != 0;
+        if (supp >= 2) diag.push_back(pattern_box(delta, /*shell=*/true));
+      }
+      add_kernel(w, RegionKind::Diag, true, diag);
+      std::vector<Box> ring;
+      for (const Index& delta : patterns) {
+        ring.push_back(pattern_box(delta, /*shell=*/false));
+      }
+      add_kernel(w, RegionKind::Ring, false, ring);
+      Box core;
+      core.lo.resize(dims);
+      core.hi.resize(dims);
+      for (size_t a = 0; a < dims; ++a) {
+        core.lo[a] = cut[a][2];
+        core.hi[a] = cut[a][3];
+      }
+      add_kernel(w, RegionKind::Core, false, {core});
+    }
+  }
+
+  /// Build rank `r`'s task list (sends, unpacks, region kernels in wave /
+  /// priority order) and its dependency edges from box intersections.
+  void build_tasks(
+      int r, const Schedule& schedule,
+      const std::vector<size_t>& stencil_output,
+      const std::vector<std::map<size_t,
+                                 std::vector<std::array<std::int64_t, 2>>>>&
+          stencil_reads) {
+    RankState& rs = *ranks_state_[static_cast<size_t>(r)];
+    const Box block = decomp_.block(r);
+    const size_t dims = global_shape_.size();
+    const size_t waves = schedule.waves.size();
+
+    // Per-wave aggregated read extents / outputs (conservative: the
+    // carve already restricts regions; per-stencil precision only
+    // matters across grids, which the maps keep).
+    std::vector<std::map<size_t, std::vector<std::array<std::int64_t, 2>>>>
+        wave_reads(waves);
+    std::vector<std::set<size_t>> wave_outputs(waves);
+    for (size_t w = 0; w < waves; ++w) {
+      for (size_t s : schedule.waves[w].stencils) {
+        wave_outputs[w].insert(stencil_output[s]);
+        for (const auto& [g, ext] : stencil_reads[s]) {
+          auto& agg = wave_reads[w][g];
+          if (agg.empty()) agg.assign(dims, {0, 0});
+          for (size_t a = 0; a < dims; ++a) {
+            agg[a][0] = std::min(agg[a][0], ext[a][0]);
+            agg[a][1] = std::max(agg[a][1], ext[a][1]);
+          }
+        }
+      }
+    }
+
+    std::vector<Task> tasks;
+    std::vector<TaskGeom> geoms;
+    rs.wave_task_count.assign(waves, 0);
+
+    const auto clamp_local = [&](Box b) {
+      for (size_t a = 0; a < dims; ++a) {
+        b.lo[a] = std::max<std::int64_t>(b.lo[a], 0);
+        b.hi[a] = std::min(b.hi[a], rs.local_shape[a]);
+      }
+      return b;
+    };
+
+    size_t next_kernel = 0;
+    for (size_t w = 0; w < waves; ++w) {
+      // Sends (plan order fixes determinism).
+      for (const MsgSpec& m : plan_.waves[w].msgs) {
+        if (m.src != r) continue;
+        Task t;
+        t.kind = Task::Kind::Send;
+        t.wave = w;
+        t.msg = &m;
+        TaskGeom g;
+        g.reads.emplace_back(m.grid_index, m.src_box);
+        tasks.push_back(std::move(t));
+        geoms.push_back(std::move(g));
+      }
+      // Unpacks.
+      for (size_t slot = 0; slot < rs.recvs[w].size(); ++slot) {
+        const MsgSpec* m = rs.recvs[w][slot].spec;
+        Task t;
+        t.kind = Task::Kind::Unpack;
+        t.wave = w;
+        t.msg = m;
+        t.slot = slot;
+        if (m->face_class >= 2) {
+          t.face_key = "diag";
+        } else {
+          for (size_t a = 0; a < dims; ++a) {
+            if (m->delta[a] != 0) {
+              t.face_key =
+                  std::to_string(a) + (m->delta[a] < 0 ? "-" : "+");
+            }
+          }
+        }
+        TaskGeom g;
+        g.writes.emplace_back(m->grid_index, m->dst_box);
+        tasks.push_back(std::move(t));
+        geoms.push_back(std::move(g));
+      }
+      // Region kernels of this wave (already in priority order).
+      for (; next_kernel < rs.kernels.size() &&
+             rs.kernels[next_kernel].wave == w;
+           ++next_kernel) {
+        Task t;
+        t.kind = Task::Kind::Compute;
+        t.wave = w;
+        t.kernel = next_kernel;
+        TaskGeom g;
+        for (const Box& box :
+             kernel_regions_[static_cast<size_t>(r)][next_kernel]) {
+          if (box.empty()) continue;
+          const Box lb = local_box(box, block);
+          for (size_t out : wave_outputs[w]) g.writes.emplace_back(out, lb);
+          for (const auto& [grid, ext] : wave_reads[w]) {
+            Box rb = lb;
+            for (size_t a = 0; a < dims; ++a) {
+              rb.lo[a] += ext[a][0];
+              rb.hi[a] += ext[a][1];
+            }
+            g.reads.emplace_back(grid, clamp_local(rb));
+          }
+        }
+        tasks.push_back(std::move(t));
+        geoms.push_back(std::move(g));
+      }
+    }
+
+    // Edges.  Cross-wave: true deps (write -> later read), anti deps
+    // (read -> later write), and write-after-write ordering.  Same wave:
+    // only unpack->compute (halo data for this wave) and send->compute
+    // (in-place kernels must not overtake a pending send of pre-wave
+    // data); everything else in a wave is independent by construction.
+    for (size_t j = 0; j < tasks.size(); ++j) {
+      for (size_t i = 0; i < j; ++i) {
+        bool edge = false;
+        if (tasks[i].wave < tasks[j].wave) {
+          edge = geom_overlap(geoms[i].writes, geoms[j].reads) ||
+                 geom_overlap(geoms[i].reads, geoms[j].writes) ||
+                 geom_overlap(geoms[i].writes, geoms[j].writes);
+        } else if (tasks[j].kind == Task::Kind::Compute &&
+                   tasks[i].kind != Task::Kind::Compute) {
+          edge = geom_overlap(geoms[i].writes, geoms[j].reads) ||
+                 geom_overlap(geoms[i].reads, geoms[j].writes);
+        }
+        if (edge) {
+          tasks[i].dependents.push_back(j);
+          ++tasks[j].deps_init;
+        }
+      }
+    }
+    for (const Task& t : tasks) ++rs.wave_task_count[t.wave];
+    rs.tasks = std::move(tasks);
+    kernel_regions_[static_cast<size_t>(r)].clear();
+    kernel_regions_[static_cast<size_t>(r)].shrink_to_fit();
   }
 
   // --- SPMD per-rank program (runs on the worker threads) -----------------
@@ -322,113 +760,206 @@ private:
     rs.stats = RankStats{};
     const bool traced = trace::enabled();
     const std::string tag = traced ? "distsim:r" + std::to_string(r) : "";
+    if (traced) {
+      trace::Span coords(tag + ":coords:" + coords_str_[static_cast<size_t>(r)],
+                         "dist-comm");
+    }
 
     scatter_rank(r, global);
     // Every rank must finish reading the global grids before any rank's
     // gather may overwrite them (a comm-free rank could race ahead).
     barrier_wait();
 
-    for (size_t w = 0; w < rs.waves.size(); ++w) {
-      const WaveExchange& ex = plan_.waves[w];
-      if (ex.any()) post_sends(r, w, epoch);
-      if (rs.waves[w].pre) {
-        trace::Span span(traced ? tag + ":w" + std::to_string(w) + ":compute"
-                                : std::string(),
-                         "dist-compute");
-        const auto t0 = std::chrono::steady_clock::now();
-        rs.waves[w].pre->run(rs.grids, params);
-        rs.stats.compute_seconds += seconds_since(t0);
+    const size_t total = rs.tasks.size();
+    rs.done.assign(total, 0);
+    rs.remaining.resize(total);
+    for (size_t i = 0; i < total; ++i) rs.remaining[i] = rs.tasks[i].deps_init;
+    rs.wave_remaining = rs.wave_task_count;
+
+    size_t executed = 0;
+    while (executed < total) {
+      size_t min_wave = 0;
+      if (!pipeline_) {
+        while (min_wave < rs.wave_remaining.size() &&
+               rs.wave_remaining[min_wave] == 0) {
+          ++min_wave;
+        }
       }
-      if (ex.any()) await_and_unpack(r, w, epoch);
-      if (rs.waves[w].post) {
-        trace::Span span(traced ? tag + ":w" + std::to_string(w) + ":boundary"
-                                : std::string(),
-                         "dist-compute");
-        const auto t0 = std::chrono::steady_clock::now();
-        rs.waves[w].post->run(rs.grids, params);
-        rs.stats.compute_seconds += seconds_since(t0);
+      bool ran = false;
+      for (size_t i = 0; i < total; ++i) {
+        if (rs.done[i] != 0 || rs.remaining[i] != 0) continue;
+        const Task& t = rs.tasks[i];
+        if (!pipeline_ && t.wave != min_wave) continue;
+        if (t.kind == Task::Kind::Unpack) {
+          bool arrived;
+          {
+            std::lock_guard<std::mutex> lock(rs.mail_mu);
+            arrived = rs.recvs[t.wave][t.slot].epoch == epoch;
+          }
+          if (!arrived) continue;
+          do_unpack(rs, t);
+        } else if (t.kind == Task::Kind::Send) {
+          do_send(r, rs, t, epoch, traced, tag);
+        } else {
+          do_compute(rs, t, params, traced, tag);
+        }
+        rs.done[i] = 1;
+        --rs.wave_remaining[t.wave];
+        for (size_t d : t.dependents) --rs.remaining[d];
+        ++executed;
+        ran = true;
+        break;
       }
+      if (!ran) block_for_mail(rs, epoch, min_wave, traced, tag);
     }
     gather_rank(r, global);
   }
 
-  void post_sends(int r, size_t w, std::uint64_t epoch) {
-    RankState& rs = *ranks_state_[static_cast<size_t>(r)];
-    if (rs.sends[w].empty()) return;
-    trace::Span span(trace::enabled() ? "distsim:r" + std::to_string(r) +
-                                            ":w" + std::to_string(w) + ":send"
-                                      : std::string(),
-                     "dist-comm");
-    const auto t0 = std::chrono::steady_clock::now();
-    double bytes = 0.0;
-    for (const MsgSpec* m : rs.sends[w]) {
-      RankState& dst = *ranks_state_[static_cast<size_t>(m->dst)];
-      RecvSlot& slot = dst.recvs[w][m->dst_slot];
-      const size_t doubles = static_cast<size_t>(m->rows * row_doubles_);
-      std::memcpy(slot.buf.data(), local_row(r, m->grid_index, m->src_row),
-                  doubles * sizeof(double));
-      {
-        std::lock_guard<std::mutex> lock(dst.mail_mu);
-        slot.epoch = epoch;
+  /// Nothing is runnable: every remaining dependency chain bottoms out at
+  /// a message that has not arrived.  Block on the mailbox, attributing
+  /// the stall to the faces still missing.
+  void block_for_mail(RankState& rs, std::uint64_t epoch, size_t min_wave,
+                      bool traced, const std::string& tag) {
+    struct Pending {
+      size_t wave, slot;
+    };
+    std::vector<Pending> pending;
+    std::set<std::pair<size_t, std::string>> faces;
+    size_t wmin = rs.tasks.size() == 0 ? 0 : ~size_t{0};
+    for (size_t i = 0; i < rs.tasks.size(); ++i) {
+      const Task& t = rs.tasks[i];
+      if (rs.done[i] != 0 || rs.remaining[i] != 0 ||
+          t.kind != Task::Kind::Unpack) {
+        continue;
       }
-      dst.mail_cv.notify_all();
-      bytes += static_cast<double>(doubles) * sizeof(double);
-      ++rs.stats.messages_sent;
+      if (!pipeline_ && t.wave != min_wave) continue;
+      pending.push_back({t.wave, t.slot});
+      faces.insert({t.wave, t.face_key});
+      wmin = std::min(wmin, t.wave);
     }
-    rs.stats.bytes_sent += bytes;
-    rs.stats.pack_seconds += seconds_since(t0);
-    span.counter("bytes", bytes);
-  }
+    SF_REQUIRE(!pending.empty(),
+               "distsim: internal error — no runnable task and no pending "
+               "message (scheduling deadlock)");
 
-  void await_and_unpack(int r, size_t w, std::uint64_t epoch) {
-    RankState& rs = *ranks_state_[static_cast<size_t>(r)];
-    if (rs.recvs[w].empty()) return;
-    trace::Span span(trace::enabled() ? "distsim:r" + std::to_string(r) +
-                                            ":w" + std::to_string(w) + ":wait"
-                                      : std::string(),
+    trace::Span wait(traced ? tag + ":w" + std::to_string(wmin) + ":wait"
+                            : std::string(),
                      "dist-comm");
+    std::vector<std::unique_ptr<trace::Span>> face_spans;
+    if (traced) {
+      for (const auto& [w, key] : faces) {
+        face_spans.push_back(std::make_unique<trace::Span>(
+            tag + ":w" + std::to_string(w) + ":facewait:" + key,
+            "dist-comm"));
+      }
+    }
     const auto t0 = std::chrono::steady_clock::now();
     {
       std::unique_lock<std::mutex> lock(rs.mail_mu);
       rs.mail_cv.wait(lock, [&] {
-        for (const RecvSlot& slot : rs.recvs[w]) {
-          if (slot.epoch != epoch) return false;
+        for (const Pending& p : pending) {
+          if (rs.recvs[p.wave][p.slot].epoch == epoch) return true;
         }
-        return true;
+        return false;
       });
     }
-    for (const RecvSlot& slot : rs.recvs[w]) {
-      std::memcpy(local_row(r, slot.spec->grid_index, slot.spec->dst_row),
-                  slot.buf.data(),
-                  static_cast<size_t>(slot.spec->rows * row_doubles_) *
-                      sizeof(double));
+    const double dt = seconds_since(t0);
+    rs.stats.wait_seconds += dt;
+    rs.stats.stall_seconds += dt;
+  }
+
+  void do_send(int r, RankState& rs, const Task& t, std::uint64_t epoch,
+               bool traced, const std::string& tag) {
+    const MsgSpec& m = *t.msg;
+    RankState& dst = *ranks_state_[static_cast<size_t>(m.dst)];
+    RecvSlot& slot = dst.recvs[t.wave][m.dst_slot];
+    trace::Span span(traced ? tag + ":w" + std::to_string(t.wave) + ":send"
+                            : std::string(),
+                     "dist-comm");
+    const auto t0 = std::chrono::steady_clock::now();
+    Grid& g = rs.grids.at(grid_names_[m.grid_index]);
+    Index extent(m.src_box.lo.size());
+    for (size_t a = 0; a < extent.size(); ++a) {
+      extent[a] = m.src_box.hi[a] - m.src_box.lo[a];
     }
+    const std::vector<std::int64_t> buf_strides = shape_strides(extent);
+    copy_box(slot.buf.data(), buf_strides,
+             g.data() + offset_of(m.src_box.lo, rs.strides), rs.strides,
+             extent, 0);
+    {
+      std::lock_guard<std::mutex> lock(dst.mail_mu);
+      slot.epoch = epoch;
+    }
+    dst.mail_cv.notify_all();
+    const double bytes = static_cast<double>(m.doubles) * sizeof(double);
+    rs.stats.bytes_sent += bytes;
+    ++rs.stats.messages_sent;
+    rs.stats.pack_seconds += seconds_since(t0);
+    span.counter("bytes", bytes);
+  }
+
+  void do_unpack(RankState& rs, const Task& t) {
+    const auto t0 = std::chrono::steady_clock::now();
+    RecvSlot& slot = rs.recvs[t.wave][t.slot];
+    const MsgSpec& m = *slot.spec;
+    Grid& g = rs.grids.at(grid_names_[m.grid_index]);
+    Index extent(m.dst_box.lo.size());
+    for (size_t a = 0; a < extent.size(); ++a) {
+      extent[a] = m.dst_box.hi[a] - m.dst_box.lo[a];
+    }
+    const std::vector<std::int64_t> buf_strides = shape_strides(extent);
+    copy_box(g.data() + offset_of(m.dst_box.lo, rs.strides), rs.strides,
+             slot.buf.data(), buf_strides, extent, 0);
     rs.stats.wait_seconds += seconds_since(t0);
   }
 
+  void do_compute(RankState& rs, const Task& t, const ParamMap& params,
+                  bool traced, const std::string& tag) {
+    const RegionKernel& rk = rs.kernels[t.kernel];
+    trace::Span span(traced ? tag + ":w" + std::to_string(t.wave) +
+                                  (rk.boundary ? ":boundary" : ":compute")
+                            : std::string(),
+                     "dist-compute");
+    const auto t0 = std::chrono::steady_clock::now();
+    rk.kernel->run(rs.grids, params);
+    rs.stats.compute_seconds += seconds_since(t0);
+  }
+
   void scatter_rank(int r, const std::vector<double*>& global) {
-    const Slab& slab = slabs_[static_cast<size_t>(r)];
-    // Copy owned rows plus any in-bounds halo rows in one shot.
-    const std::int64_t g_lo = std::max<std::int64_t>(0, slab.lo - halo_);
-    const std::int64_t g_hi =
-        std::min<std::int64_t>(global_shape_[0], slab.hi + halo_);
+    RankState& rs = *ranks_state_[static_cast<size_t>(r)];
+    const Box block = decomp_.block(r);
+    const size_t dims = global_shape_.size();
+    const std::vector<std::int64_t> gstrides = shape_strides(global_shape_);
+    // Copy the owned box plus any in-bounds halo layers in one box copy.
+    Box src;
+    src.lo.resize(dims);
+    src.hi.resize(dims);
+    for (size_t a = 0; a < dims; ++a) {
+      src.lo[a] = std::max<std::int64_t>(0, block.lo[a] - halo_vec_[a]);
+      src.hi[a] = std::min(global_shape_[a], block.hi[a] + halo_vec_[a]);
+    }
+    const Box dst = local_box(src, block);
+    Index extent(dims);
+    for (size_t a = 0; a < dims; ++a) extent[a] = src.hi[a] - src.lo[a];
     for (size_t gi = 0; gi < grid_names_.size(); ++gi) {
-      double* dst = local_row(r, gi, g_lo - slab.lo + halo_);
-      const double* src = global[gi] + g_lo * row_doubles_;
-      std::memcpy(dst, src,
-                  static_cast<size_t>((g_hi - g_lo) * row_doubles_) *
-                      sizeof(double));
+      Grid& g = rs.grids.at(grid_names_[gi]);
+      copy_box(g.data() + offset_of(dst.lo, rs.strides), rs.strides,
+               global[gi] + offset_of(src.lo, gstrides), gstrides, extent, 0);
     }
   }
 
   void gather_rank(int r, const std::vector<double*>& global) {
-    const Slab& slab = slabs_[static_cast<size_t>(r)];
+    RankState& rs = *ranks_state_[static_cast<size_t>(r)];
+    const Box block = decomp_.block(r);
+    const size_t dims = global_shape_.size();
+    const std::vector<std::int64_t> gstrides = shape_strides(global_shape_);
+    const Box src = local_box(block, block);
+    Index extent(dims);
+    for (size_t a = 0; a < dims; ++a) extent[a] = block.hi[a] - block.lo[a];
     for (size_t gi = 0; gi < grid_names_.size(); ++gi) {
-      const double* src = local_row(r, gi, halo_);
-      double* dst = global[gi] + slab.lo * row_doubles_;
-      std::memcpy(dst, src,
-                  static_cast<size_t>(slab.len() * row_doubles_) *
-                      sizeof(double));
+      Grid& g = rs.grids.at(grid_names_[gi]);
+      copy_box(global[gi] + offset_of(block.lo, gstrides), gstrides,
+               g.data() + offset_of(src.lo, rs.strides), rs.strides, extent,
+               0);
     }
   }
 
@@ -447,12 +978,18 @@ private:
   std::vector<std::string> grid_names_;
   Index global_shape_;
   std::int64_t halo_ = 0;
+  Index halo_vec_;
   int ranks_ = 0;
+  int requested_ranks_ = 0;
   bool overlap_ = true;
-  std::vector<Slab> slabs_;
-  std::int64_t row_doubles_ = 1;
+  bool pipeline_ = true;
+  CartDecomp decomp_;
   CommPlan plan_;
   std::vector<std::unique_ptr<RankState>> ranks_state_;
+  std::vector<std::string> coords_str_;
+  /// Ctor-only scratch: per rank, per kernel, its region boxes (global
+  /// coordinates), consumed by build_tasks and then dropped.
+  std::map<size_t, std::vector<std::vector<Box>>> kernel_regions_;
 
   // Run orchestration (workers block on run_cv_ between runs).
   std::mutex run_mu_;
@@ -467,6 +1004,7 @@ private:
 
   double last_halo_bytes_ = 0.0;
   std::int64_t last_halo_messages_ = 0;
+  std::array<double, 4> last_class_bytes_{};
 };
 
 class DistSimBackend final : public Backend {

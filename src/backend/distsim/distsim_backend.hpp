@@ -4,26 +4,45 @@
 // SUBSTITUTION (see DESIGN.md): the paper's §VII plans MPI / UPC++
 // backends ("one process per NUMA node").  No multi-node system exists in
 // this environment, so this backend reproduces the *structure* of that
-// port in one process as an SPMD runtime: the outermost dimension is
-// partitioned into R contiguous slabs, each rank is a persistent worker
-// thread owning private copies of every grid (slab plus halo layers —
-// separate allocations, i.e. separate address spaces), and all data
-// motion is point-to-point packed messages through per-rank mailboxes.
-// There is no global orchestrator between waves: each rank posts its
-// sends, computes the interior sub-program of the wave (split off at
-// compile time so it provably reads no halo row), then waits for its
-// expected messages and finishes the boundary sub-program — communication
-// overlapped with computation, the way an MPI_Isend/Irecv port would do
-// it (CompileOptions::dist_overlap ablates the split).
+// port in one process as an SPMD runtime: the grid is partitioned into an
+// r0 x r1 (x r2) Cartesian process grid of contiguous blocks
+// (CompileOptions::dist_grid; a bare rank count auto-factorizes to the
+// minimum modeled cut surface, and the legacy dist_ranks knob keeps the
+// dim-0 slab special case), each rank is a persistent worker thread
+// owning private copies of every grid (block plus halo layers on split
+// axes — separate allocations, i.e. separate address spaces), and all
+// data motion is point-to-point packed box messages through per-rank
+// mailboxes: faces, and — only when some stencil actually reads through a
+// diagonal offset — edges and corners (analysis/footprint.hpp decides
+// per grid, per wave, per signed axis direction).
 //
-// The exchange is pruned by the dependence footprint
-// (analysis/footprint.hpp): grids no wave writes are distributed once and
-// never re-sent, and each grid travels only as deep as the next wave
-// reads it (CompileOptions::dist_prune ablates this).  Messages are
-// owner-direct, so slabs thinner than the halo depth draw from ranks
-// further away instead of being rejected ("multi-hop").  A rank count
-// larger than the dim-0 extent is clamped to one row per rank with a
-// logged warning.
+// Execution is not bulk-synchronous by default.  At compile time each
+// wave's share of a rank is carved into disjoint regions — core, ring,
+// one shell per face, merged diagonal shells — and every region kernel,
+// halo send, and halo unpack becomes a node of a per-rank dependency
+// graph whose edges are computed geometrically (a task depends on the
+// earlier tasks whose written boxes its read boxes intersect, plus
+// write-after-read edges so in-place updates never overtake a pending
+// send or a not-yet-consumed halo).  At run time each rank executes any
+// ready task, preferring low waves and boundary work: a face's halo
+// message is sent as soon as the region producing it is computed, and a
+// rank starts wave w+1's interior while still awaiting wave w's remaining
+// face messages (the ring region decouples the core from the shells by
+// one halo depth).  CompileOptions::dist_pipeline = false restores the
+// bulk-synchronous schedule (a rank may not start wave w+1 before all of
+// its wave-w tasks retire) as an ablation baseline;
+// CompileOptions::dist_overlap = false drops the carve entirely
+// (one kernel per wave, run after the wave's messages).
+//
+// The exchange is pruned by the dependence footprint: grids no wave
+// writes are distributed once and never re-sent, each face travels only
+// as deep as the wave reads through it, and star-shaped stencils send no
+// corner messages at all (CompileOptions::dist_prune ablates this).
+// Messages are owner-direct, so blocks thinner than the halo depth draw
+// from ranks further away instead of being rejected ("multi-hop").  A
+// rank count larger than an axis extent is clamped with one logged
+// warning per compile; the pre-clamp request stays visible through
+// requested_ranks().
 //
 // Scope: groups whose grids share one shape, whose reads are pure offsets,
 // and whose stencils are all point-parallel (the decomposable common case;
@@ -49,23 +68,38 @@ public:
   struct RankStats {
     double pack_seconds = 0.0;     // packing + delivering sends
     double wait_seconds = 0.0;     // blocked on the mailbox + unpacking
-    double compute_seconds = 0.0;  // interior + boundary sub-programs
-    double bytes_sent = 0.0;       // payload bytes this rank delivered
+    double compute_seconds = 0.0;  // region sub-programs
+    /// Pipeline stall: time blocked with no runnable task at all (a
+    /// subset of wait_seconds).  The pipelined schedule hides latency by
+    /// running ahead, so this is the number the BSP ablation inflates.
+    double stall_seconds = 0.0;
+    double bytes_sent = 0.0;  // payload bytes this rank delivered
     std::int64_t messages_sent = 0;
   };
 
   virtual ~DistSimKernelInfo() = default;
   virtual int ranks() const = 0;
+  /// The pre-clamp rank count the options asked for (product of
+  /// dist_grid, or dist_ranks); differs from ranks() when clamped.
+  virtual int requested_ranks() const = 0;
+  /// Ranks per axis of the Cartesian process grid ({R, 1, ...} for the
+  /// legacy slab decomposition).
+  virtual Index rank_grid() const = 0;
   virtual std::int64_t halo_depth() const = 0;
   /// [start, end) global rows of dim 0 owned by each rank.
   virtual std::vector<std::pair<std::int64_t, std::int64_t>> slabs() const = 0;
+  /// Owned global box {lo, hi} of each rank.
+  virtual std::vector<std::pair<Index, Index>> blocks() const = 0;
 
   /// Payload bytes moved by halo messages in the last run().  Since the
   /// exchange is pruned, this counts only grids a wave actually reads
-  /// across a slab boundary after some earlier wave wrote them — grids
+  /// across a block boundary after some earlier wave wrote them — grids
   /// that are never written (coefficients, rhs) are distributed by the
   /// initial scatter and never counted again.
   virtual double last_halo_bytes() const = 0;
+  /// Payload bytes of the last run() by face class: 1 = face, 2 = edge,
+  /// 3 = corner.  Star stencils move zero edge/corner bytes.
+  virtual double last_halo_bytes_class(int face_class) const = 0;
   /// Messages delivered in the last run().
   virtual std::int64_t last_halo_messages() const = 0;
   /// Per-rank comm-vs-compute attribution of the last run().

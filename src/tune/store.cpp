@@ -171,6 +171,8 @@ std::string encode_options(const CompileOptions& o) {
   kv("dr", std::to_string(o.dist_ranks));
   kv("do", o.dist_overlap ? "1" : "0");
   kv("dp", o.dist_prune ? "1" : "0");
+  kv("dg", encode_index(o.dist_grid));
+  kv("dpl", o.dist_pipeline ? "1" : "0");
   return s;
 }
 
@@ -210,6 +212,8 @@ bool decode_options(const std::string& s, CompileOptions* out) {
     else if (k == "dr") out->dist_ranks = std::atoi(v.c_str());
     else if (k == "do") ok = flag(&out->dist_overlap);
     else if (k == "dp") ok = flag(&out->dist_prune);
+    else if (k == "dg") ok = decode_index(v, &out->dist_grid);
+    else if (k == "dpl") ok = flag(&out->dist_pipeline);
     else ok = false;  // unknown key: likely a future schema, full sweep
     if (!ok) return false;
   }
@@ -227,6 +231,8 @@ int options_distance(const CompileOptions& a, const CompileOptions& b) {
   d += a.time_tile != b.time_tile;
   d += a.addr_opt != b.addr_opt;
   d += a.wavefront != b.wavefront;
+  d += a.dist_grid != b.dist_grid;
+  d += a.dist_pipeline != b.dist_pipeline;
   return d;
 }
 

@@ -461,4 +461,52 @@ std::vector<TuneCandidate> default_tile_candidates(int rank,
   return unique;
 }
 
+std::vector<TuneCandidate> default_dist_candidates(int rank,
+                                                   const Index& extents,
+                                                   int ranks) {
+  SF_REQUIRE(rank >= 1, "default_dist_candidates requires rank >= 1");
+  SF_REQUIRE(ranks >= 1, "default_dist_candidates requires ranks >= 1");
+  std::vector<TuneCandidate> out;
+  const std::string r = std::to_string(ranks);
+  // Decomposition shape: dim-0 slabs, the surface-minimizing
+  // auto-factorization, and (in 2D+) the transposed slab — each with the
+  // pipelined schedule and its BSP ablation.
+  std::vector<std::pair<std::string, Index>> grids;
+  {
+    Index slab(static_cast<size_t>(rank), 1);
+    slab[0] = ranks;
+    grids.emplace_back("slab" + r, std::move(slab));
+  }
+  grids.emplace_back("auto" + r, Index{ranks});
+  if (rank >= 2) {
+    Index tslab(static_cast<size_t>(rank), 1);
+    tslab[static_cast<size_t>(rank) - 1] = ranks;
+    grids.emplace_back("tslab" + r, std::move(tslab));
+  }
+  for (auto& [label, grid] : grids) {
+    for (const bool pipelined : {true, false}) {
+      CompileOptions opt;
+      opt.dist_grid = grid;
+      opt.dist_pipeline = pipelined;
+      out.push_back(TuneCandidate{label + (pipelined ? "" : "+bsp"), opt});
+    }
+  }
+  // Overlap ablation on the auto-factorized grid.
+  {
+    CompileOptions opt;
+    opt.dist_grid = {ranks};
+    opt.dist_overlap = false;
+    out.push_back(TuneCandidate{"auto" + r + "+noovl", opt});
+  }
+  (void)extents;
+  std::set<std::string> seen;
+  std::vector<TuneCandidate> unique;
+  for (auto& c : out) {
+    if (seen.insert(options_salt(c.options)).second) {
+      unique.push_back(std::move(c));
+    }
+  }
+  return unique;
+}
+
 }  // namespace snowflake

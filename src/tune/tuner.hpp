@@ -103,4 +103,13 @@ private:
 std::vector<TuneCandidate> default_tile_candidates(int rank,
                                                    const Index& extents = {});
 
+/// Candidate space for the distsim backend at a fixed rank count:
+/// decomposition shape (dim-0 slabs, the surface-minimizing
+/// auto-factorization, and in 2D+ the transposed slab) crossed with the
+/// pipelined schedule vs its BSP ablation, plus a no-overlap comparator.
+/// Deduped by options_salt like default_tile_candidates.
+std::vector<TuneCandidate> default_dist_candidates(int rank,
+                                                   const Index& extents,
+                                                   int ranks);
+
 }  // namespace snowflake

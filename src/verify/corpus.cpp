@@ -71,6 +71,38 @@ CorpusEntry distsim_thin_slab() {
   return e;
 }
 
+/// A 9-point box blur on a 2x2 Cartesian process grid: the diagonal
+/// reads force edge/corner halo messages, which the slab decomposition
+/// never exercised.  The chained second wave makes the corner exchange
+/// load-bearing — dropping it (or mis-planning its depth) shifts `out`
+/// by actually-wrong values instead of timing out.
+CorpusEntry distsim_diagonal_corner() {
+  CorpusEntry e;
+  e.name = "distsim-diagonal-corner";
+  e.note = "9-point diagonal reads on a 2x2 grid (corner messages)";
+  for (const char* g : {"x", "mid", "out"}) {
+    e.program.grids[g] = spec({9, 8}, g);
+  }
+  const auto nine = [](const std::string& g) {
+    ExprPtr acc = read(g, {0, 0});
+    for (std::int64_t a : {-1, 0, 1}) {
+      for (std::int64_t b : {-1, 0, 1}) {
+        if (a == 0 && b == 0) continue;
+        acc = acc + 0.125 * read(g, {a, b});
+      }
+    }
+    return acc;
+  };
+  e.program.group.append(
+      Stencil("box", nine("x"), "mid", lib::interior(2)));
+  e.program.group.append(
+      Stencil("box2", nine("mid"), "out", lib::interior(2)));
+  CompileOptions o;
+  o.dist_grid = {2, 2};
+  e.variant = variant("distsim/g2x2", "distsim", o);
+  return e;
+}
+
 /// Multiplicative (num = 2) restriction maps through the address-
 /// arithmetic pass: strength-reduced induction variables must agree with
 /// the naive index computation.
@@ -246,6 +278,7 @@ std::vector<CorpusEntry> corpus() {
   std::vector<CorpusEntry> entries;
   entries.push_back(pr3_rank1_for_simd());
   entries.push_back(distsim_thin_slab());
+  entries.push_back(distsim_diagonal_corner());
   entries.push_back(addr_multiplicative());
   entries.push_back(interp_divisive());
   entries.push_back(timetile_chain());

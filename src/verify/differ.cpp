@@ -184,6 +184,38 @@ std::vector<Variant> variant_matrix() {
     o.dist_prune = false;
     m.push_back(make("distsim/r5-baseline", "distsim", o));
   }
+  // Cartesian decompositions: explicit 2D/3D process grids (rejected on
+  // programs of any other rank), the rank-agnostic auto-factorization,
+  // and the bulk-synchronous pipeline ablation.  Diagonal-reading
+  // programs exercise the edge/corner messages here.
+  {
+    CompileOptions o = base();
+    o.dist_grid = {2, 2};
+    m.push_back(make("distsim/g2x2", "distsim", o));
+  }
+  {
+    CompileOptions o = base();
+    o.dist_grid = {2, 2, 2};
+    m.push_back(make("distsim/g2x2x2", "distsim", o));
+  }
+  {
+    CompileOptions o = base();
+    o.dist_grid = {6};
+    m.push_back(make("distsim/g6-auto", "distsim", o));
+  }
+  {
+    CompileOptions o = base();
+    o.dist_grid = {2, 2};
+    o.dist_pipeline = false;
+    m.push_back(make("distsim/g2x2-bsp", "distsim", o));
+  }
+  {
+    CompileOptions o = base();
+    o.dist_grid = {3, 2};
+    o.dist_pipeline = false;
+    o.dist_prune = false;
+    m.push_back(make("distsim/g3x2-bsp-noprune", "distsim", o));
+  }
 
   return m;
 }

@@ -133,6 +133,12 @@ void emit_options(const Variant& variant, int rank, std::ostringstream& os) {
   }
   if (o.dist_overlap != d.dist_overlap) os << "  opt.dist_overlap = false;\n";
   if (o.dist_prune != d.dist_prune) os << "  opt.dist_prune = false;\n";
+  if (o.dist_grid != d.dist_grid) {
+    os << "  opt.dist_grid = Index" << fmt_index(o.dist_grid) << ";\n";
+  }
+  if (o.dist_pipeline != d.dist_pipeline) {
+    os << "  opt.dist_pipeline = false;\n";
+  }
 }
 
 }  // namespace

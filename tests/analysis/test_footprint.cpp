@@ -1,0 +1,160 @@
+// Per-face communication footprints: depth per grid per signed axis
+// direction from the actual read-offset sets, diagonal-pattern detection
+// (corner messages exist only when a stencil reads through a diagonal
+// offset), and the unpruned corner-everything baseline.
+
+#include "analysis/footprint.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/dag.hpp"
+#include "ir/stencil_library.hpp"
+#include "multigrid/operators.hpp"
+
+namespace snowflake {
+namespace {
+
+using namespace snowflake::lib;
+
+ShapeMap shapes2(std::int64_t n) {
+  ShapeMap shapes;
+  for (const std::string g :
+       {"x", "out", "rhs", "lambda_inv", "beta_x", "beta_y"}) {
+    shapes[g] = Index{n, n};
+  }
+  return shapes;
+}
+
+/// Two-wave group: wave 0 refreshes `x` in place, wave 1 reads it through
+/// `expr`.  The pruned footprint's wave 1 then carries exactly the read
+/// offsets of `expr`.
+StencilGroup two_wave(const ExprPtr& expr) {
+  StencilGroup g;
+  g.append(Stencil("touch", 1.0 * read("x", {0, 0}), "x", interior(2)));
+  g.append(Stencil("apply", expr, "out", interior(2)));
+  return g;
+}
+
+const WaveGridDepth& only_entry(const CommFootprint& fp, size_t wave) {
+  EXPECT_LT(wave, fp.waves.size());
+  EXPECT_EQ(fp.waves[wave].size(), 1u);
+  return fp.waves[wave][0];
+}
+
+TEST(FaceFootprint, GsrbFaceDepthsAreOnePerDirectionNoCorners) {
+  const StencilGroup group = mg::gsrb_smooth_group(2);
+  const Schedule sched = greedy_schedule(group, shapes2(12));
+  const CommFootprint fp = comm_footprint(group, sched, /*prune=*/true);
+
+  ASSERT_EQ(fp.waves.size(), 4u);  // faces, red, faces, black
+  for (size_t w = 1; w < fp.waves.size(); ++w) {
+    const WaveGridDepth& wg = only_entry(fp, w);
+    EXPECT_EQ(wg.grid, "x");
+    for (size_t axis = 0; axis < 2; ++axis) {
+      for (int sign : {-1, 1}) {
+        EXPECT_EQ(wg.face_depth(axis, sign), 1)
+            << "wave " << w << " axis " << axis << " sign " << sign;
+      }
+    }
+    // The GSRB star never reads through a diagonal: no corner messages.
+    EXPECT_FALSE(wg.needs_pattern({1, 1})) << w;
+    EXPECT_FALSE(wg.needs_pattern({-1, 1})) << w;
+    EXPECT_FALSE(wg.needs_pattern({1, -1})) << w;
+    EXPECT_FALSE(wg.needs_pattern({-1, -1})) << w;
+    // Pure-face patterns survive.
+    EXPECT_TRUE(wg.needs_pattern({1, 0})) << w;
+    EXPECT_TRUE(wg.needs_pattern({0, -1})) << w;
+  }
+}
+
+TEST(FaceFootprint, NinePointStencilRequiresCorners) {
+  ExprPtr nine = read("x", {0, 0});
+  for (int i : {-1, 0, 1}) {
+    for (int j : {-1, 0, 1}) {
+      if (i == 0 && j == 0) continue;
+      nine = nine + 0.125 * read("x", {i, j});
+    }
+  }
+  const StencilGroup group = two_wave(nine);
+  const Schedule sched = greedy_schedule(group, shapes2(10));
+  const CommFootprint fp = comm_footprint(group, sched, /*prune=*/true);
+
+  ASSERT_EQ(fp.waves.size(), 2u);
+  const WaveGridDepth& wg = only_entry(fp, 1);
+  EXPECT_EQ(wg.grid, "x");
+  for (int i : {-1, 1}) {
+    for (int j : {-1, 1}) {
+      EXPECT_TRUE(wg.needs_pattern({i, j})) << i << "," << j;
+      EXPECT_EQ(wg.pattern_depth({i, j}), (Index{1, 1})) << i << "," << j;
+    }
+  }
+  EXPECT_EQ(wg.face_depth(0, -1), 1);
+  EXPECT_EQ(wg.face_depth(1, 1), 1);
+}
+
+TEST(FaceFootprint, StarStencilProvablyNeedsNoCorners) {
+  // Radius-2 star: deep faces, provably zero diagonal patterns.
+  const ExprPtr star = read("x", {0, 0}) + 0.25 * (read("x", {-2, 0}) +
+                                                   read("x", {2, 0}) +
+                                                   read("x", {0, -2}) +
+                                                   read("x", {0, 2}));
+  StencilGroup group;
+  group.append(Stencil("touch", 1.0 * read("x", {0, 0}), "x", interior(2)));
+  group.append(Stencil("apply", star, "out", interior_margin(2, 2)));
+  const Schedule sched = greedy_schedule(group, shapes2(10));
+  const CommFootprint fp = comm_footprint(group, sched, /*prune=*/true);
+
+  const WaveGridDepth& wg = only_entry(fp, 1);
+  EXPECT_EQ(wg.depth, 2);
+  for (size_t axis = 0; axis < 2; ++axis) {
+    for (int sign : {-1, 1}) {
+      EXPECT_EQ(wg.face_depth(axis, sign), 2);
+    }
+  }
+  for (int i : {-1, 1}) {
+    for (int j : {-1, 1}) {
+      EXPECT_FALSE(wg.needs_pattern({i, j})) << i << "," << j;
+    }
+  }
+}
+
+TEST(FaceFootprint, AsymmetricOffsetsGivePerSignDepths) {
+  // Upwind-style read set {-2, +1} in dim 0 only: the low face needs
+  // depth 2, the high face depth 1, dim 1 nothing at all.
+  const ExprPtr upwind =
+      read("x", {0, 0}) + 0.5 * read("x", {-2, 0}) + 0.25 * read("x", {1, 0});
+  StencilGroup group;
+  group.append(Stencil("touch", 1.0 * read("x", {0, 0}), "x", interior(2)));
+  group.append(Stencil("apply", upwind, "out", interior_margin(2, 2)));
+  const Schedule sched = greedy_schedule(group, shapes2(10));
+  const CommFootprint fp = comm_footprint(group, sched, /*prune=*/true);
+
+  const WaveGridDepth& wg = only_entry(fp, 1);
+  EXPECT_EQ(wg.face_depth(0, -1), 2);
+  EXPECT_EQ(wg.face_depth(0, 1), 1);
+  EXPECT_EQ(wg.face_depth(1, -1), 0);
+  EXPECT_EQ(wg.face_depth(1, 1), 0);
+  EXPECT_FALSE(wg.needs_pattern({0, 1}));
+  EXPECT_TRUE(wg.needs_pattern({-1, 0}));
+}
+
+TEST(FaceFootprint, UnprunedBaselineListsCornerEverythingFootprints) {
+  // The ablation baseline pretends every grid is read through every
+  // pattern at the group halo: needs_pattern is true everywhere, so the
+  // plan re-sends faces, edges and corners of all five smoother grids.
+  const StencilGroup group = mg::gsrb_smooth_group(2);
+  const Schedule sched = greedy_schedule(group, shapes2(12));
+  const CommFootprint fp = comm_footprint(group, sched, /*prune=*/false);
+
+  ASSERT_EQ(fp.waves.size(), 4u);
+  EXPECT_TRUE(fp.waves[0].empty());
+  ASSERT_EQ(fp.waves[1].size(), 5u);
+  for (const WaveGridDepth& wg : fp.waves[1]) {
+    EXPECT_TRUE(wg.needs_pattern({1, 1}));
+    EXPECT_TRUE(wg.needs_pattern({-1, 0}));
+    EXPECT_EQ(wg.face_depth(0, 1), wg.depth);
+  }
+}
+
+}  // namespace
+}  // namespace snowflake

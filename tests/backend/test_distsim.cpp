@@ -194,6 +194,182 @@ TEST(DistSim, ClampsTooManyRanksWithWarning) {
                            {{"h2inv", 4.0}}, "distsim", with_ranks(8));
 }
 
+CompileOptions with_grid(Index grid) {
+  CompileOptions opt;
+  opt.dist_grid = std::move(grid);
+  return opt;
+}
+
+TEST(DistSim, CartesianGridsMatchReference) {
+  // Full Cartesian block decompositions stay bit-exact across 2D and 3D
+  // process grids, including uneven splits.
+  const GridSet gs2 = smoother_grids(2, 13, 511);
+  for (const Index& grid : {Index{2, 2}, Index{2, 3}, Index{1, 4}}) {
+    expect_matches_reference(mg::gsrb_smooth_group(2), gs2, {{"h2inv", 4.0}},
+                             "distsim", with_grid(grid), 1e-12);
+  }
+  const GridSet gs3 = smoother_grids(3, 8, 512);
+  expect_matches_reference(mg::gsrb_smooth_group(3), gs3, {{"h2inv", 9.0}},
+                           "distsim", with_grid({2, 2, 2}), 1e-12);
+}
+
+TEST(DistSim, CartesianExchangesFewerBytesThanSlabsAtEqualRanks) {
+  // 16x16 GSRB on four ranks: 1D slabs cut 3 interior planes of 16
+  // points; the 2x2 grid cuts 2 planes of 8 per axis — half the bytes
+  // (the star stencil sends no corners), at the cost of more messages.
+  GridSet slab_gs = smoother_grids(2, 16, 513);
+  GridSet cart_gs = testutil::clone(slab_gs);
+
+  auto slab = compile(mg::gsrb_smooth_group(2), slab_gs, "distsim",
+                      with_grid({4, 1}));
+  slab->run(slab_gs, {{"h2inv", 4.0}});
+  auto cart = compile(mg::gsrb_smooth_group(2), cart_gs, "distsim",
+                      with_grid({2, 2}));
+  cart->run(cart_gs, {{"h2inv", 4.0}});
+
+  const auto* slab_info = dynamic_cast<const DistSimKernelInfo*>(slab.get());
+  const auto* cart_info = dynamic_cast<const DistSimKernelInfo*>(cart.get());
+  ASSERT_NE(slab_info, nullptr);
+  ASSERT_NE(cart_info, nullptr);
+  ASSERT_EQ(slab_info->ranks(), 4);
+  ASSERT_EQ(cart_info->ranks(), 4);
+  // 3 exchanges x 3 cut planes x 2 directions x 16 doubles.
+  EXPECT_DOUBLE_EQ(slab_info->last_halo_bytes(), 3.0 * 3 * 2 * 16 * 8);
+  // 3 exchanges x 2 axes x 1 cut plane x 2 directions x 2 pairs x 8 doubles.
+  EXPECT_DOUBLE_EQ(cart_info->last_halo_bytes(), 3.0 * 2 * 2 * 2 * 8 * 8);
+  EXPECT_LT(cart_info->last_halo_bytes(), slab_info->last_halo_bytes());
+  // All of it is face traffic: the GSRB star plans no edge/corner bytes.
+  EXPECT_DOUBLE_EQ(cart_info->last_halo_bytes_class(2), 0.0);
+  EXPECT_DOUBLE_EQ(cart_info->last_halo_bytes_class(3), 0.0);
+  EXPECT_LE(Grid::max_abs_diff(slab_gs.at("x"), cart_gs.at("x")), 1e-12);
+}
+
+TEST(DistSim, AutoFactorizationMinimizesCutSurface) {
+  // A bare rank count in dist_grid auto-factorizes: square grids prefer
+  // square process grids, tall grids prefer slabs along the long axis.
+  GridSet sq;
+  sq.add_zeros("x", {16, 16}).fill_random(514, -1.0, 1.0);
+  sq.add_zeros("out", {16, 16});
+  auto ksq = compile(StencilGroup(lib::cc_apply(2, "x", "out")), sq, "distsim",
+                     with_grid({4}));
+  const auto* sq_info = dynamic_cast<const DistSimKernelInfo*>(ksq.get());
+  ASSERT_NE(sq_info, nullptr);
+  EXPECT_EQ(sq_info->rank_grid(), (Index{2, 2}));
+  EXPECT_EQ(sq_info->requested_ranks(), 4);
+
+  GridSet tall;
+  tall.add_zeros("x", {32, 8}).fill_random(515, -1.0, 1.0);
+  tall.add_zeros("out", {32, 8});
+  auto ktall = compile(StencilGroup(lib::cc_apply(2, "x", "out")), tall,
+                       "distsim", with_grid({4}));
+  const auto* tall_info = dynamic_cast<const DistSimKernelInfo*>(ktall.get());
+  ASSERT_NE(tall_info, nullptr);
+  EXPECT_EQ(tall_info->rank_grid(), (Index{4, 1}));
+}
+
+TEST(DistSim, RequestedRanksSurfacesClampedCounts) {
+  GridSet gs;
+  gs.add_zeros("x", {4, 4}).fill_random(516, -1.0, 1.0);
+  gs.add_zeros("out", {4, 4});
+  const StencilGroup group(lib::cc_apply(2, "x", "out"));
+
+  auto legacy = compile(group, gs, "distsim", with_ranks(8));
+  const auto* li = dynamic_cast<const DistSimKernelInfo*>(legacy.get());
+  ASSERT_NE(li, nullptr);
+  EXPECT_EQ(li->requested_ranks(), 8);
+  EXPECT_EQ(li->ranks(), 4);
+
+  auto cart = compile(group, gs, "distsim", with_grid({8, 2}));
+  const auto* ci = dynamic_cast<const DistSimKernelInfo*>(cart.get());
+  ASSERT_NE(ci, nullptr);
+  EXPECT_EQ(ci->requested_ranks(), 16);
+  EXPECT_EQ(ci->ranks(), 8);  // clamped to 4x2
+  EXPECT_EQ(ci->rank_grid(), (Index{4, 2}));
+}
+
+TEST(DistSim, ThinBlocksInDim1RunViaMultiHopExchange) {
+  // The multi-hop property must hold on non-0 axes too: a radius-2 chain
+  // split into 5 column blocks of width 1-2 draws halo columns from two
+  // ranks away.
+  GridSet gs;
+  for (const std::string g : {"x", "mid", "out"}) {
+    gs.add_zeros(g, {7, 7}).fill_random(fnv1a64(g), 0.5, 1.5);
+  }
+  StencilGroup chained;
+  chained.append(
+      Stencil("blur", read("x", {0, 0}) + 0.25 * read("x", {0, -2}) +
+                          0.25 * read("x", {0, 2}),
+              "mid", lib::interior_margin(2, 2)));
+  chained.append(
+      Stencil("blur2", read("mid", {0, 0}) + 0.25 * read("mid", {0, -2}) +
+                           0.25 * read("mid", {0, 2}),
+              "out", lib::interior_margin(2, 2)));
+  for (const Index& grid : {Index{1, 5}, Index{1, 7}, Index{2, 3}}) {
+    expect_matches_reference(chained, gs, {}, "distsim", with_grid(grid),
+                             1e-12);
+  }
+}
+
+TEST(DistSim, PipelinedAndBspSchedulesAgreeBitExact) {
+  // dist_pipeline only reorders intra-rank work; answers and traffic are
+  // identical, and the BSP ablation reports its stalls.
+  const GridSet gs = smoother_grids(2, 16, 517);
+  CompileOptions bsp = with_grid({2, 2});
+  bsp.dist_pipeline = false;
+  expect_matches_reference(mg::gsrb_smooth_group(2), gs, {{"h2inv", 4.0}},
+                           "distsim", bsp, 1e-12);
+
+  double bytes[2];
+  int i = 0;
+  for (bool pipelined : {true, false}) {
+    CompileOptions opt = with_grid({2, 2});
+    opt.dist_pipeline = pipelined;
+    GridSet run_gs = testutil::clone(gs);
+    auto kernel = compile(mg::gsrb_smooth_group(2), run_gs, "distsim", opt);
+    kernel->run(run_gs, {{"h2inv", 4.0}});
+    const auto* info = dynamic_cast<const DistSimKernelInfo*>(kernel.get());
+    ASSERT_NE(info, nullptr);
+    bytes[i++] = info->last_halo_bytes();
+    for (const auto& s : info->last_rank_stats()) {
+      EXPECT_GE(s.stall_seconds, 0.0);
+      EXPECT_LE(s.stall_seconds, s.wait_seconds + 1e-9);
+    }
+  }
+  EXPECT_DOUBLE_EQ(bytes[0], bytes[1]);
+}
+
+TEST(DistSim, DiagonalReadsPlanCornerMessages) {
+  // A 9-point box stencil reads through the diagonals, so the 2x2 grid
+  // must exchange the four corner points — and nothing more than them.
+  GridSet gs;
+  gs.add_zeros("x", {10, 10}).fill_random(518, -1.0, 1.0);
+  gs.add_zeros("out", {10, 10});
+  ExprPtr nine = read("x", {0, 0});
+  for (int a : {-1, 0, 1}) {
+    for (int b : {-1, 0, 1}) {
+      if (a == 0 && b == 0) continue;
+      nine = nine + 0.125 * read("x", {a, b});
+    }
+  }
+  StencilGroup group;
+  group.append(Stencil("touch", 1.0 * read("x", {0, 0}), "x",
+                       lib::interior(2)));
+  group.append(Stencil("nine", nine, "out", lib::interior(2)));
+
+  expect_matches_reference(group, gs, {}, "distsim", with_grid({2, 2}), 1e-12);
+
+  GridSet run_gs = testutil::clone(gs);
+  auto kernel = compile(group, run_gs, "distsim", with_grid({2, 2}));
+  kernel->run(run_gs, {});
+  const auto* info = dynamic_cast<const DistSimKernelInfo*>(kernel.get());
+  ASSERT_NE(info, nullptr);
+  // One exchange wave: 8 face messages of 5 doubles, 4 diagonal messages
+  // of the single corner point.
+  EXPECT_DOUBLE_EQ(info->last_halo_bytes_class(1), 8.0 * 5 * 8);
+  EXPECT_DOUBLE_EQ(info->last_halo_bytes_class(2), 4.0 * 1 * 8);
+  EXPECT_DOUBLE_EQ(info->last_halo_bytes_class(3), 0.0);
+}
+
 TEST(DistSim, MixedShapesRejected) {
   GridSet gs;
   gs.add_zeros("x", {12, 12});

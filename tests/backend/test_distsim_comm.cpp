@@ -66,20 +66,29 @@ TEST(CommPlan, OwnerDirectMessagesCrossThinSlabs) {
   // One-row slabs under a depth-2 halo: each rank's halo window spans two
   // neighbouring slabs per side, so messages come from two ranks away —
   // owner-direct delivery with no relay rounds.
-  const auto slabs = decompose_dim0(5, 5);
+  const CartDecomp decomp = decompose_cartesian({5, 6}, {5, 1});
   CommFootprint fp;
   fp.waves.resize(2);
-  fp.waves[1].push_back({"g", 2});
-  const CommPlan plan = build_comm_plan(fp, {"g"}, slabs, /*halo=*/2);
+  WaveGridDepth wg;
+  wg.grid = "g";
+  wg.depth = 2;
+  wg.offsets = {Index{-2, 0}, Index{2, 0}};
+  fp.waves[1].push_back(wg);
+  const CommPlan plan = build_comm_plan(fp, {"g"}, decomp, /*halo=*/{2, 0});
 
   ASSERT_EQ(plan.waves.size(), 2u);
   EXPECT_FALSE(plan.waves[0].any());
-  EXPECT_EQ(plan.waves[1].margin, 2);
+  EXPECT_EQ(plan.waves[1].margin[0][0], 2);
+  EXPECT_EQ(plan.waves[1].margin[0][1], 2);
+  EXPECT_EQ(plan.waves[1].margin[1][0], 0);
 
   std::set<int> srcs_into_mid;
   for (const MsgSpec& m : plan.waves[1].msgs) {
     EXPECT_NE(m.src, m.dst);
-    EXPECT_EQ(m.rows, 1);  // one-row slabs can only send one row each
+    EXPECT_EQ(m.face_class, 1);  // slab cuts only produce face messages
+    // One-row slabs can only send one full-width row each.
+    EXPECT_EQ(m.src_box.hi[0] - m.src_box.lo[0], 1);
+    EXPECT_EQ(m.doubles, 6);
     if (m.dst == 2) srcs_into_mid.insert(m.src);
   }
   // Rank 2's low window is global rows [0,2) (owners 0 and 1), its high

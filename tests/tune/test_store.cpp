@@ -35,6 +35,8 @@ TEST(TuneStoreCodec, OptionsRoundTrip) {
   o.time_tile = 3;
   o.addr_opt = false;
   o.wavefront = true;
+  o.dist_grid = {2, 3};
+  o.dist_pipeline = false;
 
   CompileOptions back;
   ASSERT_TRUE(tune::decode_options(tune::encode_options(o), &back));

@@ -225,6 +225,12 @@ int run_tune_report(const std::string& path, const std::string& kernel_filter,
 /// check_bench's report parser).
 struct RankBreakdown {
   double send = 0, wait = 0, compute = 0, boundary = 0;
+  /// Process-grid coordinates ("1x0") scraped from the rank's coords span.
+  std::string coords;
+  /// Seconds blocked per face key ("0-", "1+", "diag"); these overlap the
+  /// wait spans (a stall names every face still missing), so they are a
+  /// breakdown of blame, not an addend of total().
+  std::map<std::string, double> facewait;
   double total() const { return send + wait + compute + boundary; }
   double comm() const { return send + wait; }
 };
@@ -249,6 +255,15 @@ int run_critical_path(const std::string& path) {
     char* end = nullptr;
     const int rank = static_cast<int>(std::strtol(json.c_str() + pos, &end, 10));
     size_t p = static_cast<size_t>(end - json.c_str());
+    const std::string coords_key = ":coords:";
+    if (json.compare(p, coords_key.size(), coords_key) == 0) {
+      const size_t cend = json.find('"', p + coords_key.size());
+      if (cend != std::string::npos) {
+        ranks[rank].coords =
+            json.substr(p + coords_key.size(), cend - p - coords_key.size());
+      }
+      continue;
+    }
     if (p >= json.size() || json[p] != ':' || json[p + 1] != 'w') continue;
     const int wave =
         static_cast<int>(std::strtol(json.c_str() + p + 2, &end, 10));
@@ -267,6 +282,9 @@ int run_critical_path(const std::string& path) {
     else if (phase == "wait") rb.wait += dur_s;
     else if (phase == "compute") rb.compute += dur_s;
     else if (phase == "boundary") rb.boundary += dur_s;
+    else if (phase.rfind("facewait:", 0) == 0) {
+      rb.facewait[phase.substr(9)] += dur_s;
+    }
   }
 
   if (ranks.empty()) {
@@ -279,18 +297,28 @@ int run_critical_path(const std::string& path) {
 
   std::printf("== distsim critical path: %s (%zu ranks, %d waves) ==\n",
               path.c_str(), ranks.size(), waves);
-  std::printf("%-6s %-12s %-12s %-12s %-12s %-12s %s\n", "rank", "send s",
-              "wait s", "compute s", "boundary s", "total s", "comm %");
+  std::printf("%-6s %-8s %-12s %-12s %-12s %-12s %-12s %s\n", "rank",
+              "coords", "send s", "wait s", "compute s", "boundary s",
+              "total s", "comm %");
   int critical = -1;
   double critical_total = -1.0;
   for (const auto& [rank, rb] : ranks) {
-    std::printf("%-6d %-12.3e %-12.3e %-12.3e %-12.3e %-12.3e %.1f\n", rank,
-                rb.send, rb.wait, rb.compute, rb.boundary, rb.total(),
+    std::printf("%-6d %-8s %-12.3e %-12.3e %-12.3e %-12.3e %-12.3e %.1f\n",
+                rank, rb.coords.empty() ? "-" : rb.coords.c_str(), rb.send,
+                rb.wait, rb.compute, rb.boundary, rb.total(),
                 rb.total() > 0 ? 100.0 * rb.comm() / rb.total() : 0.0);
     if (rb.total() > critical_total) {
       critical_total = rb.total();
       critical = rank;
     }
+  }
+  for (const auto& [rank, rb] : ranks) {
+    if (rb.facewait.empty()) continue;
+    std::printf("  r%d facewait:", rank);
+    for (const auto& [key, s] : rb.facewait) {
+      std::printf(" %s=%.3es", key.c_str(), s);
+    }
+    std::printf("\n");
   }
   const RankBreakdown& cp = ranks[critical];
   std::printf(
