@@ -22,6 +22,7 @@
 #include <chrono>
 
 #include "bench_common.hpp"
+#include "support/string_util.hpp"
 #include "multigrid/operators.hpp"
 #include "tune/store.hpp"
 #include "tune/tuner.hpp"
@@ -44,7 +45,7 @@ int main(int argc, char** argv) {
   double min_speedup = 0.0;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--min-speedup=", 14) == 0) {
-      min_speedup = std::atof(argv[i] + 14);
+      snowflake::parse_double(std::string(argv[i] + 14), &min_speedup);
     }
   }
 

@@ -11,6 +11,7 @@
 
 #include "ir/stencil_library.hpp"
 #include "ir/validate.hpp"
+#include "support/string_util.hpp"
 #include "roofline/stream.hpp"
 #include "tune/tuner.hpp"
 #include "support/fingerprint.hpp"
@@ -118,11 +119,15 @@ void JsonReport::flush() const {
   };
   std::fprintf(f, "{\"schema\": \"snowflake-bench-v1\",\n \"results\": [");
   for (size_t i = 0; i < rows_.size(); ++i) {
+    // Locale-independent emission: a comma-decimal global locale must not
+    // produce invalid JSON.
     std::fprintf(f,
-                 "%s\n  {\"label\": \"%s\", \"seconds\": %.17g, "
-                 "\"gbps\": %.17g, \"roofline_pct\": %.17g}",
-                 i ? "," : "", escape(rows_[i].label).c_str(), rows_[i].seconds,
-                 rows_[i].gbps, rows_[i].roofline_pct);
+                 "%s\n  {\"label\": \"%s\", \"seconds\": %s, "
+                 "\"gbps\": %s, \"roofline_pct\": %s}",
+                 i ? "," : "", escape(rows_[i].label).c_str(),
+                 format_double_compact(rows_[i].seconds).c_str(),
+                 format_double_compact(rows_[i].gbps).c_str(),
+                 format_double_compact(rows_[i].roofline_pct).c_str());
   }
   std::fprintf(f, "\n]}\n");
   std::fclose(f);

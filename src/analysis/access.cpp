@@ -43,9 +43,15 @@ ResolvedUnion access_region(const Access& access, const ResolvedUnion& domain) {
 }
 
 ResolvedUnion resolved_domain(const Stencil& stencil, const ShapeMap& shapes) {
-  auto it = shapes.find(stencil.output());
+  // Reductions write a one-cell grid, so their iteration domain is anchored
+  // on the full-size grid named by the ReduceExpr instead of the output.
+  const std::string& anchor =
+      stencil.is_reduction() ? stencil.reduction().anchor() : stencil.output();
+  auto it = shapes.find(anchor);
   if (it == shapes.end()) {
-    throw LookupError("no shape binding for output grid '" + stencil.output() + "'");
+    throw LookupError("no shape binding for " +
+                      std::string(stencil.is_reduction() ? "anchor" : "output") +
+                      " grid '" + anchor + "'");
   }
   return stencil.domain().resolve(it->second);
 }

@@ -80,14 +80,16 @@ Schedule greedy_schedule(const StencilGroup& group, const ShapeMap& shapes) {
   std::vector<Wave> waves;
   Wave current;
   for (size_t i = 0; i < group.size(); ++i) {
-    bool blocked = false;
+    // A reduction ends the point-parallel region: it always runs in a wave
+    // of its own, with barriers on both sides.
+    bool blocked = group[i].is_reduction() ||
+                   (!current.stencils.empty() &&
+                    group[current.stencils.back()].is_reduction());
     for (size_t member : current.stencils) {
-      if (dag.depends(i, member)) {
-        blocked = true;
-        break;
-      }
+      if (blocked) break;
+      if (dag.depends(i, member)) blocked = true;
     }
-    if (blocked) {
+    if (blocked && !current.stencils.empty()) {
       waves.push_back(std::move(current));
       current = Wave{};
     }

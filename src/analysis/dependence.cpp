@@ -17,6 +17,20 @@ Dependence stencil_dependence(const Stencil& earlier, const Stencil& later,
       if (a.grid != b.grid) continue;
       if (!a.is_write && !b.is_write) continue;  // read-read never conflicts
       if (dep.raw && dep.war && dep.waw) return dep;
+      // A reduction's scalar result grid lives outside the anchored
+      // iteration space, so its geometric write region is meaningless —
+      // any shared write-involving access to it is a dependence.
+      if ((earlier.is_reduction() && a.grid == earlier.output()) ||
+          (later.is_reduction() && b.grid == later.output())) {
+        if (a.is_write && b.is_write) {
+          dep.waw = true;
+        } else if (a.is_write) {
+          dep.raw = true;
+        } else {
+          dep.war = true;
+        }
+        continue;
+      }
       const ResolvedUnion ra = access_region(a, dom_e);
       const ResolvedUnion rb = access_region(b, dom_l);
       if (unions_disjoint(ra, rb)) continue;
@@ -38,6 +52,9 @@ bool stencils_dependent(const Stencil& earlier, const Stencil& later,
 }
 
 bool point_parallel_safe(const Stencil& stencil, const ShapeMap& shapes) {
+  // Reductions carry an accumulator across every iteration: never
+  // point-parallel (OpenMP backends use a reduction clause instead).
+  if (stencil.is_reduction()) return false;
   if (!stencil.is_in_place()) return true;
   const ResolvedUnion domain = resolved_domain(stencil, shapes);
   for (const auto& access : accesses_of(stencil)) {
@@ -54,6 +71,9 @@ bool point_parallel_safe(const Stencil& stencil, const ShapeMap& shapes) {
 }
 
 bool union_rects_independent(const Stencil& stencil, const ShapeMap& shapes) {
+  // Cross-rect combination of a reduction is ordered (deterministic
+  // accumulation), so its rects are never scheduled independently.
+  if (stencil.is_reduction()) return false;
   const ResolvedUnion domain = resolved_domain(stencil, shapes);
   const auto& rects = domain.rects();
   if (rects.size() <= 1) return true;

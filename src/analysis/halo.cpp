@@ -52,6 +52,20 @@ SweepHalo analyze_sweep_halo(const StencilGroup& group, const ShapeMap& shapes,
     }
   }
 
+  // Checked before the written-shape rule so a reduction-bearing group
+  // reports the real obstruction (its one-cell result grid would trip the
+  // shape check first and hide it).
+  for (size_t i = 0; i < group.size(); ++i) {
+    if (group[i].is_reduction()) {
+      out.reason = "stencil '" + group[i].name() +
+                   "' is a " + reduce_op_name(group[i].reduction().op()) +
+                   " reduction: its scalar result is a whole-domain "
+                   "synchronization point, so sweeps cannot be fused across "
+                   "it (time tiling refused)";
+      return out;
+    }
+  }
+
   // The written grids must share one shape: they are copied into per-tile
   // scratch buffers with a common tiling of that box.
   std::set<std::string> written;

@@ -62,6 +62,12 @@ bool stencils_dependent_interval(const Stencil& earlier, const Stencil& later,
     for (const auto& b : accesses_of(later)) {
       if (a.grid != b.grid) continue;
       if (!a.is_write && !b.is_write) continue;
+      // Shared accesses to a reduction's scalar result conflict without
+      // geometry (see stencil_dependence).
+      if ((earlier.is_reduction() && a.grid == earlier.output()) ||
+          (later.is_reduction() && b.grid == later.output())) {
+        return true;
+      }
       if (intervals_may_conflict(access_region(a, dom_e),
                                  access_region(b, dom_l))) {
         return true;
@@ -72,6 +78,7 @@ bool stencils_dependent_interval(const Stencil& earlier, const Stencil& later,
 }
 
 bool point_parallel_safe_interval(const Stencil& stencil, const ShapeMap& shapes) {
+  if (stencil.is_reduction()) return false;
   if (!stencil.is_in_place()) return true;
   const ResolvedUnion domain = resolved_domain(stencil, shapes);
   for (const auto& access : accesses_of(stencil)) {
@@ -90,14 +97,16 @@ Schedule greedy_schedule_interval(const StencilGroup& group,
   std::vector<Wave> waves;
   Wave current;
   for (size_t i = 0; i < group.size(); ++i) {
-    bool blocked = false;
+    bool blocked = group[i].is_reduction() ||
+                   (!current.stencils.empty() &&
+                    group[current.stencils.back()].is_reduction());
     for (size_t member : current.stencils) {
+      if (blocked) break;
       if (stencils_dependent_interval(group[member], group[i], shapes)) {
         blocked = true;
-        break;
       }
     }
-    if (blocked) {
+    if (blocked && !current.stencils.empty()) {
       waves.push_back(std::move(current));
       current = Wave{};
     }
@@ -116,6 +125,7 @@ Schedule greedy_schedule_interval(const StencilGroup& group,
 
 bool union_rects_independent_interval(const Stencil& stencil,
                                       const ShapeMap& shapes) {
+  if (stencil.is_reduction()) return false;
   const ResolvedUnion domain = resolved_domain(stencil, shapes);
   const auto& rects = domain.rects();
   if (rects.size() <= 1) return true;

@@ -108,7 +108,8 @@ std::string options_salt(const CompileOptions& o) {
       .add(static_cast<std::int64_t>(o.dist_overlap))
       .add(static_cast<std::int64_t>(o.dist_prune));
   for (const auto v : o.dist_grid) h.add(v);
-  h.add(static_cast<std::int64_t>(o.dist_pipeline));
+  h.add(static_cast<std::int64_t>(o.dist_pipeline))
+      .add(static_cast<std::int64_t>(o.det_reduce));
   return hash_hex(h.digest());
 }
 

@@ -112,6 +112,13 @@ struct CompileOptions {
   /// as the next wave reads it.  Off = every grid, full halo depth,
   /// every wave (the legacy copy-everything baseline).
   bool dist_prune = true;
+  /// Deterministic reductions: accumulate every ReduceExpr with the
+  /// canonical pairwise tree the reference interpreter uses, in every
+  /// backend and schedule, so reduction scalars (and anything derived
+  /// from them, e.g. Krylov residual histories) are bit-identical across
+  /// backends.  Off = fastest native accumulation per backend (plain
+  /// left fold, `omp for reduction(...)` under ParallelFor).
+  bool det_reduce = false;
 };
 
 /// A compiled, executable stencil group (the "Python callable" of §IV).

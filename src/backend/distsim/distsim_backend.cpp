@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <array>
 #include <chrono>
+#include <cmath>
 #include <condition_variable>
 #include <cstring>
+#include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -76,6 +78,20 @@ void copy_box(double* dst, const std::vector<std::int64_t>& dstride,
   }
 }
 
+std::int64_t cells_of(const Index& shape) {
+  std::int64_t n = 1;
+  for (std::int64_t e : shape) n *= e;
+  return n;
+}
+
+double reduce_identity(ReduceOp op) {
+  return op == ReduceOp::Max ? -std::numeric_limits<double>::infinity() : 0.0;
+}
+
+double reduce_combine(ReduceOp op, double a, double b) {
+  return op == ReduceOp::Max ? std::fmax(a, b) : a + b;
+}
+
 /// Mailbox slot for one expected message: the sender copies the payload
 /// into `buf`, then publishes by setting `epoch` under the receiver's
 /// mailbox lock.  One slot has exactly one sender and one receiver, so
@@ -99,10 +115,19 @@ struct RegionKernel {
   bool boundary = false;  // span naming: kernels gated on halo messages
 };
 
+/// One reduction wave's rank-local share: the partial kernel over the
+/// owned block (null when the clipped domain is empty) and the combine
+/// metadata for the simulated allreduce.
+struct ReducePartial {
+  std::unique_ptr<CompiledKernel> kernel;
+  size_t grid = 0;  // index of the one-cell result grid
+  ReduceOp op = ReduceOp::Sum;
+};
+
 /// One node of a rank's dependency graph.  Edges (deps_init /
 /// dependents) are fixed at compile time from box intersections.
 struct Task {
-  enum class Kind { Send, Unpack, Compute };
+  enum class Kind { Send, Unpack, Compute, Reduce };
   Kind kind = Kind::Compute;
   size_t wave = 0;
   const MsgSpec* msg = nullptr;  // Send
@@ -134,6 +159,7 @@ struct RankState {
   Index local_shape;
   std::vector<std::int64_t> strides;
   std::vector<RegionKernel> kernels;
+  std::map<size_t, ReducePartial> reduce_partials;  // [reduction wave]
   std::vector<std::vector<RecvSlot>> recvs;  // [wave] -> my slots
   std::vector<Task> tasks;                   // execution-priority order
   std::vector<int> wave_task_count;
@@ -161,11 +187,39 @@ public:
     // --- scope checks (see header) -------------------------------------
     const auto grids = group.grids();
     grid_names_.assign(grids.begin(), grids.end());
-    global_shape_ = shapes.at(grid_names_.front());
-    for (const auto& g : grid_names_) {
-      SF_REQUIRE(shapes.at(g) == global_shape_,
-                 "distsim requires all grids to share one shape; '" + g +
+    // Reduction results are one-cell grids replicated on every rank (they
+    // move through the simulated allreduce, never as halo messages), so
+    // they are exempt from the one-shape rule.
+    std::set<std::string> reduce_outputs;
+    for (const auto& s : group.stencils()) {
+      if (s.is_reduction()) reduce_outputs.insert(s.output());
+    }
+    has_reduce_ = !reduce_outputs.empty();
+    replicated_.assign(grid_names_.size(), 0);
+    grid_shapes_.resize(grid_names_.size());
+    bool have_shape = false;
+    for (size_t i = 0; i < grid_names_.size(); ++i) {
+      const std::string& g = grid_names_[i];
+      grid_shapes_[i] = shapes.at(g);
+      if (reduce_outputs.count(g) > 0) {
+        replicated_[i] = 1;
+        continue;
+      }
+      if (!have_shape) {
+        global_shape_ = grid_shapes_[i];
+        have_shape = true;
+      }
+      SF_REQUIRE(grid_shapes_[i] == global_shape_,
+                 "distsim requires all field grids to share one shape; '" + g +
                      "' differs");
+    }
+    SF_REQUIRE(have_shape, "distsim requires at least one field grid");
+    if (has_reduce_ && pipeline_) {
+      SF_LOG_INFO(
+          "distsim: group contains reductions; forcing BSP wave execution "
+          "(dist_pipeline disabled) so the allreduce barriers stay globally "
+          "ordered");
+      pipeline_ = false;
     }
     const size_t dims = global_shape_.size();
     Index axis_halo(dims, 0);
@@ -184,7 +238,7 @@ public:
       }
     }
     for (size_t i = 0; i < group.size(); ++i) {
-      SF_REQUIRE(schedule.point_parallel[i],
+      SF_REQUIRE(schedule.point_parallel[i] || group[i].is_reduction(),
                  "distsim requires point-parallel stencils; '" +
                      group[i].name() + "' is order-dependent");
     }
@@ -200,8 +254,16 @@ public:
     }
 
     // --- communication plan ----------------------------------------------
-    const CommFootprint footprint =
+    CommFootprint footprint =
         comm_footprint(group, schedule, options.dist_prune);
+    // Replicated reduction results never travel as halo messages, even in
+    // the unpruned copy-everything baseline (their one-cell shape has no
+    // block geometry to exchange).
+    for (auto& wave : footprint.waves) {
+      std::erase_if(wave, [&](const WaveGridDepth& wg) {
+        return reduce_outputs.count(wg.grid) > 0;
+      });
+    }
     plan_ = build_comm_plan(footprint, grid_names_, decomp_, halo_vec_);
 
     // Per-stencil read extents and output grids (grid-index keyed) for
@@ -276,7 +338,9 @@ public:
   void run_impl(GridSet& grids, const ParamMap& params) override {
     // Validate the *global* environment against the compiled shapes.
     ShapeMap shapes;
-    for (const auto& g : grid_names_) shapes[g] = global_shape_;
+    for (size_t gi = 0; gi < grid_names_.size(); ++gi) {
+      shapes[grid_names_[gi]] = grid_shapes_[gi];
+    }
     const std::vector<double*> global =
         Backend::bind_grids(grids, shapes, grid_names_);
 
@@ -323,6 +387,9 @@ public:
     std::string out;
     for (const RegionKernel& k : ranks_state_.front()->kernels) {
       out += k.kernel->source();
+    }
+    for (const auto& [w, rp] : ranks_state_.front()->reduce_partials) {
+      if (rp.kernel) out += rp.kernel->source();
     }
     return out;
   }
@@ -453,9 +520,10 @@ private:
     }
     rs.strides = shape_strides(rs.local_shape);
     ShapeMap local_shapes;
-    for (const auto& g : grid_names_) {
-      rs.grids.add_zeros(g, rs.local_shape);
-      local_shapes[g] = rs.local_shape;
+    for (size_t gi = 0; gi < grid_names_.size(); ++gi) {
+      const Index& shape = replicated_[gi] ? grid_shapes_[gi] : rs.local_shape;
+      rs.grids.add_zeros(grid_names_[gi], shape);
+      local_shapes[grid_names_[gi]] = shape;
     }
     rs.recvs.resize(schedule.waves.size());
 
@@ -552,6 +620,32 @@ private:
 
     kernel_regions_[static_cast<size_t>(r)] = {};
     for (size_t w = 0; w < schedule.waves.size(); ++w) {
+      // A reduction is always a singleton wave (the schedulers end the
+      // point-parallel region at one).  Its rank share is one whole-block
+      // partial kernel, combined later by the allreduce task — never
+      // carved: each region kernel would re-initialize the accumulator.
+      bool reduce_wave = false;
+      for (size_t s : schedule.waves[w].stencils) {
+        reduce_wave = reduce_wave || group[s].is_reduction();
+      }
+      if (reduce_wave) {
+        SF_ASSERT(schedule.waves[w].stencils.size() == 1,
+                  "reduction waves are singletons by schedule construction");
+        const Stencil& s = group[schedule.waves[w].stencils[0]];
+        ReducePartial rp;
+        for (size_t gi = 0; gi < grid_names_.size(); ++gi) {
+          if (grid_names_[gi] == s.output()) rp.grid = gi;
+        }
+        rp.op = s.reduction().op();
+        if (auto clipped =
+                clip_stencil_box(s, global_shape_, block, halo_vec_, block)) {
+          StencilGroup sub;
+          sub.append(std::move(*clipped));
+          rp.kernel = cseq.compile(sub, local_shapes, sub_options);
+        }
+        rs.reduce_partials.emplace(w, std::move(rp));
+        continue;
+      }
       const WaveExchange& ex = plan_.waves[w];
       const Box whole = block;
       if (!ex.any() || !overlap_ || ranks_ < 2) {
@@ -699,6 +793,30 @@ private:
         tasks.push_back(std::move(t));
         geoms.push_back(std::move(g));
       }
+      // The allreduce task of a reduction wave: reads the owned block
+      // (plus the body's halo reach), writes the replicated scalar.
+      if (const auto it = rs.reduce_partials.find(w);
+          it != rs.reduce_partials.end()) {
+        Task t;
+        t.kind = Task::Kind::Reduce;
+        t.wave = w;
+        TaskGeom g;
+        Box sbox;
+        sbox.lo.assign(grid_shapes_[it->second.grid].size(), 0);
+        sbox.hi = grid_shapes_[it->second.grid];
+        g.writes.emplace_back(it->second.grid, std::move(sbox));
+        const Box lb = local_box(block, block);
+        for (const auto& [grid, ext] : wave_reads[w]) {
+          Box rb = lb;
+          for (size_t a = 0; a < dims; ++a) {
+            rb.lo[a] += ext[a][0];
+            rb.hi[a] += ext[a][1];
+          }
+          g.reads.emplace_back(grid, clamp_local(rb));
+        }
+        tasks.push_back(std::move(t));
+        geoms.push_back(std::move(g));
+      }
     }
 
     // Edges.  Cross-wave: true deps (write -> later read), anti deps
@@ -713,8 +831,10 @@ private:
           edge = geom_overlap(geoms[i].writes, geoms[j].reads) ||
                  geom_overlap(geoms[i].reads, geoms[j].writes) ||
                  geom_overlap(geoms[i].writes, geoms[j].writes);
-        } else if (tasks[j].kind == Task::Kind::Compute &&
-                   tasks[i].kind != Task::Kind::Compute) {
+        } else if ((tasks[j].kind == Task::Kind::Compute ||
+                    tasks[j].kind == Task::Kind::Reduce) &&
+                   (tasks[i].kind == Task::Kind::Send ||
+                    tasks[i].kind == Task::Kind::Unpack)) {
           edge = geom_overlap(geoms[i].writes, geoms[j].reads) ||
                  geom_overlap(geoms[i].reads, geoms[j].writes);
         }
@@ -800,6 +920,8 @@ private:
           do_unpack(rs, t);
         } else if (t.kind == Task::Kind::Send) {
           do_send(r, rs, t, epoch, traced, tag);
+        } else if (t.kind == Task::Kind::Reduce) {
+          do_reduce(rs, t, params, traced, tag);
         } else {
           do_compute(rs, t, params, traced, tag);
         }
@@ -924,6 +1046,50 @@ private:
     rs.stats.compute_seconds += seconds_since(t0);
   }
 
+  /// The simulated allreduce of one reduction wave.  Every rank computes
+  /// a partial over its owned block (identity when the clipped domain is
+  /// empty), the ranks barrier, each combines all partials in rank order
+  /// 0..R-1 — so every rank derives the same scalar, deterministically —
+  /// and a second barrier keeps writers from overtaking readers.  Modeled
+  /// traffic: each rank ships its 8-byte partial to the R-1 others.
+  void do_reduce(RankState& rs, const Task& t, const ParamMap& params,
+                 bool traced, const std::string& tag) {
+    ReducePartial& rp = rs.reduce_partials.at(t.wave);
+    Grid& mine = rs.grids.at(grid_names_[rp.grid]);
+    {
+      trace::Span span(traced ? tag + ":w" + std::to_string(t.wave) +
+                                    ":partial"
+                              : std::string(),
+                       "dist-compute");
+      const auto t0 = std::chrono::steady_clock::now();
+      if (rp.kernel) {
+        rp.kernel->run(rs.grids, params);
+      } else {
+        mine.data()[0] = reduce_identity(rp.op);  // no owned domain points
+      }
+      rs.stats.compute_seconds += seconds_since(t0);
+    }
+    trace::Span span(traced ? tag + ":w" + std::to_string(t.wave) +
+                                  ":allreduce"
+                            : std::string(),
+                     "dist-comm");
+    const auto t0 = std::chrono::steady_clock::now();
+    barrier_wait();
+    double acc = reduce_identity(rp.op);
+    for (int q = 0; q < ranks_; ++q) {
+      Grid& part =
+          ranks_state_[static_cast<size_t>(q)]->grids.at(grid_names_[rp.grid]);
+      acc = reduce_combine(rp.op, acc, part.data()[0]);
+    }
+    barrier_wait();  // every rank reads every partial before any overwrite
+    mine.data()[0] = acc;
+    const double bytes = 8.0 * static_cast<double>(ranks_ - 1);
+    rs.stats.bytes_sent += bytes;
+    rs.stats.messages_sent += ranks_ - 1;
+    rs.stats.wait_seconds += seconds_since(t0);
+    span.counter("bytes", bytes);
+  }
+
   void scatter_rank(int r, const std::vector<double*>& global) {
     RankState& rs = *ranks_state_[static_cast<size_t>(r)];
     const Box block = decomp_.block(r);
@@ -942,6 +1108,13 @@ private:
     for (size_t a = 0; a < dims; ++a) extent[a] = src.hi[a] - src.lo[a];
     for (size_t gi = 0; gi < grid_names_.size(); ++gi) {
       Grid& g = rs.grids.at(grid_names_[gi]);
+      if (replicated_[gi]) {
+        // Replicated scalars: every rank starts from the global value.
+        std::memcpy(g.data(), global[gi],
+                    static_cast<size_t>(cells_of(grid_shapes_[gi])) *
+                        sizeof(double));
+        continue;
+      }
       copy_box(g.data() + offset_of(dst.lo, rs.strides), rs.strides,
                global[gi] + offset_of(src.lo, gstrides), gstrides, extent, 0);
     }
@@ -957,6 +1130,15 @@ private:
     for (size_t a = 0; a < dims; ++a) extent[a] = block.hi[a] - block.lo[a];
     for (size_t gi = 0; gi < grid_names_.size(); ++gi) {
       Grid& g = rs.grids.at(grid_names_[gi]);
+      if (replicated_[gi]) {
+        // Every rank holds the identical combined scalar; rank 0 writes.
+        if (r == 0) {
+          std::memcpy(global[gi], g.data(),
+                      static_cast<size_t>(cells_of(grid_shapes_[gi])) *
+                          sizeof(double));
+        }
+        continue;
+      }
       copy_box(global[gi] + offset_of(block.lo, gstrides), gstrides,
                g.data() + offset_of(src.lo, rs.strides), rs.strides, extent,
                0);
@@ -977,6 +1159,10 @@ private:
 
   std::vector<std::string> grid_names_;
   Index global_shape_;
+  std::vector<Index> grid_shapes_;  // per grid index; == global_shape_
+                                    // except for replicated scalars
+  std::vector<char> replicated_;    // one-cell reduction results
+  bool has_reduce_ = false;
   std::int64_t halo_ = 0;
   Index halo_vec_;
   int ranks_ = 0;

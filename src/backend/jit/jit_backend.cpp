@@ -91,6 +91,7 @@ EmitOptions emit_options_for(const CompileOptions& options,
   }
   eo.simd = options.simd;
   eo.simd_rows = options.simd_rows;
+  eo.det_reduce = options.det_reduce;
   return eo;
 }
 

@@ -153,6 +153,7 @@ public:
     KernelPlan plan = build_plan(group, shapes, plain);
 
     OclEmitOptions ocl;
+    ocl.det_reduce = options.det_reduce;
     if (options.workgroup.size() >= 1 && options.workgroup[0] > 0) {
       ocl.wg0 = options.workgroup[0];
     }

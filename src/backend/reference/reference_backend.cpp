@@ -1,5 +1,8 @@
 #include "backend/reference/reference_backend.hpp"
 
+#include <cmath>
+#include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "support/error.hpp"
@@ -69,10 +72,21 @@ void flatten(const ExprPtr& e, const std::vector<std::string>& grid_order,
 }
 
 struct CompiledStencil {
-  std::vector<Op> ops;
+  std::vector<Op> ops;  // the ReduceExpr *body* for reductions
   int out_grid = -1;
   DomainUnion domain;
+  bool is_reduce = false;
+  ReduceOp reduce_op = ReduceOp::Sum;
+  int anchor_grid = -1;  // reductions resolve their domain against this grid
 };
+
+double reduce_identity(ReduceOp op) {
+  return op == ReduceOp::Max ? -std::numeric_limits<double>::infinity() : 0.0;
+}
+
+double reduce_combine(ReduceOp op, double a, double b) {
+  return op == ReduceOp::Max ? std::fmax(a, b) : a + b;
+}
 
 class ReferenceKernel final : public CompiledKernel {
 public:
@@ -83,7 +97,20 @@ public:
     for (const auto& p : group.params()) param_order_.push_back(p);
     for (const auto& s : group.stencils()) {
       CompiledStencil cs;
-      flatten(s.expr(), grid_order_, param_order_, cs.ops);
+      cs.is_reduce = s.is_reduction();
+      if (cs.is_reduce) {
+        const ReduceExpr& red = s.reduction();
+        cs.reduce_op = red.op();
+        flatten(red.body(), grid_order_, param_order_, cs.ops);
+        for (size_t i = 0; i < grid_order_.size(); ++i) {
+          if (grid_order_[i] == red.anchor()) {
+            cs.anchor_grid = static_cast<int>(i);
+          }
+        }
+        SF_ASSERT(cs.anchor_grid >= 0, "anchor grid missing from order");
+      } else {
+        flatten(s.expr(), grid_order_, param_order_, cs.ops);
+      }
       cs.domain = s.domain();
       for (size_t i = 0; i < grid_order_.size(); ++i) {
         if (grid_order_[i] == s.output()) cs.out_grid = static_cast<int>(i);
@@ -104,39 +131,81 @@ public:
     for (const auto& g : grid_order_) layouts.emplace_back(shapes_.at(g));
 
     std::vector<double> stack;
+    Index mapped;
+    const auto eval_point = [&](const CompiledStencil& cs,
+                                const Index& point) -> double {
+      size_t top = 0;
+      for (const auto& op : cs.ops) {
+        switch (op.code) {
+          case OpCode::PushConst:
+            stack[top++] = op.value;
+            break;
+          case OpCode::PushParam:
+            stack[top++] = pvals[static_cast<size_t>(op.param)];
+            break;
+          case OpCode::PushRead: {
+            for (size_t d = 0; d < point.size(); ++d) {
+              mapped[d] = op.map.dim(static_cast<int>(d)).apply(point[d]);
+            }
+            const Layout& layout = layouts[static_cast<size_t>(op.grid)];
+            stack[top++] =
+                data[static_cast<size_t>(op.grid)][layout.offset(mapped)];
+            break;
+          }
+          case OpCode::Add: --top; stack[top - 1] += stack[top]; break;
+          case OpCode::Sub: --top; stack[top - 1] -= stack[top]; break;
+          case OpCode::Mul: --top; stack[top - 1] *= stack[top]; break;
+          case OpCode::Div: --top; stack[top - 1] /= stack[top]; break;
+          case OpCode::Neg: stack[top - 1] = -stack[top - 1]; break;
+        }
+      }
+      SF_ASSERT(top == 1, "stack machine imbalance");
+      return stack[0];
+    };
+
     for (const auto& cs : stencils_) {
       const Layout& out_layout = layouts[static_cast<size_t>(cs.out_grid)];
-      const ResolvedUnion domain = cs.domain.resolve(out_layout.shape());
       stack.resize(cs.ops.size());
-      Index mapped(out_layout.shape().size());
-      domain.for_each([&](const Index& point) {
-        size_t top = 0;
-        for (const auto& op : cs.ops) {
-          switch (op.code) {
-            case OpCode::PushConst:
-              stack[top++] = op.value;
-              break;
-            case OpCode::PushParam:
-              stack[top++] = pvals[static_cast<size_t>(op.param)];
-              break;
-            case OpCode::PushRead: {
-              for (size_t d = 0; d < point.size(); ++d) {
-                mapped[d] = op.map.dim(static_cast<int>(d)).apply(point[d]);
-              }
-              const Layout& layout = layouts[static_cast<size_t>(op.grid)];
-              stack[top++] =
-                  data[static_cast<size_t>(op.grid)][layout.offset(mapped)];
-              break;
+      if (cs.is_reduce) {
+        // The oracle accumulation: the canonical pairwise tree, one tree
+        // per rect in lexicographic point order, rect results combined in
+        // rect order.  The JIT backends emit textually the same algorithm
+        // under CompileOptions::det_reduce, so scalars are bit-identical.
+        const Layout& anchor_layout =
+            layouts[static_cast<size_t>(cs.anchor_grid)];
+        const ResolvedUnion domain = cs.domain.resolve(anchor_layout.shape());
+        mapped.assign(anchor_layout.shape().size(), 0);
+        double* out0 = data[static_cast<size_t>(cs.out_grid)];
+        bool first = true;
+        for (const auto& rect : domain.rects()) {
+          if (rect.empty()) continue;
+          double pw[64];
+          int pn = 0;
+          std::uint64_t cnt = 0;
+          rect.for_each([&](const Index& point) {
+            pw[pn++] = eval_point(cs, point);
+            ++cnt;
+            for (std::uint64_t t = cnt; (t & 1u) == 0u; t >>= 1) {
+              --pn;
+              pw[pn - 1] = reduce_combine(cs.reduce_op, pw[pn - 1], pw[pn]);
             }
-            case OpCode::Add: --top; stack[top - 1] += stack[top]; break;
-            case OpCode::Sub: --top; stack[top - 1] -= stack[top]; break;
-            case OpCode::Mul: --top; stack[top - 1] *= stack[top]; break;
-            case OpCode::Div: --top; stack[top - 1] /= stack[top]; break;
-            case OpCode::Neg: stack[top - 1] = -stack[top - 1]; break;
+          });
+          double acc = pn > 0 ? pw[pn - 1] : reduce_identity(cs.reduce_op);
+          for (int i = pn - 2; i >= 0; --i) {
+            acc = reduce_combine(cs.reduce_op, pw[i], acc);
           }
+          out0[0] = first ? acc : reduce_combine(cs.reduce_op, out0[0], acc);
+          first = false;
         }
-        SF_ASSERT(top == 1, "stack machine imbalance");
-        data[static_cast<size_t>(cs.out_grid)][out_layout.offset(point)] = stack[0];
+        // A fully empty domain lowers to no nests at all in the JIT
+        // backends; leave the result untouched to match.
+        continue;
+      }
+      const ResolvedUnion domain = cs.domain.resolve(out_layout.shape());
+      mapped.assign(out_layout.shape().size(), 0);
+      domain.for_each([&](const Index& point) {
+        data[static_cast<size_t>(cs.out_grid)][out_layout.offset(point)] =
+            eval_point(cs, point);
       });
     }
   }

@@ -41,6 +41,11 @@ struct EmitOptions {
   /// those with -fopenmp-simd so the pragma vectorizes without pulling in
   /// the OpenMP runtime.
   bool simd_rows = false;
+  /// Deterministic reductions: accumulate reduction nests with the
+  /// canonical pairwise tree (identical to the reference interpreter) in
+  /// every mode, instead of a plain left fold / `omp for reduction(...)`.
+  /// Bit-stable across modes and thread counts at the cost of parallelism.
+  bool det_reduce = false;
   /// Emit structural comments (wave/chain/nest labels).
   bool comments = true;
   /// Address-arithmetic plan (codegen/transform/addr.hpp): hoisted row
@@ -95,6 +100,8 @@ struct OclEmitOptions {
   std::int64_t wg0 = 16;  // tile extent in dim rank-2 (the "tall" edge)
   std::int64_t wg1 = 64;  // tile extent in the contiguous dim rank-1
   bool comments = true;
+  /// Pairwise-tree reduction accumulation (see EmitOptions::det_reduce).
+  bool det_reduce = false;
   /// Address-arithmetic plan (see EmitOptions::addr).
   const AddrPlan* addr = nullptr;
 };

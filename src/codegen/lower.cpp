@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "analysis/access.hpp"
 #include "codegen/simplify.hpp"
 #include "support/error.hpp"
 #include "support/hash.hpp"
@@ -29,8 +30,9 @@ KernelPlan lower(const StencilGroup& group, const ShapeMap& shapes,
   std::vector<std::vector<size_t>> nests_of(group.size());
   for (size_t s = 0; s < group.size(); ++s) {
     const Stencil& stencil = group[s];
-    const ResolvedUnion domain =
-        stencil.domain().resolve(plan.shapes.at(stencil.output()));
+    // Reductions anchor their domain on the named full-size grid, not the
+    // one-cell result grid.
+    const ResolvedUnion domain = resolved_domain(stencil, plan.shapes);
     for (size_t r = 0; r < domain.rects().size(); ++r) {
       const ResolvedRect& rect = domain.rects()[r];
       if (rect.empty()) continue;
@@ -49,8 +51,17 @@ KernelPlan lower(const StencilGroup& group, const ShapeMap& shapes,
         nest.dims.push_back(dim);
       }
       nest.out_grid = stencil.output();
-      nest.rhs = simplify(stencil.expr());
-      nest.point_parallel = schedule.point_parallel[s];
+      if (stencil.is_reduction()) {
+        const ReduceExpr& red = stencil.reduction();
+        nest.is_reduce = true;
+        nest.reduce_op = red.op();
+        nest.reduce_init = nests_of[s].empty();  // first non-empty rect
+        nest.rhs = simplify(red.body());
+        nest.point_parallel = false;
+      } else {
+        nest.rhs = simplify(stencil.expr());
+        nest.point_parallel = schedule.point_parallel[s];
+      }
       nest.point_count = rect.count();
       nests_of[s].push_back(plan.nests.size());
       plan.nests.push_back(std::move(nest));

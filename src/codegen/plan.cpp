@@ -39,7 +39,12 @@ std::string KernelPlan::describe() const {
                          : chain.fusion == ChainFusion::Full ? " (stmt-fused)"
                                                              : "";
       os << "    chain" << kind << ":";
-      for (size_t n : chain.nests) os << " " << nests[n].label;
+      for (size_t n : chain.nests) {
+        os << " " << nests[n].label;
+        if (nests[n].is_reduce) {
+          os << "[reduce " << reduce_op_name(nests[n].reduce_op) << "]";
+        }
+      }
       os << "\n";
     }
   }

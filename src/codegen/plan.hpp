@@ -52,6 +52,14 @@ struct LoopNest {
   /// Iteration-point count, set at lowering and preserved by transforms.
   std::int64_t point_count = 0;
 
+  /// Reduction nests accumulate rhs over the whole nest into cell 0 of
+  /// out_grid (a one-cell grid) instead of writing out[i] per point; rhs is
+  /// the ReduceExpr *body*.  reduce_init marks the first non-empty rect of
+  /// the union: it stores the rect's result, later rects combine into it.
+  bool is_reduce = false;
+  ReduceOp reduce_op = ReduceOp::Sum;
+  bool reduce_init = false;
+
   /// Rank of the *iteration space as seen by index maps* (number of
   /// non-intra-tile dims).
   int logical_rank() const;

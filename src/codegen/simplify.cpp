@@ -77,6 +77,21 @@ ExprPtr simplify(const ExprPtr& expr) {
       }
       return std::make_shared<UnaryExpr>(UnaryOp::Neg, inner);
     }
+    case ExprKind::Reduce: {
+      const auto& red = static_cast<const ReduceExpr&>(*expr);
+      ExprPtr body;
+      if (red.op() == ReduceOp::Dot && red.body()->kind() == ExprKind::Binary) {
+        // Preserve the top-level product that makes a Dot body valid
+        // (x * 1 -> x would demote it); simplify only the factors.
+        const auto& mul = static_cast<const BinaryExpr&>(*red.body());
+        body = std::make_shared<BinaryExpr>(mul.op(), simplify(mul.lhs()),
+                                            simplify(mul.rhs()));
+      } else {
+        body = simplify(red.body());
+      }
+      return std::make_shared<ReduceExpr>(red.op(), std::move(body),
+                                          red.anchor());
+    }
   }
   throw InternalError("unhandled expression kind in simplify");
 }

@@ -91,6 +91,12 @@ AddrNestPlan plan_nest(const KernelPlan& plan, const LoopNest& nest,
     np.bail_reason = "nest has no loops";
     return np;
   }
+  if (nest.is_reduce) {
+    // The accumulating body writes one scalar cell, not out[i]; the write
+    // access an addr plan would hoist does not exist.
+    np.bail_reason = "reduce nest accumulates into a scalar";
+    return np;
+  }
   const LoopDim& inner = nest.dims.back();
   const int rank = static_cast<int>(plan.shapes.at(nest.out_grid).size());
   if (inner.grid_dim != rank - 1) {

@@ -21,6 +21,16 @@ void verify_nest(const KernelPlan& plan, const LoopNest& nest) {
   const int out_rank =
       static_cast<int>(plan.shapes.at(nest.out_grid).size());
 
+  if (nest.is_reduce) {
+    // A reduce nest iterates the anchor grid's space and writes only cell
+    // 0 of its one-cell result grid, so the output-shape coverage and
+    // write-bounds checks below don't apply.
+    std::int64_t cells = 1;
+    for (auto e : plan.shapes.at(nest.out_grid)) cells *= e;
+    check(cells == 1, nest.label + ": reduction result grid is not one cell");
+    check(!nest.point_parallel, nest.label + ": reduce nest marked parallel");
+  }
+
   std::set<int> coord_dims;
   for (size_t level = 0; level < nest.dims.size(); ++level) {
     const LoopDim& d = nest.dims[level];
@@ -33,9 +43,10 @@ void verify_nest(const KernelPlan& plan, const LoopNest& nest) {
       check(d.span >= 1, nest.label + ": intra-tile span < 1");
     }
     if (d.grid_dim >= 0) {
-      check(d.grid_dim < out_rank, nest.label + ": grid_dim out of range");
       check(coord_dims.insert(d.grid_dim).second,
             nest.label + ": duplicate coordinate loop for a grid dim");
+      if (nest.is_reduce) continue;
+      check(d.grid_dim < out_rank, nest.label + ": grid_dim out of range");
       // Every planned write lands inside the output grid: the write uses
       // the identity map, so the loop bounds ARE the written indices.
       // (Intra-tile dims keep the original lo/hi — the stored hi caps the
@@ -52,9 +63,12 @@ void verify_nest(const KernelPlan& plan, const LoopNest& nest) {
       }
     }
   }
-  for (int gd = 0; gd < out_rank; ++gd) {
-    check(coord_dims.count(gd) == 1,
-          nest.label + ": no coordinate loop for grid dim " + std::to_string(gd));
+  if (!nest.is_reduce) {
+    for (int gd = 0; gd < out_rank; ++gd) {
+      check(coord_dims.count(gd) == 1, nest.label +
+                                           ": no coordinate loop for grid dim " +
+                                           std::to_string(gd));
+    }
   }
 
   // Every read's grid and every param must be declared in the plan orders.

@@ -120,6 +120,41 @@ std::string UnaryExpr::to_string() const {
   return "(-" + operand_->to_string() + ")";
 }
 
+// --- ReduceExpr -------------------------------------------------------------
+
+ReduceExpr::ReduceExpr(ReduceOp op, ExprPtr body, std::string anchor)
+    : Expr(ExprKind::Reduce), op_(op), body_(std::move(body)),
+      anchor_(std::move(anchor)) {
+  SF_REQUIRE(body_ != nullptr, "ReduceExpr body must be non-null");
+  SF_REQUIRE(is_identifier(anchor_),
+             "reduction anchor grid '" + anchor_ + "' is not a valid identifier");
+}
+
+bool ReduceExpr::equals(const Expr& other) const {
+  if (other.kind() != ExprKind::Reduce) return false;
+  const auto& o = static_cast<const ReduceExpr&>(other);
+  return op_ == o.op_ && anchor_ == o.anchor_ && body_->equals(*o.body_);
+}
+
+void ReduceExpr::hash_into(HashStream& hs) const {
+  hs.add(std::int64_t{5}).add(static_cast<std::int64_t>(op_)).add(anchor_);
+  body_->hash_into(hs);
+}
+
+const char* reduce_op_name(ReduceOp op) {
+  switch (op) {
+    case ReduceOp::Sum: return "sum";
+    case ReduceOp::Max: return "max";
+    case ReduceOp::Dot: return "dot";
+  }
+  return "?";
+}
+
+std::string ReduceExpr::to_string() const {
+  return std::string(reduce_op_name(op_)) + "@" + anchor_ + "(" +
+         body_->to_string() + ")";
+}
+
 // --- Builders ---------------------------------------------------------------
 
 ExprPtr constant(double value) { return std::make_shared<ConstantExpr>(value); }
@@ -132,6 +167,18 @@ ExprPtr read(const std::string& grid, const Index& offsets) {
 
 ExprPtr read_mapped(const std::string& grid, IndexMap map) {
   return std::make_shared<GridReadExpr>(grid, std::move(map));
+}
+
+ExprPtr reduce_sum(ExprPtr body, const std::string& anchor) {
+  return std::make_shared<ReduceExpr>(ReduceOp::Sum, std::move(body), anchor);
+}
+
+ExprPtr reduce_max(ExprPtr body, const std::string& anchor) {
+  return std::make_shared<ReduceExpr>(ReduceOp::Max, std::move(body), anchor);
+}
+
+ExprPtr reduce_dot(ExprPtr body, const std::string& anchor) {
+  return std::make_shared<ReduceExpr>(ReduceOp::Dot, std::move(body), anchor);
 }
 
 namespace {
@@ -167,6 +214,10 @@ void visit(const ExprPtr& expr, const std::function<void(const Expr&)>& fn) {
     }
     case ExprKind::Unary:
       visit(static_cast<const UnaryExpr&>(*expr).operand(), fn);
+      break;
+    case ExprKind::Reduce:
+      // Footprint/dependence analyses must see the body's reads.
+      visit(static_cast<const ReduceExpr&>(*expr).body(), fn);
       break;
     default:
       break;

@@ -22,10 +22,15 @@
 
 namespace snowflake {
 
-enum class ExprKind { Constant, Param, GridRead, Binary, Unary };
+enum class ExprKind { Constant, Param, GridRead, Binary, Unary, Reduce };
 
 enum class BinaryOp { Add, Sub, Mul, Div };
 enum class UnaryOp { Neg };
+
+/// Associative combiner of a ReduceExpr.  Dot is a sum whose body must be a
+/// top-level product — it names the BLAS-1 intent so backends may emit a
+/// fused multiply-accumulate loop, but combines exactly like Sum.
+enum class ReduceOp { Sum, Max, Dot };
 
 class Expr;
 using ExprPtr = std::shared_ptr<const Expr>;
@@ -128,6 +133,30 @@ private:
   ExprPtr operand_;
 };
 
+/// A whole-domain reduction: combine body(i) over every point i of the
+/// stencil's domain with an associative op, writing the scalar result into
+/// the stencil's one-cell output grid.  Only valid as the ROOT of a stencil
+/// expression (validate.cpp enforces this); the stencil's domain is resolved
+/// against the shape of `anchor` — the full-size grid the body iterates
+/// over — since the output grid is a single cell and cannot anchor bounds.
+class ReduceExpr final : public Expr {
+public:
+  ReduceExpr(ReduceOp op, ExprPtr body, std::string anchor);
+  ReduceOp op() const { return op_; }
+  const ExprPtr& body() const { return body_; }
+  /// Grid whose shape anchors the iteration domain.
+  const std::string& anchor() const { return anchor_; }
+
+  bool equals(const Expr& other) const override;
+  void hash_into(HashStream& hs) const override;
+  std::string to_string() const override;
+
+private:
+  ReduceOp op_;
+  ExprPtr body_;
+  std::string anchor_;
+};
+
 // --- Builders -------------------------------------------------------------
 
 ExprPtr constant(double value);
@@ -136,6 +165,15 @@ ExprPtr param(const std::string& name);
 ExprPtr read(const std::string& grid, const Index& offsets);
 /// Read `grid` through an arbitrary rational-affine index map.
 ExprPtr read_mapped(const std::string& grid, IndexMap map);
+/// Sum of `body` over the stencil domain, anchored on `anchor`'s shape.
+ExprPtr reduce_sum(ExprPtr body, const std::string& anchor);
+/// Maximum of `body` over the stencil domain (combined with fmax).
+ExprPtr reduce_max(ExprPtr body, const std::string& anchor);
+/// Dot-product reduction: body must be a top-level Mul (a(i) * b(i)).
+ExprPtr reduce_dot(ExprPtr body, const std::string& anchor);
+
+/// Name of a reduce op ("sum" / "max" / "dot").
+const char* reduce_op_name(ReduceOp op);
 
 ExprPtr operator+(const ExprPtr& a, const ExprPtr& b);
 ExprPtr operator-(const ExprPtr& a, const ExprPtr& b);

@@ -26,6 +26,11 @@ bool Stencil::is_in_place() const {
   return grids_read(expr_).count(output_) != 0;
 }
 
+const ReduceExpr& Stencil::reduction() const {
+  SF_REQUIRE(is_reduction(), "stencil '" + name_ + "' is not a reduction");
+  return static_cast<const ReduceExpr&>(*expr_);
+}
+
 std::set<std::string> Stencil::grids() const {
   std::set<std::string> out = inputs();
   out.insert(output_);

@@ -36,6 +36,13 @@ public:
   /// True if the output grid is also read (e.g. GSRB).
   bool is_in_place() const;
 
+  /// True if the expression root is a ReduceExpr (whole-domain reduction
+  /// into a one-cell output grid).
+  bool is_reduction() const { return expr_->kind() == ExprKind::Reduce; }
+
+  /// The root ReduceExpr; throws unless is_reduction().
+  const ReduceExpr& reduction() const;
+
   /// Sorted distinct grid names read by the expression.
   std::set<std::string> inputs() const { return grids_read(expr_); }
 

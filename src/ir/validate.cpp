@@ -15,6 +15,36 @@ ShapeMap shapes_of(const GridSet& grids) {
   return shapes;
 }
 
+namespace {
+
+/// Count ReduceExpr nodes anywhere in the tree.
+int count_reduces(const ExprPtr& expr) {
+  int n = 0;
+  visit(expr, [&](const Expr& node) { n += node.kind() == ExprKind::Reduce; });
+  return n;
+}
+
+void validate_reduction_shape(const Stencil& stencil) {
+  const auto& red = stencil.reduction();
+  SF_REQUIRE(count_reduces(red.body()) == 0,
+             "stencil '" + stencil.name() +
+                 "': reductions cannot nest — the body of a ReduceExpr must "
+                 "be reduction-free");
+  SF_REQUIRE(grids_read(red.body()).count(stencil.output()) == 0,
+             "stencil '" + stencil.name() + "': reduction body reads the "
+                 "result grid '" + stencil.output() + "'");
+  if (red.op() == ReduceOp::Dot) {
+    const bool mul_root =
+        red.body()->kind() == ExprKind::Binary &&
+        static_cast<const BinaryExpr&>(*red.body()).op() == BinaryOp::Mul;
+    SF_REQUIRE(mul_root, "stencil '" + stencil.name() +
+                             "': dot reduction body must be a top-level "
+                             "product a(i) * b(i)");
+  }
+}
+
+}  // namespace
+
 void validate_stencil(const Stencil& stencil) {
   const int domain_rank = stencil.domain().rank();
   const int read_rank = expr_rank(stencil.expr());
@@ -23,6 +53,14 @@ void validate_stencil(const Stencil& stencil) {
                "stencil '" + stencil.name() + "': expression rank " +
                    std::to_string(read_rank) + " != domain rank " +
                    std::to_string(domain_rank));
+  }
+  if (stencil.is_reduction()) {
+    validate_reduction_shape(stencil);
+  } else {
+    SF_REQUIRE(count_reduces(stencil.expr()) == 0,
+               "stencil '" + stencil.name() +
+                   "': a ReduceExpr is only valid as the root of a stencil "
+                   "expression");
   }
 }
 
@@ -47,7 +85,26 @@ void validate_resolved(const Stencil& stencil, const ShapeMap& shapes) {
              "stencil '" + stencil.name() + "': output grid rank " +
                  std::to_string(out_shape.size()) + " != domain rank " +
                  std::to_string(stencil.rank()));
-  const ResolvedUnion domain = stencil.domain().resolve(out_shape);
+  Index domain_anchor_shape = out_shape;
+  if (stencil.is_reduction()) {
+    // The scalar result grid is a single cell of matching rank; the
+    // iteration domain is anchored on the named full-size grid.
+    for (size_t d = 0; d < out_shape.size(); ++d) {
+      SF_REQUIRE(out_shape[d] == 1,
+                 "stencil '" + stencil.name() + "': reduction result grid '" +
+                     stencil.output() + "' must be one cell (extent " +
+                     std::to_string(out_shape[d]) + " in dim " +
+                     std::to_string(d) + ")");
+    }
+    const std::string& anchor = stencil.reduction().anchor();
+    const Index& anchor_shape = shape_for(shapes, anchor, stencil.name());
+    SF_REQUIRE(static_cast<int>(anchor_shape.size()) == stencil.rank(),
+               "stencil '" + stencil.name() + "': anchor grid '" + anchor +
+                   "' rank " + std::to_string(anchor_shape.size()) +
+                   " != domain rank " + std::to_string(stencil.rank()));
+    domain_anchor_shape = anchor_shape;
+  }
+  const ResolvedUnion domain = stencil.domain().resolve(domain_anchor_shape);
 
   for (const auto* r : collect_reads(stencil.expr())) {
     const Index& in_shape = shape_for(shapes, r->grid(), stencil.name());
@@ -90,6 +147,21 @@ void validate_group(const StencilGroup& group, const ShapeMap& shapes) {
   span.counter("stencils", static_cast<double>(group.size()));
   SF_REQUIRE(!group.empty(), "cannot validate an empty StencilGroup");
   for (const auto& s : group.stencils()) validate_resolved(s, shapes);
+  // A reduction's scalar result is only meaningful once its wave completes;
+  // consuming (or clobbering) it later in the same group would need a
+  // scalar-broadcast read the IR cannot express, so the group must be split
+  // at the reduction boundary and the result fed to the next group.
+  for (size_t i = 0; i < group.size(); ++i) {
+    if (!group[i].is_reduction()) continue;
+    const std::string& result = group[i].output();
+    for (size_t j = i + 1; j < group.size(); ++j) {
+      SF_REQUIRE(group[j].inputs().count(result) == 0 &&
+                     group[j].output() != result,
+                 "stencil '" + group[j].name() + "' uses reduction result '" +
+                     result + "' produced earlier in the same group; split "
+                     "the group at the reduction boundary");
+    }
+  }
 }
 
 }  // namespace snowflake

@@ -78,9 +78,14 @@ double nest_traffic_bytes(const KernelPlan& plan, const LoopNest& nest) {
   // read we counted, so add only the write-back... the paper always charges
   // the allocate, so we follow it: writes cost 2x, reads of the same grid
   // are still charged (GSRB: 24 B for x).
-  const double write_cells = access_footprint_cells(
-      plan, nest, nest.out_grid, IndexMap::identity(static_cast<int>(
-                                      plan.shapes.at(nest.out_grid).size())));
+  // A reduce nest writes one scalar cell, not the iteration box.
+  const double write_cells =
+      nest.is_reduce
+          ? 1.0
+          : access_footprint_cells(
+                plan, nest, nest.out_grid,
+                IndexMap::identity(
+                    static_cast<int>(plan.shapes.at(nest.out_grid).size())));
   total_cells += 2.0 * write_cells;
   return 8.0 * total_cells;
 }
@@ -96,6 +101,7 @@ std::int64_t flops_per_point(const LoopNest& nest) {
   visit(nest.rhs, [&](const Expr& e) {
     if (e.kind() == ExprKind::Binary || e.kind() == ExprKind::Unary) ++flops;
   });
+  if (nest.is_reduce) ++flops;  // the per-point combine into the accumulator
   return flops;
 }
 

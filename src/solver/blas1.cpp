@@ -1,0 +1,51 @@
+#include "solver/blas1.hpp"
+
+#include "ir/stencil_library.hpp"
+
+namespace snowflake::solver {
+
+namespace {
+
+Index zero_offset(int rank) { return Index(static_cast<size_t>(rank), 0); }
+
+}  // namespace
+
+Index scalar_shape(int rank) { return Index(static_cast<size_t>(rank), 1); }
+
+StencilGroup dot_group(int rank, const std::string& a, const std::string& b,
+                       const std::string& out) {
+  return StencilGroup(
+      Stencil("dot_" + a + "_" + b,
+              reduce_dot(read(a, zero_offset(rank)) * read(b, zero_offset(rank)),
+                         /*anchor=*/a),
+              out, lib::interior(rank)));
+}
+
+StencilGroup norm2_group(int rank, const std::string& a,
+                         const std::string& out) {
+  return dot_group(rank, a, a, out);
+}
+
+StencilGroup axpy_group(int rank, const std::string& y, const std::string& x) {
+  return StencilGroup(
+      Stencil("axpy_" + y + "_" + x,
+              read(y, zero_offset(rank)) +
+                  param("alpha") * read(x, zero_offset(rank)),
+              y, lib::interior(rank)));
+}
+
+StencilGroup xpay_group(int rank, const std::string& y, const std::string& x) {
+  return StencilGroup(
+      Stencil("xpay_" + y + "_" + x,
+              read(x, zero_offset(rank)) +
+                  param("beta") * read(y, zero_offset(rank)),
+              y, lib::interior(rank)));
+}
+
+StencilGroup copy_group(int rank, const std::string& y, const std::string& x) {
+  return StencilGroup(
+      Stencil("copy_" + y + "_" + x, read(x, zero_offset(rank)), y,
+              lib::interior(rank)));
+}
+
+}  // namespace snowflake::solver

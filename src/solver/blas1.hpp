@@ -1,0 +1,40 @@
+#pragma once
+// Level-1 vector operations over grid interiors, expressed as Snowflake
+// stencil and reduction groups — the building blocks of the matrix-free
+// Krylov tier (krylov.hpp).
+//
+// Vectors are (n+2)^rank cell-centered grids with one ghost layer, the
+// multigrid convention (multigrid/level.hpp); every operation iterates
+// the unit-stride interior (1..-1)^rank, so ghost cells never contribute
+// to a dot product and never receive an update.  Reductions write their
+// scalar into a one-cell grid of shape scalar_shape(rank); the host reads
+// cell 0 back between kernels.
+
+#include <string>
+
+#include "ir/stencil.hpp"
+
+namespace snowflake::solver {
+
+/// Shape of the one-cell grid a reduction writes: (1,...,1) at the
+/// vector rank.
+Index scalar_shape(int rank);
+
+/// out[0] = Σ_interior a·b — a dot-product reduction anchored on `a`.
+StencilGroup dot_group(int rank, const std::string& a, const std::string& b,
+                       const std::string& out);
+
+/// out[0] = Σ_interior a·a — the squared 2-norm (host takes the sqrt).
+StencilGroup norm2_group(int rank, const std::string& a,
+                         const std::string& out);
+
+/// y += $alpha · x over the interior.
+StencilGroup axpy_group(int rank, const std::string& y, const std::string& x);
+
+/// y = x + $beta · y over the interior (the CG direction update).
+StencilGroup xpay_group(int rank, const std::string& y, const std::string& x);
+
+/// y = x over the interior.
+StencilGroup copy_group(int rank, const std::string& y, const std::string& x);
+
+}  // namespace snowflake::solver

@@ -1,0 +1,262 @@
+#include "solver/krylov.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "ir/stencil_library.hpp"
+#include "ir/validate.hpp"
+#include "multigrid/operators.hpp"
+#include "solver/blas1.hpp"
+#include "support/error.hpp"
+#include "trace/trace.hpp"
+
+namespace snowflake::solver {
+
+namespace {
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// out = A src over the interior (fresh ghost layer first).
+StencilGroup apply_group(int rank, const std::string& src,
+                         const std::string& out) {
+  StencilGroup group;
+  group.append(lib::dirichlet_boundary(rank, src));
+  group.append(lib::vc_apply(rank, src, out, mg::kBetaPrefix));
+  return group;
+}
+
+Index zero_offset(int rank) { return Index(static_cast<size_t>(rank), 0); }
+
+}  // namespace
+
+const char* method_name(KrylovSolver::Method method) {
+  return method == KrylovSolver::Method::CG ? "cg" : "bicgstab";
+}
+
+KrylovSolver::KrylovSolver(Config config) : config_(std::move(config)) {
+  const mg::ProblemSpec& spec = config_.problem;
+  const int rank = spec.rank;
+  level_ = std::make_unique<mg::Level>(spec, spec.n);
+  h2inv_ = level_->h2inv();
+  GridSet& g = level_->grids();
+  const Index shape = level_->box_shape();
+  for (const char* name :
+       {"b", "r", "p", "z", "ap", "r0hat", "v", "s", "t", "phat", "shat"}) {
+    g.add_zeros(name, shape);
+  }
+  for (const char* name : {"dot_rz", "dot_pap", "dot_rr", "dot_r0r", "dot_r0v",
+                           "dot_ts", "dot_tt"}) {
+    g.add_zeros(name, scalar_shape(rank));
+  }
+
+  // Manufactured Poisson fixture: b = A_h u*, so the discrete solution is
+  // exactly u* and the error is measurable to machine precision.
+  exact_ = Grid(shape);
+  mg::fill_cell_centered(exact_, level_->h(), [&](const std::vector<double>& x) {
+    return mg::u_exact(spec, x);
+  });
+  std::copy(exact_.data(), exact_.data() + exact_.size(),
+            g.at(mg::kX).data());
+  {
+    auto manufacture = Backend::get(config_.backend)
+                           .compile(mg::rhs_manufacture_group(rank),
+                                    shapes_of(g), config_.options);
+    manufacture->run(g, {{"h2inv", h2inv_}});
+  }
+  std::copy(g.at(mg::kRhs).data(), g.at(mg::kRhs).data() + g.at(mg::kRhs).size(),
+            g.at("b").data());
+
+  if (config_.precondition) {
+    mg::Solver::Config mc;
+    mc.problem = spec;
+    mc.backend = config_.backend;
+    mc.options = config_.options;
+    mg_ = std::make_unique<mg::Solver>(std::move(mc));
+  }
+
+  Backend& backend = Backend::get(config_.backend);
+  const ShapeMap shapes = shapes_of(g);
+  const auto compile = [&](const StencilGroup& group) {
+    return backend.compile(group, shapes, config_.options);
+  };
+  apply_p_ = compile(apply_group(rank, "p", "ap"));
+  apply_phat_ = compile(apply_group(rank, "phat", "v"));
+  apply_shat_ = compile(apply_group(rank, "shat", "t"));
+  dot_rz_ = compile(dot_group(rank, "r", "z", "dot_rz"));
+  dot_pap_ = compile(dot_group(rank, "p", "ap", "dot_pap"));
+  dot_rr_ = compile(norm2_group(rank, "r", "dot_rr"));
+  dot_r0r_ = compile(dot_group(rank, "r0hat", "r", "dot_r0r"));
+  dot_r0v_ = compile(dot_group(rank, "r0hat", "v", "dot_r0v"));
+  dot_ts_ = compile(dot_group(rank, "t", "s", "dot_ts"));
+  dot_tt_ = compile(norm2_group(rank, "t", "dot_tt"));
+  axpy_x_p_ = compile(axpy_group(rank, "x", "p"));
+  axpy_r_ap_ = compile(axpy_group(rank, "r", "ap"));
+  xpay_p_z_ = compile(xpay_group(rank, "p", "z"));
+  copy_r_b_ = compile(copy_group(rank, "r", "b"));
+  copy_z_r_ = compile(copy_group(rank, "z", "r"));
+  copy_p_z_ = compile(copy_group(rank, "p", "z"));
+  copy_r0_r_ = compile(copy_group(rank, "r0hat", "r"));
+  copy_phat_p_ = compile(copy_group(rank, "phat", "p"));
+  copy_shat_s_ = compile(copy_group(rank, "shat", "s"));
+  update_p_ = compile(StencilGroup(Stencil(
+      "bicg_update_p",
+      read("r", zero_offset(rank)) +
+          param("beta") * (read("p", zero_offset(rank)) -
+                           param("omega") * read("v", zero_offset(rank))),
+      "p", lib::interior(rank))));
+  update_s_ = compile(StencilGroup(Stencil(
+      "bicg_update_s",
+      read("r", zero_offset(rank)) -
+          param("alpha") * read("v", zero_offset(rank)),
+      "s", lib::interior(rank))));
+  update_x_ = compile(StencilGroup(Stencil(
+      "bicg_update_x",
+      read("x", zero_offset(rank)) +
+          param("alpha") * read("phat", zero_offset(rank)) +
+          param("omega") * read("shat", zero_offset(rank)),
+      "x", lib::interior(rank))));
+  update_r_ = compile(StencilGroup(Stencil(
+      "bicg_update_r",
+      read("s", zero_offset(rank)) -
+          param("omega") * read("t", zero_offset(rank)),
+      "r", lib::interior(rank))));
+}
+
+KrylovSolver::~KrylovSolver() = default;
+
+std::int64_t KrylovSolver::dof() const { return level_->dof(); }
+
+void KrylovSolver::run(CompiledKernel& kernel, const ParamMap& params) {
+  ParamMap with_op = params;
+  with_op.emplace("h2inv", h2inv_);
+  kernel.run(level_->grids(), with_op);
+}
+
+double KrylovSolver::dot(CompiledKernel& kernel, const std::string& out) {
+  run(kernel);
+  return level_->grids().at(out).data()[0];
+}
+
+void KrylovSolver::apply_precond(const std::string& src, const std::string& dst,
+                                 CompiledKernel& copy_kernel) {
+  if (!mg_) {
+    run(copy_kernel);
+    return;
+  }
+  trace::Span span(trace::enabled() ? "krylov:precond" : std::string(), "run");
+  GridSet& g = level_->grids();
+  mg::Level& finest = mg_->level(0);
+  const Grid& r = g.at(src);
+  Grid& rhs = finest.grids().at(mg::kRhs);
+  std::copy(r.data(), r.data() + r.size(), rhs.data());
+  finest.grids().at(mg::kX).fill(0.0);
+  for (int c = 0; c < config_.precond_cycles; ++c) mg_->vcycle(0);
+  const Grid& zx = finest.grids().at(mg::kX);
+  Grid& z = g.at(dst);
+  std::copy(zx.data(), zx.data() + zx.size(), z.data());
+}
+
+void KrylovSolver::reset_state(KrylovStats* stats) {
+  GridSet& g = level_->grids();
+  g.at(mg::kX).fill(0.0);
+  for (const char* name :
+       {"r", "p", "z", "ap", "r0hat", "v", "s", "t", "phat", "shat"}) {
+    g.at(name).fill(0.0);
+  }
+  run(*copy_r_b_);  // r = b (zero initial guess)
+  stats->dof = level_->dof();
+}
+
+/// Record ||r||_2; true when converged relative to residual_norms[0].
+bool KrylovSolver::record_residual(KrylovStats* stats, double bnorm) {
+  const double rnorm = std::sqrt(dot(*dot_rr_, "dot_rr"));
+  stats->residual_norms.push_back(rnorm);
+  return rnorm <= config_.rtol * bnorm;
+}
+
+KrylovStats KrylovSolver::solve_cg() {
+  KrylovStats stats;
+  reset_state(&stats);
+  const double t0 = now_seconds();
+  const double bnorm = std::sqrt(dot(*dot_rr_, "dot_rr"));
+  stats.residual_norms.push_back(bnorm);
+  if (bnorm > 0.0) {
+    apply_precond("r", "z", *copy_z_r_);
+    run(*copy_p_z_);
+    double rho = dot(*dot_rz_, "dot_rz");
+    for (int it = 1; it <= config_.max_iters; ++it) {
+      run(*apply_p_);
+      const double alpha = rho / dot(*dot_pap_, "dot_pap");
+      run(*axpy_x_p_, {{"alpha", alpha}});
+      run(*axpy_r_ap_, {{"alpha", -alpha}});
+      stats.iterations = it;
+      if (record_residual(&stats, bnorm)) {
+        stats.converged = true;
+        break;
+      }
+      apply_precond("r", "z", *copy_z_r_);
+      const double rho_next = dot(*dot_rz_, "dot_rz");
+      run(*xpay_p_z_, {{"beta", rho_next / rho}});
+      rho = rho_next;
+    }
+  } else {
+    stats.converged = true;
+  }
+  stats.seconds = now_seconds() - t0;
+  stats.error_max =
+      mg::Level::interior_max_diff(level_->grids().at(mg::kX), exact_);
+  return stats;
+}
+
+KrylovStats KrylovSolver::solve_bicgstab() {
+  KrylovStats stats;
+  reset_state(&stats);
+  const double t0 = now_seconds();
+  const double bnorm = std::sqrt(dot(*dot_rr_, "dot_rr"));
+  stats.residual_norms.push_back(bnorm);
+  if (bnorm > 0.0) {
+    run(*copy_r0_r_);  // r0hat = r, fixed shadow residual
+    double rho = 1.0, alpha = 1.0, omega = 1.0;
+    for (int it = 1; it <= config_.max_iters; ++it) {
+      const double rho_next = dot(*dot_r0r_, "dot_r0r");
+      const double beta = (rho_next / rho) * (alpha / omega);
+      run(*update_p_, {{"beta", beta}, {"omega", omega}});
+      apply_precond("p", "phat", *copy_phat_p_);
+      run(*apply_phat_);
+      alpha = rho_next / dot(*dot_r0v_, "dot_r0v");
+      run(*update_s_, {{"alpha", alpha}});
+      apply_precond("s", "shat", *copy_shat_s_);
+      run(*apply_shat_);
+      omega = dot(*dot_ts_, "dot_ts") / dot(*dot_tt_, "dot_tt");
+      run(*update_x_, {{"alpha", alpha}, {"omega", omega}});
+      run(*update_r_, {{"omega", omega}});
+      rho = rho_next;
+      stats.iterations = it;
+      if (record_residual(&stats, bnorm)) {
+        stats.converged = true;
+        break;
+      }
+    }
+  } else {
+    stats.converged = true;
+  }
+  stats.seconds = now_seconds() - t0;
+  stats.error_max =
+      mg::Level::interior_max_diff(level_->grids().at(mg::kX), exact_);
+  return stats;
+}
+
+KrylovStats KrylovSolver::solve(Method method) {
+  trace::Span span(trace::enabled()
+                       ? std::string("krylov:solve:") + method_name(method)
+                       : std::string(),
+                   "run");
+  return method == Method::CG ? solve_cg() : solve_bicgstab();
+}
+
+}  // namespace snowflake::solver

@@ -1,0 +1,103 @@
+#pragma once
+// Matrix-free Krylov solvers over the Snowflake stencil DSL.
+//
+// The Mat2Stencil rung above explicit sweeps: CG and BiCGStab on the
+// HPGMG variable-coefficient operator -∇·(β∇u), with every vector
+// operation — operator application, dot products, axpy updates — compiled
+// from stencil and reduction groups by a pluggable backend.  The host
+// drives only the scalar recurrence (α, β, ω) between kernel launches,
+// reading each reduction result out of its one-cell grid.
+//
+// Optional preconditioning applies M⁻¹ = one (or more) multigrid V-cycles
+// from multigrid/solver.hpp on a zero initial guess — the textbook
+// MG-preconditioned CG configuration.  The Poisson convergence harness is
+// the same manufactured-solution setup the multigrid tier verifies
+// against: b = A_h u*, so the discrete solution is exactly u* and the
+// error is measurable to machine precision.
+//
+// Determinism: with CompileOptions::det_reduce every reduction uses the
+// canonical pairwise tree, so residual histories are bit-identical across
+// the jit and reference backends (tests/solver/test_krylov.cpp).
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "backend/backend.hpp"
+#include "multigrid/solver.hpp"
+
+namespace snowflake::solver {
+
+struct KrylovStats {
+  std::int64_t dof = 0;
+  int iterations = 0;
+  bool converged = false;
+  /// ||r||_2 per iteration; [0] is ||b||_2 (the zero-guess residual).
+  std::vector<double> residual_norms;
+  double error_max = 0.0;  // |x - u*|_inf over the interior
+  double seconds = 0.0;    // wall-clock of the iteration loop
+};
+
+class KrylovSolver {
+public:
+  enum class Method { CG, BiCGStab };
+
+  struct Config {
+    mg::ProblemSpec problem;
+    std::string backend = "c";
+    CompileOptions options;
+    /// Converged when ||r||_2 <= rtol * ||b||_2.
+    double rtol = 1e-10;
+    int max_iters = 200;
+    /// Precondition with M⁻¹ = `precond_cycles` multigrid V-cycle(s).
+    bool precondition = false;
+    int precond_cycles = 1;
+  };
+
+  explicit KrylovSolver(Config config);
+  ~KrylovSolver();
+
+  KrylovStats solve(Method method);
+
+  const Config& config() const { return config_; }
+  std::int64_t dof() const;
+
+private:
+  double dot(CompiledKernel& kernel, const std::string& out);
+  void run(CompiledKernel& kernel, const ParamMap& params = {});
+  /// dst = M⁻¹ src: V-cycle(s) when preconditioning, else dst = src.
+  void apply_precond(const std::string& src, const std::string& dst,
+                     CompiledKernel& copy_kernel);
+
+  KrylovStats solve_cg();
+  KrylovStats solve_bicgstab();
+  void reset_state(KrylovStats* stats);
+  bool record_residual(KrylovStats* stats, double bnorm);
+
+  Config config_;
+  std::unique_ptr<mg::Level> level_;      // vectors + β coefficients
+  std::unique_ptr<mg::Solver> mg_;        // preconditioner (may be null)
+  Grid exact_;                            // u* for the error report
+  double h2inv_ = 0.0;
+
+  // Compiled kernels (names refer to grids in level_->grids()).
+  std::unique_ptr<CompiledKernel> apply_p_;     // ap = A p
+  std::unique_ptr<CompiledKernel> apply_phat_;  // v = A phat
+  std::unique_ptr<CompiledKernel> apply_shat_;  // t = A shat
+  std::unique_ptr<CompiledKernel> dot_rz_, dot_pap_, dot_rr_;
+  std::unique_ptr<CompiledKernel> dot_r0r_, dot_r0v_, dot_ts_, dot_tt_;
+  std::unique_ptr<CompiledKernel> axpy_x_p_;    // x += α p
+  std::unique_ptr<CompiledKernel> axpy_r_ap_;   // r += α ap (α = -alpha)
+  std::unique_ptr<CompiledKernel> xpay_p_z_;    // p = z + β p
+  std::unique_ptr<CompiledKernel> copy_r_b_, copy_z_r_, copy_p_z_;
+  std::unique_ptr<CompiledKernel> copy_r0_r_, copy_phat_p_, copy_shat_s_;
+  std::unique_ptr<CompiledKernel> update_p_;    // p = r + β(p − ω v)
+  std::unique_ptr<CompiledKernel> update_s_;    // s = r − α v
+  std::unique_ptr<CompiledKernel> update_x_;    // x += α phat + ω shat
+  std::unique_ptr<CompiledKernel> update_r_;    // r = s − ω t
+};
+
+/// Name of a method ("cg" / "bicgstab").
+const char* method_name(KrylovSolver::Method method);
+
+}  // namespace snowflake::solver

@@ -31,13 +31,60 @@ std::string format_tuple(const std::vector<std::int64_t>& values) {
 std::string format_double(double value) {
   if (std::isnan(value)) return "(0.0/0.0)";
   if (std::isinf(value)) return value > 0 ? "(1.0/0.0)" : "(-1.0/0.0)";
-  char buf[64];
-  // %.17g round-trips IEEE doubles.
-  std::snprintf(buf, sizeof(buf), "%.17g", value);
-  std::string out(buf);
+  std::string out = format_double_compact(value);
   // Ensure the literal parses as a double in C (e.g. "1" -> "1.0").
   if (out.find_first_of(".eE") == std::string::npos) out += ".0";
   return out;
+}
+
+std::string format_double_compact(double value) {
+  // std::to_chars is defined in terms of the "C" locale regardless of the
+  // global locale, and its shortest form round-trips the exact IEEE value.
+  char buf[64];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), value);
+  return std::string(buf, res.ptr);
+}
+
+std::string format_double_fixed(double value, int precision) {
+  char buf[512];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), value,
+                                 std::chars_format::fixed, precision);
+  if (res.ec != std::errc{}) return format_double_compact(value);
+  return std::string(buf, res.ptr);
+}
+
+const char* parse_double(const char* first, const char* last, double* out) {
+  if (first == last) return first;
+  // std::from_chars rejects a leading '+' and does not skip whitespace;
+  // accept the '+' for strtod parity with the stores' historical format.
+  const char* start = first;
+  if (*start == '+' && start + 1 < last && *(start + 1) != '+') ++start;
+  double value = 0.0;
+  const auto res = std::from_chars(start, last, value);
+  if (res.ec == std::errc::result_out_of_range) {
+    // Historical strtod behaviour: clamp overflow to +-HUGE_VAL (and
+    // underflow toward 0) but still consume the text, so out-of-range
+    // stored values stay readable instead of poisoning the whole line.
+    const bool neg = *start == '-';
+    bool neg_exp = false;
+    for (const char* p = start; p + 1 < res.ptr; ++p) {
+      if ((*p == 'e' || *p == 'E') && *(p + 1) == '-') neg_exp = true;
+    }
+    if (neg_exp) {
+      *out = neg ? -0.0 : 0.0;
+    } else {
+      *out = neg ? -HUGE_VAL : HUGE_VAL;
+    }
+    return res.ptr;
+  }
+  if (res.ec != std::errc{} || res.ptr == start) return first;
+  *out = value;
+  return res.ptr;
+}
+
+bool parse_double(const std::string& s, double* out) {
+  const char* end = s.data() + s.size();
+  return !s.empty() && parse_double(s.data(), end, out) == end;
 }
 
 bool is_identifier(const std::string& name) {

@@ -17,6 +17,27 @@ std::string format_tuple(const std::vector<std::int64_t>& values);
 /// generated C reproduces the exact IEEE value).
 std::string format_double(double value);
 
+/// Shortest locale-independent round-trip rendering (std::to_chars): the
+/// shared serializer for every persistent store (tune DB, perf ledger,
+/// param codecs).  Unlike printf-family %g it never emits a comma decimal
+/// point under a de_DE-style global locale, and unlike std::to_string it
+/// never truncates sub-microsecond values to "0.000000".
+std::string format_double_compact(double value);
+
+/// Fixed-precision locale-independent rendering ("%.<precision>f" but
+/// always with a '.' decimal point); used where an external consumer
+/// (Chrome trace JSON) expects fixed notation.
+std::string format_double_fixed(double value, int precision);
+
+/// Locale-independent parse (std::from_chars).  Parses a double from
+/// [first, last) and returns a pointer past the number, or `first` when
+/// nothing parses (strtod-style contract, minus the locale dependence).
+const char* parse_double(const char* first, const char* last, double* out);
+
+/// Convenience overload over a whole string: true when `s` is exactly one
+/// double (surrounding whitespace rejected).
+bool parse_double(const std::string& s, double* out);
+
 /// True if `name` is a valid C identifier (codegen-safe grid name).
 bool is_identifier(const std::string& name);
 

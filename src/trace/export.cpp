@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "support/logging.hpp"
+#include "support/string_util.hpp"
 #include "trace/counters.hpp"
 #include "trace/profile.hpp"
 #include "trace/trace.hpp"
@@ -38,9 +39,9 @@ void append_json_string(std::string& out, const std::string& s) {
 }
 
 void append_number(std::string& out, double v) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.3f", v);
-  out += buf;
+  // Locale-independent fixed notation: printf %f under a comma-decimal
+  // global locale would emit invalid JSON.
+  out += format_double_fixed(v, 3);
 }
 
 }  // namespace

@@ -17,6 +17,7 @@
 #include "support/fingerprint.hpp"
 #include "support/hash.hpp"
 #include "support/logging.hpp"
+#include "support/string_util.hpp"
 
 namespace snowflake::trace {
 
@@ -43,12 +44,12 @@ void field(std::string& out, const char* key, const std::string& value) {
 }
 
 void field(std::string& out, const char* key, double value) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.17g", value);
   out += out.empty() ? "{\"" : ",\"";
   out += key;
   out += "\":";
-  out += buf;
+  // Locale-independent shortest round-trip (see support/string_util.hpp):
+  // printf %g under a comma-decimal global locale breaks the reload.
+  out += format_double_compact(value);
 }
 
 /// Common head of every ledger line: schema, kind, timestamp, machine.
@@ -113,9 +114,10 @@ bool parse_ledger_line(const std::string& line, LedgerEntry* out) {
       if (!parse_string(&value)) return false;
       out->text[key] = std::move(value);
     } else {
-      char* end = nullptr;
-      const double value = std::strtod(line.c_str() + pos, &end);
-      if (end == line.c_str() + pos) return false;
+      double value = 0.0;
+      const char* begin = line.c_str() + pos;
+      const char* end = parse_double(begin, line.c_str() + line.size(), &value);
+      if (end == begin) return false;
       out->num[key] = value;
       pos = static_cast<size_t>(end - line.c_str());
     }

@@ -7,6 +7,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "support/string_util.hpp"
 #include "trace/history.hpp"
 
 namespace snowflake::tune {
@@ -37,12 +38,12 @@ void field(std::string& out, const char* key, const std::string& value) {
 }
 
 void field(std::string& out, const char* key, double value) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.17g", value);
   out += out.empty() ? "{\"" : ",\"";
   out += key;
   out += "\":";
-  out += buf;
+  // Locale-independent shortest round-trip: printf %g under a comma-decimal
+  // global locale emits "3,2e-07", which the reload cannot parse.
+  out += format_double_compact(value);
 }
 
 /// Common head: schema, kind, timestamp, then the full key.
@@ -173,6 +174,7 @@ std::string encode_options(const CompileOptions& o) {
   kv("dp", o.dist_prune ? "1" : "0");
   kv("dg", encode_index(o.dist_grid));
   kv("dpl", o.dist_pipeline ? "1" : "0");
+  kv("dred", o.det_reduce ? "1" : "0");
   return s;
 }
 
@@ -214,6 +216,7 @@ bool decode_options(const std::string& s, CompileOptions* out) {
     else if (k == "dp") ok = flag(&out->dist_prune);
     else if (k == "dg") ok = decode_index(v, &out->dist_grid);
     else if (k == "dpl") ok = flag(&out->dist_pipeline);
+    else if (k == "dred") ok = flag(&out->det_reduce);
     else ok = false;  // unknown key: likely a future schema, full sweep
     if (!ok) return false;
   }
@@ -233,6 +236,7 @@ int options_distance(const CompileOptions& a, const CompileOptions& b) {
   d += a.wavefront != b.wavefront;
   d += a.dist_grid != b.dist_grid;
   d += a.dist_pipeline != b.dist_pipeline;
+  d += a.det_reduce != b.det_reduce;
   return d;
 }
 
@@ -374,11 +378,9 @@ bool TuneStore::decode_shapes(const std::string& s, ShapeMap* out) {
 
 std::string TuneStore::encode_params(const ParamMap& params) {
   std::string s;
-  char buf[64];
   for (const auto& [name, value] : params) {
     if (!s.empty()) s += ',';
-    std::snprintf(buf, sizeof(buf), "%.17g", value);
-    s += name + '=' + buf;
+    s += name + '=' + format_double_compact(value);
   }
   return s;
 }
@@ -391,10 +393,9 @@ bool TuneStore::decode_params(const std::string& s, ParamMap* out) {
     if (eq == std::string::npos) return false;
     size_t end = s.find(',', eq + 1);
     if (end == std::string::npos) end = s.size();
-    char* strtod_end = nullptr;
     const std::string v = s.substr(eq + 1, end - eq - 1);
-    const double value = std::strtod(v.c_str(), &strtod_end);
-    if (strtod_end == v.c_str()) return false;
+    double value = 0.0;
+    if (!parse_double(v, &value)) return false;
     (*out)[s.substr(pos, eq - pos)] = value;
     pos = end + (end < s.size() ? 1 : 0);
   }

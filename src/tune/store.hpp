@@ -134,7 +134,7 @@ public:
   bool load(TuneDb* out, std::string* error = nullptr) const;
 
   /// Shape/param round-trips for debt records: "x=6x6,out=6x6" and
-  /// "h2inv=1.5" (%.17g values).
+  /// "h2inv=1.5" (shortest round-trip values, locale-independent).
   static std::string encode_shapes(const ShapeMap& shapes);
   static bool decode_shapes(const std::string& s, ShapeMap* out);
   static std::string encode_params(const ParamMap& params);

@@ -103,6 +103,32 @@ CorpusEntry distsim_diagonal_corner() {
   return e;
 }
 
+/// A chained stencil + sum reduction under the simulated allreduce: each
+/// rank reduces its clipped sub-box with the canonical pairwise tree and
+/// the partials combine in rank order at the wave barrier.  Minimized
+/// from the generator's reduce shape; pins the clip (no halo cells in the
+/// partial), the identity on ranks whose clip is empty, and the
+/// replicated one-cell result every rank must agree on.
+CorpusEntry distsim_allreduce() {
+  CorpusEntry e;
+  e.name = "distsim-allreduce";
+  e.note = "per-rank partials + rank-ordered combine (simulated allreduce)";
+  e.program.grids["x"] = spec({9, 6}, "x");
+  e.program.grids["mid"] = spec({9, 6}, "mid");
+  e.program.grids["total"] = spec({1, 1}, "total");
+  ExprPtr blur = 0.5 * read("x", {0, 0}) +
+                 0.25 * (read("x", {1, 0}) + read("x", {-1, 0}));
+  e.program.group.append(Stencil("blur", blur, "mid", lib::interior(2)));
+  e.program.group.append(Stencil(
+      "total", reduce_sum(read("mid", {0, 0}) - 1.0, "mid"), "total",
+      lib::interior(2)));
+  CompileOptions o;
+  o.dist_ranks = 3;
+  o.det_reduce = true;
+  e.variant = variant("distsim/r3-dred", "distsim", o);
+  return e;
+}
+
 /// Multiplicative (num = 2) restriction maps through the address-
 /// arithmetic pass: strength-reduced induction variables must agree with
 /// the naive index computation.
@@ -279,6 +305,7 @@ std::vector<CorpusEntry> corpus() {
   entries.push_back(pr3_rank1_for_simd());
   entries.push_back(distsim_thin_slab());
   entries.push_back(distsim_diagonal_corner());
+  entries.push_back(distsim_allreduce());
   entries.push_back(addr_multiplicative());
   entries.push_back(interp_divisive());
   entries.push_back(timetile_chain());

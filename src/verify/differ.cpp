@@ -3,6 +3,7 @@
 #include <exception>
 
 #include "support/error.hpp"
+#include "support/string_util.hpp"
 
 namespace snowflake {
 namespace snowcheck {
@@ -62,6 +63,11 @@ std::vector<Variant> variant_matrix() {
     o.simd_rows = true;
     m.push_back(make("c/simdrows", "c", o));
   }
+  {
+    CompileOptions o = base();
+    o.det_reduce = true;
+    m.push_back(make("c/dred", "c", o));
+  }
 
   // OpenMP parallel-for schedule.
   m.push_back(make("omp-for", "openmp", omp_for()));
@@ -102,6 +108,14 @@ std::vector<Variant> variant_matrix() {
     CompileOptions o = omp_for();
     o.simd_rows = true;
     m.push_back(make("omp-for/simdrows", "openmp", o));
+  }
+  // Deterministic reductions: `omp ... reduction` is replaced by the
+  // canonical pairwise tree, so answers must match the reference exactly
+  // whenever a generated program carries a reduction.
+  {
+    CompileOptions o = omp_for();
+    o.det_reduce = true;
+    m.push_back(make("omp-for/dred", "openmp", o));
   }
 
   // OpenMP task schedule (the paper's default).
@@ -164,6 +178,14 @@ std::vector<Variant> variant_matrix() {
     CompileOptions o = base();
     o.dist_ranks = 5;
     m.push_back(make("distsim/r5", "distsim", o));
+  }
+  // Simulated allreduce: per-rank partials combined at the wave barrier
+  // must reproduce the single-address-space reduction exactly.
+  {
+    CompileOptions o = base();
+    o.dist_ranks = 2;
+    o.det_reduce = true;
+    m.push_back(make("distsim/r2-dred", "distsim", o));
   }
   {
     CompileOptions o = base();
@@ -269,8 +291,8 @@ DiffResult diff_variant(const Program& program, const Variant& variant,
         if (diff > tol) {
           result.status = DiffStatus::Mismatch;
           result.message = "grid '" + name + "' diverges by " +
-                           std::to_string(diff) + " (tol " +
-                           std::to_string(tol) + ")";
+                           format_double_compact(diff) + " (tol " +
+                           format_double_compact(tol) + ")";
         }
       }
     }

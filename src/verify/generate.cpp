@@ -166,6 +166,57 @@ struct Builder {
                                       std::move(stride))));
   }
 
+  /// Reduction over the fine interior (or a strided, negative-bound
+  /// parity union): sum / max of a small weighted neighborhood, or a dot
+  /// product of two grids.  The one-cell result grid is never re-read by
+  /// later stencils — validate_group rejects that shape, and the matrix
+  /// pins the rejection separately (tests/analysis).
+  void add_reduce() {
+    const std::string a = pick_fine();
+    const std::string out = "s" + std::to_string(grid_seq++);
+    // The one cell is fully overwritten by the reduction; the fill range
+    // just has to be a valid (lo < hi) pair for materialize().
+    p.grids[out] = GridSpec{Index(static_cast<size_t>(rank), 1), rng.next(),
+                            0.0, 1.0};
+    ExprPtr body;
+    const std::int64_t kind = rng.range(0, 2);
+    if (kind == 2) {
+      // Dot: validate requires a top-level product.  The 2^-10 scale keeps
+      // the all-positive running sum small, so reassociation differences
+      // between backends (sequential accumulator, omp reduction, per-rank
+      // partials) stay far inside the snowcheck tolerance vs the oracle's
+      // pairwise tree.
+      body = (constant(1.0 / 1024.0) * read(a, rand_offset(1))) *
+             read(pick_fine(), rand_offset(1));
+    } else {
+      const std::int64_t taps = rng.range(1, 3);
+      for (std::int64_t t = 0; t < taps; ++t) {
+        ExprPtr term = weight() * read(a, rand_offset(1));
+        body = body == nullptr ? term : body + term;
+      }
+    }
+    DomainUnion domain = lib::interior_margin(rank, 1);
+    if (rng.chance(0.4)) {
+      // Strided parity split with grid-relative (negative) bounds: the
+      // reduction must visit exactly the union's points, in rect order.
+      const int ds = static_cast<int>(rng.range(0, rank - 1));
+      std::vector<RectDomain> rects;
+      for (std::int64_t parity : {0, 1}) {
+        Index start(static_cast<size_t>(rank), 1);
+        Index stop(static_cast<size_t>(rank), -1);
+        Index stride(static_cast<size_t>(rank), 1);
+        start[static_cast<size_t>(ds)] = 1 + parity;
+        stride[static_cast<size_t>(ds)] = 2;
+        rects.emplace_back(std::move(start), std::move(stop), std::move(stride));
+      }
+      domain = DomainUnion(std::move(rects));
+    }
+    ExprPtr red = kind == 0   ? reduce_sum(std::move(body), a)
+                  : kind == 1 ? reduce_max(std::move(body), a)
+                              : reduce_dot(std::move(body), a);
+    p.group.append(Stencil(name("reduce"), std::move(red), out, domain));
+  }
+
   /// Full-weighting-shaped restriction: multiplicative (num = 2) index
   /// maps reading a fine grid, writing a coarse interior.
   void add_restrict() {
@@ -242,12 +293,13 @@ Program try_generate(Rng rng) {
 
   const std::int64_t features = rng.range(1, 3);
   for (std::int64_t s = 0; s < features; ++s) {
-    switch (rng.range(0, 5)) {
+    switch (rng.range(0, 6)) {
       case 0: b.add_plain(); break;
       case 1: b.add_multicolor(); break;
       case 2: b.add_varcoef(); break;
       case 3: b.add_face(); break;
       case 4: b.add_restrict(); break;
+      case 5: b.add_reduce(); break;
       default: b.add_interp(); break;
     }
   }

@@ -4,7 +4,9 @@
 // with grid-relative (negative) bounds and pinned (stride-0) face dims,
 // multicolor in-place updates, variable coefficients and scalar params,
 // multiplicative (restriction) and divisive (interpolation) index maps,
-// and multi-stencil groups with cross-stencil dependences.
+// sum/max/dot reductions into one-cell grids (including over strided
+// negative-bound unions), and multi-stencil groups with cross-stencil
+// dependences.
 //
 // The same seed always yields the same Program, so a failing seed is a
 // complete bug report.  Generated programs are always valid: candidates

@@ -39,6 +39,19 @@ void shrink_candidates(const ExprPtr& expr, std::vector<ExprPtr>* out) {
       }
       break;
     }
+    case ExprKind::Reduce: {
+      // Shrink inside the body; the reduction wrapper must stay (the
+      // one-cell output anchors its domain on the reduce anchor grid).
+      // Invalid shrinks — e.g. a Dot body losing its top-level product —
+      // are discarded by the validity gate.
+      const auto* r = static_cast<const ReduceExpr*>(expr.get());
+      std::vector<ExprPtr> shrunk;
+      shrink_candidates(r->body(), &shrunk);
+      for (const auto& c : shrunk) {
+        out->push_back(std::make_shared<ReduceExpr>(r->op(), c, r->anchor()));
+      }
+      break;
+    }
     case ExprKind::Param:
       out->push_back(constant(1.0));
       break;

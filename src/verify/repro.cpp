@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "support/error.hpp"
+#include "support/string_util.hpp"
 
 namespace snowflake {
 namespace snowcheck {
@@ -11,9 +12,9 @@ namespace snowcheck {
 namespace {
 
 std::string fmt_double(double v) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.17g", v);
-  std::string s(buf);
+  // Locale-independent: a comma-decimal global locale must not corrupt
+  // emitted reproducer source.
+  std::string s = format_double_compact(v);
   // Make sure the literal parses as a double, not an int.
   if (s.find_first_of(".eEnN") == std::string::npos) s += ".0";
   return s;
@@ -85,6 +86,16 @@ void emit_expr(const ExprPtr& expr, std::ostringstream& os) {
       emit_expr(static_cast<const UnaryExpr*>(expr.get())->operand(), os);
       os << ")";
       break;
+    case ExprKind::Reduce: {
+      const auto* r = static_cast<const ReduceExpr*>(expr.get());
+      const char* builder = r->op() == ReduceOp::Sum   ? "reduce_sum"
+                            : r->op() == ReduceOp::Max ? "reduce_max"
+                                                       : "reduce_dot";
+      os << builder << "(";
+      emit_expr(r->body(), os);
+      os << ", \"" << r->anchor() << "\")";
+      break;
+    }
   }
 }
 
@@ -139,6 +150,7 @@ void emit_options(const Variant& variant, int rank, std::ostringstream& os) {
   if (o.dist_pipeline != d.dist_pipeline) {
     os << "  opt.dist_pipeline = false;\n";
   }
+  if (o.det_reduce != d.det_reduce) os << "  opt.det_reduce = true;\n";
 }
 
 }  // namespace

@@ -1,0 +1,155 @@
+// Legality edges of the reduction construct: where reductions end the
+// point-parallel/fusion region, what the validator refuses, and why the
+// cross-sweep halo analysis rejects time tiling across one.
+
+#include <gtest/gtest.h>
+
+#include "analysis/dag.hpp"
+#include "analysis/halo.hpp"
+#include "ir/stencil_library.hpp"
+#include "ir/validate.hpp"
+#include "support/error.hpp"
+
+namespace snowflake {
+namespace {
+
+ShapeMap shapes2(std::int64_t n) {
+  ShapeMap shapes;
+  for (const std::string g : {"x", "y", "z"}) shapes[g] = Index{n, n};
+  shapes["acc"] = Index{1, 1};
+  return shapes;
+}
+
+/// Sum over a strided two-rect parity union with grid-relative (negative)
+/// stop bounds — the reduction visits exactly the union's points.
+Stencil strided_union_reduction(const std::string& in,
+                                const std::string& out) {
+  std::vector<RectDomain> rects;
+  for (std::int64_t parity : {0, 1}) {
+    rects.emplace_back(Index{1 + parity, 1}, Index{-1, -2}, Index{2, 1});
+  }
+  return Stencil("strided_sum", reduce_sum(read(in, {0, 0}), in), out,
+                 DomainUnion(std::move(rects)));
+}
+
+TEST(ReduceLegality, StridedNegativeBoundUnionValidatesAndSchedules) {
+  StencilGroup g;
+  g.append(Stencil("smooth",
+                   0.5 * read("x", {0, 0}) +
+                       0.25 * (read("x", {1, 0}) + read("x", {-1, 0})),
+                   "y", lib::interior(2)));
+  g.append(strided_union_reduction("y", "acc"));
+  const ShapeMap shapes = shapes2(12);
+  EXPECT_NO_THROW(validate_group(g, shapes));
+
+  const Schedule schedule = greedy_schedule(g, shapes);
+  // The reduction ends the point-parallel region: it runs in its own wave
+  // and is never point-parallel (the accumulator is carried).
+  ASSERT_EQ(schedule.waves.size(), 2u);
+  ASSERT_EQ(schedule.waves[1].stencils.size(), 1u);
+  EXPECT_EQ(schedule.waves[1].stencils[0], 1u);
+  EXPECT_TRUE(schedule.point_parallel[0]);
+  EXPECT_FALSE(schedule.point_parallel[1]);
+  // Cross-rect combination order is fixed (deterministic identity), so the
+  // union rects must not be marked interleavable.
+  EXPECT_FALSE(schedule.rects_independent[1]);
+}
+
+TEST(ReduceLegality, ReductionIsSingletonWaveEvenWhenIndependent) {
+  // Two independent stencils normally share a wave; a reduction between
+  // unrelated stencils still gets a wave of its own.
+  StencilGroup g;
+  g.append(Stencil("a", read("x", {0, 0}), "y", lib::interior(2)));
+  g.append(Stencil("sum", reduce_sum(read("x", {0, 0}), "x"), "acc",
+                   lib::interior(2)));
+  g.append(Stencil("b", 2.0 * read("x", {0, 0}), "z", lib::interior(2)));
+  const Schedule schedule = greedy_schedule(g, shapes2(10));
+  for (size_t w = 0; w < schedule.waves.size(); ++w) {
+    for (size_t s : schedule.waves[w].stencils) {
+      if (g[s].is_reduction()) {
+        EXPECT_EQ(schedule.waves[w].stencils.size(), 1u)
+            << "reduction shares wave " << w;
+      }
+    }
+  }
+}
+
+TEST(ReduceLegality, LaterReadOfReductionResultRejected) {
+  // The scalar result cannot be consumed in the same group — the group
+  // must split at the reduction boundary.
+  StencilGroup g;
+  g.append(Stencil("sum", reduce_sum(read("x", {0, 0}), "x"), "acc",
+                   lib::interior(2)));
+  g.append(Stencil("scale", read("acc", {0, 0}), "acc", lib::interior(2)));
+  try {
+    validate_group(g, shapes2(10));
+    FAIL() << "expected validate_group to reject the later read";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("split"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ReduceLegality, LaterClobberOfReductionResultRejected) {
+  StencilGroup g;
+  g.append(Stencil("sum", reduce_sum(read("x", {0, 0}), "x"), "acc",
+                   lib::interior(2)));
+  g.append(Stencil("max", reduce_max(read("y", {0, 0}), "y"), "acc",
+                   lib::interior(2)));
+  EXPECT_THROW(validate_group(g, shapes2(10)), InvalidArgument);
+}
+
+TEST(ReduceLegality, HaloRefusesTimeTilingAcrossReductionWithReason) {
+  StencilGroup g;
+  g.append(Stencil("smooth",
+                   0.5 * read("x", {0, 0}) +
+                       0.25 * (read("x", {0, 1}) + read("x", {0, -1})),
+                   "x", lib::interior(2)));
+  g.append(Stencil("norm", reduce_sum(read("x", {0, 0}), "x"), "acc",
+                   lib::interior(2)));
+  const ShapeMap shapes = shapes2(12);
+  const SweepHalo halo =
+      analyze_sweep_halo(g, shapes, greedy_schedule(g, shapes));
+  EXPECT_FALSE(halo.legal);
+  // The refusal must be explained: a reduction is a whole-domain
+  // synchronization point, logged so fallback is diagnosable.
+  EXPECT_NE(halo.reason.find("reduction"), std::string::npos) << halo.reason;
+  EXPECT_NE(halo.reason.find("time tiling refused"), std::string::npos)
+      << halo.reason;
+}
+
+TEST(ReduceLegality, ValidatorRejectsMalformedReductions) {
+  const ShapeMap shapes = shapes2(10);
+  // Non-scalar result grid.
+  EXPECT_THROW(
+      validate_group(StencilGroup(Stencil(
+                         "sum", reduce_sum(read("x", {0, 0}), "x"), "y",
+                         lib::interior(2))),
+                     shapes),
+      InvalidArgument);
+  // Dot body without a top-level product.
+  EXPECT_THROW(
+      validate_group(StencilGroup(Stencil(
+                         "dot", reduce_dot(read("x", {0, 0}), "x"), "acc",
+                         lib::interior(2))),
+                     shapes),
+      InvalidArgument);
+  // Reduction body reading the result grid.
+  EXPECT_THROW(
+      validate_group(StencilGroup(Stencil(
+                         "sum", reduce_sum(read("acc", {0, 0}), "x"), "acc",
+                         lib::interior(2))),
+                     shapes),
+      InvalidArgument);
+  // ReduceExpr below the root.
+  EXPECT_THROW(
+      validate_group(StencilGroup(Stencil(
+                         "nested",
+                         1.0 + reduce_sum(read("x", {0, 0}), "x"), "acc",
+                         lib::interior(2))),
+                     shapes),
+      InvalidArgument);
+}
+
+}  // namespace
+}  // namespace snowflake

@@ -370,6 +370,98 @@ TEST(DistSim, DiagonalReadsPlanCornerMessages) {
   EXPECT_DOUBLE_EQ(info->last_halo_bytes_class(3), 0.0);
 }
 
+/// x filled with small integers: every intermediate value is a dyadic
+/// rational, so any accumulation order gives the same bits and the
+/// simulated allreduce must match the reference *exactly*, not just
+/// within tolerance.
+GridSet integer_reduce_grids(std::int64_t rows, std::int64_t cols) {
+  GridSet gs;
+  gs.add_zeros("x", {rows, cols});
+  gs.add_zeros("mid", {rows, cols});
+  gs.add_zeros("sum", {1, 1});
+  gs.add_zeros("mx", {1, 1});
+  gs.add_zeros("dt", {1, 1});
+  Grid& x = gs.at("x");
+  for (std::int64_t i = 0; i < x.size(); ++i) {
+    x.data()[i] = static_cast<double>((i * 7) % 23 - 11);
+  }
+  return gs;
+}
+
+StencilGroup reduce_after_stencil_group() {
+  StencilGroup g;
+  g.append(Stencil("blur",
+                   0.5 * read("x", {0, 0}) +
+                       0.25 * (read("x", {1, 0}) + read("x", {-1, 0})),
+                   "mid", lib::interior(2)));
+  g.append(Stencil("sum", reduce_sum(read("mid", {0, 0}), "mid"), "sum",
+                   lib::interior(2)));
+  g.append(Stencil("mx", reduce_max(read("mid", {0, 0}), "mid"), "mx",
+                   lib::interior(2)));
+  g.append(Stencil("dt", reduce_dot(read("x", {0, 0}) * read("x", {0, 0}),
+                                    "x"),
+                   "dt", lib::interior(2)));
+  return g;
+}
+
+TEST(DistSim, AllreducePartialsCombineExactly) {
+  // ISSUE satellite: per-rank partials + rank-ordered combine at r in
+  // {2, 5} must be bit-exact against the single-address-space reference
+  // on integer-valued grids (zero tolerance).
+  for (int ranks : {2, 5}) {
+    expect_matches_reference(reduce_after_stencil_group(),
+                             integer_reduce_grids(11, 7), {}, "distsim",
+                             with_ranks(ranks), 0.0);
+  }
+}
+
+TEST(DistSim, AllreduceExactOnCartesianGrid) {
+  // 2x2 process grid: the reduction clips to 2-D blocks and the pipelined
+  // wave engine is forced back to BSP around the allreduce barriers.
+  expect_matches_reference(reduce_after_stencil_group(),
+                           integer_reduce_grids(10, 8), {}, "distsim",
+                           with_grid({2, 2}), 0.0);
+}
+
+TEST(DistSim, AllreduceBytesCountedInHaloAccounting) {
+  // Each of R ranks contributes its 8-byte partial to the other R-1 ranks
+  // per reduction wave: 3 reductions x R x (R-1) x 8 bytes, on top of the
+  // one halo exchange 'mid' needs before its reduction (the blur writes
+  // it, the sum reads it on the clipped interior at offset 0 -> no halo
+  // rows, so the allreduce is the only traffic).
+  GridSet gs = integer_reduce_grids(12, 6);
+  auto kernel =
+      compile(reduce_after_stencil_group(), gs, "distsim", with_ranks(3));
+  kernel->run(gs, {});
+  const auto* info = dynamic_cast<const DistSimKernelInfo*>(kernel.get());
+  ASSERT_NE(info, nullptr);
+  EXPECT_DOUBLE_EQ(info->last_halo_bytes(), 3.0 * 3 * 2 * 8);
+  EXPECT_EQ(info->last_halo_messages(), 3 * 3 * 2);
+  // The one-cell result grids are replicated, never halo-exchanged.
+  for (size_t w = 0; w < info->wave_count(); ++w) {
+    for (const auto& g : info->exchanged_grids(w)) {
+      EXPECT_TRUE(g != "sum" && g != "mx" && g != "dt") << g;
+    }
+  }
+}
+
+TEST(DistSim, ReductionResultReplicatedOnEveryRank) {
+  // Gather takes rank 0's copy; every rank must hold the same scalar, so
+  // repeated runs with different rank counts all agree bitwise.
+  GridSet base = integer_reduce_grids(9, 9);
+  GridSet ref = testutil::clone(base);
+  run_reference(reduce_after_stencil_group(), ref, {});
+  for (int ranks : {1, 2, 4}) {
+    GridSet gs = testutil::clone(base);
+    auto kernel =
+        compile(reduce_after_stencil_group(), gs, "distsim", with_ranks(ranks));
+    kernel->run(gs, {});
+    EXPECT_EQ(gs.at("sum").data()[0], ref.at("sum").data()[0]) << ranks;
+    EXPECT_EQ(gs.at("mx").data()[0], ref.at("mx").data()[0]) << ranks;
+    EXPECT_EQ(gs.at("dt").data()[0], ref.at("dt").data()[0]) << ranks;
+  }
+}
+
 TEST(DistSim, MixedShapesRejected) {
   GridSet gs;
   gs.add_zeros("x", {12, 12});

@@ -4,10 +4,42 @@
 
 #include "support/logging.hpp"
 
+#include <cmath>
 #include <cstdlib>
+#include <limits>
+#include <locale>
 
 namespace snowflake {
 namespace {
+
+/// A numpunct facet that mimics de_DE decimal commas.  The container only
+/// ships the C/POSIX locales, so the comma-locale regression tests install
+/// this facet globally instead of relying on an installed de_DE.UTF-8.
+struct CommaDecimal : std::numpunct<char> {
+  char do_decimal_point() const override { return ','; }
+  char do_thousands_sep() const override { return '.'; }
+  std::string do_grouping() const override { return "\3"; }
+};
+
+/// RAII guard: force a comma-decimal global C++ locale (and try the C
+/// library locale too, when an installed locale provides one).
+class CommaLocaleGuard {
+ public:
+  CommaLocaleGuard() : previous_(std::locale::global(std::locale(
+                           std::locale::classic(), new CommaDecimal))) {
+    // Best effort: a real comma C locale also flips printf/strtod.
+    for (const char* name : {"de_DE.UTF-8", "de_DE", "fr_FR.UTF-8"}) {
+      if (std::setlocale(LC_NUMERIC, name) != nullptr) break;
+    }
+  }
+  ~CommaLocaleGuard() {
+    std::setlocale(LC_NUMERIC, "C");
+    std::locale::global(previous_);
+  }
+
+ private:
+  std::locale previous_;
+};
 
 TEST(Join, Basic) {
   EXPECT_EQ(join({}, ", "), "");
@@ -33,6 +65,69 @@ TEST(FormatDouble, AlwaysParsesAsDouble) {
   EXPECT_EQ(format_double(1.0), "1.0");
   EXPECT_EQ(format_double(-2.0), "-2.0");
   EXPECT_NE(format_double(1e100).find('e'), std::string::npos);
+}
+
+TEST(FormatDoubleCompact, ShortestRoundTrip) {
+  for (double v : {0.0, 1.0, -1.5, 2.0 / 3.0, 1e-300, 6.02e23, 0.1, 3.2e-7}) {
+    double back = 0.0;
+    ASSERT_TRUE(parse_double(format_double_compact(v), &back));
+    EXPECT_EQ(back, v);
+  }
+  // Shortest form: 0.1 is "0.1", not a 17-digit expansion.
+  EXPECT_EQ(format_double_compact(0.1), "0.1");
+}
+
+TEST(ParseDouble, StrtodContract) {
+  double v = 0.0;
+  EXPECT_TRUE(parse_double(std::string("3.2e-07"), &v));
+  EXPECT_EQ(v, 3.2e-7);
+  EXPECT_TRUE(parse_double(std::string("-0.5"), &v));
+  EXPECT_EQ(v, -0.5);
+  EXPECT_TRUE(parse_double(std::string("+1.25"), &v));
+  EXPECT_EQ(v, 1.25);
+  // Overflow clamps, underflow flushes — strtod parity.
+  EXPECT_TRUE(parse_double(std::string("1e999"), &v));
+  EXPECT_EQ(v, HUGE_VAL);
+  EXPECT_TRUE(parse_double(std::string("-1e999"), &v));
+  EXPECT_EQ(v, -HUGE_VAL);
+  EXPECT_TRUE(parse_double(std::string("1e-999"), &v));
+  EXPECT_EQ(v, 0.0);
+  // Trailing garbage or empty input fails the whole-string overload.
+  EXPECT_FALSE(parse_double(std::string("1.5x"), &v));
+  EXPECT_FALSE(parse_double(std::string(""), &v));
+  EXPECT_FALSE(parse_double(std::string("abc"), &v));
+}
+
+TEST(ParseDouble, PrefixOverloadStopsAtDelimiter) {
+  const std::string line = "seconds=3.2e-07,count=4";
+  double v = 0.0;
+  const char* begin = line.c_str() + 8;
+  const char* end = line.c_str() + line.size();
+  const char* stop = parse_double(begin, end, &v);
+  EXPECT_EQ(v, 3.2e-7);
+  EXPECT_EQ(*stop, ',');
+}
+
+TEST(FormatDoubleCompact, LocaleIndependent) {
+  CommaLocaleGuard guard;
+  // Sub-microsecond timings must keep their '.' and full precision even
+  // when the global locale says ','.
+  EXPECT_EQ(format_double_compact(3.2e-7), "3.2e-07");
+  EXPECT_EQ(format_double_compact(0.5), "0.5");
+  double v = 0.0;
+  ASSERT_TRUE(parse_double(std::string("3.2e-07"), &v));
+  EXPECT_EQ(v, 3.2e-7);
+  ASSERT_TRUE(parse_double(std::string("0.5"), &v));
+  EXPECT_EQ(v, 0.5);
+  // format_double (codegen literals) holds too.
+  EXPECT_EQ(format_double(1.0), "1.0");
+  EXPECT_EQ(format_double(0.5), "0.5");
+}
+
+TEST(FormatDoubleFixed, LocaleIndependentJsonFields) {
+  CommaLocaleGuard guard;
+  EXPECT_EQ(format_double_fixed(1234.5, 3), "1234.500");
+  EXPECT_EQ(format_double_fixed(0.25, 3), "0.250");
 }
 
 TEST(IsIdentifier, Accepts) {

@@ -9,8 +9,11 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <clocale>
 #include <cstdio>
 #include <fstream>
+#include <iterator>
+#include <locale>
 
 #include "ir/stencil_library.hpp"
 #include "jit/cache.hpp"
@@ -251,6 +254,64 @@ TEST_F(TuneStoreTiers, LoaderToleratesTornAndForeignLines) {
   EXPECT_EQ(rec.best_cand, "untiled");
   ASSERT_EQ(rec.timings.size(), 1u);
   EXPECT_DOUBLE_EQ(rec.timings[0].seconds, 0.25);
+}
+
+/// A numpunct facet mimicking de_DE decimal commas (the container has no
+/// installed comma locale to name).
+struct CommaDecimal : std::numpunct<char> {
+  char do_decimal_point() const override { return ','; }
+  char do_thousands_sep() const override { return '.'; }
+  std::string do_grouping() const override { return "\3"; }
+};
+
+TEST_F(TuneStoreTiers, RoundTripsSubMicrosecondTimingsUnderCommaLocale) {
+  // Force a de_DE-style global locale for the whole write/read cycle:
+  // field serialization and reload must stay locale-independent, and
+  // sub-microsecond timings must not be truncated to zero.
+  const std::locale previous = std::locale::global(
+      std::locale(std::locale::classic(), new CommaDecimal));
+  for (const char* name : {"de_DE.UTF-8", "de_DE", "fr_FR.UTF-8"}) {
+    if (std::setlocale(LC_NUMERIC, name) != nullptr) break;
+  }
+  struct Restore {
+    std::locale prev;
+    ~Restore() {
+      std::setlocale(LC_NUMERIC, "C");
+      std::locale::global(prev);
+    }
+  } restore{previous};
+
+  TuneKey key{"feedfacefeedface", "c", "m0", "r2|3.3|3.3"};
+  const CompileOptions opts;
+  const double tiny = 3.2e-7;  // sub-microsecond best time
+  ASSERT_TRUE(TuneStore().append(
+      {TuneStore::timing_line(key, "s", "l", "untiled", opts, tiny),
+       TuneStore::best_line(key, "s", "l", "untiled", opts, tiny)}));
+
+  // The file itself must use '.'-decimals (valid cross-machine JSONL).
+  {
+    std::ifstream f(path_);
+    std::string content((std::istreambuf_iterator<char>(f)),
+                        std::istreambuf_iterator<char>());
+    EXPECT_NE(content.find("3.2e-07"), std::string::npos) << content;
+    EXPECT_EQ(content.find("3,2"), std::string::npos) << content;
+  }
+
+  TuneDb db;
+  ASSERT_TRUE(TuneStore().load(&db));
+  EXPECT_EQ(db.skipped, 0);
+  ASSERT_EQ(db.records.size(), 1u);
+  const tune::KeyRecord& rec = db.records.at(key.str());
+  ASSERT_EQ(rec.timings.size(), 1u);
+  EXPECT_EQ(rec.timings[0].seconds, tiny);  // exact, not truncated
+  EXPECT_EQ(rec.best_seconds, tiny);
+
+  // Param maps with non-integral values survive the same cycle.
+  const ParamMap params{{"h2inv", 1.5}, {"eps", 3.2e-7}};
+  ParamMap params_back;
+  ASSERT_TRUE(
+      TuneStore::decode_params(TuneStore::encode_params(params), &params_back));
+  EXPECT_EQ(params_back, params);
 }
 
 TEST(TuneStoreAtomicity, TwoProcessAppendBatches) {

@@ -26,6 +26,10 @@ struct Features {
   bool param_use = false;
   bool in_place = false;      // stencil reads its own output grid
   bool negative_offset = false;
+  bool reduce_sum = false;    // sum reduction into a one-cell grid
+  bool reduce_max = false;
+  bool reduce_dot = false;
+  bool reduce_strided = false;  // reduction over a strided multi-rect union
 };
 
 void scan_expr(const ExprPtr& expr, const std::string& output, Features* f) {
@@ -54,6 +58,14 @@ void scan_expr(const ExprPtr& expr, const std::string& output, Features* f) {
       scan_expr(static_cast<const UnaryExpr*>(expr.get())->operand(), output,
                 f);
       break;
+    case ExprKind::Reduce: {
+      const auto* r = static_cast<const ReduceExpr*>(expr.get());
+      if (r->op() == ReduceOp::Sum) f->reduce_sum = true;
+      if (r->op() == ReduceOp::Max) f->reduce_max = true;
+      if (r->op() == ReduceOp::Dot) f->reduce_dot = true;
+      scan_expr(r->body(), output, f);
+      break;
+    }
     case ExprKind::Constant:
       break;
   }
@@ -71,6 +83,9 @@ void scan_program(const Program& p, Features* f) {
       }
     }
     scan_expr(s.expr(), s.output(), f);
+    if (s.is_reduction() && s.domain().rect_count() > 1) {
+      f->reduce_strided = true;
+    }
   }
 }
 
@@ -123,6 +138,10 @@ TEST(Generator, SeedStreamCoversEveryLanguageFeature) {
   EXPECT_TRUE(f.param_use) << "no scalar param use";
   EXPECT_TRUE(f.in_place) << "no in-place (multicolor) update";
   EXPECT_TRUE(f.negative_offset) << "no negative read offset";
+  EXPECT_TRUE(f.reduce_sum) << "no sum reduction generated";
+  EXPECT_TRUE(f.reduce_max) << "no max reduction generated";
+  EXPECT_TRUE(f.reduce_dot) << "no dot reduction generated";
+  EXPECT_TRUE(f.reduce_strided) << "no reduction over a strided union";
 }
 
 TEST(Generator, GeneratedProgramsRunOnReference) {

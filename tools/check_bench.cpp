@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "support/fingerprint.hpp"
+#include "support/string_util.hpp"
 #include "trace/history.hpp"
 
 namespace {
@@ -63,8 +64,9 @@ bool parse_report(const std::string& json, std::map<std::string, double>* out,
       *error = "row '" + label + "' has no seconds field";
       return false;
     }
-    const double seconds = std::strtod(json.c_str() + spos + seconds_key.size(),
-                                       nullptr);
+    double seconds = 0.0;
+    snowflake::parse_double(json.c_str() + spos + seconds_key.size(),
+                            json.c_str() + json.size(), &seconds);
     (*out)[label] = seconds;
   }
   return true;
@@ -128,7 +130,7 @@ int main(int argc, char** argv) {
   int nfiles = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--tol=", 6) == 0) {
-      tol_pct = std::atof(argv[i] + 6);
+      snowflake::parse_double(std::string(argv[i] + 6), &tol_pct);
     } else if (std::strncmp(argv[i], "--history=", 10) == 0) {
       history_path = argv[i] + 10;
     } else if (std::strncmp(argv[i], "--last=", 7) == 0) {
@@ -148,7 +150,9 @@ int main(int argc, char** argv) {
                      spec.c_str());
         return 1;
       }
-      row_tol[spec.substr(0, eq)] = std::atof(spec.c_str() + eq + 1);
+      double pct = 0.0;
+      snowflake::parse_double(spec.substr(eq + 1), &pct);
+      row_tol[spec.substr(0, eq)] = pct;
     } else if (nfiles < 2) {
       files[nfiles++] = argv[i];
     }

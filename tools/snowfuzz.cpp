@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "support/string_util.hpp"
 #include "verify/corpus.hpp"
 #include "verify/differ.hpp"
 #include "verify/generate.hpp"
@@ -184,7 +185,8 @@ int main(int argc, char** argv) {
     } else if (arg == "--backend") {
       opt.backend_prefix = next();
     } else if (arg == "--tol") {
-      opt.tol = std::strtod(next(), nullptr);
+      const std::string v = next();
+      snowflake::parse_double(v.data(), v.data() + v.size(), &opt.tol);
     } else if (arg == "--emit-repro") {
       opt.repro_dir = next();
     } else if (arg == "--corpus") {

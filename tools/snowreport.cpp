@@ -43,6 +43,7 @@
 #include <vector>
 
 #include "support/fingerprint.hpp"
+#include "support/string_util.hpp"
 #include "trace/history.hpp"
 #include "tune/store.hpp"
 
@@ -275,8 +276,10 @@ int run_critical_path(const std::string& path) {
     const std::string phase = json.substr(p + 1, phase_end - p - 1);
     const size_t dpos = json.find(dur_key, phase_end);
     if (dpos == std::string::npos) continue;
-    const double dur_s =
-        std::strtod(json.c_str() + dpos + dur_key.size(), nullptr) / 1e6;
+    double dur_us = 0.0;
+    snowflake::parse_double(json.c_str() + dpos + dur_key.size(),
+                            json.c_str() + json.size(), &dur_us);
+    const double dur_s = dur_us / 1e6;
     RankBreakdown& rb = ranks[rank];
     if (phase == "send") rb.send += dur_s;
     else if (phase == "wait") rb.wait += dur_s;
