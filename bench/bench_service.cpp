@@ -1,0 +1,160 @@
+// bench_service: compile-service SLO table — what a client pays for a
+// cold compile, a warm (memory/disk) cache hit, a server-side execute,
+// and a bare round-trip, all against a real in-process daemon on a
+// Unix-domain socket.
+//
+//   bench_service [--sweeps=K] [--json=f] [--n=N]
+//
+// The cold row recompiles K distinct sources (fresh cache keys); the warm
+// rows re-request one key; the disk row restarts the service over the
+// same cache directory between requests, so the artifact is on disk but
+// not in the daemon's memory map.
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "backend/jit/jit_backend.hpp"
+#include "bench_common.hpp"
+#include "ir/stencil_library.hpp"
+#include "ir/validate.hpp"
+#include "ir/weights.hpp"
+#include "service/client.hpp"
+#include "service/server.hpp"
+
+using namespace snowflake;
+using namespace snowflake::service;
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Problem {
+  GridSet grids;
+  std::string source;
+  KernelPlan plan;
+};
+
+Problem jacobi_problem(std::int64_t n) {
+  Problem p;
+  const Index shape{n + 2, n + 2};
+  const double h2inv = static_cast<double>(n * n);
+  p.grids.add_zeros("u", shape);
+  p.grids.add_zeros("u_next", shape);
+  p.grids.add_zeros("f", shape).fill(1.0);
+  const WeightArray laplacian = WeightArray::from_values(
+      {3, 3}, {0, 1, 0, 1, -4, 1, 0, 1, 0});
+  const ExprPtr update =
+      read("u", {0, 0}) +
+      constant(1.0 / (4.0 * h2inv)) *
+          (read("f", {0, 0}) + h2inv * component("u", laplacian));
+  StencilGroup group;
+  group.append(lib::dirichlet_boundary(2, "u"));
+  group.append(Stencil("jacobi", update, "u_next", lib::interior(2)));
+  const ShapeMap shapes = shapes_of(p.grids);
+  const CompileOptions options;
+  p.plan = build_plan(group, shapes, options);
+  p.source = render_source(group, shapes, options, /*openmp=*/false);
+  return p;
+}
+
+std::vector<GridBlob> blobs_of(const Problem& p) {
+  std::vector<GridBlob> blobs;
+  for (const auto& name : p.plan.grid_order) {
+    GridBlob blob;
+    blob.name = name;
+    const Index& extents = p.plan.shapes.at(name);
+    blob.extents.assign(extents.begin(), extents.end());
+    const Grid& grid = p.grids.at(name);
+    blob.data.assign(grid.data(), grid.data() + grid.size());
+    blobs.push_back(std::move(blob));
+  }
+  return blobs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Args args = bench::Args::parse(argc, argv);
+  const std::int64_t n = args.n_explicit ? args.n : 32;
+  const int reps = args.sweeps;
+
+  bench::banner("compile-service latency (snowflaked over a Unix socket)",
+                "cold = fresh key through the toolchain; warm = shared-cache "
+                "hit; disk = daemon restarted between requests");
+
+  const auto root =
+      fs::temp_directory_path() / ("sf_bench_service_" +
+                                   std::to_string(static_cast<long>(getpid())));
+  fs::remove_all(root);
+  fs::create_directories(root);
+  ServiceConfig config;
+  config.socket_path = (root / "d.sock").string();
+  config.cache_dir = (root / "cache").string();
+
+  const Problem problem = jacobi_problem(n);
+  bench::Table table({"request", "best seconds", "notes"});
+  auto report = [&](const std::string& label, double seconds,
+                    const std::string& notes) {
+    table.row({label, bench::Table::sci(seconds), notes});
+    bench::JsonReport::instance().record(label, seconds, 0.0, 0.0);
+  };
+
+  {
+    CompileService svc(config);
+    svc.start();
+    ClientConfig cc;
+    cc.socket_path = svc.socket_path();
+    cc.client_name = "bench";
+    ServiceClient client(cc);
+
+    report("ping rtt",
+           bench::time_best([&] { client.ping(1); }, 5, 50 * reps),
+           "frame + dispatch + frame");
+
+    double cold_best = 1e30;
+    for (int i = 0; i < reps; ++i) {
+      const std::string source =
+          problem.source + "\n/* bench cold " + std::to_string(i) + " */\n";
+      const double t = bench::time_best(
+          [&] { client.compile(source, false, {}); }, 0, 1);
+      cold_best = std::min(cold_best, t);
+    }
+    report("compile cold", cold_best, "toolchain runs server-side");
+
+    client.compile(problem.source, false, {});
+    report("hit memory",
+           bench::time_best([&] { client.compile(problem.source, false, {}); },
+                            2, 10 * reps),
+           "daemon memory map");
+
+    report("execute remote",
+           bench::time_best(
+               [&] {
+                 client.execute(problem.source, false, {}, 1,
+                                blobs_of(problem), {});
+               },
+               1, reps),
+           "grids both ways on the wire");
+    svc.stop();
+  }
+
+  // Disk-hit row: a fresh daemon over the same cache directory has the
+  // artifact on disk but not loaded — the restart-warm path clients see
+  // after a daemon upgrade.
+  double disk_best = 1e30;
+  for (int i = 0; i < std::max(1, reps / 2); ++i) {
+    CompileService svc(config);
+    svc.start();
+    ClientConfig cc;
+    cc.socket_path = svc.socket_path();
+    ServiceClient client(cc);
+    const double t = bench::time_best(
+        [&] { client.compile(problem.source, false, {}); }, 0, 1);
+    disk_best = std::min(disk_best, t);
+    svc.stop();
+  }
+  report("hit disk (restart)", disk_best, "dlopen from the on-disk cache");
+
+  fs::remove_all(root);
+  return 0;
+}

@@ -1,16 +1,20 @@
 #include "jit/cache.hpp"
 
+#include <signal.h>
 #include <unistd.h>
 
 #include <atomic>
+#include <cerrno>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <vector>
 
 #include "support/error.hpp"
 #include "support/hash.hpp"
 #include "support/logging.hpp"
+#include "support/paths.hpp"
 #include "trace/trace.hpp"
 
 namespace fs = std::filesystem;
@@ -19,17 +23,16 @@ namespace snowflake {
 
 namespace {
 
-std::string default_directory() {
-  if (const char* env = std::getenv("SNOWFLAKE_CACHE_DIR"); env != nullptr && *env) {
-    return env;
+std::uint64_t default_max_bytes() {
+  const char* env = std::getenv("SNOWFLAKE_CACHE_MAX_BYTES");
+  if (env == nullptr || !*env) return 0;  // unlimited
+  std::uint64_t bytes = 0;
+  if (!parse_byte_size(env, &bytes)) {
+    SF_LOG_WARN("ignoring malformed SNOWFLAKE_CACHE_MAX_BYTES='" << env
+                << "' (want bytes with optional k/m/g suffix)");
+    return 0;
   }
-  if (const char* xdg = std::getenv("XDG_CACHE_HOME"); xdg != nullptr && *xdg) {
-    return std::string(xdg) + "/snowflake";
-  }
-  if (const char* home = std::getenv("HOME"); home != nullptr && *home) {
-    return std::string(home) + "/.cache/snowflake";
-  }
-  return "/tmp/snowflake-cache";
+  return bytes;
 }
 
 std::string read_file(const fs::path& path) {
@@ -37,6 +40,12 @@ std::string read_file(const fs::path& path) {
   std::ostringstream ss;
   ss << in.rdbuf();
   return ss.str();
+}
+
+std::uint64_t file_bytes(const fs::path& path) {
+  std::error_code ec;
+  const auto size = fs::file_size(path, ec);
+  return ec ? 0 : static_cast<std::uint64_t>(size);
 }
 
 /// Unique-per-call suffix for staging files: the pid distinguishes
@@ -48,22 +57,155 @@ std::string staging_suffix() {
          std::to_string(counter.fetch_add(1));
 }
 
+/// Pid embedded in a ".tmp.<pid>.<n>" staging name, or -1.
+long staging_pid(const std::string& name) {
+  const auto pos = name.find(".tmp.");
+  if (pos == std::string::npos) return -1;
+  const char* digits = name.c_str() + pos + 5;
+  char* end = nullptr;
+  const long pid = std::strtol(digits, &end, 10);
+  if (end == digits || *end != '.') return -1;
+  return pid;
+}
+
+bool process_alive(long pid) {
+  if (pid <= 0) return false;
+  if (kill(static_cast<pid_t>(pid), 0) == 0) return true;
+  return errno != ESRCH;  // EPERM = alive but not ours
+}
+
 }  // namespace
 
 KernelCache::KernelCache(std::string directory)
-    : directory_(directory.empty() ? default_directory() : std::move(directory)) {
+    : KernelCache(CacheConfig{std::move(directory), 0, true}) {}
+
+KernelCache::KernelCache(CacheConfig config)
+    : directory_(config.directory.empty() ? resolve_cache_dir()
+                                          : std::move(config.directory)),
+      max_bytes_(config.max_bytes != 0 ? config.max_bytes
+                                       : default_max_bytes()) {
   std::error_code ec;
   fs::create_directories(directory_, ec);
   if (ec) {
     throw ToolchainError("cannot create kernel cache directory '" + directory_ +
                          "': " + ec.message());
   }
+  if (config.sweep_stale) open_directory();
+}
+
+void KernelCache::open_directory() {
+  // Index existing entries (for the byte-capacity accounting) and sweep
+  // staging files orphaned by a crashed process: a live pid may still be
+  // mid-publish, a dead pid's .tmp files can never be renamed into place.
+  std::error_code ec;
+  std::vector<fs::path> stale;
+  for (const auto& entry : fs::directory_iterator(directory_, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (const long pid = staging_pid(name); pid > 0) {
+      if (!process_alive(pid)) stale.push_back(entry.path());
+      continue;
+    }
+    if (entry.path().extension() != ".so") continue;
+    const fs::path src = fs::path(entry.path()).replace_extension(".src");
+    std::error_code exists_ec;
+    if (!fs::exists(src, exists_ec)) continue;
+    DiskEntry de;
+    de.bytes = file_bytes(entry.path()) + file_bytes(src);
+    de.last_touch = 0;  // before every live touch; first eviction victims
+    const std::string key = entry.path().stem().string();
+    disk_[key] = de;
+    stats_.disk_bytes += de.bytes;
+  }
+  for (const auto& path : stale) {
+    std::error_code rm_ec;
+    if (fs::remove(path, rm_ec)) {
+      ++stats_.swept_stale;
+      SF_LOG_DEBUG("swept stale staging file " << path);
+    }
+  }
+  if (stats_.swept_stale > 0) {
+    SF_LOG_WARN("kernel cache " << directory_ << ": swept "
+                << stats_.swept_stale
+                << " staging file(s) orphaned by dead processes");
+  }
+}
+
+std::string KernelCache::key_for(const std::string& source,
+                                 const Toolchain& toolchain) {
+  return hash_hex(fnv1a64(source + "\x1e" + toolchain.flags_fingerprint()));
+}
+
+void KernelCache::evict_locked() {
+  if (max_bytes_ == 0) return;
+  auto& collector = trace::TraceCollector::instance();
+  while (stats_.disk_bytes > max_bytes_) {
+    // Least-recently-touched entry that is neither pinned nor mid-compile.
+    auto victim = disk_.end();
+    for (auto it = disk_.begin(); it != disk_.end(); ++it) {
+      if (pins_.count(it->first) != 0 || in_flight_.count(it->first) != 0) {
+        continue;
+      }
+      if (victim == disk_.end() ||
+          it->second.last_touch < victim->second.last_touch) {
+        victim = it;
+      }
+    }
+    if (victim == disk_.end()) {
+      SF_LOG_DEBUG("kernel cache over capacity ("
+                   << stats_.disk_bytes << " > " << max_bytes_
+                   << " bytes) but every entry is pinned or in flight");
+      return;
+    }
+    const std::string key = victim->first;
+    const std::uint64_t bytes = victim->second.bytes;
+    std::error_code ec;
+    fs::remove(fs::path(directory_) / (key + ".so"), ec);
+    fs::remove(fs::path(directory_) / (key + ".src"), ec);
+    disk_.erase(victim);
+    loaded_.erase(key);  // evicted = gone; existing handles stay mapped
+    stats_.disk_bytes -= bytes;
+    ++stats_.evictions;
+    stats_.evicted_bytes += bytes;
+    collector.increment("jit.cache.evictions");
+    SF_LOG_DEBUG("evicted kernel cache entry " << key << " (" << bytes
+                                               << " bytes)");
+  }
+}
+
+void KernelCache::pin(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (++pins_[key] == 1) ++stats_.pinned_keys;
+}
+
+bool KernelCache::unpin(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = pins_.find(key);
+  if (it == pins_.end()) return false;
+  if (--it->second == 0) {
+    pins_.erase(it);
+    --stats_.pinned_keys;
+    // A pin may have been the only thing holding entries over capacity.
+    evict_locked();
+  }
+  return true;
+}
+
+std::uint64_t KernelCache::pin_count(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = pins_.find(key);
+  return it == pins_.end() ? 0 : it->second;
 }
 
 std::shared_ptr<Module> KernelCache::get_or_compile(const std::string& source,
-                                                    const Toolchain& toolchain) {
-  const std::string key =
-      hash_hex(fnv1a64(source + "\x1e" + toolchain.flags_fingerprint()));
+                                                    const Toolchain& toolchain,
+                                                    ArtifactInfo* info) {
+  const std::string key = key_for(source, toolchain);
+  const fs::path so_path = fs::path(directory_) / (key + ".so");
+  if (info != nullptr) {
+    *info = ArtifactInfo{};
+    info->key = key;
+    info->so_path = so_path.string();
+  }
 
   trace::Span span("jit:cache", "jit");
   auto& collector = trace::TraceCollector::instance();
@@ -72,14 +214,25 @@ std::shared_ptr<Module> KernelCache::get_or_compile(const std::string& source,
   // Wait out any in-flight compile of the same key; on wake the memory map
   // usually has the module (a failed compile leaves it absent and we take
   // over the slot ourselves).
+  bool waited = false;
   for (;;) {
     if (auto it = loaded_.find(key); it != loaded_.end()) {
       ++stats_.memory_hits;
+      if (waited) {
+        ++stats_.coalesced;
+        collector.increment("jit.cache.coalesced");
+      }
       collector.increment("jit.cache.memory_hits");
       span.counter("memory_hit", 1.0);
+      if (auto de = disk_.find(key); de != disk_.end()) {
+        de->second.last_touch = ++touch_clock_;
+        if (info != nullptr) info->bytes = de->second.bytes;
+      }
+      if (info != nullptr) info->memory_hit = true;
       return it->second;
     }
     if (in_flight_.count(key) == 0) break;
+    waited = true;
     cv_.wait(lock);
   }
   in_flight_.insert(key);
@@ -87,10 +240,10 @@ std::shared_ptr<Module> KernelCache::get_or_compile(const std::string& source,
 
   // Disk probe and compilation run unlocked so distinct keys overlap; the
   // in_flight_ entry guarantees this key has a single owner.
-  const fs::path so_path = fs::path(directory_) / (key + ".so");
   const fs::path src_path = fs::path(directory_) / (key + ".src");
   std::shared_ptr<Module> module;
   bool disk_hit = false;
+  double compile_seconds = 0.0;
   try {
     std::error_code ec;
     if (fs::exists(so_path, ec) && fs::exists(src_path, ec) &&
@@ -111,11 +264,11 @@ std::shared_ptr<Module> KernelCache::get_or_compile(const std::string& source,
           trace::Span compile_span("jit:cc", "jit");
           const double start = trace::now_us();
           toolchain.compile_shared_object(source, so_tmp.string());
-          const double cc_seconds = (trace::now_us() - start) / 1e6;
-          compile_span.counter("cc_s", cc_seconds);
+          compile_seconds = (trace::now_us() - start) / 1e6;
+          compile_span.counter("cc_s", compile_seconds);
           compile_span.counter("source_bytes",
                                static_cast<double>(source.size()));
-          collector.increment("jit.cc.seconds", cc_seconds);
+          collector.increment("jit.cc.seconds", compile_seconds);
         }
         {
           std::ofstream out(src_tmp, std::ios::binary);
@@ -146,8 +299,21 @@ std::shared_ptr<Module> KernelCache::get_or_compile(const std::string& source,
     throw;
   }
 
+  const std::uint64_t entry_bytes = file_bytes(so_path) + file_bytes(src_path);
+
   lock.lock();
   loaded_[key] = module;
+  // Track (or refresh) the on-disk entry for the capacity accounting; a
+  // concurrent process may have published it since open_directory().
+  auto de = disk_.find(key);
+  if (de == disk_.end()) {
+    disk_[key] = DiskEntry{entry_bytes, ++touch_clock_};
+    stats_.disk_bytes += entry_bytes;
+  } else {
+    stats_.disk_bytes += entry_bytes - de->second.bytes;
+    de->second.bytes = entry_bytes;
+    de->second.last_touch = ++touch_clock_;
+  }
   in_flight_.erase(key);
   if (disk_hit) {
     ++stats_.disk_hits;
@@ -158,6 +324,13 @@ std::shared_ptr<Module> KernelCache::get_or_compile(const std::string& source,
     collector.increment("jit.cache.compiles");
     span.counter("compile", 1.0);
   }
+  if (info != nullptr) {
+    info->disk_hit = disk_hit;
+    info->compiled = !disk_hit;
+    info->compile_seconds = compile_seconds;
+    info->bytes = entry_bytes;
+  }
+  evict_locked();
   cv_.notify_all();
   return module;
 }

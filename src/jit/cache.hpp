@@ -8,14 +8,27 @@
 // collide, the source is stored next to the .so and compared on every disk
 // hit — a mismatch degrades to a recompile, never to loading wrong code.
 //
+// Process-shareable interface (the snowflaked compile daemon serves many
+// clients out of one instance):
+//   - Byte-capacity LRU eviction: CacheConfig::max_bytes (or
+//     $SNOWFLAKE_CACHE_MAX_BYTES, k/m/g suffixes accepted) bounds the
+//     on-disk footprint; least-recently-used entries are unlinked when a
+//     new artifact pushes the total over the cap.
+//   - Artifact pinning: pin(key) marks an entry held by a live client
+//     handle; pinned entries are never evicted, whatever the pressure.
+//   - Single-flight compile dedup: callers asking for a key already in
+//     flight wait on a condition variable and share the result, so each
+//     key is compiled at most once (stats().coalesced counts the waits).
+//   - Crash hygiene: staging files (.tmp.<pid>.<n>) orphaned by a dead
+//     process are swept when the cache opens.
+//
 // Thread-safe: the map is guarded by a mutex, but compilation itself runs
 // OUTSIDE the lock — distinct keys compile concurrently (the tuner
-// compiles its whole candidate set in parallel), while callers asking for
-// a key already in flight wait on a condition variable and share the
-// result, so each key is compiled at most once.  Every lookup also feeds
-// the jit.cache.* trace counters, visible in the $SNOWFLAKE_METRICS dump.
+// compiles its whole candidate set in parallel).  Every lookup feeds the
+// jit.cache.* trace counters, visible in the $SNOWFLAKE_METRICS dump.
 
 #include <condition_variable>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -27,26 +40,77 @@
 
 namespace snowflake {
 
+struct CacheConfig {
+  /// Empty selects $SNOWFLAKE_CACHE_DIR, else $XDG_CACHE_HOME/snowflake,
+  /// else $HOME/.cache/snowflake, else /tmp/snowflake-<uid> (warned).
+  std::string directory;
+  /// On-disk byte capacity (sum of .so + .src sizes); 0 = read
+  /// $SNOWFLAKE_CACHE_MAX_BYTES, which itself defaults to unlimited.
+  std::uint64_t max_bytes = 0;
+  /// Sweep staging files left by crashed processes at open.
+  bool sweep_stale = true;
+};
+
+/// Where a get_or_compile() answer came from, plus the artifact identity a
+/// compile service hands to its clients.
+struct ArtifactInfo {
+  std::string key;       // 16-hex cache key (source + toolchain flags)
+  std::string so_path;   // final shared-object path inside the cache dir
+  bool memory_hit = false;
+  bool disk_hit = false;
+  bool compiled = false;
+  double compile_seconds = 0.0;   // when compiled
+  std::uint64_t bytes = 0;        // on-disk footprint (.so + .src)
+};
+
 class KernelCache {
 public:
-  /// `directory` empty selects $SNOWFLAKE_CACHE_DIR, else
-  /// $XDG_CACHE_HOME/snowflake, else $HOME/.cache/snowflake, else
-  /// /tmp/snowflake-cache.
+  /// `directory` empty selects the CacheConfig resolution above.
   explicit KernelCache(std::string directory = "");
+  explicit KernelCache(CacheConfig config);
 
   /// Compile (or fetch) `source` with the given toolchain; returns the
-  /// loaded module.  Thread-safe.
+  /// loaded module.  Thread-safe.  `info`, when non-null, receives the
+  /// artifact identity and hit provenance.
   std::shared_ptr<Module> get_or_compile(const std::string& source,
-                                         const Toolchain& toolchain);
+                                         const Toolchain& toolchain,
+                                         ArtifactInfo* info = nullptr);
+
+  /// The cache key get_or_compile() would use (exposed so services can
+  /// dedup requests before touching the cache).
+  static std::string key_for(const std::string& source,
+                             const Toolchain& toolchain);
+
+  /// Pin an artifact against eviction while a client holds a handle to it.
+  /// Counted: pin twice, unpin twice.  Pinning an unknown key is allowed
+  /// (it protects the entry the moment it appears).
+  void pin(const std::string& key);
+  /// Drop one pin; returns false if the key held no pins.
+  bool unpin(const std::string& key);
+  /// Live pins on `key`.
+  std::uint64_t pin_count(const std::string& key) const;
 
   const std::string& directory() const { return directory_; }
+  std::uint64_t max_bytes() const { return max_bytes_; }
 
-  /// Cache statistics for the JIT-overhead ablation bench and the metrics
-  /// dump.
+  /// Cache statistics for the JIT-overhead ablation bench, the metrics
+  /// dump, and the compile service's SLO surface.
   struct Stats {
     std::uint64_t memory_hits = 0;
     std::uint64_t disk_hits = 0;
     std::uint64_t compiles = 0;
+    /// get_or_compile() calls that waited on another caller's in-flight
+    /// compile of the same key (single-flight dedup).
+    std::uint64_t coalesced = 0;
+    /// Entries unlinked by the LRU capacity policy, and their bytes.
+    std::uint64_t evictions = 0;
+    std::uint64_t evicted_bytes = 0;
+    /// Orphaned .tmp.<pid>.<n> staging files removed at open.
+    std::uint64_t swept_stale = 0;
+    /// Current on-disk footprint of tracked entries.
+    std::uint64_t disk_bytes = 0;
+    /// Entries currently holding at least one pin.
+    std::uint64_t pinned_keys = 0;
   };
   /// Snapshot under the internal lock.
   Stats stats() const;
@@ -55,13 +119,27 @@ public:
   static KernelCache& instance();
 
 private:
+  void open_directory();
+  /// Unlink LRU entries until disk_bytes_ <= max_bytes_, skipping pinned
+  /// and in-flight keys.  Caller holds mu_.
+  void evict_locked();
+
   std::string directory_;
+  std::uint64_t max_bytes_ = 0;
   mutable std::mutex mu_;
   std::condition_variable cv_;
   /// Keys being probed/compiled right now (outside the lock); a second
   /// caller for the same key waits on cv_ instead of compiling twice.
   std::set<std::string> in_flight_;
   std::map<std::string, std::shared_ptr<Module>> loaded_;
+  /// On-disk entries: byte size and last-touch tick for LRU ordering.
+  struct DiskEntry {
+    std::uint64_t bytes = 0;
+    std::uint64_t last_touch = 0;
+  };
+  std::map<std::string, DiskEntry> disk_;
+  std::map<std::string, std::uint64_t> pins_;
+  std::uint64_t touch_clock_ = 0;
   Stats stats_;
 };
 

@@ -1,8 +1,15 @@
 #include "jit/toolchain.hpp"
 
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
 #include <sys/wait.h>
+#include <unistd.h>
 
+#include <algorithm>
 #include <array>
+#include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -50,32 +57,17 @@ std::string discover_compiler() {
   return "";
 }
 
-struct RunResult {
-  bool spawn_failed = false;  // popen/pclose themselves failed
-  int wait_status = 0;        // raw waitpid status (valid when !spawn_failed)
-  std::string output;         // combined stdout+stderr
-};
-
-/// Run a command, capturing combined stdout+stderr.
-RunResult run_command(const std::string& command) {
-  RunResult result;
-  FILE* pipe = popen((command + " 2>&1").c_str(), "r");
-  if (pipe == nullptr) {
-    result.spawn_failed = true;
-    return result;
+double default_cc_timeout() {
+  if (const char* env = std::getenv("SNOWFLAKE_CC_TIMEOUT");
+      env != nullptr && *env) {
+    double seconds = 0.0;
+    if (parse_double(std::string(env), &seconds) && seconds >= 0.0) {
+      return seconds;
+    }
+    SF_LOG_WARN("ignoring malformed SNOWFLAKE_CC_TIMEOUT='" << env
+                << "' (want seconds; 0 disables)");
   }
-  std::array<char, 4096> buf;
-  size_t n;
-  while ((n = fread(buf.data(), 1, buf.size(), pipe)) > 0) {
-    result.output.append(buf.data(), n);
-  }
-  const int status = pclose(pipe);
-  if (status == -1) {
-    result.spawn_failed = true;
-    return result;
-  }
-  result.wait_status = status;
-  return result;
+  return 600.0;
 }
 
 std::string shell_quote(const std::string& s) {
@@ -103,11 +95,104 @@ std::string describe_wait_status(int status) {
   return "wait status " + std::to_string(status);
 }
 
+CommandResult run_host_command(const std::string& command,
+                               double timeout_seconds) {
+  CommandResult result;
+  int fds[2];
+  if (pipe(fds) != 0) {
+    result.spawn_failed = true;
+    return result;
+  }
+  const pid_t pid = fork();
+  if (pid < 0) {
+    close(fds[0]);
+    close(fds[1]);
+    result.spawn_failed = true;
+    return result;
+  }
+  if (pid == 0) {
+    // Child: own process group (so a timeout kill reaps the compiler AND
+    // anything it spawned), both output streams into the pipe.
+    setpgid(0, 0);
+    dup2(fds[1], STDOUT_FILENO);
+    dup2(fds[1], STDERR_FILENO);
+    close(fds[0]);
+    close(fds[1]);
+    execl("/bin/sh", "sh", "-c", command.c_str(), static_cast<char*>(nullptr));
+    _exit(127);
+  }
+  close(fds[1]);
+
+  // Drain the pipe WHILE the child runs.  Reading only after wait() would
+  // deadlock the moment diagnostics exceed the kernel pipe buffer: the
+  // child blocks on a full pipe, the parent blocks in wait().
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(
+              timeout_seconds > 0 ? timeout_seconds : 0.0));
+  bool killed = false;
+  std::array<char, 65536> buf;
+  for (bool open = true; open;) {
+    int wait_ms = -1;
+    if (timeout_seconds > 0 && !killed) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - std::chrono::steady_clock::now());
+      wait_ms = static_cast<int>(std::max<long long>(0, left.count()));
+    }
+    struct pollfd pfd = {fds[0], POLLIN, 0};
+    const int ready = poll(&pfd, 1, wait_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;  // pipe is broken; fall through to waitpid
+    }
+    if (ready == 0) {
+      // Timeout expired with the child still holding the pipe open: kill
+      // the whole process group and keep draining until EOF so the exit
+      // status and any partial diagnostics are still collected.
+      kill(-pid, SIGKILL);  // the group (compiler + cc1/ld children)
+      kill(pid, SIGKILL);   // and the leader directly, in case the child
+                            // was killed before its setpgid() took effect
+      killed = true;
+      result.timed_out = true;
+      continue;
+    }
+    const ssize_t n = read(fds[0], buf.data(), buf.size());
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (n == 0) {
+      open = false;  // EOF: child (and every inheritor of the fd) exited
+    } else {
+      result.output.append(buf.data(), static_cast<size_t>(n));
+    }
+  }
+  close(fds[0]);
+
+  int status = 0;
+  pid_t waited;
+  do {
+    waited = waitpid(pid, &status, 0);
+  } while (waited < 0 && errno == EINTR);
+  if (waited < 0) {
+    result.spawn_failed = true;
+    return result;
+  }
+  result.wait_status = status;
+  return result;
+}
+
 Toolchain::Toolchain(ToolchainConfig config) : config_(std::move(config)) {
   compiler_ = config_.compiler.empty() ? discover_compiler() : config_.compiler;
   if (compiler_.empty()) {
     SF_LOG_WARN("no host C compiler found; JIT backends unavailable");
   }
+}
+
+double Toolchain::timeout_seconds() const {
+  return config_.timeout_seconds >= 0.0 ? config_.timeout_seconds
+                                        : default_cc_timeout();
 }
 
 std::string Toolchain::flags_fingerprint() const {
@@ -135,19 +220,27 @@ void Toolchain::compile_shared_object(const std::string& source,
                               shell_quote(c_path.string()) + " -o " +
                               shell_quote(so.string());
   SF_LOG_DEBUG("jit compile: " << command);
-  RunResult result;
+  const double budget = timeout_seconds();
+  CommandResult result;
   {
     trace::Span span("jit:toolchain", "jit");
     span.counter("source_bytes", static_cast<double>(source.size()));
-    result = run_command(command);
+    result = run_host_command(command, budget);
   }
   if (!config_.debug_keep_source) {
     std::error_code ec;
     fs::remove(c_path, ec);
   }
   if (result.spawn_failed) {
-    throw ToolchainError("cannot spawn host compiler (popen failed):\n" +
+    throw ToolchainError("cannot spawn host compiler (fork/exec failed):\n" +
                          command);
+  }
+  if (result.timed_out) {
+    throw ToolchainError(
+        "host compiler timed out after " + format_double(budget) +
+        "s and was killed (raise $SNOWFLAKE_CC_TIMEOUT if the source is "
+        "legitimately huge):\n" +
+        command + "\n" + result.output);
   }
   if (WIFSIGNALED(result.wait_status)) {
     throw ToolchainError("host compiler " +

@@ -5,6 +5,13 @@
 // a temporary .c file, invoke the system compiler with optimization and
 // (optionally) OpenMP flags, and dlopen the result.  Compiler discovery
 // honours $SNOWFLAKE_CC, then $CC, then `cc`/`gcc`/`clang` on PATH.
+//
+// The child's stdout/stderr are drained concurrently with execution (a
+// compiler spewing more than a pipe buffer of diagnostics must not wedge
+// the parent), and a configurable timeout ($SNOWFLAKE_CC_TIMEOUT seconds,
+// or ToolchainConfig::timeout_seconds) kills a hung compiler's whole
+// process group instead of hanging the caller — essential once a single
+// long-lived daemon compiles on behalf of many clients.
 
 #include <string>
 #include <vector>
@@ -16,11 +23,30 @@ namespace snowflake {
 /// compiler that exits 1 is reported as exit code 1, not "status 256").
 std::string describe_wait_status(int status);
 
+/// Result of running a host command with output capture.
+struct CommandResult {
+  bool spawn_failed = false;  // fork/exec plumbing itself failed
+  bool timed_out = false;     // killed after exceeding the timeout
+  int wait_status = 0;        // raw waitpid status (valid when !spawn_failed)
+  std::string output;         // combined stdout+stderr (drained live)
+};
+
+/// Run `command` through /bin/sh -c, draining combined stdout+stderr
+/// concurrently (poll(2), so output larger than a pipe buffer never
+/// deadlocks).  `timeout_seconds` > 0 kills the child's process group with
+/// SIGKILL once exceeded and sets timed_out; <= 0 waits forever.  Exposed
+/// for the toolchain pipe-flood/timeout regression tests.
+CommandResult run_host_command(const std::string& command,
+                               double timeout_seconds);
+
 struct ToolchainConfig {
   std::string compiler;                 // empty = auto-discover
   std::vector<std::string> extra_flags; // appended after the defaults
   bool openmp = false;                  // add -fopenmp
   bool debug_keep_source = false;       // leave .c next to the .so
+  /// Compiler wall-clock budget in seconds; < 0 = $SNOWFLAKE_CC_TIMEOUT
+  /// (default 600), 0 = no timeout.
+  double timeout_seconds = -1.0;
 };
 
 class Toolchain {
@@ -40,6 +66,9 @@ public:
 
   /// The flags that `compile_shared_object` will pass (for cache keys).
   std::string flags_fingerprint() const;
+
+  /// Effective compile timeout in seconds (0 = none).
+  double timeout_seconds() const;
 
 private:
   ToolchainConfig config_;

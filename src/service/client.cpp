@@ -1,0 +1,129 @@
+#include "service/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "support/paths.hpp"
+
+namespace snowflake::service {
+
+namespace {
+
+int connect_or_throw(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw WireError(std::string("cannot create socket: ") +
+                    std::strerror(errno));
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path) {
+    ::close(fd);
+    throw WireError("socket path too long for sockaddr_un: " + path);
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof addr.sun_path - 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(fd);
+    throw WireError("cannot reach snowflaked at " + path + ": " + why +
+                    " (is the daemon running?)");
+  }
+  return fd;
+}
+
+}  // namespace
+
+ServiceClient::ServiceClient(ClientConfig config)
+    : config_(std::move(config)),
+      socket_path_(config_.socket_path.empty() ? default_service_socket()
+                                               : config_.socket_path),
+      fd_(connect_or_throw(socket_path_)) {}
+
+ServiceClient::~ServiceClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+bool ServiceClient::daemon_available(const std::string& socket_path) {
+  try {
+    ClientConfig config;
+    config.socket_path = socket_path;
+    ServiceClient probe(std::move(config));
+    probe.ping(0x5f5fu);
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+template <typename Resp, typename Req>
+Resp ServiceClient::round_trip(const Req& req) {
+  send_message(fd_, req);
+  Frame frame;
+  if (!read_frame(fd_, &frame)) {
+    throw WireError("daemon closed the connection before replying");
+  }
+  return expect_message<Resp>(frame);
+}
+
+CompileResponse ServiceClient::compile(
+    const std::string& source, bool openmp,
+    const std::vector<std::string>& extra_flags, bool pin,
+    const std::string& group_hash) {
+  CompileRequest req;
+  req.client = config_.client_name;
+  req.group_hash = group_hash;
+  req.source = source;
+  req.openmp = openmp;
+  req.extra_flags = extra_flags;
+  req.pin = pin;
+  return round_trip<CompileResponse>(req);
+}
+
+ExecuteResponse ServiceClient::execute(
+    const std::string& source, bool openmp,
+    const std::vector<std::string>& extra_flags, std::uint32_t sweeps,
+    std::vector<GridBlob> grids, const std::vector<double>& params,
+    const std::string& group_hash) {
+  ExecuteRequest req;
+  req.client = config_.client_name;
+  req.group_hash = group_hash;
+  req.source = source;
+  req.openmp = openmp;
+  req.extra_flags = extra_flags;
+  req.sweeps = sweeps;
+  req.grids = std::move(grids);
+  req.params = params;
+  return round_trip<ExecuteResponse>(req);
+}
+
+ReleaseResponse ServiceClient::release(const std::string& key) {
+  ReleaseRequest req;
+  req.key = key;
+  return round_trip<ReleaseResponse>(req);
+}
+
+StatusResponse ServiceClient::status() {
+  return round_trip<StatusResponse>(StatusRequest{});
+}
+
+std::uint64_t ServiceClient::ping(std::uint64_t nonce) {
+  PingRequest req;
+  req.nonce = nonce;
+  const auto resp = round_trip<PingResponse>(req);
+  if (resp.nonce != nonce) {
+    throw WireError("ping nonce mismatch (daemon echoed " +
+                    std::to_string(resp.nonce) + ", expected " +
+                    std::to_string(nonce) + ")");
+  }
+  return resp.pid;
+}
+
+ShutdownResponse ServiceClient::shutdown() {
+  return round_trip<ShutdownResponse>(ShutdownRequest{});
+}
+
+}  // namespace snowflake::service

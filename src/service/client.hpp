@@ -1,0 +1,83 @@
+#pragma once
+// Client side of the snowflaked compile service.
+//
+// ServiceClient wraps one connection to a daemon socket: connect, lower a
+// StencilGroup to generated C locally (the daemon never sees IR, only the
+// exact source+flags pair the cache keys on), and ask the daemon to
+// compile it (CompileResponse carries the shared .so path for dlopen) or
+// to run it server-side (ExecuteRequest ships the grids both ways).
+//
+// A pinned compile holds the artifact against LRU eviction until
+// release() or the connection closes — the daemon drops a connection's
+// pins automatically, so a crashed client can never leak a pin.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "service/wire.hpp"
+
+namespace snowflake::service {
+
+struct ClientConfig {
+  /// Empty = support/paths default_service_socket().
+  std::string socket_path;
+  /// Reported to the daemon in request logs.
+  std::string client_name = "snowflakec";
+};
+
+class ServiceClient {
+public:
+  /// Connect to the daemon; throws WireError when nobody is listening.
+  explicit ServiceClient(ClientConfig config = {});
+  ~ServiceClient();
+
+  ServiceClient(const ServiceClient&) = delete;
+  ServiceClient& operator=(const ServiceClient&) = delete;
+
+  /// True when a daemon answers on `socket_path` (empty = default) without
+  /// raising; used by tools to decide between remote and local compilation.
+  static bool daemon_available(const std::string& socket_path = "");
+
+  /// Compile `source` with the given flags on the daemon.  `pin` holds the
+  /// artifact against eviction until release()/disconnect.  Throws
+  /// WireError on transport failure; a compile failure comes back in the
+  /// response (ok=false, error set).
+  CompileResponse compile(const std::string& source, bool openmp,
+                          const std::vector<std::string>& extra_flags,
+                          bool pin = false,
+                          const std::string& group_hash = "");
+
+  /// Compile (if needed) and run server-side: grids go over the wire in
+  /// kernel-plan order and come back updated.
+  ExecuteResponse execute(const std::string& source, bool openmp,
+                          const std::vector<std::string>& extra_flags,
+                          std::uint32_t sweeps, std::vector<GridBlob> grids,
+                          const std::vector<double>& params,
+                          const std::string& group_hash = "");
+
+  /// Drop this connection's pin on `key`.
+  ReleaseResponse release(const std::string& key);
+
+  /// Daemon status (cache stats, request counters, uptime).
+  StatusResponse status();
+
+  /// Round-trip a nonce; returns the daemon pid.
+  std::uint64_t ping(std::uint64_t nonce = 0);
+
+  /// Ask the daemon to exit.  Returns its acknowledgement.
+  ShutdownResponse shutdown();
+
+  const std::string& socket_path() const { return socket_path_; }
+
+private:
+  template <typename Resp, typename Req>
+  Resp round_trip(const Req& req);
+
+  ClientConfig config_;
+  std::string socket_path_;
+  int fd_ = -1;
+};
+
+}  // namespace snowflake::service

@@ -1,0 +1,456 @@
+#include "service/server.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+
+#include "codegen/cemit.hpp"
+#include "support/logging.hpp"
+#include "support/paths.hpp"
+#include "trace/trace.hpp"
+
+namespace fs = std::filesystem;
+
+namespace snowflake::service {
+
+namespace {
+
+int connect_unix(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path) {
+    ::close(fd);
+    return -1;
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof addr.sun_path - 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+void send_error(int fd, ErrorCode code, const std::string& message) {
+  try {
+    ErrorReply err;
+    err.code = code;
+    err.message = message;
+    send_message(fd, err);
+  } catch (const WireError&) {
+    // Peer already gone; nothing to report to.
+  }
+}
+
+}  // namespace
+
+CompileService::CompileService(ServiceConfig config)
+    : config_(std::move(config)),
+      socket_path_(config_.socket_path.empty() ? default_service_socket()
+                                               : config_.socket_path) {
+  CacheConfig cc;
+  cc.directory = config_.cache_dir;
+  cc.max_bytes = config_.cache_max_bytes;
+  cache_ = std::make_unique<KernelCache>(cc);
+}
+
+CompileService::~CompileService() { stop(); }
+
+void CompileService::start() {
+  if (running_.load()) return;
+  std::error_code ec;
+  fs::create_directories(fs::path(socket_path_).parent_path(), ec);
+
+  // A leftover socket file from a crashed daemon must not block restart,
+  // but a LIVE daemon on the same path must not be silently displaced.
+  if (fs::exists(socket_path_, ec)) {
+    const int probe = connect_unix(socket_path_);
+    if (probe >= 0) {
+      ::close(probe);
+      throw WireError("a snowflaked is already listening on " + socket_path_);
+    }
+    fs::remove(socket_path_, ec);
+  }
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw WireError(std::string("cannot create socket: ") +
+                    std::strerror(errno));
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path_.size() >= sizeof addr.sun_path) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw WireError("socket path too long for sockaddr_un: " + socket_path_);
+  }
+  std::strncpy(addr.sun_path, socket_path_.c_str(), sizeof addr.sun_path - 1);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
+          0 ||
+      ::listen(listen_fd_, config_.backlog) != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw WireError("cannot bind/listen on " + socket_path_ + ": " + why);
+  }
+  if (pipe(stop_pipe_) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw WireError(std::string("cannot create stop pipe: ") +
+                    std::strerror(errno));
+  }
+  started_ = std::chrono::steady_clock::now();
+  stopping_.store(false);
+  running_.store(true);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  SF_LOG_INFO("snowflaked listening on " << socket_path_ << " (cache "
+              << cache_->directory() << ", max "
+              << (cache_->max_bytes() == 0
+                      ? std::string("unlimited")
+                      : std::to_string(cache_->max_bytes()) + " bytes")
+              << ")");
+}
+
+void CompileService::stop() {
+  if (!running_.exchange(false)) return;
+  stopping_.store(true);
+  // Wake the accept loop, then every connection handler.
+  if (stop_pipe_[1] >= 0) {
+    const char byte = 'x';
+    [[maybe_unused]] ssize_t n = ::write(stop_pipe_[1], &byte, 1);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [fd, _] : open_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    workers.swap(workers_);
+  }
+  for (auto& t : workers) {
+    if (t.joinable()) t.join();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  for (int& fd : stop_pipe_) {
+    if (fd >= 0) {
+      ::close(fd);
+      fd = -1;
+    }
+  }
+  std::error_code ec;
+  fs::remove(socket_path_, ec);
+  shutdown_cv_.notify_all();
+}
+
+bool CompileService::wait_for_shutdown_request() {
+  std::unique_lock<std::mutex> lock(mu_);
+  shutdown_cv_.wait(lock, [this] {
+    return shutdown_requested_ || !running_.load();
+  });
+  return shutdown_requested_;
+}
+
+CompileService::Counters CompileService::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+void CompileService::accept_loop() {
+  auto& collector = trace::TraceCollector::instance();
+  while (!stopping_.load()) {
+    struct pollfd pfds[2] = {{listen_fd_, POLLIN, 0},
+                             {stop_pipe_[0], POLLIN, 0}};
+    const int ready = ::poll(pfds, 2, -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (pfds[1].revents != 0 || stopping_.load()) break;
+    if ((pfds[0].revents & POLLIN) == 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    if (counters_.active_clients >=
+        static_cast<std::uint64_t>(config_.max_clients)) {
+      // Admission control: a bounded daemon that says "no" fast beats an
+      // unbounded one that falls over slowly.
+      ++counters_.rejections;
+      collector.increment("service.rejections");
+      send_error(fd, kErrOverloaded,
+                 "compile service at capacity (" +
+                     std::to_string(config_.max_clients) +
+                     " concurrent clients); retry later");
+      ::close(fd);
+      continue;
+    }
+    ++counters_.active_clients;
+    counters_.peak_clients =
+        std::max(counters_.peak_clients, counters_.active_clients);
+    open_fds_.emplace(fd, fd);
+    workers_.emplace_back([this, fd] { handle_connection(fd); });
+  }
+}
+
+void CompileService::handle_connection(int fd) {
+  auto& collector = trace::TraceCollector::instance();
+  std::vector<std::string> pinned;  // keys this connection holds pins on
+  try {
+    for (;;) {
+      Frame frame;
+      std::uint32_t peer_version = kWireVersion;
+      try {
+        if (!read_frame(fd, &frame, &peer_version)) break;  // clean EOF
+      } catch (const WireError& e) {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++counters_.protocol_errors;
+        collector.increment("service.protocol_errors");
+        SF_LOG_WARN("snowflaked protocol error: " << e.what());
+        send_error(fd, e.code(), e.what());
+        break;
+      }
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++counters_.requests;
+      }
+      collector.increment("service.requests");
+      try {
+        if (!dispatch(fd, frame, &pinned)) break;
+      } catch (const WireError& e) {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++counters_.protocol_errors;
+        collector.increment("service.protocol_errors");
+        send_error(fd, e.code(), e.what());
+        break;
+      }
+    }
+  } catch (const std::exception& e) {
+    // Connection-level failure (peer vanished mid-response, ...): the
+    // daemon must outlive any single client.
+    SF_LOG_DEBUG("snowflaked connection dropped: " << e.what());
+  }
+  for (const auto& key : pinned) cache_->unpin(key);
+  ::close(fd);
+  std::lock_guard<std::mutex> lock(mu_);
+  open_fds_.erase(fd);
+  --counters_.active_clients;
+}
+
+bool CompileService::dispatch(int fd, const Frame& frame,
+                              std::vector<std::string>* pinned) {
+  auto& collector = trace::TraceCollector::instance();
+  switch (frame.type) {
+    case CompileRequest::kTypeId:
+      handle_compile(fd, frame, pinned);
+      return true;
+    case ExecuteRequest::kTypeId:
+      handle_execute(fd, frame);
+      return true;
+    case StatusRequest::kTypeId:
+      handle_status(fd);
+      return true;
+    case ReleaseRequest::kTypeId: {
+      const auto req = expect_message<ReleaseRequest>(frame);
+      ReleaseResponse resp;
+      const auto it = std::find(pinned->begin(), pinned->end(), req.key);
+      if (it != pinned->end()) {
+        pinned->erase(it);
+        resp.ok = cache_->unpin(req.key);
+      } else {
+        resp.ok = false;
+        resp.error = "connection holds no pin on key " + req.key;
+      }
+      send_message(fd, resp);
+      return true;
+    }
+    case PingRequest::kTypeId: {
+      const auto req = expect_message<PingRequest>(frame);
+      PingResponse resp;
+      resp.nonce = req.nonce;
+      resp.pid = static_cast<std::uint64_t>(getpid());
+      send_message(fd, resp);
+      return true;
+    }
+    case ShutdownRequest::kTypeId: {
+      expect_message<ShutdownRequest>(frame);
+      SF_LOG_INFO("snowflaked shutdown requested over the wire");
+      ShutdownResponse resp;
+      resp.ok = true;
+      send_message(fd, resp);
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        shutdown_requested_ = true;
+      }
+      shutdown_cv_.notify_all();
+      return false;
+    }
+    default: {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++counters_.protocol_errors;
+      collector.increment("service.protocol_errors");
+      send_error(fd, kErrUnknownType,
+                 "unknown frame type " + std::to_string(frame.type));
+      return false;
+    }
+  }
+}
+
+void CompileService::handle_compile(int fd, const Frame& frame,
+                                    std::vector<std::string>* pinned) {
+  auto& collector = trace::TraceCollector::instance();
+  trace::Span span("service:compile", "service");
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counters_.compile_requests;
+    span.counter("queue_depth",
+                 static_cast<double>(counters_.active_clients));
+  }
+  collector.increment("service.compile_requests");
+  CompileResponse resp;
+  try {
+    const auto req = expect_message<CompileRequest>(frame);
+    ToolchainConfig tc;
+    tc.openmp = req.openmp;
+    tc.extra_flags = req.extra_flags;
+    const Toolchain toolchain(tc);
+    if (!toolchain.available()) {
+      throw ToolchainError("daemon has no host C compiler (set $SNOWFLAKE_CC "
+                           "in its environment)");
+    }
+    if (req.pin) {
+      // Pin BEFORE compiling: a pin on a not-yet-existing key protects the
+      // artifact from the instant it is published, closing the window where
+      // a concurrent burst could evict it between compile and response.
+      const std::string key = KernelCache::key_for(req.source, toolchain);
+      cache_->pin(key);
+      pinned->push_back(key);
+    }
+    ArtifactInfo info;
+    cache_->get_or_compile(req.source, toolchain, &info);
+    resp.ok = true;
+    resp.key = info.key;
+    resp.so_path = info.so_path;
+    resp.memory_hit = info.memory_hit;
+    resp.disk_hit = info.disk_hit;
+    resp.compiled = info.compiled;
+    resp.compile_seconds = info.compile_seconds;
+    resp.artifact_bytes = info.bytes;
+    span.counter(info.compiled ? "compiled" : "cache_hit", 1.0);
+    collector.increment(info.compiled ? "service.compiles"
+                                      : "service.cache_hits");
+    SF_LOG_DEBUG("snowflaked compile [" << req.client << "] group "
+                 << req.group_hash << " -> " << info.key << " ("
+                 << (info.compiled ? "compiled"
+                     : info.disk_hit ? "disk hit" : "memory hit")
+                 << ")");
+  } catch (const std::exception& e) {
+    resp = CompileResponse{};
+    resp.ok = false;
+    resp.error = e.what();
+    collector.increment("service.compile_failures");
+  }
+  send_message(fd, resp);
+}
+
+void CompileService::handle_execute(int fd, const Frame& frame) {
+  auto& collector = trace::TraceCollector::instance();
+  trace::Span span("service:execute", "service");
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counters_.execute_requests;
+  }
+  collector.increment("service.execute_requests");
+  ExecuteResponse resp;
+  try {
+    const auto req = expect_message<ExecuteRequest>(frame);
+    ToolchainConfig tc;
+    tc.openmp = req.openmp;
+    tc.extra_flags = req.extra_flags;
+    const Toolchain toolchain(tc);
+    ArtifactInfo info;
+    const auto module = cache_->get_or_compile(req.source, toolchain, &info);
+    const KernelFn fn = module->kernel(kernel_symbol());
+
+    // Bind the client's grids in the order it sent them (kernel plan
+    // order); sizes must be internally consistent.
+    std::vector<double*> pointers;
+    pointers.reserve(req.grids.size());
+    ExecuteResponse out;
+    out.grids = req.grids;
+    for (auto& blob : out.grids) {
+      std::uint64_t points = 1;
+      for (const auto e : blob.extents) {
+        points *= static_cast<std::uint64_t>(std::max<std::int64_t>(0, e));
+      }
+      if (points != blob.data.size()) {
+        throw InvalidArgument("grid '" + blob.name + "' claims " +
+                              std::to_string(points) + " points but carries " +
+                              std::to_string(blob.data.size()) + " values");
+      }
+      pointers.push_back(blob.data.data());
+    }
+    const double start = trace::now_us();
+    const std::uint32_t sweeps = std::max<std::uint32_t>(1, req.sweeps);
+    for (std::uint32_t s = 0; s < sweeps; ++s) {
+      fn(pointers.data(), req.params.data());
+    }
+    out.run_seconds = (trace::now_us() - start) / 1e6;
+    out.ok = true;
+    out.cache_hit = !info.compiled;
+    resp = std::move(out);
+    span.counter("sweeps", static_cast<double>(sweeps));
+    collector.increment("service.executes");
+  } catch (const std::exception& e) {
+    resp = ExecuteResponse{};
+    resp.ok = false;
+    resp.error = e.what();
+    collector.increment("service.execute_failures");
+  }
+  send_message(fd, resp);
+}
+
+void CompileService::handle_status(int fd) {
+  StatusResponse resp;
+  resp.protocol_version = kWireVersion;
+  resp.pid = static_cast<std::uint64_t>(getpid());
+  resp.uptime_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    started_)
+          .count();
+  resp.cache_dir = cache_->directory();
+  resp.cache_max_bytes = cache_->max_bytes();
+  const auto cs = cache_->stats();
+  resp.cache_disk_bytes = cs.disk_bytes;
+  resp.memory_hits = cs.memory_hits;
+  resp.disk_hits = cs.disk_hits;
+  resp.compiles = cs.compiles;
+  resp.coalesced = cs.coalesced;
+  resp.evictions = cs.evictions;
+  resp.swept_stale = cs.swept_stale;
+  resp.pinned_keys = cs.pinned_keys;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    resp.requests = counters_.requests;
+    resp.rejections = counters_.rejections;
+    resp.protocol_errors = counters_.protocol_errors;
+    resp.active_clients = counters_.active_clients;
+    resp.peak_clients = counters_.peak_clients;
+  }
+  send_message(fd, resp);
+}
+
+}  // namespace snowflake::service

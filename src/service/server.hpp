@@ -1,0 +1,114 @@
+#pragma once
+// snowflaked — the long-lived kernel-compile service.
+//
+// One CompileService owns one KernelCache and serves many clients over a
+// Unix-domain stream socket.  Identical compile requests (same generated
+// source + toolchain flags) collapse onto the cache's single-flight dedup,
+// so N clients racing on a cold key cost exactly one toolchain invocation;
+// everyone else gets the shared artifact (.so path + metadata), or — for
+// remote-style clients that cannot dlopen the daemon's filesystem — a
+// server-side execution of their grids (ExecuteRequest).
+//
+// Operational posture (the parts that stop being theoretical the moment
+// the cache is shared): admission control bounds concurrent connections
+// (rejected clients get a clean kErrOverloaded ErrorReply), artifacts a
+// client asked to pin survive LRU eviction until released or the client
+// disconnects, and every request feeds service.* trace counters and
+// service:* spans so queue depth, hit ratio, and compile-vs-hit latency
+// are visible through the existing exporters (docs/observability.md).
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "jit/cache.hpp"
+#include "service/wire.hpp"
+
+namespace snowflake::service {
+
+struct ServiceConfig {
+  /// Empty = support/paths default_service_socket().
+  std::string socket_path;
+  /// Kernel-cache directory (empty = the standard resolution chain).
+  std::string cache_dir;
+  /// Byte cap for the shared cache (0 = $SNOWFLAKE_CACHE_MAX_BYTES).
+  std::uint64_t cache_max_bytes = 0;
+  /// Admission control: connections beyond this are rejected with
+  /// kErrOverloaded instead of queueing unboundedly.
+  int max_clients = 64;
+  /// listen(2) backlog.
+  int backlog = 64;
+};
+
+class CompileService {
+public:
+  explicit CompileService(ServiceConfig config = {});
+  ~CompileService();
+
+  CompileService(const CompileService&) = delete;
+  CompileService& operator=(const CompileService&) = delete;
+
+  /// Bind the socket and start the accept loop.  Throws WireError when the
+  /// path is taken by a live daemon (a stale socket file is replaced).
+  void start();
+
+  /// Stop accepting, close every connection, join all threads.  Idempotent.
+  void stop();
+
+  bool running() const { return running_.load(); }
+  const std::string& socket_path() const { return socket_path_; }
+  KernelCache& cache() { return *cache_; }
+
+  /// Block until a client sends ShutdownRequest or stop() is called.
+  /// Returns true when shutdown was requested over the wire.
+  bool wait_for_shutdown_request();
+
+  /// Request-level counters (cache-level ones live in cache().stats()).
+  struct Counters {
+    std::uint64_t requests = 0;
+    std::uint64_t compile_requests = 0;
+    std::uint64_t execute_requests = 0;
+    std::uint64_t rejections = 0;
+    std::uint64_t protocol_errors = 0;
+    std::uint64_t active_clients = 0;
+    std::uint64_t peak_clients = 0;
+  };
+  Counters counters() const;
+
+private:
+  void accept_loop();
+  void handle_connection(int fd);
+  /// Dispatch one frame; returns false when the connection should close.
+  bool dispatch(int fd, const Frame& frame,
+                std::vector<std::string>* pinned);
+  void handle_compile(int fd, const Frame& frame,
+                      std::vector<std::string>* pinned);
+  void handle_execute(int fd, const Frame& frame);
+  void handle_status(int fd);
+
+  ServiceConfig config_;
+  std::string socket_path_;
+  std::unique_ptr<KernelCache> cache_;
+  int listen_fd_ = -1;
+  int stop_pipe_[2] = {-1, -1};
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+  std::chrono::steady_clock::time_point started_;
+
+  mutable std::mutex mu_;
+  std::condition_variable shutdown_cv_;
+  bool shutdown_requested_ = false;
+  std::vector<std::thread> workers_;
+  std::map<int, int> open_fds_;  // fd -> fd (set keyed for O(log) erase)
+  Counters counters_;
+};
+
+}  // namespace snowflake::service

@@ -1,0 +1,118 @@
+#include "service/wire.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace snowflake::service {
+
+namespace {
+
+constexpr char kMagic[4] = {'S', 'N', 'W', 'F'};
+constexpr std::size_t kHeaderBytes = 16;
+
+std::uint32_t load_u32(const unsigned char* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+void store_u32(unsigned char* p, std::uint32_t v) {
+  p[0] = v & 0xffu;
+  p[1] = (v >> 8) & 0xffu;
+  p[2] = (v >> 16) & 0xffu;
+  p[3] = (v >> 24) & 0xffu;
+}
+
+}  // namespace
+
+bool read_exact(int fd, void* buf, std::size_t size) {
+  auto* p = static_cast<unsigned char*>(buf);
+  std::size_t got = 0;
+  while (got < size) {
+    const ssize_t n = ::read(fd, p + got, size - got);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw WireError(std::string("socket read failed: ") +
+                      std::strerror(errno));
+    }
+    if (n == 0) {
+      if (got == 0) return false;  // clean EOF between frames
+      throw WireError("torn frame: peer closed after " + std::to_string(got) +
+                      " of " + std::to_string(size) + " bytes");
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void write_all(int fd, const void* data, std::size_t size) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::size_t sent = 0;
+  while (sent < size) {
+    // MSG_NOSIGNAL: a peer that disconnected mid-response must surface as
+    // EPIPE here, not as a SIGPIPE killing the whole daemon.  Non-socket
+    // fds (tests over pipes) fall back to plain write(2); those callers
+    // are expected to ignore SIGPIPE themselves.
+    ssize_t n = ::send(fd, p + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0 && errno == ENOTSOCK) {
+      n = ::write(fd, p + sent, size - sent);
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw WireError(std::string("socket write failed: ") +
+                      std::strerror(errno));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+bool read_frame(int fd, Frame* out, std::uint32_t* peer_version) {
+  unsigned char header[kHeaderBytes];
+  if (!read_exact(fd, header, sizeof header)) return false;
+  if (std::memcmp(header, kMagic, sizeof kMagic) != 0) {
+    throw WireError("bad frame magic (not a snowflaked peer?)");
+  }
+  const std::uint32_t version = load_u32(header + 4);
+  if (peer_version != nullptr) *peer_version = version;
+  if (version != kWireVersion) {
+    throw WireError("wire version mismatch: peer speaks v" +
+                        std::to_string(version) + ", this build speaks v" +
+                        std::to_string(kWireVersion),
+                    kErrBadVersion);
+  }
+  out->type = load_u32(header + 8);
+  const std::uint32_t length = load_u32(header + 12);
+  if (length > kMaxFramePayload) {
+    throw WireError("oversized frame: " + std::to_string(length) +
+                        " bytes exceeds the " +
+                        std::to_string(kMaxFramePayload) + "-byte cap",
+                    kErrOversized);
+  }
+  out->payload.resize(length);
+  if (length > 0 && !read_exact(fd, out->payload.data(), length)) {
+    throw WireError("torn frame: EOF before any payload byte");
+  }
+  return true;
+}
+
+void write_frame(int fd, std::uint32_t type, const std::string& payload) {
+  if (payload.size() > kMaxFramePayload) {
+    throw WireError("refusing to send oversized frame (" +
+                    std::to_string(payload.size()) + " bytes)");
+  }
+  std::string buf;
+  buf.resize(kHeaderBytes);
+  auto* header = reinterpret_cast<unsigned char*>(buf.data());
+  std::memcpy(header, kMagic, sizeof kMagic);
+  store_u32(header + 4, kWireVersion);
+  store_u32(header + 8, type);
+  store_u32(header + 12, static_cast<std::uint32_t>(payload.size()));
+  buf.append(payload);  // one write: header+payload never interleave
+  write_all(fd, buf.data(), buf.size());
+}
+
+}  // namespace snowflake::service

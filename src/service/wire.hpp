@@ -1,0 +1,115 @@
+#pragma once
+// Frame layer of the snowflaked wire protocol.
+//
+// Every message travels as one frame over a Unix-domain stream socket:
+//
+//   magic   "SNWF"                     (4 bytes)
+//   version kWireVersion               (u32 LE)
+//   type    message kTypeId            (u32 LE)
+//   length  payload bytes that follow  (u32 LE, <= kMaxFramePayload)
+//   payload snowgen-generated encoding (see service_wire.gen.hpp)
+//
+// The framing is deliberately versioned and size-capped: a mismatched
+// client gets a clean ErrorReply naming both versions instead of a
+// mis-decode, an oversized length is rejected before any allocation, and
+// a torn frame (peer died mid-payload) surfaces as WireError, never as a
+// short read silently parsed as garbage.  All sends use MSG_NOSIGNAL so a
+// client disconnecting mid-response yields EPIPE, not process death.
+
+#include <cstdint>
+#include <string>
+
+#include "service/service_wire.gen.hpp"
+#include "support/error.hpp"
+
+namespace snowflake::service {
+
+/// Error codes carried by ErrorReply.
+enum ErrorCode : std::uint32_t {
+  kErrBadVersion = 1,   // client/daemon wire versions differ
+  kErrOversized = 2,    // frame length exceeds kMaxFramePayload
+  kErrBadMessage = 3,   // payload failed to decode / torn frame
+  kErrOverloaded = 4,   // admission control rejected the connection
+  kErrUnknownType = 5,  // frame type id not in the protocol table
+  kErrInternal = 6,     // daemon-side exception (message carries what())
+};
+
+/// Raised on any framing/socket failure (torn frame, oversized length,
+/// bad magic, version mismatch, send/recv errno).  `code()` lets a server
+/// map the failure onto the matching ErrorReply code.
+class WireError : public Error {
+public:
+  explicit WireError(const std::string& what,
+                     ErrorCode code = kErrBadMessage)
+      : Error(what), code_(code) {}
+  ErrorCode code() const { return code_; }
+
+private:
+  ErrorCode code_;
+};
+
+/// Hard cap on a frame payload (64 MiB): large enough for any generated
+/// kernel source or a modest execute-request grid set, small enough that
+/// a corrupt length field cannot OOM the daemon.
+inline constexpr std::uint32_t kMaxFramePayload = 64u << 20;
+
+/// One decoded frame: the message type id plus its raw payload.
+struct Frame {
+  std::uint32_t type = 0;
+  std::string payload;
+};
+
+/// Read exactly `size` bytes; false on clean EOF at byte 0, throws
+/// WireError on errno or EOF mid-buffer (torn frame).
+bool read_exact(int fd, void* buf, std::size_t size);
+
+/// Write all of `data` (MSG_NOSIGNAL on sockets); throws WireError on
+/// failure, including EPIPE from a vanished peer.
+void write_all(int fd, const void* data, std::size_t size);
+
+/// Read one frame.  Returns false on clean EOF before a header.  Throws
+/// WireError on bad magic, version mismatch, oversized length, or a torn
+/// header/payload.  `peer_version`, when non-null, receives the version
+/// the peer claimed (so servers can answer a mismatch politely).
+bool read_frame(int fd, Frame* out, std::uint32_t* peer_version = nullptr);
+
+/// Frame and send an encoded payload.
+void write_frame(int fd, std::uint32_t type, const std::string& payload);
+
+/// Encode + frame + send a message in one call.
+template <typename Msg>
+void send_message(int fd, const Msg& msg) {
+  std::string payload;
+  encode(msg, &payload);
+  write_frame(fd, Msg::kTypeId, payload);
+}
+
+/// Decode a frame's payload as Msg; throws WireError (naming the message
+/// type) when the frame's type or payload doesn't match.
+template <typename Msg>
+Msg expect_message(const Frame& frame) {
+  if (frame.type != Msg::kTypeId) {
+    // The daemon reports failures as ErrorReply; surface those readably.
+    if (frame.type == ErrorReply::kTypeId) {
+      ErrorReply err;
+      std::string why;
+      if (decode(reinterpret_cast<const std::uint8_t*>(frame.payload.data()),
+                 frame.payload.size(), &err, &why)) {
+        throw WireError("server error (code " + std::to_string(err.code) +
+                        "): " + err.message);
+      }
+    }
+    throw WireError(std::string("expected ") + message_name(Msg::kTypeId) +
+                    " frame, got " + message_name(frame.type));
+  }
+  Msg msg;
+  std::string why;
+  if (!decode(reinterpret_cast<const std::uint8_t*>(frame.payload.data()),
+              frame.payload.size(), &msg, &why)) {
+    throw WireError(std::string("cannot decode ") +
+                    message_name(Msg::kTypeId) + ": " + why);
+  }
+  return msg;
+}
+
+}  // namespace snowflake::service

@@ -1,0 +1,69 @@
+#include "support/paths.hpp"
+
+#include <unistd.h>
+
+#include <cctype>
+#include <cstdlib>
+#include <mutex>
+
+#include "support/logging.hpp"
+
+namespace snowflake {
+
+namespace {
+
+const char* env_nonempty(const char* name) {
+  const char* v = std::getenv(name);
+  return (v != nullptr && *v) ? v : nullptr;
+}
+
+}  // namespace
+
+std::string state_dir_fallback() {
+  return "/tmp/snowflake-" + std::to_string(static_cast<long>(getuid()));
+}
+
+std::string resolve_cache_dir() {
+  if (const char* env = env_nonempty("SNOWFLAKE_CACHE_DIR")) return env;
+  if (const char* xdg = env_nonempty("XDG_CACHE_HOME")) {
+    return std::string(xdg) + "/snowflake";
+  }
+  if (const char* home = env_nonempty("HOME")) {
+    return std::string(home) + "/.cache/snowflake";
+  }
+  // Daemonized environments commonly scrub all three variables; an empty
+  // path here used to surface as an unrelated-looking open(2) errno much
+  // later.  Warn once and use the deterministic per-user fallback.
+  static std::once_flag warned;
+  std::call_once(warned, [] {
+    SF_LOG_WARN("no $SNOWFLAKE_CACHE_DIR, $XDG_CACHE_HOME or $HOME set; "
+                "using " << state_dir_fallback() << " for persistent state");
+  });
+  return state_dir_fallback();
+}
+
+std::string default_service_socket() {
+  if (const char* env = env_nonempty("SNOWFLAKE_SOCKET")) return env;
+  return resolve_cache_dir() + "/snowflaked.sock";
+}
+
+bool parse_byte_size(const std::string& text, std::uint64_t* out) {
+  if (text.empty() || out == nullptr) return false;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+  if (end == text.c_str()) return false;
+  std::uint64_t scale = 1;
+  if (*end != '\0') {
+    switch (std::tolower(static_cast<unsigned char>(*end))) {
+      case 'k': scale = 1024ull; break;
+      case 'm': scale = 1024ull * 1024; break;
+      case 'g': scale = 1024ull * 1024 * 1024; break;
+      default: return false;
+    }
+    if (end[1] != '\0') return false;
+  }
+  *out = static_cast<std::uint64_t>(value) * scale;
+  return true;
+}
+
+}  // namespace snowflake

@@ -1,0 +1,36 @@
+#pragma once
+// Shared on-disk state location for every persistent store (kernel cache,
+// perf ledger, tune DB, daemon sockets).
+//
+// Resolution order: $SNOWFLAKE_CACHE_DIR, then $XDG_CACHE_HOME/snowflake,
+// then $HOME/.cache/snowflake.  With all three unset — the typical
+// daemonized environment (systemd units, containers, cron) — the old code
+// produced an empty path and every open failed with a confusing errno.
+// The fallback is now a deterministic per-user directory,
+// /tmp/snowflake-<uid>, announced once with a logged warning so operators
+// know where their state landed.
+
+#include <cstdint>
+#include <string>
+
+namespace snowflake {
+
+/// The per-user fallback directory used when no cache-path environment
+/// variable is set: "/tmp/snowflake-<uid>".  Deterministic, so a daemon
+/// restarted in a clean environment finds its previous state.
+std::string state_dir_fallback();
+
+/// Resolve the cache/state directory through the environment chain above.
+/// Never returns an empty string; logs a warning (once per process) when
+/// it had to fall back to state_dir_fallback().
+std::string resolve_cache_dir();
+
+/// Default Unix-domain socket path for the snowflaked compile daemon:
+/// $SNOWFLAKE_SOCKET if set, else <resolve_cache_dir()>/snowflaked.sock.
+std::string default_service_socket();
+
+/// Parse a byte count with an optional k/m/g (or K/M/G) suffix, e.g.
+/// "268435456", "256m", "4G".  Returns false on malformed input.
+bool parse_byte_size(const std::string& text, std::uint64_t* out);
+
+}  // namespace snowflake

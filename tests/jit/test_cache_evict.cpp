@@ -1,0 +1,229 @@
+// KernelCache capacity policy: byte-capped LRU eviction that never touches
+// pinned or in-flight entries, stale-staging sweep at open, and the
+// ArtifactInfo provenance the compile service serves to clients.
+
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+#include "jit/cache.hpp"
+#include "support/paths.hpp"
+
+namespace fs = std::filesystem;
+
+namespace snowflake {
+namespace {
+
+std::string fresh_dir(const std::string& tag) {
+  const auto dir = fs::temp_directory_path() /
+                   ("sf_evict_" + tag + "_" + std::to_string(getpid()));
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+std::string source_for(int i) {
+  return "void sf_kernel(double** grids, const double* params) {\n"
+         "  (void)params; grids[0][0] = " +
+         std::to_string(i) + ".0;\n}\n";
+}
+
+/// On-disk footprint of one compiled entry (machine-dependent), measured
+/// once so the capacity tests can size their caps in "artifacts".
+std::uint64_t probe_artifact_bytes() {
+  static const std::uint64_t bytes = [] {
+    const std::string dir = fresh_dir("probe");
+    KernelCache cache(dir);
+    ArtifactInfo info;
+    cache.get_or_compile(source_for(9999), Toolchain(), &info);
+    fs::remove_all(dir);
+    return info.bytes;
+  }();
+  return bytes;
+}
+
+TEST(CacheEvict, EvictsLeastRecentlyUsedWhenOverCapacity) {
+  const std::uint64_t one = probe_artifact_bytes();
+  CacheConfig config;
+  config.directory = fresh_dir("lru");
+  config.max_bytes = one * 2 + one / 2;  // room for two entries, not three
+  KernelCache cache(config);
+  const Toolchain tc;
+
+  const std::string key_a = KernelCache::key_for(source_for(1), tc);
+  const std::string key_b = KernelCache::key_for(source_for(2), tc);
+  const std::string key_c = KernelCache::key_for(source_for(3), tc);
+  cache.get_or_compile(source_for(1), tc);
+  cache.get_or_compile(source_for(2), tc);
+  cache.get_or_compile(source_for(1), tc);  // touch A: B becomes LRU
+  cache.get_or_compile(source_for(3), tc);  // over cap -> evict B
+
+  EXPECT_TRUE(fs::exists(fs::path(config.directory) / (key_a + ".so")));
+  EXPECT_FALSE(fs::exists(fs::path(config.directory) / (key_b + ".so")));
+  EXPECT_FALSE(fs::exists(fs::path(config.directory) / (key_b + ".src")));
+  EXPECT_TRUE(fs::exists(fs::path(config.directory) / (key_c + ".so")));
+
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_GT(stats.evicted_bytes, 0u);
+  EXPECT_LE(stats.disk_bytes, config.max_bytes);
+  fs::remove_all(config.directory);
+}
+
+TEST(CacheEvict, PinnedEntriesSurviveAnyPressure) {
+  CacheConfig config;
+  config.directory = fresh_dir("pin");
+  config.max_bytes = 1;  // everything unpinned is evicted immediately
+  KernelCache cache(config);
+  const Toolchain tc;
+
+  const std::string key_a = KernelCache::key_for(source_for(10), tc);
+  cache.pin(key_a);  // pinning an unknown key protects it from birth
+  cache.get_or_compile(source_for(10), tc);
+  cache.get_or_compile(source_for(11), tc);
+  cache.get_or_compile(source_for(12), tc);
+
+  // The pinned artifact is intact despite a 1-byte cap; the fillers went.
+  EXPECT_TRUE(fs::exists(fs::path(config.directory) / (key_a + ".so")));
+  EXPECT_GE(cache.stats().evictions, 2u);
+  EXPECT_EQ(cache.stats().pinned_keys, 1u);
+  EXPECT_EQ(cache.pin_count(key_a), 1u);
+
+  // Dropping the last pin lets the over-cap cache reclaim it.
+  EXPECT_TRUE(cache.unpin(key_a));
+  EXPECT_FALSE(fs::exists(fs::path(config.directory) / (key_a + ".so")));
+  EXPECT_EQ(cache.stats().pinned_keys, 0u);
+  EXPECT_FALSE(cache.unpin(key_a));  // double-unpin reports false
+  fs::remove_all(config.directory);
+}
+
+TEST(CacheEvict, PinsAreCounted) {
+  KernelCache cache(fresh_dir("pincount"));
+  cache.pin("k");
+  cache.pin("k");
+  EXPECT_EQ(cache.pin_count("k"), 2u);
+  EXPECT_TRUE(cache.unpin("k"));
+  EXPECT_EQ(cache.pin_count("k"), 1u);
+  EXPECT_TRUE(cache.unpin("k"));
+  EXPECT_EQ(cache.pin_count("k"), 0u);
+  fs::remove_all(cache.directory());
+}
+
+TEST(CacheEvict, SweepsStaleStagingFilesAtOpen) {
+  const std::string dir = fresh_dir("sweep");
+
+  // A staging file from a provably dead pid (fork a child and reap it).
+  const pid_t dead = fork();
+  ASSERT_GE(dead, 0);
+  if (dead == 0) _exit(0);
+  int status = 0;
+  ASSERT_EQ(waitpid(dead, &status, 0), dead);
+  const std::string dead_file =
+      dir + "/aaaa.so.tmp." + std::to_string(dead) + ".0";
+  const std::string live_file =
+      dir + "/bbbb.so.tmp." + std::to_string(getpid()) + ".3";
+  const std::string odd_file = dir + "/junk.tmp.notapid";
+  for (const auto& path : {dead_file, live_file, odd_file}) {
+    std::ofstream out(path);
+    out << "staging";
+  }
+
+  KernelCache cache(dir);
+  EXPECT_EQ(cache.stats().swept_stale, 1u);
+  EXPECT_FALSE(fs::exists(dead_file)) << "dead-pid staging file kept";
+  EXPECT_TRUE(fs::exists(live_file)) << "live-pid staging file removed";
+  EXPECT_TRUE(fs::exists(odd_file)) << "non-staging file removed";
+  fs::remove_all(dir);
+}
+
+TEST(CacheEvict, SweepCanBeDisabled) {
+  const std::string dir = fresh_dir("nosweep");
+  const std::string stale = dir + "/cccc.so.tmp.999999999.0";
+  {
+    std::ofstream out(stale);
+    out << "staging";
+  }
+  CacheConfig config;
+  config.directory = dir;
+  config.sweep_stale = false;
+  KernelCache cache(config);
+  EXPECT_EQ(cache.stats().swept_stale, 0u);
+  EXPECT_TRUE(fs::exists(stale));
+  fs::remove_all(dir);
+}
+
+TEST(CacheEvict, ArtifactInfoReportsProvenance) {
+  const std::string dir = fresh_dir("info");
+  const Toolchain tc;
+  ArtifactInfo info;
+  {
+    KernelCache cache(dir);
+    cache.get_or_compile(source_for(42), tc, &info);
+    EXPECT_TRUE(info.compiled);
+    EXPECT_FALSE(info.memory_hit);
+    EXPECT_FALSE(info.disk_hit);
+    EXPECT_EQ(info.key, KernelCache::key_for(source_for(42), tc));
+    EXPECT_TRUE(fs::exists(info.so_path));
+    EXPECT_GT(info.bytes, 0u);
+    EXPECT_GT(info.compile_seconds, 0.0);
+
+    cache.get_or_compile(source_for(42), tc, &info);
+    EXPECT_TRUE(info.memory_hit);
+    EXPECT_FALSE(info.compiled);
+  }
+  // A fresh instance over the same directory serves from disk and indexes
+  // the pre-existing bytes for its capacity accounting.
+  KernelCache warm(dir);
+  EXPECT_GT(warm.stats().disk_bytes, 0u);
+  warm.get_or_compile(source_for(42), tc, &info);
+  EXPECT_TRUE(info.disk_hit);
+  EXPECT_FALSE(info.compiled);
+  fs::remove_all(dir);
+}
+
+TEST(CacheEvict, SingleFlightCoalescesConcurrentMisses) {
+  KernelCache cache(fresh_dir("flight"));
+  const Toolchain tc;
+  const std::string source = source_for(77);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 6; ++i) {
+    threads.emplace_back([&] { cache.get_or_compile(source, tc); });
+  }
+  for (auto& t : threads) t.join();
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.compiles, 1u) << "cold key compiled more than once";
+  EXPECT_EQ(stats.memory_hits + stats.disk_hits, 5u);
+  fs::remove_all(cache.directory());
+}
+
+TEST(CacheEvict, MaxBytesFromEnvironment) {
+  setenv("SNOWFLAKE_CACHE_MAX_BYTES", "64k", 1);
+  {
+    KernelCache cache(fresh_dir("envcap"));
+    EXPECT_EQ(cache.max_bytes(), 64u * 1024);
+    fs::remove_all(cache.directory());
+  }
+  setenv("SNOWFLAKE_CACHE_MAX_BYTES", "banana", 1);
+  {
+    KernelCache cache(fresh_dir("envbad"));
+    EXPECT_EQ(cache.max_bytes(), 0u) << "malformed cap must mean unlimited";
+    fs::remove_all(cache.directory());
+  }
+  unsetenv("SNOWFLAKE_CACHE_MAX_BYTES");
+  CacheConfig config;
+  config.directory = fresh_dir("cfgcap");
+  config.max_bytes = 12345;
+  KernelCache cache(config);
+  EXPECT_EQ(cache.max_bytes(), 12345u);  // explicit config beats the env
+  fs::remove_all(config.directory);
+}
+
+}  // namespace
+}  // namespace snowflake

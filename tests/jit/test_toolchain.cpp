@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -126,6 +127,98 @@ TEST(Module, MissingSymbolThrows) {
 
 TEST(Module, OpenBogusPathThrows) {
   EXPECT_THROW(Module("/nonexistent/lib.so"), ToolchainError);
+}
+
+TEST(RunHostCommand, CapturesBothStreams) {
+  const CommandResult r =
+      run_host_command("echo to-stdout; echo to-stderr 1>&2", 30.0);
+  EXPECT_FALSE(r.spawn_failed);
+  EXPECT_FALSE(r.timed_out);
+  EXPECT_EQ(describe_wait_status(r.wait_status), "exit code 0");
+  EXPECT_NE(r.output.find("to-stdout"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("to-stderr"), std::string::npos) << r.output;
+}
+
+TEST(RunHostCommand, PipeFloodDoesNotDeadlock) {
+  // A child spewing far more than a pipe buffer (64 KiB) on BOTH streams
+  // must be drained live.  The pre-poll implementation read output only
+  // after waiting, so a flood like this wedged parent and child forever.
+  const auto start = std::chrono::steady_clock::now();
+  const CommandResult r = run_host_command(
+      "yes flood | head -c 2000000; yes flood | head -c 2000000 1>&2", 60.0);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_FALSE(r.timed_out);
+  EXPECT_GE(r.output.size(), 4000000u);
+  EXPECT_LT(elapsed, 30.0) << "pipe flood took suspiciously long";
+}
+
+TEST(RunHostCommand, TimeoutKillsHungChild) {
+  const auto start = std::chrono::steady_clock::now();
+  const CommandResult r = run_host_command("sleep 600", 0.2);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_TRUE(r.timed_out);
+  EXPECT_LT(elapsed, 30.0) << "timeout did not kill the child promptly";
+}
+
+TEST(RunHostCommand, TimeoutKillsWholeProcessGroup) {
+  // A compiler that forks helpers must not leave them holding the pipe
+  // open after the timeout: the process GROUP gets the SIGKILL.
+  const auto start = std::chrono::steady_clock::now();
+  const CommandResult r =
+      run_host_command("(sleep 600 &); sleep 600", 0.2);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_TRUE(r.timed_out);
+  EXPECT_LT(elapsed, 30.0);
+}
+
+TEST(Toolchain, HungCompilerTimesOut) {
+  const auto dir = std::filesystem::temp_directory_path();
+  const std::string script = (dir / "sf_hung_cc.sh").string();
+  {
+    std::ofstream out(script);
+    out << "#!/bin/sh\nsleep 600\n";
+  }
+  std::filesystem::permissions(script,
+                               std::filesystem::perms::owner_all |
+                                   std::filesystem::perms::group_read |
+                                   std::filesystem::perms::others_read);
+  ToolchainConfig cfg;
+  cfg.compiler = script;
+  cfg.timeout_seconds = 0.2;
+  const Toolchain tc(cfg);
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    tc.compile_shared_object("int x;\n", temp_so_path("sf_hung.so"));
+    FAIL() << "expected ToolchainError";
+  } catch (const ToolchainError& e) {
+    EXPECT_NE(std::string(e.what()).find("timed out"), std::string::npos)
+        << e.what();
+  }
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_LT(elapsed, 30.0);
+  std::filesystem::remove(script);
+}
+
+TEST(Toolchain, TimeoutFromEnvironment) {
+  setenv("SNOWFLAKE_CC_TIMEOUT", "42.5", 1);
+  EXPECT_DOUBLE_EQ(Toolchain().timeout_seconds(), 42.5);
+  setenv("SNOWFLAKE_CC_TIMEOUT", "not-a-number", 1);
+  EXPECT_DOUBLE_EQ(Toolchain().timeout_seconds(), 600.0);  // warned default
+  unsetenv("SNOWFLAKE_CC_TIMEOUT");
+  EXPECT_DOUBLE_EQ(Toolchain().timeout_seconds(), 600.0);
+  ToolchainConfig cfg;
+  cfg.timeout_seconds = 7.0;  // explicit config beats the environment
+  setenv("SNOWFLAKE_CC_TIMEOUT", "1", 1);
+  EXPECT_DOUBLE_EQ(Toolchain(cfg).timeout_seconds(), 7.0);
+  unsetenv("SNOWFLAKE_CC_TIMEOUT");
 }
 
 }  // namespace

@@ -1,0 +1,359 @@
+// CompileService integration tests, in-process against a real Unix-domain
+// socket: single-flight dedup across concurrent clients, eviction under
+// pin, pin release on disconnect, admission control, malformed-frame
+// handling, warm-cache restart, and wire shutdown.
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "jit/module.hpp"
+#include "service/client.hpp"
+#include "service/server.hpp"
+
+namespace fs = std::filesystem;
+
+namespace snowflake::service {
+namespace {
+
+struct TestEnv : ::testing::Environment {
+  void SetUp() override { std::signal(SIGPIPE, SIG_IGN); }
+};
+const auto* const kEnv =
+    ::testing::AddGlobalTestEnvironment(new TestEnv);  // NOLINT
+
+std::string source_for(int i) {
+  return "void sf_kernel(double** grids, const double* params) {\n"
+         "  (void)params; grids[0][0] = " +
+         std::to_string(i) + ".0;\n}\n";
+}
+
+/// A service on a unique socket + cache dir, torn down with the test.
+struct ServiceFixture {
+  explicit ServiceFixture(const std::string& tag,
+                          std::uint64_t max_bytes = 0, int max_clients = 64) {
+    const auto base = fs::temp_directory_path() /
+                      ("sf_svc_" + tag + "_" + std::to_string(getpid()));
+    fs::remove_all(base);
+    fs::create_directories(base);
+    root = base.string();
+    ServiceConfig config;
+    config.socket_path = root + "/d.sock";
+    config.cache_dir = root + "/cache";
+    config.cache_max_bytes = max_bytes;
+    config.max_clients = max_clients;
+    service = std::make_unique<CompileService>(config);
+    service->start();
+  }
+  ~ServiceFixture() {
+    if (service) service->stop();
+    fs::remove_all(root);
+  }
+  ServiceClient client(const std::string& name = "test") {
+    ClientConfig config;
+    config.socket_path = service->socket_path();
+    config.client_name = name;
+    return ServiceClient(config);
+  }
+  std::string root;
+  std::unique_ptr<CompileService> service;
+};
+
+/// Raw connected socket for protocol-abuse tests.
+int raw_connect(const std::string& path) {
+  const int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof addr.sun_path - 1);
+  EXPECT_EQ(connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+  return fd;
+}
+
+TEST(Service, CompileHitAndLoadableArtifact) {
+  ServiceFixture fx("basic");
+  auto client = fx.client();
+  const CompileResponse first = client.compile(source_for(1), false, {});
+  ASSERT_TRUE(first.ok) << first.error;
+  EXPECT_TRUE(first.compiled);
+  EXPECT_GT(first.artifact_bytes, 0u);
+
+  // The returned artifact must be loadable by the client process.
+  double cell = 0.0;
+  double* grid = &cell;
+  double* grids[] = {grid};
+  Module(first.so_path).kernel("sf_kernel")(grids, nullptr);
+  EXPECT_EQ(cell, 1.0);
+
+  const CompileResponse again = client.compile(source_for(1), false, {});
+  ASSERT_TRUE(again.ok);
+  EXPECT_TRUE(again.memory_hit);
+  EXPECT_EQ(again.key, first.key);
+}
+
+TEST(Service, CompileFailureIsAnAnswerNotAHangup) {
+  ServiceFixture fx("badsrc");
+  auto client = fx.client();
+  const CompileResponse resp = client.compile("this is not C\n", false, {});
+  EXPECT_FALSE(resp.ok);
+  EXPECT_NE(resp.error.find("JIT compilation failed"), std::string::npos)
+      << resp.error;
+  // The connection survives a failed compile.
+  EXPECT_GT(client.ping(7), 0u);
+}
+
+TEST(Service, ConcurrentClientsSingleFlight) {
+  ServiceFixture fx("dedup");
+  constexpr int kClients = 8;
+  std::atomic<int> ok{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kClients; ++i) {
+    threads.emplace_back([&fx, &ok, i] {
+      auto client = fx.client("c" + std::to_string(i));
+      const CompileResponse r = client.compile(source_for(2), false, {});
+      if (r.ok && fs::exists(r.so_path)) ++ok;
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(ok.load(), kClients);
+  const auto stats = fx.service->cache().stats();
+  EXPECT_EQ(stats.compiles, 1u) << "N racing clients must compile once";
+  EXPECT_EQ(stats.memory_hits + stats.disk_hits,
+            static_cast<std::uint64_t>(kClients - 1));
+}
+
+TEST(Service, EvictionRespectsPins) {
+  ServiceFixture fx("evict", /*max_bytes=*/1);
+  auto client = fx.client();
+  const CompileResponse pinned =
+      client.compile(source_for(3), false, {}, /*pin=*/true);
+  ASSERT_TRUE(pinned.ok) << pinned.error;
+  for (int i = 4; i < 7; ++i) {
+    ASSERT_TRUE(client.compile(source_for(i), false, {}).ok);
+  }
+  const auto stats = fx.service->cache().stats();
+  EXPECT_GE(stats.evictions, 3u);
+  EXPECT_TRUE(fs::exists(pinned.so_path))
+      << "eviction must never unlink a pinned artifact";
+
+  const ReleaseResponse rel = client.release(pinned.key);
+  EXPECT_TRUE(rel.ok) << rel.error;
+  EXPECT_FALSE(fs::exists(pinned.so_path));
+  // Releasing a pin we no longer hold is refused.
+  EXPECT_FALSE(client.release(pinned.key).ok);
+}
+
+TEST(Service, DisconnectReleasesPins) {
+  ServiceFixture fx("pinleak");
+  std::string key;
+  {
+    auto client = fx.client();
+    const CompileResponse r =
+        client.compile(source_for(8), false, {}, /*pin=*/true);
+    ASSERT_TRUE(r.ok);
+    key = r.key;
+    EXPECT_EQ(fx.service->cache().pin_count(key), 1u);
+  }
+  // The daemon unpins on connection teardown (async to the destructor).
+  for (int i = 0; i < 100 && fx.service->cache().pin_count(key) != 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(fx.service->cache().pin_count(key), 0u)
+      << "a crashed client must not leak its pins";
+}
+
+TEST(Service, RestartServesWarmCache) {
+  const auto base = fs::temp_directory_path() /
+                    ("sf_svc_warm_" + std::to_string(getpid()));
+  fs::remove_all(base);
+  ServiceConfig config;
+  config.socket_path = (base / "d.sock").string();
+  config.cache_dir = (base / "cache").string();
+  {
+    CompileService first(config);
+    first.start();
+    ClientConfig cc;
+    cc.socket_path = first.socket_path();
+    const CompileResponse r =
+        ServiceClient(cc).compile(source_for(9), false, {});
+    ASSERT_TRUE(r.ok);
+    EXPECT_TRUE(r.compiled);
+    first.stop();
+  }
+  CompileService second(config);
+  second.start();
+  ClientConfig cc;
+  cc.socket_path = second.socket_path();
+  const CompileResponse r = ServiceClient(cc).compile(source_for(9), false, {});
+  ASSERT_TRUE(r.ok);
+  EXPECT_TRUE(r.disk_hit) << "restarted daemon must serve the on-disk cache";
+  EXPECT_FALSE(r.compiled);
+  second.stop();
+  fs::remove_all(base);
+}
+
+TEST(Service, SecondDaemonOnLiveSocketRefuses) {
+  ServiceFixture fx("busy");
+  ServiceConfig config;
+  config.socket_path = fx.service->socket_path();
+  config.cache_dir = fx.root + "/cache2";
+  CompileService second(config);
+  EXPECT_THROW(second.start(), WireError);
+  // The live daemon is unharmed.
+  EXPECT_GT(fx.client().ping(1), 0u);
+}
+
+TEST(Service, AdmissionControlRejectsOverCapacity) {
+  ServiceFixture fx("admit", 0, /*max_clients=*/1);
+  auto first = fx.client("holder");
+  EXPECT_GT(first.ping(1), 0u);  // occupies the single slot
+  try {
+    auto second = fx.client("rejected");
+    second.ping(2);
+    FAIL() << "expected the overloaded daemon to reject the second client";
+  } catch (const WireError&) {
+    // Depending on timing the client sees either the kErrOverloaded
+    // ErrorReply or the closed connection; both surface as WireError.
+  }
+  for (int i = 0; i < 100 && fx.service->counters().rejections == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GE(fx.service->counters().rejections, 1u);
+  // The first client is still served.
+  EXPECT_GT(first.ping(3), 0u);
+}
+
+TEST(Service, VersionMismatchGetsCleanError) {
+  ServiceFixture fx("version");
+  const int fd = raw_connect(fx.service->socket_path());
+  unsigned char header[16] = {'S', 'N', 'W', 'F'};
+  header[4] = 99;  // claim a future wire version
+  header[8] = static_cast<unsigned char>(PingRequest::kTypeId);
+  ASSERT_EQ(write(fd, header, sizeof header), 16);
+  Frame frame;
+  ASSERT_TRUE(read_frame(fd, &frame));
+  ASSERT_EQ(frame.type, ErrorReply::kTypeId);
+  const auto err = expect_message<ErrorReply>(frame);
+  EXPECT_EQ(err.code, kErrBadVersion);
+  EXPECT_NE(err.message.find("v99"), std::string::npos) << err.message;
+  close(fd);
+  EXPECT_GE(fx.service->counters().protocol_errors, 1u);
+}
+
+TEST(Service, OversizedFrameGetsCleanError) {
+  ServiceFixture fx("oversize");
+  const int fd = raw_connect(fx.service->socket_path());
+  unsigned char header[16] = {'S', 'N', 'W', 'F'};
+  header[4] = static_cast<unsigned char>(kWireVersion);
+  header[8] = static_cast<unsigned char>(CompileRequest::kTypeId);
+  const std::uint32_t huge = kMaxFramePayload + 1;
+  std::memcpy(header + 12, &huge, 4);
+  ASSERT_EQ(write(fd, header, sizeof header), 16);
+  Frame frame;
+  ASSERT_TRUE(read_frame(fd, &frame));
+  const auto err = expect_message<ErrorReply>(frame);
+  EXPECT_EQ(err.code, kErrOversized);
+  close(fd);
+}
+
+TEST(Service, UnknownTypeGetsCleanError) {
+  ServiceFixture fx("unknown");
+  const int fd = raw_connect(fx.service->socket_path());
+  write_frame(fd, /*type=*/999, "");
+  Frame frame;
+  ASSERT_TRUE(read_frame(fd, &frame));
+  const auto err = expect_message<ErrorReply>(frame);
+  EXPECT_EQ(err.code, kErrUnknownType);
+  close(fd);
+}
+
+TEST(Service, TornFrameIsSurvivable) {
+  ServiceFixture fx("torn");
+  {
+    const int fd = raw_connect(fx.service->socket_path());
+    unsigned char header[16] = {'S', 'N', 'W', 'F'};
+    header[4] = static_cast<unsigned char>(kWireVersion);
+    header[8] = static_cast<unsigned char>(CompileRequest::kTypeId);
+    header[12] = 200;  // promise 200 payload bytes
+    ASSERT_EQ(write(fd, header, sizeof header), 16);
+    ASSERT_EQ(write(fd, "partial", 7), 7);
+    close(fd);  // die mid-payload
+  }
+  // The daemon keeps serving other clients.
+  EXPECT_GT(fx.client().ping(4), 0u);
+  for (int i = 0; i < 100 && fx.service->counters().protocol_errors == 0;
+       ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GE(fx.service->counters().protocol_errors, 1u);
+}
+
+TEST(Service, ExecuteValidatesGridGeometry) {
+  ServiceFixture fx("exec");
+  auto client = fx.client();
+  GridBlob blob;
+  blob.name = "g";
+  blob.extents = {4, 4};
+  blob.data.resize(3);  // claims 16 points, carries 3
+  const ExecuteResponse resp =
+      client.execute(source_for(5), false, {}, 1, {blob}, {});
+  EXPECT_FALSE(resp.ok);
+  EXPECT_NE(resp.error.find("16"), std::string::npos) << resp.error;
+}
+
+TEST(Service, ExecuteRunsServerSide) {
+  ServiceFixture fx("exec2");
+  auto client = fx.client();
+  GridBlob blob;
+  blob.name = "g";
+  blob.extents = {2, 2};
+  blob.data = {0.0, 0.0, 0.0, 0.0};
+  const ExecuteResponse resp =
+      client.execute(source_for(6), false, {}, 3, {blob}, {});
+  ASSERT_TRUE(resp.ok) << resp.error;
+  ASSERT_EQ(resp.grids.size(), 1u);
+  EXPECT_EQ(resp.grids[0].data[0], 6.0);  // kernel writes 6.0 into [0]
+  EXPECT_GE(resp.run_seconds, 0.0);
+}
+
+TEST(Service, StatusReflectsActivity) {
+  ServiceFixture fx("status");
+  auto client = fx.client();
+  ASSERT_TRUE(client.compile(source_for(7), false, {}).ok);
+  const StatusResponse st = client.status();
+  EXPECT_EQ(st.protocol_version, kWireVersion);
+  EXPECT_EQ(st.pid, static_cast<std::uint64_t>(getpid()));
+  EXPECT_EQ(st.compiles, 1u);
+  EXPECT_GE(st.requests, 2u);
+  EXPECT_GE(st.active_clients, 1u);
+  EXPECT_FALSE(st.cache_dir.empty());
+}
+
+TEST(Service, WireShutdownWakesWaiter) {
+  ServiceFixture fx("shutdown");
+  std::atomic<bool> wire_requested{false};
+  std::thread waiter([&] {
+    wire_requested = fx.service->wait_for_shutdown_request();
+  });
+  const ShutdownResponse resp = fx.client().shutdown();
+  EXPECT_TRUE(resp.ok);
+  waiter.join();
+  EXPECT_TRUE(wire_requested.load());
+  fx.service->stop();
+  EXPECT_FALSE(fs::exists(fx.service->socket_path()))
+      << "stop() must remove the socket file";
+}
+
+}  // namespace
+}  // namespace snowflake::service

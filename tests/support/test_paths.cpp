@@ -1,0 +1,104 @@
+// Path-resolution tests: the cache-directory fallback chain (a daemonized
+// process with a scrubbed environment must land on a deterministic
+// per-user directory, not an empty string) and byte-size parsing.
+
+#include "support/paths.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <optional>
+#include <string>
+
+namespace snowflake {
+namespace {
+
+/// Save/restore one environment variable across a test body.
+class EnvGuard {
+public:
+  explicit EnvGuard(const char* name) : name_(name) {
+    if (const char* v = std::getenv(name)) saved_ = v;
+    unsetenv(name);
+  }
+  ~EnvGuard() {
+    if (saved_) {
+      setenv(name_, saved_->c_str(), 1);
+    } else {
+      unsetenv(name_);
+    }
+  }
+
+private:
+  const char* name_;
+  std::optional<std::string> saved_;
+};
+
+TEST(Paths, ParseByteSize) {
+  std::uint64_t bytes = 0;
+  EXPECT_TRUE(parse_byte_size("123", &bytes));
+  EXPECT_EQ(bytes, 123u);
+  EXPECT_TRUE(parse_byte_size("4k", &bytes));
+  EXPECT_EQ(bytes, 4096u);
+  EXPECT_TRUE(parse_byte_size("4K", &bytes));
+  EXPECT_EQ(bytes, 4096u);
+  EXPECT_TRUE(parse_byte_size("2m", &bytes));
+  EXPECT_EQ(bytes, 2u * 1024 * 1024);
+  EXPECT_TRUE(parse_byte_size("1G", &bytes));
+  EXPECT_EQ(bytes, 1024u * 1024 * 1024);
+  EXPECT_TRUE(parse_byte_size("0", &bytes));
+  EXPECT_EQ(bytes, 0u);
+
+  EXPECT_FALSE(parse_byte_size("", &bytes));
+  EXPECT_FALSE(parse_byte_size("k", &bytes));
+  EXPECT_FALSE(parse_byte_size("12q", &bytes));
+  EXPECT_FALSE(parse_byte_size("12kb", &bytes));
+  EXPECT_FALSE(parse_byte_size("banana", &bytes));
+  EXPECT_FALSE(parse_byte_size("123", nullptr));
+}
+
+TEST(Paths, StateDirFallbackIsPerUser) {
+  const std::string dir = state_dir_fallback();
+  EXPECT_EQ(dir, "/tmp/snowflake-" +
+                     std::to_string(static_cast<long>(getuid())));
+}
+
+TEST(Paths, CacheDirResolutionChain) {
+  EnvGuard g1("SNOWFLAKE_CACHE_DIR");
+  EnvGuard g2("XDG_CACHE_HOME");
+  EnvGuard g3("HOME");
+
+  setenv("SNOWFLAKE_CACHE_DIR", "/explicit/cache", 1);
+  setenv("XDG_CACHE_HOME", "/xdg", 1);
+  setenv("HOME", "/home/sf", 1);
+  EXPECT_EQ(resolve_cache_dir(), "/explicit/cache");
+
+  unsetenv("SNOWFLAKE_CACHE_DIR");
+  EXPECT_EQ(resolve_cache_dir(), "/xdg/snowflake");
+
+  unsetenv("XDG_CACHE_HOME");
+  EXPECT_EQ(resolve_cache_dir(), "/home/sf/.cache/snowflake");
+
+  // The scrubbed-daemon-environment case: every variable unset (empty
+  // counts as unset) must land on the deterministic per-user fallback.
+  setenv("HOME", "", 1);
+  EXPECT_EQ(resolve_cache_dir(), state_dir_fallback());
+}
+
+TEST(Paths, DefaultServiceSocket) {
+  EnvGuard g0("SNOWFLAKE_SOCKET");
+  EnvGuard g1("SNOWFLAKE_CACHE_DIR");
+  EnvGuard g2("XDG_CACHE_HOME");
+  EnvGuard g3("HOME");
+
+  setenv("SNOWFLAKE_SOCKET", "/run/sf.sock", 1);
+  EXPECT_EQ(default_service_socket(), "/run/sf.sock");
+
+  unsetenv("SNOWFLAKE_SOCKET");
+  setenv("SNOWFLAKE_CACHE_DIR", "/explicit/cache", 1);
+  EXPECT_EQ(default_service_socket(), "/explicit/cache/snowflaked.sock");
+}
+
+}  // namespace
+}  // namespace snowflake

@@ -1,0 +1,415 @@
+// snowflakec — command-line client for the snowflaked compile service.
+//
+//   snowflakec [--socket PATH] <command> [options]
+//
+// Commands:
+//   status                       print daemon + cache statistics
+//   ping                         round-trip a nonce, print the daemon pid
+//   stop                         ask the daemon to shut down
+//   demo [--sweeps N] [--nonce S] [--remote]
+//        compile the quickstart Jacobi kernel through the daemon, dlopen
+//        the shared artifact, run it locally, and (with --remote) also run
+//        it server-side and require bit-identical results
+//   demo-dedup [--clients N] [--nonce S]
+//        N concurrent connections race on one cold key; exits nonzero
+//        unless the daemon compiled exactly once
+//   demo-evict [--fillers N] [--nonce S]
+//        pin one artifact, flood the cache past its byte cap, and verify
+//        eviction ran without ever touching the pinned artifact
+//
+// Every demo-* command is also a ctest step (tests/CMakeLists.txt chains
+// service_start -> service_compile -> service_dedup -> service_evict ->
+// service_stop against a real daemon).
+
+#include <atomic>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "backend/backend.hpp"
+#include "backend/jit/jit_backend.hpp"
+#include "codegen/cemit.hpp"
+#include "ir/stencil_library.hpp"
+#include "ir/validate.hpp"
+#include "ir/weights.hpp"
+#include "jit/module.hpp"
+#include "service/client.hpp"
+
+using namespace snowflake;
+using namespace snowflake::service;
+
+namespace {
+
+struct DemoProblem {
+  StencilGroup group;
+  GridSet grids;
+  std::string source;
+  KernelPlan plan;
+};
+
+/// The quickstart 5-point Jacobi problem, lowered to the C source the
+/// daemon will compile.  `nonce` is appended as a comment so callers can
+/// mint arbitrarily many distinct cache keys from one kernel.
+DemoProblem make_demo(std::int64_t n, const std::string& nonce) {
+  DemoProblem demo;
+  const Index shape{n + 2, n + 2};
+  const double h2inv = static_cast<double>(n * n);
+
+  demo.grids.add_zeros("u", shape);
+  demo.grids.add_zeros("u_next", shape);
+  demo.grids.add_zeros("f", shape).fill(1.0);
+
+  const WeightArray laplacian = WeightArray::from_values(
+      {3, 3}, {0, 1, 0,
+               1, -4, 1,
+               0, 1, 0});
+  const ExprPtr jacobi =
+      read("u", {0, 0}) +
+      constant(1.0 / (4.0 * h2inv)) *
+          (read("f", {0, 0}) + h2inv * component("u", laplacian));
+  demo.group.append(lib::dirichlet_boundary(2, "u"));
+  demo.group.append(Stencil("jacobi", jacobi, "u_next", lib::interior(2)));
+
+  const ShapeMap shapes = shapes_of(demo.grids);
+  const CompileOptions options;
+  demo.plan = build_plan(demo.group, shapes, options);
+  demo.source = render_source(demo.group, shapes, options, /*openmp=*/false);
+  if (!nonce.empty()) {
+    demo.source += "\n/* snowflakec nonce: " + nonce + " */\n";
+  }
+  return demo;
+}
+
+/// Run the compiled artifact locally over the demo's grids.
+void run_local(const DemoProblem& demo, GridSet& grids, const Module& module,
+               int sweeps) {
+  const KernelFn fn = module.kernel(kernel_symbol());
+  std::vector<double*> pointers =
+      Backend::bind_grids(grids, demo.plan.shapes, demo.plan.grid_order);
+  const std::vector<double> params =
+      Backend::bind_params({}, demo.plan.param_order);
+  for (int s = 0; s < sweeps; ++s) {
+    fn(pointers.data(), params.data());
+  }
+}
+
+int cmd_status(ServiceClient& client) {
+  const StatusResponse st = client.status();
+  std::printf("snowflaked pid %" PRIu64 " (protocol v%u, up %.1fs)\n",
+              st.pid, st.protocol_version, st.uptime_seconds);
+  std::printf("  cache dir      %s\n", st.cache_dir.c_str());
+  if (st.cache_max_bytes == 0) {
+    std::printf("  cache bytes    %" PRIu64 " (unlimited)\n",
+                st.cache_disk_bytes);
+  } else {
+    std::printf("  cache bytes    %" PRIu64 " / %" PRIu64 "\n",
+                st.cache_disk_bytes, st.cache_max_bytes);
+  }
+  std::printf("  hits           %" PRIu64 " memory, %" PRIu64
+              " disk, %" PRIu64 " coalesced\n",
+              st.memory_hits, st.disk_hits, st.coalesced);
+  std::printf("  compiles       %" PRIu64 "\n", st.compiles);
+  std::printf("  evictions      %" PRIu64 " (swept %" PRIu64
+              " stale staging files)\n",
+              st.evictions, st.swept_stale);
+  std::printf("  pinned keys    %" PRIu64 "\n", st.pinned_keys);
+  std::printf("  requests       %" PRIu64 " (%" PRIu64 " rejected, %" PRIu64
+              " protocol errors)\n",
+              st.requests, st.rejections, st.protocol_errors);
+  std::printf("  clients        %" PRIu64 " active, %" PRIu64 " peak\n",
+              st.active_clients, st.peak_clients);
+  return 0;
+}
+
+int cmd_demo(const std::string& socket, int sweeps, const std::string& nonce,
+             bool remote) {
+  DemoProblem demo = make_demo(32, nonce);
+  ClientConfig cc;
+  cc.socket_path = socket;
+  ServiceClient client(cc);
+
+  const CompileResponse resp =
+      client.compile(demo.source, /*openmp=*/false, {}, /*pin=*/false,
+                     std::to_string(demo.plan.source_hash));
+  if (!resp.ok) {
+    std::fprintf(stderr, "snowflakec: remote compile failed: %s\n",
+                 resp.error.c_str());
+    return 1;
+  }
+  std::printf("compiled %s (%s, %.3fs, %" PRIu64 " bytes)\n",
+              resp.key.c_str(),
+              resp.compiled ? "cold"
+              : resp.disk_hit ? "disk hit" : "memory hit",
+              resp.compile_seconds, resp.artifact_bytes);
+
+  // Snapshot the pristine inputs first: GridSet copies SHARE storage, so
+  // the remote comparison below needs the bytes before the local run
+  // mutates them.
+  std::vector<GridBlob> blobs;
+  for (const auto& name : demo.plan.grid_order) {
+    GridBlob blob;
+    blob.name = name;
+    const Index& extents = demo.plan.shapes.at(name);
+    blob.extents.assign(extents.begin(), extents.end());
+    const Grid& grid = demo.grids.at(name);
+    blob.data.assign(grid.data(), grid.data() + grid.size());
+    blobs.push_back(std::move(blob));
+  }
+
+  // Local execution of the shared artifact.
+  GridSet& local = demo.grids;
+  {
+    const Module module(resp.so_path);
+    run_local(demo, local, module, sweeps);
+  }
+  const std::int64_t c = 17;  // centre of the 32+2 grid
+  const double centre = local.at("u_next").at({c, c});
+  std::printf("local run: %d sweeps, u_next(centre) = %.6f\n", sweeps, centre);
+  if (!std::isfinite(centre)) {
+    std::fprintf(stderr, "snowflakec: kernel produced non-finite output\n");
+    return 1;
+  }
+
+  if (remote) {
+    // Server-side execution over the wire must agree bit-for-bit with the
+    // local run of the same artifact.
+    const ExecuteResponse run = client.execute(
+        demo.source, false, {}, static_cast<std::uint32_t>(sweeps),
+        std::move(blobs), Backend::bind_params({}, demo.plan.param_order),
+        std::to_string(demo.plan.source_hash));
+    if (!run.ok) {
+      std::fprintf(stderr, "snowflakec: remote execute failed: %s\n",
+                   run.error.c_str());
+      return 1;
+    }
+    double max_diff = 0.0;
+    for (const auto& blob : run.grids) {
+      const Grid& mine = local.at(blob.name);
+      for (std::size_t i = 0; i < blob.data.size(); ++i) {
+        max_diff = std::max(max_diff,
+                            std::fabs(blob.data[i] - mine.data()[i]));
+      }
+    }
+    std::printf("remote run: %.3fs (%s), max |remote-local| = %.3g\n",
+                run.run_seconds, run.cache_hit ? "cache hit" : "compiled",
+                max_diff);
+    if (max_diff != 0.0) {
+      std::fprintf(stderr,
+                   "snowflakec: remote execution diverged from local\n");
+      return 1;
+    }
+  }
+  return 0;
+}
+
+int cmd_demo_dedup(const std::string& socket, int clients,
+                   const std::string& nonce) {
+  const DemoProblem demo = make_demo(24, "dedup-" + nonce);
+  ClientConfig cc;
+  cc.socket_path = socket;
+
+  const StatusResponse before = ServiceClient(cc).status();
+
+  // N connections race on the same cold key; the daemon's single-flight
+  // dedup must invoke the toolchain exactly once.
+  std::atomic<int> failures{0};
+  std::atomic<int> cold{0};
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (int i = 0; i < clients; ++i) {
+    threads.emplace_back([&, i] {
+      try {
+        ClientConfig mine = cc;
+        mine.client_name = "dedup-" + std::to_string(i);
+        ServiceClient c(mine);
+        const CompileResponse r = c.compile(demo.source, false, {});
+        if (!r.ok) {
+          std::fprintf(stderr, "client %d: %s\n", i, r.error.c_str());
+          ++failures;
+        } else if (r.compiled) {
+          ++cold;
+        }
+        // Every client must receive a loadable artifact.
+        const Module module(r.so_path);
+        (void)module.kernel(kernel_symbol());
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "client %d: %s\n", i, e.what());
+        ++failures;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  const StatusResponse after = ServiceClient(cc).status();
+  const std::uint64_t compiles = after.compiles - before.compiles;
+  std::printf("%d clients -> %" PRIu64 " toolchain invocation(s), "
+              "%d cold response(s), %" PRIu64 " coalesced, %" PRIu64
+              " memory hits\n",
+              clients, compiles, cold.load(),
+              after.coalesced - before.coalesced,
+              after.memory_hits - before.memory_hits);
+  if (failures.load() != 0) return 1;
+  if (compiles != 1) {
+    std::fprintf(stderr,
+                 "snowflakec: expected exactly 1 compile, saw %" PRIu64 "\n",
+                 compiles);
+    return 1;
+  }
+  return 0;
+}
+
+int cmd_demo_evict(const std::string& socket, int fillers,
+                   const std::string& nonce) {
+  const DemoProblem base = make_demo(24, "");
+  ClientConfig cc;
+  cc.socket_path = socket;
+  ServiceClient client(cc);
+
+  const StatusResponse st = client.status();
+  if (st.cache_max_bytes == 0) {
+    std::fprintf(stderr,
+                 "snowflakec: demo-evict needs a daemon started with "
+                 "--max-bytes (cache is unlimited)\n");
+    return 1;
+  }
+
+  // Pin one artifact, then flood the cache with distinct keys until the
+  // byte cap forces evictions.
+  const std::string pinned_source =
+      base.source + "\n/* pinned " + nonce + " */\n";
+  const CompileResponse pinned =
+      client.compile(pinned_source, false, {}, /*pin=*/true);
+  if (!pinned.ok) {
+    std::fprintf(stderr, "snowflakec: pinned compile failed: %s\n",
+                 pinned.error.c_str());
+    return 1;
+  }
+  for (int i = 0; i < fillers; ++i) {
+    const CompileResponse r = client.compile(
+        base.source + "\n/* filler " + nonce + "." + std::to_string(i) +
+            " */\n",
+        false, {});
+    if (!r.ok) {
+      std::fprintf(stderr, "snowflakec: filler %d failed: %s\n", i,
+                   r.error.c_str());
+      return 1;
+    }
+  }
+
+  const StatusResponse after = client.status();
+  const std::uint64_t evictions = after.evictions - st.evictions;
+  const bool pinned_alive = std::filesystem::exists(pinned.so_path);
+  std::printf("%d fillers -> %" PRIu64 " eviction(s); cache %" PRIu64
+              " / %" PRIu64 " bytes; pinned artifact %s\n",
+              fillers, evictions, after.cache_disk_bytes,
+              after.cache_max_bytes, pinned_alive ? "intact" : "GONE");
+  if (evictions == 0) {
+    std::fprintf(stderr,
+                 "snowflakec: expected evictions under the byte cap "
+                 "(raise --fillers or lower --max-bytes)\n");
+    return 1;
+  }
+  if (!pinned_alive) {
+    std::fprintf(stderr, "snowflakec: eviction removed a PINNED artifact\n");
+    return 1;
+  }
+  // Releasing the pin lets the (over-cap) cache reclaim it.
+  const ReleaseResponse rel = client.release(pinned.key);
+  if (!rel.ok) {
+    std::fprintf(stderr, "snowflakec: release failed: %s\n",
+                 rel.error.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--socket PATH] "
+               "{status|ping|stop|demo|demo-dedup|demo-evict} [options]\n",
+               argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket;
+  std::string command;
+  int sweeps = 200;
+  int clients = 8;
+  int fillers = 8;
+  std::string nonce = "0";
+  bool remote = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "snowflakec: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--socket") {
+      socket = value();
+    } else if (arg == "--sweeps") {
+      sweeps = std::atoi(value().c_str());
+    } else if (arg == "--clients") {
+      clients = std::atoi(value().c_str());
+    } else if (arg == "--fillers") {
+      fillers = std::atoi(value().c_str());
+    } else if (arg == "--nonce") {
+      nonce = value();
+    } else if (arg == "--remote") {
+      remote = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      usage(argv[0]);
+      return 2;
+    } else if (command.empty()) {
+      command = arg;
+    } else {
+      usage(argv[0]);
+      return 2;
+    }
+  }
+  if (command.empty()) {
+    usage(argv[0]);
+    return 2;
+  }
+
+  try {
+    if (command == "status" || command == "ping" || command == "stop") {
+      ClientConfig cc;
+      cc.socket_path = socket;
+      ServiceClient client(cc);
+      if (command == "status") return cmd_status(client);
+      if (command == "ping") {
+        const std::uint64_t pid = client.ping(0xC0FFEEu);
+        std::printf("snowflaked pid %" PRIu64 " at %s\n", pid,
+                    client.socket_path().c_str());
+        return 0;
+      }
+      const ShutdownResponse resp = client.shutdown();
+      std::printf("snowflaked shutdown %s\n",
+                  resp.ok ? "acknowledged" : "refused");
+      return resp.ok ? 0 : 1;
+    }
+    if (command == "demo") return cmd_demo(socket, sweeps, nonce, remote);
+    if (command == "demo-dedup") return cmd_demo_dedup(socket, clients, nonce);
+    if (command == "demo-evict") return cmd_demo_evict(socket, fillers, nonce);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "snowflakec: %s\n", e.what());
+    return 1;
+  }
+  usage(argv[0]);
+  return 2;
+}

@@ -1,0 +1,162 @@
+// snowflaked — the long-lived kernel-compile daemon.
+//
+// Serves stencil compile/execute requests over a Unix-domain socket so
+// that N snowflake processes on one host share ONE kernel cache and each
+// distinct kernel is compiled exactly once (see docs/service.md).
+//
+//   snowflaked [--socket PATH] [--cache-dir DIR] [--max-bytes N[k|m|g]]
+//              [--max-clients N] [--daemonize]
+//
+// Foreground by default; SIGINT/SIGTERM or a client ShutdownRequest stops
+// it cleanly (socket file removed).  --daemonize forks: the parent exits 0
+// only after the child answers a ping, so scripts (and the ctest service
+// chain) can treat its exit as "ready".
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "service/client.hpp"
+#include "service/server.hpp"
+#include "support/logging.hpp"
+#include "support/paths.hpp"
+
+using namespace snowflake;
+using namespace snowflake::service;
+
+namespace {
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--socket PATH] [--cache-dir DIR]\n"
+               "          [--max-bytes N[k|m|g]] [--max-clients N]\n"
+               "          [--daemonize]\n",
+               argv0);
+}
+
+int serve(const ServiceConfig& config) {
+  // The daemon must survive clients that disconnect mid-response: writes
+  // to dead sockets report EPIPE (handled per-connection) instead of
+  // delivering a fatal SIGPIPE.
+  std::signal(SIGPIPE, SIG_IGN);
+
+  // Terminal signals are consumed synchronously via sigwait below; block
+  // them before spawning any service thread so every thread inherits the
+  // mask and delivery cannot race a handler.
+  sigset_t signals;
+  sigemptyset(&signals);
+  sigaddset(&signals, SIGINT);
+  sigaddset(&signals, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &signals, nullptr);
+
+  CompileService svc(config);
+  try {
+    svc.start();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "snowflaked: %s\n", e.what());
+    return 1;
+  }
+
+  // Two ways down: a wire ShutdownRequest (watcher thread converts it to
+  // SIGTERM) or an operator signal.  Either way the main thread runs the
+  // one orderly stop().
+  std::thread watcher([&svc] {
+    if (svc.wait_for_shutdown_request()) kill(getpid(), SIGTERM);
+  });
+  int sig = 0;
+  sigwait(&signals, &sig);
+  SF_LOG_INFO("snowflaked stopping (" << strsignal(sig) << ")");
+  svc.stop();
+  watcher.join();
+  return 0;
+}
+
+int daemonize_and_serve(const ServiceConfig& config,
+                        const std::string& socket_path) {
+  const pid_t pid = fork();
+  if (pid < 0) {
+    std::perror("snowflaked: fork");
+    return 1;
+  }
+  if (pid == 0) {
+    setsid();
+    // Detach stdio: the daemon must not hold the launcher's pipes open
+    // (a test runner waiting for EOF on them would otherwise wait on the
+    // daemon's whole lifetime).
+    const int null_fd = open("/dev/null", O_RDWR);
+    if (null_fd >= 0) {
+      dup2(null_fd, STDIN_FILENO);
+      dup2(null_fd, STDOUT_FILENO);
+      dup2(null_fd, STDERR_FILENO);
+      if (null_fd > STDERR_FILENO) close(null_fd);
+    }
+    std::exit(serve(config));
+  }
+  // Parent: exit 0 only once the child daemon actually answers, so callers
+  // can start clients immediately after.
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    if (ServiceClient::daemon_available(socket_path)) return 0;
+    int status = 0;
+    if (waitpid(pid, &status, WNOHANG) == pid) {
+      std::fprintf(stderr, "snowflaked: daemon child exited during startup\n");
+      return 1;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::fprintf(stderr, "snowflaked: daemon did not become ready in 10s\n");
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ServiceConfig config;
+  bool daemonize = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "snowflaked: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--socket") {
+      config.socket_path = value();
+    } else if (arg == "--cache-dir") {
+      config.cache_dir = value();
+    } else if (arg == "--max-bytes") {
+      const std::string text = value();
+      if (!parse_byte_size(text, &config.cache_max_bytes)) {
+        std::fprintf(stderr, "snowflaked: bad --max-bytes '%s'\n",
+                     text.c_str());
+        return 2;
+      }
+    } else if (arg == "--max-clients") {
+      config.max_clients = std::atoi(value().c_str());
+      if (config.max_clients < 1) {
+        std::fprintf(stderr, "snowflaked: --max-clients must be >= 1\n");
+        return 2;
+      }
+    } else if (arg == "--daemonize") {
+      daemonize = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else {
+      usage(argv[0]);
+      return 2;
+    }
+  }
+  const std::string socket_path =
+      config.socket_path.empty() ? default_service_socket()
+                                 : config.socket_path;
+  return daemonize ? daemonize_and_serve(config, socket_path) : serve(config);
+}

@@ -1,0 +1,518 @@
+// snowgen — table-driven wire-marshalling generator for the snowflaked
+// compile service (in the style of LCM's lcmgen/emit_cpp: the message
+// schema lives in one table here, and the encode/decode code is GENERATED
+// rather than hand-written, so request/response structs, field order, and
+// bounds checking can never drift apart between daemon and client).
+//
+// Usage: snowgen <output-dir>
+// Writes <output-dir>/service_wire.gen.hpp and service_wire.gen.cpp.
+//
+// Wire format (little-endian, same-machine Unix sockets):
+//   bool       1 byte (0/1)
+//   u32/u64    fixed-width little-endian
+//   f64        IEEE-754 bits, little-endian
+//   string     u32 length + bytes
+//   T[]        u32 count + elements
+//   GridBlob   string name + i64[] extents + f64[] data (nested struct)
+// Every decode is bounds-checked against the frame payload and must
+// consume it exactly — trailing bytes are an error, never ignored.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct Field {
+  const char* name;
+  const char* type;  // bool u32 u64 f64 string string[] i64[] f64[] grid[]
+  const char* comment;
+};
+
+struct Message {
+  const char* name;
+  unsigned id;
+  std::vector<Field> fields;
+};
+
+// ---- The protocol table (the single source of truth) ----------------------
+
+const std::vector<Message>& protocol() {
+  static const std::vector<Message> table = {
+      {"CompileRequest",
+       1,
+       {
+           {"client", "string", "free-form client identity (logs/metrics)"},
+           {"group_hash", "string", "StencilGroup::structural_hash() hex"},
+           {"source", "string", "generated C source to compile"},
+           {"openmp", "bool", "compile with -fopenmp"},
+           {"extra_flags", "string[]", "extra toolchain flags"},
+           {"pin", "bool", "pin the artifact until Release/disconnect"},
+       }},
+      {"CompileResponse",
+       2,
+       {
+           {"ok", "bool", ""},
+           {"error", "string", "diagnostics when !ok"},
+           {"key", "string", "cache key (pin/release handle)"},
+           {"so_path", "string", "shared-object path in the daemon cache"},
+           {"memory_hit", "bool", "served from the in-memory module map"},
+           {"disk_hit", "bool", "served from the on-disk cache"},
+           {"compiled", "bool", "toolchain actually ran"},
+           {"compile_seconds", "f64", "toolchain wall-clock when compiled"},
+           {"artifact_bytes", "u64", "on-disk footprint (.so + .src)"},
+       }},
+      {"ExecuteRequest",
+       3,
+       {
+           {"client", "string", ""},
+           {"group_hash", "string", ""},
+           {"source", "string", ""},
+           {"openmp", "bool", ""},
+           {"extra_flags", "string[]", ""},
+           {"sweeps", "u32", "kernel invocations to run server-side"},
+           {"grids", "grid[]", "grid data in kernel plan order"},
+           {"params", "f64[]", "scalar params in kernel plan order"},
+       }},
+      {"ExecuteResponse",
+       4,
+       {
+           {"ok", "bool", ""},
+           {"error", "string", ""},
+           {"cache_hit", "bool", "kernel came from the warm cache"},
+           {"run_seconds", "f64", "server-side execution wall-clock"},
+           {"grids", "grid[]", "updated grid data, same order as request"},
+       }},
+      {"StatusRequest", 5, {}},
+      {"StatusResponse",
+       6,
+       {
+           {"protocol_version", "u32", ""},
+           {"pid", "u64", "daemon pid"},
+           {"uptime_seconds", "f64", ""},
+           {"cache_dir", "string", ""},
+           {"cache_max_bytes", "u64", "0 = unlimited"},
+           {"cache_disk_bytes", "u64", ""},
+           {"memory_hits", "u64", ""},
+           {"disk_hits", "u64", ""},
+           {"compiles", "u64", ""},
+           {"coalesced", "u64", "requests that waited on an in-flight twin"},
+           {"evictions", "u64", ""},
+           {"swept_stale", "u64", ""},
+           {"pinned_keys", "u64", ""},
+           {"requests", "u64", "frames served since start"},
+           {"rejections", "u64", "admission-control rejections"},
+           {"protocol_errors", "u64", "torn/oversized/mismatched frames"},
+           {"active_clients", "u64", ""},
+           {"peak_clients", "u64", ""},
+       }},
+      {"ReleaseRequest", 7, {{"key", "string", "unpin this artifact"}}},
+      {"ReleaseResponse",
+       8,
+       {
+           {"ok", "bool", ""},
+           {"error", "string", ""},
+       }},
+      {"PingRequest", 9, {{"nonce", "u64", "echoed back"}}},
+      {"PingResponse",
+       10,
+       {
+           {"nonce", "u64", ""},
+           {"pid", "u64", ""},
+       }},
+      {"ShutdownRequest", 11, {}},
+      {"ShutdownResponse", 12, {{"ok", "bool", ""}}},
+      {"ErrorReply",
+       13,
+       {
+           {"code", "u32", "wire::ErrorCode"},
+           {"message", "string", ""},
+       }},
+  };
+  return table;
+}
+
+constexpr unsigned kWireVersion = 1;
+
+// ---- Emission helpers (LCM-style) -----------------------------------------
+
+FILE* f = nullptr;
+
+#define emit(...)                 \
+  do {                            \
+    std::fprintf(f, __VA_ARGS__); \
+    std::fputc('\n', f);          \
+  } while (0)
+
+std::string cpp_type(const std::string& t) {
+  if (t == "bool") return "bool";
+  if (t == "u32") return "std::uint32_t";
+  if (t == "u64") return "std::uint64_t";
+  if (t == "f64") return "double";
+  if (t == "string") return "std::string";
+  if (t == "string[]") return "std::vector<std::string>";
+  if (t == "i64[]") return "std::vector<std::int64_t>";
+  if (t == "f64[]") return "std::vector<double>";
+  if (t == "grid[]") return "std::vector<GridBlob>";
+  std::fprintf(stderr, "snowgen: unknown field type '%s'\n", t.c_str());
+  std::exit(1);
+}
+
+std::string default_init(const std::string& t) {
+  if (t == "bool") return " = false";
+  if (t == "u32" || t == "u64") return " = 0";
+  if (t == "f64") return " = 0.0";
+  return "";
+}
+
+void emit_field_encode(const std::string& var, const std::string& type,
+                       int indent) {
+  const std::string pad(indent, ' ');
+  if (type == "bool") {
+    emit("%sput_u8(out, %s ? 1 : 0);", pad.c_str(), var.c_str());
+  } else if (type == "u32") {
+    emit("%sput_u32(out, %s);", pad.c_str(), var.c_str());
+  } else if (type == "u64") {
+    emit("%sput_u64(out, %s);", pad.c_str(), var.c_str());
+  } else if (type == "f64") {
+    emit("%sput_f64(out, %s);", pad.c_str(), var.c_str());
+  } else if (type == "string") {
+    emit("%sput_string(out, %s);", pad.c_str(), var.c_str());
+  } else if (type == "string[]") {
+    emit("%sput_u32(out, static_cast<std::uint32_t>(%s.size()));",
+         pad.c_str(), var.c_str());
+    emit("%sfor (const auto& it : %s) put_string(out, it);", pad.c_str(),
+         var.c_str());
+  } else if (type == "i64[]") {
+    emit("%sput_u32(out, static_cast<std::uint32_t>(%s.size()));",
+         pad.c_str(), var.c_str());
+    emit("%sfor (const auto it : %s) put_u64(out, "
+         "static_cast<std::uint64_t>(it));",
+         pad.c_str(), var.c_str());
+  } else if (type == "f64[]") {
+    emit("%sput_u32(out, static_cast<std::uint32_t>(%s.size()));",
+         pad.c_str(), var.c_str());
+    emit("%sfor (const auto it : %s) put_f64(out, it);", pad.c_str(),
+         var.c_str());
+  } else if (type == "grid[]") {
+    emit("%sput_u32(out, static_cast<std::uint32_t>(%s.size()));",
+         pad.c_str(), var.c_str());
+    emit("%sfor (const auto& it : %s) put_blob(out, it);", pad.c_str(),
+         var.c_str());
+  }
+}
+
+void emit_field_decode(const std::string& var, const std::string& type,
+                       int indent) {
+  const std::string pad(indent, ' ');
+  if (type == "bool") {
+    emit("%sif (!get_bool(&cur, &%s)) return cur.fail(out_error);",
+         pad.c_str(), var.c_str());
+  } else if (type == "u32") {
+    emit("%sif (!get_u32(&cur, &%s)) return cur.fail(out_error);",
+         pad.c_str(), var.c_str());
+  } else if (type == "u64") {
+    emit("%sif (!get_u64(&cur, &%s)) return cur.fail(out_error);",
+         pad.c_str(), var.c_str());
+  } else if (type == "f64") {
+    emit("%sif (!get_f64(&cur, &%s)) return cur.fail(out_error);",
+         pad.c_str(), var.c_str());
+  } else if (type == "string") {
+    emit("%sif (!get_string(&cur, &%s)) return cur.fail(out_error);",
+         pad.c_str(), var.c_str());
+  } else if (type == "string[]") {
+    emit("%sif (!get_string_list(&cur, &%s)) return cur.fail(out_error);",
+         pad.c_str(), var.c_str());
+  } else if (type == "i64[]") {
+    emit("%sif (!get_i64_list(&cur, &%s)) return cur.fail(out_error);",
+         pad.c_str(), var.c_str());
+  } else if (type == "f64[]") {
+    emit("%sif (!get_f64_list(&cur, &%s)) return cur.fail(out_error);",
+         pad.c_str(), var.c_str());
+  } else if (type == "grid[]") {
+    emit("%sif (!get_blob_list(&cur, &%s)) return cur.fail(out_error);",
+         pad.c_str(), var.c_str());
+  }
+}
+
+void emit_header(const std::string& path) {
+  f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::perror(path.c_str());
+    std::exit(1);
+  }
+  emit("// GENERATED by tools/snowgen.cpp — DO NOT EDIT.");
+  emit("// Message structs + encode/decode for the snowflaked wire protocol.");
+  emit("#pragma once");
+  emit("");
+  emit("#include <cstddef>");
+  emit("#include <cstdint>");
+  emit("#include <string>");
+  emit("#include <vector>");
+  emit("");
+  emit("namespace snowflake::service {");
+  emit("");
+  emit("/// Framing/protocol version; a daemon answering a mismatched client");
+  emit("/// replies with a clean ErrorReply instead of mis-decoding.");
+  emit("inline constexpr std::uint32_t kWireVersion = %uu;", kWireVersion);
+  emit("");
+  emit("/// One grid's worth of data for server-side execution.");
+  emit("struct GridBlob {");
+  emit("  std::string name;");
+  emit("  std::vector<std::int64_t> extents;");
+  emit("  std::vector<double> data;  // row-major, extents product elements");
+  emit("};");
+  for (const auto& msg : protocol()) {
+    emit("");
+    emit("struct %s {", msg.name);
+    emit("  static constexpr std::uint32_t kTypeId = %uu;", msg.id);
+    for (const auto& field : msg.fields) {
+      if (field.comment[0] != '\0') {
+        emit("  %s %s%s;  // %s", cpp_type(field.type).c_str(), field.name,
+             default_init(field.type).c_str(), field.comment);
+      } else {
+        emit("  %s %s%s;", cpp_type(field.type).c_str(), field.name,
+             default_init(field.type).c_str());
+      }
+    }
+    emit("};");
+  }
+  emit("");
+  for (const auto& msg : protocol()) {
+    emit("void encode(const %s& msg, std::string* out);", msg.name);
+    emit("bool decode(const std::uint8_t* data, std::size_t size, %s* out,",
+         msg.name);
+    emit("            std::string* out_error);");
+  }
+  emit("");
+  emit("/// Human-readable message name for a frame type id (diagnostics).");
+  emit("const char* message_name(std::uint32_t type_id);");
+  emit("");
+  emit("}  // namespace snowflake::service");
+  std::fclose(f);
+}
+
+void emit_source(const std::string& path) {
+  f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::perror(path.c_str());
+    std::exit(1);
+  }
+  emit("// GENERATED by tools/snowgen.cpp — DO NOT EDIT.");
+  emit("#include \"service_wire.gen.hpp\"");
+  emit("");
+  emit("#include <cstring>");
+  emit("");
+  emit("namespace snowflake::service {");
+  emit("");
+  emit("namespace {");
+  emit("");
+  emit("// ---- primitive writers (little-endian) ----");
+  emit("void put_u8(std::string* out, std::uint8_t v) {");
+  emit("  out->push_back(static_cast<char>(v));");
+  emit("}");
+  emit("void put_u32(std::string* out, std::uint32_t v) {");
+  emit("  for (int i = 0; i < 4; ++i) put_u8(out, (v >> (8 * i)) & 0xffu);");
+  emit("}");
+  emit("void put_u64(std::string* out, std::uint64_t v) {");
+  emit("  for (int i = 0; i < 8; ++i) put_u8(out, (v >> (8 * i)) & 0xffu);");
+  emit("}");
+  emit("void put_f64(std::string* out, double v) {");
+  emit("  std::uint64_t bits;");
+  emit("  std::memcpy(&bits, &v, sizeof bits);");
+  emit("  put_u64(out, bits);");
+  emit("}");
+  emit("void put_string(std::string* out, const std::string& s) {");
+  emit("  put_u32(out, static_cast<std::uint32_t>(s.size()));");
+  emit("  out->append(s);");
+  emit("}");
+  emit("void put_blob(std::string* out, const GridBlob& b) {");
+  emit("  put_string(out, b.name);");
+  emit("  put_u32(out, static_cast<std::uint32_t>(b.extents.size()));");
+  emit("  for (const auto e : b.extents) {");
+  emit("    put_u64(out, static_cast<std::uint64_t>(e));");
+  emit("  }");
+  emit("  put_u32(out, static_cast<std::uint32_t>(b.data.size()));");
+  emit("  for (const auto d : b.data) put_f64(out, d);");
+  emit("}");
+  emit("");
+  emit("// ---- bounds-checked reader ----");
+  emit("struct Cursor {");
+  emit("  const std::uint8_t* p;");
+  emit("  std::size_t left;");
+  emit("  std::string why;");
+  emit("  bool fail(std::string* out_error) {");
+  emit("    if (out_error != nullptr) *out_error = why;");
+  emit("    return false;");
+  emit("  }");
+  emit("  bool need(std::size_t n, const char* what) {");
+  emit("    if (left >= n) return true;");
+  emit("    why = std::string(\"truncated frame while reading \") + what;");
+  emit("    return false;");
+  emit("  }");
+  emit("};");
+  emit("bool get_u8(Cursor* c, std::uint8_t* v) {");
+  emit("  if (!c->need(1, \"u8\")) return false;");
+  emit("  *v = *c->p++;");
+  emit("  --c->left;");
+  emit("  return true;");
+  emit("}");
+  emit("bool get_bool(Cursor* c, bool* v) {");
+  emit("  std::uint8_t byte = 0;");
+  emit("  if (!get_u8(c, &byte)) return false;");
+  emit("  *v = byte != 0;");
+  emit("  return true;");
+  emit("}");
+  emit("bool get_u32(Cursor* c, std::uint32_t* v) {");
+  emit("  if (!c->need(4, \"u32\")) return false;");
+  emit("  *v = 0;");
+  emit("  for (int i = 0; i < 4; ++i) {");
+  emit("    *v |= static_cast<std::uint32_t>(c->p[i]) << (8 * i);");
+  emit("  }");
+  emit("  c->p += 4;");
+  emit("  c->left -= 4;");
+  emit("  return true;");
+  emit("}");
+  emit("bool get_u64(Cursor* c, std::uint64_t* v) {");
+  emit("  if (!c->need(8, \"u64\")) return false;");
+  emit("  *v = 0;");
+  emit("  for (int i = 0; i < 8; ++i) {");
+  emit("    *v |= static_cast<std::uint64_t>(c->p[i]) << (8 * i);");
+  emit("  }");
+  emit("  c->p += 8;");
+  emit("  c->left -= 8;");
+  emit("  return true;");
+  emit("}");
+  emit("bool get_f64(Cursor* c, double* v) {");
+  emit("  std::uint64_t bits = 0;");
+  emit("  if (!get_u64(c, &bits)) return false;");
+  emit("  std::memcpy(v, &bits, sizeof *v);");
+  emit("  return true;");
+  emit("}");
+  emit("bool get_string(Cursor* c, std::string* s) {");
+  emit("  std::uint32_t len = 0;");
+  emit("  if (!get_u32(c, &len)) return false;");
+  emit("  if (!c->need(len, \"string body\")) return false;");
+  emit("  s->assign(reinterpret_cast<const char*>(c->p), len);");
+  emit("  c->p += len;");
+  emit("  c->left -= len;");
+  emit("  return true;");
+  emit("}");
+  emit("// Element-count sanity: a count claiming more elements than bytes");
+  emit("// remaining cannot be honest, so reject before allocating.");
+  emit("bool get_count(Cursor* c, std::size_t min_elem_bytes,");
+  emit("               std::uint32_t* count) {");
+  emit("  if (!get_u32(c, count)) return false;");
+  emit("  if (static_cast<std::size_t>(*count) * min_elem_bytes > c->left) {");
+  emit("    c->why = \"list count exceeds remaining frame bytes\";");
+  emit("    return false;");
+  emit("  }");
+  emit("  return true;");
+  emit("}");
+  emit("bool get_string_list(Cursor* c, std::vector<std::string>* v) {");
+  emit("  std::uint32_t count = 0;");
+  emit("  if (!get_count(c, 4, &count)) return false;");
+  emit("  v->resize(count);");
+  emit("  for (auto& s : *v) {");
+  emit("    if (!get_string(c, &s)) return false;");
+  emit("  }");
+  emit("  return true;");
+  emit("}");
+  emit("bool get_i64_list(Cursor* c, std::vector<std::int64_t>* v) {");
+  emit("  std::uint32_t count = 0;");
+  emit("  if (!get_count(c, 8, &count)) return false;");
+  emit("  v->resize(count);");
+  emit("  for (auto& e : *v) {");
+  emit("    std::uint64_t bits = 0;");
+  emit("    if (!get_u64(c, &bits)) return false;");
+  emit("    e = static_cast<std::int64_t>(bits);");
+  emit("  }");
+  emit("  return true;");
+  emit("}");
+  emit("bool get_f64_list(Cursor* c, std::vector<double>* v) {");
+  emit("  std::uint32_t count = 0;");
+  emit("  if (!get_count(c, 8, &count)) return false;");
+  emit("  v->resize(count);");
+  emit("  for (auto& d : *v) {");
+  emit("    if (!get_f64(c, &d)) return false;");
+  emit("  }");
+  emit("  return true;");
+  emit("}");
+  emit("bool get_blob(Cursor* c, GridBlob* b) {");
+  emit("  if (!get_string(c, &b->name)) return false;");
+  emit("  if (!get_i64_list(c, &b->extents)) return false;");
+  emit("  return get_f64_list(c, &b->data);");
+  emit("}");
+  emit("bool get_blob_list(Cursor* c, std::vector<GridBlob>* v) {");
+  emit("  std::uint32_t count = 0;");
+  emit("  if (!get_count(c, 12, &count)) return false;");
+  emit("  v->resize(count);");
+  emit("  for (auto& b : *v) {");
+  emit("    if (!get_blob(c, &b)) return false;");
+  emit("  }");
+  emit("  return true;");
+  emit("}");
+  emit("bool finish(Cursor* c, std::string* out_error) {");
+  emit("  if (c->left == 0) return true;");
+  emit("  c->why = \"trailing bytes after message (\" +");
+  emit("           std::to_string(c->left) + \" left)\";");
+  emit("  return c->fail(out_error);");
+  emit("}");
+  emit("");
+  emit("}  // namespace");
+
+  for (const auto& msg : protocol()) {
+    emit("");
+    emit("void encode(const %s& msg, std::string* out) {", msg.name);
+    if (msg.fields.empty()) {
+      emit("  (void)msg;");
+      emit("  (void)out;");
+    }
+    for (const auto& field : msg.fields) {
+      emit_field_encode(std::string("msg.") + field.name, field.type, 2);
+    }
+    emit("}");
+    emit("");
+    emit("bool decode(const std::uint8_t* data, std::size_t size, %s* out,",
+         msg.name);
+    emit("            std::string* out_error) {");
+    emit("  *out = %s{};", msg.name);
+    emit("  Cursor cur{data, size, {}};");
+    for (const auto& field : msg.fields) {
+      emit_field_decode(std::string("out->") + field.name, field.type, 2);
+    }
+    emit("  return finish(&cur, out_error);");
+    emit("}");
+  }
+
+  emit("");
+  emit("const char* message_name(std::uint32_t type_id) {");
+  emit("  switch (type_id) {");
+  for (const auto& msg : protocol()) {
+    emit("    case %uu: return \"%s\";", msg.id, msg.name);
+  }
+  emit("    default: return \"unknown\";");
+  emit("  }");
+  emit("}");
+  emit("");
+  emit("}  // namespace snowflake::service");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: snowgen <output-dir>\n");
+    return 1;
+  }
+  const std::string dir = argv[1];
+  emit_header(dir + "/service_wire.gen.hpp");
+  emit_source(dir + "/service_wire.gen.cpp");
+  std::printf("snowgen: wrote %s/service_wire.gen.{hpp,cpp} (%zu messages, "
+              "wire v%u)\n",
+              dir.c_str(), protocol().size(), kWireVersion);
+  return 0;
+}
